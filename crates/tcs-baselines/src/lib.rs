@@ -1,0 +1,24 @@
+//! Comparison systems reproduced from the paper's evaluation (§VII-C).
+//!
+//! * [`sjtree`] — the subgraph-join tree of Choudhury et al. (EDBT 2015):
+//!   maintains partial matches of a left-deep join tree over the query's
+//!   edges with **no timing pruning**, and verifies the timing order
+//!   posteriorly on complete structural matches. Its space cost is the
+//!   paper's main criticism (Table I, §VII-C2).
+//! * [`incmat`] — the incremental-matching framework of Fan et al. (TODS
+//!   2013): maintains the window's graph structure, and on every update
+//!   re-runs a static subgraph-isomorphism algorithm over the *affected
+//!   area* (the query-diameter neighbourhood of the touched vertices). It
+//!   keeps no partial results, so it pays matcher cost on every edge. The
+//!   static matcher is pluggable: QuickSI / TurboISO / BoostISO styles from
+//!   [`tcs_subiso`].
+//!
+//! Both expose the same `advance(&WindowEvent) -> Vec<MatchRecord>`
+//! interface as the main engine so the benchmark harness and the oracle
+//! tests treat every system uniformly.
+
+pub mod incmat;
+pub mod sjtree;
+
+pub use incmat::IncMat;
+pub use sjtree::SjTree;

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the core data structures and the
+//! end-to-end per-edge costs. These complement the `repro` harness: where
+//! `repro` reproduces the paper's figures, these isolate the pieces
+//! (MS-tree ops, lock manager, decomposition, generators) so regressions
+//! are attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tcs_core::store::{MatchStore, StoreLayout, ROOT};
+use tcs_core::{IndependentStore, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
+use tcs_graph::window::SlidingWindow;
+use tcs_graph::{EdgeId, QueryGraph};
+
+fn bench_store_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    for fanout in [64usize, 512] {
+        g.bench_with_input(
+            BenchmarkId::new("mstree_insert_expire", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
+                    let p = s.insert_sub(0, 1, a, EdgeId(2));
+                    for x in 0..fanout as u64 {
+                        s.insert_sub(0, 2, p, EdgeId(10 + x));
+                    }
+                    s.expire_edge(EdgeId(1), &[(0, 0)])
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("independent_insert_expire", fanout),
+            &fanout,
+            |b, &fanout| {
+                b.iter(|| {
+                    let mut s = IndependentStore::new(StoreLayout { sub_lens: vec![3] });
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
+                    let p = s.insert_sub(0, 1, a, EdgeId(2));
+                    for x in 0..fanout as u64 {
+                        s.insert_sub(0, 2, p, EdgeId(10 + x));
+                    }
+                    s.expire_edge(EdgeId(1), &[(0, 0)])
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan");
+    let stream = Dataset::WikiTalk.generate(20_000, 7);
+    let gen = QueryGen::new(&stream, 8_000);
+    for size in [6usize, 12, 18] {
+        let q = gen
+            .generate_many(size, TimingMode::Random, 1, 13)
+            .pop()
+            .expect("query generated");
+        g.bench_with_input(BenchmarkId::new("build_plan", size), &q, |b, q: &QueryGraph| {
+            b.iter(|| QueryPlan::build(q.clone(), PlanOptions::timing()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_per_edge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let stream = Dataset::NetworkFlow.generate(25_000, 5);
+    let gen = QueryGen::new(&stream, 8_000);
+    let q = gen
+        .generate_many(8, TimingMode::Random, 1, 3)
+        .pop()
+        .expect("query generated");
+    g.bench_function("timing_mstree_10k_edges", |b| {
+        b.iter(|| {
+            let mut eng: TimingEngine<MsTreeStore> =
+                TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+            let mut w = SlidingWindow::new(5_000);
+            let mut n = 0usize;
+            for &e in stream.iter().take(10_000) {
+                n += eng.advance(&w.advance(e)).len();
+            }
+            n
+        });
+    });
+    g.bench_function("timing_independent_10k_edges", |b| {
+        b.iter(|| {
+            let mut eng: TimingEngine<IndependentStore> =
+                TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+            let mut w = SlidingWindow::new(5_000);
+            let mut n = 0usize;
+            for &e in stream.iter().take(10_000) {
+                n += eng.advance(&w.advance(e)).len();
+            }
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generators");
+    for d in Dataset::ALL {
+        g.bench_function(d.name(), |b| b.iter(|| d.generate(10_000, 11)));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_store_ops,
+    bench_decomposition,
+    bench_engine_per_edge,
+    bench_generators
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+use tcs_bench::systems::SystemKind;
+use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
+use tcs_graph::window::SlidingWindow;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let window: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(10_000);
+    let qsize: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(12);
+    for dataset in Dataset::ALL {
+        let t0 = Instant::now();
+        let stream = dataset.generate(window as usize + 3_000, 42);
+        eprintln!("{}: generated {} edges in {:?}", dataset.name(), stream.len(), t0.elapsed());
+        let t0 = Instant::now();
+        let gen = QueryGen::new(&stream, stream.len() / 3);
+        let q = gen.generate_many(qsize, TimingMode::Random, 1, 42).pop();
+        eprintln!("  query gen: {:?} found={}", t0.elapsed(), q.is_some());
+        let Some(q) = q else { continue };
+        for kind in SystemKind::ALL {
+            let mut sys = kind.build(q.clone());
+            sys.set_partial_cap(400_000);
+            let mut w = SlidingWindow::new(window);
+            let t0 = Instant::now();
+            let mut n = 0u64;
+            let mut done = 0;
+            for &e in &stream {
+                n += sys.advance(&w.advance(e)) as u64;
+                done += 1;
+                if t0.elapsed().as_secs_f64() > 3.0 { break; }
+            }
+            eprintln!("  {:>10}: {done} edges in {:?}, {n} matches, {} KB",
+                kind.name(), t0.elapsed(), sys.space_bytes()/1024);
+        }
+    }
+}

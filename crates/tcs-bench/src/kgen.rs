@@ -1,0 +1,179 @@
+//! Query generation with a target decomposition size `k` (§VII-G).
+//!
+//! The paper: "to generate a query of a specific decomposition size k, we
+//! constantly create timing order ≺ over a retrieved subgraph g (by
+//! varying permutation of g's edges) until g and ≺ constitute a query that
+//! can be decomposed into k TC-subqueries … for k = 1, we assign the
+//! timing order between every two edges in g according to their timestamps,
+//! while for k = |E| we just set the timing order as ∅."
+//!
+//! `k = 1` needs the chronological edge order of the walked subgraph to be
+//! prefix-connected; an ordinary random walk rarely satisfies that, so
+//! [`time_respecting_walk`] grows the subgraph by always extending with an
+//! incident edge of *larger timestamp* — making the chronological order a
+//! valid timing sequence by construction.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use tcs_core::decompose::decompose;
+use tcs_graph::gen::{QueryGen, TimingMode};
+use tcs_graph::query::QueryEdge;
+use tcs_graph::{QueryGraph, StreamEdge, VertexId};
+
+/// Generates a query of `size` edges whose TC decomposition has exactly
+/// `k` subqueries; `None` after `max_attempts` failures.
+pub fn generate_with_k(
+    stream: &[StreamEdge],
+    region: usize,
+    size: usize,
+    k: usize,
+    seed: u64,
+    max_attempts: u64,
+) -> Option<QueryGraph> {
+    assert!(k >= 1 && k <= size);
+    if k == 1 {
+        // Full order over a time-respecting walk.
+        for attempt in 0..max_attempts {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(attempt));
+            if let Some(g) = time_respecting_walk(stream, region, size, &mut rng) {
+                let q = build_full_order_query(&g);
+                debug_assert_eq!(decompose(&q).k(), 1, "time-respecting ⇒ TC");
+                return Some(q);
+            }
+        }
+        return None;
+    }
+    let gen = QueryGen::new(stream, region);
+    for attempt in 0..max_attempts {
+        let s = seed.wrapping_add(attempt.wrapping_mul(0x9e37_79b9));
+        let mode = if k == size { TimingMode::Empty } else { TimingMode::Random };
+        if let Some(q) = gen.generate(size, mode, s) {
+            if decompose(&q).k() == k {
+                return Some(q);
+            }
+        }
+    }
+    None
+}
+
+/// Random walk choosing each next edge among incident edges with a larger
+/// timestamp than everything chosen so far.
+pub fn time_respecting_walk(
+    stream: &[StreamEdge],
+    region: usize,
+    size: usize,
+    rng: &mut SmallRng,
+) -> Option<Vec<StreamEdge>> {
+    if stream.len() < region || region < size {
+        return None;
+    }
+    let start = rng.gen_range(0..=stream.len() - region);
+    let region_edges = &stream[start..start + region];
+    let mut adj: HashMap<VertexId, Vec<usize>> = HashMap::new();
+    for (i, e) in region_edges.iter().enumerate() {
+        adj.entry(e.src).or_default().push(i);
+        if e.dst != e.src {
+            adj.entry(e.dst).or_default().push(i);
+        }
+    }
+    // Start early in the region so there is timestamp headroom.
+    let first = rng.gen_range(0..region / 2);
+    let mut chosen = vec![first];
+    let mut max_ts = region_edges[first].ts;
+    let mut vertices = vec![region_edges[first].src];
+    if region_edges[first].dst != region_edges[first].src {
+        vertices.push(region_edges[first].dst);
+    }
+    let mut stall = 0;
+    while chosen.len() < size && stall < 128 * size {
+        stall += 1;
+        let v = vertices[rng.gen_range(0..vertices.len())];
+        let cands = &adj[&v];
+        let i = cands[rng.gen_range(0..cands.len())];
+        if chosen.contains(&i) || region_edges[i].ts <= max_ts {
+            continue;
+        }
+        chosen.push(i);
+        max_ts = region_edges[i].ts;
+        for w in [region_edges[i].src, region_edges[i].dst] {
+            if !vertices.contains(&w) {
+                vertices.push(w);
+            }
+        }
+    }
+    if chosen.len() < size {
+        return None;
+    }
+    Some(chosen.into_iter().map(|i| region_edges[i]).collect())
+}
+
+/// Builds a query whose timing order is the full chronological chain of
+/// the walked edges (which arrive in increasing timestamp order by
+/// construction of the walk).
+fn build_full_order_query(g: &[StreamEdge]) -> QueryGraph {
+    let mut vmap: HashMap<VertexId, usize> = HashMap::new();
+    let mut labels = Vec::new();
+    let mut edges = Vec::with_capacity(g.len());
+    for e in g {
+        let src = *vmap.entry(e.src).or_insert_with(|| {
+            labels.push(e.src_label);
+            labels.len() - 1
+        });
+        let dst = *vmap.entry(e.dst).or_insert_with(|| {
+            labels.push(e.dst_label);
+            labels.len() - 1
+        });
+        edges.push(QueryEdge { src, dst, label: e.label });
+    }
+    let pairs: Vec<(usize, usize)> = (0..g.len() - 1).map(|i| (i, i + 1)).collect();
+    QueryGraph::new(labels, edges, &pairs).expect("walked query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_graph::gen::Dataset;
+
+    #[test]
+    fn k1_queries_are_tc() {
+        let stream = Dataset::WikiTalk.generate(6_000, 9);
+        let q = generate_with_k(&stream, 2_000, 5, 1, 7, 400).expect("k=1 found");
+        assert_eq!(decompose(&q).k(), 1);
+        assert!(q.order.is_total());
+    }
+
+    #[test]
+    fn k_equals_size_queries_have_empty_order() {
+        let stream = Dataset::WikiTalk.generate(6_000, 9);
+        let q = generate_with_k(&stream, 2_000, 5, 5, 8, 400).expect("k=size found");
+        assert_eq!(decompose(&q).k(), 5);
+        assert!(q.order.is_empty());
+    }
+
+    #[test]
+    fn intermediate_k_targets_hit() {
+        let stream = Dataset::WikiTalk.generate(8_000, 10);
+        for k in [2, 3] {
+            let q = generate_with_k(&stream, 2_000, 6, k, 21, 3_000)
+                .unwrap_or_else(|| panic!("no query with k={k}"));
+            assert_eq!(decompose(&q).k(), k);
+        }
+    }
+
+    #[test]
+    fn time_respecting_walk_is_chronological_and_connected() {
+        let stream = Dataset::SocialStream.generate(6_000, 11);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut found = 0;
+        for _ in 0..50 {
+            if let Some(g) = time_respecting_walk(&stream, 3_000, 5, &mut rng) {
+                found += 1;
+                for w in g.windows(2) {
+                    assert!(w[0].ts < w[1].ts);
+                }
+            }
+        }
+        assert!(found > 0, "at least some walks succeed");
+    }
+}

@@ -1,0 +1,113 @@
+//! Aligned stdout tables and TSV output for the experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A simple column-aligned table that doubles as a TSV writer.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).unwrap();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(out, "{}", fmt_row(&self.header, &widths)).unwrap();
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())).unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
+        }
+        out
+    }
+
+    /// Prints to stdout and writes `results/<name>.tsv`.
+    pub fn emit(&self, name: &str) {
+        println!("{}", self.render());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let mut tsv = String::new();
+            writeln!(tsv, "# {}", self.title).unwrap();
+            writeln!(tsv, "{}", self.header.join("\t")).unwrap();
+            for row in &self.rows {
+                writeln!(tsv, "{}", row.join("\t")).unwrap();
+            }
+            let path = dir.join(format!("{name}.tsv"));
+            if let Err(e) = fs::write(&path, tsv) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Human formatting helpers shared by the experiments.
+pub fn fmt_throughput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Bytes → KB with one decimal (the paper plots KB).
+pub fn fmt_space_kb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header", "b"]);
+        t.row(vec!["1".into(), "2".into(), "333333".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_throughput(1_500_000.0), "1.50M");
+        assert_eq!(fmt_throughput(25_300.0), "25.3K");
+        assert_eq!(fmt_throughput(900.0), "900");
+        assert_eq!(fmt_space_kb(2048.0), "2.0");
+    }
+}

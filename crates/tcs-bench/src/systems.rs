@@ -1,0 +1,174 @@
+//! Uniform wrapper over the six compared systems of Figures 15–18, 23–24.
+
+use tcs_baselines::{IncMat, SjTree};
+use tcs_core::{IndependentStore, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_graph::window::WindowEvent;
+use tcs_graph::QueryGraph;
+use tcs_subiso::Strategy;
+
+/// The systems in the paper's legend order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// The paper's full method (MS-tree storage).
+    Timing,
+    /// Ablation: expansion lists without MS-tree compression.
+    TimingInd,
+    /// Choudhury et al. (no timing pruning, posterior filter).
+    SjTree,
+    /// IncMat + BoostISO-style matcher.
+    BoostIso,
+    /// IncMat + TurboISO-style matcher.
+    TurboIso,
+    /// IncMat + QuickSI-style matcher.
+    QuickSi,
+}
+
+impl SystemKind {
+    /// All six, in the paper's legend order.
+    pub const ALL: [SystemKind; 6] = [
+        SystemKind::Timing,
+        SystemKind::TimingInd,
+        SystemKind::SjTree,
+        SystemKind::BoostIso,
+        SystemKind::TurboIso,
+        SystemKind::QuickSi,
+    ];
+
+    /// Label used in figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Timing => "Timing",
+            SystemKind::TimingInd => "Timing-IND",
+            SystemKind::SjTree => "SJ-tree",
+            SystemKind::BoostIso => "BoostISO",
+            SystemKind::TurboIso => "TurboISO",
+            SystemKind::QuickSi => "QuickSI",
+        }
+    }
+
+    /// Instantiates the system for a query.
+    pub fn build(self, query: QueryGraph) -> Box<dyn StreamSystem> {
+        match self {
+            SystemKind::Timing => Box::new(TimingSystem::<MsTreeStore>::new(query)),
+            SystemKind::TimingInd => Box::new(TimingSystem::<IndependentStore>::new(query)),
+            SystemKind::SjTree => Box::new(SjSystem(SjTree::new(query))),
+            SystemKind::BoostIso => Box::new(IncSystem(IncMat::new(query, Strategy::BoostIso))),
+            SystemKind::TurboIso => Box::new(IncSystem(IncMat::new(query, Strategy::TurboIso))),
+            SystemKind::QuickSi => Box::new(IncSystem(IncMat::new(query, Strategy::QuickSi))),
+        }
+    }
+
+    /// Instantiates the Timing system with a randomized plan (the Figure 21
+    /// ablations).
+    pub fn build_timing_variant(query: QueryGraph, opts: PlanOptions) -> Box<dyn StreamSystem> {
+        Box::new(TimingSystem::<MsTreeStore> {
+            engine: TimingEngine::new(QueryPlan::build(query, opts)),
+        })
+    }
+}
+
+/// The uniform system interface the runner drives.
+pub trait StreamSystem {
+    /// Processes one window event; returns the number of new matches.
+    fn advance(&mut self, ev: &WindowEvent) -> usize;
+    /// Current bytes of maintained state.
+    fn space_bytes(&self) -> usize;
+    /// Caps stored partial matches (harness safety valve; default no-op).
+    fn set_partial_cap(&mut self, _cap: u64) {}
+    /// Whether the cap was hit (results incomplete since then).
+    fn saturated(&self) -> bool {
+        false
+    }
+}
+
+struct TimingSystem<S: tcs_core::MatchStore> {
+    engine: TimingEngine<S>,
+}
+
+impl<S: tcs_core::MatchStore> TimingSystem<S> {
+    fn new(query: QueryGraph) -> Self {
+        TimingSystem {
+            engine: TimingEngine::new(QueryPlan::build(query, PlanOptions::timing())),
+        }
+    }
+}
+
+impl<S: tcs_core::MatchStore> StreamSystem for TimingSystem<S> {
+    fn advance(&mut self, ev: &WindowEvent) -> usize {
+        self.engine.advance(ev).len()
+    }
+    fn space_bytes(&self) -> usize {
+        self.engine.space_bytes()
+    }
+    fn set_partial_cap(&mut self, cap: u64) {
+        self.engine.set_partial_cap(cap);
+    }
+    fn saturated(&self) -> bool {
+        self.engine.saturated()
+    }
+}
+
+struct SjSystem(SjTree);
+
+impl StreamSystem for SjSystem {
+    fn advance(&mut self, ev: &WindowEvent) -> usize {
+        self.0.advance(ev).len()
+    }
+    fn space_bytes(&self) -> usize {
+        self.0.space_bytes()
+    }
+    fn set_partial_cap(&mut self, cap: u64) {
+        self.0.set_partial_cap(cap);
+    }
+    fn saturated(&self) -> bool {
+        self.0.saturated()
+    }
+}
+
+struct IncSystem(IncMat);
+
+impl StreamSystem for IncSystem {
+    fn advance(&mut self, ev: &WindowEvent) -> usize {
+        self.0.advance(ev).len()
+    }
+    fn space_bytes(&self) -> usize {
+        self.0.space_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::window::SlidingWindow;
+    use tcs_graph::{ELabel, StreamEdge, VLabel};
+
+    #[test]
+    fn all_systems_agree_on_a_tiny_stream() {
+        let q = QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let edges = [
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+            StreamEdge::new(3, 11, 1, 13, 2, 0, 3),
+            StreamEdge::new(4, 9, 0, 11, 1, 0, 4),
+        ];
+        let mut counts = Vec::new();
+        for kind in SystemKind::ALL {
+            let mut sys = kind.build(q.clone());
+            let mut w = SlidingWindow::new(100);
+            let total: usize = edges.iter().map(|&e| sys.advance(&w.advance(e))).sum();
+            counts.push((kind.name(), total));
+        }
+        let first = counts[0].1;
+        assert!(counts.iter().all(|&(_, c)| c == first), "{counts:?}");
+        assert_eq!(first, 2, "σ2 and σ3 each complete one match; σ4 joins none (later ts)");
+    }
+}

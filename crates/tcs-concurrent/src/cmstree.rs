@@ -1,0 +1,488 @@
+//! Thread-safe MS-tree with partial removal (§V-C).
+//!
+//! Layout mirrors the serial [`tcs_core::mstree::MsTreeStore`]: one node
+//! arena shared by all expansion lists, per-item (level) doubly linked
+//! lists, parent links for backtracking, and the `L₀` tree grafted onto
+//! subquery 0's leaves with pointer payloads.
+//!
+//! # Synchronization contract
+//!
+//! The tree itself takes *no* locks beyond a tiny per-item list-head mutex
+//! and the allocator mutex; callers must hold the corresponding expansion
+//! -list item lock from [`crate::lock::LockManager`]:
+//!
+//! * `insert_*` and the deletion primitives require the item's X lock;
+//! * `for_each_*` require at least the S lock;
+//! * backtracking (`expand_sub`, the read callbacks) intentionally reads
+//!   *ancestor* nodes without their items' locks — safe because deletion
+//!   only **partially removes** nodes while transactions older than the
+//!   deleter can still reach them: a partially removed node is unlinked
+//!   from its level list and its parent's child list, but keeps its own
+//!   parent/payload fields (Figure 14), and is reclaimed only after the
+//!   deleting transaction has finished its whole level pass — at which
+//!   point every older transaction has finished with the node because its
+//!   lock requests preceded the deleter's on every shared item (the proof
+//!   of Theorem 6).
+//!
+//! All node fields are atomics, so even a protocol bug cannot cause UB —
+//! only (detectable) logical corruption.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use tcs_core::store::StoreLayout;
+use tcs_graph::EdgeId;
+
+const NIL: u32 = u32::MAX;
+/// Nodes per arena chunk.
+const CHUNK: usize = 1 << 12;
+/// Maximum chunks (caps the arena at ~16M nodes — far beyond any window).
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// Relaxed is sufficient for fields only mutated under the owning item
+/// lock; the lock's release/acquire edges order them. We use Acquire /
+/// Release anyway: the cost is negligible and it keeps the tree correct
+/// even for the deliberately lock-free backtracking reads.
+const LOAD: Ordering = Ordering::Acquire;
+const STORE: Ordering = Ordering::Release;
+
+#[derive(Debug)]
+struct Node {
+    payload: AtomicU64,
+    parent: AtomicU32,
+    first_child: AtomicU32,
+    next_sib: AtomicU32,
+    prev_sib: AtomicU32,
+    next: AtomicU32,
+    prev: AtomicU32,
+    dead: AtomicBool,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            payload: AtomicU64::new(0),
+            parent: AtomicU32::new(NIL),
+            first_child: AtomicU32::new(NIL),
+            next_sib: AtomicU32::new(NIL),
+            prev_sib: AtomicU32::new(NIL),
+            next: AtomicU32::new(NIL),
+            prev: AtomicU32::new(NIL),
+            dead: AtomicBool::new(false),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct ListHead {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl Default for ListHead {
+    fn default() -> Self {
+        ListHead { head: NIL, tail: NIL, len: 0 }
+    }
+}
+
+/// The concurrent match-store tree.
+pub struct CmsTree {
+    layout: StoreLayout,
+    sub_offsets: Vec<usize>,
+    l0_base: usize,
+    chunks: Vec<OnceLock<Box<[Node]>>>,
+    next_free: AtomicU32,
+    free: Mutex<Vec<u32>>,
+    lists: Vec<Mutex<ListHead>>,
+}
+
+impl CmsTree {
+    /// Creates an empty tree for the layout.
+    pub fn new(layout: StoreLayout) -> CmsTree {
+        let mut sub_offsets = Vec::with_capacity(layout.k());
+        let mut acc = 0;
+        for &len in &layout.sub_lens {
+            sub_offsets.push(acc);
+            acc += len;
+        }
+        let l0_base = acc;
+        let n_items = acc + layout.k().saturating_sub(1);
+        CmsTree {
+            layout,
+            sub_offsets,
+            l0_base,
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+            next_free: AtomicU32::new(0),
+            free: Mutex::new(Vec::new()),
+            lists: (0..n_items).map(|_| Mutex::new(ListHead::default())).collect(),
+        }
+    }
+
+    /// Total number of lockable items (for sizing the [`crate::LockManager`]).
+    pub fn n_items(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Item id of subquery `sub`'s level `level`.
+    #[inline]
+    pub fn sub_item(&self, sub: usize, level: usize) -> usize {
+        debug_assert!(level < self.layout.sub_lens[sub]);
+        self.sub_offsets[sub] + level
+    }
+
+    /// Item id of `L₀`'s item `i` (`1 ≤ i < k`).
+    #[inline]
+    pub fn l0_item(&self, i: usize) -> usize {
+        debug_assert!(i >= 1 && i < self.layout.k());
+        self.l0_base + (i - 1)
+    }
+
+    /// The store layout.
+    pub fn layout(&self) -> &StoreLayout {
+        &self.layout
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node {
+        let chunk = idx as usize / CHUNK;
+        let off = idx as usize % CHUNK;
+        &self.chunks[chunk].get().expect("allocated chunk")[off]
+    }
+
+    fn alloc(&self, payload: u64, parent: u32) -> u32 {
+        let idx = self.free.lock().pop().unwrap_or_else(|| {
+            let idx = self.next_free.fetch_add(1, Ordering::AcqRel);
+            let chunk = idx as usize / CHUNK;
+            assert!(chunk < MAX_CHUNKS, "CmsTree arena exhausted");
+            self.chunks[chunk].get_or_init(|| {
+                (0..CHUNK).map(|_| Node::default()).collect::<Vec<_>>().into_boxed_slice()
+            });
+            idx
+        });
+        let n = self.node(idx);
+        n.payload.store(payload, STORE);
+        n.parent.store(parent, STORE);
+        n.first_child.store(NIL, STORE);
+        n.next_sib.store(NIL, STORE);
+        n.prev_sib.store(NIL, STORE);
+        n.next.store(NIL, STORE);
+        n.prev.store(NIL, STORE);
+        n.dead.store(false, STORE);
+        idx
+    }
+
+    /// Inserts a node under `parent` into `item`'s level list.
+    /// Caller must hold X(`item`).
+    fn insert_node(&self, payload: u64, parent: u64, item: usize) -> u64 {
+        let parent_idx = if parent == u64::MAX { NIL } else { parent as u32 };
+        let idx = self.alloc(payload, parent_idx);
+        if parent_idx != NIL {
+            // Push-front into the parent's child list. Only transactions
+            // holding X(item) touch this parent's child links (children
+            // live in `item`), so this is race-free.
+            let old = self.node(parent_idx).first_child.swap(idx, Ordering::AcqRel);
+            self.node(idx).next_sib.store(old, STORE);
+            if old != NIL {
+                self.node(old).prev_sib.store(idx, STORE);
+            }
+        }
+        let mut list = self.lists[item].lock();
+        if list.tail == NIL {
+            list.head = idx;
+            list.tail = idx;
+        } else {
+            self.node(list.tail).next.store(idx, STORE);
+            self.node(idx).prev.store(list.tail, STORE);
+            list.tail = idx;
+        }
+        list.len += 1;
+        idx as u64
+    }
+
+    /// Inserts a subquery match. Caller holds X(sub_item(sub, level)).
+    pub fn insert_sub(&self, sub: usize, level: usize, parent: u64, edge: EdgeId) -> u64 {
+        self.insert_node(edge.0, parent, self.sub_item(sub, level))
+    }
+
+    /// Inserts an `L₀` row. Caller holds X(l0_item(i)).
+    pub fn insert_l0(&self, i: usize, parent: u64, comp: u64) -> u64 {
+        self.insert_node(comp, parent, self.l0_item(i))
+    }
+
+    /// Iterates subquery matches. Caller holds ≥ S(sub_item(sub, level)).
+    pub fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(u64, &[EdgeId])) {
+        let item = self.sub_item(sub, level);
+        let mut buf = vec![EdgeId(0); level + 1];
+        let mut n = self.lists[item].lock().head;
+        while n != NIL {
+            let mut cur = n;
+            for d in (0..=level).rev() {
+                buf[d] = EdgeId(self.node(cur).payload.load(LOAD));
+                cur = self.node(cur).parent.load(LOAD);
+            }
+            f(n as u64, &buf);
+            n = self.node(n).next.load(LOAD);
+        }
+    }
+
+    /// Iterates `L₀` rows as component handles. Caller holds ≥ S(l0_item(i)).
+    pub fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(u64, &[u64])) {
+        let item = self.l0_item(i);
+        let mut comps = vec![0u64; i + 1];
+        let mut n = self.lists[item].lock().head;
+        while n != NIL {
+            let mut cur = n;
+            for d in (1..=i).rev() {
+                comps[d] = self.node(cur).payload.load(LOAD);
+                cur = self.node(cur).parent.load(LOAD);
+            }
+            comps[0] = cur as u64;
+            f(n as u64, &comps);
+            n = self.node(n).next.load(LOAD);
+        }
+    }
+
+    /// Expands a subquery match handle into its edges (timing order).
+    /// Safe without the item lock for handles obtained under a lock that
+    /// the current transaction has not yet fully "passed" (see module
+    /// docs).
+    pub fn expand_sub(&self, handle: u64, out: &mut Vec<EdgeId>) {
+        let start = out.len();
+        let mut cur = handle as u32;
+        while cur != NIL {
+            out.push(EdgeId(self.node(cur).payload.load(LOAD)));
+            cur = self.node(cur).parent.load(LOAD);
+        }
+        out[start..].reverse();
+    }
+
+    /// Nodes in `item` whose payload equals `value`. Caller holds X(item).
+    pub fn payload_matches(&self, item: usize, value: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut n = self.lists[item].lock().head;
+        while n != NIL {
+            if self.node(n).payload.load(LOAD) == value {
+                out.push(n);
+            }
+            n = self.node(n).next.load(LOAD);
+        }
+        out
+    }
+
+    /// Children of the given nodes (they all live one level deeper —
+    /// including `L₀` level 1 for subquery-0 leaves via the graft).
+    /// Caller holds X on the children's item.
+    pub fn children_of(&self, nodes: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &p in nodes {
+            let mut c = self.node(p).first_child.load(LOAD);
+            while c != NIL {
+                out.push(c);
+                c = self.node(c).next_sib.load(LOAD);
+            }
+        }
+        out
+    }
+
+    /// Partially removes nodes (§V-C): unlink from the level list and from
+    /// the parent's child list; keep payload/parent so older transactions
+    /// can still backtrack. Returns the nodes whose dead flag *this* call
+    /// flipped (concurrent deleters race benignly on shared descendants).
+    /// Caller holds X(`item`).
+    pub fn partial_remove(&self, item: usize, nodes: &[u32]) -> Vec<u32> {
+        let mut removed = Vec::with_capacity(nodes.len());
+        for &idx in nodes {
+            if self.node(idx).dead.swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            removed.push(idx);
+            // Level list.
+            let mut list = self.lists[item].lock();
+            let prev = self.node(idx).prev.load(LOAD);
+            let next = self.node(idx).next.load(LOAD);
+            if prev != NIL {
+                self.node(prev).next.store(next, STORE);
+            } else {
+                list.head = next;
+            }
+            if next != NIL {
+                self.node(next).prev.store(prev, STORE);
+            } else {
+                list.tail = prev;
+            }
+            list.len -= 1;
+            drop(list);
+            // Parent's child list (the links live at this item's level).
+            let parent = self.node(idx).parent.load(LOAD);
+            if parent != NIL {
+                let prev_sib = self.node(idx).prev_sib.load(LOAD);
+                let next_sib = self.node(idx).next_sib.load(LOAD);
+                if prev_sib != NIL {
+                    self.node(prev_sib).next_sib.store(next_sib, STORE);
+                } else if self.node(parent).first_child.load(LOAD) == idx {
+                    self.node(parent).first_child.store(next_sib, STORE);
+                }
+                if next_sib != NIL {
+                    self.node(next_sib).prev_sib.store(prev_sib, STORE);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Returns partially removed nodes to the free list. Only call after
+    /// the removing transaction has finished its complete level pass
+    /// (Theorem 6's "finally remove").
+    pub fn reclaim(&self, nodes: &[u32]) {
+        if nodes.is_empty() {
+            return;
+        }
+        self.free.lock().extend_from_slice(nodes);
+    }
+
+    /// Number of live matches in a subquery item.
+    pub fn len_sub(&self, sub: usize, level: usize) -> usize {
+        self.lists[self.sub_item(sub, level)].lock().len
+    }
+
+    /// Number of live rows in an `L₀` item.
+    pub fn len_l0(&self, i: usize) -> usize {
+        self.lists[self.l0_item(i)].lock().len
+    }
+
+    /// Approximate bytes held.
+    pub fn space_bytes(&self) -> usize {
+        let allocated = self.next_free.load(LOAD) as usize;
+        let free = self.free.lock().len();
+        (allocated - free) * std::mem::size_of::<Node>()
+            + self.lists.len() * std::mem::size_of::<Mutex<ListHead>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StoreLayout {
+        StoreLayout { sub_lens: vec![3, 2] }
+    }
+
+    #[test]
+    fn serial_roundtrip() {
+        let t = CmsTree::new(layout());
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
+        let b = t.insert_sub(0, 1, a, EdgeId(2));
+        let c = t.insert_sub(0, 2, b, EdgeId(3));
+        assert_eq!(t.len_sub(0, 2), 1);
+        let mut got = Vec::new();
+        t.for_each_sub(0, 2, &mut |h, edges| {
+            assert_eq!(h, c);
+            got = edges.to_vec();
+        });
+        assert_eq!(got, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
+        let mut out = Vec::new();
+        t.expand_sub(c, &mut out);
+        assert_eq!(out, vec![EdgeId(1), EdgeId(2), EdgeId(3)]);
+    }
+
+    #[test]
+    fn l0_graft_components() {
+        let t = CmsTree::new(layout());
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
+        let b = t.insert_sub(0, 1, a, EdgeId(2));
+        let c0 = t.insert_sub(0, 2, b, EdgeId(3));
+        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10));
+        let c1 = t.insert_sub(1, 1, x, EdgeId(11));
+        t.insert_l0(1, c0, c1);
+        let mut rows = Vec::new();
+        t.for_each_l0(1, &mut |_, comps| rows.push(comps.to_vec()));
+        assert_eq!(rows, vec![vec![c0, c1]]);
+    }
+
+    #[test]
+    fn partial_remove_keeps_backtracking_alive() {
+        let t = CmsTree::new(layout());
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
+        let b = t.insert_sub(0, 1, a, EdgeId(2));
+        // Partially remove the level-0 node: it leaves the level list but
+        // the child keeps its parent pointer and stays expandable — the
+        // property Theorem 6 relies on.
+        let removed = t.partial_remove(t.sub_item(0, 0), &[a as u32]);
+        assert_eq!(removed, vec![a as u32]);
+        assert_eq!(t.len_sub(0, 0), 0);
+        let mut out = Vec::new();
+        t.expand_sub(b, &mut out);
+        assert_eq!(out, vec![EdgeId(1), EdgeId(2)], "backtracking through the dead node");
+        // Children of the dead node remain discoverable for the next pass.
+        let kids = t.children_of(&removed);
+        assert_eq!(kids, vec![b as u32]);
+        // Second remove of the same node is a no-op (dead flag).
+        assert!(t.partial_remove(t.sub_item(0, 0), &[a as u32]).is_empty());
+    }
+
+    #[test]
+    fn full_delete_pass_and_reclaim() {
+        let t = CmsTree::new(layout());
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
+        let b = t.insert_sub(0, 1, a, EdgeId(2));
+        t.insert_sub(0, 2, b, EdgeId(3));
+        t.insert_sub(0, 2, b, EdgeId(4));
+        // Level pass for expiring edge 1.
+        let mut all = Vec::new();
+        let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 1));
+        all.extend_from_slice(&l0);
+        let l1 = t.partial_remove(t.sub_item(0, 1), &t.children_of(&l0));
+        all.extend_from_slice(&l1);
+        let l2 = t.partial_remove(t.sub_item(0, 2), &t.children_of(&l1));
+        all.extend_from_slice(&l2);
+        assert_eq!(all.len(), 4);
+        assert_eq!(t.len_sub(0, 2), 0);
+        t.reclaim(&all);
+        // Reuse: allocate 4 nodes without growing the arena.
+        let before = t.next_free.load(Ordering::Acquire);
+        let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(9));
+        let b2 = t.insert_sub(0, 1, a2, EdgeId(10));
+        t.insert_sub(0, 2, b2, EdgeId(11));
+        t.insert_sub(0, 2, b2, EdgeId(12));
+        assert_eq!(t.next_free.load(Ordering::Acquire), before);
+    }
+
+    #[test]
+    fn concurrent_inserts_into_distinct_items() {
+        // Hammer the allocator and distinct level lists from many threads;
+        // this is the allocation path that must be thread-safe on its own
+        // (list mutations are serialized by item locks in the real engine,
+        // so here each thread owns one item).
+        let t = std::sync::Arc::new(CmsTree::new(StoreLayout { sub_lens: vec![1, 1, 1, 1] }));
+        let mut handles = Vec::new();
+        for sub in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    t.insert_sub(sub, 0, u64::MAX, EdgeId(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for sub in 0..4 {
+            assert_eq!(t.len_sub(sub, 0), 1000);
+        }
+        assert_eq!(t.next_free.load(Ordering::Acquire), 4000);
+    }
+
+    #[test]
+    fn arena_crosses_chunk_boundaries() {
+        let t = CmsTree::new(StoreLayout { sub_lens: vec![1] });
+        for i in 0..(CHUNK as u64 + 10) {
+            t.insert_sub(0, 0, u64::MAX, EdgeId(i));
+        }
+        assert_eq!(t.len_sub(0, 0), CHUNK + 10);
+        // Everything is still reachable via the level list.
+        let mut count = 0;
+        t.for_each_sub(0, 0, &mut |_, _| count += 1);
+        assert_eq!(count, CHUNK + 10);
+    }
+}

@@ -1,0 +1,940 @@
+//! The concurrent streaming engine (§V, Algorithm 3).
+//!
+//! A single **dispatcher** (the main thread) walks the stream in timestamp
+//! order. For every window event it creates deletion transactions for the
+//! expired edges followed by an insertion transaction for the arrival,
+//! appends each transaction's *predicted lock requests* to the item
+//! wait-lists ([`crate::lock::LockManager::dispatch`]) and hands the
+//! transaction to a pool of `N` workers. Prediction assumes the worst case
+//! (every conditional join succeeds); requests for work that evaporates
+//! are cancelled so younger transactions are not stranded.
+//!
+//! The per-query-edge lock sequence reproduces Figure 13 exactly — e.g. an
+//! edge matching the last edge of `Q^1` in the running example requests
+//! `S(L₁²) X(L₁³) S(L₂²) X(L₀²) S(L₃¹) X(L₀³)`, and `L₀¹` is never
+//! requested because it aliases `L₁³` (tested below).
+//!
+//! [`LockingMode::AllLocks`] implements the paper's comparison baseline:
+//! the transaction acquires *all* its locks before doing any work, which
+//! serializes nearly everything (the flat ≈1.2× speedup of Figures 19/20).
+
+use crate::cmstree::CmsTree;
+use crate::lock::{LockManager, Mode, TxnId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tcs_core::binding::PartialAssignment;
+use tcs_core::plan::QueryPlan;
+use tcs_core::store::StoreLayout;
+use tcs_graph::window::SlidingWindow;
+use tcs_graph::{EdgeId, MatchRecord, StreamEdge};
+
+/// Locking strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockingMode {
+    /// The paper's fine-grained scheme: one item lock at a time,
+    /// acquired/released around each elementary operation ("Timing-N").
+    FineGrained,
+    /// Acquire every (deduplicated) lock before starting ("All-locks-N").
+    AllLocks,
+}
+
+/// Outcome of a concurrent run.
+#[derive(Clone, Debug)]
+pub struct ConcurrentResult {
+    /// All complete matches, ordered by the transaction (= arrival) that
+    /// produced them.
+    pub matches: Vec<MatchRecord>,
+    /// Wall-clock time of the run (dispatch + processing).
+    pub elapsed: Duration,
+    /// Number of transactions executed (insertions + deletions).
+    pub transactions: u64,
+}
+
+/// The concurrent engine. Owns the shared state; `run` processes a whole
+/// stream.
+pub struct ConcurrentEngine {
+    shared: Arc<Shared>,
+    n_threads: usize,
+}
+
+struct Shared {
+    plan: QueryPlan,
+    tree: CmsTree,
+    locks: LockManager,
+    live: RwLock<HashMap<EdgeId, StreamEdge>>,
+    results: Mutex<Vec<(TxnId, Vec<MatchRecord>)>>,
+    mode: LockingMode,
+}
+
+enum TxnKind {
+    Ins(StreamEdge),
+    Del(StreamEdge),
+}
+
+struct Txn {
+    id: TxnId,
+    kind: TxnKind,
+    reqs: Vec<(usize, Mode)>,
+}
+
+impl ConcurrentEngine {
+    /// Creates an engine with `n_threads` workers.
+    pub fn new(plan: QueryPlan, n_threads: usize, mode: LockingMode) -> ConcurrentEngine {
+        assert!(n_threads >= 1);
+        let tree = CmsTree::new(StoreLayout { sub_lens: plan.sub_lens() });
+        let locks = LockManager::new(tree.n_items());
+        ConcurrentEngine {
+            shared: Arc::new(Shared {
+                plan,
+                tree,
+                locks,
+                live: RwLock::new(HashMap::new()),
+                results: Mutex::new(Vec::new()),
+                mode,
+            }),
+            n_threads,
+        }
+    }
+
+    /// Number of live complete matches (after `run`).
+    pub fn live_match_count(&self) -> usize {
+        let k = self.shared.plan.k();
+        if k == 1 {
+            self.shared
+                .tree
+                .len_sub(0, self.shared.plan.subs[0].len() - 1)
+        } else {
+            self.shared.tree.len_l0(k - 1)
+        }
+    }
+
+    /// Bytes held by the tree.
+    pub fn space_bytes(&self) -> usize {
+        self.shared.tree.space_bytes()
+    }
+
+    /// Processes the whole stream under a window of the given duration.
+    pub fn run(&mut self, stream: &[StreamEdge], window: u64) -> ConcurrentResult {
+        self.run_budgeted(stream, window, None)
+    }
+
+    /// Like [`ConcurrentEngine::run`], but stops dispatching new
+    /// transactions once `budget` elapses (in-flight transactions drain).
+    /// Benchmarks compare *rates* (`transactions / elapsed`) under equal
+    /// budgets; correctness tests use the unbudgeted [`ConcurrentEngine::run`].
+    pub fn run_budgeted(
+        &mut self,
+        stream: &[StreamEdge],
+        window: u64,
+        budget: Option<Duration>,
+    ) -> ConcurrentResult {
+        let start = Instant::now();
+        let shared = &self.shared;
+        let (tx, rx) = crossbeam::channel::bounded::<Txn>(self.n_threads * 4);
+        let mut transactions = 0u64;
+        crossbeam::scope(|scope| {
+            for _ in 0..self.n_threads {
+                let rx = rx.clone();
+                let shared = Arc::clone(shared);
+                scope.spawn(move |_| {
+                    while let Ok(txn) = rx.recv() {
+                        run_txn(&shared, txn);
+                    }
+                });
+            }
+            drop(rx);
+            let mut w = SlidingWindow::new(window);
+            let mut next_id: TxnId = 0;
+            for (i, &e) in stream.iter().enumerate() {
+                if let Some(b) = budget {
+                    if i % 16 == 0 && start.elapsed() > b {
+                        break;
+                    }
+                }
+                let ev = w.advance(e);
+                for expired in &ev.expired {
+                    if let Some(txn) = make_del_txn(shared, next_id, *expired) {
+                        next_id += 1;
+                        transactions += 1;
+                        shared.locks.dispatch(txn.id, &txn.reqs);
+                        tx.send(txn).expect("workers alive");
+                    }
+                }
+                if let Some(txn) = make_ins_txn(shared, next_id, ev.arrival) {
+                    next_id += 1;
+                    transactions += 1;
+                    shared.live.write().insert(ev.arrival.id, ev.arrival);
+                    shared.locks.dispatch(txn.id, &txn.reqs);
+                    tx.send(txn).expect("workers alive");
+                }
+            }
+            drop(tx);
+        })
+        .expect("no worker panicked");
+        let mut results = shared.results.lock();
+        results.sort_by_key(|&(id, _)| id);
+        let matches = results.drain(..).flat_map(|(_, ms)| ms).collect();
+        ConcurrentResult {
+            matches,
+            elapsed: start.elapsed(),
+            transactions,
+        }
+    }
+}
+
+/// Candidate query edges of an arrival, shape-filtered — the *same*
+/// deterministic order the runner walks.
+fn shaped_candidates(plan: &QueryPlan, e: &StreamEdge) -> Vec<usize> {
+    plan.candidates(e.signature())
+        .iter()
+        .copied()
+        .filter(|&qe| {
+            let q_edge = plan.query.edges[qe];
+            (q_edge.src == q_edge.dst) == (e.src == e.dst)
+        })
+        .collect()
+}
+
+/// The lock sequence for one matched query edge (Figure 13's recipe).
+fn qe_lock_ops(plan: &QueryPlan, tree: &CmsTree, qe: usize) -> Vec<(usize, Mode)> {
+    let (i, j) = plan.pos[qe];
+    let k = plan.k();
+    let len = plan.subs[i].len();
+    let leaf_item = |m: usize| tree.sub_item(m, plan.subs[m].len() - 1);
+    let mut ops = Vec::new();
+    if j == 0 {
+        ops.push((tree.sub_item(i, 0), Mode::X));
+    } else {
+        ops.push((tree.sub_item(i, j - 1), Mode::S));
+        ops.push((tree.sub_item(i, j), Mode::X));
+    }
+    if j == len - 1 && k > 1 {
+        if i == 0 {
+            for m in 1..k {
+                ops.push((leaf_item(m), Mode::S));
+                ops.push((tree.l0_item(m), Mode::X));
+            }
+        } else {
+            if i == 1 {
+                // L₀'s first item aliases Q^1's last item (Figure 13).
+                ops.push((leaf_item(0), Mode::S));
+            } else {
+                ops.push((tree.l0_item(i - 1), Mode::S));
+            }
+            ops.push((tree.l0_item(i), Mode::X));
+            for m in i + 1..k {
+                ops.push((leaf_item(m), Mode::S));
+                ops.push((tree.l0_item(m), Mode::X));
+            }
+        }
+    }
+    ops
+}
+
+fn make_ins_txn(shared: &Shared, id: TxnId, e: StreamEdge) -> Option<Txn> {
+    let qes = shaped_candidates(&shared.plan, &e);
+    if qes.is_empty() {
+        return None;
+    }
+    let mut reqs = Vec::new();
+    for &qe in &qes {
+        reqs.extend(qe_lock_ops(&shared.plan, &shared.tree, qe));
+    }
+    if shared.mode == LockingMode::AllLocks {
+        reqs = dedupe_strongest(reqs);
+    }
+    Some(Txn { id, kind: TxnKind::Ins(e), reqs })
+}
+
+fn make_del_txn(shared: &Shared, id: TxnId, e: StreamEdge) -> Option<Txn> {
+    let qes = shaped_candidates(&shared.plan, &e);
+    if qes.is_empty() {
+        return None;
+    }
+    let plan = &shared.plan;
+    let tree = &shared.tree;
+    // Affected subqueries with their minimum match position.
+    let mut min_pos: HashMap<usize, usize> = HashMap::new();
+    for &qe in &qes {
+        let (i, j) = plan.pos[qe];
+        let entry = min_pos.entry(i).or_insert(j);
+        *entry = (*entry).min(j);
+    }
+    let mut subs: Vec<(usize, usize)> = min_pos.into_iter().collect();
+    subs.sort_unstable();
+    let mut reqs = Vec::new();
+    for &(sub, min_level) in &subs {
+        for level in min_level..plan.subs[sub].len() {
+            reqs.push((tree.sub_item(sub, level), Mode::X));
+        }
+    }
+    if plan.k() > 1 {
+        for m in 1..plan.k() {
+            reqs.push((tree.l0_item(m), Mode::X));
+        }
+    }
+    if shared.mode == LockingMode::AllLocks {
+        reqs = dedupe_strongest(reqs);
+    }
+    Some(Txn { id, kind: TxnKind::Del(e), reqs })
+}
+
+fn dedupe_strongest(reqs: Vec<(usize, Mode)>) -> Vec<(usize, Mode)> {
+    let mut out: Vec<(usize, Mode)> = Vec::new();
+    for (item, mode) in reqs {
+        if let Some(existing) = out.iter_mut().find(|(i, _)| *i == item) {
+            if mode == Mode::X {
+                existing.1 = Mode::X;
+            }
+        } else {
+            out.push((item, mode));
+        }
+    }
+    out
+}
+
+/// Walks a transaction's predicted request list: acquire in order, cancel
+/// abandoned suffixes. In All-locks mode every lock is pre-acquired and
+/// the per-op calls are no-ops.
+struct OpCtx<'a> {
+    locks: &'a LockManager,
+    txn: TxnId,
+    reqs: &'a [(usize, Mode)],
+    pos: usize,
+    fine: bool,
+}
+
+/// A held elementary-operation lock (no-op wrapper in All-locks mode).
+struct OpGuard<'a> {
+    locks: &'a LockManager,
+    txn: TxnId,
+    item: usize,
+    fine: bool,
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        if self.fine {
+            self.locks.release(self.item, self.txn);
+        }
+    }
+}
+
+impl<'a> OpCtx<'a> {
+    /// Acquires the next predicted request; asserts it matches the
+    /// runner's expectation (predictor and runner must stay in lockstep).
+    /// In All-locks mode the request list is deduplicated and every lock is
+    /// pre-held, so the guard is a no-op and the list is not consulted.
+    fn acquire(&mut self, expect_item: usize, expect_mode: Mode) -> OpGuard<'a> {
+        if !self.fine {
+            return OpGuard { locks: self.locks, txn: self.txn, item: expect_item, fine: false };
+        }
+        let (item, mode) = self.reqs[self.pos];
+        debug_assert_eq!((item, mode), (expect_item, expect_mode), "lock plan desync");
+        let _ = expect_mode;
+        self.pos += 1;
+        self.locks.acquire(item, self.txn, mode);
+        OpGuard { locks: self.locks, txn: self.txn, item, fine: self.fine }
+    }
+
+    /// Cancels the next `n` predicted requests.
+    fn cancel_n(&mut self, n: usize) {
+        for _ in 0..n {
+            let (item, mode) = self.reqs[self.pos];
+            self.pos += 1;
+            if self.fine {
+                self.locks.cancel(item, self.txn, mode);
+            }
+        }
+    }
+}
+
+fn run_txn(shared: &Shared, txn: Txn) {
+    // All-locks: take everything up front, in dispatch order (deadlock-free
+    // because wait-lists are chronological).
+    let mut preheld = Vec::new();
+    if shared.mode == LockingMode::AllLocks {
+        for &(item, mode) in &txn.reqs {
+            shared.locks.acquire(item, txn.id, mode);
+            preheld.push(item);
+        }
+    }
+    match txn.kind {
+        TxnKind::Ins(e) => run_ins(shared, txn.id, e, &txn.reqs),
+        TxnKind::Del(e) => run_del(shared, txn.id, e, &txn.reqs),
+    }
+    for item in preheld {
+        shared.locks.release(item, txn.id);
+    }
+}
+
+fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]) {
+    let plan = &shared.plan;
+    let tree = &shared.tree;
+    let fine = shared.mode == LockingMode::FineGrained;
+    let mut ctx = OpCtx { locks: &shared.locks, txn: id, reqs, pos: 0, fine };
+    let k = plan.k();
+    let mut emitted: Vec<MatchRecord> = Vec::new();
+
+    for qe in shaped_candidates(plan, &sigma) {
+        let ops = qe_lock_ops(plan, tree, qe);
+        let group_start = ctx.pos;
+        let group_len = if fine { ops.len() } else { 0 };
+        let _ = group_len;
+        let (i, j) = plan.pos[qe];
+        let len = plan.subs[i].len();
+        let seq = &plan.subs[i].seq;
+
+        // --- subquery stage ---
+        let new_nodes: Vec<u64> = if j == 0 {
+            let g = ctx.acquire(tree.sub_item(i, 0), Mode::X);
+            let h = tree.insert_sub(i, 0, u64::MAX, sigma.id);
+            drop(g);
+            vec![h]
+        } else {
+            let mut parents = Vec::new();
+            {
+                let g = ctx.acquire(tree.sub_item(i, j - 1), Mode::S);
+                let live = shared.live.read();
+                let sigma_side = PartialAssignment::new(vec![(qe, sigma)]);
+                tree.for_each_sub(i, j - 1, &mut |h, edges| {
+                    let last = live[&edges[j - 1]];
+                    if last.ts >= sigma.ts {
+                        return;
+                    }
+                    let prefix = PartialAssignment::new(
+                        edges
+                            .iter()
+                            .enumerate()
+                            .map(|(lvl, eid)| (seq[lvl], live[eid]))
+                            .collect(),
+                    );
+                    if prefix.compatible_with(&plan.query, &sigma_side) {
+                        parents.push(h);
+                    }
+                });
+                drop(g);
+            }
+            if parents.is_empty() {
+                // Abandon: cancel X(level j) and the whole propagation.
+                if fine {
+                    let remaining = ops.len() - (ctx.pos - group_start);
+                    ctx.cancel_n(remaining);
+                } else {
+                    ctx.pos = group_start + ops.len();
+                }
+                continue;
+            }
+            let g = ctx.acquire(tree.sub_item(i, j), Mode::X);
+            let nodes = parents
+                .into_iter()
+                .map(|p| tree.insert_sub(i, j, p, sigma.id))
+                .collect();
+            drop(g);
+            nodes
+        };
+
+        if j != len - 1 || k == 1 {
+            if j == len - 1 && k == 1 {
+                // Complete matches of a TC-query: report directly.
+                let live = shared.live.read();
+                for &h in &new_nodes {
+                    emitted.push(record_of(shared, &live, &[h]));
+                }
+            }
+            continue;
+        }
+
+        // --- propagation through L₀ (Algorithm 1 lines 11–24) ---
+        // entries: (handle for parenting, components, merged assignment)
+        let mut cur: usize;
+        let mut entries: Vec<(u64, Vec<u64>, PartialAssignment)>;
+        if i == 0 {
+            cur = 0;
+            let live = shared.live.read();
+            entries = new_nodes
+                .iter()
+                .map(|&h| {
+                    let a = expand_assignment(shared, &live, 0, h);
+                    (h, vec![h], a)
+                })
+                .collect();
+        } else {
+            // S(Ω(L₀^{i-1})) then X(L₀^i).
+            let delta_sides: Vec<(u64, PartialAssignment)> = {
+                let live = shared.live.read();
+                new_nodes
+                    .iter()
+                    .map(|&h| (h, expand_assignment(shared, &live, i, h)))
+                    .collect()
+            };
+            let rows = {
+                let read_item = if i == 1 {
+                    tree.sub_item(0, plan.subs[0].len() - 1)
+                } else {
+                    tree.l0_item(i - 1)
+                };
+                let g = ctx.acquire(read_item, Mode::S);
+                let rows = read_l0_rows(shared, i - 1);
+                drop(g);
+                rows
+            };
+            let mut pairs = Vec::new();
+            for (ph, comps, row_side) in &rows {
+                for (dh, d_side) in &delta_sides {
+                    if row_side.compatible_with(&plan.query, d_side) {
+                        pairs.push((*ph, comps.clone(), row_side.clone(), *dh, d_side.clone()));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                if fine {
+                    let remaining = ops.len() - (ctx.pos - group_start);
+                    ctx.cancel_n(remaining);
+                } else {
+                    ctx.pos = group_start + ops.len();
+                }
+                continue;
+            }
+            let g = ctx.acquire(tree.l0_item(i), Mode::X);
+            entries = pairs
+                .into_iter()
+                .map(|(ph, mut comps, mut side, dh, d_side)| {
+                    let nh = tree.insert_l0(i, ph, dh);
+                    comps.push(dh);
+                    side.edges.extend_from_slice(&d_side.edges);
+                    (nh, comps, side)
+                })
+                .collect();
+            // The last subquery completed: these rows are complete query
+            // matches — report under the final X guard.
+            if i == k - 1 {
+                let live = shared.live.read();
+                for (_, comps, _) in &entries {
+                    emitted.push(record_of(shared, &live, comps));
+                }
+            }
+            drop(g);
+            cur = i;
+        }
+        // Extend rightwards.
+        while cur < k - 1 {
+            let next_sub = cur + 1;
+            let leaves = {
+                let g = ctx.acquire(
+                    tree.sub_item(next_sub, plan.subs[next_sub].len() - 1),
+                    Mode::S,
+                );
+                let leaves = read_leaves(shared, next_sub);
+                drop(g);
+                leaves
+            };
+            let mut pairs = Vec::new();
+            for (ph, comps, side) in &entries {
+                for (lh, leaf_side) in &leaves {
+                    if side.compatible_with(&plan.query, leaf_side) {
+                        pairs.push((*ph, comps.clone(), side.clone(), *lh, leaf_side.clone()));
+                    }
+                }
+            }
+            if pairs.is_empty() {
+                entries.clear();
+                if fine {
+                    let remaining = ops.len() - (ctx.pos - group_start);
+                    ctx.cancel_n(remaining);
+                } else {
+                    ctx.pos = group_start + ops.len();
+                }
+                break;
+            }
+            let g = ctx.acquire(tree.l0_item(next_sub), Mode::X);
+            entries = pairs
+                .into_iter()
+                .map(|(ph, mut comps, mut side, lh, leaf_side)| {
+                    let nh = tree.insert_l0(next_sub, ph, lh);
+                    comps.push(lh);
+                    side.edges.extend_from_slice(&leaf_side.edges);
+                    (nh, comps, side)
+                })
+                .collect();
+            // Report under the final X guard so expansions stay protected.
+            if next_sub == k - 1 {
+                let live = shared.live.read();
+                for (_, comps, _) in &entries {
+                    emitted.push(record_of(shared, &live, comps));
+                }
+            }
+            drop(g);
+            cur = next_sub;
+        }
+    }
+    if !emitted.is_empty() {
+        shared.results.lock().push((id, emitted));
+    }
+}
+
+fn run_del(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]) {
+    let plan = &shared.plan;
+    let tree = &shared.tree;
+    let fine = shared.mode == LockingMode::FineGrained;
+    let mut ctx = OpCtx { locks: &shared.locks, txn: id, reqs, pos: 0, fine };
+    let k = plan.k();
+
+    let qes = shaped_candidates(plan, &sigma);
+    let mut min_pos: HashMap<usize, usize> = HashMap::new();
+    let mut match_positions: HashSet<(usize, usize)> = HashSet::new();
+    for &qe in &qes {
+        let (i, j) = plan.pos[qe];
+        let entry = min_pos.entry(i).or_insert(j);
+        *entry = (*entry).min(j);
+        match_positions.insert((i, j));
+    }
+    let mut subs: Vec<(usize, usize)> = min_pos.into_iter().collect();
+    subs.sort_unstable();
+
+    let mut all_marked: Vec<u32> = Vec::new();
+    let mut dead_leaves: Vec<HashSet<u64>> = vec![HashSet::new(); k];
+    let mut sub0_dead_leaves: Vec<u32> = Vec::new();
+
+    for &(sub, min_level) in &subs {
+        let len = plan.subs[sub].len();
+        let mut prev: Vec<u32> = Vec::new();
+        for level in min_level..len {
+            // Early break: nothing left to cascade and no payload position
+            // at this level or beyond.
+            let payload_here_or_later =
+                (level..len).any(|l| match_positions.contains(&(sub, l)));
+            if prev.is_empty() && !payload_here_or_later {
+                if fine {
+                    ctx.cancel_n(len - level);
+                } else {
+                    ctx.pos += len - level;
+                }
+                break;
+            }
+            let item = tree.sub_item(sub, level);
+            let g = ctx.acquire(item, Mode::X);
+            let mut cands = tree.children_of(&prev);
+            if match_positions.contains(&(sub, level)) {
+                cands.extend(tree.payload_matches(item, sigma.id.0));
+            }
+            let removed = tree.partial_remove(item, &cands);
+            drop(g);
+            if level == len - 1 {
+                if sub == 0 {
+                    sub0_dead_leaves.extend_from_slice(&removed);
+                } else {
+                    dead_leaves[sub].extend(removed.iter().map(|&n| n as u64));
+                }
+            }
+            all_marked.extend_from_slice(&removed);
+            prev = removed;
+        }
+    }
+
+    if k > 1 {
+        let any_leaf_dead =
+            !sub0_dead_leaves.is_empty() || dead_leaves.iter().any(|s| !s.is_empty());
+        if !any_leaf_dead {
+            if fine {
+                ctx.cancel_n(k - 1);
+            }
+        } else {
+            let mut prev: Vec<u32> = sub0_dead_leaves;
+            for m in 1..k {
+                let later_dead = (m..k).any(|x| !dead_leaves[x].is_empty());
+                if prev.is_empty() && !later_dead {
+                    if fine {
+                        ctx.cancel_n(k - m);
+                    }
+                    break;
+                }
+                let item = tree.l0_item(m);
+                let g = ctx.acquire(item, Mode::X);
+                let mut cands = tree.children_of(&prev);
+                if !dead_leaves[m].is_empty() {
+                    let mut n_scan = Vec::new();
+                    tree.for_each_l0(m, &mut |h, comps| {
+                        if dead_leaves[m].contains(&comps[m]) {
+                            n_scan.push(h as u32);
+                        }
+                    });
+                    cands.extend(n_scan);
+                }
+                let removed = tree.partial_remove(item, &cands);
+                drop(g);
+                all_marked.extend_from_slice(&removed);
+                prev = removed;
+            }
+        }
+    }
+
+    // "Finally remove": every older transaction has passed (Theorem 6).
+    tree.reclaim(&all_marked);
+    shared.live.write().remove(&sigma.id);
+}
+
+/// Expands a complete subquery match into an assignment. Caller must hold
+/// a lock ordering-protected position (see module docs of `cmstree`).
+fn expand_assignment(
+    shared: &Shared,
+    live: &HashMap<EdgeId, StreamEdge>,
+    sub: usize,
+    handle: u64,
+) -> PartialAssignment {
+    let mut ids = Vec::new();
+    shared.tree.expand_sub(handle, &mut ids);
+    let seq = &shared.plan.subs[sub].seq;
+    PartialAssignment::new(
+        ids.iter()
+            .enumerate()
+            .map(|(lvl, id)| (seq[lvl], live[id]))
+            .collect(),
+    )
+}
+
+/// Reads `Ω(L₀^m)` rows with expansions; `m == 0` is the aliased
+/// subquery-0 leaf item. Caller holds ≥ S on the corresponding item.
+fn read_l0_rows(shared: &Shared, m: usize) -> Vec<(u64, Vec<u64>, PartialAssignment)> {
+    let live = shared.live.read();
+    let mut rows = Vec::new();
+    if m == 0 {
+        let last = shared.plan.subs[0].len() - 1;
+        let seq = &shared.plan.subs[0].seq;
+        shared.tree.for_each_sub(0, last, &mut |h, edges| {
+            let side = PartialAssignment::new(
+                edges
+                    .iter()
+                    .enumerate()
+                    .map(|(lvl, id)| (seq[lvl], live[id]))
+                    .collect(),
+            );
+            rows.push((h, vec![h], side));
+        });
+    } else {
+        let mut raw = Vec::new();
+        shared
+            .tree
+            .for_each_l0(m, &mut |h, comps| raw.push((h, comps.to_vec())));
+        for (h, comps) in raw {
+            let mut merged = PartialAssignment::default();
+            for (sub, &c) in comps.iter().enumerate() {
+                merged
+                    .edges
+                    .extend_from_slice(&expand_assignment(shared, &live, sub, c).edges);
+            }
+            rows.push((h, comps, merged));
+        }
+    }
+    rows
+}
+
+/// Reads complete matches of subquery `sub`. Caller holds ≥ S on its leaf
+/// item.
+fn read_leaves(shared: &Shared, sub: usize) -> Vec<(u64, PartialAssignment)> {
+    let live = shared.live.read();
+    let seq = &shared.plan.subs[sub].seq;
+    let last = seq.len() - 1;
+    let mut out = Vec::new();
+    shared.tree.for_each_sub(sub, last, &mut |h, edges| {
+        let side = PartialAssignment::new(
+            edges
+                .iter()
+                .enumerate()
+                .map(|(lvl, id)| (seq[lvl], live[id]))
+                .collect(),
+        );
+        out.push((h, side));
+    });
+    out
+}
+
+/// Builds the reported record from component handles.
+fn record_of(shared: &Shared, live: &HashMap<EdgeId, StreamEdge>, comps: &[u64]) -> MatchRecord {
+    let n = shared.plan.query.n_edges();
+    let mut edges = vec![EdgeId(u64::MAX); n];
+    for (sub, &c) in comps.iter().enumerate() {
+        let mut ids = Vec::new();
+        shared.tree.expand_sub(c, &mut ids);
+        for (lvl, id) in ids.into_iter().enumerate() {
+            edges[shared.plan.subs[sub].seq[lvl]] = id;
+        }
+    }
+    let rec = MatchRecord::from(edges);
+    debug_assert_eq!(
+        rec.verify(&shared.plan.query, |id| live.get(&id)),
+        Ok(()),
+        "concurrent engine emitted an invalid match"
+    );
+    rec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_core::plan::PlanOptions;
+    use tcs_core::{MsTreeStore, TimingEngine};
+    use tcs_graph::QueryGraph;
+
+    fn serial_matches(q: &QueryGraph, stream: &[StreamEdge], window: u64) -> Vec<MatchRecord> {
+        let mut eng: TimingEngine<MsTreeStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut w = SlidingWindow::new(window);
+        let mut out = Vec::new();
+        for &e in stream {
+            out.extend(eng.advance(&w.advance(e)));
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn figure13_lock_sequence_for_sigma14() {
+        // σ14 matches ε4 — the last edge of Q^1 = {ε6, ε5, ε4}. Expected:
+        // S(L₁²) X(L₁³) S(L₂²) X(L₀²) S(L₃¹) X(L₀³); never L₀¹.
+        let q = QueryGraph::running_example();
+        let plan = QueryPlan::build(q, PlanOptions::timing());
+        let tree = CmsTree::new(StoreLayout { sub_lens: plan.sub_lens() });
+        // Identify which of our subs is the 3-edge Q¹ (it is join-position
+        // dependent); find ε4 = edge index 3.
+        let (i, j) = plan.pos[3];
+        assert_eq!(j, plan.subs[i].len() - 1, "ε4 is the last of its seq");
+        let ops = qe_lock_ops(&plan, &tree, 3);
+        let modes: Vec<Mode> = ops.iter().map(|&(_, m)| m).collect();
+        assert!(modes.chunks(2).all(|c| c == [Mode::S, Mode::X]));
+        // When Q¹ completes (i == 0) there is no separate L₀¹ request.
+        if i == 0 {
+            assert_eq!(ops.len(), 2 + 2 * (plan.k() - 1));
+            let x_targets: Vec<usize> =
+                ops.iter().filter(|&&(_, m)| m == Mode::X).map(|&(it, _)| it).collect();
+            // X targets: the subquery's own leaf + L₀ items 1..k, never an
+            // "L₀ item 0".
+            assert_eq!(x_targets[0], tree.sub_item(i, j));
+            for (idx, &t) in x_targets[1..].iter().enumerate() {
+                assert_eq!(t, tree.l0_item(idx + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_query_lock_plan() {
+        // σ matching the only edge of a singleton subquery in a k=3 plan
+        // mirrors Ins(σ13): X(own item), S(L₀ prev), X(L₀ own), …
+        let q = QueryGraph::running_example();
+        let plan = QueryPlan::build(q, PlanOptions::timing());
+        let tree = CmsTree::new(StoreLayout { sub_lens: plan.sub_lens() });
+        // ε2 = edge index 1 is the singleton Q³ in the paper's
+        // decomposition.
+        let (i, j) = plan.pos[1];
+        assert_eq!(plan.subs[i].len(), 1);
+        assert_eq!(j, 0);
+        let ops = qe_lock_ops(&plan, &tree, 1);
+        assert_eq!(ops[0], (tree.sub_item(i, 0), Mode::X));
+        if i > 0 {
+            let expect_read = if i == 1 {
+                tree.sub_item(0, plan.subs[0].len() - 1)
+            } else {
+                tree.l0_item(i - 1)
+            };
+            assert_eq!(ops[1], (expect_read, Mode::S));
+            assert_eq!(ops[2], (tree.l0_item(i), Mode::X));
+        }
+    }
+
+    #[test]
+    fn concurrent_equals_serial_running_example() {
+        let q = QueryGraph::running_example();
+        let edges = vec![
+            StreamEdge::new(1, 7, 4, 8, 5, 0, 1),
+            StreamEdge::new(2, 4, 2, 9, 4, 0, 2),
+            StreamEdge::new(3, 4, 2, 7, 4, 0, 3),
+            StreamEdge::new(4, 5, 3, 4, 2, 0, 4),
+            StreamEdge::new(5, 3, 1, 4, 2, 0, 5),
+            StreamEdge::new(6, 2, 0, 3, 1, 0, 6),
+            StreamEdge::new(7, 5, 3, 3, 1, 0, 7),
+            StreamEdge::new(8, 1, 0, 3, 1, 0, 8),
+            StreamEdge::new(9, 6, 3, 4, 2, 0, 9),
+            StreamEdge::new(10, 5, 3, 7, 4, 0, 10),
+        ];
+        let expected = serial_matches(&q, &edges, 9);
+        for threads in [1, 2, 4] {
+            for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
+                let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+                let mut eng = ConcurrentEngine::new(plan, threads, mode);
+                let mut got = eng.run(&edges, 9).matches;
+                got.sort();
+                assert_eq!(got, expected, "threads={threads} mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_equals_serial_on_random_streams() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use tcs_graph::query::QueryEdge;
+        use tcs_graph::{ELabel, VLabel};
+        for seed in 0..3u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let edges: Vec<StreamEdge> = (0..400)
+                .map(|i| {
+                    let src = rng.gen_range(0..8u32);
+                    let mut dst = rng.gen_range(0..8u32);
+                    while dst == src {
+                        dst = rng.gen_range(0..8u32);
+                    }
+                    StreamEdge::new(i, src, (src % 3) as u16, dst, (dst % 3) as u16, 0, i + 1)
+                })
+                .collect();
+            // 3-edge path, partial timing order → k = 2 decomposition.
+            let q = QueryGraph::new(
+                vec![VLabel(0), VLabel(1), VLabel(2), VLabel(0)],
+                vec![
+                    QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                    QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                    QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
+                ],
+                &[(0, 1)],
+            )
+            .unwrap();
+            let expected = serial_matches(&q, &edges, 60);
+            for threads in [1, 3] {
+                for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
+                    let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+                    let mut eng = ConcurrentEngine::new(plan, threads, mode);
+                    let mut got = eng.run(&edges, 60).matches;
+                    got.sort();
+                    assert_eq!(
+                        got, expected,
+                        "seed={seed} threads={threads} mode={mode:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn final_state_matches_serial_live_count() {
+        let q = QueryGraph::running_example();
+        let edges = vec![
+            StreamEdge::new(1, 7, 4, 8, 5, 0, 1),
+            StreamEdge::new(2, 4, 2, 7, 4, 0, 2),
+            StreamEdge::new(3, 5, 3, 4, 2, 0, 3),
+            StreamEdge::new(4, 3, 1, 4, 2, 0, 4),
+            StreamEdge::new(5, 5, 3, 3, 1, 0, 5),
+            StreamEdge::new(6, 1, 0, 3, 1, 0, 6),
+        ];
+        let mut serial: TimingEngine<MsTreeStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut w = SlidingWindow::new(100);
+        for &e in &edges {
+            serial.advance(&w.advance(e));
+        }
+        let plan = QueryPlan::build(q, PlanOptions::timing());
+        let mut conc = ConcurrentEngine::new(plan, 4, LockingMode::FineGrained);
+        conc.run(&edges, 100);
+        assert_eq!(conc.live_match_count(), serial.live_match_count());
+    }
+}

@@ -1,0 +1,286 @@
+//! Item locks with chronological wait-lists (§V-B).
+//!
+//! Each expansion-list item has a wait-list of pending lock requests,
+//! appended by the single dispatcher thread in transaction (= stream
+//! timestamp) order. A transaction acquires an item's lock only when its
+//! request is at the head of the wait-list *and* the current lock state is
+//! compatible (shared with shared; exclusive with nothing). Grants
+//! therefore never overtake older transactions on any item, which is what
+//! makes the global schedule streaming consistent (Theorem 4).
+//!
+//! Transactions whose conditional work evaporates (an empty join) must
+//! [`LockManager::cancel`] their remaining requests so younger
+//! transactions are not stranded.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+
+/// Transaction identifier: the dispatch sequence number (timestamp order).
+pub type TxnId = u64;
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Shared (READ).
+    S,
+    /// Exclusive (INSERT / DELETE).
+    X,
+}
+
+#[derive(Debug, Default)]
+struct ItemState {
+    /// Number of current holders (S: many, X: one).
+    holders: u32,
+    /// Mode of current holders, `None` when free.
+    mode: Option<Mode>,
+    /// Pending requests in dispatch (chronological) order.
+    waitlist: VecDeque<(TxnId, Mode)>,
+}
+
+#[derive(Default)]
+struct ItemLock {
+    state: Mutex<ItemState>,
+    cond: Condvar,
+}
+
+/// All item locks of one engine instance.
+pub struct LockManager {
+    items: Vec<ItemLock>,
+}
+
+impl LockManager {
+    /// Creates `n_items` item locks.
+    pub fn new(n_items: usize) -> LockManager {
+        LockManager {
+            items: (0..n_items).map(|_| ItemLock::default()).collect(),
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends a transaction's lock requests to the wait-lists.
+    ///
+    /// Must be called from the single dispatcher thread, in transaction
+    /// order, before the transaction starts executing — that ordering *is*
+    /// the consistency mechanism.
+    pub fn dispatch(&self, txn: TxnId, requests: &[(usize, Mode)]) {
+        for &(item, mode) in requests {
+            let mut st = self.items[item].state.lock();
+            st.waitlist.push_back((txn, mode));
+        }
+    }
+
+    /// Blocks until the transaction's oldest pending request on `item` is
+    /// at the head of the wait-list and compatible, then holds the lock.
+    pub fn acquire(&self, item: usize, txn: TxnId, mode: Mode) {
+        let lock = &self.items[item];
+        let mut st = lock.state.lock();
+        loop {
+            let head_ok = st.waitlist.front() == Some(&(txn, mode));
+            if head_ok {
+                let compatible = match (st.mode, mode) {
+                    (None, _) => true,
+                    (Some(Mode::S), Mode::S) => true,
+                    _ => st.holders == 0,
+                };
+                if compatible {
+                    st.waitlist.pop_front();
+                    st.holders += 1;
+                    st.mode = Some(mode);
+                    // A shared grant may enable the next shared head too.
+                    lock.cond.notify_all();
+                    return;
+                }
+            }
+            lock.cond.wait(&mut st);
+        }
+    }
+
+    /// Releases a held lock and wakes waiters.
+    pub fn release(&self, item: usize, _txn: TxnId) {
+        let lock = &self.items[item];
+        let mut st = lock.state.lock();
+        debug_assert!(st.holders > 0, "release without hold on item {item}");
+        st.holders -= 1;
+        if st.holders == 0 {
+            st.mode = None;
+        }
+        lock.cond.notify_all();
+    }
+
+    /// Removes the transaction's oldest pending request on `item` without
+    /// acquiring it (conditional work that never happened).
+    pub fn cancel(&self, item: usize, txn: TxnId, mode: Mode) {
+        let lock = &self.items[item];
+        let mut st = lock.state.lock();
+        if let Some(pos) = st
+            .waitlist
+            .iter()
+            .position(|&(t, m)| t == txn && m == mode)
+        {
+            st.waitlist.remove(pos);
+        } else {
+            debug_assert!(false, "cancel of unknown request (txn {txn}, item {item})");
+        }
+        lock.cond.notify_all();
+    }
+
+    /// Test/diagnostic helper: current wait-list length of an item.
+    pub fn waitlist_len(&self, item: usize) -> usize {
+        self.items[item].state.lock().waitlist.len()
+    }
+}
+
+/// RAII guard used by the engine's lock cursor.
+pub struct LockGuard<'a> {
+    mgr: &'a LockManager,
+    item: usize,
+    txn: TxnId,
+    released: bool,
+}
+
+impl<'a> LockGuard<'a> {
+    /// Acquires `item` for `txn` (the request must have been dispatched).
+    pub fn acquire(mgr: &'a LockManager, item: usize, txn: TxnId, mode: Mode) -> Self {
+        mgr.acquire(item, txn, mode);
+        LockGuard { mgr, item, txn, released: false }
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.mgr.release(self.item, self.txn);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn grants_follow_dispatch_order() {
+        let mgr = Arc::new(LockManager::new(1));
+        // Dispatch X requests for txns 0, 1, 2 on item 0.
+        for t in 0..3 {
+            mgr.dispatch(t, &[(0, Mode::X)]);
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Start the threads in reverse order to prove the wait-list, not
+        // thread scheduling, decides.
+        for t in (0..3u64).rev() {
+            let mgr = mgr.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                mgr.acquire(0, t, Mode::X);
+                order.lock().push(t);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                mgr.release(0, t);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_locks_overlap() {
+        let mgr = Arc::new(LockManager::new(1));
+        for t in 0..4 {
+            mgr.dispatch(t, &[(0, Mode::S)]);
+        }
+        let concurrent = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let (mgr, concurrent, peak) = (mgr.clone(), concurrent.clone(), peak.clone());
+            handles.push(std::thread::spawn(move || {
+                mgr.acquire(0, t, Mode::S);
+                let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                concurrent.fetch_sub(1, Ordering::SeqCst);
+                mgr.release(0, t);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "S locks should overlap, peak {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let mgr = Arc::new(LockManager::new(1));
+        mgr.dispatch(0, &[(0, Mode::X)]);
+        mgr.dispatch(1, &[(0, Mode::X)]);
+        let inside = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..2u64 {
+            let (mgr, inside) = (mgr.clone(), inside.clone());
+            handles.push(std::thread::spawn(move || {
+                mgr.acquire(0, t, Mode::X);
+                assert_eq!(inside.fetch_add(1, Ordering::SeqCst), 0, "mutual exclusion");
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                inside.fetch_sub(1, Ordering::SeqCst);
+                mgr.release(0, t);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn cancel_unblocks_younger_txn() {
+        let mgr = Arc::new(LockManager::new(1));
+        mgr.dispatch(0, &[(0, Mode::X)]);
+        mgr.dispatch(1, &[(0, Mode::X)]);
+        let mgr2 = mgr.clone();
+        let h = std::thread::spawn(move || {
+            mgr2.acquire(0, 1, Mode::X);
+            mgr2.release(0, 1);
+        });
+        // Txn 0 never runs its op: it cancels, unblocking txn 1.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        mgr.cancel(0, 0, Mode::X);
+        h.join().unwrap();
+        assert_eq!(mgr.waitlist_len(0), 0);
+    }
+
+    #[test]
+    fn same_txn_may_queue_item_twice() {
+        let mgr = LockManager::new(1);
+        mgr.dispatch(0, &[(0, Mode::S), (0, Mode::X)]);
+        mgr.acquire(0, 0, Mode::S);
+        mgr.release(0, 0);
+        mgr.acquire(0, 0, Mode::X);
+        mgr.release(0, 0);
+        assert_eq!(mgr.waitlist_len(0), 0);
+    }
+
+    #[test]
+    fn guard_releases_on_drop() {
+        let mgr = LockManager::new(2);
+        mgr.dispatch(0, &[(1, Mode::X)]);
+        {
+            let _g = LockGuard::acquire(&mgr, 1, 0, Mode::X);
+        }
+        // Re-acquirable afterwards.
+        mgr.dispatch(1, &[(1, Mode::X)]);
+        mgr.acquire(1, 1, Mode::X);
+        mgr.release(1, 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! The decomposition cost model (§VI-A, Theorem 7).
+//!
+//! For a query with `|E(Q)|` edges, `d` distinct *term* edge labels (the
+//! label combining the edge label with both endpoint labels — our
+//! "signature"), and a decomposition into `k` TC-subqueries, the expected
+//! number of join operations triggered by one incoming edge is
+//!
+//! ```text
+//! N = (1/d) · (|E(Q)| − 1 + k·(k−1)/2 … )        (Theorem 7)
+//!   = (1/d) · ((|E(Q)| − 1) + (k²+k)/2 − 1 + …)
+//! ```
+//!
+//! following the paper's derivation `N = N₁ + N₂` with
+//! `N₁ = (|E(Q)| − k)/d` (first-step joins inside subqueries) and
+//! `N₂ = ((k²+k)/2 − 1)/d` (second-step joins across subqueries).
+//! `N` grows with `k`, which is why Algorithm 6 minimizes `k`.
+
+use std::collections::HashSet;
+use tcs_graph::QueryGraph;
+
+/// Number of distinct edge signatures (`d` in Theorem 7).
+pub fn distinct_signatures(q: &QueryGraph) -> usize {
+    let sigs: HashSet<_> = (0..q.n_edges()).map(|e| q.signature(e)).collect();
+    sigs.len()
+}
+
+/// Expected joins in step 1 (within TC-subqueries): `N₁ = (|E(Q)| − k)/d`.
+pub fn expected_joins_step1(q: &QueryGraph, k: usize) -> f64 {
+    let d = distinct_signatures(q) as f64;
+    (q.n_edges() as f64 - k as f64) / d
+}
+
+/// Expected joins in step 2 (across TC-subqueries):
+/// `N₂ = ((k²+k)/2 − 1)/d` for `k ≥ 1`.
+pub fn expected_joins_step2(q: &QueryGraph, k: usize) -> f64 {
+    let d = distinct_signatures(q) as f64;
+    let kf = k as f64;
+    ((kf * kf + kf) / 2.0 - 1.0) / d
+}
+
+/// The total expected number of join operations per incoming edge
+/// (Theorem 7): `N = (1/d)(|E(Q)| − 1 + k(k−1)/2)`.
+pub fn expected_joins(q: &QueryGraph, k: usize) -> f64 {
+    expected_joins_step1(q, k) + expected_joins_step2(q, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_graph::QueryGraph;
+
+    #[test]
+    fn n1_plus_n2_equals_closed_form() {
+        let q = QueryGraph::running_example();
+        let d = distinct_signatures(&q) as f64;
+        for k in 1..=q.n_edges() {
+            let total = expected_joins(&q, k);
+            let closed =
+                (q.n_edges() as f64 - 1.0 + (k as f64) * (k as f64 - 1.0) / 2.0) / d;
+            assert!((total - closed).abs() < 1e-12, "k={k}: {total} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn cost_increases_with_k() {
+        let q = QueryGraph::running_example();
+        let costs: Vec<f64> = (1..=6).map(|k| expected_joins(&q, k)).collect();
+        assert!(costs.windows(2).all(|w| w[0] < w[1]), "{costs:?}");
+    }
+
+    #[test]
+    fn distinct_signatures_on_running_example() {
+        // All vertex labels are distinct in the running example, so every
+        // edge has a distinct signature.
+        let q = QueryGraph::running_example();
+        assert_eq!(distinct_signatures(&q), 6);
+    }
+}

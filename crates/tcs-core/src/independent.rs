@@ -1,0 +1,340 @@
+//! The Timing-IND storage ablation: every partial match stored
+//! independently.
+//!
+//! The paper compares against a "counterpart without MS-trees (called
+//! Timing-IND) where every partial match is stored independently"
+//! (§VII-C). Each item keeps fully materialized rows — a level-`j` row owns
+//! a copy of all `j + 1` edges — so prefixes are duplicated across levels
+//! and siblings, which is exactly the space overhead the MS-tree removes.
+//! Deletion must scan rows instead of cascading through child pointers.
+
+use crate::store::{Handle, MatchStore, StoreLayout, ROOT};
+use std::collections::HashSet;
+use tcs_graph::EdgeId;
+
+/// A slot-reusing row container; handles stay stable until the row dies.
+#[derive(Clone, Debug)]
+struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab { slots: Vec::new(), free: Vec::new(), len: 0 }
+    }
+}
+
+impl<T> Slab<T> {
+    fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(value);
+                i
+            }
+            None => {
+                self.slots.push(Some(value));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn remove(&mut self, i: u32) -> Option<T> {
+        let v = self.slots[i as usize].take();
+        if v.is_some() {
+            self.free.push(i);
+            self.len -= 1;
+        }
+        v
+    }
+
+    fn get(&self, i: u32) -> Option<&T> {
+        self.slots.get(i as usize).and_then(Option::as_ref)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SubRow {
+    /// The full prefix of the timing sequence, duplicated per row.
+    edges: Vec<EdgeId>,
+}
+
+#[derive(Clone, Debug)]
+struct L0Row {
+    /// Complete-match handles of subqueries `0..=i`.
+    comps: Vec<Handle>,
+}
+
+/// The independent (uncompressed) storage backend.
+pub struct IndependentStore {
+    layout: StoreLayout,
+    subs: Vec<Vec<Slab<SubRow>>>,
+    l0: Vec<Slab<L0Row>>,
+}
+
+#[inline]
+fn encode(item: u32, slot: u32) -> Handle {
+    ((item as u64) << 32) | slot as u64
+}
+
+#[inline]
+fn decode(h: Handle) -> (u32, u32) {
+    ((h >> 32) as u32, h as u32)
+}
+
+impl IndependentStore {
+    #[inline]
+    fn sub_item_id(&self, sub: usize, level: usize) -> u32 {
+        let mut acc = 0u32;
+        for s in 0..sub {
+            acc += self.layout.sub_lens[s] as u32;
+        }
+        acc + level as u32
+    }
+
+    #[inline]
+    fn l0_item_id(&self, i: usize) -> u32 {
+        let total: usize = self.layout.sub_lens.iter().sum();
+        (total + i - 1) as u32
+    }
+
+    fn sub_row(&self, sub: usize, level: usize, slot: u32) -> &SubRow {
+        self.subs[sub][level].get(slot).expect("live sub row")
+    }
+}
+
+impl MatchStore for IndependentStore {
+    fn new(layout: StoreLayout) -> Self {
+        let subs = layout
+            .sub_lens
+            .iter()
+            .map(|&len| (0..len).map(|_| Slab::default()).collect())
+            .collect();
+        let l0 = (0..layout.k().saturating_sub(1))
+            .map(|_| Slab::default())
+            .collect();
+        IndependentStore { layout, subs, l0 }
+    }
+
+    fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
+        let item = self.sub_item_id(sub, level);
+        for (slot, row) in self.subs[sub][level].iter() {
+            f(encode(item, slot), &row.edges);
+        }
+    }
+
+    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle {
+        let edges = if level == 0 {
+            debug_assert_eq!(parent, ROOT);
+            vec![edge]
+        } else {
+            let (_, pslot) = decode(parent);
+            let mut edges = self.sub_row(sub, level - 1, pslot).edges.clone();
+            edges.push(edge);
+            edges
+        };
+        let slot = self.subs[sub][level].insert(SubRow { edges });
+        encode(self.sub_item_id(sub, level), slot)
+    }
+
+    fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle])) {
+        let item = self.l0_item_id(i);
+        for (slot, row) in self.l0[i - 1].iter() {
+            f(encode(item, slot), &row.comps);
+        }
+    }
+
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle {
+        let comps = if i == 1 {
+            vec![parent, comp]
+        } else {
+            let (_, pslot) = decode(parent);
+            let mut comps = self.l0[i - 2]
+                .get(pslot)
+                .expect("live L0 parent")
+                .comps
+                .clone();
+            comps.push(comp);
+            comps
+        };
+        let slot = self.l0[i - 1].insert(L0Row { comps });
+        encode(self.l0_item_id(i), slot)
+    }
+
+    fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>) {
+        let (_, slot) = decode(handle);
+        // The handle's level is recoverable from the row length, but we
+        // must find which level slab owns the slot; handles returned by
+        // this store always come from complete-match (leaf) reads or
+        // parent chains the engine just read, so search levels for a live
+        // row. Leaf level first: it is the overwhelmingly common case.
+        for level in (0..self.layout.sub_lens[sub]).rev() {
+            let item = self.sub_item_id(sub, level);
+            if (handle >> 32) as u32 == item {
+                if let Some(row) = self.subs[sub][level].get(slot) {
+                    out.extend_from_slice(&row.edges);
+                }
+                return;
+            }
+        }
+        unreachable!("expand_sub with a foreign handle");
+    }
+
+    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize {
+        let mut deleted = 0usize;
+        let mut dead_handles: HashSet<Handle> = HashSet::new();
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        for &(sub, pos_level) in positions {
+            if !seen.insert((sub, pos_level)) {
+                continue;
+            }
+            let leaf_level = self.layout.sub_lens[sub] - 1;
+            for level in pos_level..=leaf_level {
+                let item = self.sub_item_id(sub, level);
+                let dead_slots: Vec<u32> = self.subs[sub][level]
+                    .iter()
+                    .filter(|(_, row)| row.edges[pos_level] == edge)
+                    .map(|(slot, _)| slot)
+                    .collect();
+                for slot in dead_slots {
+                    self.subs[sub][level].remove(slot);
+                    deleted += 1;
+                    if level == leaf_level {
+                        dead_handles.insert(encode(item, slot));
+                    }
+                }
+            }
+        }
+        if !dead_handles.is_empty() {
+            for i in 1..self.layout.k() {
+                let dead_slots: Vec<u32> = self.l0[i - 1]
+                    .iter()
+                    .filter(|(_, row)| row.comps.iter().any(|c| dead_handles.contains(c)))
+                    .map(|(slot, _)| slot)
+                    .collect();
+                for slot in dead_slots {
+                    self.l0[i - 1].remove(slot);
+                    deleted += 1;
+                }
+            }
+        }
+        deleted
+    }
+
+    fn len_sub(&self, sub: usize, level: usize) -> usize {
+        self.subs[sub][level].len
+    }
+
+    fn len_l0(&self, i: usize) -> usize {
+        self.l0[i - 1].len
+    }
+
+    fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = 0;
+        for sub in &self.subs {
+            for slab in sub {
+                bytes += slab.slots.capacity() * size_of::<Option<SubRow>>();
+                for (_, row) in slab.iter() {
+                    bytes += row.edges.capacity() * size_of::<EdgeId>();
+                }
+            }
+        }
+        for slab in &self.l0 {
+            bytes += slab.slots.capacity() * size_of::<Option<L0Row>>();
+            for (_, row) in slab.iter() {
+                bytes += row.comps.capacity() * size_of::<Handle>();
+            }
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mstree::MsTreeStore;
+    use crate::store::conformance;
+
+    #[test]
+    fn conformance_insert_read() {
+        conformance::insert_read_roundtrip::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_expand() {
+        conformance::expand_matches_read::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_l0() {
+        conformance::l0_components_roundtrip::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_expire_cascade() {
+        conformance::expire_cascades_within_sub::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_expire_middle() {
+        conformance::expire_middle_level_keeps_prefix::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_expire_l0() {
+        conformance::expire_cleans_l0::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_expire_unrelated() {
+        conformance::expire_ignores_unrelated_edges::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_space() {
+        conformance::space_grows_and_shrinks::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_three_sub_chain() {
+        conformance::three_sub_l0_chain::<IndependentStore>();
+    }
+
+    #[test]
+    fn independent_store_uses_more_space_than_mstree() {
+        // The whole point of the MS-tree (§IV): shared prefixes. Build a
+        // fan-out of 50 extensions under one long prefix and compare.
+        let layout = StoreLayout { sub_lens: vec![3] };
+        let mut ind = IndependentStore::new(layout.clone());
+        let mut ms = MsTreeStore::new(layout);
+        let a_i = ind.insert_sub(0, 0, ROOT, EdgeId(1));
+        let b_i = ind.insert_sub(0, 1, a_i, EdgeId(2));
+        let a_m = ms.insert_sub(0, 0, ROOT, EdgeId(1));
+        let b_m = ms.insert_sub(0, 1, a_m, EdgeId(2));
+        for x in 0..50 {
+            ind.insert_sub(0, 2, b_i, EdgeId(100 + x));
+            ms.insert_sub(0, 2, b_m, EdgeId(100 + x));
+        }
+        assert!(
+            ind.space_bytes() > ms.space_bytes(),
+            "IND {} ≤ MS {}",
+            ind.space_bytes(),
+            ms.space_bytes()
+        );
+    }
+
+    #[test]
+    fn slab_reuses_slots() {
+        let mut s: Slab<u32> = Slab::default();
+        let a = s.insert(1);
+        let b = s.insert(2);
+        assert_eq!(s.len, 2);
+        s.remove(a);
+        let c = s.insert(3);
+        assert_eq!(c, a, "slot reused");
+        assert_eq!(s.get(b), Some(&2));
+        assert_eq!(s.iter().count(), 2);
+    }
+}

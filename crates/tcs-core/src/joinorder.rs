@@ -1,0 +1,224 @@
+//! Join-order selection over a TC decomposition (§VI-C, Definition 12).
+//!
+//! Matches of the TC-subqueries are joined along a *prefix-connected
+//! permutation* of the decomposition: every prefix of the permutation must
+//! induce a weakly connected subquery. Among the valid permutations the
+//! paper picks greedily by the *joint number* `JN(Q^i, Q^j) = n_v + n_t`
+//! where `n_v` counts common vertices and `n_t` counts ≺-related edge
+//! pairs across the two subqueries — a cheap, distribution-free proxy for
+//! join selectivity in a stream whose statistics drift.
+
+use crate::decompose::{Decomposition, TcSubquery};
+use tcs_graph::QueryGraph;
+
+/// Joint number between two edge sets (Definition 12).
+pub fn joint_number(q: &QueryGraph, a: u64, b: u64) -> usize {
+    let va = q.vertices_of(a);
+    let vb = q.vertices_of(b);
+    let nv = va.iter().filter(|v| vb.contains(v)).count();
+    let mut nt = 0;
+    let mut ma = a;
+    while ma != 0 {
+        let i = ma.trailing_zeros() as usize;
+        ma &= ma - 1;
+        let mut mb = b;
+        while mb != 0 {
+            let j = mb.trailing_zeros() as usize;
+            mb &= mb - 1;
+            if q.order.lt(i, j) || q.order.lt(j, i) {
+                nt += 1;
+            }
+        }
+    }
+    nv + nt
+}
+
+/// Whether two edge sets share at least one vertex.
+pub fn share_vertex(q: &QueryGraph, a: u64, b: u64) -> bool {
+    let va = q.vertices_of(a);
+    q.vertices_of(b).iter().any(|v| va.contains(v))
+}
+
+/// Orders the decomposition's subqueries into the join order: a
+/// prefix-connected permutation chosen greedily by maximum joint number
+/// (§VI-C). Returns the reordered subqueries.
+///
+/// The query is weakly connected, so a connected extension always exists;
+/// if the maximum-JN candidate happens to be disconnected from the prefix
+/// it is skipped in favour of the best *connected* one, preserving
+/// Definition 7's requirement.
+pub fn order_by_joint_number(q: &QueryGraph, d: &Decomposition) -> Vec<TcSubquery> {
+    greedy_order(q, d, |jn, _| jn as i64)
+}
+
+/// A random prefix-connected permutation (the Timing-RJ ablation of
+/// Figure 21): connectivity is still required — it is part of the
+/// correctness contract — but ties and choices are made by the provided
+/// pseudo-random scores instead of the joint number.
+pub fn order_randomly(q: &QueryGraph, d: &Decomposition, seed: u64) -> Vec<TcSubquery> {
+    // Deterministic per-seed scores via a splitmix-style hash.
+    let score = move |_jn: usize, idx: usize| -> i64 {
+        let mut x = seed ^ (idx as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        (x & 0x7fff_ffff) as i64
+    };
+    greedy_order(q, d, score)
+}
+
+fn greedy_order(
+    q: &QueryGraph,
+    d: &Decomposition,
+    score: impl Fn(usize, usize) -> i64,
+) -> Vec<TcSubquery> {
+    let k = d.k();
+    if k <= 1 {
+        return d.subqueries.clone();
+    }
+    let mut remaining: Vec<usize> = (0..k).collect();
+    let mut out: Vec<TcSubquery> = Vec::with_capacity(k);
+
+    // Seed pair: the connected pair with the best score; first element is
+    // the larger subquery (its expansion list prunes most).
+    let mut best: Option<(usize, usize, i64)> = None;
+    for ai in 0..k {
+        for bi in 0..k {
+            if ai == bi {
+                continue;
+            }
+            let (a, b) = (&d.subqueries[ai], &d.subqueries[bi]);
+            if !share_vertex(q, a.mask, b.mask) {
+                continue;
+            }
+            let s = score(joint_number(q, a.mask, b.mask), ai * k + bi);
+            if best.map_or(true, |(_, _, bs)| s > bs) {
+                best = Some((ai, bi, s));
+            }
+        }
+    }
+    let (first, second) = match best {
+        Some((a, b, _)) => (a, b),
+        // Degenerate: no two subqueries share a vertex (cannot happen for a
+        // connected query with k ≥ 2, but stay total).
+        None => (0, 1),
+    };
+    out.push(d.subqueries[first].clone());
+    out.push(d.subqueries[second].clone());
+    remaining.retain(|&i| i != first && i != second);
+    let mut union_mask = d.subqueries[first].mask | d.subqueries[second].mask;
+
+    while !remaining.is_empty() {
+        let mut pick: Option<(usize, i64, bool)> = None; // (pos in remaining, score, connected)
+        for (pos, &i) in remaining.iter().enumerate() {
+            let cand = &d.subqueries[i];
+            let connected = share_vertex(q, union_mask, cand.mask);
+            let s = score(joint_number(q, union_mask, cand.mask), i);
+            let better = match pick {
+                None => true,
+                Some((_, ps, pconn)) => {
+                    // Connected candidates strictly dominate disconnected
+                    // ones; among equals pick the higher score.
+                    (connected && !pconn) || (connected == pconn && s > ps)
+                }
+            };
+            if better {
+                pick = Some((pos, s, connected));
+            }
+        }
+        let (pos, _, _) = pick.expect("remaining not empty");
+        let i = remaining.remove(pos);
+        union_mask |= d.subqueries[i].mask;
+        out.push(d.subqueries[i].clone());
+    }
+    out
+}
+
+/// Checks the prefix-connected property of an ordered decomposition.
+pub fn is_prefix_connected(q: &QueryGraph, ordered: &[TcSubquery]) -> bool {
+    let mut union = 0u64;
+    for (i, s) in ordered.iter().enumerate() {
+        if i > 0 && !share_vertex(q, union, s.mask) {
+            return false;
+        }
+        union |= s.mask;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use tcs_graph::QueryGraph;
+
+    #[test]
+    fn joint_number_counts_vertices_and_timing_pairs() {
+        let q = QueryGraph::running_example();
+        // Q1 = {ε6,ε5,ε4} (bits 5,4,3) on vertices {c,d,e,f};
+        // Q2 = {ε3,ε1} (bits 2,0) on vertices {a,b,d}.
+        // Common vertices: {d} → nv = 1.
+        // Timing pairs across: 6≺3, 6≺1 (closure), 5?3 no, 5?1 no, 4?.. no
+        //   → nt = 2.
+        assert_eq!(joint_number(&q, 0b111000, 0b000101), 3);
+        // Q2 vs Q3={ε2}: common vertex {b}; ε2 unordered w.r.t. ε3, ε1 → 1.
+        assert_eq!(joint_number(&q, 0b000101, 0b000010), 1);
+    }
+
+    #[test]
+    fn running_example_join_order_is_prefix_connected() {
+        let q = QueryGraph::running_example();
+        let d = decompose(&q);
+        let ordered = order_by_joint_number(&q, &d);
+        assert!(is_prefix_connected(&q, &ordered));
+        assert_eq!(ordered.len(), 3);
+        // The Q1 of Figure 9 ({ε6,ε5,ε4}) has the strongest ties; it comes
+        // first or second in the seed pair — either way every prefix is
+        // connected, which is all the algorithm must guarantee.
+    }
+
+    #[test]
+    fn random_orders_are_still_prefix_connected() {
+        let q = QueryGraph::running_example();
+        let d = decompose(&q);
+        for seed in 0..20 {
+            let ordered = order_randomly(&q, &d, seed);
+            assert!(is_prefix_connected(&q, &ordered), "seed {seed}");
+            assert_eq!(ordered.len(), d.k());
+        }
+    }
+
+    #[test]
+    fn random_orders_vary_with_seed() {
+        let q = QueryGraph::running_example();
+        let d = decompose(&q);
+        let orders: std::collections::HashSet<Vec<u64>> = (0..16)
+            .map(|s| order_randomly(&q, &d, s).iter().map(|x| x.mask).collect())
+            .collect();
+        assert!(orders.len() > 1, "16 seeds should produce ≥2 orders");
+    }
+
+    #[test]
+    fn singleton_decomposition_passthrough() {
+        let q = QueryGraph::new(
+            vec![tcs_graph::VLabel(0); 2],
+            vec![tcs_graph::query::QueryEdge {
+                src: 0,
+                dst: 1,
+                label: tcs_graph::ELabel::NONE,
+            }],
+            &[],
+        )
+        .unwrap();
+        let d = decompose(&q);
+        let ordered = order_by_joint_number(&q, &d);
+        assert_eq!(ordered.len(), 1);
+    }
+
+    #[test]
+    fn share_vertex_detects_overlap() {
+        let q = QueryGraph::running_example();
+        assert!(share_vertex(&q, 0b111000, 0b000101)); // share d
+        assert!(!share_vertex(&q, 0b100000, 0b000101)); // ε6 on {e,f}
+    }
+}

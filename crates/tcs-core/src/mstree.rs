@@ -1,0 +1,478 @@
+//! The match-store tree (MS-tree, §IV).
+//!
+//! One trie-like tree per expansion list, all allocated from a single node
+//! arena:
+//!
+//! * A node at depth `j` of subquery `i`'s tree holds the data edge matched
+//!   to the `j`-th edge of the timing sequence; the root-to-node path spells
+//!   the whole partial match, so a match of `Preq(ε_{j+1})` shares its
+//!   prefix with every extension — the paper's space compression.
+//! * Nodes of the same item (level) are linked in a doubly linked list so an
+//!   item can be scanned without touching the rest of the tree — the
+//!   "horizontal access" of §IV-C.
+//! * Every node records its parent, so reads backtrack to materialize the
+//!   match; insertion appends a child under a handle the engine obtained
+//!   during the preceding read — O(1), never re-walking the path.
+//! * The `L₀` tree is *grafted onto subquery 0's leaves*: `L₀`'s first item
+//!   is `Ω(Q^1)` itself (Figure 13 never locks `L₀¹` separately), so an
+//!   `L₀` node at depth `i ≥ 1` has the subquery-0 leaf as its deepest
+//!   ancestor and carries a **pointer payload** — the handle of subquery
+//!   `i`'s complete match — instead of a copy (the §IV-A optimization of
+//!   replacing `n₀` nodes by pointers into `M_i`).
+//!
+//! Deletion removes all nodes containing an expired edge plus their
+//! descendants (which reach the grafted `L₀` levels through ordinary child
+//! links for subquery 0, and through payload scans for subqueries `i ≥ 1`,
+//! exactly Algorithm 2's "scan `L₀^i` to `L₀^k`" step).
+
+use crate::store::{Handle, MatchStore, StoreLayout, ROOT};
+use std::collections::HashSet;
+use tcs_graph::EdgeId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// Data-edge id (subquery trees) or component handle (L₀ levels ≥ 1).
+    payload: u64,
+    parent: u32,
+    first_child: u32,
+    next_sib: u32,
+    prev_sib: u32,
+    /// Intrusive per-item (level) doubly linked list.
+    next: u32,
+    prev: u32,
+    /// Which item (level list) this node belongs to.
+    item: u32,
+    dead: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ItemList {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+/// The MS-tree storage backend.
+pub struct MsTreeStore {
+    layout: StoreLayout,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    items: Vec<ItemList>,
+    /// Start of each subquery's item range in `items`.
+    sub_offsets: Vec<usize>,
+    /// Start of the L₀ item range (items `l0_base + (i−1)` for `i ≥ 1`).
+    l0_base: usize,
+}
+
+impl MsTreeStore {
+    #[inline]
+    fn sub_item(&self, sub: usize, level: usize) -> usize {
+        debug_assert!(level < self.layout.sub_lens[sub]);
+        self.sub_offsets[sub] + level
+    }
+
+    #[inline]
+    fn l0_item(&self, i: usize) -> usize {
+        debug_assert!(i >= 1 && i < self.layout.k());
+        self.l0_base + (i - 1)
+    }
+
+    fn alloc(&mut self, payload: u64, parent: u32, item: u32) -> u32 {
+        let node = Node {
+            payload,
+            parent,
+            first_child: NIL,
+            next_sib: NIL,
+            prev_sib: NIL,
+            next: NIL,
+            prev: NIL,
+            item,
+            dead: false,
+        };
+        match self.free.pop() {
+            Some(idx) => {
+                self.nodes[idx as usize] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn link_into_item(&mut self, idx: u32) {
+        let item = self.nodes[idx as usize].item as usize;
+        let list = &mut self.items[item];
+        if list.tail == NIL {
+            list.head = idx;
+            list.tail = idx;
+        } else {
+            let tail = list.tail;
+            self.nodes[tail as usize].next = idx;
+            self.nodes[idx as usize].prev = tail;
+            list.tail = idx;
+        }
+        list.len += 1;
+    }
+
+    fn link_under_parent(&mut self, idx: u32, parent: u32) {
+        let old_first = self.nodes[parent as usize].first_child;
+        self.nodes[idx as usize].next_sib = old_first;
+        if old_first != NIL {
+            self.nodes[old_first as usize].prev_sib = idx;
+        }
+        self.nodes[parent as usize].first_child = idx;
+    }
+
+    fn insert_node(&mut self, payload: u64, parent: Handle, item: usize) -> Handle {
+        let parent_idx = if parent == ROOT { NIL } else { parent as u32 };
+        let idx = self.alloc(payload, parent_idx, item as u32);
+        if parent_idx != NIL {
+            self.link_under_parent(idx, parent_idx);
+        }
+        self.link_into_item(idx);
+        idx as Handle
+    }
+
+    /// Marks `idx` and all descendants dead, appending them to `marked`.
+    fn mark_cascade(&mut self, idx: u32, marked: &mut Vec<u32>) {
+        if self.nodes[idx as usize].dead {
+            return;
+        }
+        self.nodes[idx as usize].dead = true;
+        marked.push(idx);
+        let mut head = marked.len() - 1;
+        while head < marked.len() {
+            let n = marked[head];
+            let mut c = self.nodes[n as usize].first_child;
+            while c != NIL {
+                if !self.nodes[c as usize].dead {
+                    self.nodes[c as usize].dead = true;
+                    marked.push(c);
+                }
+                c = self.nodes[c as usize].next_sib;
+            }
+            head += 1;
+        }
+    }
+
+    /// Unlinks a dead node from its item list and its parent's child list.
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, item, parent, prev_sib, next_sib) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.item, n.parent, n.prev_sib, n.next_sib)
+        };
+        // Item list.
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.items[item as usize].head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.items[item as usize].tail = prev;
+        }
+        self.items[item as usize].len -= 1;
+        // Child list of the parent (harmless when the parent is dead too).
+        if parent != NIL {
+            if prev_sib != NIL {
+                self.nodes[prev_sib as usize].next_sib = next_sib;
+            } else if self.nodes[parent as usize].first_child == idx {
+                self.nodes[parent as usize].first_child = next_sib;
+            }
+            if next_sib != NIL {
+                self.nodes[next_sib as usize].prev_sib = prev_sib;
+            }
+        }
+    }
+
+    /// Debug invariant: every item's list length matches a full traversal
+    /// and all listed nodes are alive.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (i, item) in self.items.iter().enumerate() {
+            let mut n = item.head;
+            let mut count = 0;
+            let mut prev = NIL;
+            while n != NIL {
+                let node = &self.nodes[n as usize];
+                assert!(!node.dead, "dead node in item {i}");
+                assert_eq!(node.prev, prev);
+                assert_eq!(node.item as usize, i);
+                prev = n;
+                n = node.next;
+                count += 1;
+            }
+            assert_eq!(count, item.len, "item {i} length");
+            assert_eq!(item.tail, prev);
+        }
+    }
+}
+
+impl MatchStore for MsTreeStore {
+    fn new(layout: StoreLayout) -> Self {
+        let mut sub_offsets = Vec::with_capacity(layout.k());
+        let mut acc = 0;
+        for &len in &layout.sub_lens {
+            sub_offsets.push(acc);
+            acc += len;
+        }
+        let l0_base = acc;
+        let l0_items = layout.k().saturating_sub(1);
+        MsTreeStore {
+            items: vec![ItemList { head: NIL, tail: NIL, len: 0 }; acc + l0_items],
+            layout,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            sub_offsets,
+            l0_base,
+        }
+    }
+
+    fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
+        let item = self.sub_item(sub, level);
+        let mut buf = vec![EdgeId(0); level + 1];
+        let mut n = self.items[item].head;
+        while n != NIL {
+            let mut cur = n;
+            for d in (0..=level).rev() {
+                buf[d] = EdgeId(self.nodes[cur as usize].payload);
+                cur = self.nodes[cur as usize].parent;
+            }
+            debug_assert_eq!(cur, NIL, "subquery path ends at the root");
+            f(n as Handle, &buf);
+            n = self.nodes[n as usize].next;
+        }
+    }
+
+    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle {
+        debug_assert_eq!(parent == ROOT, level == 0);
+        let item = self.sub_item(sub, level);
+        self.insert_node(edge.0, parent, item)
+    }
+
+    fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle])) {
+        let item = self.l0_item(i);
+        let mut comps = vec![0 as Handle; i + 1];
+        let mut n = self.items[item].head;
+        while n != NIL {
+            let mut cur = n;
+            for d in (1..=i).rev() {
+                comps[d] = self.nodes[cur as usize].payload;
+                cur = self.nodes[cur as usize].parent;
+            }
+            // `cur` is now the grafted subquery-0 leaf: its *handle* is
+            // component 0.
+            comps[0] = cur as Handle;
+            f(n as Handle, &comps);
+            n = self.nodes[n as usize].next;
+        }
+    }
+
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle {
+        let item = self.l0_item(i);
+        self.insert_node(comp, parent, item)
+    }
+
+    fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>) {
+        let _ = sub;
+        let start = out.len();
+        let mut cur = handle as u32;
+        while cur != NIL {
+            out.push(EdgeId(self.nodes[cur as usize].payload));
+            cur = self.nodes[cur as usize].parent;
+        }
+        out[start..].reverse();
+    }
+
+    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize {
+        let mut marked: Vec<u32> = Vec::new();
+        // Phase 1: payload scans at the positions the edge can occupy,
+        // cascading into descendants (which reach grafted L₀ levels for
+        // subquery 0 automatically).
+        let mut seen_items: HashSet<usize> = HashSet::new();
+        for &(sub, level) in positions {
+            let item = self.sub_item(sub, level);
+            if !seen_items.insert(item) {
+                continue;
+            }
+            let mut n = self.items[item].head;
+            while n != NIL {
+                let next = self.nodes[n as usize].next;
+                if self.nodes[n as usize].payload == edge.0 {
+                    self.mark_cascade(n, &mut marked);
+                }
+                n = next;
+            }
+        }
+        // Phase 2: collect dead complete-match handles of subqueries ≥ 1
+        // (their L₀ references are payloads, not child links).
+        let k = self.layout.k();
+        if k > 1 {
+            let mut dead_leaves: Vec<HashSet<u64>> = vec![HashSet::new(); k];
+            for &m in &marked {
+                let item = self.nodes[m as usize].item as usize;
+                for sub in 1..k {
+                    let leaf_item = self.sub_item(sub, self.layout.sub_lens[sub] - 1);
+                    if item == leaf_item {
+                        dead_leaves[sub].insert(m as u64);
+                    }
+                }
+            }
+            // Phase 3: scan L₀ items left to right (Algorithm 2 line 7),
+            // deleting rows whose payload references a dead leaf. Cascades
+            // may kill deeper L₀ rows before their own scan reaches them —
+            // the dead flag makes that idempotent.
+            for i in 1..k {
+                if dead_leaves[i].is_empty() {
+                    continue;
+                }
+                let item = self.l0_item(i);
+                let mut n = self.items[item].head;
+                while n != NIL {
+                    let next = self.nodes[n as usize].next;
+                    if !self.nodes[n as usize].dead
+                        && dead_leaves[i].contains(&self.nodes[n as usize].payload)
+                    {
+                        self.mark_cascade(n, &mut marked);
+                    }
+                    n = next;
+                }
+            }
+        }
+        // Unlink everything, then reclaim.
+        for &m in &marked {
+            self.unlink(m);
+        }
+        for &m in &marked {
+            self.free.push(m);
+        }
+        marked.len()
+    }
+
+    fn len_sub(&self, sub: usize, level: usize) -> usize {
+        self.items[self.sub_item(sub, level)].len
+    }
+
+    fn len_l0(&self, i: usize) -> usize {
+        self.items[self.l0_item(i)].len
+    }
+
+    fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let live = self.nodes.len() - self.free.len();
+        live * size_of::<Node>() + self.items.len() * size_of::<ItemList>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::conformance;
+
+    #[test]
+    fn conformance_insert_read() {
+        conformance::insert_read_roundtrip::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_expand() {
+        conformance::expand_matches_read::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_l0() {
+        conformance::l0_components_roundtrip::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_expire_cascade() {
+        conformance::expire_cascades_within_sub::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_expire_middle() {
+        conformance::expire_middle_level_keeps_prefix::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_expire_l0() {
+        conformance::expire_cleans_l0::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_expire_unrelated() {
+        conformance::expire_ignores_unrelated_edges::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_space() {
+        conformance::space_grows_and_shrinks::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_three_sub_chain() {
+        conformance::three_sub_l0_chain::<MsTreeStore>();
+    }
+
+    #[test]
+    fn prefix_sharing_reuses_nodes() {
+        // Figure 10: matches {σ1}, {σ1,σ3}, {σ1,σ3,σ4}, {σ1,σ3,σ9} use
+        // exactly 4 nodes.
+        let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
+        let b = s.insert_sub(0, 1, a, EdgeId(3));
+        s.insert_sub(0, 2, b, EdgeId(4));
+        s.insert_sub(0, 2, b, EdgeId(9));
+        assert_eq!(s.nodes.len(), 4);
+        s.check_invariants();
+        // Deleting σ1 (Figure 10 walk-through) removes all 4 nodes.
+        let n = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        assert_eq!(n, 4);
+        assert_eq!(s.free.len(), 4);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn freed_nodes_are_reused() {
+        let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
+        s.insert_sub(0, 1, a, EdgeId(2));
+        s.expire_edge(EdgeId(1), &[(0, 0)]);
+        let cap = s.nodes.len();
+        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3));
+        s.insert_sub(0, 1, a2, EdgeId(4));
+        assert_eq!(s.nodes.len(), cap, "arena did not grow");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn sibling_unlink_keeps_child_lists_intact() {
+        // Parent with three children; delete the middle child's payload.
+        let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
+        let p = s.insert_sub(0, 0, ROOT, EdgeId(1));
+        s.insert_sub(0, 1, p, EdgeId(10));
+        s.insert_sub(0, 1, p, EdgeId(11));
+        s.insert_sub(0, 1, p, EdgeId(12));
+        let n = s.expire_edge(EdgeId(11), &[(0, 1)]);
+        assert_eq!(n, 1);
+        s.check_invariants();
+        // The two survivors are still reachable as children of p: expire p
+        // and verify the cascade count.
+        let n2 = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        assert_eq!(n2, 3, "parent + two remaining children");
+        s.check_invariants();
+    }
+
+    #[test]
+    fn deep_graft_chain_cascades_from_sub0() {
+        // k = 3; expire sub-0's edge: the L₀ chain dies via graft links.
+        let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![1, 1, 1] });
+        let c0 = s.insert_sub(0, 0, ROOT, EdgeId(1));
+        let c1 = s.insert_sub(1, 0, ROOT, EdgeId(2));
+        let c2 = s.insert_sub(2, 0, ROOT, EdgeId(3));
+        let u = s.insert_l0(1, c0, c1);
+        s.insert_l0(2, u, c2);
+        let n = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        assert_eq!(n, 3, "c0 + u01 + u012 die; c1, c2 survive");
+        assert_eq!(s.len_sub(1, 0), 1);
+        assert_eq!(s.len_sub(2, 0), 1);
+        s.check_invariants();
+    }
+}

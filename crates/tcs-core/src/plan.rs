@@ -1,0 +1,225 @@
+//! Compiled query plans: decomposition + join order + edge positioning.
+//!
+//! A [`QueryPlan`] fixes everything the streaming engine needs to know at
+//! run time: the TC decomposition in join order, the (subquery, level)
+//! position of every query edge inside the expansion lists, and a signature
+//! index mapping an incoming data edge to the query edges it can match.
+//!
+//! [`PlanOptions`] selects the paper's ablation variants of Figure 21:
+//! Timing-RD (random decomposition), Timing-RJ (random join order) and
+//! Timing-RDJ (both).
+
+use crate::decompose::{decompose_from, tc_subqueries, Decomposition, TcSubquery};
+use crate::joinorder::{is_prefix_connected, order_by_joint_number, order_randomly};
+use std::collections::HashMap;
+use tcs_graph::{ELabel, QueryGraph, VLabel};
+
+/// Plan-construction options (defaults reproduce the paper's "Timing").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanOptions {
+    /// Use a random TC decomposition instead of Algorithm 6 (Timing-RD).
+    pub random_decomposition: Option<u64>,
+    /// Use a random prefix-connected join order instead of the joint-number
+    /// greedy (Timing-RJ).
+    pub random_join_order: Option<u64>,
+}
+
+impl PlanOptions {
+    /// The paper's full method.
+    pub fn timing() -> Self {
+        PlanOptions::default()
+    }
+
+    /// Timing-RD: random decomposition, joint-number join order.
+    pub fn random_decomposition(seed: u64) -> Self {
+        PlanOptions { random_decomposition: Some(seed), random_join_order: None }
+    }
+
+    /// Timing-RJ: Algorithm 6 decomposition, random join order.
+    pub fn random_join(seed: u64) -> Self {
+        PlanOptions { random_decomposition: None, random_join_order: Some(seed) }
+    }
+
+    /// Timing-RDJ: both randomized.
+    pub fn random_both(seed: u64) -> Self {
+        PlanOptions {
+            random_decomposition: Some(seed),
+            random_join_order: Some(seed.wrapping_add(1)),
+        }
+    }
+}
+
+/// A compiled plan for one continuous query.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// The query this plan evaluates.
+    pub query: QueryGraph,
+    /// TC-subqueries in join order (`Q^1 … Q^k` of §III-B).
+    pub subs: Vec<TcSubquery>,
+    /// For each query edge index: (subquery position in `subs`, level in
+    /// that subquery's timing sequence).
+    pub pos: Vec<(usize, usize)>,
+    /// Signature → query edges with that signature.
+    sig_to_edges: HashMap<(VLabel, VLabel, ELabel), Vec<usize>>,
+}
+
+impl QueryPlan {
+    /// Compiles a plan.
+    pub fn build(query: QueryGraph, opts: PlanOptions) -> QueryPlan {
+        let tcsub = tc_subqueries(&query);
+        let decomposition = match opts.random_decomposition {
+            None => decompose_from(&query, &tcsub),
+            Some(seed) => random_cover(&query, &tcsub, seed),
+        };
+        let subs = match opts.random_join_order {
+            None => order_by_joint_number(&query, &decomposition),
+            Some(seed) => order_randomly(&query, &decomposition, seed),
+        };
+        debug_assert!(is_prefix_connected(&query, &subs));
+        let mut pos = vec![(usize::MAX, usize::MAX); query.n_edges()];
+        for (si, s) in subs.iter().enumerate() {
+            for (level, &e) in s.seq.iter().enumerate() {
+                pos[e] = (si, level);
+            }
+        }
+        debug_assert!(pos.iter().all(|&(s, _)| s != usize::MAX));
+        let mut sig_to_edges: HashMap<(VLabel, VLabel, ELabel), Vec<usize>> = HashMap::new();
+        for e in 0..query.n_edges() {
+            sig_to_edges.entry(query.signature(e)).or_default().push(e);
+        }
+        QueryPlan { query, subs, pos, sig_to_edges }
+    }
+
+    /// Decomposition size `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Query edges an incoming edge with this signature can match.
+    #[inline]
+    pub fn candidates(&self, sig: (VLabel, VLabel, ELabel)) -> &[usize] {
+        self.sig_to_edges.get(&sig).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All (subquery, level) positions where an edge of this signature can
+    /// sit — the deletion positions of Algorithm 2.
+    pub fn positions(&self, sig: (VLabel, VLabel, ELabel)) -> Vec<(usize, usize)> {
+        self.candidates(sig).iter().map(|&e| self.pos[e]).collect()
+    }
+
+    /// Lengths of each subquery's expansion list, in join order (the store
+    /// layout).
+    pub fn sub_lens(&self) -> Vec<usize> {
+        self.subs.iter().map(|s| s.len()).collect()
+    }
+}
+
+/// A random edge-disjoint cover by TC-subqueries (Timing-RD): walk
+/// `TCsub(Q)` in a seeded pseudo-random order and keep whatever fits.
+/// Singletons guarantee completion.
+fn random_cover(q: &QueryGraph, tcsub: &[TcSubquery], seed: u64) -> Decomposition {
+    let mut idx: Vec<usize> = (0..tcsub.len()).collect();
+    // Seeded Fisher–Yates with a splitmix64 sequence.
+    let mut state = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..idx.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    let all = if q.n_edges() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << q.n_edges()) - 1
+    };
+    let mut covered = 0u64;
+    let mut chosen = Vec::new();
+    for i in idx {
+        if covered == all {
+            break;
+        }
+        let s = &tcsub[i];
+        if s.mask & covered == 0 {
+            covered |= s.mask;
+            chosen.push(s.clone());
+        }
+    }
+    debug_assert_eq!(covered, all);
+    Decomposition { subqueries: chosen }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_plan_on_running_example() {
+        let q = QueryGraph::running_example();
+        let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+        assert_eq!(plan.k(), 3);
+        // Every edge has a position and positions are within bounds.
+        for e in 0..q.n_edges() {
+            let (s, l) = plan.pos[e];
+            assert!(s < plan.k());
+            assert!(l < plan.subs[s].len());
+            assert_eq!(plan.subs[s].seq[l], e);
+        }
+        // Signature lookup: every edge label is distinct here, so each
+        // signature maps to exactly one query edge.
+        for e in 0..q.n_edges() {
+            assert_eq!(plan.candidates(q.signature(e)), &[e]);
+        }
+        assert!(plan.candidates((VLabel(99), VLabel(99), ELabel(0))).is_empty());
+    }
+
+    #[test]
+    fn random_variants_are_valid_partitions() {
+        let q = QueryGraph::running_example();
+        for opts in [
+            PlanOptions::random_decomposition(3),
+            PlanOptions::random_join(4),
+            PlanOptions::random_both(5),
+        ] {
+            let plan = QueryPlan::build(q.clone(), opts);
+            let d = Decomposition { subqueries: plan.subs.clone() };
+            assert!(d.is_partition_of(&q));
+            assert!(is_prefix_connected(&q, &plan.subs));
+        }
+    }
+
+    #[test]
+    fn random_decomposition_tends_to_be_larger() {
+        // Timing-RD often picks a suboptimal k — over many seeds its mean k
+        // is at least the greedy k, usually strictly greater for the
+        // running example.
+        let q = QueryGraph::running_example();
+        let greedy_k = QueryPlan::build(q.clone(), PlanOptions::timing()).k();
+        let mean_random: f64 = (0..32)
+            .map(|s| QueryPlan::build(q.clone(), PlanOptions::random_decomposition(s)).k() as f64)
+            .sum::<f64>()
+            / 32.0;
+        assert!(mean_random >= greedy_k as f64);
+    }
+
+    #[test]
+    fn positions_cover_deletion_targets() {
+        let q = QueryGraph::running_example();
+        let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+        let sig = q.signature(3); // ε4
+        let ps = plan.positions(sig);
+        assert_eq!(ps, vec![plan.pos[3]]);
+    }
+
+    #[test]
+    fn sub_lens_sum_to_edge_count() {
+        let q = QueryGraph::running_example();
+        let plan = QueryPlan::build(q, PlanOptions::timing());
+        assert_eq!(plan.sub_lens().iter().sum::<usize>(), 6);
+    }
+}

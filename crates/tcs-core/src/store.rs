@@ -1,0 +1,275 @@
+//! Storage abstraction over expansion-list items.
+//!
+//! An expansion list (Definition 9) is a sequence of *items*; item `j` of
+//! subquery `Q^i`'s list holds all current matches of the prerequisite
+//! subquery `Preq(ε_{j+1})` (0-based: the first `j+1` edges of the timing
+//! sequence). For a non-TC query the additional list `L₀` over the
+//! decomposition holds join results `Ω(Q^1 ∪ … ∪ Q^i)` (§III-B).
+//!
+//! The engine is generic over [`MatchStore`] so the paper's two storage
+//! designs plug in interchangeably:
+//!
+//! * [`crate::mstree::MsTreeStore`] — the match-store tree (§IV): one trie
+//!   per expansion list, prefix-compressed, with `L₀` nodes carrying
+//!   *pointers* to subquery leaves instead of copies, and `L₀`'s first item
+//!   aliased to `Q^1`'s last item (both are `Ω(Q^1)`, cf. Figure 13 where
+//!   `Ins(σ14)` never locks `L₀¹`).
+//! * [`crate::independent::IndependentStore`] — Timing-IND: every partial
+//!   match stored independently, no sharing.
+//!
+//! # Handles
+//!
+//! Reads hand out opaque [`Handle`]s; the engine passes them back as the
+//! `parent` of an insertion (O(1) child append in the MS-tree — the paper's
+//! "our insertion strategy does not need to wastefully access the whole
+//! path" observation) or as `L₀` *components* (complete-subquery-match
+//! references). A handle is only guaranteed valid until the next
+//! `expire_edge` call, which is exactly how the engine uses them.
+
+use tcs_graph::EdgeId;
+
+/// Opaque reference to a stored partial match.
+pub type Handle = u64;
+
+/// Sentinel parent for level-0 insertions.
+pub const ROOT: Handle = Handle::MAX;
+
+/// Store layout: the expansion-list lengths per subquery, in join order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreLayout {
+    /// `sub_lens[i]` = number of edges (= items) of subquery `i`'s list.
+    pub sub_lens: Vec<usize>,
+}
+
+impl StoreLayout {
+    /// Number of subqueries `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.sub_lens.len()
+    }
+}
+
+/// Storage for all expansion lists of one query plan.
+pub trait MatchStore {
+    /// Creates an empty store for the layout.
+    fn new(layout: StoreLayout) -> Self
+    where
+        Self: Sized;
+
+    /// Iterates all matches of subquery `sub`'s item `level`; the slice
+    /// holds the `level + 1` data edges in timing-sequence order.
+    fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId]));
+
+    /// Inserts a match of subquery `sub` at `level`, extending `parent`
+    /// (which must be a handle from item `level − 1`, or [`ROOT`] when
+    /// `level == 0`) with `edge`. Returns the new match's handle.
+    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle;
+
+    /// Iterates all matches of `L₀`'s item `i` (`1 ≤ i < k`); the slice
+    /// holds `i + 1` component handles, component `j` being a complete
+    /// match of subquery `j`.
+    fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle]));
+
+    /// Inserts into `L₀` item `i` (`1 ≤ i < k`): `parent` is a handle from
+    /// `L₀` item `i − 1` — which for `i == 1` is a complete-match handle of
+    /// subquery 0 (the aliased first item) — and `comp` is a complete-match
+    /// handle of subquery `i`.
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle;
+
+    /// Appends the data edges of a complete or partial subquery match (in
+    /// timing-sequence order) to `out`.
+    fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>);
+
+    /// Deletes every partial match containing `edge`, which can only occur
+    /// at the given (subquery, level) positions, cascading through deeper
+    /// items and `L₀` (Algorithm 2). Returns the number of partial matches
+    /// removed (over all items).
+    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize;
+
+    /// Number of matches in subquery `sub`'s item `level`.
+    fn len_sub(&self, sub: usize, level: usize) -> usize;
+
+    /// Number of matches in `L₀`'s item `i` (`1 ≤ i < k`).
+    fn len_l0(&self, i: usize) -> usize;
+
+    /// Approximate bytes of partial-match state held.
+    fn space_bytes(&self) -> usize;
+}
+
+/// Shared conformance tests run against both store implementations (called
+/// from each implementation's test module). Uses a 2-subquery layout:
+/// sub 0 with 3 levels, sub 1 with 2 levels.
+#[cfg(test)]
+pub(crate) mod conformance {
+    use super::*;
+
+    fn e(x: u64) -> EdgeId {
+        EdgeId(x)
+    }
+
+    fn layout() -> StoreLayout {
+        StoreLayout { sub_lens: vec![3, 2] }
+    }
+
+    fn collect_sub<S: MatchStore>(s: &S, sub: usize, level: usize) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        s.for_each_sub(sub, level, &mut |_, edges| {
+            out.push(edges.iter().map(|x| x.0).collect());
+        });
+        out.sort();
+        out
+    }
+
+    fn collect_l0<S: MatchStore>(s: &S, i: usize) -> Vec<Vec<Handle>> {
+        let mut out = Vec::new();
+        s.for_each_l0(i, &mut |_, comps| out.push(comps.to_vec()));
+        out.sort();
+        out
+    }
+
+    pub fn insert_read_roundtrip<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        let _c1 = s.insert_sub(0, 2, b, e(3));
+        let _c2 = s.insert_sub(0, 2, b, e(4));
+        assert_eq!(s.len_sub(0, 0), 1);
+        assert_eq!(s.len_sub(0, 1), 1);
+        assert_eq!(s.len_sub(0, 2), 2);
+        assert_eq!(collect_sub(&s, 0, 0), vec![vec![1]]);
+        assert_eq!(collect_sub(&s, 0, 1), vec![vec![1, 2]]);
+        assert_eq!(collect_sub(&s, 0, 2), vec![vec![1, 2, 3], vec![1, 2, 4]]);
+    }
+
+    pub fn expand_matches_read<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        let c = s.insert_sub(0, 2, b, e(3));
+        let mut out = Vec::new();
+        s.expand_sub(0, c, &mut out);
+        assert_eq!(out, vec![e(1), e(2), e(3)]);
+    }
+
+    pub fn l0_components_roundtrip<S: MatchStore>() {
+        let mut s = S::new(layout());
+        // Complete match of sub 0: 1-2-3.
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        let c0 = s.insert_sub(0, 2, b, e(3));
+        // Complete match of sub 1: 10-11.
+        let x = s.insert_sub(1, 0, ROOT, e(10));
+        let c1 = s.insert_sub(1, 1, x, e(11));
+        let h = s.insert_l0(1, c0, c1);
+        assert_eq!(s.len_l0(1), 1);
+        let rows = collect_l0(&s, 1);
+        assert_eq!(rows, vec![vec![c0, c1]]);
+        let _ = h;
+        // Expansion of the components recovers the edges.
+        let mut e0 = Vec::new();
+        s.expand_sub(0, rows[0][0], &mut e0);
+        assert_eq!(e0, vec![e(1), e(2), e(3)]);
+        let mut e1 = Vec::new();
+        s.expand_sub(1, rows[0][1], &mut e1);
+        assert_eq!(e1, vec![e(10), e(11)]);
+    }
+
+    pub fn expire_cascades_within_sub<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        s.insert_sub(0, 2, b, e(3));
+        s.insert_sub(0, 2, b, e(4));
+        // Expire e(1): everything dies (positions say e(1) sits at (0,0)).
+        let n = s.expire_edge(e(1), &[(0, 0)]);
+        assert_eq!(n, 4, "1 + 1 + 2 partial matches removed");
+        assert_eq!(s.len_sub(0, 0), 0);
+        assert_eq!(s.len_sub(0, 1), 0);
+        assert_eq!(s.len_sub(0, 2), 0);
+    }
+
+    pub fn expire_middle_level_keeps_prefix<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        s.insert_sub(0, 2, b, e(3));
+        let n = s.expire_edge(e(2), &[(0, 1)]);
+        assert_eq!(n, 2);
+        assert_eq!(s.len_sub(0, 0), 1, "prefix {{1}} survives");
+        assert_eq!(s.len_sub(0, 1), 0);
+        assert_eq!(s.len_sub(0, 2), 0);
+    }
+
+    pub fn expire_cleans_l0<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        let c0 = s.insert_sub(0, 2, b, e(3));
+        let x = s.insert_sub(1, 0, ROOT, e(10));
+        let c1 = s.insert_sub(1, 1, x, e(11));
+        s.insert_l0(1, c0, c1);
+
+        // Expiring e(10) kills sub 1's matches and the L0 row.
+        let n = s.expire_edge(e(10), &[(1, 0)]);
+        assert_eq!(n, 3, "{{10}}, {{10,11}} and the L0 row");
+        assert_eq!(s.len_l0(1), 0);
+        assert_eq!(s.len_sub(0, 2), 1, "sub 0 untouched");
+
+        // Rebuild sub 1 and the join, then expire via sub 0's root edge:
+        // the L0 row must die through the component-0 side too.
+        let x2 = s.insert_sub(1, 0, ROOT, e(20));
+        let c12 = s.insert_sub(1, 1, x2, e(21));
+        s.insert_l0(1, c0, c12);
+        assert_eq!(s.len_l0(1), 1);
+        let n2 = s.expire_edge(e(1), &[(0, 0)]);
+        assert_eq!(n2, 4, "three sub-0 prefixes + 1 L0 row");
+        assert_eq!(s.len_l0(1), 0);
+        assert_eq!(s.len_sub(1, 1), 1, "sub 1 intact");
+    }
+
+    pub fn expire_ignores_unrelated_edges<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        s.insert_sub(0, 1, a, e(2));
+        let n = s.expire_edge(e(99), &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+        assert_eq!(n, 0);
+        assert_eq!(s.len_sub(0, 0), 1);
+        assert_eq!(s.len_sub(0, 1), 1);
+    }
+
+    pub fn space_grows_and_shrinks<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let base = s.space_bytes();
+        let a = s.insert_sub(0, 0, ROOT, e(1));
+        let b = s.insert_sub(0, 1, a, e(2));
+        s.insert_sub(0, 2, b, e(3));
+        let grown = s.space_bytes();
+        assert!(grown > base);
+        s.expire_edge(e(1), &[(0, 0)]);
+        assert!(s.space_bytes() <= grown);
+    }
+
+    pub fn three_sub_l0_chain<S: MatchStore>() {
+        // k = 3 with single-edge subqueries: the L0 list is a 2-level trie.
+        let mut s = S::new(StoreLayout { sub_lens: vec![1, 1, 1] });
+        let c0 = s.insert_sub(0, 0, ROOT, e(1));
+        let c1 = s.insert_sub(1, 0, ROOT, e(2));
+        let c2a = s.insert_sub(2, 0, ROOT, e(3));
+        let c2b = s.insert_sub(2, 0, ROOT, e(4));
+        let u01 = s.insert_l0(1, c0, c1);
+        s.insert_l0(2, u01, c2a);
+        s.insert_l0(2, u01, c2b);
+        assert_eq!(s.len_l0(1), 1);
+        assert_eq!(s.len_l0(2), 2);
+        let mut rows = Vec::new();
+        s.for_each_l0(2, &mut |_, comps| rows.push(comps.to_vec()));
+        rows.sort();
+        assert_eq!(rows, vec![vec![c0, c1, c2a], vec![c0, c1, c2b]]);
+        // Expire the middle subquery's edge: both full rows and u01 die.
+        let n = s.expire_edge(e(2), &[(1, 0)]);
+        assert_eq!(n, 4, "{{2}}, u01, and two level-2 rows");
+        assert_eq!(s.len_l0(1), 0);
+        assert_eq!(s.len_l0(2), 0);
+        assert_eq!(s.len_sub(2, 0), 2);
+    }
+}

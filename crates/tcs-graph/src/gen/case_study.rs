@@ -1,0 +1,181 @@
+//! The §VII-F case study scenario: an information-exfiltration attack
+//! (Figure 1) planted inside benign network traffic.
+//!
+//! The paper monitors the Figure 1 pattern over internal traffic and
+//! detects a ZeuS-botnet compromise. We cannot redistribute that capture,
+//! so this module synthesizes the equivalent: Zipf-skewed benign flows
+//! between hosts, web servers and other services, plus one (or more)
+//! planted attack sequences
+//!
+//! ```text
+//! victim → web server      (t1, HTTP)
+//! web server → victim      (t2, HTTP payload: malware script)
+//! victim → C&C server      (t3, TCP: registration)
+//! C&C server → victim      (t4, TCP: command)
+//! victim → C&C server      (t5, large exfiltration message)
+//! ```
+//!
+//! with the timing order t1 < t2 < t3 < t4 < t5.
+
+use crate::edge::StreamEdge;
+use crate::ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
+use crate::query::{QueryEdge, QueryGraph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Vertex label: every vertex is an IP (as in the CAIDA encoding).
+pub const IP: VLabel = VLabel(0);
+
+/// Edge labels: traffic classes of the scenario.
+pub mod traffic {
+    use crate::ids::ELabel;
+    /// HTTP request.
+    pub const HTTP_REQ: ELabel = ELabel(1);
+    /// HTTP response carrying a payload (scripts, pages…).
+    pub const HTTP_PAYLOAD: ELabel = ELabel(2);
+    /// Small TCP message (registrations, heartbeats…).
+    pub const TCP_SMALL: ELabel = ELabel(3);
+    /// TCP command/control-style message.
+    pub const TCP_CMD: ELabel = ELabel(4);
+    /// Large upload.
+    pub const LARGE_MSG: ELabel = ELabel(5);
+    /// Anything else (DNS, NTP…).
+    pub const OTHER: ELabel = ELabel(6);
+}
+
+/// The Figure 1 query: victim V, web server W, C&C server B.
+///
+/// Edges (with the timing chain t1 < t2 < t3 < t4 < t5):
+/// ε0 = V→W HTTP_REQ, ε1 = W→V HTTP_PAYLOAD, ε2 = V→B TCP_SMALL,
+/// ε3 = B→V TCP_CMD, ε4 = V→B LARGE_MSG.
+pub fn exfiltration_query() -> QueryGraph {
+    // Vertices: 0 = victim, 1 = web server, 2 = C&C server; all label IP.
+    QueryGraph::new(
+        vec![IP, IP, IP],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: traffic::HTTP_REQ },
+            QueryEdge { src: 1, dst: 0, label: traffic::HTTP_PAYLOAD },
+            QueryEdge { src: 0, dst: 2, label: traffic::TCP_SMALL },
+            QueryEdge { src: 2, dst: 0, label: traffic::TCP_CMD },
+            QueryEdge { src: 0, dst: 2, label: traffic::LARGE_MSG },
+        ],
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+    )
+    .expect("exfiltration query is valid")
+}
+
+/// Scenario output: the traffic stream, the monitoring query, and the
+/// timestamp of the planted attack's final (t5) edge.
+pub fn build(seed: u64) -> (Vec<StreamEdge>, QueryGraph, u64) {
+    build_sized(seed, 20_000, 10_000)
+}
+
+/// Builds `n_benign` benign flows over `n_hosts` hosts and plants one
+/// attack in the middle. Timestamps advance one unit per edge.
+pub fn build_sized(seed: u64, n_benign: usize, n_hosts: u32) -> (Vec<StreamEdge>, QueryGraph, u64) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xa77a_c4c2);
+    let classes = [
+        traffic::HTTP_REQ,
+        traffic::HTTP_PAYLOAD,
+        traffic::TCP_SMALL,
+        traffic::TCP_CMD,
+        traffic::LARGE_MSG,
+        traffic::OTHER,
+    ];
+    // Benign class mix: requests and payloads dominate; large uploads and
+    // command-like messages are rare (which is what makes the pattern
+    // selective).
+    let weights = [30u32, 28, 20, 6, 4, 12];
+    let total: u32 = weights.iter().sum();
+    let mut edges: Vec<StreamEdge> = Vec::with_capacity(n_benign + 5);
+    let mut next_id = 0u64;
+    let mut push = |edges: &mut Vec<StreamEdge>, src: u32, dst: u32, label: ELabel| {
+        let ts = edges.len() as u64 + 1;
+        edges.push(StreamEdge {
+            id: EdgeId(next_id),
+            src: VertexId(src),
+            dst: VertexId(dst),
+            src_label: IP,
+            dst_label: IP,
+            label,
+            ts: Timestamp(ts),
+        });
+        next_id += 1;
+    };
+    let attack_start = n_benign / 2;
+    // Attack actors outside the benign host range so the plant is clean.
+    let (victim, web, cnc) = (n_hosts, n_hosts + 1, n_hosts + 2);
+    let mut attack_step = 0usize;
+    let attack_gap = 4; // benign edges between consecutive attack edges
+    let mut planted_at = 0u64;
+    let mut i = 0usize;
+    while i < n_benign || attack_step < 5 {
+        let in_attack_window = i >= attack_start && attack_step < 5;
+        if in_attack_window && (i - attack_start) % attack_gap == 0 {
+            match attack_step {
+                0 => push(&mut edges, victim, web, traffic::HTTP_REQ),
+                1 => push(&mut edges, web, victim, traffic::HTTP_PAYLOAD),
+                2 => push(&mut edges, victim, cnc, traffic::TCP_SMALL),
+                3 => push(&mut edges, cnc, victim, traffic::TCP_CMD),
+                _ => {
+                    push(&mut edges, victim, cnc, traffic::LARGE_MSG);
+                    planted_at = edges.last().expect("just pushed").ts.0;
+                }
+            }
+            attack_step += 1;
+            continue;
+        }
+        if i >= n_benign {
+            // Filler traffic until the attack finishes.
+            let a = rng.gen_range(0..n_hosts);
+            let b = (a + 1 + rng.gen_range(0..n_hosts - 1)) % n_hosts;
+            push(&mut edges, a, b, traffic::OTHER);
+            i += 1;
+            continue;
+        }
+        let mut x = rng.gen_range(0..total);
+        let mut label = traffic::OTHER;
+        for (w, &c) in weights.iter().zip(classes.iter()) {
+            if x < *w {
+                label = c;
+                break;
+            }
+            x -= *w;
+        }
+        let a = rng.gen_range(0..n_hosts);
+        let b = (a + 1 + rng.gen_range(0..n_hosts - 1)) % n_hosts;
+        push(&mut edges, a, b, label);
+        i += 1;
+    }
+    (edges, exfiltration_query(), planted_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_contains_exactly_one_attack() {
+        let (edges, q, planted_at) = build_sized(1, 4_000, 2_000);
+        assert!(planted_at > 0);
+        assert_eq!(q.n_edges(), 5);
+        // The five attack edges exist in order.
+        let victim = 2_000u32;
+        let attack: Vec<&StreamEdge> = edges
+            .iter()
+            .filter(|e| e.src.0 >= victim || e.dst.0 >= victim)
+            .collect();
+        assert_eq!(attack.len(), 5);
+        for w in attack.windows(2) {
+            assert!(w[0].ts < w[1].ts);
+        }
+        super::super::check_stream_invariants(&edges);
+    }
+
+    #[test]
+    fn query_has_full_chain_order() {
+        let q = exfiltration_query();
+        assert!(q.order.is_total());
+        assert!(q.order.lt(0, 4));
+    }
+}

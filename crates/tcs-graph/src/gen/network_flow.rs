@@ -1,0 +1,149 @@
+//! CAIDA-like synthetic network-traffic stream.
+//!
+//! The real dataset ("CAIDA Internet Anonymized Traces 2015") is a sequence
+//! of communication records ⟨src IP/port, dst IP/port, protocol⟩. The paper
+//! turns it into a streaming graph with a single vertex label `IP` and edge
+//! labels ⟨*, dst-port, protocol⟩ where the source port is wildcarded and
+//! the destination-port distribution is extremely skewed (the top 6 of
+//! 65 520 ports — 0.01 % — cover more than half the records).
+//!
+//! This generator reproduces exactly those knobs: one vertex label, a
+//! configurable edge-label alphabet sampled from a Zipf so skewed that the
+//! head dominates, and Zipf-distributed host activity (a small set of
+//! servers receives most traffic).
+
+use super::zipf::Zipf;
+use crate::edge::StreamEdge;
+use crate::ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the network-flow generator.
+#[derive(Clone, Debug)]
+pub struct NetworkFlowGen {
+    /// Number of distinct hosts (IP addresses).
+    pub n_hosts: usize,
+    /// Number of distinct ⟨dst-port, protocol⟩ edge labels.
+    pub n_edge_labels: usize,
+    /// Zipf exponent for the edge-label distribution; 1.4 makes the top 6 of
+    /// 64 labels carry >50 % of the mass, mirroring the CAIDA port skew.
+    pub label_skew: f64,
+    /// Zipf exponent for host activity (who talks / who is talked to).
+    pub host_skew: f64,
+}
+
+impl Default for NetworkFlowGen {
+    fn default() -> Self {
+        NetworkFlowGen {
+            n_hosts: 80_000,
+            n_edge_labels: 64,
+            label_skew: 1.4,
+            host_skew: 0.95,
+        }
+    }
+}
+
+/// The single vertex label of this dataset ("IP").
+pub const IP: VLabel = VLabel(0);
+
+impl NetworkFlowGen {
+    /// Generates `n_edges` flow records.
+    pub fn generate(&self, n_edges: usize, seed: u64) -> Vec<StreamEdge> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6e65_7466_6c6f_7721);
+        let hosts = Zipf::new(self.n_hosts, self.host_skew);
+        let labels = Zipf::new(self.n_edge_labels, self.label_skew);
+        // Host ranks are shuffled once so that "hot" hosts are not simply
+        // ids 0..k — matching anonymized traces where hot IPs are arbitrary.
+        let mut perm: Vec<u32> = (0..self.n_hosts as u32).collect();
+        shuffle(&mut perm, &mut rng);
+        let mut out = Vec::with_capacity(n_edges);
+        let mut ts = 0u64;
+        for i in 0..n_edges {
+            // Mean gap of 1: increments drawn from {1, 1, 1, 1} — keep it
+            // deterministic so window units equal edge counts exactly.
+            ts += 1;
+            let src = perm[hosts.sample(&mut rng)];
+            let mut dst = perm[hosts.sample(&mut rng)];
+            // Self-flows are meaningless in traffic data; redraw uniformly.
+            while dst == src {
+                dst = rng.gen_range(0..self.n_hosts as u32);
+            }
+            out.push(StreamEdge {
+                id: EdgeId(i as u64),
+                src: VertexId(src),
+                dst: VertexId(dst),
+                src_label: IP,
+                dst_label: IP,
+                label: ELabel(labels.sample(&mut rng) as u16),
+                ts: Timestamp(ts),
+            });
+        }
+        out
+    }
+}
+
+/// Fisher–Yates shuffle (avoids pulling in `rand::seq` trait imports at call
+/// sites; `SliceRandom::shuffle` would do the same).
+fn shuffle<T, R: Rng>(xs: &mut [T], rng: &mut R) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn single_vertex_label_and_no_self_loops() {
+        let es = NetworkFlowGen::default().generate(5_000, 1);
+        for e in &es {
+            assert_eq!(e.src_label, IP);
+            assert_eq!(e.dst_label, IP);
+            assert_ne!(e.src, e.dst);
+        }
+        super::super::check_stream_invariants(&es);
+    }
+
+    #[test]
+    fn top_labels_dominate_like_caida() {
+        // Paper: top 6 destination ports cover >50% of records.
+        let es = NetworkFlowGen::default().generate(50_000, 2);
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for e in &es {
+            *counts.entry(e.label.0).or_default() += 1;
+        }
+        let mut freq: Vec<usize> = counts.values().copied().collect();
+        freq.sort_unstable_by(|a, b| b.cmp(a));
+        let top6: usize = freq.iter().take(6).sum();
+        assert!(
+            top6 * 2 > es.len(),
+            "top-6 labels cover {top6}/{} (<50%)",
+            es.len()
+        );
+    }
+
+    #[test]
+    fn host_activity_is_skewed() {
+        let es = NetworkFlowGen::default().generate(20_000, 3);
+        let mut deg: HashMap<u32, usize> = HashMap::new();
+        for e in &es {
+            *deg.entry(e.src.0).or_default() += 1;
+            *deg.entry(e.dst.0).or_default() += 1;
+        }
+        let mut d: Vec<usize> = deg.values().copied().collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        let head: usize = d.iter().take(d.len() / 100 + 1).sum();
+        let total: usize = d.iter().sum();
+        assert!(head * 10 > total, "top 1% of hosts carry >10% of endpoints");
+    }
+
+    #[test]
+    fn mean_gap_is_one_unit() {
+        let es = NetworkFlowGen::default().generate(1_000, 4);
+        let span = es.last().unwrap().ts.0 - es.first().unwrap().ts.0;
+        assert_eq!(span, 999, "unit gap ⇒ window units = edge counts");
+    }
+}

@@ -1,0 +1,169 @@
+//! LSBench-like synthetic streaming social data.
+//!
+//! The Linked Stream Benchmark emits five-tuples ⟨subject type/id, predicate,
+//! object type/id⟩ across GPS, Post and Photo streams. The paper builds a
+//! streaming graph whose vertex labels are the subject/object *types* and
+//! whose edge labels are the *predicates*.
+//!
+//! This generator reproduces that shape with a fixed schema: typed vertices,
+//! a predicate alphabet constrained by (subject type, object type) pairs, a
+//! Zipf-skewed predicate mix, and preferential attachment inside each type
+//! pool (active users post/like/follow more).
+
+use super::zipf::Zipf;
+use crate::edge::StreamEdge;
+use crate::ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Vertex types of the schema.
+pub mod types {
+    use crate::ids::VLabel;
+    pub const USER: VLabel = VLabel(0);
+    pub const POST: VLabel = VLabel(1);
+    pub const PHOTO: VLabel = VLabel(2);
+    pub const GPS: VLabel = VLabel(3);
+    pub const COMMENT: VLabel = VLabel(4);
+    pub const CHANNEL: VLabel = VLabel(5);
+    /// Number of distinct vertex types.
+    pub const COUNT: usize = 6;
+}
+
+/// Predicates of the schema: (edge label, subject type, object type).
+pub const SCHEMA: &[(u16, VLabel, VLabel)] = &[
+    (0, types::USER, types::USER),     // follows
+    (1, types::USER, types::POST),     // creates
+    (2, types::USER, types::POST),     // likes
+    (3, types::USER, types::PHOTO),    // uploads
+    (4, types::USER, types::GPS),      // locatedAt
+    (5, types::USER, types::COMMENT),  // writes
+    (6, types::COMMENT, types::POST),  // replyOf
+    (7, types::POST, types::CHANNEL),  // postedIn
+    (8, types::PHOTO, types::POST),    // attachedTo
+    (9, types::USER, types::CHANNEL),  // subscribes
+    (10, types::POST, types::USER),    // mentions
+    (11, types::COMMENT, types::USER), // mentions (comment)
+];
+
+/// Configuration for the social-stream generator.
+#[derive(Clone, Debug)]
+pub struct SocialStreamGen {
+    /// Size of the user pool (other pools grow with the stream).
+    pub n_users: usize,
+    /// Zipf exponent of the predicate mix.
+    pub predicate_skew: f64,
+    /// Probability that a non-user endpoint is a *fresh* entity rather than
+    /// a recently created one (content keeps being produced).
+    pub fresh_entity_prob: f64,
+    /// Zipf exponent of user activity.
+    pub user_skew: f64,
+}
+
+impl Default for SocialStreamGen {
+    fn default() -> Self {
+        SocialStreamGen {
+            n_users: 100_000,
+            predicate_skew: 0.9,
+            fresh_entity_prob: 0.5,
+            user_skew: 0.9,
+        }
+    }
+}
+
+impl SocialStreamGen {
+    /// Generates `n_edges` typed social events.
+    pub fn generate(&self, n_edges: usize, seed: u64) -> Vec<StreamEdge> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x736f_6369_616c_2121);
+        let predicates = Zipf::new(SCHEMA.len(), self.predicate_skew);
+        let users = Zipf::new(self.n_users, self.user_skew);
+        // Per-type entity pools. Users are pre-populated; content types grow.
+        // Vertex ids are globally unique: type t gets ids ≡ t (mod COUNT).
+        let mut pool_sizes = [0usize; types::COUNT];
+        pool_sizes[types::USER.0 as usize] = self.n_users;
+        let entity_zipf = Zipf::new(16_384, 0.6); // recency-skew for content reuse
+
+        let mut pick = |t: VLabel, rng: &mut SmallRng, fresh_p: f64| -> VertexId {
+            let ti = t.0 as usize;
+            let fresh = pool_sizes[ti] == 0 || rng.gen::<f64>() < fresh_p;
+            let rank = if t == types::USER {
+                users.sample(rng)
+            } else if fresh {
+                let r = pool_sizes[ti];
+                pool_sizes[ti] += 1;
+                r
+            } else {
+                // Prefer recently created entities (higher rank index).
+                let n = pool_sizes[ti];
+                let back = entity_zipf.sample(rng).min(n - 1);
+                n - 1 - back
+            };
+            VertexId((rank * types::COUNT + ti) as u32)
+        };
+
+        let mut out = Vec::with_capacity(n_edges);
+        for i in 0..n_edges {
+            let (label, st, ot) = SCHEMA[predicates.sample(&mut rng)];
+            let src = pick(st, &mut rng, self.fresh_entity_prob);
+            let mut dst = pick(ot, &mut rng, self.fresh_entity_prob);
+            while dst == src {
+                dst = pick(ot, &mut rng, 1.0);
+            }
+            out.push(StreamEdge {
+                id: EdgeId(i as u64),
+                src,
+                dst,
+                src_label: st,
+                dst_label: ot,
+                label: ELabel(label),
+                ts: Timestamp(i as u64 + 1),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn every_edge_conforms_to_schema() {
+        let es = SocialStreamGen::default().generate(5_000, 9);
+        for e in &es {
+            let ok = SCHEMA
+                .iter()
+                .any(|&(l, s, o)| l == e.label.0 && s == e.src_label && o == e.dst_label);
+            assert!(ok, "edge {e:?} violates the schema");
+            assert_ne!(e.src, e.dst);
+            // Id partitioning: type encoded in id mod COUNT.
+            assert_eq!(e.src.0 as usize % types::COUNT, e.src_label.0 as usize);
+            assert_eq!(e.dst.0 as usize % types::COUNT, e.dst_label.0 as usize);
+        }
+        super::super::check_stream_invariants(&es);
+    }
+
+    #[test]
+    fn predicate_mix_is_skewed() {
+        let es = SocialStreamGen::default().generate(20_000, 10);
+        let mut counts: HashMap<u16, usize> = HashMap::new();
+        for e in &es {
+            *counts.entry(e.label.0).or_default() += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        let min = counts.values().min().copied().unwrap();
+        assert!(max > 3 * min, "expected a skewed predicate mix");
+    }
+
+    #[test]
+    fn content_pools_grow() {
+        let es = SocialStreamGen::default().generate(20_000, 11);
+        let posts: std::collections::HashSet<u32> = es
+            .iter()
+            .flat_map(|e| [(e.src, e.src_label), (e.dst, e.dst_label)])
+            .filter(|&(_, l)| l == types::POST)
+            .map(|(v, _)| v.0)
+            .collect();
+        assert!(posts.len() > 100, "post pool grew to {}", posts.len());
+    }
+}

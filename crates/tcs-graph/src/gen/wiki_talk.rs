@@ -1,0 +1,125 @@
+//! SNAP wiki-talk-like synthetic communication stream.
+//!
+//! The real dataset records "user A edited user B's talk page at time t";
+//! the paper labels each vertex with the first character of the user name
+//! and leaves edges unlabelled. This generator reproduces: ~26 vertex labels
+//! with an English-first-letter frequency skew, power-law user activity, and
+//! no edge labels.
+
+use super::zipf::Zipf;
+use crate::edge::StreamEdge;
+use crate::ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Approximate first-letter frequencies of English names, per mille.
+/// (Coarse buckets are fine: only the *skew* matters for selectivity.)
+const LETTER_WEIGHTS: [u32; 26] = [
+    89, 45, 52, 49, 28, 25, 33, 41, 19, 61, 44, 38, 79, 26, 17, 42, 4, 48, 86, 54, 11, 13, 31, 2,
+    14, 9,
+];
+
+/// Configuration for the wiki-talk generator.
+#[derive(Clone, Debug)]
+pub struct WikiTalkGen {
+    /// Number of distinct users.
+    pub n_users: usize,
+    /// Zipf exponent of user activity (talk-page edits follow a power law).
+    pub user_skew: f64,
+}
+
+impl Default for WikiTalkGen {
+    fn default() -> Self {
+        WikiTalkGen {
+            n_users: 200_000,
+            user_skew: 1.0,
+        }
+    }
+}
+
+impl WikiTalkGen {
+    /// Generates `n_edges` talk-page edit events.
+    pub fn generate(&self, n_edges: usize, seed: u64) -> Vec<StreamEdge> {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x7769_6b69_7461_6c6b);
+        let users = Zipf::new(self.n_users, self.user_skew);
+        // Assign every user a first-letter label once, weighted by
+        // LETTER_WEIGHTS.
+        let total: u32 = LETTER_WEIGHTS.iter().sum();
+        let labels: Vec<VLabel> = (0..self.n_users)
+            .map(|_| {
+                let mut x = rng.gen_range(0..total);
+                for (i, &w) in LETTER_WEIGHTS.iter().enumerate() {
+                    if x < w {
+                        return VLabel(i as u16);
+                    }
+                    x -= w;
+                }
+                VLabel(25)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n_edges);
+        for i in 0..n_edges {
+            let src = users.sample(&mut rng) as u32;
+            let mut dst = users.sample(&mut rng) as u32;
+            while dst == src {
+                dst = rng.gen_range(0..self.n_users as u32);
+            }
+            out.push(StreamEdge {
+                id: EdgeId(i as u64),
+                src: VertexId(src),
+                dst: VertexId(dst),
+                src_label: labels[src as usize],
+                dst_label: labels[dst as usize],
+                label: ELabel::NONE,
+                ts: Timestamp(i as u64 + 1),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn labels_are_letters_and_stable_per_user() {
+        let es = WikiTalkGen::default().generate(10_000, 5);
+        let mut seen: HashMap<u32, VLabel> = HashMap::new();
+        for e in &es {
+            assert!(e.src_label.0 < 26 && e.dst_label.0 < 26);
+            assert_eq!(e.label, ELabel::NONE);
+            for (v, l) in [(e.src.0, e.src_label), (e.dst.0, e.dst_label)] {
+                if let Some(prev) = seen.insert(v, l) {
+                    assert_eq!(prev, l, "user {v} changed label");
+                }
+            }
+        }
+        super::super::check_stream_invariants(&es);
+    }
+
+    #[test]
+    fn label_distribution_is_skewed() {
+        let es = WikiTalkGen::default().generate(20_000, 6);
+        let mut counts = [0usize; 26];
+        for e in &es {
+            counts[e.src_label.0 as usize] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min_nonzero = counts.iter().filter(|&&c| c > 0).min().unwrap();
+        assert!(*max > min_nonzero * 3);
+    }
+
+    #[test]
+    fn activity_is_power_law_like() {
+        let es = WikiTalkGen::default().generate(20_000, 7);
+        let mut deg: HashMap<u32, usize> = HashMap::new();
+        for e in &es {
+            *deg.entry(e.src.0).or_default() += 1;
+        }
+        let mut d: Vec<usize> = deg.values().copied().collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(d[0] > 20, "hottest user is very active (got {})", d[0]);
+    }
+}

@@ -1,0 +1,110 @@
+//! A small Zipf sampler over `{0, …, n−1}`.
+//!
+//! `rand` without `rand_distr` has no Zipf distribution; the generators need
+//! one to reproduce the heavy skew the paper reports (e.g. the top 0.01% of
+//! destination ports covering >50% of CAIDA records). A precomputed CDF and
+//! binary search is exact and fast enough for stream generation.
+
+use rand::Rng;
+
+/// Zipf distribution with exponent `s` over ranks `0..n` (rank 0 most
+/// probable).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over empty support");
+        assert!(s.is_finite(), "exponent must be finite");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the first index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `k` (for tests).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_probable() {
+        let z = Zipf::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn samples_within_support_and_skewed() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let k = z.sample(&mut rng);
+            assert!(k < 1000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        // With s=1.2 the top-10 ranks carry well over a third of the mass.
+        assert!(head as f64 / N as f64 > 0.35, "head mass {head}/{N}");
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

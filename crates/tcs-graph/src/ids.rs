@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! All identifiers are thin newtypes over small integers so they are `Copy`,
+//! hash fast and keep match records compact (see the type-size advice in the
+//! Rust performance guidance this repo follows).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A data-graph vertex identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VertexId(pub u32);
+
+/// A data-graph edge identifier, unique over the whole stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u64);
+
+/// A vertex label (e.g. `IP`, `user`, `post`, or a letter bucket).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VLabel(pub u16);
+
+/// An edge label (e.g. a ⟨dst-port, protocol⟩ bucket or a predicate).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ELabel(pub u16);
+
+/// A logical timestamp. Stream edges carry strictly increasing timestamps
+/// (Definition 1), so `Timestamp` also totally orders edge arrivals.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Timestamp(pub u64);
+
+impl ELabel {
+    /// The "no edge label" value used by datasets that only label vertices
+    /// (e.g. wiki-talk).
+    pub const NONE: ELabel = ELabel(0);
+}
+
+impl Timestamp {
+    /// Saturating subtraction; convenient for computing the left window bound
+    /// `t - |W|` without underflow at stream start.
+    #[inline]
+    pub fn saturating_sub(self, d: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d))
+    }
+}
+
+macro_rules! impl_debug_display {
+    ($t:ty, $prefix:literal) => {
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+impl_debug_display!(VertexId, "v");
+impl_debug_display!(EdgeId, "e");
+impl_debug_display!(VLabel, "L");
+impl_debug_display!(ELabel, "l");
+impl_debug_display!(Timestamp, "t");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<EdgeId>(), 8);
+        assert_eq!(std::mem::size_of::<VLabel>(), 2);
+        assert_eq!(std::mem::size_of::<Timestamp>(), 8);
+    }
+
+    #[test]
+    fn timestamp_saturating_sub() {
+        assert_eq!(Timestamp(10).saturating_sub(3), Timestamp(7));
+        assert_eq!(Timestamp(2).saturating_sub(9), Timestamp(0));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", VertexId(3)), "v3");
+        assert_eq!(format!("{:?}", EdgeId(7)), "e7");
+        assert_eq!(format!("{}", Timestamp(5)), "5");
+    }
+
+    #[test]
+    fn ordering_follows_inner_value() {
+        assert!(Timestamp(1) < Timestamp(2));
+        assert!(EdgeId(1) < EdgeId(2));
+        assert!(VertexId(1) < VertexId(2));
+    }
+}

@@ -1,0 +1,197 @@
+//! Plain-text serialization of streams and queries.
+//!
+//! The formats are line-oriented and diff-friendly so experiment inputs can
+//! be checked into a repository or produced by external tools:
+//!
+//! * **Stream line**: `id src src_label dst dst_label edge_label ts`
+//! * **Query file**: a `v` line per vertex (`v <index> <label>`), an `e` line
+//!   per edge (`e <src> <dst> <label>`), and a `t` line per timing pair
+//!   (`t <before> <after>`), with `#` comments.
+
+use crate::edge::StreamEdge;
+use crate::query::{QueryEdge, QueryError, QueryGraph};
+use crate::{ELabel, VLabel};
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+/// Errors from the text parsers.
+#[derive(Debug)]
+pub enum ParseError {
+    /// A line had the wrong number of fields.
+    Arity { line: usize, expected: usize, got: usize },
+    /// A field failed integer parsing.
+    Int { line: usize, source: ParseIntError },
+    /// Unknown record tag in a query file.
+    UnknownTag { line: usize, tag: String },
+    /// The parsed query failed validation.
+    Query(QueryError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Arity { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            ParseError::Int { line, source } => write!(f, "line {line}: {source}"),
+            ParseError::UnknownTag { line, tag } => write!(f, "line {line}: unknown tag {tag:?}"),
+            ParseError::Query(e) => write!(f, "invalid query: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a stream to the line format.
+pub fn stream_to_string(edges: &[StreamEdge]) -> String {
+    let mut s = String::with_capacity(edges.len() * 32);
+    for e in edges {
+        writeln!(
+            s,
+            "{} {} {} {} {} {} {}",
+            e.id.0, e.src.0, e.src_label.0, e.dst.0, e.dst_label.0, e.label.0, e.ts.0
+        )
+        .expect("writing to String cannot fail");
+    }
+    s
+}
+
+/// Parses a stream from the line format; blank lines and `#` comments are
+/// skipped.
+pub fn stream_from_str(text: &str) -> Result<Vec<StreamEdge>, ParseError> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 7 {
+            return Err(ParseError::Arity { line: ln + 1, expected: 7, got: fields.len() });
+        }
+        let p = |s: &str| -> Result<u64, ParseError> {
+            s.parse().map_err(|source| ParseError::Int { line: ln + 1, source })
+        };
+        out.push(StreamEdge::new(
+            p(fields[0])?,
+            p(fields[1])? as u32,
+            p(fields[2])? as u16,
+            p(fields[3])? as u32,
+            p(fields[4])? as u16,
+            p(fields[5])? as u16,
+            p(fields[6])?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Serializes a query to the `v`/`e`/`t` format.
+pub fn query_to_string(q: &QueryGraph) -> String {
+    let mut s = String::new();
+    for (i, l) in q.vertex_labels.iter().enumerate() {
+        writeln!(s, "v {i} {}", l.0).expect("writing to String cannot fail");
+    }
+    for e in &q.edges {
+        writeln!(s, "e {} {} {}", e.src, e.dst, e.label.0).expect("writing to String cannot fail");
+    }
+    for &(a, b) in q.order.pairs() {
+        writeln!(s, "t {a} {b}").expect("writing to String cannot fail");
+    }
+    s
+}
+
+/// Parses a query from the `v`/`e`/`t` format.
+pub fn query_from_str(text: &str) -> Result<QueryGraph, ParseError> {
+    let mut labels: Vec<(usize, VLabel)> = Vec::new();
+    let mut edges = Vec::new();
+    let mut pairs = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let p = |s: &str| -> Result<usize, ParseError> {
+            s.parse().map_err(|source| ParseError::Int { line: ln + 1, source })
+        };
+        match fields[0] {
+            "v" => {
+                if fields.len() != 3 {
+                    return Err(ParseError::Arity { line: ln + 1, expected: 3, got: fields.len() });
+                }
+                labels.push((p(fields[1])?, VLabel(p(fields[2])? as u16)));
+            }
+            "e" => {
+                if fields.len() != 4 {
+                    return Err(ParseError::Arity { line: ln + 1, expected: 4, got: fields.len() });
+                }
+                edges.push(QueryEdge {
+                    src: p(fields[1])?,
+                    dst: p(fields[2])?,
+                    label: ELabel(p(fields[3])? as u16),
+                });
+            }
+            "t" => {
+                if fields.len() != 3 {
+                    return Err(ParseError::Arity { line: ln + 1, expected: 3, got: fields.len() });
+                }
+                pairs.push((p(fields[1])?, p(fields[2])?));
+            }
+            tag => {
+                return Err(ParseError::UnknownTag { line: ln + 1, tag: tag.to_string() });
+            }
+        }
+    }
+    labels.sort_by_key(|&(i, _)| i);
+    let vlabels: Vec<VLabel> = labels.into_iter().map(|(_, l)| l).collect();
+    QueryGraph::new(vlabels, edges, &pairs).map_err(ParseError::Query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Dataset;
+
+    #[test]
+    fn stream_round_trip() {
+        let es = Dataset::NetworkFlow.generate(200, 4);
+        let text = stream_to_string(&es);
+        let back = stream_from_str(&text).unwrap();
+        assert_eq!(es, back);
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = QueryGraph::running_example();
+        let text = query_to_string(&q);
+        let back = query_from_str(&text).unwrap();
+        assert_eq!(q.vertex_labels, back.vertex_labels);
+        assert_eq!(q.edges, back.edges);
+        assert_eq!(q.order, back.order);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# a stream\n\n1 0 0 1 0 0 1\n";
+        let es = stream_from_str(text).unwrap();
+        assert_eq!(es.len(), 1);
+    }
+
+    #[test]
+    fn arity_error_reported_with_line() {
+        let err = stream_from_str("1 2 3").unwrap_err();
+        assert!(matches!(err, ParseError::Arity { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let err = query_from_str("x 1 2").unwrap_err();
+        assert!(matches!(err, ParseError::UnknownTag { .. }));
+    }
+
+    #[test]
+    fn bad_int_rejected() {
+        let err = stream_from_str("a 0 0 1 0 0 1").unwrap_err();
+        assert!(matches!(err, ParseError::Int { line: 1, .. }));
+    }
+}

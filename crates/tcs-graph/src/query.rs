@@ -1,0 +1,526 @@
+//! Query graphs with timing-order constraints (Definitions 3, 6, 7).
+//!
+//! A [`QueryGraph`] is a connected, directed, vertex/edge-labelled graph
+//! together with a strict partial order ≺ over its edges — the *timing
+//! order*. `i ≺ j` requires the data edge matched to query edge `i` to carry
+//! a smaller timestamp than the one matched to query edge `j`.
+//!
+//! Queries are small (the paper evaluates up to 21 edges), so the timing
+//! order's transitive closure is stored as one `u64` bitmask per query edge;
+//! every reachability / prerequisite query is then a couple of bit
+//! operations. Queries are limited to [`MAX_QUERY_EDGES`] edges.
+
+use crate::ids::{ELabel, VLabel};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of edges in a query graph (bitmask-backed closure).
+pub const MAX_QUERY_EDGES: usize = 64;
+
+/// A directed query edge between query-local vertex indices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueryEdge {
+    /// Index of the source vertex in [`QueryGraph::vertex_labels`].
+    pub src: usize,
+    /// Index of the destination vertex.
+    pub dst: usize,
+    /// Edge label ([`ELabel::NONE`] if unlabelled).
+    pub label: ELabel,
+}
+
+/// Errors produced while building or validating a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// More than [`MAX_QUERY_EDGES`] edges.
+    TooManyEdges(usize),
+    /// An edge referenced a vertex index that does not exist.
+    DanglingVertex { edge: usize, vertex: usize },
+    /// A timing constraint referenced a non-existent edge index.
+    DanglingTiming(usize),
+    /// The timing order is not a strict partial order (it has a cycle,
+    /// possibly a self-loop `i ≺ i`).
+    CyclicTiming,
+    /// The query structure is not weakly connected.
+    Disconnected,
+    /// The query has no edges.
+    Empty,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::TooManyEdges(n) => {
+                write!(f, "query has {n} edges, maximum is {MAX_QUERY_EDGES}")
+            }
+            QueryError::DanglingVertex { edge, vertex } => {
+                write!(f, "edge {edge} references unknown vertex {vertex}")
+            }
+            QueryError::DanglingTiming(e) => {
+                write!(f, "timing constraint references unknown edge {e}")
+            }
+            QueryError::CyclicTiming => write!(f, "timing order contains a cycle"),
+            QueryError::Disconnected => write!(f, "query graph is not weakly connected"),
+            QueryError::Empty => write!(f, "query graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The transitive closure of the timing order, as per-edge bitmasks.
+///
+/// `before[j]` has bit `i` set iff `i ≺ j` (edge `i` must arrive before edge
+/// `j`); `after[i]` has bit `j` set iff `i ≺ j`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingOrder {
+    before: Vec<u64>,
+    after: Vec<u64>,
+    /// The user-supplied (non-closed) constraint pairs, kept for display and
+    /// for serialization round-trips.
+    pairs: Vec<(usize, usize)>,
+}
+
+impl TimingOrder {
+    /// Builds the closure from explicit `(i, j)` pairs meaning `i ≺ j`.
+    ///
+    /// Returns an error if any index is out of range or the relation is not
+    /// acyclic (a strict partial order cannot contain cycles).
+    pub fn new(n_edges: usize, pairs: &[(usize, usize)]) -> Result<Self, QueryError> {
+        if n_edges > MAX_QUERY_EDGES {
+            return Err(QueryError::TooManyEdges(n_edges));
+        }
+        let mut before = vec![0u64; n_edges];
+        for &(i, j) in pairs {
+            if i >= n_edges {
+                return Err(QueryError::DanglingTiming(i));
+            }
+            if j >= n_edges {
+                return Err(QueryError::DanglingTiming(j));
+            }
+            before[j] |= 1u64 << i;
+        }
+        // Transitive closure: iterate until fixpoint. Queries are tiny, so a
+        // simple O(n^2·rounds) loop over bitmasks is plenty fast.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for j in 0..n_edges {
+                let mut acc = before[j];
+                let mut preds = before[j];
+                while preds != 0 {
+                    let i = preds.trailing_zeros() as usize;
+                    preds &= preds - 1;
+                    acc |= before[i];
+                }
+                if acc != before[j] {
+                    before[j] = acc;
+                    changed = true;
+                }
+            }
+        }
+        // A strict partial order is irreflexive; after closure a cycle shows
+        // up as `i ≺ i`.
+        for (j, &mask) in before.iter().enumerate() {
+            if mask & (1u64 << j) != 0 {
+                return Err(QueryError::CyclicTiming);
+            }
+        }
+        let mut after = vec![0u64; n_edges];
+        for (j, &mask) in before.iter().enumerate() {
+            let mut preds = mask;
+            while preds != 0 {
+                let i = preds.trailing_zeros() as usize;
+                preds &= preds - 1;
+                after[i] |= 1u64 << j;
+            }
+        }
+        Ok(TimingOrder {
+            before,
+            after,
+            pairs: pairs.to_vec(),
+        })
+    }
+
+    /// An empty timing order over `n_edges` edges (`≺ = ∅`).
+    pub fn empty(n_edges: usize) -> Self {
+        TimingOrder::new(n_edges, &[]).expect("empty order is always valid")
+    }
+
+    /// Number of edges this order ranges over.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.before.len()
+    }
+
+    /// Whether `i ≺ j` holds in the closure.
+    #[inline]
+    pub fn lt(&self, i: usize, j: usize) -> bool {
+        self.before[j] & (1u64 << i) != 0
+    }
+
+    /// Bitmask of all edges `i` with `i ≺ j`.
+    #[inline]
+    pub fn before_mask(&self, j: usize) -> u64 {
+        self.before[j]
+    }
+
+    /// Bitmask of all edges `j` with `i ≺ j`.
+    #[inline]
+    pub fn after_mask(&self, i: usize) -> u64 {
+        self.after[i]
+    }
+
+    /// Prerequisite edge set `Preq(j) = {i | i ≺ j} ∪ {j}` (Definition 6).
+    #[inline]
+    pub fn preq_mask(&self, j: usize) -> u64 {
+        self.before[j] | (1u64 << j)
+    }
+
+    /// The original (pre-closure) constraint pairs.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// True when the closure contains no constraint at all.
+    pub fn is_empty(&self) -> bool {
+        self.before.iter().all(|&m| m == 0)
+    }
+
+    /// True when the closure is a total order over all edges.
+    pub fn is_total(&self) -> bool {
+        let n = self.n_edges();
+        (0..n).all(|j| self.before[j].count_ones() as usize + self.count_after(j) == n - 1)
+    }
+
+    fn count_after(&self, i: usize) -> usize {
+        self.after[i].count_ones() as usize
+    }
+}
+
+/// A continuous query: structure + labels + timing order (Definition 3).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QueryGraph {
+    /// Label of each query vertex, indexed by vertex id.
+    pub vertex_labels: Vec<VLabel>,
+    /// Directed query edges; the edge index is the canonical identity used by
+    /// the timing order, match records, decompositions and stores.
+    pub edges: Vec<QueryEdge>,
+    /// Timing-order closure over `edges`.
+    pub order: TimingOrder,
+}
+
+impl QueryGraph {
+    /// Builds and validates a query.
+    pub fn new(
+        vertex_labels: Vec<VLabel>,
+        edges: Vec<QueryEdge>,
+        timing_pairs: &[(usize, usize)],
+    ) -> Result<Self, QueryError> {
+        if edges.is_empty() {
+            return Err(QueryError::Empty);
+        }
+        if edges.len() > MAX_QUERY_EDGES {
+            return Err(QueryError::TooManyEdges(edges.len()));
+        }
+        for (i, e) in edges.iter().enumerate() {
+            for v in [e.src, e.dst] {
+                if v >= vertex_labels.len() {
+                    return Err(QueryError::DanglingVertex { edge: i, vertex: v });
+                }
+            }
+        }
+        let order = TimingOrder::new(edges.len(), timing_pairs)?;
+        let q = QueryGraph {
+            vertex_labels,
+            edges,
+            order,
+        };
+        let all = if q.edges.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << q.edges.len()) - 1
+        };
+        if !q.edge_set_connected(all) {
+            return Err(QueryError::Disconnected);
+        }
+        Ok(q)
+    }
+
+    /// Number of query edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of query vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.vertex_labels.len()
+    }
+
+    /// The label signature a data edge must carry to match query edge `e`.
+    #[inline]
+    pub fn signature(&self, e: usize) -> (VLabel, VLabel, ELabel) {
+        let qe = &self.edges[e];
+        (
+            self.vertex_labels[qe.src],
+            self.vertex_labels[qe.dst],
+            qe.label,
+        )
+    }
+
+    /// Whether two query edges share at least one endpoint.
+    pub fn edges_adjacent(&self, a: usize, b: usize) -> bool {
+        let (ea, eb) = (&self.edges[a], &self.edges[b]);
+        ea.src == eb.src || ea.src == eb.dst || ea.dst == eb.src || ea.dst == eb.dst
+    }
+
+    /// Whether the subquery induced by the edges in `mask` is weakly
+    /// connected (Definition 7 building block). The empty set and singletons
+    /// are connected by convention.
+    pub fn edge_set_connected(&self, mask: u64) -> bool {
+        let count = mask.count_ones();
+        if count <= 1 {
+            return true;
+        }
+        let first = mask.trailing_zeros() as usize;
+        let mut visited = 1u64 << first;
+        let mut frontier = visited;
+        while frontier != 0 {
+            let mut next = 0u64;
+            let mut f = frontier;
+            while f != 0 {
+                let e = f.trailing_zeros() as usize;
+                f &= f - 1;
+                let mut rest = mask & !visited;
+                while rest != 0 {
+                    let g = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    if self.edges_adjacent(e, g) {
+                        next |= 1u64 << g;
+                    }
+                }
+            }
+            visited |= next;
+            frontier = next;
+        }
+        visited.count_ones() == count
+    }
+
+    /// Set of vertex indices touched by the edges in `mask`, as a bitmask
+    /// (queries are small, so vertices also fit in a `u64` in practice; falls
+    /// back to a `Vec<bool>` beyond 64 vertices).
+    pub fn vertices_of(&self, mask: u64) -> Vec<usize> {
+        let mut seen = vec![false; self.n_vertices()];
+        let mut out = Vec::new();
+        let mut m = mask;
+        while m != 0 {
+            let e = m.trailing_zeros() as usize;
+            m &= m - 1;
+            for v in [self.edges[e].src, self.edges[e].dst] {
+                if !seen[v] {
+                    seen[v] = true;
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The diameter of the query treated as an undirected graph, in hops.
+    /// Used by the IncMat baseline to bound the affected area of an update.
+    pub fn diameter(&self) -> usize {
+        let n = self.n_vertices();
+        let mut adj = vec![Vec::new(); n];
+        for e in &self.edges {
+            adj[e.src].push(e.dst);
+            adj[e.dst].push(e.src);
+        }
+        let mut best = 0;
+        for s in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adj[u] {
+                    if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            best = best.max(dist.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0));
+        }
+        best
+    }
+
+    /// The running example of the paper (Figure 5): 6 vertices a–f, 6 edges,
+    /// timing order 6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4 (using the paper's 1-based edge
+    /// numbers; our edge indices are 0-based, i.e. paper edge `k` is index
+    /// `k-1`).
+    pub fn running_example() -> QueryGraph {
+        // Vertices: 0=a, 1=b, 2=c, 3=d, 4=e, 5=f with distinct labels.
+        let labels = (0..6).map(VLabel).collect();
+        // Edges follow Figure 5a: ε1=(a→b)? The figure draws:
+        //   ε1: d→a? — the figure is schematic; what matters for all of the
+        // paper's algebra is adjacency + the timing order, which we replicate:
+        //   ε1 joins a–b, ε2 joins b–c, ε3 joins a–d(?) ...
+        // We use the decomposition of Figure 8: Q1 = {ε6, ε5, ε4} on vertices
+        // {c,d,e,f}, Q2 = {ε3, ε1} on {a,b,d}, Q3 = {ε2} on {b,c}; and the
+        // prerequisite subqueries of Figure 6.
+        // Edge shapes follow Figure 11's stored matches: ε1 = a→b
+        // (σ8 = a1→b3 matches ε1), ε3 = d→b (σ7 = d5→b3 matches ε3).
+        let edges = vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE }, // ε1: a→b
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE }, // ε2: b→c
+            QueryEdge { src: 3, dst: 1, label: ELabel::NONE }, // ε3: d→b
+            QueryEdge { src: 3, dst: 2, label: ELabel::NONE }, // ε4: d→c
+            QueryEdge { src: 2, dst: 4, label: ELabel::NONE }, // ε5: c→e
+            QueryEdge { src: 4, dst: 5, label: ELabel::NONE }, // ε6: e→f
+        ];
+        // 6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4 (1-based) → (5,2),(2,0),(5,4),(4,3).
+        QueryGraph::new(labels, edges, &[(5, 2), (2, 0), (5, 4), (4, 3)])
+            .expect("running example is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_query(n_edges: usize) -> QueryGraph {
+        // v0 -> v1 -> ... with distinct labels, no timing order.
+        let labels = (0..=n_edges as u16).map(VLabel).collect();
+        let edges = (0..n_edges)
+            .map(|i| QueryEdge {
+                src: i,
+                dst: i + 1,
+                label: ELabel::NONE,
+            })
+            .collect();
+        QueryGraph::new(labels, edges, &[]).unwrap()
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let o = TimingOrder::new(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(o.lt(0, 3));
+        assert!(o.lt(1, 3));
+        assert!(o.lt(0, 2));
+        assert!(!o.lt(3, 0));
+        assert!(o.is_total());
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        assert_eq!(
+            TimingOrder::new(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err(),
+            QueryError::CyclicTiming
+        );
+        assert_eq!(
+            TimingOrder::new(2, &[(1, 1)]).unwrap_err(),
+            QueryError::CyclicTiming
+        );
+    }
+
+    #[test]
+    fn preq_contains_self_and_predecessors() {
+        let o = TimingOrder::new(3, &[(0, 2), (1, 2)]).unwrap();
+        assert_eq!(o.preq_mask(2), 0b111);
+        assert_eq!(o.preq_mask(0), 0b001);
+        assert!(o.is_empty() == false);
+    }
+
+    #[test]
+    fn empty_and_total_flags() {
+        assert!(TimingOrder::empty(5).is_empty());
+        assert!(!TimingOrder::empty(2).is_total());
+        assert!(TimingOrder::new(1, &[]).unwrap().is_total());
+    }
+
+    #[test]
+    fn running_example_order() {
+        let q = QueryGraph::running_example();
+        // 6 ≺ 3 ≺ 1  (indices 5 ≺ 2 ≺ 0)
+        assert!(q.order.lt(5, 2));
+        assert!(q.order.lt(2, 0));
+        assert!(q.order.lt(5, 0)); // transitivity
+        // 6 ≺ 5 ≺ 4 (indices 5 ≺ 4 ≺ 3)
+        assert!(q.order.lt(5, 4));
+        assert!(q.order.lt(4, 3));
+        assert!(q.order.lt(5, 3));
+        // unrelated pairs
+        assert!(!q.order.lt(0, 1));
+        assert!(!q.order.lt(1, 0));
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        let q = QueryGraph::running_example();
+        let all = (1u64 << 6) - 1;
+        assert!(q.edge_set_connected(all));
+        // Q1 = {ε6, ε5, ε4} = indices {5,4,3}: connected.
+        assert!(q.edge_set_connected(0b111000));
+        // Preq(ε1) = {ε6, ε3, ε1} = indices {5,2,0}: ε6=e→f is NOT adjacent
+        // to a→b / d→b, so disconnected (Figure 6a shows it disconnected).
+        assert!(!q.edge_set_connected(0b100101));
+        // Singleton / empty masks are connected.
+        assert!(q.edge_set_connected(0));
+        assert!(q.edge_set_connected(0b1000));
+    }
+
+    #[test]
+    fn disconnected_query_rejected() {
+        let labels = vec![VLabel(0); 4];
+        let edges = vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
+        ];
+        assert_eq!(
+            QueryGraph::new(labels, edges, &[]).unwrap_err(),
+            QueryError::Disconnected
+        );
+    }
+
+    #[test]
+    fn dangling_vertex_rejected() {
+        let labels = vec![VLabel(0)];
+        let edges = vec![QueryEdge { src: 0, dst: 1, label: ELabel::NONE }];
+        assert!(matches!(
+            QueryGraph::new(labels, edges, &[]).unwrap_err(),
+            QueryError::DanglingVertex { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_query_rejected() {
+        assert_eq!(
+            QueryGraph::new(vec![], vec![], &[]).unwrap_err(),
+            QueryError::Empty
+        );
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(path_query(1).diameter(), 1);
+        assert_eq!(path_query(5).diameter(), 5);
+        assert_eq!(QueryGraph::running_example().diameter(), 4);
+    }
+
+    #[test]
+    fn vertices_of_mask() {
+        let q = QueryGraph::running_example();
+        let mut vs = q.vertices_of(0b111000); // Q1 = {ε4,ε5,ε6}
+        vs.sort_unstable();
+        assert_eq!(vs, vec![2, 3, 4, 5]); // c, d, e, f
+    }
+
+    #[test]
+    fn signature_uses_vertex_labels() {
+        let q = QueryGraph::running_example();
+        let (s, d, l) = q.signature(1); // ε2: b→c
+        assert_eq!(s, VLabel(1));
+        assert_eq!(d, VLabel(2));
+        assert_eq!(l, ELabel::NONE);
+    }
+}

@@ -1,0 +1,233 @@
+//! The current-window snapshot graph `G_t` (Definition 2).
+//!
+//! Engines that recompute matches from the graph structure (the IncMat
+//! baseline family and the test oracle) need random access to the live
+//! edges: adjacency lists per vertex, an edge-signature index for candidate
+//! retrieval, and k-hop neighbourhood extraction for affected-area
+//! computation. The paper's own method deliberately does *not* keep this
+//! structure (§VII-C2 credits part of its space advantage to that), which is
+//! why the snapshot lives in the substrate crate and is only wired into the
+//! baselines.
+
+use crate::edge::StreamEdge;
+use crate::ids::{ELabel, EdgeId, VLabel, VertexId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Direction of an incident edge relative to the indexed vertex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// The vertex is the edge's source.
+    Out,
+    /// The vertex is the edge's destination.
+    In,
+}
+
+/// A mutable snapshot of the live window contents with adjacency and
+/// label indexes.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    edges: HashMap<EdgeId, StreamEdge>,
+    /// vertex → incident edge ids (both directions).
+    adj: HashMap<VertexId, Vec<(EdgeId, Dir)>>,
+    /// (src label, dst label, edge label) → live edge ids.
+    by_signature: HashMap<(VLabel, VLabel, ELabel), Vec<EdgeId>>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// Number of live edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices with at least one live incident edge.
+    pub fn n_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Inserts a live edge.
+    ///
+    /// # Panics
+    /// Panics if the edge id is already present (stream ids are unique).
+    pub fn insert(&mut self, e: StreamEdge) {
+        let prev = self.edges.insert(e.id, e);
+        assert!(prev.is_none(), "duplicate edge id {:?}", e.id);
+        self.adj.entry(e.src).or_default().push((e.id, Dir::Out));
+        if e.dst != e.src {
+            self.adj.entry(e.dst).or_default().push((e.id, Dir::In));
+        }
+        self.by_signature.entry(e.signature()).or_default().push(e.id);
+    }
+
+    /// Removes an expired edge; no-op if absent.
+    pub fn remove(&mut self, id: EdgeId) {
+        let Some(e) = self.edges.remove(&id) else {
+            return;
+        };
+        for v in [e.src, e.dst] {
+            if let Some(list) = self.adj.get_mut(&v) {
+                list.retain(|&(eid, _)| eid != id);
+                if list.is_empty() {
+                    self.adj.remove(&v);
+                }
+            }
+        }
+        if let Some(list) = self.by_signature.get_mut(&e.signature()) {
+            list.retain(|&eid| eid != id);
+            if list.is_empty() {
+                self.by_signature.remove(&e.signature());
+            }
+        }
+    }
+
+    /// Looks up a live edge.
+    pub fn edge(&self, id: EdgeId) -> Option<&StreamEdge> {
+        self.edges.get(&id)
+    }
+
+    /// All live edges (arbitrary order).
+    pub fn edges(&self) -> impl Iterator<Item = &StreamEdge> {
+        self.edges.values()
+    }
+
+    /// Incident edges of a vertex (both directions).
+    pub fn incident(&self, v: VertexId) -> &[(EdgeId, Dir)] {
+        self.adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Live edges with the given label signature.
+    pub fn with_signature(&self, sig: (VLabel, VLabel, ELabel)) -> &[EdgeId] {
+        self.by_signature.get(&sig).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The set of edge ids within `hops` undirected hops of `seeds`
+    /// (inclusive of edges between reached vertices) — the *affected area*
+    /// `∆(G_i)` of an update per Fan et al., used by the IncMat baseline.
+    pub fn k_hop_edges(&self, seeds: &[VertexId], hops: usize) -> HashSet<EdgeId> {
+        let mut dist: HashMap<VertexId, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        for &s in seeds {
+            dist.insert(s, 0);
+            queue.push_back(s);
+        }
+        while let Some(u) = queue.pop_front() {
+            let d = dist[&u];
+            if d == hops {
+                continue;
+            }
+            for &(eid, _) in self.incident(u) {
+                let e = self.edges[&eid];
+                let other = if e.src == u { e.dst } else { e.src };
+                if !dist.contains_key(&other) {
+                    dist.insert(other, d + 1);
+                    queue.push_back(other);
+                }
+            }
+        }
+        let mut out = HashSet::new();
+        for (&v, _) in dist.iter() {
+            for &(eid, _) in self.incident(v) {
+                let e = self.edges[&eid];
+                if dist.contains_key(&e.src) && dist.contains_key(&e.dst) {
+                    out.insert(eid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Rough byte accounting of the structure (used in the space
+    /// experiments; IncMat-style baselines pay for this, the paper's method
+    /// does not).
+    pub fn space_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let edge_bytes = self.edges.len() * (size_of::<EdgeId>() + size_of::<StreamEdge>());
+        let adj_bytes: usize = self
+            .adj
+            .values()
+            .map(|v| size_of::<VertexId>() + v.capacity() * size_of::<(EdgeId, Dir)>())
+            .sum();
+        let sig_bytes: usize = self
+            .by_signature
+            .values()
+            .map(|v| size_of::<(VLabel, VLabel, ELabel)>() + v.capacity() * size_of::<EdgeId>())
+            .sum();
+        edge_bytes + adj_bytes + sig_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(id: u64, src: u32, dst: u32, ts: u64) -> StreamEdge {
+        StreamEdge::new(id, src, 1, dst, 2, 3, ts)
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_indexes() {
+        let mut s = Snapshot::new();
+        s.insert(edge(1, 10, 20, 1));
+        s.insert(edge(2, 10, 30, 2));
+        assert_eq!(s.n_edges(), 2);
+        assert_eq!(s.n_vertices(), 3);
+        assert_eq!(s.incident(VertexId(10)).len(), 2);
+        assert_eq!(s.with_signature((VLabel(1), VLabel(2), ELabel(3))).len(), 2);
+
+        s.remove(EdgeId(1));
+        assert_eq!(s.n_edges(), 1);
+        assert_eq!(s.n_vertices(), 2, "vertex 20 dropped with its last edge");
+        assert_eq!(s.incident(VertexId(20)).len(), 0);
+        assert_eq!(s.with_signature((VLabel(1), VLabel(2), ELabel(3))).len(), 1);
+
+        s.remove(EdgeId(99)); // absent: no-op
+        assert_eq!(s.n_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge id")]
+    fn duplicate_id_panics() {
+        let mut s = Snapshot::new();
+        s.insert(edge(1, 0, 1, 1));
+        s.insert(edge(1, 2, 3, 2));
+    }
+
+    #[test]
+    fn self_loop_indexed_once() {
+        let mut s = Snapshot::new();
+        s.insert(StreamEdge::new(7, 5, 0, 5, 0, 0, 1));
+        assert_eq!(s.incident(VertexId(5)).len(), 1);
+        s.remove(EdgeId(7));
+        assert_eq!(s.n_vertices(), 0);
+    }
+
+    #[test]
+    fn k_hop_edges_bounds_area() {
+        // Path 1 -2- 3 -4- 5 plus far-away edge 100-101.
+        let mut s = Snapshot::new();
+        s.insert(edge(1, 1, 2, 1));
+        s.insert(edge(2, 2, 3, 2));
+        s.insert(edge(3, 3, 4, 3));
+        s.insert(edge(4, 4, 5, 4));
+        s.insert(edge(5, 100, 101, 5));
+        let area = s.k_hop_edges(&[VertexId(1)], 1);
+        // vertices within 1 hop of 1: {1, 2}; induced edges: just edge 1.
+        assert_eq!(area, HashSet::from([EdgeId(1)]));
+        let area2 = s.k_hop_edges(&[VertexId(1)], 2);
+        assert_eq!(area2, HashSet::from([EdgeId(1), EdgeId(2)]));
+        let all = s.k_hop_edges(&[VertexId(1)], 10);
+        assert_eq!(all.len(), 4, "far component never reached");
+    }
+
+    #[test]
+    fn space_is_nonzero_and_monotone() {
+        let mut s = Snapshot::new();
+        let empty = s.space_bytes();
+        s.insert(edge(1, 1, 2, 1));
+        assert!(s.space_bytes() > empty);
+    }
+}

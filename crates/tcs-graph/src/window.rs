@@ -1,0 +1,194 @@
+//! The time-based sliding window (Definition 2).
+//!
+//! A window of duration `|W|` at current time `t` covers the timespan
+//! `(t − |W|, t]`. As edges arrive the window slides forward and edges whose
+//! timestamp falls out of the timespan *expire*. [`SlidingWindow::advance`]
+//! turns one arrival into a [`WindowEvent`] carrying the expiries (in
+//! timestamp order) followed by the arrival — the exact sequence every engine
+//! in this workspace consumes, which is also the order used to define
+//! streaming consistency (Definition 11).
+
+use crate::edge::StreamEdge;
+use std::collections::VecDeque;
+
+/// One tick of the stream: edges that left the window, then the new edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowEvent {
+    /// Edges expired by this arrival, oldest first.
+    pub expired: Vec<StreamEdge>,
+    /// The newly arrived edge.
+    pub arrival: StreamEdge,
+}
+
+/// A time-based sliding window over a stream of [`StreamEdge`]s.
+#[derive(Clone, Debug)]
+pub struct SlidingWindow {
+    duration: u64,
+    buffer: VecDeque<StreamEdge>,
+    last_ts: Option<u64>,
+}
+
+impl SlidingWindow {
+    /// Creates a window of the given duration (in timestamp units).
+    ///
+    /// # Panics
+    /// Panics if `duration == 0`; a zero-length window would expire every
+    /// edge at the instant it arrives.
+    pub fn new(duration: u64) -> Self {
+        assert!(duration > 0, "window duration must be positive");
+        SlidingWindow {
+            duration,
+            buffer: VecDeque::new(),
+            last_ts: None,
+        }
+    }
+
+    /// The window duration `|W|`.
+    #[inline]
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Edges currently inside the window, oldest first.
+    pub fn edges(&self) -> impl Iterator<Item = &StreamEdge> {
+        self.buffer.iter()
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// True when no edge is live.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Slides the window to the arrival's timestamp and admits it.
+    ///
+    /// Returns the expired edges (those with `ts ≤ arrival.ts − |W|`) oldest
+    /// first, paired with the arrival.
+    ///
+    /// # Panics
+    /// Panics if timestamps are not strictly increasing (Definition 1).
+    pub fn advance(&mut self, arrival: StreamEdge) -> WindowEvent {
+        if let Some(last) = self.last_ts {
+            assert!(
+                arrival.ts.0 > last,
+                "stream timestamps must be strictly increasing ({} after {})",
+                arrival.ts.0,
+                last
+            );
+        }
+        self.last_ts = Some(arrival.ts.0);
+        let bound = arrival.ts.0.saturating_sub(self.duration);
+        let mut expired = Vec::new();
+        while let Some(front) = self.buffer.front() {
+            if front.ts.0 <= bound {
+                expired.push(self.buffer.pop_front().expect("front exists"));
+            } else {
+                break;
+            }
+        }
+        self.buffer.push_back(arrival);
+        WindowEvent { expired, arrival }
+    }
+
+    /// Drains every remaining edge as expired (stream end).
+    pub fn drain(&mut self) -> Vec<StreamEdge> {
+        self.buffer.drain(..).collect()
+    }
+}
+
+/// Adapts an edge iterator into a [`WindowEvent`] iterator.
+pub fn events<I>(duration: u64, edges: I) -> impl Iterator<Item = WindowEvent>
+where
+    I: IntoIterator<Item = StreamEdge>,
+{
+    let mut w = SlidingWindow::new(duration);
+    edges.into_iter().map(move |e| w.advance(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(id: u64, ts: u64) -> StreamEdge {
+        StreamEdge::new(id, 0, 0, 1, 0, 0, ts)
+    }
+
+    #[test]
+    fn expiry_follows_paper_example() {
+        // Figure 3/4: window size 9; at t=10 the edge with t=1 expires
+        // because the timespan becomes (1, 10].
+        let mut w = SlidingWindow::new(9);
+        for t in 1..=9 {
+            let ev = w.advance(edge(t, t));
+            assert!(ev.expired.is_empty(), "no expiry through t=9");
+        }
+        let ev = w.advance(edge(10, 10));
+        assert_eq!(ev.expired.len(), 1);
+        assert_eq!(ev.expired[0].ts.0, 1);
+        assert_eq!(w.len(), 9);
+    }
+
+    #[test]
+    fn multiple_expiries_when_time_jumps() {
+        let mut w = SlidingWindow::new(5);
+        for t in [1, 2, 3] {
+            w.advance(edge(t, t));
+        }
+        let ev = w.advance(edge(4, 100));
+        assert_eq!(ev.expired.len(), 3);
+        assert_eq!(
+            ev.expired.iter().map(|e| e.ts.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_timestamps_panic() {
+        let mut w = SlidingWindow::new(5);
+        w.advance(edge(1, 10));
+        w.advance(edge(2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_duration_panics() {
+        SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn drain_returns_rest() {
+        let mut w = SlidingWindow::new(100);
+        for t in 1..=4 {
+            w.advance(edge(t, t));
+        }
+        let rest = w.drain();
+        assert_eq!(rest.len(), 4);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn events_adapter_matches_manual_loop() {
+        let es: Vec<_> = (1..=20).map(|t| edge(t, t * 3)).collect();
+        let via_adapter: Vec<_> = events(10, es.clone()).collect();
+        let mut w = SlidingWindow::new(10);
+        let manual: Vec<_> = es.into_iter().map(|e| w.advance(e)).collect();
+        assert_eq!(via_adapter, manual);
+    }
+
+    #[test]
+    fn boundary_is_half_open() {
+        // Window (t-|W|, t]: an edge exactly at t-|W| expires.
+        let mut w = SlidingWindow::new(9);
+        w.advance(edge(1, 1));
+        let ev = w.advance(edge(2, 10));
+        assert_eq!(ev.expired.len(), 1, "ts=1 is outside (1,10]");
+    }
+}

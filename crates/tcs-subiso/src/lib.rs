@@ -1,0 +1,28 @@
+//! Static subgraph-isomorphism substrate.
+//!
+//! The paper compares its streaming engine against baselines that re-run a
+//! *static* subgraph-isomorphism algorithm on (a part of) every snapshot:
+//! QuickSI, TurboISO and BoostISO driven by the IncMat framework of Fan et
+//! al. This crate provides that substrate:
+//!
+//! * [`matcher`] — an edge-at-a-time backtracking matcher over a
+//!   [`tcs_graph::Snapshot`], enumerating *edge assignments* (the data graph
+//!   is a multigraph, and timing constraints distinguish parallel edges).
+//! * [`strategy`] — the three matching-order/pruning styles standing in for
+//!   QuickSI (rarest-signature-first), TurboISO (candidate-region start +
+//!   degree ordering and degree filtering) and BoostISO (QuickSI ordering
+//!   plus neighbourhood label-count filtering).
+//! * [`timing`] — the timing-order post-filter the baselines need (they are
+//!   structure-only; Table I's "Timing Order ✗" row).
+//! * [`oracle`] — a deliberately naive, obviously-correct enumerator used as
+//!   ground truth by the whole workspace's tests.
+
+pub mod matcher;
+pub mod oracle;
+pub mod strategy;
+pub mod timing;
+
+pub use matcher::{enumerate_matches, MatchOptions};
+pub use oracle::SnapshotOracle;
+pub use strategy::Strategy;
+pub use timing::satisfies_timing;

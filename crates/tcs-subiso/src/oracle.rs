@@ -1,0 +1,120 @@
+//! The ground-truth oracle used by every correctness test in the workspace.
+//!
+//! [`SnapshotOracle`] maintains a full snapshot and, on each arrival,
+//! enumerates *all* time-constrained matches from scratch with the naive
+//! matcher and reports the ones containing the new edge. It is slow by
+//! design — its only job is to be obviously correct, so the streaming
+//! engines can be validated against it tick by tick.
+
+use crate::matcher::{enumerate_matches, MatchOptions};
+use crate::strategy::Strategy;
+use crate::timing::filter_timing;
+use tcs_graph::snapshot::Snapshot;
+use tcs_graph::window::WindowEvent;
+use tcs_graph::{MatchRecord, QueryGraph};
+
+/// Naive per-snapshot enumerator with timing filtering.
+pub struct SnapshotOracle {
+    query: QueryGraph,
+    snap: Snapshot,
+}
+
+impl SnapshotOracle {
+    /// Creates the oracle for a query.
+    pub fn new(query: QueryGraph) -> Self {
+        SnapshotOracle {
+            query,
+            snap: Snapshot::new(),
+        }
+    }
+
+    /// Read access to the maintained snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// Applies one window event; returns the *new* time-constrained matches
+    /// (those using the arrival), sorted for stable comparison.
+    pub fn advance(&mut self, ev: &WindowEvent) -> Vec<MatchRecord> {
+        for e in &ev.expired {
+            self.snap.remove(e.id);
+        }
+        self.snap.insert(ev.arrival);
+        let opts = MatchOptions {
+            must_contain: Some(ev.arrival.id),
+            ..Default::default()
+        };
+        let all = enumerate_matches(&self.snap, &self.query, Strategy::QuickSi, &opts);
+        let mut out = filter_timing(&self.query, all, &self.snap);
+        debug_assert!(out
+            .iter()
+            .all(|m| m.verify(&self.query, |id| self.snap.edge(id)).is_ok()));
+        out.sort();
+        out
+    }
+
+    /// Every current match of the query in the live window (not just new
+    /// ones), sorted.
+    pub fn all_matches(&self) -> Vec<MatchRecord> {
+        let all = enumerate_matches(
+            &self.snap,
+            &self.query,
+            Strategy::QuickSi,
+            &MatchOptions::default(),
+        );
+        let mut out = filter_timing(&self.query, all, &self.snap);
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::window::SlidingWindow;
+    use tcs_graph::{ELabel, StreamEdge, VLabel};
+
+    /// 2-edge path with timing ε0 ≺ ε1.
+    fn q() -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reports_new_matches_then_forgets_expired() {
+        let mut w = SlidingWindow::new(5);
+        let mut o = SnapshotOracle::new(q());
+        // ε0-shaped edge at t=1.
+        let m1 = o.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1)));
+        assert!(m1.is_empty());
+        // ε1-shaped edge at t=2 completes a match.
+        let m2 = o.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2)));
+        assert_eq!(m2.len(), 1);
+        assert_eq!(o.all_matches().len(), 1);
+        // At t=10, edge 1 expired: the pair is gone; edge 3 (ε1-shaped)
+        // finds no ε0 predecessor.
+        let m3 = o.advance(&w.advance(StreamEdge::new(3, 11, 1, 13, 2, 0, 10)));
+        assert!(m3.is_empty());
+        assert!(o.all_matches().is_empty());
+    }
+
+    #[test]
+    fn timing_order_respected() {
+        // ε1-shaped edge arrives BEFORE ε0-shaped edge: with ε0 ≺ ε1 the
+        // pair is not a match.
+        let mut w = SlidingWindow::new(100);
+        let mut o = SnapshotOracle::new(q());
+        o.advance(&w.advance(StreamEdge::new(1, 11, 1, 12, 2, 0, 1)));
+        let m = o.advance(&w.advance(StreamEdge::new(2, 10, 0, 11, 1, 0, 2)));
+        assert!(m.is_empty(), "structure matches but timing fails");
+        assert!(o.all_matches().is_empty());
+    }
+}

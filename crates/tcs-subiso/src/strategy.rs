@@ -1,0 +1,272 @@
+//! Matching-order and pruning strategies in the style of the paper's
+//! static baselines.
+//!
+//! The original systems are full research prototypes; what the paper's
+//! evaluation needs from them is three *differently-tuned* static matchers
+//! whose cost is paid on every update. We reproduce the signature ideas:
+//!
+//! * **QuickSI** (Shang et al.): order query edges by ascending frequency of
+//!   their label signature in the data (rarest first — the "QI-sequence"
+//!   idea), keeping the order prefix-connected.
+//! * **TurboISO** (Han et al.): start from the query vertex with the best
+//!   candidate-count/degree ratio and expand by degree; additionally filter
+//!   candidates by data-vertex degree ≥ query-vertex degree.
+//! * **BoostISO** (Ren & Wang): QuickSI's order plus a stronger
+//!   neighbourhood filter — a candidate's incident signature multiset must
+//!   cover the query vertex's.
+
+use std::collections::HashMap;
+use tcs_graph::snapshot::Snapshot;
+use tcs_graph::{QueryGraph, StreamEdge};
+
+/// The three matcher styles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Rarest-signature-first ordering.
+    QuickSi,
+    /// Candidate-region start vertex + degree ordering and degree filter.
+    TurboIso,
+    /// QuickSI ordering + neighbourhood signature-cover filter.
+    BoostIso,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's figure-legend order.
+    pub const ALL: [Strategy; 3] = [Strategy::BoostIso, Strategy::TurboIso, Strategy::QuickSi];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::QuickSi => "QuickSI",
+            Strategy::TurboIso => "TurboISO",
+            Strategy::BoostIso => "BoostISO",
+        }
+    }
+
+    /// Produces a prefix-connected permutation starting at `first` (if
+    /// given) — used by anchored incremental search.
+    pub fn matching_order_from(
+        self,
+        q: &QueryGraph,
+        snap: &Snapshot,
+        first: Option<usize>,
+    ) -> Vec<usize> {
+        match first {
+            None => self.matching_order(q, snap),
+            Some(f) => {
+                let mut scores: Vec<f64> = (0..q.n_edges())
+                    .map(|e| snap.with_signature(q.signature(e)).len() as f64)
+                    .collect();
+                scores[f] = f64::NEG_INFINITY; // forced first pick
+                prefix_connected_order(q, &scores)
+            }
+        }
+    }
+
+    /// Produces a prefix-connected permutation of the query edges.
+    pub fn matching_order(self, q: &QueryGraph, snap: &Snapshot) -> Vec<usize> {
+        // Score each query edge: lower = match earlier.
+        let scores: Vec<f64> = (0..q.n_edges())
+            .map(|e| {
+                let freq = snap.with_signature(q.signature(e)).len() as f64;
+                match self {
+                    Strategy::QuickSi | Strategy::BoostIso => freq,
+                    Strategy::TurboIso => {
+                        // freq / (deg(src)+deg(dst)) — prefer selective,
+                        // high-degree anchors.
+                        let qe = q.edges[e];
+                        let deg = (query_degree(q, qe.src) + query_degree(q, qe.dst)) as f64;
+                        freq / deg.max(1.0)
+                    }
+                }
+            })
+            .collect();
+        prefix_connected_order(q, &scores)
+    }
+
+    /// Additional per-candidate pruning beyond label/consistency checks.
+    pub fn candidate_ok(
+        self,
+        q: &QueryGraph,
+        qe_idx: usize,
+        cand: &StreamEdge,
+        snap: &Snapshot,
+    ) -> bool {
+        match self {
+            Strategy::QuickSi => true,
+            Strategy::TurboIso => {
+                let qe = q.edges[qe_idx];
+                snap.incident(cand.src).len() >= query_degree(q, qe.src)
+                    && snap.incident(cand.dst).len() >= query_degree(q, qe.dst)
+            }
+            Strategy::BoostIso => {
+                let qe = q.edges[qe_idx];
+                neighbourhood_covers(q, qe.src, cand.src, snap)
+                    && neighbourhood_covers(q, qe.dst, cand.dst, snap)
+            }
+        }
+    }
+}
+
+/// Degree of a query vertex (in+out).
+fn query_degree(q: &QueryGraph, v: usize) -> usize {
+    q.edges.iter().filter(|e| e.src == v || e.dst == v).count()
+}
+
+/// Greedy prefix-connected order minimizing the given scores: repeatedly
+/// pick the cheapest edge adjacent to the already-chosen set (cheapest
+/// overall for the first pick).
+fn prefix_connected_order(q: &QueryGraph, scores: &[f64]) -> Vec<usize> {
+    let n = q.n_edges();
+    let mut order = Vec::with_capacity(n);
+    let mut chosen = vec![false; n];
+    for step in 0..n {
+        let mut best: Option<usize> = None;
+        for e in 0..n {
+            if chosen[e] {
+                continue;
+            }
+            let connected =
+                step == 0 || order.iter().any(|&o| q.edges_adjacent(o, e));
+            if !connected {
+                continue;
+            }
+            if best.map_or(true, |b| scores[e] < scores[b]) {
+                best = Some(e);
+            }
+        }
+        // A connected query always has a connected extension.
+        let pick = best.expect("query is weakly connected");
+        chosen[pick] = true;
+        order.push(pick);
+    }
+    order
+}
+
+/// BoostISO-style filter: every signature the query vertex is incident to
+/// must be available (with multiplicity) around the candidate data vertex.
+fn neighbourhood_covers(
+    q: &QueryGraph,
+    qv: usize,
+    dv: tcs_graph::VertexId,
+    snap: &Snapshot,
+) -> bool {
+    let mut need: HashMap<(bool, tcs_graph::VLabel, tcs_graph::ELabel), usize> = HashMap::new();
+    for e in &q.edges {
+        if e.src == qv {
+            *need
+                .entry((true, q.vertex_labels[e.dst], e.label))
+                .or_default() += 1;
+        }
+        if e.dst == qv {
+            *need
+                .entry((false, q.vertex_labels[e.src], e.label))
+                .or_default() += 1;
+        }
+    }
+    let mut have: HashMap<(bool, tcs_graph::VLabel, tcs_graph::ELabel), usize> = HashMap::new();
+    for &(eid, _) in snap.incident(dv) {
+        let e = snap.edge(eid).expect("live edge");
+        if e.src == dv {
+            *have.entry((true, e.dst_label, e.label)).or_default() += 1;
+        }
+        if e.dst == dv {
+            *have.entry((false, e.src_label, e.label)).or_default() += 1;
+        }
+    }
+    need.iter().all(|(k, &n)| have.get(k).copied().unwrap_or(0) >= n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::snapshot_of;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::{ELabel, VLabel};
+
+    fn q() -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn orders_are_prefix_connected_permutations() {
+        let snap = snapshot_of(&[
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+            StreamEdge::new(3, 11, 1, 13, 2, 0, 3),
+        ]);
+        let query = q();
+        for s in Strategy::ALL {
+            let order = s.matching_order(&query, &snap);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1], "{s:?} produces a permutation");
+            // Prefix connectivity for 2 adjacent edges is trivial; check a
+            // bigger query below.
+        }
+    }
+
+    #[test]
+    fn rarest_signature_first_for_quicksi() {
+        // Edge ε1 (1→2 labels) occurs twice, ε0 once: QuickSI starts at ε0.
+        let snap = snapshot_of(&[
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+            StreamEdge::new(3, 11, 1, 13, 2, 0, 3),
+        ]);
+        let order = Strategy::QuickSi.matching_order(&q(), &snap);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn prefix_connected_on_running_example() {
+        let query = QueryGraph::running_example();
+        let snap = snapshot_of(&[]);
+        for s in Strategy::ALL {
+            let order = s.matching_order(&query, &snap);
+            for j in 1..order.len() {
+                let mask: u64 = order[..=j].iter().map(|&e| 1u64 << e).sum();
+                assert!(query.edge_set_connected(mask), "{s:?} prefix {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_degree_filter_rejects_low_degree() {
+        // Query vertex b has degree 2; candidate vertex with degree 1 fails.
+        let query = q();
+        let snap = snapshot_of(&[StreamEdge::new(1, 10, 0, 11, 1, 0, 1)]);
+        let cand = *snap.edge(tcs_graph::EdgeId(1)).unwrap();
+        assert!(!Strategy::TurboIso.candidate_ok(&query, 0, &cand, &snap));
+    }
+
+    #[test]
+    fn boost_cover_filter() {
+        let query = q();
+        // Candidate for ε0 must have a (out, VLabel(2)) edge around its dst.
+        let snap = snapshot_of(&[
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+        ]);
+        let good = *snap.edge(tcs_graph::EdgeId(1)).unwrap();
+        assert!(Strategy::BoostIso.candidate_ok(&query, 0, &good, &snap));
+        let snap2 = snapshot_of(&[StreamEdge::new(1, 10, 0, 11, 1, 0, 1)]);
+        let lonely = *snap2.edge(tcs_graph::EdgeId(1)).unwrap();
+        assert!(!Strategy::BoostIso.candidate_ok(&query, 0, &lonely, &snap2));
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(Strategy::QuickSi.name(), "QuickSI");
+        assert_eq!(Strategy::TurboIso.name(), "TurboISO");
+        assert_eq!(Strategy::BoostIso.name(), "BoostISO");
+    }
+}

@@ -1,0 +1,95 @@
+//! Timing-order post-filter.
+//!
+//! The static baselines (and SJ-tree) are structure-only; the paper
+//! evaluates them by "verifying answers posteriorly with the timing order
+//! constraints" (§VII-C). This module is that verification step.
+
+use tcs_graph::snapshot::Snapshot;
+use tcs_graph::{MatchRecord, QueryGraph};
+
+/// Whether the record's assigned timestamps satisfy every `i ≺ j`
+/// constraint of the query.
+///
+/// # Panics
+/// Panics if the record references an edge that is not live in the snapshot
+/// (post-filtering is only meaningful over the snapshot that produced the
+/// record).
+pub fn satisfies_timing(q: &QueryGraph, rec: &MatchRecord, snap: &Snapshot) -> bool {
+    for j in 0..q.n_edges() {
+        let tj = snap
+            .edge(rec.edge(j))
+            .expect("record references live edges")
+            .ts;
+        let mut preds = q.order.before_mask(j);
+        while preds != 0 {
+            let i = preds.trailing_zeros() as usize;
+            preds &= preds - 1;
+            let ti = snap
+                .edge(rec.edge(i))
+                .expect("record references live edges")
+                .ts;
+            if ti >= tj {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Retains only the records passing the timing filter.
+pub fn filter_timing(q: &QueryGraph, recs: Vec<MatchRecord>, snap: &Snapshot) -> Vec<MatchRecord> {
+    recs.into_iter()
+        .filter(|r| satisfies_timing(q, r, snap))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::snapshot_of;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::{EdgeId, ELabel, StreamEdge, VLabel};
+
+    fn q() -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(1, 0)], // ε1 must precede ε0
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_separates_orders() {
+        let snap = snapshot_of(&[
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 5),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+        ]);
+        let good = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
+        assert!(satisfies_timing(&q(), &good, &snap));
+
+        let snap2 = snapshot_of(&[
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 2),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 5),
+        ]);
+        let bad = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
+        assert!(!satisfies_timing(&q(), &bad, &snap2));
+        assert!(filter_timing(&q(), vec![bad], &snap2).is_empty());
+    }
+
+    #[test]
+    fn empty_order_accepts_everything() {
+        let q = QueryGraph::new(
+            vec![VLabel(0), VLabel(1)],
+            vec![QueryEdge { src: 0, dst: 1, label: ELabel::NONE }],
+            &[],
+        )
+        .unwrap();
+        let snap = snapshot_of(&[StreamEdge::new(1, 10, 0, 11, 1, 0, 1)]);
+        let rec = MatchRecord::from(vec![EdgeId(1)]);
+        assert!(satisfies_timing(&q, &rec, &snap));
+    }
+}

@@ -1,0 +1,115 @@
+//! The baselines must also be *correct* (they are slower, not wrong):
+//! SJ-tree and IncMat (all three matcher styles) report exactly the
+//! oracle's new-match sets on random streams.
+
+use tcs_baselines::{IncMat, SjTree};
+use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
+use tcs_graph::window::SlidingWindow;
+use tcs_graph::{MatchRecord, QueryGraph, StreamEdge};
+use tcs_subiso::{SnapshotOracle, Strategy};
+
+fn dense_stream(n: usize, n_vertices: u32, n_labels: u16, seed: u64) -> Vec<StreamEdge> {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let src = rng.gen_range(0..n_vertices);
+            let mut dst = rng.gen_range(0..n_vertices);
+            while dst == src {
+                dst = rng.gen_range(0..n_vertices);
+            }
+            StreamEdge::new(
+                i as u64,
+                src,
+                (src % n_labels as u32) as u16,
+                dst,
+                (dst % n_labels as u32) as u16,
+                0,
+                i as u64 + 1,
+            )
+        })
+        .collect()
+}
+
+fn queries(edges: &[StreamEdge], seed: u64) -> Vec<QueryGraph> {
+    let gen = QueryGen::new(edges, edges.len().min(100));
+    let mut out = Vec::new();
+    for size in [2usize, 3] {
+        for mode in [TimingMode::Full, TimingMode::Empty, TimingMode::Random] {
+            out.extend(gen.generate_many(size, mode, 1, seed));
+        }
+    }
+    out
+}
+
+#[test]
+fn sjtree_equals_oracle() {
+    for seed in 0..3u64 {
+        let edges = dense_stream(220, 6, 2, seed);
+        for q in queries(&edges, seed) {
+            let mut oracle = SnapshotOracle::new(q.clone());
+            let mut sj = SjTree::new(q.clone());
+            let mut w1 = SlidingWindow::new(50);
+            let mut w2 = SlidingWindow::new(50);
+            for (tick, &e) in edges.iter().enumerate() {
+                let expected = oracle.advance(&w1.advance(e));
+                let mut got: Vec<MatchRecord> = sj.advance(&w2.advance(e));
+                got.sort();
+                assert_eq!(got, expected, "sjtree seed={seed} tick={tick}");
+            }
+        }
+    }
+}
+
+#[test]
+fn incmat_equals_oracle_for_every_strategy() {
+    for seed in 3..5u64 {
+        let edges = dense_stream(200, 6, 2, seed);
+        for q in queries(&edges, seed) {
+            for strategy in Strategy::ALL {
+                let mut oracle = SnapshotOracle::new(q.clone());
+                let mut inc = IncMat::new(q.clone(), strategy);
+                let mut w1 = SlidingWindow::new(40);
+                let mut w2 = SlidingWindow::new(40);
+                for (tick, &e) in edges.iter().enumerate() {
+                    let expected = oracle.advance(&w1.advance(e));
+                    let mut got: Vec<MatchRecord> = inc.advance(&w2.advance(e));
+                    got.sort();
+                    got.dedup();
+                    assert_eq!(
+                        got, expected,
+                        "incmat {strategy:?} seed={seed} tick={tick}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_five_systems_agree_on_realistic_data() {
+    use tcs_core::{MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+    let edges = Dataset::SocialStream.generate(400, 17);
+    let gen = QueryGen::new(&edges, 200);
+    for q in gen.generate_many(3, TimingMode::Random, 3, 5) {
+        let mut timing: TimingEngine<MsTreeStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut sj = SjTree::new(q.clone());
+        let mut inc = IncMat::new(q.clone(), Strategy::QuickSi);
+        let mut oracle = SnapshotOracle::new(q.clone());
+        let mut ws: Vec<SlidingWindow> = (0..4).map(|_| SlidingWindow::new(150)).collect();
+        for &e in &edges {
+            let expected = oracle.advance(&ws[0].advance(e));
+            let mut a = timing.advance(&ws[1].advance(e));
+            a.sort();
+            let mut b = sj.advance(&ws[2].advance(e));
+            b.sort();
+            let mut c = inc.advance(&ws[3].advance(e));
+            c.sort();
+            assert_eq!(a, expected, "timing");
+            assert_eq!(b, expected, "sjtree");
+            assert_eq!(c, expected, "incmat");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Window-semantics integration tests: matches must appear and disappear
+//! exactly as the time window slides (Definition 2 + Definition 4), across
+//! all engines.
+
+use tcs_baselines::SjTree;
+use tcs_core::{MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_graph::query::QueryEdge;
+use tcs_graph::window::SlidingWindow;
+use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
+
+fn two_path(pairs: &[(usize, usize)]) -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(0), VLabel(1), VLabel(2)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+        ],
+        pairs,
+    )
+    .unwrap()
+}
+
+fn engine(q: &QueryGraph) -> TimingEngine<MsTreeStore> {
+    TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()))
+}
+
+#[test]
+fn match_lives_exactly_while_all_edges_live() {
+    let q = two_path(&[(0, 1)]);
+    let mut eng = engine(&q);
+    let mut w = SlidingWindow::new(10);
+    eng.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 5)));
+    let m = eng.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 8)));
+    assert_eq!(m.len(), 1);
+    assert_eq!(eng.live_match_count(), 1);
+    // At t=14 edge 1 (ts=5) is still inside (4, 14]: alive.
+    eng.advance(&w.advance(StreamEdge::new(3, 50, 0, 51, 1, 0, 14)));
+    assert_eq!(eng.live_match_count(), 1);
+    // At t=15 edge 1 expires ((5, 15] excludes ts=5): match gone.
+    eng.advance(&w.advance(StreamEdge::new(4, 52, 0, 53, 1, 0, 15)));
+    assert_eq!(eng.live_match_count(), 0);
+}
+
+#[test]
+fn rebuilt_pattern_after_expiry_matches_again() {
+    let q = two_path(&[(0, 1)]);
+    let mut eng = engine(&q);
+    let mut w = SlidingWindow::new(10);
+    eng.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1)));
+    assert_eq!(eng.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2))).len(), 1);
+    // Slide far: everything expires.
+    eng.advance(&w.advance(StreamEdge::new(3, 99, 0, 98, 1, 0, 100)));
+    assert_eq!(eng.live_match_count(), 0);
+    // Same vertices again, fresh edges: a new match forms.
+    eng.advance(&w.advance(StreamEdge::new(4, 10, 0, 11, 1, 0, 101)));
+    let m = eng.advance(&w.advance(StreamEdge::new(5, 11, 1, 12, 2, 0, 102)));
+    assert_eq!(m.len(), 1);
+    assert_eq!(eng.live_match_count(), 1);
+}
+
+#[test]
+fn partial_prefix_expiry_prunes_descendants_only() {
+    // Query a→b, b→c, b→d with 0≺1, 0≺2: two leaves share the prefix.
+    let q = QueryGraph::new(
+        vec![VLabel(0), VLabel(1), VLabel(2), VLabel(2)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 3, label: ELabel::NONE },
+        ],
+        &[(0, 1), (0, 2)],
+    )
+    .unwrap();
+    let mut eng = engine(&q);
+    let mut w = SlidingWindow::new(100);
+    eng.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1)));
+    eng.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2)));
+    let m = eng.advance(&w.advance(StreamEdge::new(3, 11, 1, 13, 2, 0, 3)));
+    assert_eq!(m.len(), 2, "two (c,d) assignments: (12,13) and (13,12)? \
+        no — ε1→e2/ε2→e3 and ε1→e3/ε2→e2, both valid: {m:?}");
+}
+
+#[test]
+fn sjtree_and_timing_agree_after_heavy_sliding() {
+    let q = two_path(&[(0, 1)]);
+    let mut a = engine(&q);
+    let mut b = SjTree::new(q.clone());
+    let mut w1 = SlidingWindow::new(7);
+    let mut w2 = SlidingWindow::new(7);
+    let mut total_a = 0;
+    let mut total_b = 0;
+    // Repeating pattern with increasing gaps: exercises many expiries.
+    let mut ts = 0u64;
+    for round in 0..40u64 {
+        ts += 1 + round % 3;
+        let e1 = StreamEdge::new(round * 2, 10, 0, 11, 1, 0, ts);
+        total_a += a.advance(&w1.advance(e1)).len();
+        total_b += b.advance(&w2.advance(e1)).len();
+        ts += 1 + (round / 2) % 4;
+        let e2 = StreamEdge::new(round * 2 + 1, 11, 1, 12, 2, 0, ts);
+        total_a += a.advance(&w1.advance(e2)).len();
+        total_b += b.advance(&w2.advance(e2)).len();
+    }
+    assert_eq!(total_a, total_b);
+    assert!(total_a > 0);
+}
+
+#[test]
+fn empty_window_engine_is_stable() {
+    // Long silence between edges: everything expires between ticks.
+    let q = two_path(&[]);
+    let mut eng = engine(&q);
+    let mut w = SlidingWindow::new(2);
+    for i in 0..20u64 {
+        let m = eng.advance(&w.advance(StreamEdge::new(i, 10, 0, 11, 1, 0, (i + 1) * 100)));
+        assert!(m.is_empty());
+        assert_eq!(eng.live_match_count(), 0);
+    }
+    assert_eq!(eng.stats().partials_deleted, 19, "each tick expires the previous edge");
+}
