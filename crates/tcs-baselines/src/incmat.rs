@@ -30,12 +30,7 @@ impl IncMat {
     /// Builds IncMat with the given static-matcher strategy.
     pub fn new(query: QueryGraph, strategy: Strategy) -> IncMat {
         let diameter = query.diameter();
-        IncMat {
-            query,
-            strategy,
-            snap: Snapshot::new(),
-            diameter,
-        }
+        IncMat { query, strategy, snap: Snapshot::new(), diameter }
     }
 
     /// Applies one window event; returns new time-constrained matches.
@@ -45,9 +40,7 @@ impl IncMat {
         }
         self.snap.insert(ev.arrival);
         // Affected area: vertices within `diameter` hops of the new edge.
-        let area = self
-            .snap
-            .k_hop_edges(&[ev.arrival.src, ev.arrival.dst], self.diameter);
+        let area = self.snap.k_hop_edges(&[ev.arrival.src, ev.arrival.dst], self.diameter);
         // Anchor the search at the new edge, once per query edge it can
         // match: a match contains the new edge at exactly one position, so
         // the anchored searches partition the incremental results.
@@ -106,9 +99,7 @@ mod tests {
         for strat in Strategy::ALL {
             let mut m = IncMat::new(q(&[(0, 1)]), strat);
             let mut w = SlidingWindow::new(100);
-            assert!(m
-                .advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1)))
-                .is_empty());
+            assert!(m.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1))).is_empty());
             let got = m.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2)));
             assert_eq!(got.len(), 1, "{strat:?}");
         }

@@ -41,11 +41,7 @@ impl SjTree {
         )
         .expect("erasing the timing order preserves validity");
         let plan = QueryPlan::build(structural, PlanOptions::timing());
-        SjTree {
-            query,
-            engine: TimingEngine::new(plan),
-            ts: HashMap::new(),
-        }
+        SjTree { query, engine: TimingEngine::new(plan), ts: HashMap::new() }
     }
 
     /// Applies one window event; returns new *time-constrained* matches
@@ -56,10 +52,7 @@ impl SjTree {
         }
         self.ts.insert(ev.arrival.id, ev.arrival.ts);
         let structural = self.engine.advance(ev);
-        structural
-            .into_iter()
-            .filter(|m| self.timing_ok(m))
-            .collect()
+        structural.into_iter().filter(|m| self.timing_ok(m)).collect()
     }
 
     fn timing_ok(&self, m: &MatchRecord) -> bool {

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tcs_core::store::{MatchStore, StoreLayout, ROOT};
-use tcs_core::{IndependentStore, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_core::{IndependentStore, JoinMode, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
 use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
 use tcs_graph::window::SlidingWindow;
 use tcs_graph::{EdgeId, QueryGraph};
@@ -20,10 +20,10 @@ fn bench_store_ops(c: &mut Criterion) {
             |b, &fanout| {
                 b.iter(|| {
                     let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
-                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
-                    let p = s.insert_sub(0, 1, a, EdgeId(2));
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+                    let p = s.insert_sub(0, 1, a, EdgeId(2), 0);
                     for x in 0..fanout as u64 {
-                        s.insert_sub(0, 2, p, EdgeId(10 + x));
+                        s.insert_sub(0, 2, p, EdgeId(10 + x), 0);
                     }
                     s.expire_edge(EdgeId(1), &[(0, 0)])
                 });
@@ -35,10 +35,10 @@ fn bench_store_ops(c: &mut Criterion) {
             |b, &fanout| {
                 b.iter(|| {
                     let mut s = IndependentStore::new(StoreLayout { sub_lens: vec![3] });
-                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
-                    let p = s.insert_sub(0, 1, a, EdgeId(2));
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+                    let p = s.insert_sub(0, 1, a, EdgeId(2), 0);
                     for x in 0..fanout as u64 {
-                        s.insert_sub(0, 2, p, EdgeId(10 + x));
+                        s.insert_sub(0, 2, p, EdgeId(10 + x), 0);
                     }
                     s.expire_edge(EdgeId(1), &[(0, 0)])
                 });
@@ -53,10 +53,7 @@ fn bench_decomposition(c: &mut Criterion) {
     let stream = Dataset::WikiTalk.generate(20_000, 7);
     let gen = QueryGen::new(&stream, 8_000);
     for size in [6usize, 12, 18] {
-        let q = gen
-            .generate_many(size, TimingMode::Random, 1, 13)
-            .pop()
-            .expect("query generated");
+        let q = gen.generate_many(size, TimingMode::Random, 1, 13).pop().expect("query generated");
         g.bench_with_input(BenchmarkId::new("build_plan", size), &q, |b, q: &QueryGraph| {
             b.iter(|| QueryPlan::build(q.clone(), PlanOptions::timing()));
         });
@@ -69,10 +66,7 @@ fn bench_engine_per_edge(c: &mut Criterion) {
     g.sample_size(10);
     let stream = Dataset::NetworkFlow.generate(25_000, 5);
     let gen = QueryGen::new(&stream, 8_000);
-    let q = gen
-        .generate_many(8, TimingMode::Random, 1, 3)
-        .pop()
-        .expect("query generated");
+    let q = gen.generate_many(8, TimingMode::Random, 1, 3).pop().expect("query generated");
     g.bench_function("timing_mstree_10k_edges", |b| {
         b.iter(|| {
             let mut eng: TimingEngine<MsTreeStore> =
@@ -108,11 +102,35 @@ fn bench_generators(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole benchmark: per-arrival join cost with keyed probes vs the
+/// original full item scans, at hub fan-outs 64 and 512, on the shared
+/// [`tcs_bench::hub`] workload (the same one `repro join` measures into
+/// BENCH_join.json — the acceptance bar is ≥ 5× insert throughput at
+/// fan-out 512).
+fn bench_join_probe(c: &mut Criterion) {
+    use tcs_bench::hub::{hub_arrival, hub_engine};
+    let mut g = c.benchmark_group("join_probe");
+    for fanout in [64usize, 512] {
+        for (id_str, mode) in [("probe_insert", JoinMode::Probe), ("scan_insert", JoinMode::Scan)] {
+            g.bench_with_input(BenchmarkId::new(id_str, fanout), &fanout, |b, &fanout| {
+                let mut eng = hub_engine(fanout, mode);
+                let mut id = fanout as u64;
+                b.iter(|| {
+                    id += 1;
+                    eng.insert(hub_arrival(fanout, id))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_ops,
     bench_decomposition,
     bench_engine_per_edge,
-    bench_generators
+    bench_generators,
+    bench_join_probe
 );
 criterion_main!(benches);

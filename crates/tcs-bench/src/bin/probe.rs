@@ -1,7 +1,7 @@
+use std::time::Instant;
 use tcs_bench::systems::SystemKind;
 use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
 use tcs_graph::window::SlidingWindow;
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -26,10 +26,16 @@ fn main() {
             for &e in &stream {
                 n += sys.advance(&w.advance(e)) as u64;
                 done += 1;
-                if t0.elapsed().as_secs_f64() > 3.0 { break; }
+                if t0.elapsed().as_secs_f64() > 3.0 {
+                    break;
+                }
             }
-            eprintln!("  {:>10}: {done} edges in {:?}, {n} matches, {} KB",
-                kind.name(), t0.elapsed(), sys.space_bytes()/1024);
+            eprintln!(
+                "  {:>10}: {done} edges in {:?}, {n} matches, {} KB",
+                kind.name(),
+                t0.elapsed(),
+                sys.space_bytes() / 1024
+            );
         }
     }
 }

@@ -15,6 +15,7 @@
 //!   fig25      query-set selectivity
 //!   pruning    extra ablation: discardable-edge pruning
 //!   costmodel  extra ablation: Theorem 7 joins/edge validation
+//!   join       extra ablation: keyed-probe vs scan joins (BENCH_join.json)
 //!   all        everything above
 //! ```
 
@@ -73,6 +74,7 @@ fn main() {
         "fig25" => experiments::fig25(&scale),
         "pruning" => experiments::ablation_pruning(&scale),
         "costmodel" => experiments::ablation_cost_model(&scale),
+        "join" => experiments::join_probe(&scale),
         "all" => {
             experiments::table1();
             experiments::fig15_17(&scale);
@@ -85,6 +87,7 @@ fn main() {
             experiments::fig25(&scale);
             experiments::ablation_pruning(&scale);
             experiments::ablation_cost_model(&scale);
+            experiments::join_probe(&scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");

@@ -5,7 +5,6 @@
 //! EXPERIMENTS.md for recorded paper-vs-measured comparisons.
 
 use crate::kgen::generate_with_k;
-use tcs_graph::gen::case_study;
 use crate::report::{fmt_space_kb, fmt_throughput, Table};
 use crate::runner::{average, run_system, RunMetrics};
 use crate::systems::SystemKind;
@@ -13,6 +12,7 @@ use crate::Scale;
 use tcs_concurrent::{ConcurrentEngine, LockingMode};
 use tcs_core::decompose::decompose;
 use tcs_core::plan::{PlanOptions, QueryPlan};
+use tcs_graph::gen::case_study;
 use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
 use tcs_graph::{QueryGraph, StreamEdge};
 
@@ -87,10 +87,7 @@ fn sweep_systems(
     thr_title: &str,
     space_title: &str,
 ) {
-    let mut thr = Table::new(
-        thr_title,
-        &["dataset", x_label, "system", "edges/s", "completed"],
-    );
+    let mut thr = Table::new(thr_title, &["dataset", x_label, "system", "edges/s", "completed"]);
     let mut spc = Table::new(space_title, &["dataset", x_label, "system", "space-KB"]);
     for dataset in Dataset::ALL {
         for &(window, qsize) in xs {
@@ -100,11 +97,7 @@ fn sweep_systems(
                 eprintln!("warning: no queries for {dataset:?} size {qsize}");
                 continue;
             }
-            let x_val = if xs.iter().all(|&(w, _)| w == xs[0].0) {
-                qsize as u64
-            } else {
-                window
-            };
+            let x_val = if xs.iter().all(|&(w, _)| w == xs[0].0) { qsize as u64 } else { window };
             for kind in SystemKind::ALL {
                 eprintln!(
                     "# running {} window={window} qsize={qsize} system={}",
@@ -185,11 +178,7 @@ fn concurrency_sweep(scale: &Scale, xs: &[(u64, usize)], x_label: &str, fig: &st
             if queries.is_empty() {
                 continue;
             }
-            let x_val = if xs.iter().all(|&(w, _)| w == xs[0].0) {
-                qsize as u64
-            } else {
-                window
-            };
+            let x_val = if xs.iter().all(|&(w, _)| w == xs[0].0) { qsize as u64 } else { window };
             // Each variant gets the same wall-clock budget; speedup is the
             // ratio of transaction rates against Timing-1.
             let budget = std::time::Duration::from_secs_f64(scale.run_budget_secs);
@@ -205,10 +194,7 @@ fn concurrency_sweep(scale: &Scale, xs: &[(u64, usize)], x_label: &str, fig: &st
                     .sum::<f64>()
                     / queries.len() as f64
             };
-            eprintln!(
-                "# concurrency {} window={window} qsize={qsize}",
-                dataset.name()
-            );
+            eprintln!("# concurrency {} window={window} qsize={qsize}", dataset.name());
             let base = rate(1, LockingMode::FineGrained);
             for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
                 for &n in &threads {
@@ -275,7 +261,8 @@ pub fn fig21(scale: &Scale) {
         "Figure 21b: Optimization ablation — space (KB)",
         &["dataset", "variant", "space-KB"],
     );
-    let variants: [(&str, fn(u64) -> PlanOptions); 4] = [
+    type VariantMk = fn(u64) -> PlanOptions;
+    let variants: [(&str, VariantMk); 4] = [
         ("Timing", |_| PlanOptions::timing()),
         ("Timing-RJ", PlanOptions::random_join),
         ("Timing-RD", PlanOptions::random_decomposition),
@@ -391,7 +378,13 @@ pub fn fig25(scale: &Scale) {
                 .iter()
                 .map(|q| {
                     let mut sys = SystemKind::Timing.build(q.clone());
-                    run_system(sys.as_mut(), &stream, window, scale.measured_edges, scale.run_budget_secs)
+                    run_system(
+                        sys.as_mut(),
+                        &stream,
+                        window,
+                        scale.measured_edges,
+                        scale.run_budget_secs,
+                    )
                 })
                 .collect();
             let m = average(&metrics);
@@ -442,10 +435,8 @@ pub fn fig22(scale: &Scale) {
             detected.push(e.ts.0);
         }
     }
-    let mut t = Table::new(
-        "Figure 22: Case study — exfiltration pattern detection",
-        &["event", "time"],
-    );
+    let mut t =
+        Table::new("Figure 22: Case study — exfiltration pattern detection", &["event", "time"]);
     t.row(vec!["attack planted (t5)".into(), planted_at.to_string()]);
     for d in &detected {
         t.row(vec!["pattern detected".into(), d.to_string()]);
@@ -455,10 +446,7 @@ pub fn fig22(scale: &Scale) {
         detected.contains(&planted_at),
         "the planted attack must be detected at its final edge"
     );
-    println!(
-        "detected {} occurrence(s); planted attack found at t={planted_at}\n",
-        detected.len()
-    );
+    println!("detected {} occurrence(s); planted attack found at t={planted_at}\n", detected.len());
 }
 
 /// Extra ablation (beyond the paper): how much work the timing-order
@@ -492,7 +480,13 @@ pub fn ablation_pruning(scale: &Scale) {
             discard_rates.push(st.edges_discarded as f64 / st.edges_processed.max(1) as f64);
             timing_space.push(eng.space_bytes() as f64);
             let mut sj = SystemKind::SjTree.build(q.clone());
-            let m = run_system(sj.as_mut(), &stream, window, scale.measured_edges, scale.run_budget_secs);
+            let m = run_system(
+                sj.as_mut(),
+                &stream,
+                window,
+                scale.measured_edges,
+                scale.run_budget_secs,
+            );
             sj_space.push(m.avg_space);
         }
         let n = queries.len().max(1) as f64;
@@ -541,4 +535,73 @@ pub fn ablation_cost_model(scale: &Scale) {
         ]);
     }
     t.emit("ablation_cost_model");
+}
+
+/// Extra ablation for the hash-indexed expansion lists: per-edge insert
+/// throughput of keyed probes ([`tcs_core::JoinMode::Probe`]) vs the full
+/// item scans of Algorithm 1 as written ([`tcs_core::JoinMode::Scan`]) on
+/// a hub fan-out workload — `fanout` stored prefixes of which exactly one
+/// joins each arrival. Emits the speedup trajectory as `BENCH_join.json`
+/// so future PRs can track regressions.
+pub fn join_probe(scale: &Scale) {
+    use crate::hub::{hub_arrival, hub_engine};
+    use std::time::{Duration, Instant};
+    use tcs_core::JoinMode;
+
+    let run = |fanout: usize, mode: JoinMode| -> f64 {
+        let mut eng = hub_engine(fanout, mode);
+        let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
+        let start = Instant::now();
+        let mut n = 0u64;
+        let mut id = fanout as u64;
+        'outer: loop {
+            for _ in 0..256 {
+                id += 1;
+                eng.insert(hub_arrival(fanout, id));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 1_500_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+
+    let mut t = Table::new(
+        "join_probe: per-edge insert throughput, hub fan-out (probe vs scan)",
+        &["fanout", "probe-edges/s", "scan-edges/s", "speedup"],
+    );
+    let mut rows = Vec::new();
+    for &fanout in &[64usize, 512] {
+        let probe = run(fanout, JoinMode::Probe);
+        let scan = run(fanout, JoinMode::Scan);
+        t.row(vec![
+            fanout.to_string(),
+            fmt_throughput(probe),
+            fmt_throughput(scan),
+            format!("{:.1}x", probe / scan),
+        ]);
+        rows.push((fanout, probe, scan));
+    }
+    t.emit("join_probe");
+
+    // Machine-readable trajectory (no serde in this workspace's offline
+    // build — the JSON is assembled by hand).
+    let mut json = String::from(
+        "{\n  \"bench\": \"join_probe\",\n  \"unit\": \"edges_per_sec\",\n  \"rows\": [\n",
+    );
+    for (idx, (fanout, probe, scan)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fanout\": {}, \"probe\": {:.0}, \"scan\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            fanout,
+            probe,
+            scan,
+            probe / scan,
+            if idx + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_join.json", json) {
+        eprintln!("warning: could not write BENCH_join.json: {e}");
+    }
 }

@@ -1,0 +1,66 @@
+//! The shared hub fan-out workload behind the `join_probe` measurements.
+//!
+//! Both the Criterion `join_probe` group (`benches/microbench.rs`) and the
+//! `repro join` experiment (which feeds the CI speedup gate through
+//! `BENCH_join.json`) must measure the *same* workload, so it lives here
+//! once: a timed 2-path query, `fanout` level-0 prefixes parked on
+//! distinct hub vertices, and an arrival stream where each edge joins
+//! exactly one prefix — the scan baseline still compatibility-checks all
+//! `fanout` of them, the keyed probe visits one bucket.
+
+use tcs_core::plan::{PlanOptions, QueryPlan};
+use tcs_core::{JoinMode, MsTreeStore, TimingEngine};
+use tcs_graph::query::QueryEdge;
+use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
+
+/// The 2-path query `a→b ≺ b→c` (one TC-subquery of length 2).
+pub fn hub_query() -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(0), VLabel(1), VLabel(2)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+        ],
+        &[(0, 1)],
+    )
+    .expect("valid hub query")
+}
+
+/// An engine pre-seeded with `fanout` level-0 prefixes `i → 10000+i`
+/// (the probed item), running under `mode`.
+pub fn hub_engine(fanout: usize, mode: JoinMode) -> TimingEngine<MsTreeStore> {
+    let mut eng: TimingEngine<MsTreeStore> =
+        TimingEngine::new(QueryPlan::build(hub_query(), PlanOptions::timing()));
+    eng.set_join_mode(mode);
+    for i in 0..fanout {
+        eng.insert(StreamEdge::new(i as u64, i as u32, 0, 10_000 + i as u32, 1, 0, i as u64 + 1));
+    }
+    eng
+}
+
+/// The `id`-th measured arrival: matches the second query edge and joins
+/// exactly one of the `fanout` stored prefixes (the one ending at
+/// `10000 + id % fanout`). `id` must start above `fanout` so ids and
+/// timestamps stay unique and increasing.
+pub fn hub_arrival(fanout: usize, id: u64) -> StreamEdge {
+    debug_assert!(id >= fanout as u64);
+    let j = (id % fanout as u64) as u32;
+    StreamEdge::new(id, 10_000 + j, 1, 1_000_000 + id as u32, 2, 0, id + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_arrival_joins_exactly_one_prefix() {
+        for mode in [JoinMode::Probe, JoinMode::Scan] {
+            let mut eng = hub_engine(8, mode);
+            for id in 8..24u64 {
+                let matches = eng.insert(hub_arrival(8, id));
+                assert_eq!(matches.len(), 1, "mode {mode:?} id {id}");
+            }
+            assert_eq!(eng.stats().matches_emitted, 16);
+        }
+    }
+}

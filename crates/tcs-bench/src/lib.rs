@@ -18,8 +18,11 @@
 //!   (§VII-G's protocol).
 //! * [`report`] — aligned stdout tables + TSV files.
 //! * [`experiments`] — one function per table/figure.
+//! * [`hub`] — the shared hub fan-out workload measured by both the
+//!   `join_probe` Criterion group and the `repro join` experiment.
 
 pub mod experiments;
+pub mod hub;
 pub mod kgen;
 pub mod report;
 pub mod runner;
@@ -42,21 +45,11 @@ pub struct Scale {
 impl Scale {
     /// A quick smoke-scale (minutes for the full suite).
     pub fn quick() -> Scale {
-        Scale {
-            measured_edges: 6_000,
-            queries_per_config: 2,
-            run_budget_secs: 3.0,
-            seed: 42,
-        }
+        Scale { measured_edges: 6_000, queries_per_config: 2, run_budget_secs: 3.0, seed: 42 }
     }
 
     /// The default reproduction scale.
     pub fn default_scale() -> Scale {
-        Scale {
-            measured_edges: 20_000,
-            queries_per_config: 3,
-            run_budget_secs: 8.0,
-            seed: 42,
-        }
+        Scale { measured_edges: 20_000, queries_per_config: 3, run_budget_secs: 8.0, seed: 42 }
     }
 }

@@ -117,10 +117,18 @@ mod tests {
     #[test]
     fn average_is_mean() {
         let a = RunMetrics {
-            throughput: 10.0, avg_space: 100.0, matches: 4, completed: 1.0, saturated: false,
+            throughput: 10.0,
+            avg_space: 100.0,
+            matches: 4,
+            completed: 1.0,
+            saturated: false,
         };
         let b = RunMetrics {
-            throughput: 30.0, avg_space: 300.0, matches: 8, completed: 0.5, saturated: true,
+            throughput: 30.0,
+            avg_space: 300.0,
+            matches: 8,
+            completed: 0.5,
+            saturated: true,
         };
         let m = average(&[a, b]);
         assert_eq!(m.throughput, 20.0);

@@ -87,9 +87,7 @@ struct TimingSystem<S: tcs_core::MatchStore> {
 
 impl<S: tcs_core::MatchStore> TimingSystem<S> {
     fn new(query: QueryGraph) -> Self {
-        TimingSystem {
-            engine: TimingEngine::new(QueryPlan::build(query, PlanOptions::timing())),
-        }
+        TimingSystem { engine: TimingEngine::new(QueryPlan::build(query, PlanOptions::timing())) }
     }
 }
 

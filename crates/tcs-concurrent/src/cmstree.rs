@@ -28,9 +28,10 @@
 //! only (detectable) logical corruption.
 
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use tcs_core::store::StoreLayout;
+use tcs_core::store::{JoinKey, StoreLayout};
 use tcs_graph::EdgeId;
 
 const NIL: u32 = u32::MAX;
@@ -55,6 +56,11 @@ struct Node {
     prev_sib: AtomicU32,
     next: AtomicU32,
     prev: AtomicU32,
+    /// Join key the node is filed under; written at insert and read at
+    /// removal, both under the owning item's list mutex.
+    key: AtomicU64,
+    /// Position in the item's key bucket (mutated under the list mutex).
+    key_pos: AtomicU32,
     dead: AtomicBool,
 }
 
@@ -68,21 +74,26 @@ impl Default for Node {
             prev_sib: AtomicU32::new(NIL),
             next: AtomicU32::new(NIL),
             prev: AtomicU32::new(NIL),
+            key: AtomicU64::new(0),
+            key_pos: AtomicU32::new(0),
             dead: AtomicBool::new(false),
         }
     }
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Debug)]
 struct ListHead {
     head: u32,
     tail: u32,
     len: usize,
+    /// Join-key index of this item (guarded by the same mutex as the
+    /// list links, which the item lock already serializes).
+    index: HashMap<JoinKey, Vec<u32>>,
 }
 
 impl Default for ListHead {
     fn default() -> Self {
-        ListHead { head: NIL, tail: NIL, len: 0 }
+        ListHead { head: NIL, tail: NIL, len: 0, index: HashMap::new() }
     }
 }
 
@@ -172,9 +183,9 @@ impl CmsTree {
         idx
     }
 
-    /// Inserts a node under `parent` into `item`'s level list.
-    /// Caller must hold X(`item`).
-    fn insert_node(&self, payload: u64, parent: u64, item: usize) -> u64 {
+    /// Inserts a node under `parent` into `item`'s level list and key
+    /// index. Caller must hold X(`item`).
+    fn insert_node(&self, payload: u64, parent: u64, item: usize, key: JoinKey) -> u64 {
         let parent_idx = if parent == u64::MAX { NIL } else { parent as u32 };
         let idx = self.alloc(payload, parent_idx);
         if parent_idx != NIL {
@@ -197,17 +208,29 @@ impl CmsTree {
             list.tail = idx;
         }
         list.len += 1;
+        self.node(idx).key.store(key, STORE);
+        let bucket = list.index.entry(key).or_default();
+        self.node(idx).key_pos.store(bucket.len() as u32, STORE);
+        bucket.push(idx);
         idx as u64
     }
 
-    /// Inserts a subquery match. Caller holds X(sub_item(sub, level)).
-    pub fn insert_sub(&self, sub: usize, level: usize, parent: u64, edge: EdgeId) -> u64 {
-        self.insert_node(edge.0, parent, self.sub_item(sub, level))
+    /// Inserts a subquery match filed under `key`. Caller holds
+    /// X(sub_item(sub, level)).
+    pub fn insert_sub(
+        &self,
+        sub: usize,
+        level: usize,
+        parent: u64,
+        edge: EdgeId,
+        key: JoinKey,
+    ) -> u64 {
+        self.insert_node(edge.0, parent, self.sub_item(sub, level), key)
     }
 
-    /// Inserts an `L₀` row. Caller holds X(l0_item(i)).
-    pub fn insert_l0(&self, i: usize, parent: u64, comp: u64) -> u64 {
-        self.insert_node(comp, parent, self.l0_item(i))
+    /// Inserts an `L₀` row filed under `key`. Caller holds X(l0_item(i)).
+    pub fn insert_l0(&self, i: usize, parent: u64, comp: u64, key: JoinKey) -> u64 {
+        self.insert_node(comp, parent, self.l0_item(i), key)
     }
 
     /// Iterates subquery matches. Caller holds ≥ S(sub_item(sub, level)).
@@ -226,6 +249,33 @@ impl CmsTree {
         }
     }
 
+    /// The key bucket of an item, snapshotted under the list mutex. With
+    /// the item's S lock held, membership cannot change concurrently.
+    fn bucket_of(&self, item: usize, key: JoinKey) -> Vec<u32> {
+        self.lists[item].lock().index.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Iterates only the subquery matches filed under `key`. Caller holds
+    /// ≥ S(sub_item(sub, level)).
+    pub fn for_each_sub_keyed(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        f: &mut dyn FnMut(u64, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        let mut buf = vec![EdgeId(0); level + 1];
+        for n in self.bucket_of(item, key) {
+            let mut cur = n;
+            for d in (0..=level).rev() {
+                buf[d] = EdgeId(self.node(cur).payload.load(LOAD));
+                cur = self.node(cur).parent.load(LOAD);
+            }
+            f(n as u64, &buf);
+        }
+    }
+
     /// Iterates `L₀` rows as component handles. Caller holds ≥ S(l0_item(i)).
     pub fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(u64, &[u64])) {
         let item = self.l0_item(i);
@@ -240,6 +290,22 @@ impl CmsTree {
             comps[0] = cur as u64;
             f(n as u64, &comps);
             n = self.node(n).next.load(LOAD);
+        }
+    }
+
+    /// Iterates only the `L₀` rows filed under `key`. Caller holds
+    /// ≥ S(l0_item(i)).
+    pub fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(u64, &[u64])) {
+        let item = self.l0_item(i);
+        let mut comps = vec![0u64; i + 1];
+        for n in self.bucket_of(item, key) {
+            let mut cur = n;
+            for d in (1..=i).rev() {
+                comps[d] = self.node(cur).payload.load(LOAD);
+                cur = self.node(cur).parent.load(LOAD);
+            }
+            comps[0] = cur as u64;
+            f(n as u64, &comps);
         }
     }
 
@@ -312,6 +378,18 @@ impl CmsTree {
                 list.tail = prev;
             }
             list.len -= 1;
+            // Key index (same mutex guards the buckets).
+            let key = self.node(idx).key.load(LOAD);
+            let pos = self.node(idx).key_pos.load(LOAD) as usize;
+            let bucket = list.index.get_mut(&key).expect("indexed node has a bucket");
+            debug_assert_eq!(bucket[pos], idx);
+            bucket.swap_remove(pos);
+            if let Some(&moved) = bucket.get(pos) {
+                self.node(moved).key_pos.store(pos as u32, STORE);
+            }
+            if bucket.is_empty() {
+                list.index.remove(&key);
+            }
             drop(list);
             // Parent's child list (the links live at this item's level).
             let parent = self.node(idx).parent.load(LOAD);
@@ -371,9 +449,9 @@ mod tests {
     #[test]
     fn serial_roundtrip() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
-        let b = t.insert_sub(0, 1, a, EdgeId(2));
-        let c = t.insert_sub(0, 2, b, EdgeId(3));
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
+        let c = t.insert_sub(0, 2, b, EdgeId(3), 0);
         assert_eq!(t.len_sub(0, 2), 1);
         let mut got = Vec::new();
         t.for_each_sub(0, 2, &mut |h, edges| {
@@ -389,12 +467,12 @@ mod tests {
     #[test]
     fn l0_graft_components() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
-        let b = t.insert_sub(0, 1, a, EdgeId(2));
-        let c0 = t.insert_sub(0, 2, b, EdgeId(3));
-        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10));
-        let c1 = t.insert_sub(1, 1, x, EdgeId(11));
-        t.insert_l0(1, c0, c1);
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
+        let c0 = t.insert_sub(0, 2, b, EdgeId(3), 0);
+        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10), 0);
+        let c1 = t.insert_sub(1, 1, x, EdgeId(11), 0);
+        t.insert_l0(1, c0, c1, 0);
         let mut rows = Vec::new();
         t.for_each_l0(1, &mut |_, comps| rows.push(comps.to_vec()));
         assert_eq!(rows, vec![vec![c0, c1]]);
@@ -403,8 +481,8 @@ mod tests {
     #[test]
     fn partial_remove_keeps_backtracking_alive() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
-        let b = t.insert_sub(0, 1, a, EdgeId(2));
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
         // Partially remove the level-0 node: it leaves the level list but
         // the child keeps its parent pointer and stays expandable — the
         // property Theorem 6 relies on.
@@ -424,10 +502,10 @@ mod tests {
     #[test]
     fn full_delete_pass_and_reclaim() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1));
-        let b = t.insert_sub(0, 1, a, EdgeId(2));
-        t.insert_sub(0, 2, b, EdgeId(3));
-        t.insert_sub(0, 2, b, EdgeId(4));
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
+        t.insert_sub(0, 2, b, EdgeId(3), 0);
+        t.insert_sub(0, 2, b, EdgeId(4), 0);
         // Level pass for expiring edge 1.
         let mut all = Vec::new();
         let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 1));
@@ -441,10 +519,10 @@ mod tests {
         t.reclaim(&all);
         // Reuse: allocate 4 nodes without growing the arena.
         let before = t.next_free.load(Ordering::Acquire);
-        let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(9));
-        let b2 = t.insert_sub(0, 1, a2, EdgeId(10));
-        t.insert_sub(0, 2, b2, EdgeId(11));
-        t.insert_sub(0, 2, b2, EdgeId(12));
+        let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(9), 0);
+        let b2 = t.insert_sub(0, 1, a2, EdgeId(10), 0);
+        t.insert_sub(0, 2, b2, EdgeId(11), 0);
+        t.insert_sub(0, 2, b2, EdgeId(12), 0);
         assert_eq!(t.next_free.load(Ordering::Acquire), before);
     }
 
@@ -460,7 +538,7 @@ mod tests {
             let t = t.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..1000u64 {
-                    t.insert_sub(sub, 0, u64::MAX, EdgeId(i));
+                    t.insert_sub(sub, 0, u64::MAX, EdgeId(i), 0);
                 }
             }));
         }
@@ -477,7 +555,7 @@ mod tests {
     fn arena_crosses_chunk_boundaries() {
         let t = CmsTree::new(StoreLayout { sub_lens: vec![1] });
         for i in 0..(CHUNK as u64 + 10) {
-            t.insert_sub(0, 0, u64::MAX, EdgeId(i));
+            t.insert_sub(0, 0, u64::MAX, EdgeId(i), 0);
         }
         assert_eq!(t.len_sub(0, 0), CHUNK + 10);
         // Everything is still reachable via the level list.

@@ -102,9 +102,7 @@ impl ConcurrentEngine {
     pub fn live_match_count(&self) -> usize {
         let k = self.shared.plan.k();
         if k == 1 {
-            self.shared
-                .tree
-                .len_sub(0, self.shared.plan.subs[0].len() - 1)
+            self.shared.tree.len_sub(0, self.shared.plan.subs[0].len() - 1)
         } else {
             self.shared.tree.len_l0(k - 1)
         }
@@ -132,13 +130,13 @@ impl ConcurrentEngine {
     ) -> ConcurrentResult {
         let start = Instant::now();
         let shared = &self.shared;
-        let (tx, rx) = crossbeam::channel::bounded::<Txn>(self.n_threads * 4);
+        let (tx, rx) = crate::chan::bounded::<Txn>(self.n_threads * 4);
         let mut transactions = 0u64;
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.n_threads {
                 let rx = rx.clone();
                 let shared = Arc::clone(shared);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     while let Ok(txn) = rx.recv() {
                         run_txn(&shared, txn);
                     }
@@ -171,16 +169,11 @@ impl ConcurrentEngine {
                 }
             }
             drop(tx);
-        })
-        .expect("no worker panicked");
+        });
         let mut results = shared.results.lock();
         results.sort_by_key(|&(id, _)| id);
         let matches = results.drain(..).flat_map(|(_, ms)| ms).collect();
-        ConcurrentResult {
-            matches,
-            elapsed: start.elapsed(),
-            transactions,
-        }
+        ConcurrentResult { matches, elapsed: start.elapsed(), transactions }
     }
 }
 
@@ -390,29 +383,38 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
         // --- subquery stage ---
         let new_nodes: Vec<u64> = if j == 0 {
             let g = ctx.acquire(tree.sub_item(i, 0), Mode::X);
-            let h = tree.insert_sub(i, 0, u64::MAX, sigma.id);
+            // Every key-spec part of a level-0 match binds on σ itself.
+            let key = plan.stored_sub_key(i, 0, |_| (sigma.src, sigma.dst));
+            let h = tree.insert_sub(i, 0, u64::MAX, sigma.id, key);
             drop(g);
             vec![h]
         } else {
+            // Probe item j−1 by σ's endpoint bindings (same S lock as the
+            // full scan; the key is a prefilter, compatibility still runs).
             let mut parents = Vec::new();
             {
                 let g = ctx.acquire(tree.sub_item(i, j - 1), Mode::S);
                 let live = shared.live.read();
                 let sigma_side = PartialAssignment::new(vec![(qe, sigma)]);
-                tree.for_each_sub(i, j - 1, &mut |h, edges| {
+                let probe = plan.chain_probe_key(i, j, &sigma);
+                tree.for_each_sub_keyed(i, j - 1, probe, &mut |h, edges| {
                     let last = live[&edges[j - 1]];
                     if last.ts >= sigma.ts {
                         return;
                     }
                     let prefix = PartialAssignment::new(
-                        edges
-                            .iter()
-                            .enumerate()
-                            .map(|(lvl, eid)| (seq[lvl], live[eid]))
-                            .collect(),
+                        edges.iter().enumerate().map(|(lvl, eid)| (seq[lvl], live[eid])).collect(),
                     );
                     if prefix.compatible_with(&plan.query, &sigma_side) {
-                        parents.push(h);
+                        let key = plan.stored_sub_key(i, j, |lvl| {
+                            if lvl == j {
+                                (sigma.src, sigma.dst)
+                            } else {
+                                let e = prefix.edges[lvl].1;
+                                (e.src, e.dst)
+                            }
+                        });
+                        parents.push((h, key));
                     }
                 });
                 drop(g);
@@ -430,7 +432,7 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             let g = ctx.acquire(tree.sub_item(i, j), Mode::X);
             let nodes = parents
                 .into_iter()
-                .map(|p| tree.insert_sub(i, j, p, sigma.id))
+                .map(|(p, key)| tree.insert_sub(i, j, p, sigma.id, key))
                 .collect();
             drop(g);
             nodes
@@ -465,29 +467,31 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             // S(Ω(L₀^{i-1})) then X(L₀^i).
             let delta_sides: Vec<(u64, PartialAssignment)> = {
                 let live = shared.live.read();
-                new_nodes
-                    .iter()
-                    .map(|&h| (h, expand_assignment(shared, &live, i, h)))
-                    .collect()
+                new_nodes.iter().map(|&h| (h, expand_assignment(shared, &live, i, h))).collect()
             };
-            let rows = {
+            // Probe Ω(L₀^{i-1}) by each Δ-side key under the same S lock
+            // the full scan used.
+            let mut pairs = Vec::new();
+            {
                 let read_item = if i == 1 {
                     tree.sub_item(0, plan.subs[0].len() - 1)
                 } else {
                     tree.l0_item(i - 1)
                 };
                 let g = ctx.acquire(read_item, Mode::S);
-                let rows = read_l0_rows(shared, i - 1);
-                drop(g);
-                rows
-            };
-            let mut pairs = Vec::new();
-            for (ph, comps, row_side) in &rows {
                 for (dh, d_side) in &delta_sides {
-                    if row_side.compatible_with(&plan.query, d_side) {
-                        pairs.push((*ph, comps.clone(), row_side.clone(), *dh, d_side.clone()));
+                    let key = plan.l0_delta_key(i, |lvl| {
+                        let e = d_side.edges[lvl].1;
+                        (e.src, e.dst)
+                    });
+                    let rows = read_l0_rows_keyed(shared, i - 1, key);
+                    for (ph, comps, row_side) in rows {
+                        if row_side.compatible_with(&plan.query, d_side) {
+                            pairs.push((ph, comps, row_side, *dh, d_side.clone()));
+                        }
                     }
                 }
+                drop(g);
             }
             if pairs.is_empty() {
                 if fine {
@@ -502,9 +506,10 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             entries = pairs
                 .into_iter()
                 .map(|(ph, mut comps, mut side, dh, d_side)| {
-                    let nh = tree.insert_l0(i, ph, dh);
-                    comps.push(dh);
                     side.edges.extend_from_slice(&d_side.edges);
+                    let key = stored_l0_key_of(shared, i, &side);
+                    let nh = tree.insert_l0(i, ph, dh, key);
+                    comps.push(dh);
                     (nh, comps, side)
                 })
                 .collect();
@@ -519,25 +524,32 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             drop(g);
             cur = i;
         }
-        // Extend rightwards.
+        // Extend rightwards, probing each subquery's leaves per entry.
         while cur < k - 1 {
             let next_sub = cur + 1;
-            let leaves = {
-                let g = ctx.acquire(
-                    tree.sub_item(next_sub, plan.subs[next_sub].len() - 1),
-                    Mode::S,
-                );
-                let leaves = read_leaves(shared, next_sub);
-                drop(g);
-                leaves
-            };
             let mut pairs = Vec::new();
-            for (ph, comps, side) in &entries {
-                for (lh, leaf_side) in &leaves {
-                    if side.compatible_with(&plan.query, leaf_side) {
-                        pairs.push((*ph, comps.clone(), side.clone(), *lh, leaf_side.clone()));
+            {
+                let g =
+                    ctx.acquire(tree.sub_item(next_sub, plan.subs[next_sub].len() - 1), Mode::S);
+                for (ph, comps, side) in &entries {
+                    let key = plan.l0_row_key(next_sub, |sub, lvl| {
+                        let qe = plan.subs[sub].seq[lvl];
+                        let e = side
+                            .edges
+                            .iter()
+                            .find(|&&(q, _)| q == qe)
+                            .expect("row binds its own query edges")
+                            .1;
+                        (e.src, e.dst)
+                    });
+                    let leaves = read_leaves_keyed(shared, next_sub, key);
+                    for (lh, leaf_side) in leaves {
+                        if side.compatible_with(&plan.query, &leaf_side) {
+                            pairs.push((*ph, comps.clone(), side.clone(), lh, leaf_side));
+                        }
                     }
                 }
+                drop(g);
             }
             if pairs.is_empty() {
                 entries.clear();
@@ -553,9 +565,10 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             entries = pairs
                 .into_iter()
                 .map(|(ph, mut comps, mut side, lh, leaf_side)| {
-                    let nh = tree.insert_l0(next_sub, ph, lh);
-                    comps.push(lh);
                     side.edges.extend_from_slice(&leaf_side.edges);
+                    let key = stored_l0_key_of(shared, next_sub, &side);
+                    let nh = tree.insert_l0(next_sub, ph, lh, key);
+                    comps.push(lh);
                     (nh, comps, side)
                 })
                 .collect();
@@ -604,8 +617,7 @@ fn run_del(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
         for level in min_level..len {
             // Early break: nothing left to cascade and no payload position
             // at this level or beyond.
-            let payload_here_or_later =
-                (level..len).any(|l| match_positions.contains(&(sub, l)));
+            let payload_here_or_later = (level..len).any(|l| match_positions.contains(&(sub, l)));
             if prev.is_empty() && !payload_here_or_later {
                 if fine {
                     ctx.cancel_n(len - level);
@@ -687,43 +699,35 @@ fn expand_assignment(
     let mut ids = Vec::new();
     shared.tree.expand_sub(handle, &mut ids);
     let seq = &shared.plan.subs[sub].seq;
-    PartialAssignment::new(
-        ids.iter()
-            .enumerate()
-            .map(|(lvl, id)| (seq[lvl], live[id]))
-            .collect(),
-    )
+    PartialAssignment::new(ids.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect())
 }
 
-/// Reads `Ω(L₀^m)` rows with expansions; `m == 0` is the aliased
-/// subquery-0 leaf item. Caller holds ≥ S on the corresponding item.
-fn read_l0_rows(shared: &Shared, m: usize) -> Vec<(u64, Vec<u64>, PartialAssignment)> {
+/// Reads the `Ω(L₀^m)` rows filed under `key` with expansions; `m == 0`
+/// is the aliased subquery-0 leaf item. Caller holds ≥ S on the
+/// corresponding item.
+fn read_l0_rows_keyed(
+    shared: &Shared,
+    m: usize,
+    key: u64,
+) -> Vec<(u64, Vec<u64>, PartialAssignment)> {
     let live = shared.live.read();
     let mut rows = Vec::new();
     if m == 0 {
         let last = shared.plan.subs[0].len() - 1;
         let seq = &shared.plan.subs[0].seq;
-        shared.tree.for_each_sub(0, last, &mut |h, edges| {
+        shared.tree.for_each_sub_keyed(0, last, key, &mut |h, edges| {
             let side = PartialAssignment::new(
-                edges
-                    .iter()
-                    .enumerate()
-                    .map(|(lvl, id)| (seq[lvl], live[id]))
-                    .collect(),
+                edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
             );
             rows.push((h, vec![h], side));
         });
     } else {
         let mut raw = Vec::new();
-        shared
-            .tree
-            .for_each_l0(m, &mut |h, comps| raw.push((h, comps.to_vec())));
+        shared.tree.for_each_l0_keyed(m, key, &mut |h, comps| raw.push((h, comps.to_vec())));
         for (h, comps) in raw {
             let mut merged = PartialAssignment::default();
             for (sub, &c) in comps.iter().enumerate() {
-                merged
-                    .edges
-                    .extend_from_slice(&expand_assignment(shared, &live, sub, c).edges);
+                merged.edges.extend_from_slice(&expand_assignment(shared, &live, sub, c).edges);
             }
             rows.push((h, comps, merged));
         }
@@ -731,24 +735,35 @@ fn read_l0_rows(shared: &Shared, m: usize) -> Vec<(u64, Vec<u64>, PartialAssignm
     rows
 }
 
-/// Reads complete matches of subquery `sub`. Caller holds ≥ S on its leaf
-/// item.
-fn read_leaves(shared: &Shared, sub: usize) -> Vec<(u64, PartialAssignment)> {
+/// Reads the complete matches of subquery `sub` filed under `key`.
+/// Caller holds ≥ S on its leaf item.
+fn read_leaves_keyed(shared: &Shared, sub: usize, key: u64) -> Vec<(u64, PartialAssignment)> {
     let live = shared.live.read();
     let seq = &shared.plan.subs[sub].seq;
     let last = seq.len() - 1;
     let mut out = Vec::new();
-    shared.tree.for_each_sub(sub, last, &mut |h, edges| {
+    shared.tree.for_each_sub_keyed(sub, last, key, &mut |h, edges| {
         let side = PartialAssignment::new(
-            edges
-                .iter()
-                .enumerate()
-                .map(|(lvl, id)| (seq[lvl], live[id]))
-                .collect(),
+            edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
         );
         out.push((h, side));
     });
     out
+}
+
+/// Key under which an `L₀` row at item `level` is stored, computed from
+/// its merged assignment (the row side of the next `L₀` join's spec).
+fn stored_l0_key_of(shared: &Shared, level: usize, merged: &PartialAssignment) -> u64 {
+    shared.plan.stored_l0_key(level, |sub, lvl| {
+        let qe = shared.plan.subs[sub].seq[lvl];
+        let e = merged
+            .edges
+            .iter()
+            .find(|&&(q, _)| q == qe)
+            .expect("merged row binds its own query edges")
+            .1;
+        (e.src, e.dst)
+    })
 }
 
 /// Builds the reported record from component handles.
@@ -833,11 +848,8 @@ mod tests {
         let ops = qe_lock_ops(&plan, &tree, 1);
         assert_eq!(ops[0], (tree.sub_item(i, 0), Mode::X));
         if i > 0 {
-            let expect_read = if i == 1 {
-                tree.sub_item(0, plan.subs[0].len() - 1)
-            } else {
-                tree.l0_item(i - 1)
-            };
+            let expect_read =
+                if i == 1 { tree.sub_item(0, plan.subs[0].len() - 1) } else { tree.l0_item(i - 1) };
             assert_eq!(ops[1], (expect_read, Mode::S));
             assert_eq!(ops[2], (tree.l0_item(i), Mode::X));
         }
@@ -906,10 +918,7 @@ mod tests {
                     let mut eng = ConcurrentEngine::new(plan, threads, mode);
                     let mut got = eng.run(&edges, 60).matches;
                     got.sort();
-                    assert_eq!(
-                        got, expected,
-                        "seed={seed} threads={threads} mode={mode:?}"
-                    );
+                    assert_eq!(got, expected, "seed={seed} threads={threads} mode={mode:?}");
                 }
             }
         }

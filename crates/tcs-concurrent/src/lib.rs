@@ -25,6 +25,7 @@
 //!   ("All-locks-N", which acquires every lock up front and collapses to
 //!   nearly serial execution — the flat ≈1.2× speedup of Figures 19–20).
 
+pub mod chan;
 pub mod cmstree;
 pub mod engine;
 pub mod lock;

@@ -51,9 +51,7 @@ pub struct LockManager {
 impl LockManager {
     /// Creates `n_items` item locks.
     pub fn new(n_items: usize) -> LockManager {
-        LockManager {
-            items: (0..n_items).map(|_| ItemLock::default()).collect(),
-        }
+        LockManager { items: (0..n_items).map(|_| ItemLock::default()).collect() }
     }
 
     /// Number of items.
@@ -116,11 +114,7 @@ impl LockManager {
     pub fn cancel(&self, item: usize, txn: TxnId, mode: Mode) {
         let lock = &self.items[item];
         let mut st = lock.state.lock();
-        if let Some(pos) = st
-            .waitlist
-            .iter()
-            .position(|&(t, m)| t == txn && m == mode)
-        {
+        if let Some(pos) = st.waitlist.iter().position(|&(t, m)| t == txn && m == mode) {
             st.waitlist.remove(pos);
         } else {
             debug_assert!(false, "cancel of unknown request (txn {txn}, item {item})");

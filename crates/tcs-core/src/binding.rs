@@ -103,11 +103,7 @@ fn cross_timing_ok(q: &QueryGraph, a: &[(usize, StreamEdge)], b: &[(usize, Strea
             preds &= preds - 1;
             // Find qi on either side; unassigned predecessors are checked
             // at a later join level.
-            let ti = a
-                .iter()
-                .chain(b.iter())
-                .find(|&&(x, _)| x == qi)
-                .map(|&(_, e)| e.ts);
+            let ti = a.iter().chain(b.iter()).find(|&&(x, _)| x == qi).map(|&(_, e)| e.ts);
             if let Some(ti) = ti {
                 if ti >= ej.ts {
                     return false;

@@ -55,8 +55,7 @@ mod tests {
         let d = distinct_signatures(&q) as f64;
         for k in 1..=q.n_edges() {
             let total = expected_joins(&q, k);
-            let closed =
-                (q.n_edges() as f64 - 1.0 + (k as f64) * (k as f64 - 1.0) / 2.0) / d;
+            let closed = (q.n_edges() as f64 - 1.0 + (k as f64) * (k as f64 - 1.0) / 2.0) / d;
             assert!((total - closed).abs() < 1e-12, "k={k}: {total} vs {closed}");
         }
     }

@@ -67,11 +67,7 @@ impl Decomposition {
             }
             seen |= s.mask;
         }
-        let all = if q.n_edges() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << q.n_edges()) - 1
-        };
+        let all = if q.n_edges() == 64 { u64::MAX } else { (1u64 << q.n_edges()) - 1 };
         seen == all
     }
 }
@@ -100,11 +96,7 @@ pub fn is_timing_sequence(q: &QueryGraph, seq: &[usize]) -> bool {
 
 /// Whether the whole query is a TC-query (Definition 8).
 pub fn is_tc_query(q: &QueryGraph) -> bool {
-    let all = if q.n_edges() == 64 {
-        u64::MAX
-    } else {
-        (1u64 << q.n_edges()) - 1
-    };
+    let all = if q.n_edges() == 64 { u64::MAX } else { (1u64 << q.n_edges()) - 1 };
     tc_subqueries(q).iter().any(|s| s.mask == all)
 }
 
@@ -199,11 +191,7 @@ pub fn decompose(q: &QueryGraph) -> Decomposition {
 pub fn decompose_from(q: &QueryGraph, tcsub: &[TcSubquery]) -> Decomposition {
     let mut chosen: Vec<TcSubquery> = Vec::new();
     let mut covered = 0u64;
-    let all = if q.n_edges() == 64 {
-        u64::MAX
-    } else {
-        (1u64 << q.n_edges()) - 1
-    };
+    let all = if q.n_edges() == 64 { u64::MAX } else { (1u64 << q.n_edges()) - 1 };
     // `tcsub` is sorted by size descending already (tc_subqueries), but be
     // robust to arbitrary input order.
     let mut order: Vec<&TcSubquery> = tcsub.iter().collect();
@@ -362,8 +350,8 @@ mod tests {
             vec![(5, 0), (3, 1)],
         ] {
             let base = QueryGraph::running_example();
-            let q = QueryGraph::new(base.vertex_labels.clone(), base.edges.clone(), &pairs)
-                .unwrap();
+            let q =
+                QueryGraph::new(base.vertex_labels.clone(), base.edges.clone(), &pairs).unwrap();
             let d = decompose(&q);
             assert!(d.is_partition_of(&q), "pairs {pairs:?}");
             for s in &d.subqueries {

@@ -17,10 +17,33 @@
 
 use crate::binding::PartialAssignment;
 use crate::plan::QueryPlan;
-use crate::store::{Handle, MatchStore, StoreLayout, ROOT};
+use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::collections::HashMap;
 use tcs_graph::window::WindowEvent;
 use tcs_graph::{EdgeId, MatchRecord, StreamEdge};
+
+/// How the engine finds join partners in the stored items.
+///
+/// [`JoinMode::Probe`] (the default) looks up the hash bucket of the
+/// arrival's join key — O(bucket) per join instead of O(item). Keys are a
+/// prefilter (see `store.rs` module docs): the full compatibility check
+/// still runs on every candidate, so both modes emit the *identical*
+/// match stream. [`JoinMode::Scan`] keeps the original full-scan path as
+/// the equivalence/benchmark baseline.
+///
+/// Caveat: the identical-stream guarantee assumes exact evaluation. If
+/// [`TimingEngine::set_partial_cap`] is engaged and the cap saturates
+/// mid-join, the two modes enumerate candidate pairs in different orders
+/// and therefore keep different (equally incomplete) subsets — the cap is
+/// a benchmark-harness safety valve, not part of the semantics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum JoinMode {
+    /// Keyed hash-bucket probes (fast path).
+    #[default]
+    Probe,
+    /// Full item scans (reference baseline).
+    Scan,
+}
 
 /// Counters the experiments report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -53,6 +76,12 @@ pub struct TimingEngine<S: MatchStore> {
     /// explicitly opts in; see [`TimingEngine::set_partial_cap`]).
     partial_cap: u64,
     saturated: bool,
+    join_mode: JoinMode,
+    /// Reusable prefix-side assignment (cleared per candidate; avoids a
+    /// heap allocation per stored prefix in the hot join path).
+    scratch_prefix: PartialAssignment,
+    /// Reusable σ-side assignment for the same reason.
+    scratch_sigma: PartialAssignment,
 }
 
 impl<S: MatchStore> TimingEngine<S> {
@@ -66,7 +95,22 @@ impl<S: MatchStore> TimingEngine<S> {
             stats: EngineStats::default(),
             partial_cap: u64::MAX,
             saturated: false,
+            join_mode: JoinMode::default(),
+            scratch_prefix: PartialAssignment::default(),
+            scratch_sigma: PartialAssignment::default(),
         }
+    }
+
+    /// Selects keyed probing (default) or the full-scan reference path.
+    /// Both emit the identical match stream; Scan exists for equivalence
+    /// tests and as the microbenchmark baseline.
+    pub fn set_join_mode(&mut self, mode: JoinMode) {
+        self.join_mode = mode;
+    }
+
+    /// The active join strategy.
+    pub fn join_mode(&self) -> JoinMode {
+        self.join_mode
     }
 
     /// Caps the number of *live* partial matches. Beyond the cap the engine
@@ -86,9 +130,7 @@ impl<S: MatchStore> TimingEngine<S> {
 
     #[inline]
     fn live_partials(&self) -> u64 {
-        self.stats
-            .partials_inserted
-            .saturating_sub(self.stats.partials_deleted)
+        self.stats.partials_inserted.saturating_sub(self.stats.partials_deleted)
     }
 
     #[inline]
@@ -124,8 +166,7 @@ impl<S: MatchStore> TimingEngine<S> {
     /// Bytes held by the partial-match store plus the live-edge table.
     pub fn space_bytes(&self) -> usize {
         self.store.space_bytes()
-            + self.live.len()
-                * (std::mem::size_of::<EdgeId>() + std::mem::size_of::<StreamEdge>())
+            + self.live.len() * (std::mem::size_of::<EdgeId>() + std::mem::size_of::<StreamEdge>())
     }
 
     /// Applies one window event: expiries first (the edges left the window
@@ -173,17 +214,20 @@ impl<S: MatchStore> TimingEngine<S> {
                 if self.cap_reached() {
                     continue;
                 }
-                vec![self.store.insert_sub(i, 0, ROOT, sigma.id)]
+                // Every key-spec part of a level-0 match binds at level 0,
+                // i.e. on σ itself.
+                let key = self.plan.stored_sub_key(i, 0, |_| (sigma.src, sigma.dst));
+                vec![self.store.insert_sub(i, 0, ROOT, sigma.id, key)]
             } else {
                 // Join {σ} with Ω(L^{j-1}_i) (Theorem 2 case 2).
                 self.stats.join_ops += 1;
                 let parents = self.join_sub_prefixes(i, j, qe, &sigma);
                 let mut nodes = Vec::with_capacity(parents.len());
-                for p in parents {
+                for (p, key) in parents {
                     if self.cap_reached() {
                         break;
                     }
-                    nodes.push(self.store.insert_sub(i, j, p, sigma.id));
+                    nodes.push(self.store.insert_sub(i, j, p, sigma.id, key));
                     self.stats.partials_inserted += 1;
                 }
                 nodes
@@ -205,37 +249,65 @@ impl<S: MatchStore> TimingEngine<S> {
         out
     }
 
-    /// Finds the handles in `L^{j-1}_i` whose partial match `σ` extends.
-    fn join_sub_prefixes(&self, i: usize, j: usize, qe: usize, sigma: &StreamEdge) -> Vec<Handle> {
+    /// Finds the handles in `L^{j-1}_i` whose partial match `σ` extends,
+    /// paired with the join key the extended (level-`j`) match must be
+    /// stored under. In [`JoinMode::Probe`] only the bucket of σ's
+    /// endpoint bindings is visited; the timing and full compatibility
+    /// checks run either way (the key is a prefilter).
+    fn join_sub_prefixes(
+        &mut self,
+        i: usize,
+        j: usize,
+        qe: usize,
+        sigma: &StreamEdge,
+    ) -> Vec<(Handle, JoinKey)> {
         let mut parents = Vec::new();
-        let seq = &self.plan.subs[i].seq;
-        let sigma_side =
-            PartialAssignment::new(vec![(qe, *sigma)]);
-        let plan = &self.plan;
-        let live = &self.live;
-        self.store.for_each_sub(i, j - 1, &mut |h, edges| {
-            // Timing chain: the prefix's last (newest) edge must precede σ.
-            let last = edges[j - 1];
-            let last_edge = live[&last];
-            if last_edge.ts >= sigma.ts {
-                return;
+        let mut prefix = std::mem::take(&mut self.scratch_prefix);
+        let mut sigma_side = std::mem::take(&mut self.scratch_sigma);
+        sigma_side.edges.clear();
+        sigma_side.edges.push((qe, *sigma));
+        {
+            let plan = &self.plan;
+            let seq = &plan.subs[i].seq;
+            let live = &self.live;
+            let mut visit = |h: Handle, edges: &[EdgeId]| {
+                // Timing chain: the prefix's last (newest) edge must
+                // precede σ.
+                let last_edge = live[&edges[j - 1]];
+                if last_edge.ts >= sigma.ts {
+                    return;
+                }
+                prefix.edges.clear();
+                prefix.edges.extend(edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])));
+                if prefix.compatible_with(&plan.query, &sigma_side) {
+                    let key = plan.stored_sub_key(i, j, |lvl| {
+                        if lvl == j {
+                            (sigma.src, sigma.dst)
+                        } else {
+                            let e = prefix.edges[lvl].1;
+                            (e.src, e.dst)
+                        }
+                    });
+                    parents.push((h, key));
+                }
+            };
+            match self.join_mode {
+                JoinMode::Probe => {
+                    let probe = plan.chain_probe_key(i, j, sigma);
+                    self.store.for_each_sub_keyed(i, j - 1, probe, &mut visit);
+                }
+                JoinMode::Scan => self.store.for_each_sub(i, j - 1, &mut visit),
             }
-            let prefix = PartialAssignment::new(
-                edges
-                    .iter()
-                    .enumerate()
-                    .map(|(lvl, id)| (seq[lvl], live[id]))
-                    .collect(),
-            );
-            if prefix.compatible_with(&plan.query, &sigma_side) {
-                parents.push(h);
-            }
-        });
+        }
+        self.scratch_prefix = prefix;
+        self.scratch_sigma = sigma_side;
         parents
     }
 
     /// Algorithm 1 lines 11–24: joins fresh complete matches of subquery
-    /// `i` through the `L₀` chain, reporting complete query matches.
+    /// `i` through the `L₀` chain, reporting complete query matches. In
+    /// [`JoinMode::Probe`] every `L₀`/leaf read is a keyed bucket probe
+    /// instead of a full item scan.
     fn propagate(&mut self, i: usize, delta: &[Handle], out: &mut Vec<MatchRecord>) {
         let k = self.plan.k();
         if k == 1 {
@@ -245,10 +317,8 @@ impl<S: MatchStore> TimingEngine<S> {
             return;
         }
         // Expand the fresh subquery-i matches once.
-        let delta_sides: Vec<(Handle, PartialAssignment)> = delta
-            .iter()
-            .map(|&h| (h, self.expand_assignment(i, h)))
-            .collect();
+        let delta_sides: Vec<(Handle, PartialAssignment)> =
+            delta.iter().map(|&h| (h, self.expand_assignment(i, h))).collect();
 
         // Entries are L₀-level-`cur` matches as (handle, components,
         // merged assignment).
@@ -256,29 +326,58 @@ impl<S: MatchStore> TimingEngine<S> {
         let mut entries: Vec<(Handle, Vec<Handle>, PartialAssignment)>;
         if i == 0 {
             cur = 0;
-            entries = delta_sides
-                .into_iter()
-                .map(|(h, a)| (h, vec![h], a))
-                .collect();
+            entries = delta_sides.into_iter().map(|(h, a)| (h, vec![h], a)).collect();
         } else {
             // Join Δ with Ω(L₀^{i-1}).
             self.stats.join_ops += 1;
-            let rows = self.read_l0_rows(i - 1);
             cur = i;
             entries = Vec::new();
-            'outer: for (ph, comps, row_side) in &rows {
-                for (dh, d_side) in &delta_sides {
-                    if row_side.compatible_with(&self.plan.query, d_side) {
-                        if self.cap_reached() {
-                            break 'outer;
+            match self.join_mode {
+                JoinMode::Scan => {
+                    let rows = self.read_l0_rows(i - 1);
+                    'outer: for (ph, comps, row_side) in &rows {
+                        for (dh, d_side) in &delta_sides {
+                            if row_side.compatible_with(&self.plan.query, d_side) {
+                                if self.cap_reached() {
+                                    break 'outer;
+                                }
+                                self.push_l0_entry(
+                                    i,
+                                    *ph,
+                                    comps,
+                                    row_side,
+                                    *dh,
+                                    d_side,
+                                    &mut entries,
+                                );
+                            }
                         }
-                        let nh = self.store.insert_l0(i, *ph, *dh);
-                        self.stats.partials_inserted += 1;
-                        let mut nc = comps.clone();
-                        nc.push(*dh);
-                        let mut merged = row_side.clone();
-                        merged.edges.extend_from_slice(&d_side.edges);
-                        entries.push((nh, nc, merged));
+                    }
+                }
+                JoinMode::Probe => {
+                    // Probe Ω(L₀^{i-1}) by Δ's shared-vertex bindings.
+                    'outer: for (dh, d_side) in &delta_sides {
+                        let key = self.plan.l0_delta_key(i, |lvl| {
+                            let e = d_side.edges[lvl].1;
+                            (e.src, e.dst)
+                        });
+                        let rows = self.read_l0_rows_keyed(i - 1, key);
+                        for (ph, comps, row_side) in &rows {
+                            if row_side.compatible_with(&self.plan.query, d_side) {
+                                if self.cap_reached() {
+                                    break 'outer;
+                                }
+                                self.push_l0_entry(
+                                    i,
+                                    *ph,
+                                    comps,
+                                    row_side,
+                                    *dh,
+                                    d_side,
+                                    &mut entries,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -287,21 +386,48 @@ impl<S: MatchStore> TimingEngine<S> {
         while cur < k - 1 && !entries.is_empty() {
             let next_sub = cur + 1;
             self.stats.join_ops += 1;
-            let leaves = self.read_leaves(next_sub);
             let mut next = Vec::new();
-            'outer2: for (ph, comps, side) in &entries {
-                for (lh, leaf_side) in &leaves {
-                    if side.compatible_with(&self.plan.query, leaf_side) {
-                        if self.cap_reached() {
-                            break 'outer2;
+            match self.join_mode {
+                JoinMode::Scan => {
+                    let leaves = self.read_leaves(next_sub);
+                    'outer2: for (ph, comps, side) in &entries {
+                        for (lh, leaf_side) in &leaves {
+                            if side.compatible_with(&self.plan.query, leaf_side) {
+                                if self.cap_reached() {
+                                    break 'outer2;
+                                }
+                                self.push_l0_entry(
+                                    next_sub, *ph, comps, side, *lh, leaf_side, &mut next,
+                                );
+                            }
                         }
-                        let nh = self.store.insert_l0(next_sub, *ph, *lh);
-                        self.stats.partials_inserted += 1;
-                        let mut nc = comps.clone();
-                        nc.push(*lh);
-                        let mut merged = side.clone();
-                        merged.edges.extend_from_slice(&leaf_side.edges);
-                        next.push((nh, nc, merged));
+                    }
+                }
+                JoinMode::Probe => {
+                    // Probe subquery `next_sub`'s leaves by each row's
+                    // shared-vertex bindings.
+                    'outer3: for (ph, comps, side) in &entries {
+                        let key = self.plan.l0_row_key(next_sub, |sub, lvl| {
+                            let qe = self.plan.subs[sub].seq[lvl];
+                            let e = side
+                                .edges
+                                .iter()
+                                .find(|&&(q, _)| q == qe)
+                                .expect("row binds its own query edges")
+                                .1;
+                            (e.src, e.dst)
+                        });
+                        let leaves = self.read_leaves_keyed(next_sub, key);
+                        for (lh, leaf_side) in &leaves {
+                            if side.compatible_with(&self.plan.query, leaf_side) {
+                                if self.cap_reached() {
+                                    break 'outer3;
+                                }
+                                self.push_l0_entry(
+                                    next_sub, *ph, comps, side, *lh, leaf_side, &mut next,
+                                );
+                            }
+                        }
                     }
                 }
             }
@@ -313,6 +439,47 @@ impl<S: MatchStore> TimingEngine<S> {
                 out.push(self.record_of(&comps));
             }
         }
+    }
+
+    /// Inserts one `L₀` row at item `level` (parent `ph` × component `dh`)
+    /// under its stored join key and appends the extended entry.
+    #[allow(clippy::too_many_arguments)]
+    fn push_l0_entry(
+        &mut self,
+        level: usize,
+        ph: Handle,
+        comps: &[Handle],
+        row_side: &PartialAssignment,
+        dh: Handle,
+        d_side: &PartialAssignment,
+        entries: &mut Vec<(Handle, Vec<Handle>, PartialAssignment)>,
+    ) {
+        let mut merged = row_side.clone();
+        merged.edges.extend_from_slice(&d_side.edges);
+        let key = self.plan.stored_l0_key(level, |sub, lvl| {
+            let qe = self.plan.subs[sub].seq[lvl];
+            let e = merged
+                .edges
+                .iter()
+                .find(|&&(q, _)| q == qe)
+                .expect("merged row binds its own query edges")
+                .1;
+            (e.src, e.dst)
+        });
+        let nh = self.store.insert_l0(level, ph, dh, key);
+        self.stats.partials_inserted += 1;
+        let mut nc = comps.to_vec();
+        nc.push(dh);
+        entries.push((nh, nc, merged));
+    }
+
+    /// Builds the merged assignment of an `L₀` row from its components.
+    fn merge_row(&self, comps: &[Handle]) -> PartialAssignment {
+        let mut merged = PartialAssignment::default();
+        for (sub, &c) in comps.iter().enumerate() {
+            merged.edges.extend_from_slice(&self.expand_assignment(sub, c).edges);
+        }
+        merged
     }
 
     /// Reads `Ω(L₀^m)` as (handle, components, merged assignment) rows;
@@ -327,12 +494,30 @@ impl<S: MatchStore> TimingEngine<S> {
             let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
             self.store.for_each_l0(m, &mut |h, comps| raw.push((h, comps.to_vec())));
             for (h, comps) in raw {
-                let mut merged = PartialAssignment::default();
-                for (sub, &c) in comps.iter().enumerate() {
-                    merged
-                        .edges
-                        .extend_from_slice(&self.expand_assignment(sub, c).edges);
-                }
+                let merged = self.merge_row(&comps);
+                rows.push((h, comps, merged));
+            }
+        }
+        rows
+    }
+
+    /// Keyed counterpart of [`TimingEngine::read_l0_rows`]: only the rows
+    /// filed under `key`.
+    fn read_l0_rows_keyed(
+        &self,
+        m: usize,
+        key: JoinKey,
+    ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
+        let mut rows = Vec::new();
+        if m == 0 {
+            for (h, side) in self.read_leaves_keyed(0, key) {
+                rows.push((h, vec![h], side));
+            }
+        } else {
+            let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
+            self.store.for_each_l0_keyed(m, key, &mut |h, comps| raw.push((h, comps.to_vec())));
+            for (h, comps) in raw {
+                let merged = self.merge_row(&comps);
                 rows.push((h, comps, merged));
             }
         }
@@ -347,11 +532,22 @@ impl<S: MatchStore> TimingEngine<S> {
         let live = &self.live;
         self.store.for_each_sub(sub, last, &mut |h, edges| {
             let side = PartialAssignment::new(
-                edges
-                    .iter()
-                    .enumerate()
-                    .map(|(lvl, id)| (seq[lvl], live[id]))
-                    .collect(),
+                edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
+            );
+            out.push((h, side));
+        });
+        out
+    }
+
+    /// Keyed counterpart of [`TimingEngine::read_leaves`].
+    fn read_leaves_keyed(&self, sub: usize, key: JoinKey) -> Vec<(Handle, PartialAssignment)> {
+        let seq = &self.plan.subs[sub].seq;
+        let last = seq.len() - 1;
+        let mut out = Vec::new();
+        let live = &self.live;
+        self.store.for_each_sub_keyed(sub, last, key, &mut |h, edges| {
+            let side = PartialAssignment::new(
+                edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
             );
             out.push((h, side));
         });
@@ -365,10 +561,7 @@ impl<S: MatchStore> TimingEngine<S> {
         self.store.expand_sub(sub, h, &mut ids);
         let seq = &self.plan.subs[sub].seq;
         PartialAssignment::new(
-            ids.iter()
-                .enumerate()
-                .map(|(lvl, id)| (seq[lvl], self.live[id]))
-                .collect(),
+            ids.iter().enumerate().map(|(lvl, id)| (seq[lvl], self.live[id])).collect(),
         )
     }
 
@@ -493,7 +686,8 @@ mod tests {
         let q = path2_query(&[]);
         let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
         assert_eq!(plan.k(), 2);
-        for (first, second) in [((1, 10, 0, 11, 1), (2, 11, 1, 12, 2)), ((1, 11, 1, 12, 2), (2, 10, 0, 11, 1))]
+        for (first, second) in
+            [((1, 10, 0, 11, 1), (2, 11, 1, 12, 2)), ((1, 11, 1, 12, 2), (2, 10, 0, 11, 1))]
         {
             let mut eng: TimingEngine<MsTreeStore> = mk(q.clone());
             let (id, s, sl, d, dl) = first;
@@ -529,15 +723,15 @@ mod tests {
         // Vertex labels in the running example: a=0,b=1,c=2,d=3,e=4,f=5.
         // Figure 3 edges (src, src_label, dst, dst_label):
         let edges = vec![
-            StreamEdge::new(1, 7, 4, 8, 5, 0, 1),   // σ1 = e7→f8   (ε6 shape)
-            StreamEdge::new(2, 4, 2, 9, 4, 0, 2),   // σ2 = c4→e9   (ε5 shape)
-            StreamEdge::new(3, 4, 2, 7, 4, 0, 3),   // σ3 = c4→e7   (ε5 shape)
-            StreamEdge::new(4, 5, 3, 4, 2, 0, 4),   // σ4 = d5→c4   (ε4 shape)
-            StreamEdge::new(5, 3, 1, 4, 2, 0, 5),   // σ5 = b3→c4   (ε2 shape)
-            StreamEdge::new(6, 2, 0, 3, 1, 0, 6),   // σ6 = a2→b3   (ε3 shape)
-            StreamEdge::new(7, 5, 3, 3, 1, 0, 7),   // σ7 = d5→b3   (ε1 shape)
-            StreamEdge::new(8, 1, 0, 3, 1, 0, 8),   // σ8 = a1→b3   (ε3 shape)
-            StreamEdge::new(9, 6, 3, 4, 2, 0, 9),   // σ9 = d6→c4   (ε4 shape)
+            StreamEdge::new(1, 7, 4, 8, 5, 0, 1), // σ1 = e7→f8   (ε6 shape)
+            StreamEdge::new(2, 4, 2, 9, 4, 0, 2), // σ2 = c4→e9   (ε5 shape)
+            StreamEdge::new(3, 4, 2, 7, 4, 0, 3), // σ3 = c4→e7   (ε5 shape)
+            StreamEdge::new(4, 5, 3, 4, 2, 0, 4), // σ4 = d5→c4   (ε4 shape)
+            StreamEdge::new(5, 3, 1, 4, 2, 0, 5), // σ5 = b3→c4   (ε2 shape)
+            StreamEdge::new(6, 2, 0, 3, 1, 0, 6), // σ6 = a2→b3   (ε3 shape)
+            StreamEdge::new(7, 5, 3, 3, 1, 0, 7), // σ7 = d5→b3   (ε1 shape)
+            StreamEdge::new(8, 1, 0, 3, 1, 0, 8), // σ8 = a1→b3   (ε3 shape)
+            StreamEdge::new(9, 6, 3, 4, 2, 0, 9), // σ9 = d6→c4   (ε4 shape)
             StreamEdge::new(10, 5, 3, 7, 4, 0, 10), // σ10 = d5→e7  (ε5 shape)
         ];
         let mut eng: TimingEngine<MsTreeStore> = mk(q.clone());
@@ -598,6 +792,67 @@ mod tests {
                 .unwrap();
                 let (ms, ind) = run_both(q, edges.clone(), 40);
                 assert_eq!(ms, ind, "seed {seed} pairs {pairs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_and_scan_modes_are_equivalent() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // The keyed index must be semantically invisible: identical match
+        // streams AND identical partial-match/emission counters on random
+        // streams, for both stores, with and without timing orders.
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+            let edges: Vec<StreamEdge> = (0..300)
+                .map(|i| {
+                    let src = rng.gen_range(0..6u32);
+                    let mut dst = rng.gen_range(0..6u32);
+                    while dst == src {
+                        dst = rng.gen_range(0..6u32);
+                    }
+                    StreamEdge::new(i, src, (src % 3) as u16, dst, (dst % 3) as u16, 0, i + 1)
+                })
+                .collect();
+            for pairs in [vec![], vec![(0, 1)], vec![(1, 0)]] {
+                let q = QueryGraph::new(
+                    vec![VLabel(0), VLabel(1), VLabel(2)],
+                    vec![
+                        QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                        QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                    ],
+                    &pairs,
+                )
+                .unwrap();
+                let mut probe: TimingEngine<MsTreeStore> = mk(q.clone());
+                let mut scan: TimingEngine<MsTreeStore> = mk(q.clone());
+                scan.set_join_mode(JoinMode::Scan);
+                let mut ind_probe: TimingEngine<IndependentStore> = mk(q.clone());
+                let mut ind_scan: TimingEngine<IndependentStore> = mk(q);
+                ind_scan.set_join_mode(JoinMode::Scan);
+                let mut ws = [
+                    SlidingWindow::new(50),
+                    SlidingWindow::new(50),
+                    SlidingWindow::new(50),
+                    SlidingWindow::new(50),
+                ];
+                for &e in &edges {
+                    let mut a = probe.advance(&ws[0].advance(e));
+                    let mut b = scan.advance(&ws[1].advance(e));
+                    let mut c = ind_probe.advance(&ws[2].advance(e));
+                    let mut d = ind_scan.advance(&ws[3].advance(e));
+                    a.sort();
+                    b.sort();
+                    c.sort();
+                    d.sort();
+                    assert_eq!(a, b, "seed {seed} pairs {pairs:?} (mstree)");
+                    assert_eq!(c, d, "seed {seed} pairs {pairs:?} (independent)");
+                    assert_eq!(a, c, "seed {seed} pairs {pairs:?} (cross-store)");
+                }
+                assert_eq!(probe.stats(), scan.stats(), "seed {seed} pairs {pairs:?}");
+                assert_eq!(ind_probe.stats(), ind_scan.stats(), "seed {seed} pairs {pairs:?}");
+                assert_eq!(probe.stats().matches_emitted, ind_probe.stats().matches_emitted);
             }
         }
     }

@@ -7,9 +7,14 @@
 //! a copy of all `j + 1` edges — so prefixes are duplicated across levels
 //! and siblings, which is exactly the space overhead the MS-tree removes.
 //! Deletion must scan rows instead of cascading through child pointers.
+//!
+//! Like the MS-tree, every item also keeps a join-key index (key → slot
+//! bucket; see `store.rs` module docs) so the engine's keyed probes work
+//! against both backends; rows remember their key and bucket position for
+//! O(1) removal during expiry.
 
-use crate::store::{Handle, MatchStore, StoreLayout, ROOT};
-use std::collections::HashSet;
+use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
 /// A slot-reusing row container; handles stay stable until the row dies.
@@ -54,31 +59,89 @@ impl<T> Slab<T> {
         self.slots.get(i as usize).and_then(Option::as_ref)
     }
 
-    fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    fn get_mut(&mut self, i: u32) -> Option<&mut T> {
+        self.slots.get_mut(i as usize).and_then(Option::as_mut)
     }
+
+    fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
+    }
+}
+
+/// Key-bucket bookkeeping shared by both row types.
+trait Keyed {
+    fn key(&self) -> JoinKey;
+    fn key_pos(&self) -> u32;
+    fn set_key_pos(&mut self, pos: u32);
 }
 
 #[derive(Clone, Debug)]
 struct SubRow {
     /// The full prefix of the timing sequence, duplicated per row.
     edges: Vec<EdgeId>,
+    key: JoinKey,
+    key_pos: u32,
 }
 
 #[derive(Clone, Debug)]
 struct L0Row {
     /// Complete-match handles of subqueries `0..=i`.
     comps: Vec<Handle>,
+    key: JoinKey,
+    key_pos: u32,
+}
+
+macro_rules! impl_keyed {
+    ($t:ty) => {
+        impl Keyed for $t {
+            fn key(&self) -> JoinKey {
+                self.key
+            }
+            fn key_pos(&self) -> u32 {
+                self.key_pos
+            }
+            fn set_key_pos(&mut self, pos: u32) {
+                self.key_pos = pos;
+            }
+        }
+    };
+}
+
+impl_keyed!(SubRow);
+impl_keyed!(L0Row);
+
+type KeyIndex = HashMap<JoinKey, Vec<u32>>;
+
+/// Files `slot` under `key`, recording the bucket position on the row.
+fn index_insert<T: Keyed>(index: &mut KeyIndex, slab: &mut Slab<T>, slot: u32, key: JoinKey) {
+    let bucket = index.entry(key).or_default();
+    slab.get_mut(slot).expect("fresh slot").set_key_pos(bucket.len() as u32);
+    bucket.push(slot);
+}
+
+/// Removes a just-deleted row from its bucket (O(1) swap-remove; the
+/// moved row's stored position is patched through the slab).
+fn index_remove<T: Keyed>(index: &mut KeyIndex, slab: &mut Slab<T>, row: &T) {
+    let bucket = index.get_mut(&row.key()).expect("indexed row has a bucket");
+    let pos = row.key_pos() as usize;
+    bucket.swap_remove(pos);
+    if let Some(&moved) = bucket.get(pos) {
+        slab.get_mut(moved).expect("live moved row").set_key_pos(pos as u32);
+    }
+    if bucket.is_empty() {
+        index.remove(&row.key());
+    }
 }
 
 /// The independent (uncompressed) storage backend.
 pub struct IndependentStore {
     layout: StoreLayout,
     subs: Vec<Vec<Slab<SubRow>>>,
+    /// Join-key index per (subquery, level) item.
+    sub_idx: Vec<Vec<KeyIndex>>,
     l0: Vec<Slab<L0Row>>,
+    /// Join-key index per `L₀` item (`l0_idx[i - 1]` for item `i`).
+    l0_idx: Vec<KeyIndex>,
 }
 
 #[inline]
@@ -114,15 +177,19 @@ impl IndependentStore {
 
 impl MatchStore for IndependentStore {
     fn new(layout: StoreLayout) -> Self {
-        let subs = layout
+        let subs: Vec<Vec<Slab<SubRow>>> = layout
             .sub_lens
             .iter()
             .map(|&len| (0..len).map(|_| Slab::default()).collect())
             .collect();
-        let l0 = (0..layout.k().saturating_sub(1))
-            .map(|_| Slab::default())
+        let sub_idx = layout
+            .sub_lens
+            .iter()
+            .map(|&len| (0..len).map(|_| KeyIndex::new()).collect())
             .collect();
-        IndependentStore { layout, subs, l0 }
+        let l0 = (0..layout.k().saturating_sub(1)).map(|_| Slab::default()).collect();
+        let l0_idx = (0..layout.k().saturating_sub(1)).map(|_| KeyIndex::new()).collect();
+        IndependentStore { layout, subs, sub_idx, l0, l0_idx }
     }
 
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
@@ -132,7 +199,31 @@ impl MatchStore for IndependentStore {
         }
     }
 
-    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle {
+    fn for_each_sub_keyed(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item_id(sub, level);
+        let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
+            return;
+        };
+        for &slot in bucket {
+            let row = self.sub_row(sub, level, slot);
+            f(encode(item, slot), &row.edges);
+        }
+    }
+
+    fn insert_sub(
+        &mut self,
+        sub: usize,
+        level: usize,
+        parent: Handle,
+        edge: EdgeId,
+        key: JoinKey,
+    ) -> Handle {
         let edges = if level == 0 {
             debug_assert_eq!(parent, ROOT);
             vec![edge]
@@ -142,7 +233,8 @@ impl MatchStore for IndependentStore {
             edges.push(edge);
             edges
         };
-        let slot = self.subs[sub][level].insert(SubRow { edges });
+        let slot = self.subs[sub][level].insert(SubRow { edges, key, key_pos: 0 });
+        index_insert(&mut self.sub_idx[sub][level], &mut self.subs[sub][level], slot, key);
         encode(self.sub_item_id(sub, level), slot)
     }
 
@@ -153,20 +245,28 @@ impl MatchStore for IndependentStore {
         }
     }
 
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle {
+    fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(Handle, &[Handle])) {
+        let item = self.l0_item_id(i);
+        let Some(bucket) = self.l0_idx[i - 1].get(&key) else {
+            return;
+        };
+        for &slot in bucket {
+            let row = self.l0[i - 1].get(slot).expect("live L0 row");
+            f(encode(item, slot), &row.comps);
+        }
+    }
+
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle {
         let comps = if i == 1 {
             vec![parent, comp]
         } else {
             let (_, pslot) = decode(parent);
-            let mut comps = self.l0[i - 2]
-                .get(pslot)
-                .expect("live L0 parent")
-                .comps
-                .clone();
+            let mut comps = self.l0[i - 2].get(pslot).expect("live L0 parent").comps.clone();
             comps.push(comp);
             comps
         };
-        let slot = self.l0[i - 1].insert(L0Row { comps });
+        let slot = self.l0[i - 1].insert(L0Row { comps, key, key_pos: 0 });
+        index_insert(&mut self.l0_idx[i - 1], &mut self.l0[i - 1], slot, key);
         encode(self.l0_item_id(i), slot)
     }
 
@@ -206,7 +306,8 @@ impl MatchStore for IndependentStore {
                     .map(|(slot, _)| slot)
                     .collect();
                 for slot in dead_slots {
-                    self.subs[sub][level].remove(slot);
+                    let row = self.subs[sub][level].remove(slot).expect("scanned row is live");
+                    index_remove(&mut self.sub_idx[sub][level], &mut self.subs[sub][level], &row);
                     deleted += 1;
                     if level == leaf_level {
                         dead_handles.insert(encode(item, slot));
@@ -222,7 +323,8 @@ impl MatchStore for IndependentStore {
                     .map(|(slot, _)| slot)
                     .collect();
                 for slot in dead_slots {
-                    self.l0[i - 1].remove(slot);
+                    let row = self.l0[i - 1].remove(slot).expect("scanned row is live");
+                    index_remove(&mut self.l0_idx[i - 1], &mut self.l0[i - 1], &row);
                     deleted += 1;
                 }
             }
@@ -240,20 +342,26 @@ impl MatchStore for IndependentStore {
 
     fn space_bytes(&self) -> usize {
         use std::mem::size_of;
+        let index_bytes = |ix: &KeyIndex| {
+            ix.len() * (size_of::<JoinKey>() + size_of::<Vec<u32>>())
+                + ix.values().map(|b| b.capacity() * size_of::<u32>()).sum::<usize>()
+        };
         let mut bytes = 0;
-        for sub in &self.subs {
-            for slab in sub {
+        for (sub, levels) in self.subs.iter().enumerate() {
+            for (level, slab) in levels.iter().enumerate() {
                 bytes += slab.slots.capacity() * size_of::<Option<SubRow>>();
                 for (_, row) in slab.iter() {
                     bytes += row.edges.capacity() * size_of::<EdgeId>();
                 }
+                bytes += index_bytes(&self.sub_idx[sub][level]);
             }
         }
-        for slab in &self.l0 {
+        for (i, slab) in self.l0.iter().enumerate() {
             bytes += slab.slots.capacity() * size_of::<Option<L0Row>>();
             for (_, row) in slab.iter() {
                 bytes += row.comps.capacity() * size_of::<Handle>();
             }
+            bytes += index_bytes(&self.l0_idx[i]);
         }
         bytes
     }
@@ -301,6 +409,18 @@ mod tests {
     fn conformance_three_sub_chain() {
         conformance::three_sub_l0_chain::<IndependentStore>();
     }
+    #[test]
+    fn conformance_keyed_sub() {
+        conformance::keyed_sub_read_equals_filtered_scan::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_keyed_after_expire() {
+        conformance::keyed_reads_stay_coherent_after_expire::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_keyed_l0() {
+        conformance::keyed_l0_read_equals_filtered_scan::<IndependentStore>();
+    }
 
     #[test]
     fn independent_store_uses_more_space_than_mstree() {
@@ -309,13 +429,13 @@ mod tests {
         let layout = StoreLayout { sub_lens: vec![3] };
         let mut ind = IndependentStore::new(layout.clone());
         let mut ms = MsTreeStore::new(layout);
-        let a_i = ind.insert_sub(0, 0, ROOT, EdgeId(1));
-        let b_i = ind.insert_sub(0, 1, a_i, EdgeId(2));
-        let a_m = ms.insert_sub(0, 0, ROOT, EdgeId(1));
-        let b_m = ms.insert_sub(0, 1, a_m, EdgeId(2));
+        let a_i = ind.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        let b_i = ind.insert_sub(0, 1, a_i, EdgeId(2), 0);
+        let a_m = ms.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        let b_m = ms.insert_sub(0, 1, a_m, EdgeId(2), 0);
         for x in 0..50 {
-            ind.insert_sub(0, 2, b_i, EdgeId(100 + x));
-            ms.insert_sub(0, 2, b_m, EdgeId(100 + x));
+            ind.insert_sub(0, 2, b_i, EdgeId(100 + x), 0);
+            ms.insert_sub(0, 2, b_m, EdgeId(100 + x), 0);
         }
         assert!(
             ind.space_bytes() > ms.space_bytes(),

@@ -92,7 +92,7 @@ fn greedy_order(
                 continue;
             }
             let s = score(joint_number(q, a.mask, b.mask), ai * k + bi);
-            if best.map_or(true, |(_, _, bs)| s > bs) {
+            if best.is_none_or(|(_, _, bs)| s > bs) {
                 best = Some((ai, bi, s));
             }
         }
@@ -192,9 +192,8 @@ mod tests {
     fn random_orders_vary_with_seed() {
         let q = QueryGraph::running_example();
         let d = decompose(&q);
-        let orders: std::collections::HashSet<Vec<u64>> = (0..16)
-            .map(|s| order_randomly(&q, &d, s).iter().map(|x| x.mask).collect())
-            .collect();
+        let orders: std::collections::HashSet<Vec<u64>> =
+            (0..16).map(|s| order_randomly(&q, &d, s).iter().map(|x| x.mask).collect()).collect();
         assert!(orders.len() > 1, "16 seeds should produce ≥2 orders");
     }
 
@@ -202,11 +201,7 @@ mod tests {
     fn singleton_decomposition_passthrough() {
         let q = QueryGraph::new(
             vec![tcs_graph::VLabel(0); 2],
-            vec![tcs_graph::query::QueryEdge {
-                src: 0,
-                dst: 1,
-                label: tcs_graph::ELabel::NONE,
-            }],
+            vec![tcs_graph::query::QueryEdge { src: 0, dst: 1, label: tcs_graph::ELabel::NONE }],
             &[],
         )
         .unwrap();

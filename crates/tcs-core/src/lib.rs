@@ -31,7 +31,7 @@ pub mod plan;
 pub mod store;
 
 pub use decompose::{decompose, tc_subqueries, Decomposition, TcSubquery};
-pub use engine::{EngineStats, TimingEngine};
+pub use engine::{EngineStats, JoinMode, TimingEngine};
 pub use independent::IndependentStore;
 pub use mstree::MsTreeStore;
 pub use plan::{PlanOptions, QueryPlan};

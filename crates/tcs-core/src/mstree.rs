@@ -25,8 +25,8 @@
 //! links for subquery 0, and through payload scans for subqueries `i ≥ 1`,
 //! exactly Algorithm 2's "scan `L₀^i` to `L₀^k`" step).
 
-use crate::store::{Handle, MatchStore, StoreLayout, ROOT};
-use std::collections::HashSet;
+use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
 const NIL: u32 = u32::MAX;
@@ -44,6 +44,10 @@ struct Node {
     prev: u32,
     /// Which item (level list) this node belongs to.
     item: u32,
+    /// Join key the node was filed under (see `store.rs` module docs).
+    key: JoinKey,
+    /// Position inside its item's key bucket (O(1) swap-remove).
+    key_pos: u32,
     dead: bool,
 }
 
@@ -60,6 +64,9 @@ pub struct MsTreeStore {
     nodes: Vec<Node>,
     free: Vec<u32>,
     items: Vec<ItemList>,
+    /// Per-item join-key index: key → bucket of node indices, kept
+    /// coherent with the intrusive item lists through `expire_edge`.
+    indexes: Vec<HashMap<JoinKey, Vec<u32>>>,
     /// Start of each subquery's item range in `items`.
     sub_offsets: Vec<usize>,
     /// Start of the L₀ item range (items `l0_base + (i−1)` for `i ≥ 1`).
@@ -79,7 +86,7 @@ impl MsTreeStore {
         self.l0_base + (i - 1)
     }
 
-    fn alloc(&mut self, payload: u64, parent: u32, item: u32) -> u32 {
+    fn alloc(&mut self, payload: u64, parent: u32, item: u32, key: JoinKey) -> u32 {
         let node = Node {
             payload,
             parent,
@@ -89,6 +96,8 @@ impl MsTreeStore {
             next: NIL,
             prev: NIL,
             item,
+            key,
+            key_pos: 0,
             dead: false,
         };
         match self.free.pop() {
@@ -127,13 +136,16 @@ impl MsTreeStore {
         self.nodes[parent as usize].first_child = idx;
     }
 
-    fn insert_node(&mut self, payload: u64, parent: Handle, item: usize) -> Handle {
+    fn insert_node(&mut self, payload: u64, parent: Handle, item: usize, key: JoinKey) -> Handle {
         let parent_idx = if parent == ROOT { NIL } else { parent as u32 };
-        let idx = self.alloc(payload, parent_idx, item as u32);
+        let idx = self.alloc(payload, parent_idx, item as u32, key);
         if parent_idx != NIL {
             self.link_under_parent(idx, parent_idx);
         }
         self.link_into_item(idx);
+        let bucket = self.indexes[item].entry(key).or_default();
+        self.nodes[idx as usize].key_pos = bucket.len() as u32;
+        bucket.push(idx);
         idx as Handle
     }
 
@@ -159,8 +171,28 @@ impl MsTreeStore {
         }
     }
 
-    /// Unlinks a dead node from its item list and its parent's child list.
+    /// Removes a node from its item's key bucket (O(1) swap-remove; the
+    /// moved node's stored position is patched).
+    fn unindex(&mut self, idx: u32) {
+        let (item, key, pos) = {
+            let n = &self.nodes[idx as usize];
+            (n.item as usize, n.key, n.key_pos as usize)
+        };
+        let bucket = self.indexes[item].get_mut(&key).expect("indexed node has a bucket");
+        debug_assert_eq!(bucket[pos], idx);
+        bucket.swap_remove(pos);
+        if let Some(&moved) = bucket.get(pos) {
+            self.nodes[moved as usize].key_pos = pos as u32;
+        }
+        if bucket.is_empty() {
+            self.indexes[item].remove(&key);
+        }
+    }
+
+    /// Unlinks a dead node from its item list, its key bucket, and its
+    /// parent's child list.
     fn unlink(&mut self, idx: u32) {
+        self.unindex(idx);
         let (prev, next, item, parent, prev_sib, next_sib) = {
             let n = &self.nodes[idx as usize];
             (n.prev, n.next, n.item, n.parent, n.prev_sib, n.next_sib)
@@ -190,8 +222,47 @@ impl MsTreeStore {
         }
     }
 
-    /// Debug invariant: every item's list length matches a full traversal
-    /// and all listed nodes are alive.
+    /// Materializes the root-to-node path of a subquery node into `buf`
+    /// and invokes the callback (shared by full and keyed iteration).
+    fn emit_sub_path(
+        &self,
+        n: u32,
+        level: usize,
+        buf: &mut [EdgeId],
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let mut cur = n;
+        for d in (0..=level).rev() {
+            buf[d] = EdgeId(self.nodes[cur as usize].payload);
+            cur = self.nodes[cur as usize].parent;
+        }
+        debug_assert_eq!(cur, NIL, "subquery path ends at the root");
+        f(n as Handle, buf);
+    }
+
+    /// Materializes an L₀ row's component handles into `comps` and invokes
+    /// the callback (shared by full and keyed iteration).
+    fn emit_l0_row(
+        &self,
+        n: u32,
+        i: usize,
+        comps: &mut [Handle],
+        f: &mut dyn FnMut(Handle, &[Handle]),
+    ) {
+        let mut cur = n;
+        for d in (1..=i).rev() {
+            comps[d] = self.nodes[cur as usize].payload;
+            cur = self.nodes[cur as usize].parent;
+        }
+        // `cur` is now the grafted subquery-0 leaf: its *handle* is
+        // component 0.
+        comps[0] = cur as Handle;
+        f(n as Handle, comps);
+    }
+
+    /// Debug invariant: every item's list length matches a full traversal,
+    /// all listed nodes are alive, and the key index holds exactly the
+    /// listed nodes.
     #[cfg(test)]
     fn check_invariants(&self) {
         for (i, item) in self.items.iter().enumerate() {
@@ -203,12 +274,16 @@ impl MsTreeStore {
                 assert!(!node.dead, "dead node in item {i}");
                 assert_eq!(node.prev, prev);
                 assert_eq!(node.item as usize, i);
+                let bucket = &self.indexes[i][&node.key];
+                assert_eq!(bucket[node.key_pos as usize], n, "index position in item {i}");
                 prev = n;
                 n = node.next;
                 count += 1;
             }
             assert_eq!(count, item.len, "item {i} length");
             assert_eq!(item.tail, prev);
+            let indexed: usize = self.indexes[i].values().map(Vec::len).sum();
+            assert_eq!(indexed, item.len, "item {i} index size");
         }
     }
 }
@@ -225,6 +300,7 @@ impl MatchStore for MsTreeStore {
         let l0_items = layout.k().saturating_sub(1);
         MsTreeStore {
             items: vec![ItemList { head: NIL, tail: NIL, len: 0 }; acc + l0_items],
+            indexes: vec![HashMap::new(); acc + l0_items],
             layout,
             nodes: Vec::new(),
             free: Vec::new(),
@@ -238,21 +314,39 @@ impl MatchStore for MsTreeStore {
         let mut buf = vec![EdgeId(0); level + 1];
         let mut n = self.items[item].head;
         while n != NIL {
-            let mut cur = n;
-            for d in (0..=level).rev() {
-                buf[d] = EdgeId(self.nodes[cur as usize].payload);
-                cur = self.nodes[cur as usize].parent;
-            }
-            debug_assert_eq!(cur, NIL, "subquery path ends at the root");
-            f(n as Handle, &buf);
+            self.emit_sub_path(n, level, &mut buf, f);
             n = self.nodes[n as usize].next;
         }
     }
 
-    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle {
+    fn for_each_sub_keyed(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        let Some(bucket) = self.indexes[item].get(&key) else {
+            return;
+        };
+        let mut buf = vec![EdgeId(0); level + 1];
+        for &n in bucket {
+            self.emit_sub_path(n, level, &mut buf, f);
+        }
+    }
+
+    fn insert_sub(
+        &mut self,
+        sub: usize,
+        level: usize,
+        parent: Handle,
+        edge: EdgeId,
+        key: JoinKey,
+    ) -> Handle {
         debug_assert_eq!(parent == ROOT, level == 0);
         let item = self.sub_item(sub, level);
-        self.insert_node(edge.0, parent, item)
+        self.insert_node(edge.0, parent, item, key)
     }
 
     fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle])) {
@@ -260,22 +354,25 @@ impl MatchStore for MsTreeStore {
         let mut comps = vec![0 as Handle; i + 1];
         let mut n = self.items[item].head;
         while n != NIL {
-            let mut cur = n;
-            for d in (1..=i).rev() {
-                comps[d] = self.nodes[cur as usize].payload;
-                cur = self.nodes[cur as usize].parent;
-            }
-            // `cur` is now the grafted subquery-0 leaf: its *handle* is
-            // component 0.
-            comps[0] = cur as Handle;
-            f(n as Handle, &comps);
+            self.emit_l0_row(n, i, &mut comps, f);
             n = self.nodes[n as usize].next;
         }
     }
 
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle {
+    fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(Handle, &[Handle])) {
         let item = self.l0_item(i);
-        self.insert_node(comp, parent, item)
+        let Some(bucket) = self.indexes[item].get(&key) else {
+            return;
+        };
+        let mut comps = vec![0 as Handle; i + 1];
+        for &n in bucket {
+            self.emit_l0_row(n, i, &mut comps, f);
+        }
+    }
+
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle {
+        let item = self.l0_item(i);
+        self.insert_node(comp, parent, item, key)
     }
 
     fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>) {
@@ -314,12 +411,11 @@ impl MatchStore for MsTreeStore {
         let k = self.layout.k();
         if k > 1 {
             let mut dead_leaves: Vec<HashSet<u64>> = vec![HashSet::new(); k];
-            for &m in &marked {
-                let item = self.nodes[m as usize].item as usize;
-                for sub in 1..k {
-                    let leaf_item = self.sub_item(sub, self.layout.sub_lens[sub] - 1);
-                    if item == leaf_item {
-                        dead_leaves[sub].insert(m as u64);
+            for (sub, dl) in dead_leaves.iter_mut().enumerate().skip(1) {
+                let leaf_item = self.sub_item(sub, self.layout.sub_lens[sub] - 1);
+                for &m in &marked {
+                    if self.nodes[m as usize].item as usize == leaf_item {
+                        dl.insert(m as u64);
                     }
                 }
             }
@@ -327,16 +423,15 @@ impl MatchStore for MsTreeStore {
             // deleting rows whose payload references a dead leaf. Cascades
             // may kill deeper L₀ rows before their own scan reaches them —
             // the dead flag makes that idempotent.
-            for i in 1..k {
-                if dead_leaves[i].is_empty() {
+            for (i, dl) in dead_leaves.iter().enumerate().skip(1) {
+                if dl.is_empty() {
                     continue;
                 }
                 let item = self.l0_item(i);
                 let mut n = self.items[item].head;
                 while n != NIL {
                     let next = self.nodes[n as usize].next;
-                    if !self.nodes[n as usize].dead
-                        && dead_leaves[i].contains(&self.nodes[n as usize].payload)
+                    if !self.nodes[n as usize].dead && dl.contains(&self.nodes[n as usize].payload)
                     {
                         self.mark_cascade(n, &mut marked);
                     }
@@ -365,7 +460,15 @@ impl MatchStore for MsTreeStore {
     fn space_bytes(&self) -> usize {
         use std::mem::size_of;
         let live = self.nodes.len() - self.free.len();
-        live * size_of::<Node>() + self.items.len() * size_of::<ItemList>()
+        let index_bytes: usize = self
+            .indexes
+            .iter()
+            .map(|ix| {
+                ix.len() * (size_of::<JoinKey>() + size_of::<Vec<u32>>())
+                    + ix.values().map(|b| b.capacity() * size_of::<u32>()).sum::<usize>()
+            })
+            .sum();
+        live * size_of::<Node>() + self.items.len() * size_of::<ItemList>() + index_bytes
     }
 }
 
@@ -410,16 +513,28 @@ mod tests {
     fn conformance_three_sub_chain() {
         conformance::three_sub_l0_chain::<MsTreeStore>();
     }
+    #[test]
+    fn conformance_keyed_sub() {
+        conformance::keyed_sub_read_equals_filtered_scan::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_keyed_after_expire() {
+        conformance::keyed_reads_stay_coherent_after_expire::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_keyed_l0() {
+        conformance::keyed_l0_read_equals_filtered_scan::<MsTreeStore>();
+    }
 
     #[test]
     fn prefix_sharing_reuses_nodes() {
         // Figure 10: matches {σ1}, {σ1,σ3}, {σ1,σ3,σ4}, {σ1,σ3,σ9} use
         // exactly 4 nodes.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
-        let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
-        let b = s.insert_sub(0, 1, a, EdgeId(3));
-        s.insert_sub(0, 2, b, EdgeId(4));
-        s.insert_sub(0, 2, b, EdgeId(9));
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        let b = s.insert_sub(0, 1, a, EdgeId(3), 0);
+        s.insert_sub(0, 2, b, EdgeId(4), 0);
+        s.insert_sub(0, 2, b, EdgeId(9), 0);
         assert_eq!(s.nodes.len(), 4);
         s.check_invariants();
         // Deleting σ1 (Figure 10 walk-through) removes all 4 nodes.
@@ -432,12 +547,12 @@ mod tests {
     #[test]
     fn freed_nodes_are_reused() {
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
-        let a = s.insert_sub(0, 0, ROOT, EdgeId(1));
-        s.insert_sub(0, 1, a, EdgeId(2));
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        s.insert_sub(0, 1, a, EdgeId(2), 0);
         s.expire_edge(EdgeId(1), &[(0, 0)]);
         let cap = s.nodes.len();
-        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3));
-        s.insert_sub(0, 1, a2, EdgeId(4));
+        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3), 0);
+        s.insert_sub(0, 1, a2, EdgeId(4), 0);
         assert_eq!(s.nodes.len(), cap, "arena did not grow");
         s.check_invariants();
     }
@@ -446,10 +561,10 @@ mod tests {
     fn sibling_unlink_keeps_child_lists_intact() {
         // Parent with three children; delete the middle child's payload.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
-        let p = s.insert_sub(0, 0, ROOT, EdgeId(1));
-        s.insert_sub(0, 1, p, EdgeId(10));
-        s.insert_sub(0, 1, p, EdgeId(11));
-        s.insert_sub(0, 1, p, EdgeId(12));
+        let p = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        s.insert_sub(0, 1, p, EdgeId(10), 0);
+        s.insert_sub(0, 1, p, EdgeId(11), 0);
+        s.insert_sub(0, 1, p, EdgeId(12), 0);
         let n = s.expire_edge(EdgeId(11), &[(0, 1)]);
         assert_eq!(n, 1);
         s.check_invariants();
@@ -464,11 +579,11 @@ mod tests {
     fn deep_graft_chain_cascades_from_sub0() {
         // k = 3; expire sub-0's edge: the L₀ chain dies via graft links.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![1, 1, 1] });
-        let c0 = s.insert_sub(0, 0, ROOT, EdgeId(1));
-        let c1 = s.insert_sub(1, 0, ROOT, EdgeId(2));
-        let c2 = s.insert_sub(2, 0, ROOT, EdgeId(3));
-        let u = s.insert_l0(1, c0, c1);
-        s.insert_l0(2, u, c2);
+        let c0 = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
+        let c1 = s.insert_sub(1, 0, ROOT, EdgeId(2), 0);
+        let c2 = s.insert_sub(2, 0, ROOT, EdgeId(3), 0);
+        let u = s.insert_l0(1, c0, c1, 0);
+        s.insert_l0(2, u, c2, 0);
         let n = s.expire_edge(EdgeId(1), &[(0, 0)]);
         assert_eq!(n, 3, "c0 + u01 + u012 die; c1, c2 survive");
         assert_eq!(s.len_sub(1, 0), 1);

@@ -1,9 +1,17 @@
-//! Compiled query plans: decomposition + join order + edge positioning.
+//! Compiled query plans: decomposition + join order + edge positioning +
+//! join-key specifications.
 //!
 //! A [`QueryPlan`] fixes everything the streaming engine needs to know at
 //! run time: the TC decomposition in join order, the (subquery, level)
-//! position of every query edge inside the expansion lists, and a signature
-//! index mapping an incoming data edge to the query edges it can match.
+//! position of every query edge inside the expansion lists, a signature
+//! index mapping an incoming data edge to the query edges it can match,
+//! and — for the hash-indexed expansion lists — the *join keys*: which
+//! query vertices are shared between `Preq(ε_j)` and `ε_j` (chain joins,
+//! [`ChainKeyPart`]) and between `Q^1 ∪ … ∪ Q^{i}` and `Q^{i+1}` (`L₀`
+//! joins, [`L0KeyPart`]), plus where each shared vertex is first bound on
+//! either side. The engines fold those bindings into an opaque
+//! [`JoinKey`] so each arrival probes a hash bucket instead of scanning a
+//! whole item (see `store.rs` module docs for the index design).
 //!
 //! [`PlanOptions`] selects the paper's ablation variants of Figure 21:
 //! Timing-RD (random decomposition), Timing-RJ (random join order) and
@@ -11,8 +19,9 @@
 
 use crate::decompose::{decompose_from, tc_subqueries, Decomposition, TcSubquery};
 use crate::joinorder::{is_prefix_connected, order_by_joint_number, order_randomly};
+use crate::store::JoinKey;
 use std::collections::HashMap;
-use tcs_graph::{ELabel, QueryGraph, VLabel};
+use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel, VertexId};
 
 /// Plan-construction options (defaults reproduce the paper's "Timing").
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,6 +58,42 @@ impl PlanOptions {
     }
 }
 
+/// One shared query vertex of a chain join at position `(i, j)`: the
+/// arriving edge `σ` (matching `ε_j = seq[j]`) binds it at one endpoint,
+/// the stored `Preq(ε_j)` prefix binds it at a fixed (level, endpoint)
+/// position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainKeyPart {
+    /// `true` → the vertex is `ε_j.dst` (take `σ.dst`); else take `σ.src`.
+    pub sigma_dst: bool,
+    /// Prefix level whose edge first binds the vertex.
+    pub level: usize,
+    /// `true` → the vertex is that level's `dst`; else its `src`.
+    pub level_dst: bool,
+}
+
+/// One shared query vertex of the `L₀` join between the union of
+/// subqueries `0..i` (the *row* side) and subquery `i` (the *delta*
+/// side).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct L0KeyPart {
+    /// First binding on the row side: (subquery, level, take-dst?).
+    pub row: (usize, usize, bool),
+    /// First binding on the delta side: (level within `Q^i`, take-dst?).
+    pub delta: (usize, bool),
+}
+
+/// FNV-1a offset basis: the key of an empty spec (single-bucket probe).
+pub const KEY_EMPTY: JoinKey = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one shared-vertex binding into a key (FNV-1a step). Collisions
+/// are harmless — the key is a prefilter, the full compatibility check
+/// still runs on every probe hit.
+#[inline]
+pub fn fold_key(key: JoinKey, v: VertexId) -> JoinKey {
+    (key ^ v.0 as u64).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
 /// A compiled plan for one continuous query.
 #[derive(Clone, Debug)]
 pub struct QueryPlan {
@@ -59,6 +104,16 @@ pub struct QueryPlan {
     /// For each query edge index: (subquery position in `subs`, level in
     /// that subquery's timing sequence).
     pub pos: Vec<(usize, usize)>,
+    /// `sub_keys[i][j]` (for `j ≥ 1`): shared vertices between
+    /// `Preq(ε_j)` and `ε_j` in subquery `i` — the key of the join that
+    /// extends item `j − 1` with an arrival at level `j`. `sub_keys[i][0]`
+    /// is empty (level 0 starts fresh matches).
+    pub sub_keys: Vec<Vec<Vec<ChainKeyPart>>>,
+    /// `l0_keys[i]` (for `1 ≤ i < k`): shared vertices between
+    /// `Q^1 ∪ … ∪ Q^{i}` and `Q^{i+1}` (0-based: subqueries `0..i` vs
+    /// subquery `i`) — the key of the `L₀` join at item `i`. Index 0 is
+    /// empty padding.
+    pub l0_keys: Vec<Vec<L0KeyPart>>,
     /// Signature → query edges with that signature.
     sig_to_edges: HashMap<(VLabel, VLabel, ELabel), Vec<usize>>,
 }
@@ -87,7 +142,112 @@ impl QueryPlan {
         for e in 0..query.n_edges() {
             sig_to_edges.entry(query.signature(e)).or_default().push(e);
         }
-        QueryPlan { query, subs, pos, sig_to_edges }
+        let sub_keys = chain_key_specs(&query, &subs);
+        let l0_keys = l0_key_specs(&query, &subs);
+        QueryPlan { query, subs, pos, sub_keys, l0_keys, sig_to_edges }
+    }
+
+    /// Probe key of an arrival `σ` matching level `j ≥ 1` of subquery `i`
+    /// against the stored prefixes of item `j − 1`.
+    #[inline]
+    pub fn chain_probe_key(&self, i: usize, j: usize, sigma: &StreamEdge) -> JoinKey {
+        let mut key = KEY_EMPTY;
+        for p in &self.sub_keys[i][j] {
+            key = fold_key(key, if p.sigma_dst { sigma.dst } else { sigma.src });
+        }
+        key
+    }
+
+    /// Key under which a subquery-`i` match at `level` must be stored so
+    /// the next probe finds it: the chain spec of `level + 1` below the
+    /// leaf, the `L₀` spec at the leaf (subquery leaves are only ever
+    /// probed by `L₀` joins), [`KEY_EMPTY`] for a TC-query (`k = 1`).
+    /// `endpoints(l)` resolves the (src, dst) of the match's data edge at
+    /// level `l ≤ level`.
+    pub fn stored_sub_key(
+        &self,
+        i: usize,
+        level: usize,
+        mut endpoints: impl FnMut(usize) -> (VertexId, VertexId),
+    ) -> JoinKey {
+        let len = self.subs[i].len();
+        if level + 1 < len {
+            let mut key = KEY_EMPTY;
+            for p in &self.sub_keys[i][level + 1] {
+                let (src, dst) = endpoints(p.level);
+                key = fold_key(key, if p.level_dst { dst } else { src });
+            }
+            return key;
+        }
+        // Leaf: the match is a complete match of subquery `i`.
+        if self.k() == 1 {
+            return KEY_EMPTY;
+        }
+        if i == 0 {
+            // Aliased as `L₀`'s first item: row side of the first L₀ join.
+            let mut key = KEY_EMPTY;
+            for p in &self.l0_keys[1] {
+                debug_assert_eq!(p.row.0, 0, "L₀¹ row side binds in subquery 0");
+                let (src, dst) = endpoints(p.row.1);
+                key = fold_key(key, if p.row.2 { dst } else { src });
+            }
+            key
+        } else {
+            // Probed by L₀ rows extending rightwards: delta side.
+            self.l0_delta_key(i, endpoints)
+        }
+    }
+
+    /// Probe key of a complete subquery-`i` match (`i ≥ 1`) against the
+    /// rows of `L₀` item `i − 1` — the delta side of `l0_keys[i]`.
+    /// `endpoints(l)` resolves the match's data edge at level `l`.
+    #[inline]
+    pub fn l0_delta_key(
+        &self,
+        i: usize,
+        mut endpoints: impl FnMut(usize) -> (VertexId, VertexId),
+    ) -> JoinKey {
+        let mut key = KEY_EMPTY;
+        for p in &self.l0_keys[i] {
+            let (src, dst) = endpoints(p.delta.0);
+            key = fold_key(key, if p.delta.1 { dst } else { src });
+        }
+        key
+    }
+
+    /// Row-side key of the `L₀` join at item `next` (`1 ≤ next < k`) over
+    /// a row covering subqueries `0..next`: the key under which such a row
+    /// is stored *and* the key with which it probes subquery `next`'s
+    /// leaves. `endpoints(sub, l)` resolves the row's data edge at level
+    /// `l` of subquery `sub`.
+    #[inline]
+    pub fn l0_row_key(
+        &self,
+        next: usize,
+        mut endpoints: impl FnMut(usize, usize) -> (VertexId, VertexId),
+    ) -> JoinKey {
+        let mut key = KEY_EMPTY;
+        for p in &self.l0_keys[next] {
+            let (src, dst) = endpoints(p.row.0, p.row.1);
+            key = fold_key(key, if p.row.2 { dst } else { src });
+        }
+        key
+    }
+
+    /// Key under which an `L₀` row at item `level` must be stored:
+    /// the row side of the next `L₀` join, or [`KEY_EMPTY`] for the last
+    /// item (complete query matches are never probed).
+    #[inline]
+    pub fn stored_l0_key(
+        &self,
+        level: usize,
+        endpoints: impl FnMut(usize, usize) -> (VertexId, VertexId),
+    ) -> JoinKey {
+        if level + 1 >= self.k() {
+            KEY_EMPTY
+        } else {
+            self.l0_row_key(level + 1, endpoints)
+        }
     }
 
     /// Decomposition size `k`.
@@ -115,6 +275,84 @@ impl QueryPlan {
     }
 }
 
+/// First (level, is-dst) position binding query vertex `v` within the
+/// edges `seq`, if any.
+fn first_binding(q: &QueryGraph, seq: &[usize], v: usize) -> Option<(usize, bool)> {
+    for (level, &e) in seq.iter().enumerate() {
+        let qe = q.edges[e];
+        if qe.src == v {
+            return Some((level, false));
+        }
+        if qe.dst == v {
+            return Some((level, true));
+        }
+    }
+    None
+}
+
+/// Chain-join key specs: for every position `(i, j ≥ 1)`, the query
+/// vertices of `ε_j = seq[j]` already bound by the prefix `seq[0..j]`, in
+/// ascending query-vertex order (both join sides fold in the same order,
+/// so the fold order only has to be canonical).
+fn chain_key_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<Vec<ChainKeyPart>>> {
+    subs.iter()
+        .map(|s| {
+            let mut per_level = vec![Vec::new()];
+            for j in 1..s.len() {
+                let qe = q.edges[s.seq[j]];
+                let mut verts = vec![qe.src];
+                if qe.dst != qe.src {
+                    verts.push(qe.dst);
+                }
+                verts.sort_unstable();
+                let mut parts = Vec::new();
+                for v in verts {
+                    if let Some((level, level_dst)) = first_binding(q, &s.seq[..j], v) {
+                        parts.push(ChainKeyPart {
+                            sigma_dst: v == qe.dst && v != qe.src,
+                            level,
+                            level_dst,
+                        });
+                    }
+                }
+                per_level.push(parts);
+            }
+            per_level
+        })
+        .collect()
+}
+
+/// `L₀`-join key specs: for every `1 ≤ i < k`, the query vertices shared
+/// between the union of subqueries `0..i` and subquery `i`, with the
+/// first binding position on each side, in ascending query-vertex order.
+fn l0_key_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<L0KeyPart>> {
+    let k = subs.len();
+    let mut out = vec![Vec::new()];
+    for i in 1..k {
+        let mut in_right = vec![false; q.n_vertices()];
+        for &e in &subs[i].seq {
+            in_right[q.edges[e].src] = true;
+            in_right[q.edges[e].dst] = true;
+        }
+        let mut parts = Vec::new();
+        for (v, &shared) in in_right.iter().enumerate() {
+            if !shared {
+                continue;
+            }
+            // First row-side binding: walk subqueries 0..i in join order.
+            let row = subs[..i].iter().enumerate().find_map(|(sub, s)| {
+                first_binding(q, &s.seq, v).map(|(level, dst)| (sub, level, dst))
+            });
+            if let Some(row) = row {
+                let delta = first_binding(q, &subs[i].seq, v).expect("v is in the right side");
+                parts.push(L0KeyPart { row, delta: (delta.0, delta.1) });
+            }
+        }
+        out.push(parts);
+    }
+    out
+}
+
 /// A random edge-disjoint cover by TC-subqueries (Timing-RD): walk
 /// `TCsub(Q)` in a seeded pseudo-random order and keep whatever fits.
 /// Singletons guarantee completion.
@@ -133,11 +371,7 @@ fn random_cover(q: &QueryGraph, tcsub: &[TcSubquery], seed: u64) -> Decompositio
         let j = (next() % (i as u64 + 1)) as usize;
         idx.swap(i, j);
     }
-    let all = if q.n_edges() == 64 {
-        u64::MAX
-    } else {
-        (1u64 << q.n_edges()) - 1
-    };
+    let all = if q.n_edges() == 64 { u64::MAX } else { (1u64 << q.n_edges()) - 1 };
     let mut covered = 0u64;
     let mut chosen = Vec::new();
     for i in idx {

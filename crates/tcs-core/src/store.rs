@@ -25,11 +25,50 @@
 //! path" observation) or as `L₀` *components* (complete-subquery-match
 //! references). A handle is only guaranteed valid until the next
 //! `expire_edge` call, which is exactly how the engine uses them.
+//!
+//! # Join-key indexes
+//!
+//! Algorithm 1 joins every arrival `σ` against *all* matches stored in
+//! item `L^{j−1}_i`, and every fresh complete subquery match against all
+//! `L₀^{i−1}` rows — `O(|item|)` per arrival, the dominant cost on
+//! hub-heavy streams. Both stores therefore keep every item *pre-indexed
+//! by join key*, the way `arrange_by_key` pre-indexes arrangements in
+//! differential dataflow:
+//!
+//! * A [`JoinKey`] is an opaque `u64` computed by the **engine** from the
+//!   plan's key specs ([`crate::plan::ChainKeyPart`] /
+//!   [`crate::plan::L0KeyPart`]): the data vertices bound to the query
+//!   vertices shared between the two join sides, folded FNV-1a-style in
+//!   canonical (ascending query-vertex) order. Two joinable matches agree
+//!   on every shared vertex, so they agree on the key; the store never
+//!   interprets keys, it only groups equal ones.
+//! * Every insertion carries the key under which the new match will later
+//!   be probed (`insert_sub` → the next level's chain spec, or the `L₀`
+//!   spec at the leaf; `insert_l0` → the next `L₀` item's row spec).
+//! * [`MatchStore::for_each_sub_keyed`] / [`MatchStore::for_each_l0_keyed`]
+//!   visit exactly the matches inserted under an equal key — a strict
+//!   subset of the full scan, and a superset of the joinable matches
+//!   (equal shared vertices ⇒ equal key; hash collisions only ever *add*
+//!   candidates). The key is a **prefilter**: callers must still run the
+//!   full compatibility check on every probe hit, so semantics are
+//!   identical to the full-scan path.
+//! * `expire_edge`'s cascading deletes keep the indexes coherent: every
+//!   unlink also removes the match from its key bucket (O(1) swap-remove
+//!   via a stored bucket position).
+//!
+//! A spec with no shared vertices folds to [`crate::plan::KEY_EMPTY`] on
+//! both sides — one bucket holding the whole item, which degrades
+//! gracefully to the original full scan.
 
 use tcs_graph::EdgeId;
 
 /// Opaque reference to a stored partial match.
 pub type Handle = u64;
+
+/// Opaque join-key under which a stored match is grouped for keyed
+/// iteration (see the module docs). Computed by the engine from the
+/// plan's key specs; equal keys ⇔ same bucket.
+pub type JoinKey = u64;
 
 /// Sentinel parent for level-0 insertions.
 pub const ROOT: Handle = Handle::MAX;
@@ -60,21 +99,45 @@ pub trait MatchStore {
     /// holds the `level + 1` data edges in timing-sequence order.
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId]));
 
+    /// Iterates only the matches of subquery `sub`'s item `level` that
+    /// were inserted under join key `key` — the keyed probe replacing a
+    /// full [`MatchStore::for_each_sub`] scan (see the module docs; the
+    /// callback contract is identical).
+    fn for_each_sub_keyed(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    );
+
     /// Inserts a match of subquery `sub` at `level`, extending `parent`
     /// (which must be a handle from item `level − 1`, or [`ROOT`] when
-    /// `level == 0`) with `edge`. Returns the new match's handle.
-    fn insert_sub(&mut self, sub: usize, level: usize, parent: Handle, edge: EdgeId) -> Handle;
+    /// `level == 0`) with `edge`, filed under join key `key` for later
+    /// keyed iteration. Returns the new match's handle.
+    fn insert_sub(
+        &mut self,
+        sub: usize,
+        level: usize,
+        parent: Handle,
+        edge: EdgeId,
+        key: JoinKey,
+    ) -> Handle;
 
     /// Iterates all matches of `L₀`'s item `i` (`1 ≤ i < k`); the slice
     /// holds `i + 1` component handles, component `j` being a complete
     /// match of subquery `j`.
     fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle]));
 
+    /// Iterates only the `L₀` item-`i` rows inserted under join key `key`
+    /// (keyed counterpart of [`MatchStore::for_each_l0`]).
+    fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(Handle, &[Handle]));
+
     /// Inserts into `L₀` item `i` (`1 ≤ i < k`): `parent` is a handle from
     /// `L₀` item `i − 1` — which for `i == 1` is a complete-match handle of
     /// subquery 0 (the aliased first item) — and `comp` is a complete-match
-    /// handle of subquery `i`.
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle) -> Handle;
+    /// handle of subquery `i`. The row is filed under join key `key`.
+    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle;
 
     /// Appends the data edges of a complete or partial subquery match (in
     /// timing-sequence order) to `out`.
@@ -98,7 +161,10 @@ pub trait MatchStore {
 
 /// Shared conformance tests run against both store implementations (called
 /// from each implementation's test module). Uses a 2-subquery layout:
-/// sub 0 with 3 levels, sub 1 with 2 levels.
+/// sub 0 with 3 levels, sub 1 with 2 levels. Inserts carry arbitrary
+/// engine-chosen join keys; where a test is not about keyed reads it keys
+/// every match by its newest edge id, which exercises multi-bucket items
+/// without changing the semantics under test.
 #[cfg(test)]
 pub(crate) mod conformance {
     use super::*;
@@ -111,9 +177,28 @@ pub(crate) mod conformance {
         StoreLayout { sub_lens: vec![3, 2] }
     }
 
+    /// Key convention for tests that are not about keyed reads.
+    fn k(edge: u64) -> JoinKey {
+        edge
+    }
+
     fn collect_sub<S: MatchStore>(s: &S, sub: usize, level: usize) -> Vec<Vec<u64>> {
         let mut out = Vec::new();
         s.for_each_sub(sub, level, &mut |_, edges| {
+            out.push(edges.iter().map(|x| x.0).collect());
+        });
+        out.sort();
+        out
+    }
+
+    fn collect_sub_keyed<S: MatchStore>(
+        s: &S,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+    ) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        s.for_each_sub_keyed(sub, level, key, &mut |_, edges| {
             out.push(edges.iter().map(|x| x.0).collect());
         });
         out.sort();
@@ -127,12 +212,19 @@ pub(crate) mod conformance {
         out
     }
 
+    fn collect_l0_keyed<S: MatchStore>(s: &S, i: usize, key: JoinKey) -> Vec<Vec<Handle>> {
+        let mut out = Vec::new();
+        s.for_each_l0_keyed(i, key, &mut |_, comps| out.push(comps.to_vec()));
+        out.sort();
+        out
+    }
+
     pub fn insert_read_roundtrip<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        let _c1 = s.insert_sub(0, 2, b, e(3));
-        let _c2 = s.insert_sub(0, 2, b, e(4));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        let _c1 = s.insert_sub(0, 2, b, e(3), k(3));
+        let _c2 = s.insert_sub(0, 2, b, e(4), k(4));
         assert_eq!(s.len_sub(0, 0), 1);
         assert_eq!(s.len_sub(0, 1), 1);
         assert_eq!(s.len_sub(0, 2), 2);
@@ -143,9 +235,9 @@ pub(crate) mod conformance {
 
     pub fn expand_matches_read<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        let c = s.insert_sub(0, 2, b, e(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        let c = s.insert_sub(0, 2, b, e(3), k(3));
         let mut out = Vec::new();
         s.expand_sub(0, c, &mut out);
         assert_eq!(out, vec![e(1), e(2), e(3)]);
@@ -154,13 +246,13 @@ pub(crate) mod conformance {
     pub fn l0_components_roundtrip<S: MatchStore>() {
         let mut s = S::new(layout());
         // Complete match of sub 0: 1-2-3.
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        let c0 = s.insert_sub(0, 2, b, e(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        let c0 = s.insert_sub(0, 2, b, e(3), k(3));
         // Complete match of sub 1: 10-11.
-        let x = s.insert_sub(1, 0, ROOT, e(10));
-        let c1 = s.insert_sub(1, 1, x, e(11));
-        let h = s.insert_l0(1, c0, c1);
+        let x = s.insert_sub(1, 0, ROOT, e(10), k(10));
+        let c1 = s.insert_sub(1, 1, x, e(11), k(11));
+        let h = s.insert_l0(1, c0, c1, 77);
         assert_eq!(s.len_l0(1), 1);
         let rows = collect_l0(&s, 1);
         assert_eq!(rows, vec![vec![c0, c1]]);
@@ -176,10 +268,10 @@ pub(crate) mod conformance {
 
     pub fn expire_cascades_within_sub<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        s.insert_sub(0, 2, b, e(3));
-        s.insert_sub(0, 2, b, e(4));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        s.insert_sub(0, 2, b, e(3), k(3));
+        s.insert_sub(0, 2, b, e(4), k(4));
         // Expire e(1): everything dies (positions say e(1) sits at (0,0)).
         let n = s.expire_edge(e(1), &[(0, 0)]);
         assert_eq!(n, 4, "1 + 1 + 2 partial matches removed");
@@ -190,9 +282,9 @@ pub(crate) mod conformance {
 
     pub fn expire_middle_level_keeps_prefix<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        s.insert_sub(0, 2, b, e(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        s.insert_sub(0, 2, b, e(3), k(3));
         let n = s.expire_edge(e(2), &[(0, 1)]);
         assert_eq!(n, 2);
         assert_eq!(s.len_sub(0, 0), 1, "prefix {{1}} survives");
@@ -202,12 +294,12 @@ pub(crate) mod conformance {
 
     pub fn expire_cleans_l0<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        let c0 = s.insert_sub(0, 2, b, e(3));
-        let x = s.insert_sub(1, 0, ROOT, e(10));
-        let c1 = s.insert_sub(1, 1, x, e(11));
-        s.insert_l0(1, c0, c1);
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        let c0 = s.insert_sub(0, 2, b, e(3), k(3));
+        let x = s.insert_sub(1, 0, ROOT, e(10), k(10));
+        let c1 = s.insert_sub(1, 1, x, e(11), k(11));
+        s.insert_l0(1, c0, c1, 77);
 
         // Expiring e(10) kills sub 1's matches and the L0 row.
         let n = s.expire_edge(e(10), &[(1, 0)]);
@@ -217,9 +309,9 @@ pub(crate) mod conformance {
 
         // Rebuild sub 1 and the join, then expire via sub 0's root edge:
         // the L0 row must die through the component-0 side too.
-        let x2 = s.insert_sub(1, 0, ROOT, e(20));
-        let c12 = s.insert_sub(1, 1, x2, e(21));
-        s.insert_l0(1, c0, c12);
+        let x2 = s.insert_sub(1, 0, ROOT, e(20), k(20));
+        let c12 = s.insert_sub(1, 1, x2, e(21), k(21));
+        s.insert_l0(1, c0, c12, 77);
         assert_eq!(s.len_l0(1), 1);
         let n2 = s.expire_edge(e(1), &[(0, 0)]);
         assert_eq!(n2, 4, "three sub-0 prefixes + 1 L0 row");
@@ -229,8 +321,8 @@ pub(crate) mod conformance {
 
     pub fn expire_ignores_unrelated_edges<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        s.insert_sub(0, 1, a, e(2));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        s.insert_sub(0, 1, a, e(2), k(2));
         let n = s.expire_edge(e(99), &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
         assert_eq!(n, 0);
         assert_eq!(s.len_sub(0, 0), 1);
@@ -240,9 +332,9 @@ pub(crate) mod conformance {
     pub fn space_grows_and_shrinks<S: MatchStore>() {
         let mut s = S::new(layout());
         let base = s.space_bytes();
-        let a = s.insert_sub(0, 0, ROOT, e(1));
-        let b = s.insert_sub(0, 1, a, e(2));
-        s.insert_sub(0, 2, b, e(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let b = s.insert_sub(0, 1, a, e(2), k(2));
+        s.insert_sub(0, 2, b, e(3), k(3));
         let grown = s.space_bytes();
         assert!(grown > base);
         s.expire_edge(e(1), &[(0, 0)]);
@@ -252,13 +344,13 @@ pub(crate) mod conformance {
     pub fn three_sub_l0_chain<S: MatchStore>() {
         // k = 3 with single-edge subqueries: the L0 list is a 2-level trie.
         let mut s = S::new(StoreLayout { sub_lens: vec![1, 1, 1] });
-        let c0 = s.insert_sub(0, 0, ROOT, e(1));
-        let c1 = s.insert_sub(1, 0, ROOT, e(2));
-        let c2a = s.insert_sub(2, 0, ROOT, e(3));
-        let c2b = s.insert_sub(2, 0, ROOT, e(4));
-        let u01 = s.insert_l0(1, c0, c1);
-        s.insert_l0(2, u01, c2a);
-        s.insert_l0(2, u01, c2b);
+        let c0 = s.insert_sub(0, 0, ROOT, e(1), k(1));
+        let c1 = s.insert_sub(1, 0, ROOT, e(2), k(2));
+        let c2a = s.insert_sub(2, 0, ROOT, e(3), k(3));
+        let c2b = s.insert_sub(2, 0, ROOT, e(4), k(4));
+        let u01 = s.insert_l0(1, c0, c1, 77);
+        s.insert_l0(2, u01, c2a, 77);
+        s.insert_l0(2, u01, c2b, 77);
         assert_eq!(s.len_l0(1), 1);
         assert_eq!(s.len_l0(2), 2);
         let mut rows = Vec::new();
@@ -271,5 +363,119 @@ pub(crate) mod conformance {
         assert_eq!(s.len_l0(1), 0);
         assert_eq!(s.len_l0(2), 0);
         assert_eq!(s.len_sub(2, 0), 2);
+    }
+
+    /// Full scan of an item, filtered to the rows whose insertion key was
+    /// `key` — the reference semantics every keyed read must reproduce.
+    fn filtered_scan<S: MatchStore>(
+        s: &S,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        key_of: &std::collections::HashMap<Vec<u64>, JoinKey>,
+    ) -> Vec<Vec<u64>> {
+        let mut out: Vec<Vec<u64>> = Vec::new();
+        s.for_each_sub(sub, level, &mut |_, edges| {
+            let row: Vec<u64> = edges.iter().map(|x| x.0).collect();
+            if key_of[&row] == key {
+                out.push(row);
+            }
+        });
+        out.sort();
+        out
+    }
+
+    pub fn keyed_sub_read_equals_filtered_scan<S: MatchStore>() {
+        let mut s = S::new(layout());
+        // Two prefix trees fanned out over three distinct keys at level 2,
+        // with one key shared across parents.
+        let mut key_of: std::collections::HashMap<Vec<u64>, JoinKey> =
+            std::collections::HashMap::new();
+        let a = s.insert_sub(0, 0, ROOT, e(1), 100);
+        key_of.insert(vec![1], 100);
+        let a2 = s.insert_sub(0, 0, ROOT, e(2), 101);
+        key_of.insert(vec![2], 101);
+        let b = s.insert_sub(0, 1, a, e(3), 200);
+        key_of.insert(vec![1, 3], 200);
+        let b2 = s.insert_sub(0, 1, a2, e(4), 200);
+        key_of.insert(vec![2, 4], 200);
+        for (parent, prefix, edge, key) in [
+            (b, vec![1u64, 3], 10u64, 300u64),
+            (b, vec![1, 3], 11, 301),
+            (b2, vec![2, 4], 12, 300),
+            (b2, vec![2, 4], 13, 302),
+        ] {
+            let mut row = prefix.clone();
+            row.push(edge);
+            key_of.insert(row, key);
+            s.insert_sub(0, 2, parent, e(edge), key);
+        }
+        for key in [100u64, 101, 200, 300, 301, 302, 999] {
+            for level in 0..3 {
+                assert_eq!(
+                    collect_sub_keyed(&s, 0, level, key),
+                    filtered_scan(&s, 0, level, key, &key_of),
+                    "level {level} key {key}"
+                );
+            }
+        }
+        // Keyed reads over all used keys cover the full scan exactly.
+        let mut union: Vec<Vec<u64>> =
+            [300u64, 301, 302].iter().flat_map(|&key| collect_sub_keyed(&s, 0, 2, key)).collect();
+        union.sort();
+        assert_eq!(union, collect_sub(&s, 0, 2));
+    }
+
+    pub fn keyed_reads_stay_coherent_after_expire<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1), 100);
+        let a2 = s.insert_sub(0, 0, ROOT, e(2), 100);
+        let b = s.insert_sub(0, 1, a, e(3), 200);
+        let b2 = s.insert_sub(0, 1, a2, e(4), 200);
+        s.insert_sub(0, 2, b, e(10), 300);
+        s.insert_sub(0, 2, b, e(11), 300);
+        s.insert_sub(0, 2, b2, e(12), 300);
+        // Expire e(3): the cascade kills {1,3}, {1,3,10}, {1,3,11} and
+        // must remove them from the shared 200/300 buckets, leaving the
+        // sibling tree intact in the same buckets.
+        let n = s.expire_edge(e(3), &[(0, 1)]);
+        assert_eq!(n, 3);
+        assert_eq!(collect_sub_keyed(&s, 0, 0, 100), vec![vec![1], vec![2]]);
+        assert_eq!(collect_sub_keyed(&s, 0, 1, 200), vec![vec![2, 4]]);
+        assert_eq!(collect_sub_keyed(&s, 0, 2, 300), vec![vec![2, 4, 12]]);
+        // Root expiries empty the buckets completely ({1} survived the
+        // level-1 cascade above).
+        s.expire_edge(e(1), &[(0, 0)]);
+        s.expire_edge(e(2), &[(0, 0)]);
+        assert!(collect_sub_keyed(&s, 0, 0, 100).is_empty());
+        assert!(collect_sub_keyed(&s, 0, 1, 200).is_empty());
+        assert!(collect_sub_keyed(&s, 0, 2, 300).is_empty());
+        // Buckets are reusable after emptying.
+        s.insert_sub(0, 0, ROOT, e(9), 100);
+        assert_eq!(collect_sub_keyed(&s, 0, 0, 100), vec![vec![9]]);
+    }
+
+    pub fn keyed_l0_read_equals_filtered_scan<S: MatchStore>() {
+        let mut s = S::new(StoreLayout { sub_lens: vec![1, 1, 1] });
+        let c0 = s.insert_sub(0, 0, ROOT, e(1), 7);
+        let c1a = s.insert_sub(1, 0, ROOT, e(2), 7);
+        let c1b = s.insert_sub(1, 0, ROOT, e(3), 7);
+        let c2 = s.insert_sub(2, 0, ROOT, e(4), 7);
+        let ua = s.insert_l0(1, c0, c1a, 500);
+        let ub = s.insert_l0(1, c0, c1b, 501);
+        s.insert_l0(2, ua, c2, 600);
+        s.insert_l0(2, ub, c2, 600);
+        assert_eq!(collect_l0_keyed(&s, 1, 500), vec![vec![c0, c1a]]);
+        assert_eq!(collect_l0_keyed(&s, 1, 501), vec![vec![c0, c1b]]);
+        assert!(collect_l0_keyed(&s, 1, 999).is_empty());
+        assert_eq!(collect_l0_keyed(&s, 2, 600), vec![vec![c0, c1a, c2], vec![c0, c1b, c2]]);
+        assert_eq!(collect_l0_keyed(&s, 2, 600), collect_l0(&s, 2));
+        // Expire through sub 1's edge 2: row ua and its level-2 extension
+        // leave their buckets; the 600 bucket keeps exactly the survivor.
+        let n = s.expire_edge(e(2), &[(1, 0)]);
+        assert_eq!(n, 3, "{{2}}, ua, and one level-2 row");
+        assert!(collect_l0_keyed(&s, 1, 500).is_empty());
+        assert_eq!(collect_l0_keyed(&s, 1, 501), vec![vec![c0, c1b]]);
+        assert_eq!(collect_l0_keyed(&s, 2, 600), vec![vec![c0, c1b, c2]]);
     }
 }

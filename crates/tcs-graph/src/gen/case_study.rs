@@ -111,7 +111,7 @@ pub fn build_sized(seed: u64, n_benign: usize, n_hosts: u32) -> (Vec<StreamEdge>
     let mut i = 0usize;
     while i < n_benign || attack_step < 5 {
         let in_attack_window = i >= attack_start && attack_step < 5;
-        if in_attack_window && (i - attack_start) % attack_gap == 0 {
+        if in_attack_window && (i - attack_start).is_multiple_of(attack_gap) {
             match attack_step {
                 0 => push(&mut edges, victim, web, traffic::HTTP_REQ),
                 1 => push(&mut edges, web, victim, traffic::HTTP_PAYLOAD),
@@ -161,10 +161,8 @@ mod tests {
         assert_eq!(q.n_edges(), 5);
         // The five attack edges exist in order.
         let victim = 2_000u32;
-        let attack: Vec<&StreamEdge> = edges
-            .iter()
-            .filter(|e| e.src.0 >= victim || e.dst.0 >= victim)
-            .collect();
+        let attack: Vec<&StreamEdge> =
+            edges.iter().filter(|e| e.src.0 >= victim || e.dst.0 >= victim).collect();
         assert_eq!(attack.len(), 5);
         for w in attack.windows(2) {
             assert!(w[0].ts < w[1].ts);

@@ -39,11 +39,7 @@ pub enum Dataset {
 
 impl Dataset {
     /// All datasets in the order the paper's figures present them.
-    pub const ALL: [Dataset; 3] = [
-        Dataset::NetworkFlow,
-        Dataset::SocialStream,
-        Dataset::WikiTalk,
-    ];
+    pub const ALL: [Dataset; 3] = [Dataset::NetworkFlow, Dataset::SocialStream, Dataset::WikiTalk];
 
     /// Display name matching the paper's figure captions.
     pub fn name(self) -> &'static str {

@@ -34,12 +34,7 @@ pub struct NetworkFlowGen {
 
 impl Default for NetworkFlowGen {
     fn default() -> Self {
-        NetworkFlowGen {
-            n_hosts: 80_000,
-            n_edge_labels: 64,
-            label_skew: 1.4,
-            host_skew: 0.95,
-        }
+        NetworkFlowGen { n_hosts: 80_000, n_edge_labels: 64, label_skew: 1.4, host_skew: 0.95 }
     }
 }
 
@@ -118,11 +113,7 @@ mod tests {
         let mut freq: Vec<usize> = counts.values().copied().collect();
         freq.sort_unstable_by(|a, b| b.cmp(a));
         let top6: usize = freq.iter().take(6).sum();
-        assert!(
-            top6 * 2 > es.len(),
-            "top-6 labels cover {top6}/{} (<50%)",
-            es.len()
-        );
+        assert!(top6 * 2 > es.len(), "top-6 labels cover {top6}/{} (<50%)", es.len());
     }
 
     #[test]

@@ -30,10 +30,7 @@ pub struct WikiTalkGen {
 
 impl Default for WikiTalkGen {
     fn default() -> Self {
-        WikiTalkGen {
-            n_users: 200_000,
-            user_skew: 1.0,
-        }
+        WikiTalkGen { n_users: 200_000, user_skew: 1.0 }
     }
 }
 

@@ -165,20 +165,16 @@ mod tests {
 
     #[test]
     fn valid_match_verifies() {
-        let es = vec![
-            StreamEdge::new(1, 10, 0, 11, 1, 9, 1),
-            StreamEdge::new(2, 11, 1, 12, 2, 9, 2),
-        ];
+        let es =
+            vec![StreamEdge::new(1, 10, 0, 11, 1, 9, 1), StreamEdge::new(2, 11, 1, 12, 2, 9, 2)];
         let m = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
         assert_eq!(m.verify(&q(), resolver(es)), Ok(()));
     }
 
     #[test]
     fn timing_violation_detected() {
-        let es = vec![
-            StreamEdge::new(1, 10, 0, 11, 1, 9, 5),
-            StreamEdge::new(2, 11, 1, 12, 2, 9, 2),
-        ];
+        let es =
+            vec![StreamEdge::new(1, 10, 0, 11, 1, 9, 5), StreamEdge::new(2, 11, 1, 12, 2, 9, 2)];
         let m = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
         assert_eq!(
             m.verify(&q(), resolver(es)),
@@ -190,10 +186,8 @@ mod tests {
     fn injectivity_violation_detected() {
         // b and c both map to vertex 11 via a second edge 11→11? Use a
         // cleaner case: ε1 maps b→c onto 11→10, colliding c with a's vertex.
-        let es = vec![
-            StreamEdge::new(1, 10, 0, 11, 1, 9, 1),
-            StreamEdge::new(2, 11, 1, 10, 2, 9, 2),
-        ];
+        let es =
+            vec![StreamEdge::new(1, 10, 0, 11, 1, 9, 1), StreamEdge::new(2, 11, 1, 10, 2, 9, 2)];
         let m = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
         assert_eq!(m.verify(&q(), resolver(es)), Err(MatchViolation::NotInjective));
     }
@@ -232,10 +226,8 @@ mod tests {
     #[test]
     fn vertex_consistency_enforced() {
         // ε0 maps b→11 but ε1 maps b→13: inconsistent F.
-        let es = vec![
-            StreamEdge::new(1, 10, 0, 11, 1, 9, 1),
-            StreamEdge::new(2, 13, 1, 12, 2, 9, 2),
-        ];
+        let es =
+            vec![StreamEdge::new(1, 10, 0, 11, 1, 9, 1), StreamEdge::new(2, 13, 1, 12, 2, 9, 2)];
         let m = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
         assert_eq!(m.verify(&q(), resolver(es)), Err(MatchViolation::NotInjective));
     }

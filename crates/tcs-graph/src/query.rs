@@ -134,11 +134,7 @@ impl TimingOrder {
                 after[i] |= 1u64 << j;
             }
         }
-        Ok(TimingOrder {
-            before,
-            after,
-            pairs: pairs.to_vec(),
-        })
+        Ok(TimingOrder { before, after, pairs: pairs.to_vec() })
     }
 
     /// An empty timing order over `n_edges` edges (`≺ = ∅`).
@@ -230,16 +226,8 @@ impl QueryGraph {
             }
         }
         let order = TimingOrder::new(edges.len(), timing_pairs)?;
-        let q = QueryGraph {
-            vertex_labels,
-            edges,
-            order,
-        };
-        let all = if q.edges.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << q.edges.len()) - 1
-        };
+        let q = QueryGraph { vertex_labels, edges, order };
+        let all = if q.edges.len() == 64 { u64::MAX } else { (1u64 << q.edges.len()) - 1 };
         if !q.edge_set_connected(all) {
             return Err(QueryError::Disconnected);
         }
@@ -262,11 +250,7 @@ impl QueryGraph {
     #[inline]
     pub fn signature(&self, e: usize) -> (VLabel, VLabel, ELabel) {
         let qe = &self.edges[e];
-        (
-            self.vertex_labels[qe.src],
-            self.vertex_labels[qe.dst],
-            qe.label,
-        )
+        (self.vertex_labels[qe.src], self.vertex_labels[qe.dst], qe.label)
     }
 
     /// Whether two query edges share at least one endpoint.
@@ -391,13 +375,8 @@ mod tests {
     fn path_query(n_edges: usize) -> QueryGraph {
         // v0 -> v1 -> ... with distinct labels, no timing order.
         let labels = (0..=n_edges as u16).map(VLabel).collect();
-        let edges = (0..n_edges)
-            .map(|i| QueryEdge {
-                src: i,
-                dst: i + 1,
-                label: ELabel::NONE,
-            })
-            .collect();
+        let edges =
+            (0..n_edges).map(|i| QueryEdge { src: i, dst: i + 1, label: ELabel::NONE }).collect();
         QueryGraph::new(labels, edges, &[]).unwrap()
     }
 
@@ -417,10 +396,7 @@ mod tests {
             TimingOrder::new(3, &[(0, 1), (1, 2), (2, 0)]).unwrap_err(),
             QueryError::CyclicTiming
         );
-        assert_eq!(
-            TimingOrder::new(2, &[(1, 1)]).unwrap_err(),
-            QueryError::CyclicTiming
-        );
+        assert_eq!(TimingOrder::new(2, &[(1, 1)]).unwrap_err(), QueryError::CyclicTiming);
     }
 
     #[test]
@@ -428,7 +404,7 @@ mod tests {
         let o = TimingOrder::new(3, &[(0, 2), (1, 2)]).unwrap();
         assert_eq!(o.preq_mask(2), 0b111);
         assert_eq!(o.preq_mask(0), 0b001);
-        assert!(o.is_empty() == false);
+        assert!(!o.is_empty());
     }
 
     #[test]
@@ -445,7 +421,7 @@ mod tests {
         assert!(q.order.lt(5, 2));
         assert!(q.order.lt(2, 0));
         assert!(q.order.lt(5, 0)); // transitivity
-        // 6 ≺ 5 ≺ 4 (indices 5 ≺ 4 ≺ 3)
+                                   // 6 ≺ 5 ≺ 4 (indices 5 ≺ 4 ≺ 3)
         assert!(q.order.lt(5, 4));
         assert!(q.order.lt(4, 3));
         assert!(q.order.lt(5, 3));
@@ -476,10 +452,7 @@ mod tests {
             QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
             QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
         ];
-        assert_eq!(
-            QueryGraph::new(labels, edges, &[]).unwrap_err(),
-            QueryError::Disconnected
-        );
+        assert_eq!(QueryGraph::new(labels, edges, &[]).unwrap_err(), QueryError::Disconnected);
     }
 
     #[test]
@@ -494,10 +467,7 @@ mod tests {
 
     #[test]
     fn empty_query_rejected() {
-        assert_eq!(
-            QueryGraph::new(vec![], vec![], &[]).unwrap_err(),
-            QueryError::Empty
-        );
+        assert_eq!(QueryGraph::new(vec![], vec![], &[]).unwrap_err(), QueryError::Empty);
     }
 
     #[test]

@@ -22,6 +22,19 @@ pub enum Dir {
     In,
 }
 
+/// Where one edge sits inside the adjacency and signature lists, so
+/// removal is an O(1) swap-remove instead of an O(degree)/O(bucket)
+/// `Vec::retain` (hub vertices made the latter quadratic under expiry).
+#[derive(Clone, Copy, Debug, Default)]
+struct EdgePos {
+    /// Index in `adj[src]`.
+    src_pos: u32,
+    /// Index in `adj[dst]` (unused for self-loops, which are indexed once).
+    dst_pos: u32,
+    /// Index in `by_signature[signature]`.
+    sig_pos: u32,
+}
+
 /// A mutable snapshot of the live window contents with adjacency and
 /// label indexes.
 #[derive(Clone, Debug, Default)]
@@ -31,6 +44,8 @@ pub struct Snapshot {
     adj: HashMap<VertexId, Vec<(EdgeId, Dir)>>,
     /// (src label, dst label, edge label) → live edge ids.
     by_signature: HashMap<(VLabel, VLabel, ELabel), Vec<EdgeId>>,
+    /// Per-edge list positions maintained across swap-removes.
+    pos: HashMap<EdgeId, EdgePos>,
 }
 
 impl Snapshot {
@@ -56,31 +71,58 @@ impl Snapshot {
     pub fn insert(&mut self, e: StreamEdge) {
         let prev = self.edges.insert(e.id, e);
         assert!(prev.is_none(), "duplicate edge id {:?}", e.id);
-        self.adj.entry(e.src).or_default().push((e.id, Dir::Out));
-        if e.dst != e.src {
-            self.adj.entry(e.dst).or_default().push((e.id, Dir::In));
-        }
-        self.by_signature.entry(e.signature()).or_default().push(e.id);
+        let src_list = self.adj.entry(e.src).or_default();
+        let src_pos = src_list.len() as u32;
+        src_list.push((e.id, Dir::Out));
+        let dst_pos = if e.dst != e.src {
+            let dst_list = self.adj.entry(e.dst).or_default();
+            let p = dst_list.len() as u32;
+            dst_list.push((e.id, Dir::In));
+            p
+        } else {
+            0
+        };
+        let sig_list = self.by_signature.entry(e.signature()).or_default();
+        let sig_pos = sig_list.len() as u32;
+        sig_list.push(e.id);
+        self.pos.insert(e.id, EdgePos { src_pos, dst_pos, sig_pos });
     }
 
-    /// Removes an expired edge; no-op if absent.
+    /// Swap-removes position `p` of vertex `v`'s adjacency list, patching
+    /// the moved entry's stored position.
+    fn remove_adj_at(&mut self, v: VertexId, p: u32) {
+        let list = self.adj.get_mut(&v).expect("indexed vertex has a list");
+        list.swap_remove(p as usize);
+        if let Some(&(moved, dir)) = list.get(p as usize) {
+            let mp = self.pos.get_mut(&moved).expect("live edge has positions");
+            match dir {
+                Dir::Out => mp.src_pos = p,
+                Dir::In => mp.dst_pos = p,
+            }
+        }
+        if list.is_empty() {
+            self.adj.remove(&v);
+        }
+    }
+
+    /// Removes an expired edge in O(1) per index; no-op if absent.
     pub fn remove(&mut self, id: EdgeId) {
         let Some(e) = self.edges.remove(&id) else {
             return;
         };
-        for v in [e.src, e.dst] {
-            if let Some(list) = self.adj.get_mut(&v) {
-                list.retain(|&(eid, _)| eid != id);
-                if list.is_empty() {
-                    self.adj.remove(&v);
-                }
-            }
+        let pos = self.pos.remove(&id).expect("live edge has positions");
+        self.remove_adj_at(e.src, pos.src_pos);
+        if e.dst != e.src {
+            self.remove_adj_at(e.dst, pos.dst_pos);
         }
-        if let Some(list) = self.by_signature.get_mut(&e.signature()) {
-            list.retain(|&eid| eid != id);
-            if list.is_empty() {
-                self.by_signature.remove(&e.signature());
-            }
+        let sig = e.signature();
+        let list = self.by_signature.get_mut(&sig).expect("indexed signature has a list");
+        list.swap_remove(pos.sig_pos as usize);
+        if let Some(&moved) = list.get(pos.sig_pos as usize) {
+            self.pos.get_mut(&moved).expect("live edge has positions").sig_pos = pos.sig_pos;
+        }
+        if list.is_empty() {
+            self.by_signature.remove(&sig);
         }
     }
 
@@ -122,8 +164,8 @@ impl Snapshot {
             for &(eid, _) in self.incident(u) {
                 let e = self.edges[&eid];
                 let other = if e.src == u { e.dst } else { e.src };
-                if !dist.contains_key(&other) {
-                    dist.insert(other, d + 1);
+                if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(other) {
+                    slot.insert(d + 1);
                     queue.push_back(other);
                 }
             }
@@ -156,7 +198,8 @@ impl Snapshot {
             .values()
             .map(|v| size_of::<(VLabel, VLabel, ELabel)>() + v.capacity() * size_of::<EdgeId>())
             .sum();
-        edge_bytes + adj_bytes + sig_bytes
+        let pos_bytes = self.pos.len() * (size_of::<EdgeId>() + size_of::<EdgePos>());
+        edge_bytes + adj_bytes + sig_bytes + pos_bytes
     }
 }
 
@@ -221,6 +264,41 @@ mod tests {
         assert_eq!(area2, HashSet::from([EdgeId(1), EdgeId(2)]));
         let all = s.k_hop_edges(&[VertexId(1)], 10);
         assert_eq!(all.len(), 4, "far component never reached");
+    }
+
+    #[test]
+    fn swap_remove_positions_survive_heavy_churn() {
+        // Hub vertex 0 with many incident edges removed in adversarial
+        // (middle-first) order: every removal swap-removes and must patch
+        // the moved entry's stored position, or later removals corrupt
+        // the lists.
+        let mut s = Snapshot::new();
+        let n = 200u64;
+        for i in 0..n {
+            s.insert(edge(i, 0, 1 + i as u32, i));
+        }
+        assert_eq!(s.incident(VertexId(0)).len(), n as usize);
+        // Remove odds, then the rest in reverse, interleaving re-inserts.
+        for i in (1..n).step_by(2) {
+            s.remove(EdgeId(i));
+        }
+        let evens: Vec<u64> = (0..n).step_by(2).collect();
+        for &i in evens.iter().rev() {
+            s.remove(EdgeId(i));
+            s.insert(edge(1000 + i, 0, 1 + i as u32, 1000 + i));
+        }
+        assert_eq!(s.incident(VertexId(0)).len(), (n / 2) as usize);
+        // Every surviving edge is still reachable through both indexes.
+        for i in (0..n).step_by(2) {
+            let id = EdgeId(1000 + i);
+            let e = *s.edge(id).expect("reinserted edge is live");
+            assert!(s.incident(e.src).iter().any(|&(x, _)| x == id));
+            assert!(s.incident(e.dst).iter().any(|&(x, _)| x == id));
+            assert!(s.with_signature(e.signature()).contains(&id));
+            s.remove(id);
+        }
+        assert_eq!(s.n_edges(), 0);
+        assert_eq!(s.n_vertices(), 0);
     }
 
     #[test]

@@ -36,11 +36,7 @@ impl SlidingWindow {
     /// edge at the instant it arrives.
     pub fn new(duration: u64) -> Self {
         assert!(duration > 0, "window duration must be positive");
-        SlidingWindow {
-            duration,
-            buffer: VecDeque::new(),
-            last_ts: None,
-        }
+        SlidingWindow { duration, buffer: VecDeque::new(), last_ts: None }
     }
 
     /// The window duration `|W|`.
@@ -142,10 +138,7 @@ mod tests {
         }
         let ev = w.advance(edge(4, 100));
         assert_eq!(ev.expired.len(), 3);
-        assert_eq!(
-            ev.expired.iter().map(|e| e.ts.0).collect::<Vec<_>>(),
-            vec![1, 2, 3]
-        );
+        assert_eq!(ev.expired.iter().map(|e| e.ts.0).collect::<Vec<_>>(), vec![1, 2, 3]);
         assert_eq!(w.len(), 1);
     }
 

@@ -194,11 +194,8 @@ impl<'a> SearchState<'a> {
 
     fn unbind(&mut self, qv: usize) {
         let dv = self.fwd[qv].take().expect("unbind of unbound vertex");
-        let pos = self
-            .bwd
-            .iter()
-            .rposition(|&(v, q)| v == dv && q == qv)
-            .expect("binding recorded");
+        let pos =
+            self.bwd.iter().rposition(|&(v, q)| v == dv && q == qv).expect("binding recorded");
         self.bwd.remove(pos);
     }
 }
@@ -275,8 +272,7 @@ mod tests {
     fn must_contain_filters() {
         let snap = snapshot_of(&triangle_data());
         let q = triangle_query();
-        let mut opts = MatchOptions::default();
-        opts.must_contain = Some(EdgeId(4));
+        let mut opts = MatchOptions { must_contain: Some(EdgeId(4)), ..Default::default() };
         assert!(enumerate_matches(&snap, &q, Strategy::QuickSi, &opts).is_empty());
         opts.must_contain = Some(EdgeId(2));
         assert_eq!(enumerate_matches(&snap, &q, Strategy::QuickSi, &opts).len(), 1);
@@ -286,8 +282,10 @@ mod tests {
     fn restrict_to_hides_edges() {
         let snap = snapshot_of(&triangle_data());
         let q = triangle_query();
-        let mut opts = MatchOptions::default();
-        opts.restrict_to = Some([EdgeId(1), EdgeId(2)].into_iter().collect());
+        let opts = MatchOptions {
+            restrict_to: Some([EdgeId(1), EdgeId(2)].into_iter().collect()),
+            ..Default::default()
+        };
         assert!(enumerate_matches(&snap, &q, Strategy::QuickSi, &opts).is_empty());
     }
 
@@ -299,9 +297,8 @@ mod tests {
             &[],
         )
         .unwrap();
-        let edges: Vec<StreamEdge> = (0..10)
-            .map(|i| StreamEdge::new(i, 10 + i as u32, 0, 50, 1, 0, i + 1))
-            .collect();
+        let edges: Vec<StreamEdge> =
+            (0..10).map(|i| StreamEdge::new(i, 10 + i as u32, 0, 50, 1, 0, i + 1)).collect();
         let snap = snapshot_of(&edges);
         let opts = MatchOptions { limit: 3, ..Default::default() };
         assert_eq!(enumerate_matches(&snap, &q, Strategy::TurboIso, &opts).len(), 3);
@@ -326,8 +323,9 @@ mod tests {
             StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
             StreamEdge::new(2, 10, 0, 11, 1, 0, 2),
         ]);
-        assert!(enumerate_matches(&snap, &q, Strategy::QuickSi, &MatchOptions::default())
-            .is_empty());
+        assert!(
+            enumerate_matches(&snap, &q, Strategy::QuickSi, &MatchOptions::default()).is_empty()
+        );
         let snap2 = snapshot_of(&[
             StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
             StreamEdge::new(2, 10, 0, 12, 1, 0, 2),

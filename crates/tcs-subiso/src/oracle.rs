@@ -22,10 +22,7 @@ pub struct SnapshotOracle {
 impl SnapshotOracle {
     /// Creates the oracle for a query.
     pub fn new(query: QueryGraph) -> Self {
-        SnapshotOracle {
-            query,
-            snap: Snapshot::new(),
-        }
+        SnapshotOracle { query, snap: Snapshot::new() }
     }
 
     /// Read access to the maintained snapshot.
@@ -40,15 +37,10 @@ impl SnapshotOracle {
             self.snap.remove(e.id);
         }
         self.snap.insert(ev.arrival);
-        let opts = MatchOptions {
-            must_contain: Some(ev.arrival.id),
-            ..Default::default()
-        };
+        let opts = MatchOptions { must_contain: Some(ev.arrival.id), ..Default::default() };
         let all = enumerate_matches(&self.snap, &self.query, Strategy::QuickSi, &opts);
         let mut out = filter_timing(&self.query, all, &self.snap);
-        debug_assert!(out
-            .iter()
-            .all(|m| m.verify(&self.query, |id| self.snap.edge(id)).is_ok()));
+        debug_assert!(out.iter().all(|m| m.verify(&self.query, |id| self.snap.edge(id)).is_ok()));
         out.sort();
         out
     }
@@ -56,12 +48,8 @@ impl SnapshotOracle {
     /// Every current match of the query in the live window (not just new
     /// ones), sorted.
     pub fn all_matches(&self) -> Vec<MatchRecord> {
-        let all = enumerate_matches(
-            &self.snap,
-            &self.query,
-            Strategy::QuickSi,
-            &MatchOptions::default(),
-        );
+        let all =
+            enumerate_matches(&self.snap, &self.query, Strategy::QuickSi, &MatchOptions::default());
         let mut out = filter_timing(&self.query, all, &self.snap);
         out.sort();
         out

@@ -126,12 +126,11 @@ fn prefix_connected_order(q: &QueryGraph, scores: &[f64]) -> Vec<usize> {
             if chosen[e] {
                 continue;
             }
-            let connected =
-                step == 0 || order.iter().any(|&o| q.edges_adjacent(o, e));
+            let connected = step == 0 || order.iter().any(|&o| q.edges_adjacent(o, e));
             if !connected {
                 continue;
             }
-            if best.map_or(true, |b| scores[e] < scores[b]) {
+            if best.is_none_or(|b| scores[e] < scores[b]) {
                 best = Some(e);
             }
         }
@@ -154,14 +153,10 @@ fn neighbourhood_covers(
     let mut need: HashMap<(bool, tcs_graph::VLabel, tcs_graph::ELabel), usize> = HashMap::new();
     for e in &q.edges {
         if e.src == qv {
-            *need
-                .entry((true, q.vertex_labels[e.dst], e.label))
-                .or_default() += 1;
+            *need.entry((true, q.vertex_labels[e.dst], e.label)).or_default() += 1;
         }
         if e.dst == qv {
-            *need
-                .entry((false, q.vertex_labels[e.src], e.label))
-                .or_default() += 1;
+            *need.entry((false, q.vertex_labels[e.src], e.label)).or_default() += 1;
         }
     }
     let mut have: HashMap<(bool, tcs_graph::VLabel, tcs_graph::ELabel), usize> = HashMap::new();

@@ -16,18 +16,12 @@ use tcs_graph::{MatchRecord, QueryGraph};
 /// record).
 pub fn satisfies_timing(q: &QueryGraph, rec: &MatchRecord, snap: &Snapshot) -> bool {
     for j in 0..q.n_edges() {
-        let tj = snap
-            .edge(rec.edge(j))
-            .expect("record references live edges")
-            .ts;
+        let tj = snap.edge(rec.edge(j)).expect("record references live edges").ts;
         let mut preds = q.order.before_mask(j);
         while preds != 0 {
             let i = preds.trailing_zeros() as usize;
             preds &= preds - 1;
-            let ti = snap
-                .edge(rec.edge(i))
-                .expect("record references live edges")
-                .ts;
+            let ti = snap.edge(rec.edge(i)).expect("record references live edges").ts;
             if ti >= tj {
                 return false;
             }
@@ -38,9 +32,7 @@ pub fn satisfies_timing(q: &QueryGraph, rec: &MatchRecord, snap: &Snapshot) -> b
 
 /// Retains only the records passing the timing filter.
 pub fn filter_timing(q: &QueryGraph, recs: Vec<MatchRecord>, snap: &Snapshot) -> Vec<MatchRecord> {
-    recs.into_iter()
-        .filter(|r| satisfies_timing(q, r, snap))
-        .collect()
+    recs.into_iter().filter(|r| satisfies_timing(q, r, snap)).collect()
 }
 
 #[cfg(test)]
@@ -48,7 +40,7 @@ mod tests {
     use super::*;
     use crate::matcher::snapshot_of;
     use tcs_graph::query::QueryEdge;
-    use tcs_graph::{EdgeId, ELabel, StreamEdge, VLabel};
+    use tcs_graph::{ELabel, EdgeId, StreamEdge, VLabel};
 
     fn q() -> QueryGraph {
         QueryGraph::new(

@@ -14,10 +14,7 @@ fn main() {
     let window = 10_000u64;
     let stream = Dataset::NetworkFlow.generate(40_000, 11);
     let gen = QueryGen::new(&stream, 10_000);
-    let query = gen
-        .generate_many(10, TimingMode::Random, 1, 5)
-        .pop()
-        .expect("query generated");
+    let query = gen.generate_many(10, TimingMode::Random, 1, 5).pop().expect("query generated");
     println!(
         "query: {} edges, k = {}",
         query.n_edges(),

@@ -55,31 +55,27 @@ fn main() {
     // payment) and ordinary transfers between accounts.
     let mut edges: Vec<StreamEdge> = Vec::new();
     let mut id = 0u64;
-    let mut push = |edges: &mut Vec<StreamEdge>,
-                    src: u32,
-                    sl: VLabel,
-                    dst: u32,
-                    dl: VLabel,
-                    label: ELabel| {
-        let ts = edges.len() as u64 + 1;
-        edges.push(StreamEdge {
-            id: timingsubg::graph::EdgeId(id),
-            src: timingsubg::graph::VertexId(src),
-            dst: timingsubg::graph::VertexId(dst),
-            src_label: sl,
-            dst_label: dl,
-            label,
-            ts: timingsubg::graph::Timestamp(ts),
-        });
-        id += 1;
-    };
+    let mut push =
+        |edges: &mut Vec<StreamEdge>, src: u32, sl: VLabel, dst: u32, dl: VLabel, label: ELabel| {
+            let ts = edges.len() as u64 + 1;
+            edges.push(StreamEdge {
+                id: timingsubg::graph::EdgeId(id),
+                src: timingsubg::graph::VertexId(src),
+                dst: timingsubg::graph::VertexId(dst),
+                src_label: sl,
+                dst_label: dl,
+                label,
+                ts: timingsubg::graph::Timestamp(ts),
+            });
+            id += 1;
+        };
 
     const N: usize = 60_000;
     let fraud_at = N / 2;
     let (criminal, mule, shop) = (account(0), account(1), merchant(0));
     let mut fraud_step = 0;
     for i in 0..N + 16 {
-        if i >= fraud_at && fraud_step < 4 && (i - fraud_at) % 4 == 0 {
+        if i >= fraud_at && fraud_step < 4 && (i - fraud_at).is_multiple_of(4) {
             match fraud_step {
                 0 => push(&mut edges, criminal, ACCOUNT, shop, MERCHANT, CREDIT_PAY),
                 1 => push(&mut edges, bank, BANK, shop, MERCHANT, REAL_PAYMENT),

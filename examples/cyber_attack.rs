@@ -17,10 +17,7 @@ fn main() {
     // Synthetic traffic with one planted attack (DESIGN.md §3 records the
     // substitution for the paper's internal capture).
     let (stream, query, planted_at) = case_study::build_sized(7, 40_000, 10_000);
-    println!(
-        "traffic: {} flows over ~10k hosts; monitoring the Figure-1 pattern",
-        stream.len()
-    );
+    println!("traffic: {} flows over ~10k hosts; monitoring the Figure-1 pattern", stream.len());
     println!(
         "query: {} edges, timing order is a full chain (k = {})",
         query.n_edges(),

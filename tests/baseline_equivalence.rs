@@ -77,10 +77,7 @@ fn incmat_equals_oracle_for_every_strategy() {
                     let mut got: Vec<MatchRecord> = inc.advance(&w2.advance(e));
                     got.sort();
                     got.dedup();
-                    assert_eq!(
-                        got, expected,
-                        "incmat {strategy:?} seed={seed} tick={tick}"
-                    );
+                    assert_eq!(got, expected, "incmat {strategy:?} seed={seed} tick={tick}");
                 }
             }
         }

@@ -66,10 +66,10 @@ fn consistency_under_heavy_expiry() {
 fn consistency_with_multi_position_edges() {
     // Queries whose edges share signatures (single label) make one arrival
     // match several query edges — several lock groups per transaction.
-    use tcs_graph::query::QueryEdge;
-    use tcs_graph::{ELabel, VLabel};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::{ELabel, VLabel};
     let mut rng = SmallRng::seed_from_u64(5);
     let stream: Vec<StreamEdge> = (0..500)
         .map(|i| {

@@ -25,11 +25,7 @@ fn assert_engine_matches_oracle<S: tcs_core::MatchStore>(
         let expected = oracle.advance(&w1.advance(e));
         let mut got: Vec<MatchRecord> = engine.advance(&w2.advance(e));
         got.sort();
-        assert_eq!(
-            got, expected,
-            "{label}: divergence at tick {tick} (edge {:?})",
-            e.id
-        );
+        assert_eq!(got, expected, "{label}: divergence at tick {tick} (edge {:?})", e.id);
     }
 }
 

@@ -8,7 +8,7 @@ use tcs_core::decompose::{decompose, is_timing_sequence, tc_subqueries};
 use tcs_core::joinorder::{is_prefix_connected, order_by_joint_number};
 use tcs_core::plan::{PlanOptions, QueryPlan};
 use tcs_core::{IndependentStore, MsTreeStore, TimingEngine};
-use tcs_graph::query::{QueryEdge, TimingOrder};
+use tcs_graph::query::QueryEdge;
 use tcs_graph::window::SlidingWindow;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
 use tcs_subiso::SnapshotOracle;
@@ -105,11 +105,11 @@ proptest! {
     fn plan_positions_are_a_bijection(q in arb_query()) {
         let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
         let mut seen = vec![false; q.n_edges()];
-        for e in 0..q.n_edges() {
+        for (e, seen_e) in seen.iter_mut().enumerate() {
             let (s, l) = plan.pos[e];
             prop_assert_eq!(plan.subs[s].seq[l], e);
-            prop_assert!(!seen[e]);
-            seen[e] = true;
+            prop_assert!(!*seen_e);
+            *seen_e = true;
         }
     }
 }
@@ -193,6 +193,82 @@ proptest! {
                 prop_assert_eq!(m.verify(&q, |id| snap.edge(id)), Ok(()));
             }
         }
+    }
+}
+
+/// Random hub-heavy streams: endpoints drawn from a Zipf distribution so
+/// a few hub vertices concentrate most edges — the workload where the
+/// hash-indexed expansion lists matter (one hot bucket per hub) and where
+/// an index-coherence bug would surface as a wrong match stream.
+fn arb_zipf_stream() -> impl Strategy<Value = Vec<StreamEdge>> {
+    (40usize..100, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use tcs_graph::gen::Zipf;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let zipf = Zipf::new(12, 1.4);
+        (0..n)
+            .map(|i| {
+                let src = zipf.sample(&mut rng) as u32;
+                let mut dst = zipf.sample(&mut rng) as u32;
+                while dst == src {
+                    dst = rng.gen_range(0..12u32);
+                }
+                StreamEdge::new(
+                    i as u64,
+                    src,
+                    (src % 3) as u16,
+                    dst,
+                    (dst % 3) as u16,
+                    0,
+                    i as u64 + 1,
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant of the join-key indexes: the indexed
+    /// (probing) engine emits the exact same match stream as the naive
+    /// subiso oracle on hub-heavy Zipf streams, tick by tick, and its
+    /// counters are identical to the full-scan reference path — the index
+    /// must be semantically invisible.
+    #[test]
+    fn indexed_engine_equals_oracle_on_zipf_streams(
+        stream in arb_zipf_stream(),
+        q in arb_query(),
+        window in 10u64..50,
+    ) {
+        use tcs_core::engine::JoinMode;
+        let mut oracle = SnapshotOracle::new(q.clone());
+        let mut probe: TimingEngine<MsTreeStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut scan: TimingEngine<MsTreeStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        scan.set_join_mode(JoinMode::Scan);
+        let mut ind: TimingEngine<IndependentStore> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut w0 = SlidingWindow::new(window);
+        let mut w1 = SlidingWindow::new(window);
+        let mut w2 = SlidingWindow::new(window);
+        let mut w3 = SlidingWindow::new(window);
+        for &e in &stream {
+            let expected = oracle.advance(&w0.advance(e));
+            let mut got = probe.advance(&w1.advance(e));
+            got.sort();
+            prop_assert_eq!(&got, &expected, "probe vs oracle at tick {}", e.ts);
+            let mut ref_scan = scan.advance(&w2.advance(e));
+            ref_scan.sort();
+            prop_assert_eq!(&got, &ref_scan, "probe vs scan at tick {}", e.ts);
+            let mut ind_got = ind.advance(&w3.advance(e));
+            ind_got.sort();
+            prop_assert_eq!(&ind_got, &expected, "independent probe vs oracle at tick {}", e.ts);
+        }
+        prop_assert_eq!(probe.stats(), scan.stats(), "probe and scan counters diverged");
+        prop_assert_eq!(probe.live_match_count(), oracle.all_matches().len());
     }
 }
 

@@ -76,8 +76,12 @@ fn partial_prefix_expiry_prunes_descendants_only() {
     eng.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 1)));
     eng.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2)));
     let m = eng.advance(&w.advance(StreamEdge::new(3, 11, 1, 13, 2, 0, 3)));
-    assert_eq!(m.len(), 2, "two (c,d) assignments: (12,13) and (13,12)? \
-        no — ε1→e2/ε2→e3 and ε1→e3/ε2→e2, both valid: {m:?}");
+    assert_eq!(
+        m.len(),
+        2,
+        "two (c,d) assignments: (12,13) and (13,12)? \
+        no — ε1→e2/ε2→e3 and ε1→e3/ε2→e2, both valid: {m:?}"
+    );
 }
 
 #[test]

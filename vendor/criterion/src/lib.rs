@@ -1,0 +1,159 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion) (see
+//! `vendor/README.md`): the API shape the workspace's benches use —
+//! groups, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!` — backed by a simple wall-clock
+//! loop (warm-up, then timed batches until a budget elapses) that prints
+//! `<group>/<id> ... <ns>/iter` lines. No statistics, plots, or saved
+//! baselines; it exists so `cargo bench` runs and relative comparisons
+//! (e.g. probe vs scan) are meaningful.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { budget: Duration::from_millis(300) }
+    }
+}
+
+/// A named parameterized benchmark id, rendered `function/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new<P: Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    budget: Duration,
+    /// Nanoseconds per iteration, recorded by `iter`.
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the mean wall-clock nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (also primes lazy state).
+        black_box(f());
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+        *self.result_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility no-op (the stub sizes runs by wall-clock budget).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrinks or grows the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d;
+        self
+    }
+
+    fn run_named<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) {
+        let mut ns = f64::NAN;
+        let mut b = Bencher { budget: self.criterion.budget, result_ns: &mut ns };
+        f(&mut b);
+        println!("bench {:<52} {:>14.1} ns/iter", format!("{}/{id}", self.name), ns);
+    }
+
+    /// Runs a benchmark by plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, f: F) {
+        self.run_named(id, f);
+    }
+
+    /// Runs a parameterized benchmark; the closure receives the input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.run_named(&id.name.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (printing is immediate; this is API compatibility).
+    pub fn finish(self) {}
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a single top-level benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) {
+        let mut ns = f64::NAN;
+        let mut b = Bencher { budget: self.budget, result_ns: &mut ns };
+        f(&mut b);
+        println!("bench {id:<52} {ns:>14.1} ns/iter");
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { budget: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("t");
+        let mut ran = false;
+        g.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

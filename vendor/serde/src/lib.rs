@@ -1,0 +1,13 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde): marker traits and
+//! the re-exported no-op derives (see `vendor/README.md`). The workspace
+//! derives `Serialize`/`Deserialize` on its value types but performs all
+//! actual I/O through `tcs-graph::io`'s plain-text format, so empty trait
+//! bodies are enough to keep every derive site source-compatible.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

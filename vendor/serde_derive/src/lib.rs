@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline `serde`
+//! stand-in (see `vendor/README.md`). The workspace only *derives* the
+//! traits on value types to keep them wire-ready; nothing serializes
+//! through serde at run time (I/O is the plain-text format in
+//! `tcs-graph::io`), so empty expansions are sufficient and keep the
+//! derive sites source-compatible with real serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
