@@ -20,12 +20,12 @@ fn bench_store_ops(c: &mut Criterion) {
             |b, &fanout| {
                 b.iter(|| {
                     let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
-                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-                    let p = s.insert_sub(0, 1, a, EdgeId(2), 0);
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+                    let p = s.insert_sub(0, 1, a, EdgeId(2), 2, 0);
                     for x in 0..fanout as u64 {
-                        s.insert_sub(0, 2, p, EdgeId(10 + x), 0);
+                        s.insert_sub(0, 2, p, EdgeId(10 + x), 10 + x, 0);
                     }
-                    s.expire_edge(EdgeId(1), &[(0, 0)])
+                    s.expire_edge(EdgeId(1), 1, &[(0, 0)])
                 });
             },
         );
@@ -35,12 +35,12 @@ fn bench_store_ops(c: &mut Criterion) {
             |b, &fanout| {
                 b.iter(|| {
                     let mut s = IndependentStore::new(StoreLayout { sub_lens: vec![3] });
-                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-                    let p = s.insert_sub(0, 1, a, EdgeId(2), 0);
+                    let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+                    let p = s.insert_sub(0, 1, a, EdgeId(2), 2, 0);
                     for x in 0..fanout as u64 {
-                        s.insert_sub(0, 2, p, EdgeId(10 + x), 0);
+                        s.insert_sub(0, 2, p, EdgeId(10 + x), 10 + x, 0);
                     }
-                    s.expire_edge(EdgeId(1), &[(0, 0)])
+                    s.expire_edge(EdgeId(1), 1, &[(0, 0)])
                 });
             },
         );
@@ -108,7 +108,7 @@ fn bench_generators(c: &mut Criterion) {
 /// BENCH_join.json — the acceptance bar is ≥ 5× insert throughput at
 /// fan-out 512).
 fn bench_join_probe(c: &mut Criterion) {
-    use tcs_bench::hub::{hub_arrival, hub_engine};
+    use tcs_bench::hub::{hub_arrival, hub_engine, skew_arrival, skew_engine, skew_seed_edges};
     let mut g = c.benchmark_group("join_probe");
     for fanout in [64usize, 512] {
         for (id_str, mode) in [("probe_insert", JoinMode::Probe), ("scan_insert", JoinMode::Scan)] {
@@ -118,6 +118,22 @@ fn bench_join_probe(c: &mut Criterion) {
                 b.iter(|| {
                     id += 1;
                     eng.insert(hub_arrival(fanout, id))
+                });
+            });
+        }
+        // The early-exit variant: a skewed-timestamp hub bucket where only
+        // the 8 newest rows can satisfy the cross-subquery ≺ floor —
+        // Probe binary-searches past the stale prefix, ProbeAll (plain
+        // keyed probing) expands and rejects it per row.
+        for (id_str, mode) in
+            [("skew_early_exit_insert", JoinMode::Probe), ("skew_keyed_insert", JoinMode::ProbeAll)]
+        {
+            g.bench_with_input(BenchmarkId::new(id_str, fanout), &fanout, |b, &fanout| {
+                let mut eng = skew_engine(fanout, 8.min(fanout), mode);
+                let mut id = skew_seed_edges(fanout);
+                b.iter(|| {
+                    id += 1;
+                    eng.insert(skew_arrival(fanout, id))
                 });
             });
         }

@@ -544,13 +544,13 @@ pub fn ablation_cost_model(scale: &Scale) {
 /// joins each arrival. Emits the speedup trajectory as `BENCH_join.json`
 /// so future PRs can track regressions.
 pub fn join_probe(scale: &Scale) {
-    use crate::hub::{hub_arrival, hub_engine};
+    use crate::hub::{hub_arrival, hub_engine, skew_arrival, skew_engine, skew_seed_edges};
     use std::time::{Duration, Instant};
     use tcs_core::JoinMode;
 
+    let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
     let run = |fanout: usize, mode: JoinMode| -> f64 {
         let mut eng = hub_engine(fanout, mode);
-        let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
         let start = Instant::now();
         let mut n = 0u64;
         let mut id = fanout as u64;
@@ -561,6 +561,28 @@ pub fn join_probe(scale: &Scale) {
                 n += 1;
             }
             if start.elapsed() >= budget || n >= 1_500_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+    // The early-exit variant: skewed-timestamp hub bucket where only the
+    // `valid` newest rows can pass the cross-subquery ≺ floor. Probe
+    // binary-searches past the stale prefix; ProbeAll (plain keyed
+    // probing, the PR-1 baseline) expands and rejects it row by row.
+    let run_skew = |fanout: usize, mode: JoinMode| -> f64 {
+        let valid = 8usize.min(fanout);
+        let mut eng = skew_engine(fanout, valid, mode);
+        let start = Instant::now();
+        let mut n = 0u64;
+        let mut id = skew_seed_edges(fanout);
+        'outer: loop {
+            for _ in 0..64 {
+                id += 1;
+                eng.insert(skew_arrival(fanout, id));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 400_000 {
                 break 'outer;
             }
         }
@@ -585,6 +607,24 @@ pub fn join_probe(scale: &Scale) {
     }
     t.emit("join_probe");
 
+    let mut ts = Table::new(
+        "join_probe/skew: early-exit (Probe) vs plain keyed (ProbeAll) on the skewed-ts hub",
+        &["fanout", "early-exit-edges/s", "keyed-edges/s", "speedup"],
+    );
+    let mut skew_rows = Vec::new();
+    for &fanout in &[64usize, 512] {
+        let early = run_skew(fanout, JoinMode::Probe);
+        let keyed = run_skew(fanout, JoinMode::ProbeAll);
+        ts.row(vec![
+            fanout.to_string(),
+            fmt_throughput(early),
+            fmt_throughput(keyed),
+            format!("{:.1}x", early / keyed),
+        ]);
+        skew_rows.push((fanout, early, keyed));
+    }
+    ts.emit("join_probe_skew");
+
     // Machine-readable trajectory (no serde in this workspace's offline
     // build — the JSON is assembled by hand).
     let mut json = String::from(
@@ -598,6 +638,17 @@ pub fn join_probe(scale: &Scale) {
             scan,
             probe / scan,
             if idx + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"skew_rows\": [\n");
+    for (idx, (fanout, early, keyed)) in skew_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fanout\": {}, \"early_exit\": {:.0}, \"keyed\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            fanout,
+            early,
+            keyed,
+            early / keyed,
+            if idx + 1 < skew_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

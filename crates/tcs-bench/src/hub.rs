@@ -1,12 +1,20 @@
-//! The shared hub fan-out workload behind the `join_probe` measurements.
+//! The shared hub fan-out workloads behind the `join_probe` measurements.
 //!
 //! Both the Criterion `join_probe` group (`benches/microbench.rs`) and the
-//! `repro join` experiment (which feeds the CI speedup gate through
-//! `BENCH_join.json`) must measure the *same* workload, so it lives here
-//! once: a timed 2-path query, `fanout` level-0 prefixes parked on
-//! distinct hub vertices, and an arrival stream where each edge joins
-//! exactly one prefix — the scan baseline still compatibility-checks all
-//! `fanout` of them, the keyed probe visits one bucket.
+//! `repro join` experiment (which feeds the CI speedup gates through
+//! `BENCH_join.json`) must measure the *same* workloads, so they live here
+//! once:
+//!
+//! * the **keyed-probe** workload ([`hub_query`] / [`hub_engine`] /
+//!   [`hub_arrival`]): a timed 2-path query, `fanout` level-0 prefixes
+//!   parked on distinct hub vertices, and an arrival stream where each
+//!   edge joins exactly one prefix — the scan baseline still
+//!   compatibility-checks all `fanout` of them, the keyed probe visits
+//!   one bucket;
+//! * the **early-exit** workload ([`skew_query`] / [`skew_engine`] /
+//!   [`skew_arrival`]): one shared hub bucket with skewed timestamps,
+//!   where the ordered-bucket binary search skips the stale prefix that
+//!   plain keyed probing must expand and reject per row.
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
 use tcs_core::{JoinMode, MsTreeStore, TimingEngine};
@@ -48,9 +56,122 @@ pub fn hub_arrival(fanout: usize, id: u64) -> StreamEdge {
     StreamEdge::new(id, 10_000 + j, 1, 1_000_000 + id as u32, 2, 0, id + 1)
 }
 
+/// The skewed-timestamp workload behind the `join_probe` *early-exit*
+/// measurements: a 4-edge query decomposing into `Q¹ = {ε0: a→b ≺ ε1:
+/// b→c}` and `Q² = {ε2: d→a ≺ ε3: d→e}` with the cross-subquery
+/// constraint `ε2 ≺ ε1`. All `fanout` complete `Q¹` rows share the hub
+/// vertex `a` — one `L₀⁰` bucket — but only the `valid` newest postdate
+/// the pre-seeded σ2, so [`tcs_core::JoinMode::Probe`] binary-searches
+/// past `fanout − valid` rows that plain keyed probing
+/// ([`tcs_core::JoinMode::ProbeAll`]) must expand and reject one by one.
+pub fn skew_query() -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(0), VLabel(1), VLabel(2), VLabel(3), VLabel(4)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE }, // ε0 a→b
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE }, // ε1 b→c
+            QueryEdge { src: 3, dst: 0, label: ELabel::NONE }, // ε2 d→a
+            QueryEdge { src: 3, dst: 4, label: ELabel::NONE }, // ε3 d→e
+        ],
+        &[(0, 1), (2, 3), (2, 1)],
+    )
+    .expect("valid skew query")
+}
+
+/// The hub vertex every stored row binds `a` to.
+const SKEW_HUB: u32 = 0;
+/// The shared `d` endpoint chaining σ2 to every measured σ3.
+const SKEW_D: u32 = 5_000_000;
+
+/// Seed edges consumed by [`skew_engine`]; measured arrival ids must
+/// start above this.
+pub fn skew_seed_edges(fanout: usize) -> u64 {
+    2 * fanout as u64 + 1
+}
+
+/// An engine pre-seeded with `fanout` complete `Q¹` rows on the hub
+/// bucket, `valid` of them newer than the σ2 the measured arrivals
+/// complete, running under `mode`.
+pub fn skew_engine(fanout: usize, valid: usize, mode: JoinMode) -> TimingEngine<MsTreeStore> {
+    assert!(valid <= fanout && valid >= 1);
+    let mut eng: TimingEngine<MsTreeStore> =
+        TimingEngine::new(QueryPlan::build(skew_query(), PlanOptions::timing()));
+    // The workload banks on this exact plan shape; fail loudly if the
+    // decomposition or join order ever drifts.
+    assert_eq!(eng.plan().k(), 2);
+    assert_eq!(eng.plan().subs[0].seq, vec![0, 1]);
+    assert_eq!(eng.plan().subs[1].seq, vec![2, 3]);
+    assert_eq!(eng.plan().l0_delta_floor_levels[1], vec![0]);
+    eng.set_join_mode(mode);
+    let mut id = 0u64;
+    let row = |eng: &mut TimingEngine<MsTreeStore>, i: usize, id: &mut u64| {
+        let b = 10_000 + i as u32;
+        let c = 2_000_000 + i as u32;
+        *id += 1;
+        eng.insert(StreamEdge::new(*id, SKEW_HUB, 0, b, 1, 0, *id));
+        *id += 1;
+        eng.insert(StreamEdge::new(*id, b, 1, c, 2, 0, *id));
+    };
+    for i in 0..fanout - valid {
+        row(&mut eng, i, &mut id);
+    }
+    // σ2 = d→a: the delta edge the ε2 ≺ ε1 floor is computed from — rows
+    // completed before it can never join.
+    id += 1;
+    eng.insert(StreamEdge::new(id, SKEW_D, 3, SKEW_HUB, 0, 0, id));
+    for i in fanout - valid..fanout {
+        row(&mut eng, i, &mut id);
+    }
+    debug_assert_eq!(id, skew_seed_edges(fanout));
+    eng
+}
+
+/// The `id`-th measured arrival: σ3 = d→e completes the delta {σ2, σ3}
+/// and probes the hub bucket of `fanout` rows, of which exactly the
+/// `valid` newest pass the ε2 ≺ ε1 floor (and the full compatibility
+/// check). `id` must start above [`skew_seed_edges`].
+pub fn skew_arrival(fanout: usize, id: u64) -> StreamEdge {
+    debug_assert!(id > skew_seed_edges(fanout));
+    StreamEdge::new(id, SKEW_D, 3, 6_000_000 + (id % 1_000_000) as u32, 4, 0, id)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skew_arrival_matches_exactly_the_valid_rows() {
+        for mode in [JoinMode::Probe, JoinMode::ProbeAll, JoinMode::Scan] {
+            let mut eng = skew_engine(16, 3, mode);
+            let base = skew_seed_edges(16);
+            for id in base + 1..base + 9 {
+                let matches = eng.insert(skew_arrival(16, id));
+                assert_eq!(matches.len(), 3, "mode {mode:?} id {id}");
+            }
+            assert_eq!(eng.stats().matches_emitted, 24);
+            assert_eq!(eng.live_partials(), eng.store_rows(), "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn skew_modes_emit_identical_streams_and_stats() {
+        let mut probe = skew_engine(12, 4, JoinMode::Probe);
+        let mut probe_all = skew_engine(12, 4, JoinMode::ProbeAll);
+        let mut scan = skew_engine(12, 4, JoinMode::Scan);
+        let base = skew_seed_edges(12);
+        for id in base + 1..base + 20 {
+            let mut a = probe.insert(skew_arrival(12, id));
+            let mut b = probe_all.insert(skew_arrival(12, id));
+            let mut c = scan.insert(skew_arrival(12, id));
+            a.sort();
+            b.sort();
+            c.sort();
+            assert_eq!(a, b, "id {id}");
+            assert_eq!(b, c, "id {id}");
+        }
+        assert_eq!(probe.stats(), probe_all.stats());
+        assert_eq!(probe_all.stats(), scan.stats());
+    }
 
     #[test]
     fn each_arrival_joins_exactly_one_prefix() {

@@ -26,6 +26,19 @@
 //!
 //! All node fields are atomics, so even a protocol bug cannot cause UB —
 //! only (detectable) logical corruption.
+//!
+//! # Ordering
+//!
+//! Item lists and key buckets obey the timestamp-ordered invariant of
+//! `tcs_core::store`'s module docs: nodes carry their match's newest-edge
+//! timestamp, appends are checked nondecreasing (X locks are granted in
+//! dispatch = timestamp order, so insertions arrive sorted even under
+//! concurrency), and [`CmsTree::partial_remove`] punches bucket holes
+//! that it compacts before returning, preserving survivor order. The
+//! concurrent engine relies on it for the binary-searched range probes
+//! ([`CmsTree::for_each_sub_keyed_before`] / `..._from` /
+//! [`CmsTree::for_each_l0_keyed_from`]) and for the oldest-first early
+//! exit of [`CmsTree::payload_matches`] during deletion transactions.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -50,6 +63,10 @@ const STORE: Ordering = Ordering::Release;
 #[derive(Debug)]
 struct Node {
     payload: AtomicU64,
+    /// Timestamp of the match's newest edge — nondecreasing along every
+    /// item list and key bucket (the ordered-bucket invariant; written at
+    /// insert under the owning item's list mutex).
+    ts: AtomicU64,
     parent: AtomicU32,
     first_child: AtomicU32,
     next_sib: AtomicU32,
@@ -59,7 +76,8 @@ struct Node {
     /// Join key the node is filed under; written at insert and read at
     /// removal, both under the owning item's list mutex.
     key: AtomicU64,
-    /// Position in the item's key bucket (mutated under the list mutex).
+    /// Position in the item's key bucket (mutated under the list mutex;
+    /// removals punch a hole there, compacted once per level pass).
     key_pos: AtomicU32,
     dead: AtomicBool,
 }
@@ -68,6 +86,7 @@ impl Default for Node {
     fn default() -> Self {
         Node {
             payload: AtomicU64::new(0),
+            ts: AtomicU64::new(0),
             parent: AtomicU32::new(NIL),
             first_child: AtomicU32::new(NIL),
             next_sib: AtomicU32::new(NIL),
@@ -161,7 +180,7 @@ impl CmsTree {
         &self.chunks[chunk].get().expect("allocated chunk")[off]
     }
 
-    fn alloc(&self, payload: u64, parent: u32) -> u32 {
+    fn alloc(&self, payload: u64, parent: u32, ts: u64) -> u32 {
         let idx = self.free.lock().pop().unwrap_or_else(|| {
             let idx = self.next_free.fetch_add(1, Ordering::AcqRel);
             let chunk = idx as usize / CHUNK;
@@ -173,6 +192,7 @@ impl CmsTree {
         });
         let n = self.node(idx);
         n.payload.store(payload, STORE);
+        n.ts.store(ts, STORE);
         n.parent.store(parent, STORE);
         n.first_child.store(NIL, STORE);
         n.next_sib.store(NIL, STORE);
@@ -184,10 +204,13 @@ impl CmsTree {
     }
 
     /// Inserts a node under `parent` into `item`'s level list and key
-    /// index. Caller must hold X(`item`).
-    fn insert_node(&self, payload: u64, parent: u64, item: usize, key: JoinKey) -> u64 {
+    /// index, checking the timestamp-ordered invariant against the item
+    /// tail and bucket tail. Caller must hold X(`item`); X requests are
+    /// granted in dispatch (= timestamp) order, so appends arrive
+    /// nondecreasing.
+    fn insert_node(&self, payload: u64, parent: u64, item: usize, ts: u64, key: JoinKey) -> u64 {
         let parent_idx = if parent == u64::MAX { NIL } else { parent as u32 };
-        let idx = self.alloc(payload, parent_idx);
+        let idx = self.alloc(payload, parent_idx, ts);
         if parent_idx != NIL {
             // Push-front into the parent's child list. Only transactions
             // holding X(item) touch this parent's child links (children
@@ -199,6 +222,10 @@ impl CmsTree {
             }
         }
         let mut list = self.lists[item].lock();
+        debug_assert!(
+            list.tail == NIL || self.node(list.tail).ts.load(LOAD) <= ts,
+            "item {item} insert violates the timestamp-ordered invariant"
+        );
         if list.tail == NIL {
             list.head = idx;
             list.tail = idx;
@@ -210,27 +237,33 @@ impl CmsTree {
         list.len += 1;
         self.node(idx).key.store(key, STORE);
         let bucket = list.index.entry(key).or_default();
+        debug_assert!(
+            bucket.last().is_none_or(|&t| self.node(t).ts.load(LOAD) <= ts),
+            "bucket insert violates the timestamp-ordered invariant"
+        );
         self.node(idx).key_pos.store(bucket.len() as u32, STORE);
         bucket.push(idx);
         idx as u64
     }
 
-    /// Inserts a subquery match filed under `key`. Caller holds
-    /// X(sub_item(sub, level)).
+    /// Inserts a subquery match filed under `key` with the newest edge's
+    /// timestamp `ts`. Caller holds X(sub_item(sub, level)).
     pub fn insert_sub(
         &self,
         sub: usize,
         level: usize,
         parent: u64,
         edge: EdgeId,
+        ts: u64,
         key: JoinKey,
     ) -> u64 {
-        self.insert_node(edge.0, parent, self.sub_item(sub, level), key)
+        self.insert_node(edge.0, parent, self.sub_item(sub, level), ts, key)
     }
 
-    /// Inserts an `L₀` row filed under `key`. Caller holds X(l0_item(i)).
-    pub fn insert_l0(&self, i: usize, parent: u64, comp: u64, key: JoinKey) -> u64 {
-        self.insert_node(comp, parent, self.l0_item(i), key)
+    /// Inserts an `L₀` row filed under `key` with the completing
+    /// arrival's timestamp `ts`. Caller holds X(l0_item(i)).
+    pub fn insert_l0(&self, i: usize, parent: u64, comp: u64, ts: u64, key: JoinKey) -> u64 {
+        self.insert_node(comp, parent, self.l0_item(i), ts, key)
     }
 
     /// Iterates subquery matches. Caller holds ≥ S(sub_item(sub, level)).
@@ -251,8 +284,33 @@ impl CmsTree {
 
     /// The key bucket of an item, snapshotted under the list mutex. With
     /// the item's S lock held, membership cannot change concurrently.
+    /// Buckets are timestamp-ordered (the ordered-bucket invariant).
     fn bucket_of(&self, item: usize, key: JoinKey) -> Vec<u32> {
         self.lists[item].lock().index.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// The bucket prefix of nodes with `ts < cutoff_ts`: the binary search
+    /// runs under the list mutex (node timestamps are immutable while ≥ S
+    /// is held) so only the surviving range is copied out — the probe
+    /// stays output-sensitive.
+    fn bucket_before(&self, item: usize, key: JoinKey, cutoff_ts: u64) -> Vec<u32> {
+        let list = self.lists[item].lock();
+        let Some(bucket) = list.index.get(&key) else {
+            return Vec::new();
+        };
+        let n = bucket.partition_point(|&idx| self.node(idx).ts.load(LOAD) < cutoff_ts);
+        bucket[..n].to_vec()
+    }
+
+    /// The bucket suffix of nodes with `ts ≥ min_ts` (same copy-only-the-
+    /// range discipline as [`CmsTree::bucket_before`]).
+    fn bucket_from(&self, item: usize, key: JoinKey, min_ts: u64) -> Vec<u32> {
+        let list = self.lists[item].lock();
+        let Some(bucket) = list.index.get(&key) else {
+            return Vec::new();
+        };
+        let n = bucket.partition_point(|&idx| self.node(idx).ts.load(LOAD) < min_ts);
+        bucket[n..].to_vec()
     }
 
     /// Iterates only the subquery matches filed under `key`. Caller holds
@@ -265,8 +323,44 @@ impl CmsTree {
         f: &mut dyn FnMut(u64, &[EdgeId]),
     ) {
         let item = self.sub_item(sub, level);
+        self.emit_sub_nodes(&self.bucket_of(item, key), level, f);
+    }
+
+    /// Iterates only the subquery matches filed under `key` whose newest
+    /// edge is strictly older than `cutoff_ts` — the binary-searched
+    /// prefix of the ordered bucket (the chain join's `last.ts < σ.ts`).
+    /// Caller holds ≥ S(sub_item(sub, level)).
+    pub fn for_each_sub_keyed_before(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        cutoff_ts: u64,
+        f: &mut dyn FnMut(u64, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        self.emit_sub_nodes(&self.bucket_before(item, key, cutoff_ts), level, f);
+    }
+
+    /// Iterates only the subquery matches filed under `key` with
+    /// timestamp `≥ min_ts` — the binary-searched suffix of the ordered
+    /// bucket. Caller holds ≥ S(sub_item(sub, level)).
+    pub fn for_each_sub_keyed_from(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(u64, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        self.emit_sub_nodes(&self.bucket_from(item, key, min_ts), level, f);
+    }
+
+    /// Materializes and emits the root-to-node paths of subquery nodes.
+    fn emit_sub_nodes(&self, nodes: &[u32], level: usize, f: &mut dyn FnMut(u64, &[EdgeId])) {
         let mut buf = vec![EdgeId(0); level + 1];
-        for n in self.bucket_of(item, key) {
+        for &n in nodes {
             let mut cur = n;
             for d in (0..=level).rev() {
                 buf[d] = EdgeId(self.node(cur).payload.load(LOAD));
@@ -297,8 +391,28 @@ impl CmsTree {
     /// ≥ S(l0_item(i)).
     pub fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(u64, &[u64])) {
         let item = self.l0_item(i);
+        self.emit_l0_nodes(&self.bucket_of(item, key), i, f);
+    }
+
+    /// Iterates only the `L₀` rows filed under `key` with completion
+    /// timestamp `≥ min_ts` — the binary-searched suffix of the ordered
+    /// bucket (rows below a cross-subquery constraint floor are skipped
+    /// before expansion). Caller holds ≥ S(l0_item(i)).
+    pub fn for_each_l0_keyed_from(
+        &self,
+        i: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(u64, &[u64]),
+    ) {
+        let item = self.l0_item(i);
+        self.emit_l0_nodes(&self.bucket_from(item, key, min_ts), i, f);
+    }
+
+    /// Materializes and emits `L₀` rows as component handles.
+    fn emit_l0_nodes(&self, nodes: &[u32], i: usize, f: &mut dyn FnMut(u64, &[u64])) {
         let mut comps = vec![0u64; i + 1];
-        for n in self.bucket_of(item, key) {
+        for &n in nodes {
             let mut cur = n;
             for d in (1..=i).rev() {
                 comps[d] = self.node(cur).payload.load(LOAD);
@@ -323,12 +437,21 @@ impl CmsTree {
         out[start..].reverse();
     }
 
-    /// Nodes in `item` whose payload equals `value`. Caller holds X(item).
-    pub fn payload_matches(&self, item: usize, value: u64) -> Vec<u32> {
+    /// Nodes in `item` whose payload equals `value`, where `value` is an
+    /// edge id with arrival timestamp `ts`. The item list is
+    /// timestamp-ordered and a node whose newest edge is `value` carries
+    /// exactly `ts`, so the walk goes oldest-first and stops at the first
+    /// newer entry instead of filtering the whole item. Caller holds
+    /// X(item).
+    pub fn payload_matches(&self, item: usize, value: u64, ts: u64) -> Vec<u32> {
         let mut out = Vec::new();
         let mut n = self.lists[item].lock().head;
         while n != NIL {
+            if self.node(n).ts.load(LOAD) > ts {
+                break;
+            }
             if self.node(n).payload.load(LOAD) == value {
+                debug_assert_eq!(self.node(n).ts.load(LOAD), ts, "one edge, one timestamp");
                 out.push(n);
             }
             n = self.node(n).next.load(LOAD);
@@ -353,11 +476,14 @@ impl CmsTree {
 
     /// Partially removes nodes (§V-C): unlink from the level list and from
     /// the parent's child list; keep payload/parent so older transactions
-    /// can still backtrack. Returns the nodes whose dead flag *this* call
-    /// flipped (concurrent deleters race benignly on shared descendants).
-    /// Caller holds X(`item`).
+    /// can still backtrack. Bucket removals punch holes (a swap-remove
+    /// would break the timestamp order) that are compacted once at the end
+    /// of the call, so survivors keep their relative order. Returns the
+    /// nodes whose dead flag *this* call flipped (concurrent deleters race
+    /// benignly on shared descendants). Caller holds X(`item`).
     pub fn partial_remove(&self, item: usize, nodes: &[u32]) -> Vec<u32> {
         let mut removed = Vec::with_capacity(nodes.len());
+        let mut touched_keys: Vec<JoinKey> = Vec::new();
         for &idx in nodes {
             if self.node(idx).dead.swap(true, Ordering::AcqRel) {
                 continue;
@@ -378,18 +504,13 @@ impl CmsTree {
                 list.tail = prev;
             }
             list.len -= 1;
-            // Key index (same mutex guards the buckets).
+            // Key index (same mutex guards the buckets): punch a hole.
             let key = self.node(idx).key.load(LOAD);
             let pos = self.node(idx).key_pos.load(LOAD) as usize;
             let bucket = list.index.get_mut(&key).expect("indexed node has a bucket");
             debug_assert_eq!(bucket[pos], idx);
-            bucket.swap_remove(pos);
-            if let Some(&moved) = bucket.get(pos) {
-                self.node(moved).key_pos.store(pos as u32, STORE);
-            }
-            if bucket.is_empty() {
-                list.index.remove(&key);
-            }
+            bucket[pos] = NIL;
+            touched_keys.push(key);
             drop(list);
             // Parent's child list (the links live at this item's level).
             let parent = self.node(idx).parent.load(LOAD);
@@ -403,6 +524,25 @@ impl CmsTree {
                 }
                 if next_sib != NIL {
                     self.node(next_sib).prev_sib.store(prev_sib, STORE);
+                }
+            }
+        }
+        // Squeeze the holes out of every touched bucket, re-recording
+        // survivor positions (order — and thus timestamp sortedness — is
+        // preserved). No reader can observe the holes: we hold X(item).
+        if !touched_keys.is_empty() {
+            touched_keys.sort_unstable();
+            touched_keys.dedup();
+            let mut list = self.lists[item].lock();
+            for key in touched_keys {
+                let bucket = list.index.get_mut(&key).expect("touched bucket exists");
+                bucket.retain(|&n| n != NIL);
+                if bucket.is_empty() {
+                    list.index.remove(&key);
+                } else {
+                    for (pos, &n) in bucket.iter().enumerate() {
+                        self.node(n).key_pos.store(pos as u32, STORE);
+                    }
                 }
             }
         }
@@ -449,9 +589,9 @@ mod tests {
     #[test]
     fn serial_roundtrip() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
-        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
-        let c = t.insert_sub(0, 2, b, EdgeId(3), 0);
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        let c = t.insert_sub(0, 2, b, EdgeId(3), 3, 0);
         assert_eq!(t.len_sub(0, 2), 1);
         let mut got = Vec::new();
         t.for_each_sub(0, 2, &mut |h, edges| {
@@ -467,12 +607,12 @@ mod tests {
     #[test]
     fn l0_graft_components() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
-        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
-        let c0 = t.insert_sub(0, 2, b, EdgeId(3), 0);
-        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10), 0);
-        let c1 = t.insert_sub(1, 1, x, EdgeId(11), 0);
-        t.insert_l0(1, c0, c1, 0);
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        let c0 = t.insert_sub(0, 2, b, EdgeId(3), 3, 0);
+        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10), 10, 0);
+        let c1 = t.insert_sub(1, 1, x, EdgeId(11), 11, 0);
+        t.insert_l0(1, c0, c1, 11, 0);
         let mut rows = Vec::new();
         t.for_each_l0(1, &mut |_, comps| rows.push(comps.to_vec()));
         assert_eq!(rows, vec![vec![c0, c1]]);
@@ -481,8 +621,8 @@ mod tests {
     #[test]
     fn partial_remove_keeps_backtracking_alive() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
-        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 2, 0);
         // Partially remove the level-0 node: it leaves the level list but
         // the child keeps its parent pointer and stays expandable — the
         // property Theorem 6 relies on.
@@ -502,13 +642,13 @@ mod tests {
     #[test]
     fn full_delete_pass_and_reclaim() {
         let t = CmsTree::new(layout());
-        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 0);
-        let b = t.insert_sub(0, 1, a, EdgeId(2), 0);
-        t.insert_sub(0, 2, b, EdgeId(3), 0);
-        t.insert_sub(0, 2, b, EdgeId(4), 0);
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        t.insert_sub(0, 2, b, EdgeId(3), 3, 0);
+        t.insert_sub(0, 2, b, EdgeId(4), 4, 0);
         // Level pass for expiring edge 1.
         let mut all = Vec::new();
-        let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 1));
+        let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 1, 1));
         all.extend_from_slice(&l0);
         let l1 = t.partial_remove(t.sub_item(0, 1), &t.children_of(&l0));
         all.extend_from_slice(&l1);
@@ -519,10 +659,10 @@ mod tests {
         t.reclaim(&all);
         // Reuse: allocate 4 nodes without growing the arena.
         let before = t.next_free.load(Ordering::Acquire);
-        let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(9), 0);
-        let b2 = t.insert_sub(0, 1, a2, EdgeId(10), 0);
-        t.insert_sub(0, 2, b2, EdgeId(11), 0);
-        t.insert_sub(0, 2, b2, EdgeId(12), 0);
+        let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(9), 9, 0);
+        let b2 = t.insert_sub(0, 1, a2, EdgeId(10), 10, 0);
+        t.insert_sub(0, 2, b2, EdgeId(11), 11, 0);
+        t.insert_sub(0, 2, b2, EdgeId(12), 12, 0);
         assert_eq!(t.next_free.load(Ordering::Acquire), before);
     }
 
@@ -538,7 +678,7 @@ mod tests {
             let t = t.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..1000u64 {
-                    t.insert_sub(sub, 0, u64::MAX, EdgeId(i), 0);
+                    t.insert_sub(sub, 0, u64::MAX, EdgeId(i), i, 0);
                 }
             }));
         }
@@ -552,10 +692,107 @@ mod tests {
     }
 
     #[test]
+    fn ordered_buckets_survive_random_ops() {
+        // The CmsTree counterpart of the store conformance property test:
+        // after any interleaving of keyed inserts and payload-scan →
+        // cascade → partial-remove → reclaim expiries, every bucket
+        // iterates in nondecreasing newest-edge-timestamp order and the
+        // binary-searched range reads equal filtered full iteration
+        // (ts = edge-id convention).
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x51ed_2701));
+            let t = CmsTree::new(StoreLayout { sub_lens: vec![3] });
+            for ts in 1..=160u64 {
+                let rows_at = |level: usize| {
+                    let mut rows: Vec<(u64, u64)> = Vec::new();
+                    t.for_each_sub(0, level, &mut |h, edges| {
+                        rows.push((h, edges.last().expect("nonempty").0));
+                    });
+                    rows
+                };
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        // Full expiry pass for a random live row's newest
+                        // edge: payload scan at its level, cascade to the
+                        // leaf, then reclaim.
+                        let level = rng.gen_range(0..3usize);
+                        let rows = rows_at(level);
+                        if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1))) {
+                            let mut all = Vec::new();
+                            let mut prev = t.partial_remove(
+                                t.sub_item(0, level),
+                                &t.payload_matches(t.sub_item(0, level), edge, edge),
+                            );
+                            all.extend_from_slice(&prev);
+                            for deeper in level + 1..3 {
+                                prev =
+                                    t.partial_remove(t.sub_item(0, deeper), &t.children_of(&prev));
+                                all.extend_from_slice(&prev);
+                            }
+                            t.reclaim(&all);
+                        }
+                    }
+                    1 => {
+                        t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 3);
+                    }
+                    _ => {
+                        let level = rng.gen_range(0..2usize);
+                        let rows = rows_at(level);
+                        if rows.is_empty() {
+                            t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 3);
+                        } else {
+                            let (parent, _) = rows[rng.gen_range(0..rows.len())];
+                            t.insert_sub(0, level + 1, parent, EdgeId(ts), ts, ts % 3);
+                        }
+                    }
+                }
+                for level in 0..3usize {
+                    for key in 0..3u64 {
+                        let mut full: Vec<Vec<u64>> = Vec::new();
+                        t.for_each_sub_keyed(0, level, key, &mut |_, edges| {
+                            full.push(edges.iter().map(|x| x.0).collect());
+                        });
+                        for w in full.windows(2) {
+                            assert!(
+                                w[0].last() <= w[1].last(),
+                                "seed {seed} ts {ts}: bucket ({level}, {key}) out of order"
+                            );
+                        }
+                        for cutoff in [0, ts / 2, ts, u64::MAX] {
+                            let prefix: Vec<Vec<u64>> = full
+                                .iter()
+                                .filter(|r| *r.last().expect("nonempty") < cutoff)
+                                .cloned()
+                                .collect();
+                            let mut got = Vec::new();
+                            t.for_each_sub_keyed_before(0, level, key, cutoff, &mut |_, edges| {
+                                got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
+                            });
+                            assert_eq!(got, prefix, "seed {seed} ts {ts} cutoff {cutoff}");
+                            let suffix: Vec<Vec<u64>> = full
+                                .iter()
+                                .filter(|r| *r.last().expect("nonempty") >= cutoff)
+                                .cloned()
+                                .collect();
+                            let mut got = Vec::new();
+                            t.for_each_sub_keyed_from(0, level, key, cutoff, &mut |_, edges| {
+                                got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
+                            });
+                            assert_eq!(got, suffix, "seed {seed} ts {ts} min {cutoff}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn arena_crosses_chunk_boundaries() {
         let t = CmsTree::new(StoreLayout { sub_lens: vec![1] });
         for i in 0..(CHUNK as u64 + 10) {
-            t.insert_sub(0, 0, u64::MAX, EdgeId(i), 0);
+            t.insert_sub(0, 0, u64::MAX, EdgeId(i), i, 0);
         }
         assert_eq!(t.len_sub(0, 0), CHUNK + 10);
         // Everything is still reachable via the level list.

@@ -381,13 +381,28 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
         let seq = &plan.subs[i].seq;
 
         // --- subquery stage ---
-        let new_nodes: Vec<u64> = if j == 0 {
+        // Completing inserts expand (and for TC-queries report) their
+        // matches *under the insertion's X guard*: once every lock is
+        // released, a younger deletion transaction may partially remove
+        // and even reclaim the fresh nodes and drop their edges from
+        // `live` before an unguarded read — reports and expansions must
+        // not outlive the guard (the L₀ stages below rely on the same
+        // rule).
+        let mut delta_sides: Vec<(u64, PartialAssignment)> = Vec::new();
+        if j == 0 {
             let g = ctx.acquire(tree.sub_item(i, 0), Mode::X);
             // Every key-spec part of a level-0 match binds on σ itself.
             let key = plan.stored_sub_key(i, 0, |_| (sigma.src, sigma.dst));
-            let h = tree.insert_sub(i, 0, u64::MAX, sigma.id, key);
+            let h = tree.insert_sub(i, 0, u64::MAX, sigma.id, sigma.ts.0, key);
+            if j == len - 1 {
+                let live = shared.live.read();
+                if k == 1 {
+                    emitted.push(record_of(shared, &live, &[h]));
+                } else {
+                    delta_sides.push((h, expand_assignment(shared, &live, i, h)));
+                }
+            }
             drop(g);
-            vec![h]
         } else {
             // Probe item j−1 by σ's endpoint bindings (same S lock as the
             // full scan; the key is a prefilter, compatibility still runs).
@@ -397,7 +412,10 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                 let live = shared.live.read();
                 let sigma_side = PartialAssignment::new(vec![(qe, sigma)]);
                 let probe = plan.chain_probe_key(i, j, &sigma);
-                tree.for_each_sub_keyed(i, j - 1, probe, &mut |h, edges| {
+                // The ordered bucket is cut at σ.ts by binary search; the
+                // per-candidate recheck below is then vacuous but kept as
+                // cheap insurance.
+                tree.for_each_sub_keyed_before(i, j - 1, probe, sigma.ts.0, &mut |h, edges| {
                     let last = live[&edges[j - 1]];
                     if last.ts >= sigma.ts {
                         return;
@@ -430,22 +448,27 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                 continue;
             }
             let g = ctx.acquire(tree.sub_item(i, j), Mode::X);
-            let nodes = parents
+            let nodes: Vec<u64> = parents
                 .into_iter()
-                .map(|(p, key)| tree.insert_sub(i, j, p, sigma.id, key))
+                .map(|(p, key)| tree.insert_sub(i, j, p, sigma.id, sigma.ts.0, key))
                 .collect();
-            drop(g);
-            nodes
-        };
-
-        if j != len - 1 || k == 1 {
-            if j == len - 1 && k == 1 {
-                // Complete matches of a TC-query: report directly.
+            if j == len - 1 {
                 let live = shared.live.read();
-                for &h in &new_nodes {
-                    emitted.push(record_of(shared, &live, &[h]));
+                if k == 1 {
+                    // Complete matches of a TC-query: report directly,
+                    // still under the X guard.
+                    for &h in &nodes {
+                        emitted.push(record_of(shared, &live, &[h]));
+                    }
+                } else {
+                    delta_sides
+                        .extend(nodes.iter().map(|&h| (h, expand_assignment(shared, &live, i, h))));
                 }
             }
+            drop(g);
+        }
+
+        if j != len - 1 || k == 1 {
             continue;
         }
 
@@ -455,20 +478,9 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
         let mut entries: Vec<(u64, Vec<u64>, PartialAssignment)>;
         if i == 0 {
             cur = 0;
-            let live = shared.live.read();
-            entries = new_nodes
-                .iter()
-                .map(|&h| {
-                    let a = expand_assignment(shared, &live, 0, h);
-                    (h, vec![h], a)
-                })
-                .collect();
+            entries = delta_sides.into_iter().map(|(h, a)| (h, vec![h], a)).collect();
         } else {
             // S(Ω(L₀^{i-1})) then X(L₀^i).
-            let delta_sides: Vec<(u64, PartialAssignment)> = {
-                let live = shared.live.read();
-                new_nodes.iter().map(|&h| (h, expand_assignment(shared, &live, i, h))).collect()
-            };
             // Probe Ω(L₀^{i-1}) by each Δ-side key under the same S lock
             // the full scan used.
             let mut pairs = Vec::new();
@@ -484,7 +496,10 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                         let e = d_side.edges[lvl].1;
                         (e.src, e.dst)
                     });
-                    let rows = read_l0_rows_keyed(shared, i - 1, key);
+                    // Rows below the cross-subquery constraint floor are
+                    // skipped before their merged assignment is built.
+                    let min_ts = plan.l0_row_ts_floor(i, |lvl| d_side.edges[lvl].1.ts.0);
+                    let rows = read_l0_rows_keyed_from(shared, i - 1, key, min_ts);
                     for (ph, comps, row_side) in rows {
                         if row_side.compatible_with(&plan.query, d_side) {
                             pairs.push((ph, comps, row_side, *dh, d_side.clone()));
@@ -508,7 +523,7 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                 .map(|(ph, mut comps, mut side, dh, d_side)| {
                     side.edges.extend_from_slice(&d_side.edges);
                     let key = stored_l0_key_of(shared, i, &side);
-                    let nh = tree.insert_l0(i, ph, dh, key);
+                    let nh = tree.insert_l0(i, ph, dh, sigma.ts.0, key);
                     comps.push(dh);
                     (nh, comps, side)
                 })
@@ -542,7 +557,17 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                             .1;
                         (e.src, e.dst)
                     });
-                    let leaves = read_leaves_keyed(shared, next_sub, key);
+                    let min_ts = plan.leaf_ts_floor(next_sub, |sub, lvl| {
+                        let qe = plan.subs[sub].seq[lvl];
+                        side.edges
+                            .iter()
+                            .find(|&&(q, _)| q == qe)
+                            .expect("row binds its own query edges")
+                            .1
+                            .ts
+                            .0
+                    });
+                    let leaves = read_leaves_keyed_from(shared, next_sub, key, min_ts);
                     for (lh, leaf_side) in leaves {
                         if side.compatible_with(&plan.query, &leaf_side) {
                             pairs.push((*ph, comps.clone(), side.clone(), lh, leaf_side));
@@ -567,7 +592,7 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                 .map(|(ph, mut comps, mut side, lh, leaf_side)| {
                     side.edges.extend_from_slice(&leaf_side.edges);
                     let key = stored_l0_key_of(shared, next_sub, &side);
-                    let nh = tree.insert_l0(next_sub, ph, lh, key);
+                    let nh = tree.insert_l0(next_sub, ph, lh, sigma.ts.0, key);
                     comps.push(lh);
                     (nh, comps, side)
                 })
@@ -630,7 +655,7 @@ fn run_del(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
             let g = ctx.acquire(item, Mode::X);
             let mut cands = tree.children_of(&prev);
             if match_positions.contains(&(sub, level)) {
-                cands.extend(tree.payload_matches(item, sigma.id.0));
+                cands.extend(tree.payload_matches(item, sigma.id.0, sigma.ts.0));
             }
             let removed = tree.partial_remove(item, &cands);
             drop(g);
@@ -702,20 +727,22 @@ fn expand_assignment(
     PartialAssignment::new(ids.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect())
 }
 
-/// Reads the `Ω(L₀^m)` rows filed under `key` with expansions; `m == 0`
-/// is the aliased subquery-0 leaf item. Caller holds ≥ S on the
-/// corresponding item.
-fn read_l0_rows_keyed(
+/// Reads the `Ω(L₀^m)` rows filed under `key` with completion timestamp
+/// `≥ min_ts`, with expansions; `m == 0` is the aliased subquery-0 leaf
+/// item. Rows below the floor are skipped by binary search before any
+/// expansion is built. Caller holds ≥ S on the corresponding item.
+fn read_l0_rows_keyed_from(
     shared: &Shared,
     m: usize,
     key: u64,
+    min_ts: u64,
 ) -> Vec<(u64, Vec<u64>, PartialAssignment)> {
     let live = shared.live.read();
     let mut rows = Vec::new();
     if m == 0 {
         let last = shared.plan.subs[0].len() - 1;
         let seq = &shared.plan.subs[0].seq;
-        shared.tree.for_each_sub_keyed(0, last, key, &mut |h, edges| {
+        shared.tree.for_each_sub_keyed_from(0, last, key, min_ts, &mut |h, edges| {
             let side = PartialAssignment::new(
                 edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
             );
@@ -723,7 +750,9 @@ fn read_l0_rows_keyed(
         });
     } else {
         let mut raw = Vec::new();
-        shared.tree.for_each_l0_keyed(m, key, &mut |h, comps| raw.push((h, comps.to_vec())));
+        shared
+            .tree
+            .for_each_l0_keyed_from(m, key, min_ts, &mut |h, comps| raw.push((h, comps.to_vec())));
         for (h, comps) in raw {
             let mut merged = PartialAssignment::default();
             for (sub, &c) in comps.iter().enumerate() {
@@ -735,14 +764,19 @@ fn read_l0_rows_keyed(
     rows
 }
 
-/// Reads the complete matches of subquery `sub` filed under `key`.
-/// Caller holds ≥ S on its leaf item.
-fn read_leaves_keyed(shared: &Shared, sub: usize, key: u64) -> Vec<(u64, PartialAssignment)> {
+/// Reads the complete matches of subquery `sub` filed under `key` with
+/// completion timestamp `≥ min_ts`. Caller holds ≥ S on its leaf item.
+fn read_leaves_keyed_from(
+    shared: &Shared,
+    sub: usize,
+    key: u64,
+    min_ts: u64,
+) -> Vec<(u64, PartialAssignment)> {
     let live = shared.live.read();
     let seq = &shared.plan.subs[sub].seq;
     let last = seq.len() - 1;
     let mut out = Vec::new();
-    shared.tree.for_each_sub_keyed(sub, last, key, &mut |h, edges| {
+    shared.tree.for_each_sub_keyed_from(sub, last, key, min_ts, &mut |h, edges| {
         let side = PartialAssignment::new(
             edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
         );
@@ -888,37 +922,61 @@ mod tests {
         use rand::{Rng, SeedableRng};
         use tcs_graph::query::QueryEdge;
         use tcs_graph::{ELabel, VLabel};
-        for seed in 0..3u64 {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let edges: Vec<StreamEdge> = (0..400)
-                .map(|i| {
-                    let src = rng.gen_range(0..8u32);
-                    let mut dst = rng.gen_range(0..8u32);
-                    while dst == src {
-                        dst = rng.gen_range(0..8u32);
+        // 3-edge path, partial timing order → k = 2 decomposition.
+        let path3 = QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2), VLabel(0)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap();
+        // The cross-constraint query (ε2 ≺ ε1 across subqueries): its L₀
+        // probes carry a nonzero timestamp floor, so the concurrent
+        // engine's binary-searched range reads are exercised for real.
+        let crossed = QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2), VLabel(3), VLabel(4)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                QueryEdge { src: 3, dst: 0, label: ELabel::NONE },
+                QueryEdge { src: 3, dst: 4, label: ELabel::NONE },
+            ],
+            &[(0, 1), (2, 3), (2, 1)],
+        )
+        .unwrap();
+        for (q, n_labels) in [(path3, 3u32), (crossed, 5)] {
+            for seed in 0..3u64 {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let edges: Vec<StreamEdge> = (0..400)
+                    .map(|i| {
+                        let src = rng.gen_range(0..8u32);
+                        let mut dst = rng.gen_range(0..8u32);
+                        while dst == src {
+                            dst = rng.gen_range(0..8u32);
+                        }
+                        StreamEdge::new(
+                            i,
+                            src,
+                            (src % n_labels) as u16,
+                            dst,
+                            (dst % n_labels) as u16,
+                            0,
+                            i + 1,
+                        )
+                    })
+                    .collect();
+                let expected = serial_matches(&q, &edges, 60);
+                for threads in [1, 3] {
+                    for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
+                        let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+                        let mut eng = ConcurrentEngine::new(plan, threads, mode);
+                        let mut got = eng.run(&edges, 60).matches;
+                        got.sort();
+                        assert_eq!(got, expected, "seed={seed} threads={threads} mode={mode:?}");
                     }
-                    StreamEdge::new(i, src, (src % 3) as u16, dst, (dst % 3) as u16, 0, i + 1)
-                })
-                .collect();
-            // 3-edge path, partial timing order → k = 2 decomposition.
-            let q = QueryGraph::new(
-                vec![VLabel(0), VLabel(1), VLabel(2), VLabel(0)],
-                vec![
-                    QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
-                    QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
-                    QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
-                ],
-                &[(0, 1)],
-            )
-            .unwrap();
-            let expected = serial_matches(&q, &edges, 60);
-            for threads in [1, 3] {
-                for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
-                    let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
-                    let mut eng = ConcurrentEngine::new(plan, threads, mode);
-                    let mut got = eng.run(&edges, 60).matches;
-                    got.sort();
-                    assert_eq!(got, expected, "seed={seed} threads={threads} mode={mode:?}");
                 }
             }
         }

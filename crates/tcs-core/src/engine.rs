@@ -25,22 +25,31 @@ use tcs_graph::{EdgeId, MatchRecord, StreamEdge};
 /// How the engine finds join partners in the stored items.
 ///
 /// [`JoinMode::Probe`] (the default) looks up the hash bucket of the
-/// arrival's join key — O(bucket) per join instead of O(item). Keys are a
-/// prefilter (see `store.rs` module docs): the full compatibility check
-/// still runs on every candidate, so both modes emit the *identical*
-/// match stream. [`JoinMode::Scan`] keeps the original full-scan path as
-/// the equivalence/benchmark baseline.
+/// arrival's join key — O(bucket) per join instead of O(item) — and then
+/// exploits the bucket's timestamp order (`store.rs` module docs) to
+/// visit only the range that can pass the timing checks: the
+/// `last.ts < σ.ts` prefix on chain joins, and the suffix above the
+/// cross-subquery constraint floor on `L₀` joins. Keys and timestamp
+/// bounds are both prefilters: the full compatibility check still runs on
+/// every candidate, so all modes emit the *identical* match stream.
+/// [`JoinMode::ProbeAll`] visits the whole bucket (the plain keyed
+/// probing of the previous iteration — the baseline the early-exit bench
+/// gate compares against) and [`JoinMode::Scan`] keeps the original
+/// full-scan path as the reference.
 ///
 /// Caveat: the identical-stream guarantee assumes exact evaluation. If
 /// [`TimingEngine::set_partial_cap`] is engaged and the cap saturates
-/// mid-join, the two modes enumerate candidate pairs in different orders
+/// mid-join, the modes enumerate candidate pairs in different orders
 /// and therefore keep different (equally incomplete) subsets — the cap is
 /// a benchmark-harness safety valve, not part of the semantics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum JoinMode {
-    /// Keyed hash-bucket probes (fast path).
+    /// Keyed hash-bucket probes with timestamp-ordered early exit
+    /// (fast path).
     #[default]
     Probe,
+    /// Keyed hash-bucket probes over whole buckets (early-exit ablation).
+    ProbeAll,
     /// Full item scans (reference baseline).
     Scan,
 }
@@ -128,9 +137,35 @@ impl<S: MatchStore> TimingEngine<S> {
         self.saturated
     }
 
+    /// Number of live partial matches: inserts minus deletes, which the
+    /// balanced counters keep equal to the stores' actual row count
+    /// ([`TimingEngine::store_rows`], asserted by the conformance tests).
+    /// A `saturating_sub` here would mask accounting drift; underflow is a
+    /// bug and debug builds assert it away at every expiry.
     #[inline]
-    fn live_partials(&self) -> u64 {
-        self.stats.partials_inserted.saturating_sub(self.stats.partials_deleted)
+    pub fn live_partials(&self) -> u64 {
+        debug_assert!(
+            self.stats.partials_deleted <= self.stats.partials_inserted,
+            "partial-match accounting drifted: {} deleted > {} inserted",
+            self.stats.partials_deleted,
+            self.stats.partials_inserted
+        );
+        self.stats.partials_inserted - self.stats.partials_deleted
+    }
+
+    /// Rows actually held by the store, over every subquery item and `L₀`
+    /// item — the ground truth [`TimingEngine::live_partials`] must equal.
+    pub fn store_rows(&self) -> u64 {
+        let mut n = 0u64;
+        for (i, s) in self.plan.subs.iter().enumerate() {
+            for l in 0..s.len() {
+                n += self.store.len_sub(i, l) as u64;
+            }
+        }
+        for i in 1..self.plan.k() {
+            n += self.store.len_l0(i) as u64;
+        }
+        n
     }
 
     #[inline]
@@ -184,8 +219,14 @@ impl<S: MatchStore> TimingEngine<S> {
     pub fn expire(&mut self, e: &StreamEdge) {
         let positions = self.plan.positions(e.signature());
         if !positions.is_empty() {
-            let n = self.store.expire_edge(e.id, &positions);
+            let n = self.store.expire_edge(e.id, e.ts.0, &positions);
             self.stats.partials_deleted += n as u64;
+            // The cascade can only remove rows the insert path counted:
+            // the counters stay balanced through every expiry.
+            debug_assert!(
+                self.stats.partials_deleted <= self.stats.partials_inserted,
+                "expiry cascade removed more partial matches than were ever inserted"
+            );
         }
         self.live.remove(&e.id);
     }
@@ -217,7 +258,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 // Every key-spec part of a level-0 match binds at level 0,
                 // i.e. on σ itself.
                 let key = self.plan.stored_sub_key(i, 0, |_| (sigma.src, sigma.dst));
-                vec![self.store.insert_sub(i, 0, ROOT, sigma.id, key)]
+                vec![self.store.insert_sub(i, 0, ROOT, sigma.id, sigma.ts.0, key)]
             } else {
                 // Join {σ} with Ω(L^{j-1}_i) (Theorem 2 case 2).
                 self.stats.join_ops += 1;
@@ -227,7 +268,7 @@ impl<S: MatchStore> TimingEngine<S> {
                     if self.cap_reached() {
                         break;
                     }
-                    nodes.push(self.store.insert_sub(i, j, p, sigma.id, key));
+                    nodes.push(self.store.insert_sub(i, j, p, sigma.id, sigma.ts.0, key));
                     self.stats.partials_inserted += 1;
                 }
                 nodes
@@ -239,7 +280,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 stored_any = true;
             }
             if j == seq_len - 1 && !new_nodes.is_empty() {
-                self.propagate(i, &new_nodes, &mut out);
+                self.propagate(i, &new_nodes, sigma.ts.0, &mut out);
             }
         }
         if !stored_any {
@@ -272,7 +313,9 @@ impl<S: MatchStore> TimingEngine<S> {
             let live = &self.live;
             let mut visit = |h: Handle, edges: &[EdgeId]| {
                 // Timing chain: the prefix's last (newest) edge must
-                // precede σ.
+                // precede σ. In Probe mode the store already cut the
+                // bucket at σ.ts (ordered-bucket invariant), so this is a
+                // no-op there; ProbeAll/Scan filter per candidate.
                 let last_edge = live[&edges[j - 1]];
                 if last_edge.ts >= sigma.ts {
                     return;
@@ -293,6 +336,12 @@ impl<S: MatchStore> TimingEngine<S> {
             };
             match self.join_mode {
                 JoinMode::Probe => {
+                    // Binary-search the bucket for the `last.ts < σ.ts`
+                    // cutoff and iterate only the valid prefix.
+                    let probe = plan.chain_probe_key(i, j, sigma);
+                    self.store.for_each_sub_keyed_before(i, j - 1, probe, sigma.ts.0, &mut visit);
+                }
+                JoinMode::ProbeAll => {
                     let probe = plan.chain_probe_key(i, j, sigma);
                     self.store.for_each_sub_keyed(i, j - 1, probe, &mut visit);
                 }
@@ -307,8 +356,12 @@ impl<S: MatchStore> TimingEngine<S> {
     /// Algorithm 1 lines 11–24: joins fresh complete matches of subquery
     /// `i` through the `L₀` chain, reporting complete query matches. In
     /// [`JoinMode::Probe`] every `L₀`/leaf read is a keyed bucket probe
-    /// instead of a full item scan.
-    fn propagate(&mut self, i: usize, delta: &[Handle], out: &mut Vec<MatchRecord>) {
+    /// instead of a full item scan, restricted by binary search to the
+    /// timestamp range that can satisfy the cross-subquery ≺ constraints —
+    /// rows outside it are skipped *before* their merged assignment is
+    /// built. `now` is the triggering arrival's timestamp (every `L₀` row
+    /// created here completes at `now`).
+    fn propagate(&mut self, i: usize, delta: &[Handle], now: u64, out: &mut Vec<MatchRecord>) {
         let k = self.plan.k();
         if k == 1 {
             for &h in delta {
@@ -348,20 +401,28 @@ impl<S: MatchStore> TimingEngine<S> {
                                     row_side,
                                     *dh,
                                     d_side,
+                                    now,
                                     &mut entries,
                                 );
                             }
                         }
                     }
                 }
-                JoinMode::Probe => {
+                JoinMode::Probe | JoinMode::ProbeAll => {
                     // Probe Ω(L₀^{i-1}) by Δ's shared-vertex bindings.
                     'outer: for (dh, d_side) in &delta_sides {
                         let key = self.plan.l0_delta_key(i, |lvl| {
                             let e = d_side.edges[lvl].1;
                             (e.src, e.dst)
                         });
-                        let rows = self.read_l0_rows_keyed(i - 1, key);
+                        // Rows below the constraint floor cannot join Δ;
+                        // the keyed read binary-searches past them.
+                        let min_ts = if self.join_mode == JoinMode::Probe {
+                            self.plan.l0_row_ts_floor(i, |lvl| d_side.edges[lvl].1.ts.0)
+                        } else {
+                            0
+                        };
+                        let rows = self.read_l0_rows_keyed_from(i - 1, key, min_ts);
                         for (ph, comps, row_side) in &rows {
                             if row_side.compatible_with(&self.plan.query, d_side) {
                                 if self.cap_reached() {
@@ -374,6 +435,7 @@ impl<S: MatchStore> TimingEngine<S> {
                                     row_side,
                                     *dh,
                                     d_side,
+                                    now,
                                     &mut entries,
                                 );
                             }
@@ -397,13 +459,13 @@ impl<S: MatchStore> TimingEngine<S> {
                                     break 'outer2;
                                 }
                                 self.push_l0_entry(
-                                    next_sub, *ph, comps, side, *lh, leaf_side, &mut next,
+                                    next_sub, *ph, comps, side, *lh, leaf_side, now, &mut next,
                                 );
                             }
                         }
                     }
                 }
-                JoinMode::Probe => {
+                JoinMode::Probe | JoinMode::ProbeAll => {
                     // Probe subquery `next_sub`'s leaves by each row's
                     // shared-vertex bindings.
                     'outer3: for (ph, comps, side) in &entries {
@@ -417,14 +479,30 @@ impl<S: MatchStore> TimingEngine<S> {
                                 .1;
                             (e.src, e.dst)
                         });
-                        let leaves = self.read_leaves_keyed(next_sub, key);
+                        // Leaves below the row's constraint floor cannot
+                        // join; skip them before expanding assignments.
+                        let min_ts = if self.join_mode == JoinMode::Probe {
+                            self.plan.leaf_ts_floor(next_sub, |sub, lvl| {
+                                let qe = self.plan.subs[sub].seq[lvl];
+                                side.edges
+                                    .iter()
+                                    .find(|&&(q, _)| q == qe)
+                                    .expect("row binds its own query edges")
+                                    .1
+                                    .ts
+                                    .0
+                            })
+                        } else {
+                            0
+                        };
+                        let leaves = self.read_leaves_keyed_from(next_sub, key, min_ts);
                         for (lh, leaf_side) in &leaves {
                             if side.compatible_with(&self.plan.query, leaf_side) {
                                 if self.cap_reached() {
                                     break 'outer3;
                                 }
                                 self.push_l0_entry(
-                                    next_sub, *ph, comps, side, *lh, leaf_side, &mut next,
+                                    next_sub, *ph, comps, side, *lh, leaf_side, now, &mut next,
                                 );
                             }
                         }
@@ -442,7 +520,9 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Inserts one `L₀` row at item `level` (parent `ph` × component `dh`)
-    /// under its stored join key and appends the extended entry.
+    /// under its stored join key and appends the extended entry. `now` is
+    /// the row's completion timestamp — its newest component's newest edge
+    /// is always the arrival driving this propagation.
     #[allow(clippy::too_many_arguments)]
     fn push_l0_entry(
         &mut self,
@@ -452,10 +532,16 @@ impl<S: MatchStore> TimingEngine<S> {
         row_side: &PartialAssignment,
         dh: Handle,
         d_side: &PartialAssignment,
+        now: u64,
         entries: &mut Vec<(Handle, Vec<Handle>, PartialAssignment)>,
     ) {
         let mut merged = row_side.clone();
         merged.edges.extend_from_slice(&d_side.edges);
+        debug_assert_eq!(
+            merged.max_ts().map(|t| t.0),
+            Some(now),
+            "an L₀ row completes at the triggering arrival's timestamp"
+        );
         let key = self.plan.stored_l0_key(level, |sub, lvl| {
             let qe = self.plan.subs[sub].seq[lvl];
             let e = merged
@@ -466,7 +552,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 .1;
             (e.src, e.dst)
         });
-        let nh = self.store.insert_l0(level, ph, dh, key);
+        let nh = self.store.insert_l0(level, ph, dh, now, key);
         self.stats.partials_inserted += 1;
         let mut nc = comps.to_vec();
         nc.push(dh);
@@ -502,20 +588,25 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Keyed counterpart of [`TimingEngine::read_l0_rows`]: only the rows
-    /// filed under `key`.
-    fn read_l0_rows_keyed(
+    /// filed under `key` with completion timestamp `≥ min_ts` — rows below
+    /// the floor are skipped by binary search *before* any merged
+    /// assignment is built (`min_ts == 0` reads the whole bucket).
+    fn read_l0_rows_keyed_from(
         &self,
         m: usize,
         key: JoinKey,
+        min_ts: u64,
     ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
         let mut rows = Vec::new();
         if m == 0 {
-            for (h, side) in self.read_leaves_keyed(0, key) {
+            for (h, side) in self.read_leaves_keyed_from(0, key, min_ts) {
                 rows.push((h, vec![h], side));
             }
         } else {
             let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
-            self.store.for_each_l0_keyed(m, key, &mut |h, comps| raw.push((h, comps.to_vec())));
+            self.store.for_each_l0_keyed_from(m, key, min_ts, &mut |h, comps| {
+                raw.push((h, comps.to_vec()))
+            });
             for (h, comps) in raw {
                 let merged = self.merge_row(&comps);
                 rows.push((h, comps, merged));
@@ -539,13 +630,20 @@ impl<S: MatchStore> TimingEngine<S> {
         out
     }
 
-    /// Keyed counterpart of [`TimingEngine::read_leaves`].
-    fn read_leaves_keyed(&self, sub: usize, key: JoinKey) -> Vec<(Handle, PartialAssignment)> {
+    /// Keyed counterpart of [`TimingEngine::read_leaves`]: only leaves
+    /// with completion timestamp `≥ min_ts` (binary-searched; `0` reads
+    /// the whole bucket).
+    fn read_leaves_keyed_from(
+        &self,
+        sub: usize,
+        key: JoinKey,
+        min_ts: u64,
+    ) -> Vec<(Handle, PartialAssignment)> {
         let seq = &self.plan.subs[sub].seq;
         let last = seq.len() - 1;
         let mut out = Vec::new();
         let live = &self.live;
-        self.store.for_each_sub_keyed(sub, last, key, &mut |h, edges| {
+        self.store.for_each_sub_keyed_from(sub, last, key, min_ts, &mut |h, edges| {
             let side = PartialAssignment::new(
                 edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
             );
@@ -826,6 +924,8 @@ mod tests {
                 )
                 .unwrap();
                 let mut probe: TimingEngine<MsTreeStore> = mk(q.clone());
+                let mut probe_all: TimingEngine<MsTreeStore> = mk(q.clone());
+                probe_all.set_join_mode(JoinMode::ProbeAll);
                 let mut scan: TimingEngine<MsTreeStore> = mk(q.clone());
                 scan.set_join_mode(JoinMode::Scan);
                 let mut ind_probe: TimingEngine<IndependentStore> = mk(q.clone());
@@ -836,24 +936,117 @@ mod tests {
                     SlidingWindow::new(50),
                     SlidingWindow::new(50),
                     SlidingWindow::new(50),
+                    SlidingWindow::new(50),
                 ];
                 for &e in &edges {
                     let mut a = probe.advance(&ws[0].advance(e));
                     let mut b = scan.advance(&ws[1].advance(e));
                     let mut c = ind_probe.advance(&ws[2].advance(e));
                     let mut d = ind_scan.advance(&ws[3].advance(e));
+                    let mut pa = probe_all.advance(&ws[4].advance(e));
                     a.sort();
                     b.sort();
                     c.sort();
                     d.sort();
+                    pa.sort();
                     assert_eq!(a, b, "seed {seed} pairs {pairs:?} (mstree)");
+                    assert_eq!(a, pa, "seed {seed} pairs {pairs:?} (mstree probe-all)");
                     assert_eq!(c, d, "seed {seed} pairs {pairs:?} (independent)");
                     assert_eq!(a, c, "seed {seed} pairs {pairs:?} (cross-store)");
                 }
                 assert_eq!(probe.stats(), scan.stats(), "seed {seed} pairs {pairs:?}");
+                assert_eq!(probe.stats(), probe_all.stats(), "seed {seed} pairs {pairs:?}");
                 assert_eq!(ind_probe.stats(), ind_scan.stats(), "seed {seed} pairs {pairs:?}");
                 assert_eq!(probe.stats().matches_emitted, ind_probe.stats().matches_emitted);
+                // The balanced insert/delete counters equal the stores'
+                // actual row counts at every point; spot-check the end.
+                assert_eq!(probe.live_partials(), probe.store_rows());
+                assert_eq!(ind_probe.live_partials(), ind_probe.store_rows());
             }
+        }
+    }
+
+    /// The skew query of the early-exit bench: `Q¹ = {ε0: a→b ≺ ε1: b→c}`,
+    /// `Q² = {ε2: d→a ≺ ε3: d→e}`, cross constraint `ε2 ≺ ε1` — the shape
+    /// whose `L₀` probes carry a nonzero timestamp floor.
+    fn cross_constraint_query() -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(2), VLabel(3), VLabel(4)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                QueryEdge { src: 3, dst: 0, label: ELabel::NONE },
+                QueryEdge { src: 3, dst: 4, label: ELabel::NONE },
+            ],
+            &[(0, 1), (2, 3), (2, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn plan_computes_cross_constraint_floors() {
+        let plan = QueryPlan::build(cross_constraint_query(), PlanOptions::timing());
+        assert_eq!(plan.k(), 2);
+        assert_eq!(plan.subs[0].seq, vec![0, 1]);
+        assert_eq!(plan.subs[1].seq, vec![2, 3]);
+        // ε2 (delta level 0) must precede the row edge ε1.
+        assert_eq!(plan.l0_delta_floor_levels[1], vec![0]);
+        // Floor = ts(Δ[0]) + 1; no constraint → 0.
+        assert_eq!(plan.l0_row_ts_floor(1, |lvl| [7, 9][lvl]), 8);
+        assert!(plan.leaf_floor_positions[1].is_empty());
+        assert_eq!(plan.leaf_ts_floor(1, |_, _| unreachable!("no positions")), 0);
+    }
+
+    #[test]
+    fn floor_skipping_is_invisible_under_cross_constraints() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        // Random streams against the cross-constraint query: the Probe
+        // mode's nonzero L₀ floor must not change the match stream or any
+        // counter vs ProbeAll (no floor) and Scan (no keys at all), on
+        // both stores, through window expiry.
+        let q = cross_constraint_query();
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed);
+            let edges: Vec<StreamEdge> = (0..300)
+                .map(|i| {
+                    let src = rng.gen_range(0..10u32);
+                    let mut dst = rng.gen_range(0..10u32);
+                    while dst == src {
+                        dst = rng.gen_range(0..10u32);
+                    }
+                    StreamEdge::new(i, src, (src % 5) as u16, dst, (dst % 5) as u16, 0, i + 1)
+                })
+                .collect();
+            let mut probe: TimingEngine<MsTreeStore> = mk(q.clone());
+            let mut probe_all: TimingEngine<MsTreeStore> = mk(q.clone());
+            probe_all.set_join_mode(JoinMode::ProbeAll);
+            let mut scan: TimingEngine<MsTreeStore> = mk(q.clone());
+            scan.set_join_mode(JoinMode::Scan);
+            let mut ind_probe: TimingEngine<IndependentStore> = mk(q.clone());
+            let mut ws = [
+                SlidingWindow::new(80),
+                SlidingWindow::new(80),
+                SlidingWindow::new(80),
+                SlidingWindow::new(80),
+            ];
+            for &e in &edges {
+                let mut a = probe.advance(&ws[0].advance(e));
+                let mut b = probe_all.advance(&ws[1].advance(e));
+                let mut c = scan.advance(&ws[2].advance(e));
+                let mut d = ind_probe.advance(&ws[3].advance(e));
+                a.sort();
+                b.sort();
+                c.sort();
+                d.sort();
+                assert_eq!(a, b, "seed {seed} (probe vs probe-all)");
+                assert_eq!(b, c, "seed {seed} (probe-all vs scan)");
+                assert_eq!(a, d, "seed {seed} (cross-store)");
+            }
+            assert_eq!(probe.stats(), probe_all.stats(), "seed {seed}");
+            assert_eq!(probe.stats(), scan.stats(), "seed {seed}");
+            assert_eq!(probe.live_partials(), probe.store_rows(), "seed {seed}");
+            assert_eq!(ind_probe.live_partials(), ind_probe.store_rows(), "seed {seed}");
         }
     }
 

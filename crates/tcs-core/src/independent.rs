@@ -10,8 +10,13 @@
 //!
 //! Like the MS-tree, every item also keeps a join-key index (key → slot
 //! bucket; see `store.rs` module docs) so the engine's keyed probes work
-//! against both backends; rows remember their key and bucket position for
-//! O(1) removal during expiry.
+//! against both backends. Buckets obey the timestamp-ordered invariant:
+//! rows carry their newest edge's timestamp, appends are checked
+//! nondecreasing, and expiry *walks the buckets* instead of the slabs —
+//! binary-searching each bucket for the expired timestamp at the payload
+//! level (the dying rows' newest-edge position) and for the suffix of
+//! possibly-affected rows at deeper levels — then compacts the touched
+//! buckets in place so survivors keep their order.
 
 use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::collections::{HashMap, HashSet};
@@ -59,77 +64,54 @@ impl<T> Slab<T> {
         self.slots.get(i as usize).and_then(Option::as_ref)
     }
 
-    fn get_mut(&mut self, i: u32) -> Option<&mut T> {
-        self.slots.get_mut(i as usize).and_then(Option::as_mut)
-    }
-
     fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
     }
-}
-
-/// Key-bucket bookkeeping shared by both row types.
-trait Keyed {
-    fn key(&self) -> JoinKey;
-    fn key_pos(&self) -> u32;
-    fn set_key_pos(&mut self, pos: u32);
 }
 
 #[derive(Clone, Debug)]
 struct SubRow {
     /// The full prefix of the timing sequence, duplicated per row.
     edges: Vec<EdgeId>,
-    key: JoinKey,
-    key_pos: u32,
+    /// Timestamp of the newest edge (= the last element's arrival).
+    ts: u64,
 }
 
 #[derive(Clone, Debug)]
 struct L0Row {
     /// Complete-match handles of subqueries `0..=i`.
     comps: Vec<Handle>,
+    /// Timestamp of the arrival that completed the row.
+    ts: u64,
     key: JoinKey,
-    key_pos: u32,
 }
-
-macro_rules! impl_keyed {
-    ($t:ty) => {
-        impl Keyed for $t {
-            fn key(&self) -> JoinKey {
-                self.key
-            }
-            fn key_pos(&self) -> u32 {
-                self.key_pos
-            }
-            fn set_key_pos(&mut self, pos: u32) {
-                self.key_pos = pos;
-            }
-        }
-    };
-}
-
-impl_keyed!(SubRow);
-impl_keyed!(L0Row);
 
 type KeyIndex = HashMap<JoinKey, Vec<u32>>;
 
-/// Files `slot` under `key`, recording the bucket position on the row.
-fn index_insert<T: Keyed>(index: &mut KeyIndex, slab: &mut Slab<T>, slot: u32, key: JoinKey) {
+/// Appends `slot` to `key`'s bucket, checking the timestamp-ordered
+/// invariant against the current bucket tail.
+fn index_insert(
+    index: &mut KeyIndex,
+    slot: u32,
+    ts: u64,
+    key: JoinKey,
+    tail_ts: impl Fn(u32) -> u64,
+) {
     let bucket = index.entry(key).or_default();
-    slab.get_mut(slot).expect("fresh slot").set_key_pos(bucket.len() as u32);
+    debug_assert!(
+        bucket.last().is_none_or(|&t| tail_ts(t) <= ts),
+        "bucket insert violates the timestamp-ordered invariant"
+    );
     bucket.push(slot);
 }
 
-/// Removes a just-deleted row from its bucket (O(1) swap-remove; the
-/// moved row's stored position is patched through the slab).
-fn index_remove<T: Keyed>(index: &mut KeyIndex, slab: &mut Slab<T>, row: &T) {
-    let bucket = index.get_mut(&row.key()).expect("indexed row has a bucket");
-    let pos = row.key_pos() as usize;
-    bucket.swap_remove(pos);
-    if let Some(&moved) = bucket.get(pos) {
-        slab.get_mut(moved).expect("live moved row").set_key_pos(pos as u32);
-    }
+/// Drops just-deleted slots from a touched bucket, preserving the
+/// survivors' (timestamp) order.
+fn index_compact(index: &mut KeyIndex, key: JoinKey, live: impl Fn(u32) -> bool) {
+    let bucket = index.get_mut(&key).expect("touched bucket exists");
+    bucket.retain(|&slot| live(slot));
     if bucket.is_empty() {
-        index.remove(&row.key());
+        index.remove(&key);
     }
 }
 
@@ -216,12 +198,51 @@ impl MatchStore for IndependentStore {
         }
     }
 
+    fn for_each_sub_keyed_before(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        cutoff_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item_id(sub, level);
+        let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
+            return;
+        };
+        let n = bucket.partition_point(|&slot| self.sub_row(sub, level, slot).ts < cutoff_ts);
+        for &slot in &bucket[..n] {
+            let row = self.sub_row(sub, level, slot);
+            f(encode(item, slot), &row.edges);
+        }
+    }
+
+    fn for_each_sub_keyed_from(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item_id(sub, level);
+        let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
+            return;
+        };
+        let n = bucket.partition_point(|&slot| self.sub_row(sub, level, slot).ts < min_ts);
+        for &slot in &bucket[n..] {
+            let row = self.sub_row(sub, level, slot);
+            f(encode(item, slot), &row.edges);
+        }
+    }
+
     fn insert_sub(
         &mut self,
         sub: usize,
         level: usize,
         parent: Handle,
         edge: EdgeId,
+        ts: u64,
         key: JoinKey,
     ) -> Handle {
         let edges = if level == 0 {
@@ -233,8 +254,11 @@ impl MatchStore for IndependentStore {
             edges.push(edge);
             edges
         };
-        let slot = self.subs[sub][level].insert(SubRow { edges, key, key_pos: 0 });
-        index_insert(&mut self.sub_idx[sub][level], &mut self.subs[sub][level], slot, key);
+        let slot = self.subs[sub][level].insert(SubRow { edges, ts });
+        let slab = &self.subs[sub][level];
+        index_insert(&mut self.sub_idx[sub][level], slot, ts, key, |t| {
+            slab.get(t).expect("indexed row is live").ts
+        });
         encode(self.sub_item_id(sub, level), slot)
     }
 
@@ -256,7 +280,33 @@ impl MatchStore for IndependentStore {
         }
     }
 
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle {
+    fn for_each_l0_keyed_from(
+        &self,
+        i: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[Handle]),
+    ) {
+        let item = self.l0_item_id(i);
+        let Some(bucket) = self.l0_idx[i - 1].get(&key) else {
+            return;
+        };
+        let n = bucket
+            .partition_point(|&slot| self.l0[i - 1].get(slot).expect("live L0 row").ts < min_ts);
+        for &slot in &bucket[n..] {
+            let row = self.l0[i - 1].get(slot).expect("live L0 row");
+            f(encode(item, slot), &row.comps);
+        }
+    }
+
+    fn insert_l0(
+        &mut self,
+        i: usize,
+        parent: Handle,
+        comp: Handle,
+        ts: u64,
+        key: JoinKey,
+    ) -> Handle {
         let comps = if i == 1 {
             vec![parent, comp]
         } else {
@@ -265,8 +315,11 @@ impl MatchStore for IndependentStore {
             comps.push(comp);
             comps
         };
-        let slot = self.l0[i - 1].insert(L0Row { comps, key, key_pos: 0 });
-        index_insert(&mut self.l0_idx[i - 1], &mut self.l0[i - 1], slot, key);
+        let slot = self.l0[i - 1].insert(L0Row { comps, ts, key });
+        let slab = &self.l0[i - 1];
+        index_insert(&mut self.l0_idx[i - 1], slot, ts, key, |t| {
+            slab.get(t).expect("indexed row is live").ts
+        });
         encode(self.l0_item_id(i), slot)
     }
 
@@ -289,7 +342,7 @@ impl MatchStore for IndependentStore {
         unreachable!("expand_sub with a foreign handle");
     }
 
-    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize {
+    fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize {
         let mut deleted = 0usize;
         let mut dead_handles: HashSet<Handle> = HashSet::new();
         let mut seen: HashSet<(usize, usize)> = HashSet::new();
@@ -300,32 +353,63 @@ impl MatchStore for IndependentStore {
             let leaf_level = self.layout.sub_lens[sub] - 1;
             for level in pos_level..=leaf_level {
                 let item = self.sub_item_id(sub, level);
-                let dead_slots: Vec<u32> = self.subs[sub][level]
-                    .iter()
-                    .filter(|(_, row)| row.edges[pos_level] == edge)
-                    .map(|(slot, _)| slot)
-                    .collect();
-                for slot in dead_slots {
+                // Walk the timestamp-ordered buckets instead of the slab:
+                // a row holding `edge` at `pos_level` has row.ts == ts
+                // when that is its newest position (level == pos_level)
+                // and row.ts > ts otherwise, so each bucket contributes a
+                // binary-searched suffix and the payload-level walk stops
+                // at the first newer row.
+                let slab = &self.subs[sub][level];
+                let mut dead: Vec<(JoinKey, u32)> = Vec::new();
+                for (key, bucket) in self.sub_idx[sub][level].iter() {
+                    let start = bucket
+                        .partition_point(|&s| slab.get(s).expect("indexed row is live").ts < ts);
+                    for &slot in &bucket[start..] {
+                        let row = slab.get(slot).expect("indexed row is live");
+                        if level == pos_level && row.ts > ts {
+                            break;
+                        }
+                        if row.edges[pos_level] == edge {
+                            dead.push((*key, slot));
+                        }
+                    }
+                }
+                for &(_, slot) in &dead {
                     let row = self.subs[sub][level].remove(slot).expect("scanned row is live");
-                    index_remove(&mut self.sub_idx[sub][level], &mut self.subs[sub][level], &row);
+                    debug_assert_eq!(row.edges[pos_level], edge);
                     deleted += 1;
                     if level == leaf_level {
                         dead_handles.insert(encode(item, slot));
                     }
                 }
+                let mut keys: Vec<JoinKey> = dead.into_iter().map(|(k, _)| k).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let slab = &self.subs[sub][level];
+                for key in keys {
+                    index_compact(&mut self.sub_idx[sub][level], key, |slot| {
+                        slab.get(slot).is_some()
+                    });
+                }
             }
         }
         if !dead_handles.is_empty() {
             for i in 1..self.layout.k() {
-                let dead_slots: Vec<u32> = self.l0[i - 1]
+                let dead: Vec<(JoinKey, u32)> = self.l0[i - 1]
                     .iter()
                     .filter(|(_, row)| row.comps.iter().any(|c| dead_handles.contains(c)))
-                    .map(|(slot, _)| slot)
+                    .map(|(slot, row)| (row.key, slot))
                     .collect();
-                for slot in dead_slots {
-                    let row = self.l0[i - 1].remove(slot).expect("scanned row is live");
-                    index_remove(&mut self.l0_idx[i - 1], &mut self.l0[i - 1], &row);
+                for &(_, slot) in &dead {
+                    self.l0[i - 1].remove(slot).expect("scanned row is live");
                     deleted += 1;
+                }
+                let mut keys: Vec<JoinKey> = dead.into_iter().map(|(k, _)| k).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                let slab = &self.l0[i - 1];
+                for key in keys {
+                    index_compact(&mut self.l0_idx[i - 1], key, |slot| slab.get(slot).is_some());
                 }
             }
         }
@@ -421,6 +505,18 @@ mod tests {
     fn conformance_keyed_l0() {
         conformance::keyed_l0_read_equals_filtered_scan::<IndependentStore>();
     }
+    #[test]
+    fn conformance_keyed_ranges() {
+        conformance::keyed_range_reads_equal_filtered_iteration::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_ordered_buckets_property() {
+        conformance::ordered_buckets_survive_random_ops::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_ordered_l0_buckets_property() {
+        conformance::ordered_l0_buckets_survive_random_ops::<IndependentStore>();
+    }
 
     #[test]
     fn independent_store_uses_more_space_than_mstree() {
@@ -429,13 +525,13 @@ mod tests {
         let layout = StoreLayout { sub_lens: vec![3] };
         let mut ind = IndependentStore::new(layout.clone());
         let mut ms = MsTreeStore::new(layout);
-        let a_i = ind.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        let b_i = ind.insert_sub(0, 1, a_i, EdgeId(2), 0);
-        let a_m = ms.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        let b_m = ms.insert_sub(0, 1, a_m, EdgeId(2), 0);
+        let a_i = ind.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let b_i = ind.insert_sub(0, 1, a_i, EdgeId(2), 2, 0);
+        let a_m = ms.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let b_m = ms.insert_sub(0, 1, a_m, EdgeId(2), 2, 0);
         for x in 0..50 {
-            ind.insert_sub(0, 2, b_i, EdgeId(100 + x), 0);
-            ms.insert_sub(0, 2, b_m, EdgeId(100 + x), 0);
+            ind.insert_sub(0, 2, b_i, EdgeId(100 + x), 100 + x, 0);
+            ms.insert_sub(0, 2, b_m, EdgeId(100 + x), 100 + x, 0);
         }
         assert!(
             ind.space_bytes() > ms.space_bytes(),

@@ -24,6 +24,16 @@
 //! descendants (which reach the grafted `L₀` levels through ordinary child
 //! links for subquery 0, and through payload scans for subqueries `i ≥ 1`,
 //! exactly Algorithm 2's "scan `L₀^i` to `L₀^k`" step).
+//!
+//! # Ordering
+//!
+//! Item lists and key buckets obey the timestamp-ordered invariant of the
+//! `store.rs` module docs: nodes carry the timestamp of their match's
+//! newest edge, appends are checked nondecreasing, and deletion punches
+//! holes that are compacted once per cascade so survivors keep their
+//! relative order. The engines rely on it for binary-search range probes
+//! ([`MatchStore::for_each_sub_keyed_before`] / `..._from`) and for the
+//! oldest-first early exit of `expire_edge`'s payload scans.
 
 use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::collections::{HashMap, HashSet};
@@ -35,6 +45,9 @@ const NIL: u32 = u32::MAX;
 struct Node {
     /// Data-edge id (subquery trees) or component handle (L₀ levels ≥ 1).
     payload: u64,
+    /// Timestamp of the match's newest edge — nondecreasing along every
+    /// item list and key bucket (the ordered-bucket invariant).
+    ts: u64,
     parent: u32,
     first_child: u32,
     next_sib: u32,
@@ -46,7 +59,8 @@ struct Node {
     item: u32,
     /// Join key the node was filed under (see `store.rs` module docs).
     key: JoinKey,
-    /// Position inside its item's key bucket (O(1) swap-remove).
+    /// Position inside its item's key bucket (O(1) hole-punching on
+    /// removal; buckets are compacted once per `expire_edge`).
     key_pos: u32,
     dead: bool,
 }
@@ -86,9 +100,10 @@ impl MsTreeStore {
         self.l0_base + (i - 1)
     }
 
-    fn alloc(&mut self, payload: u64, parent: u32, item: u32, key: JoinKey) -> u32 {
+    fn alloc(&mut self, payload: u64, parent: u32, item: u32, ts: u64, key: JoinKey) -> u32 {
         let node = Node {
             payload,
+            ts,
             parent,
             first_child: NIL,
             next_sib: NIL,
@@ -136,14 +151,32 @@ impl MsTreeStore {
         self.nodes[parent as usize].first_child = idx;
     }
 
-    fn insert_node(&mut self, payload: u64, parent: Handle, item: usize, key: JoinKey) -> Handle {
+    fn insert_node(
+        &mut self,
+        payload: u64,
+        parent: Handle,
+        item: usize,
+        ts: u64,
+        key: JoinKey,
+    ) -> Handle {
+        // Ordered-bucket invariant: appends arrive in nondecreasing
+        // timestamp order (the stream is strictly increasing), checked
+        // against the item tail — the bucket tail is never newer.
+        debug_assert!(
+            self.items[item].tail == NIL || self.nodes[self.items[item].tail as usize].ts <= ts,
+            "item {item} insert violates the timestamp-ordered invariant"
+        );
         let parent_idx = if parent == ROOT { NIL } else { parent as u32 };
-        let idx = self.alloc(payload, parent_idx, item as u32, key);
+        let idx = self.alloc(payload, parent_idx, item as u32, ts, key);
         if parent_idx != NIL {
             self.link_under_parent(idx, parent_idx);
         }
         self.link_into_item(idx);
         let bucket = self.indexes[item].entry(key).or_default();
+        debug_assert!(
+            bucket.last().is_none_or(|&t| self.nodes[t as usize].ts <= ts),
+            "bucket insert violates the timestamp-ordered invariant"
+        );
         self.nodes[idx as usize].key_pos = bucket.len() as u32;
         bucket.push(idx);
         idx as Handle
@@ -171,28 +204,45 @@ impl MsTreeStore {
         }
     }
 
-    /// Removes a node from its item's key bucket (O(1) swap-remove; the
-    /// moved node's stored position is patched).
-    fn unindex(&mut self, idx: u32) {
+    /// Removes a node from its item's key bucket by punching a hole at its
+    /// position (keeps the bucket's timestamp order; a swap-remove would
+    /// move the newest entry into the middle). The touched `(item, key)`
+    /// is recorded so [`MsTreeStore::compact_buckets`] can squeeze the
+    /// holes out once the whole cascade is unlinked.
+    fn unindex(&mut self, idx: u32, touched: &mut Vec<(usize, JoinKey)>) {
         let (item, key, pos) = {
             let n = &self.nodes[idx as usize];
             (n.item as usize, n.key, n.key_pos as usize)
         };
         let bucket = self.indexes[item].get_mut(&key).expect("indexed node has a bucket");
         debug_assert_eq!(bucket[pos], idx);
-        bucket.swap_remove(pos);
-        if let Some(&moved) = bucket.get(pos) {
-            self.nodes[moved as usize].key_pos = pos as u32;
-        }
-        if bucket.is_empty() {
-            self.indexes[item].remove(&key);
+        bucket[pos] = NIL;
+        touched.push((item, key));
+    }
+
+    /// Squeezes the holes out of every bucket touched by an expiry
+    /// cascade, re-recording survivor positions. Survivors keep their
+    /// relative (timestamp) order.
+    fn compact_buckets(&mut self, touched: &mut Vec<(usize, JoinKey)>) {
+        touched.sort_unstable();
+        touched.dedup();
+        for &(item, key) in touched.iter() {
+            let bucket = self.indexes[item].get_mut(&key).expect("touched bucket exists");
+            bucket.retain(|&n| n != NIL);
+            if bucket.is_empty() {
+                self.indexes[item].remove(&key);
+            } else {
+                for (pos, &n) in bucket.iter().enumerate() {
+                    self.nodes[n as usize].key_pos = pos as u32;
+                }
+            }
         }
     }
 
     /// Unlinks a dead node from its item list, its key bucket, and its
     /// parent's child list.
-    fn unlink(&mut self, idx: u32) {
-        self.unindex(idx);
+    fn unlink(&mut self, idx: u32, touched: &mut Vec<(usize, JoinKey)>) {
+        self.unindex(idx, touched);
         let (prev, next, item, parent, prev_sib, next_sib) = {
             let n = &self.nodes[idx as usize];
             (n.prev, n.next, n.item, n.parent, n.prev_sib, n.next_sib)
@@ -260,20 +310,52 @@ impl MsTreeStore {
         f(n as Handle, comps);
     }
 
+    /// The timestamp-ordered bucket of `(item, key)`, if any. Buckets hold
+    /// node indices in nondecreasing node-timestamp order, so range reads
+    /// binary-search them.
+    #[inline]
+    fn bucket(&self, item: usize, key: JoinKey) -> Option<&[u32]> {
+        self.indexes[item].get(&key).map(Vec::as_slice)
+    }
+
+    /// The bucket prefix of nodes with `ts < cutoff_ts`.
+    #[inline]
+    fn bucket_before(&self, item: usize, key: JoinKey, cutoff_ts: u64) -> &[u32] {
+        let Some(bucket) = self.bucket(item, key) else {
+            return &[];
+        };
+        let n = bucket.partition_point(|&idx| self.nodes[idx as usize].ts < cutoff_ts);
+        &bucket[..n]
+    }
+
+    /// The bucket suffix of nodes with `ts ≥ min_ts`.
+    #[inline]
+    fn bucket_from(&self, item: usize, key: JoinKey, min_ts: u64) -> &[u32] {
+        let Some(bucket) = self.bucket(item, key) else {
+            return &[];
+        };
+        let n = bucket.partition_point(|&idx| self.nodes[idx as usize].ts < min_ts);
+        &bucket[n..]
+    }
+
     /// Debug invariant: every item's list length matches a full traversal,
-    /// all listed nodes are alive, and the key index holds exactly the
-    /// listed nodes.
+    /// all listed nodes are alive and timestamp-ordered, and the key index
+    /// holds exactly the listed nodes, also timestamp-ordered and without
+    /// holes.
     #[cfg(test)]
     fn check_invariants(&self) {
         for (i, item) in self.items.iter().enumerate() {
             let mut n = item.head;
             let mut count = 0;
             let mut prev = NIL;
+            let mut prev_ts = 0u64;
             while n != NIL {
                 let node = &self.nodes[n as usize];
                 assert!(!node.dead, "dead node in item {i}");
                 assert_eq!(node.prev, prev);
                 assert_eq!(node.item as usize, i);
+                assert!(prev_ts <= node.ts, "item {i} list out of timestamp order");
+                prev_ts = node.ts;
                 let bucket = &self.indexes[i][&node.key];
                 assert_eq!(bucket[node.key_pos as usize], n, "index position in item {i}");
                 prev = n;
@@ -284,6 +366,16 @@ impl MsTreeStore {
             assert_eq!(item.tail, prev);
             let indexed: usize = self.indexes[i].values().map(Vec::len).sum();
             assert_eq!(indexed, item.len, "item {i} index size");
+            for bucket in self.indexes[i].values() {
+                assert!(!bucket.is_empty(), "empty bucket left behind in item {i}");
+                for w in bucket.windows(2) {
+                    assert!(w[0] != NIL && w[1] != NIL, "hole left in item {i} bucket");
+                    assert!(
+                        self.nodes[w[0] as usize].ts <= self.nodes[w[1] as usize].ts,
+                        "item {i} bucket out of timestamp order"
+                    );
+                }
+            }
         }
     }
 }
@@ -327,11 +419,41 @@ impl MatchStore for MsTreeStore {
         f: &mut dyn FnMut(Handle, &[EdgeId]),
     ) {
         let item = self.sub_item(sub, level);
-        let Some(bucket) = self.indexes[item].get(&key) else {
+        let Some(bucket) = self.bucket(item, key) else {
             return;
         };
         let mut buf = vec![EdgeId(0); level + 1];
         for &n in bucket {
+            self.emit_sub_path(n, level, &mut buf, f);
+        }
+    }
+
+    fn for_each_sub_keyed_before(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        cutoff_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        let mut buf = vec![EdgeId(0); level + 1];
+        for &n in self.bucket_before(item, key, cutoff_ts) {
+            self.emit_sub_path(n, level, &mut buf, f);
+        }
+    }
+
+    fn for_each_sub_keyed_from(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    ) {
+        let item = self.sub_item(sub, level);
+        let mut buf = vec![EdgeId(0); level + 1];
+        for &n in self.bucket_from(item, key, min_ts) {
             self.emit_sub_path(n, level, &mut buf, f);
         }
     }
@@ -342,11 +464,12 @@ impl MatchStore for MsTreeStore {
         level: usize,
         parent: Handle,
         edge: EdgeId,
+        ts: u64,
         key: JoinKey,
     ) -> Handle {
         debug_assert_eq!(parent == ROOT, level == 0);
         let item = self.sub_item(sub, level);
-        self.insert_node(edge.0, parent, item, key)
+        self.insert_node(edge.0, parent, item, ts, key)
     }
 
     fn for_each_l0(&self, i: usize, f: &mut dyn FnMut(Handle, &[Handle])) {
@@ -361,7 +484,7 @@ impl MatchStore for MsTreeStore {
 
     fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(Handle, &[Handle])) {
         let item = self.l0_item(i);
-        let Some(bucket) = self.indexes[item].get(&key) else {
+        let Some(bucket) = self.bucket(item, key) else {
             return;
         };
         let mut comps = vec![0 as Handle; i + 1];
@@ -370,9 +493,30 @@ impl MatchStore for MsTreeStore {
         }
     }
 
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle {
+    fn for_each_l0_keyed_from(
+        &self,
+        i: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[Handle]),
+    ) {
         let item = self.l0_item(i);
-        self.insert_node(comp, parent, item, key)
+        let mut comps = vec![0 as Handle; i + 1];
+        for &n in self.bucket_from(item, key, min_ts) {
+            self.emit_l0_row(n, i, &mut comps, f);
+        }
+    }
+
+    fn insert_l0(
+        &mut self,
+        i: usize,
+        parent: Handle,
+        comp: Handle,
+        ts: u64,
+        key: JoinKey,
+    ) -> Handle {
+        let item = self.l0_item(i);
+        self.insert_node(comp, parent, item, ts, key)
     }
 
     fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>) {
@@ -386,11 +530,14 @@ impl MatchStore for MsTreeStore {
         out[start..].reverse();
     }
 
-    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize {
+    fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize {
         let mut marked: Vec<u32> = Vec::new();
         // Phase 1: payload scans at the positions the edge can occupy,
         // cascading into descendants (which reach grafted L₀ levels for
-        // subquery 0 automatically).
+        // subquery 0 automatically). Item lists are timestamp-ordered and
+        // a node whose newest edge is `edge` carries exactly `ts`, so the
+        // scan walks oldest-first and stops at the first newer entry
+        // instead of filtering the whole item.
         let mut seen_items: HashSet<usize> = HashSet::new();
         for &(sub, level) in positions {
             let item = self.sub_item(sub, level);
@@ -399,8 +546,12 @@ impl MatchStore for MsTreeStore {
             }
             let mut n = self.items[item].head;
             while n != NIL {
+                if self.nodes[n as usize].ts > ts {
+                    break;
+                }
                 let next = self.nodes[n as usize].next;
                 if self.nodes[n as usize].payload == edge.0 {
+                    debug_assert_eq!(self.nodes[n as usize].ts, ts, "one edge, one timestamp");
                     self.mark_cascade(n, &mut marked);
                 }
                 n = next;
@@ -439,10 +590,13 @@ impl MatchStore for MsTreeStore {
                 }
             }
         }
-        // Unlink everything, then reclaim.
+        // Unlink everything (punching bucket holes), compact the touched
+        // buckets in one pass, then reclaim.
+        let mut touched: Vec<(usize, JoinKey)> = Vec::new();
         for &m in &marked {
-            self.unlink(m);
+            self.unlink(m, &mut touched);
         }
+        self.compact_buckets(&mut touched);
         for &m in &marked {
             self.free.push(m);
         }
@@ -525,20 +679,32 @@ mod tests {
     fn conformance_keyed_l0() {
         conformance::keyed_l0_read_equals_filtered_scan::<MsTreeStore>();
     }
+    #[test]
+    fn conformance_keyed_ranges() {
+        conformance::keyed_range_reads_equal_filtered_iteration::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_ordered_buckets_property() {
+        conformance::ordered_buckets_survive_random_ops::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_ordered_l0_buckets_property() {
+        conformance::ordered_l0_buckets_survive_random_ops::<MsTreeStore>();
+    }
 
     #[test]
     fn prefix_sharing_reuses_nodes() {
         // Figure 10: matches {σ1}, {σ1,σ3}, {σ1,σ3,σ4}, {σ1,σ3,σ9} use
         // exactly 4 nodes.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![3] });
-        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        let b = s.insert_sub(0, 1, a, EdgeId(3), 0);
-        s.insert_sub(0, 2, b, EdgeId(4), 0);
-        s.insert_sub(0, 2, b, EdgeId(9), 0);
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let b = s.insert_sub(0, 1, a, EdgeId(3), 3, 0);
+        s.insert_sub(0, 2, b, EdgeId(4), 4, 0);
+        s.insert_sub(0, 2, b, EdgeId(9), 9, 0);
         assert_eq!(s.nodes.len(), 4);
         s.check_invariants();
         // Deleting σ1 (Figure 10 walk-through) removes all 4 nodes.
-        let n = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        let n = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         assert_eq!(n, 4);
         assert_eq!(s.free.len(), 4);
         s.check_invariants();
@@ -547,12 +713,12 @@ mod tests {
     #[test]
     fn freed_nodes_are_reused() {
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
-        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        s.insert_sub(0, 1, a, EdgeId(2), 0);
-        s.expire_edge(EdgeId(1), &[(0, 0)]);
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        s.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         let cap = s.nodes.len();
-        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3), 0);
-        s.insert_sub(0, 1, a2, EdgeId(4), 0);
+        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3), 3, 0);
+        s.insert_sub(0, 1, a2, EdgeId(4), 4, 0);
         assert_eq!(s.nodes.len(), cap, "arena did not grow");
         s.check_invariants();
     }
@@ -561,16 +727,16 @@ mod tests {
     fn sibling_unlink_keeps_child_lists_intact() {
         // Parent with three children; delete the middle child's payload.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![2] });
-        let p = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        s.insert_sub(0, 1, p, EdgeId(10), 0);
-        s.insert_sub(0, 1, p, EdgeId(11), 0);
-        s.insert_sub(0, 1, p, EdgeId(12), 0);
-        let n = s.expire_edge(EdgeId(11), &[(0, 1)]);
+        let p = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        s.insert_sub(0, 1, p, EdgeId(10), 10, 0);
+        s.insert_sub(0, 1, p, EdgeId(11), 11, 0);
+        s.insert_sub(0, 1, p, EdgeId(12), 12, 0);
+        let n = s.expire_edge(EdgeId(11), 11, &[(0, 1)]);
         assert_eq!(n, 1);
         s.check_invariants();
         // The two survivors are still reachable as children of p: expire p
         // and verify the cascade count.
-        let n2 = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        let n2 = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         assert_eq!(n2, 3, "parent + two remaining children");
         s.check_invariants();
     }
@@ -579,12 +745,12 @@ mod tests {
     fn deep_graft_chain_cascades_from_sub0() {
         // k = 3; expire sub-0's edge: the L₀ chain dies via graft links.
         let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![1, 1, 1] });
-        let c0 = s.insert_sub(0, 0, ROOT, EdgeId(1), 0);
-        let c1 = s.insert_sub(1, 0, ROOT, EdgeId(2), 0);
-        let c2 = s.insert_sub(2, 0, ROOT, EdgeId(3), 0);
-        let u = s.insert_l0(1, c0, c1, 0);
-        s.insert_l0(2, u, c2, 0);
-        let n = s.expire_edge(EdgeId(1), &[(0, 0)]);
+        let c0 = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let c1 = s.insert_sub(1, 0, ROOT, EdgeId(2), 2, 0);
+        let c2 = s.insert_sub(2, 0, ROOT, EdgeId(3), 3, 0);
+        let u = s.insert_l0(1, c0, c1, 2, 0);
+        s.insert_l0(2, u, c2, 3, 0);
+        let n = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         assert_eq!(n, 3, "c0 + u01 + u012 die; c1, c2 survive");
         assert_eq!(s.len_sub(1, 0), 1);
         assert_eq!(s.len_sub(2, 0), 1);

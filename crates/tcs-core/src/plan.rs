@@ -114,6 +114,23 @@ pub struct QueryPlan {
     /// subquery `i`) — the key of the `L₀` join at item `i`. Index 0 is
     /// empty padding.
     pub l0_keys: Vec<Vec<L0KeyPart>>,
+    /// `l0_delta_floor_levels[i]` (for `1 ≤ i < k`): levels `d` of
+    /// subquery `i` whose edge must (by a cross-subquery ≺ constraint)
+    /// precede at least one edge of subqueries `0..i`. When a fresh
+    /// complete match Δ of `Q^{i+1}` probes the `L₀^{i-1}` rows, any row
+    /// whose newest timestamp is ≤ `ts(Δ[d])` cannot satisfy that
+    /// constraint — the engine binary-searches the timestamp-ordered
+    /// bucket past those rows before building any merged assignment.
+    /// Index 0 is empty padding.
+    pub l0_delta_floor_levels: Vec<Vec<usize>>,
+    /// `leaf_floor_positions[s]` (for `1 ≤ s < k`): positions
+    /// `(subquery, level)` among subqueries `0..s` whose edge must precede
+    /// at least one edge of subquery `s`. When an `L₀` row extends
+    /// rightwards over subquery `s`'s leaves, a leaf whose newest
+    /// timestamp is ≤ the row's binding at such a position cannot satisfy
+    /// the constraint and is skipped the same way. Index 0 is empty
+    /// padding.
+    pub leaf_floor_positions: Vec<Vec<(usize, usize)>>,
     /// Signature → query edges with that signature.
     sig_to_edges: HashMap<(VLabel, VLabel, ELabel), Vec<usize>>,
 }
@@ -144,7 +161,45 @@ impl QueryPlan {
         }
         let sub_keys = chain_key_specs(&query, &subs);
         let l0_keys = l0_key_specs(&query, &subs);
-        QueryPlan { query, subs, pos, sub_keys, l0_keys, sig_to_edges }
+        let l0_delta_floor_levels = l0_delta_floor_specs(&query, &subs);
+        let leaf_floor_positions = leaf_floor_specs(&query, &subs);
+        QueryPlan {
+            query,
+            subs,
+            pos,
+            sub_keys,
+            l0_keys,
+            l0_delta_floor_levels,
+            leaf_floor_positions,
+            sig_to_edges,
+        }
+    }
+
+    /// The minimum stored timestamp (inclusive) an `L₀^{i-1}` row must
+    /// have to possibly satisfy the cross-subquery ≺ constraints against a
+    /// fresh complete match of subquery `i`; `delta_ts(level)` resolves
+    /// the Δ-side edge timestamps. Returns 0 when no constraint applies.
+    #[inline]
+    pub fn l0_row_ts_floor(&self, i: usize, mut delta_ts: impl FnMut(usize) -> u64) -> u64 {
+        self.l0_delta_floor_levels[i]
+            .iter()
+            .map(|&d| delta_ts(d).saturating_add(1))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The minimum stored timestamp (inclusive) a leaf of subquery `next`
+    /// must have to possibly satisfy the cross-subquery ≺ constraints
+    /// against an `L₀` row over subqueries `0..next`; `row_ts(sub, level)`
+    /// resolves the row-side edge timestamps. Returns 0 when no constraint
+    /// applies.
+    #[inline]
+    pub fn leaf_ts_floor(&self, next: usize, mut row_ts: impl FnMut(usize, usize) -> u64) -> u64 {
+        self.leaf_floor_positions[next]
+            .iter()
+            .map(|&(sub, lvl)| row_ts(sub, lvl).saturating_add(1))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Probe key of an arrival `σ` matching level `j ≥ 1` of subquery `i`
@@ -349,6 +404,47 @@ fn l0_key_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<L0KeyPart>> {
             }
         }
         out.push(parts);
+    }
+    out
+}
+
+/// Timing-floor specs for the `L₀` joins: per join `i`, the Δ-side levels
+/// whose edge a cross-subquery ≺ constraint places before some row-side
+/// edge. A row older than (or as old as) all of Δ's bindings at those
+/// levels cannot satisfy the constraints, whatever its own bindings are —
+/// the necessary condition the ordered-bucket binary search exploits.
+fn l0_delta_floor_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<usize>> {
+    let k = subs.len();
+    let mut out = vec![Vec::new()];
+    for i in 1..k {
+        let row_mask: u64 = subs[..i].iter().map(|s| s.mask).fold(0, |a, m| a | m);
+        let mut levels = Vec::new();
+        for (d, &e) in subs[i].seq.iter().enumerate() {
+            if q.order.after_mask(e) & row_mask != 0 {
+                levels.push(d);
+            }
+        }
+        out.push(levels);
+    }
+    out
+}
+
+/// Timing-floor specs for the rightward leaf probes: per subquery `s`,
+/// the row-side positions whose edge must precede some edge of `s` — a
+/// leaf not newer than all of the row's bindings there cannot join.
+fn leaf_floor_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<(usize, usize)>> {
+    let k = subs.len();
+    let mut out = vec![Vec::new()];
+    for s in 1..k {
+        let mut positions = Vec::new();
+        for (sub, sq) in subs.iter().enumerate().take(s) {
+            for (lvl, &e) in sq.seq.iter().enumerate() {
+                if q.order.after_mask(e) & subs[s].mask != 0 {
+                    positions.push((sub, lvl));
+                }
+            }
+        }
+        out.push(positions);
     }
     out
 }

@@ -53,12 +53,53 @@
 //!   full compatibility check on every probe hit, so semantics are
 //!   identical to the full-scan path.
 //! * `expire_edge`'s cascading deletes keep the indexes coherent: every
-//!   unlink also removes the match from its key bucket (O(1) swap-remove
-//!   via a stored bucket position).
+//!   unlink also removes the match from its key bucket (a punched hole,
+//!   compacted once per cascade so bucket order survives).
 //!
 //! A spec with no shared vertices folds to [`crate::plan::KEY_EMPTY`] on
 //! both sides — one bucket holding the whole item, which degrades
 //! gracefully to the original full scan.
+//!
+//! # The ordered-bucket invariant
+//!
+//! Every insertion also carries the match's *timestamp*: the arrival
+//! timestamp of its newest edge, which for every row the engine creates is
+//! the timestamp of the arrival that triggered the insertion (subquery
+//! rows are created by the arrival of their newest edge; an `L₀` row is
+//! created the moment its last-completing component completes, so its
+//! newest component's newest edge *is* the current arrival). Stream
+//! timestamps are strictly increasing, so appends arrive in nondecreasing
+//! timestamp order, and the stores promote that from an accident of
+//! append order to a **checked invariant**:
+//!
+//! * every item list and every key bucket iterates in nondecreasing
+//!   timestamp order, oldest first (asserted on insert in debug builds);
+//! * `expire_edge` preserves the order — removals hole-compact the touched
+//!   buckets instead of swap-removing into the middle.
+//!
+//! Three consumers exploit the sortedness to *stop* instead of *filter*:
+//!
+//! * [`MatchStore::for_each_sub_keyed_before`] binary-searches the bucket
+//!   for the chain join's `last.ts < σ.ts` cutoff and visits only the
+//!   valid prefix;
+//! * [`MatchStore::for_each_sub_keyed_from`] /
+//!   [`MatchStore::for_each_l0_keyed_from`] binary-search for a minimum
+//!   timestamp and visit only the valid suffix — the engine derives the
+//!   floor from cross-subquery ≺ constraints
+//!   ([`crate::plan::QueryPlan::l0_delta_floor_levels`]), skipping rows
+//!   that cannot satisfy them *before* their merged assignment is built;
+//! * `expire_edge` walks items oldest-first and stops at the first entry
+//!   newer than the expired edge: an entry whose newest edge is the
+//!   expired edge has exactly its timestamp, so nothing beyond that point
+//!   can die at the scanned position.
+//!
+//! Like the join key, the timestamp bounds are *prefilters*: every visited
+//! candidate still runs the full compatibility check, and a range read
+//! visits a superset of the joinable matches within the bucket (the ts
+//! bound is a necessary condition), so semantics are identical to the
+//! filtered full scan. The contract callers must uphold is "one edge, one
+//! timestamp": distinct stream edges never share a timestamp (Definition 1
+//! gives strictly increasing arrivals).
 
 use tcs_graph::EdgeId;
 
@@ -111,16 +152,45 @@ pub trait MatchStore {
         f: &mut dyn FnMut(Handle, &[EdgeId]),
     );
 
+    /// Like [`MatchStore::for_each_sub_keyed`], but visits only the bucket
+    /// prefix of matches strictly older than `cutoff_ts`: the bucket is
+    /// timestamp-ordered (module docs), so the cutoff is found by binary
+    /// search and iteration stops instead of filtering per candidate.
+    fn for_each_sub_keyed_before(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        cutoff_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    );
+
+    /// Like [`MatchStore::for_each_sub_keyed`], but visits only the bucket
+    /// suffix of matches with timestamp `≥ min_ts` (binary search on the
+    /// ordered bucket; `min_ts == 0` is the whole bucket).
+    fn for_each_sub_keyed_from(
+        &self,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[EdgeId]),
+    );
+
     /// Inserts a match of subquery `sub` at `level`, extending `parent`
     /// (which must be a handle from item `level − 1`, or [`ROOT`] when
     /// `level == 0`) with `edge`, filed under join key `key` for later
-    /// keyed iteration. Returns the new match's handle.
+    /// keyed iteration. `ts` is the arrival timestamp of `edge` (the
+    /// match's newest edge); it must be no older than anything already
+    /// stored in the item (the ordered-bucket invariant, checked in debug
+    /// builds). Returns the new match's handle.
     fn insert_sub(
         &mut self,
         sub: usize,
         level: usize,
         parent: Handle,
         edge: EdgeId,
+        ts: u64,
         key: JoinKey,
     ) -> Handle;
 
@@ -133,11 +203,32 @@ pub trait MatchStore {
     /// (keyed counterpart of [`MatchStore::for_each_l0`]).
     fn for_each_l0_keyed(&self, i: usize, key: JoinKey, f: &mut dyn FnMut(Handle, &[Handle]));
 
+    /// Like [`MatchStore::for_each_l0_keyed`], but visits only the bucket
+    /// suffix of rows with timestamp `≥ min_ts` (binary search on the
+    /// ordered bucket; `min_ts == 0` is the whole bucket).
+    fn for_each_l0_keyed_from(
+        &self,
+        i: usize,
+        key: JoinKey,
+        min_ts: u64,
+        f: &mut dyn FnMut(Handle, &[Handle]),
+    );
+
     /// Inserts into `L₀` item `i` (`1 ≤ i < k`): `parent` is a handle from
     /// `L₀` item `i − 1` — which for `i == 1` is a complete-match handle of
     /// subquery 0 (the aliased first item) — and `comp` is a complete-match
-    /// handle of subquery `i`. The row is filed under join key `key`.
-    fn insert_l0(&mut self, i: usize, parent: Handle, comp: Handle, key: JoinKey) -> Handle;
+    /// handle of subquery `i`. The row is filed under join key `key` with
+    /// timestamp `ts` (the row's newest component's newest edge — the
+    /// arrival that completed the row; same ordering contract as
+    /// [`MatchStore::insert_sub`]).
+    fn insert_l0(
+        &mut self,
+        i: usize,
+        parent: Handle,
+        comp: Handle,
+        ts: u64,
+        key: JoinKey,
+    ) -> Handle;
 
     /// Appends the data edges of a complete or partial subquery match (in
     /// timing-sequence order) to `out`.
@@ -145,9 +236,13 @@ pub trait MatchStore {
 
     /// Deletes every partial match containing `edge`, which can only occur
     /// at the given (subquery, level) positions, cascading through deeper
-    /// items and `L₀` (Algorithm 2). Returns the number of partial matches
-    /// removed (over all items).
-    fn expire_edge(&mut self, edge: EdgeId, positions: &[(usize, usize)]) -> usize;
+    /// items and `L₀` (Algorithm 2). `ts` must be `edge`'s arrival
+    /// timestamp: the position scans walk items oldest-first and stop at
+    /// the first entry newer than `ts` (every entry whose newest edge is
+    /// `edge` carries exactly `ts`). Removals preserve the ordered-bucket
+    /// invariant. Returns the number of partial matches removed (over all
+    /// items).
+    fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize;
 
     /// Number of matches in subquery `sub`'s item `level`.
     fn len_sub(&self, sub: usize, level: usize) -> usize;
@@ -221,10 +316,10 @@ pub(crate) mod conformance {
 
     pub fn insert_read_roundtrip<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        let _c1 = s.insert_sub(0, 2, b, e(3), k(3));
-        let _c2 = s.insert_sub(0, 2, b, e(4), k(4));
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        let _c1 = s.insert_sub(0, 2, b, e(3), 3, k(3));
+        let _c2 = s.insert_sub(0, 2, b, e(4), 4, k(4));
         assert_eq!(s.len_sub(0, 0), 1);
         assert_eq!(s.len_sub(0, 1), 1);
         assert_eq!(s.len_sub(0, 2), 2);
@@ -235,9 +330,9 @@ pub(crate) mod conformance {
 
     pub fn expand_matches_read<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        let c = s.insert_sub(0, 2, b, e(3), k(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        let c = s.insert_sub(0, 2, b, e(3), 3, k(3));
         let mut out = Vec::new();
         s.expand_sub(0, c, &mut out);
         assert_eq!(out, vec![e(1), e(2), e(3)]);
@@ -246,13 +341,13 @@ pub(crate) mod conformance {
     pub fn l0_components_roundtrip<S: MatchStore>() {
         let mut s = S::new(layout());
         // Complete match of sub 0: 1-2-3.
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        let c0 = s.insert_sub(0, 2, b, e(3), k(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        let c0 = s.insert_sub(0, 2, b, e(3), 3, k(3));
         // Complete match of sub 1: 10-11.
-        let x = s.insert_sub(1, 0, ROOT, e(10), k(10));
-        let c1 = s.insert_sub(1, 1, x, e(11), k(11));
-        let h = s.insert_l0(1, c0, c1, 77);
+        let x = s.insert_sub(1, 0, ROOT, e(10), 10, k(10));
+        let c1 = s.insert_sub(1, 1, x, e(11), 11, k(11));
+        let h = s.insert_l0(1, c0, c1, 11, 77);
         assert_eq!(s.len_l0(1), 1);
         let rows = collect_l0(&s, 1);
         assert_eq!(rows, vec![vec![c0, c1]]);
@@ -268,12 +363,12 @@ pub(crate) mod conformance {
 
     pub fn expire_cascades_within_sub<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        s.insert_sub(0, 2, b, e(3), k(3));
-        s.insert_sub(0, 2, b, e(4), k(4));
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        s.insert_sub(0, 2, b, e(3), 3, k(3));
+        s.insert_sub(0, 2, b, e(4), 4, k(4));
         // Expire e(1): everything dies (positions say e(1) sits at (0,0)).
-        let n = s.expire_edge(e(1), &[(0, 0)]);
+        let n = s.expire_edge(e(1), 1, &[(0, 0)]);
         assert_eq!(n, 4, "1 + 1 + 2 partial matches removed");
         assert_eq!(s.len_sub(0, 0), 0);
         assert_eq!(s.len_sub(0, 1), 0);
@@ -282,10 +377,10 @@ pub(crate) mod conformance {
 
     pub fn expire_middle_level_keeps_prefix<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        s.insert_sub(0, 2, b, e(3), k(3));
-        let n = s.expire_edge(e(2), &[(0, 1)]);
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        s.insert_sub(0, 2, b, e(3), 3, k(3));
+        let n = s.expire_edge(e(2), 2, &[(0, 1)]);
         assert_eq!(n, 2);
         assert_eq!(s.len_sub(0, 0), 1, "prefix {{1}} survives");
         assert_eq!(s.len_sub(0, 1), 0);
@@ -294,26 +389,26 @@ pub(crate) mod conformance {
 
     pub fn expire_cleans_l0<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        let c0 = s.insert_sub(0, 2, b, e(3), k(3));
-        let x = s.insert_sub(1, 0, ROOT, e(10), k(10));
-        let c1 = s.insert_sub(1, 1, x, e(11), k(11));
-        s.insert_l0(1, c0, c1, 77);
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        let c0 = s.insert_sub(0, 2, b, e(3), 3, k(3));
+        let x = s.insert_sub(1, 0, ROOT, e(10), 10, k(10));
+        let c1 = s.insert_sub(1, 1, x, e(11), 11, k(11));
+        s.insert_l0(1, c0, c1, 11, 77);
 
         // Expiring e(10) kills sub 1's matches and the L0 row.
-        let n = s.expire_edge(e(10), &[(1, 0)]);
+        let n = s.expire_edge(e(10), 10, &[(1, 0)]);
         assert_eq!(n, 3, "{{10}}, {{10,11}} and the L0 row");
         assert_eq!(s.len_l0(1), 0);
         assert_eq!(s.len_sub(0, 2), 1, "sub 0 untouched");
 
         // Rebuild sub 1 and the join, then expire via sub 0's root edge:
         // the L0 row must die through the component-0 side too.
-        let x2 = s.insert_sub(1, 0, ROOT, e(20), k(20));
-        let c12 = s.insert_sub(1, 1, x2, e(21), k(21));
-        s.insert_l0(1, c0, c12, 77);
+        let x2 = s.insert_sub(1, 0, ROOT, e(20), 20, k(20));
+        let c12 = s.insert_sub(1, 1, x2, e(21), 21, k(21));
+        s.insert_l0(1, c0, c12, 21, 77);
         assert_eq!(s.len_l0(1), 1);
-        let n2 = s.expire_edge(e(1), &[(0, 0)]);
+        let n2 = s.expire_edge(e(1), 1, &[(0, 0)]);
         assert_eq!(n2, 4, "three sub-0 prefixes + 1 L0 row");
         assert_eq!(s.len_l0(1), 0);
         assert_eq!(s.len_sub(1, 1), 1, "sub 1 intact");
@@ -321,9 +416,9 @@ pub(crate) mod conformance {
 
     pub fn expire_ignores_unrelated_edges<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        s.insert_sub(0, 1, a, e(2), k(2));
-        let n = s.expire_edge(e(99), &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        s.insert_sub(0, 1, a, e(2), 2, k(2));
+        let n = s.expire_edge(e(99), 99, &[(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
         assert_eq!(n, 0);
         assert_eq!(s.len_sub(0, 0), 1);
         assert_eq!(s.len_sub(0, 1), 1);
@@ -332,25 +427,25 @@ pub(crate) mod conformance {
     pub fn space_grows_and_shrinks<S: MatchStore>() {
         let mut s = S::new(layout());
         let base = s.space_bytes();
-        let a = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let b = s.insert_sub(0, 1, a, e(2), k(2));
-        s.insert_sub(0, 2, b, e(3), k(3));
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let b = s.insert_sub(0, 1, a, e(2), 2, k(2));
+        s.insert_sub(0, 2, b, e(3), 3, k(3));
         let grown = s.space_bytes();
         assert!(grown > base);
-        s.expire_edge(e(1), &[(0, 0)]);
+        s.expire_edge(e(1), 1, &[(0, 0)]);
         assert!(s.space_bytes() <= grown);
     }
 
     pub fn three_sub_l0_chain<S: MatchStore>() {
         // k = 3 with single-edge subqueries: the L0 list is a 2-level trie.
         let mut s = S::new(StoreLayout { sub_lens: vec![1, 1, 1] });
-        let c0 = s.insert_sub(0, 0, ROOT, e(1), k(1));
-        let c1 = s.insert_sub(1, 0, ROOT, e(2), k(2));
-        let c2a = s.insert_sub(2, 0, ROOT, e(3), k(3));
-        let c2b = s.insert_sub(2, 0, ROOT, e(4), k(4));
-        let u01 = s.insert_l0(1, c0, c1, 77);
-        s.insert_l0(2, u01, c2a, 77);
-        s.insert_l0(2, u01, c2b, 77);
+        let c0 = s.insert_sub(0, 0, ROOT, e(1), 1, k(1));
+        let c1 = s.insert_sub(1, 0, ROOT, e(2), 2, k(2));
+        let c2a = s.insert_sub(2, 0, ROOT, e(3), 3, k(3));
+        let c2b = s.insert_sub(2, 0, ROOT, e(4), 4, k(4));
+        let u01 = s.insert_l0(1, c0, c1, 2, 77);
+        s.insert_l0(2, u01, c2a, 3, 77);
+        s.insert_l0(2, u01, c2b, 4, 77);
         assert_eq!(s.len_l0(1), 1);
         assert_eq!(s.len_l0(2), 2);
         let mut rows = Vec::new();
@@ -358,7 +453,7 @@ pub(crate) mod conformance {
         rows.sort();
         assert_eq!(rows, vec![vec![c0, c1, c2a], vec![c0, c1, c2b]]);
         // Expire the middle subquery's edge: both full rows and u01 die.
-        let n = s.expire_edge(e(2), &[(1, 0)]);
+        let n = s.expire_edge(e(2), 2, &[(1, 0)]);
         assert_eq!(n, 4, "{{2}}, u01, and two level-2 rows");
         assert_eq!(s.len_l0(1), 0);
         assert_eq!(s.len_l0(2), 0);
@@ -391,13 +486,13 @@ pub(crate) mod conformance {
         // with one key shared across parents.
         let mut key_of: std::collections::HashMap<Vec<u64>, JoinKey> =
             std::collections::HashMap::new();
-        let a = s.insert_sub(0, 0, ROOT, e(1), 100);
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, 100);
         key_of.insert(vec![1], 100);
-        let a2 = s.insert_sub(0, 0, ROOT, e(2), 101);
+        let a2 = s.insert_sub(0, 0, ROOT, e(2), 2, 101);
         key_of.insert(vec![2], 101);
-        let b = s.insert_sub(0, 1, a, e(3), 200);
+        let b = s.insert_sub(0, 1, a, e(3), 3, 200);
         key_of.insert(vec![1, 3], 200);
-        let b2 = s.insert_sub(0, 1, a2, e(4), 200);
+        let b2 = s.insert_sub(0, 1, a2, e(4), 4, 200);
         key_of.insert(vec![2, 4], 200);
         for (parent, prefix, edge, key) in [
             (b, vec![1u64, 3], 10u64, 300u64),
@@ -408,7 +503,7 @@ pub(crate) mod conformance {
             let mut row = prefix.clone();
             row.push(edge);
             key_of.insert(row, key);
-            s.insert_sub(0, 2, parent, e(edge), key);
+            s.insert_sub(0, 2, parent, e(edge), edge, key);
         }
         for key in [100u64, 101, 200, 300, 301, 302, 999] {
             for level in 0..3 {
@@ -428,43 +523,302 @@ pub(crate) mod conformance {
 
     pub fn keyed_reads_stay_coherent_after_expire<S: MatchStore>() {
         let mut s = S::new(layout());
-        let a = s.insert_sub(0, 0, ROOT, e(1), 100);
-        let a2 = s.insert_sub(0, 0, ROOT, e(2), 100);
-        let b = s.insert_sub(0, 1, a, e(3), 200);
-        let b2 = s.insert_sub(0, 1, a2, e(4), 200);
-        s.insert_sub(0, 2, b, e(10), 300);
-        s.insert_sub(0, 2, b, e(11), 300);
-        s.insert_sub(0, 2, b2, e(12), 300);
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, 100);
+        let a2 = s.insert_sub(0, 0, ROOT, e(2), 2, 100);
+        let b = s.insert_sub(0, 1, a, e(3), 3, 200);
+        let b2 = s.insert_sub(0, 1, a2, e(4), 4, 200);
+        s.insert_sub(0, 2, b, e(10), 10, 300);
+        s.insert_sub(0, 2, b, e(11), 11, 300);
+        s.insert_sub(0, 2, b2, e(12), 12, 300);
         // Expire e(3): the cascade kills {1,3}, {1,3,10}, {1,3,11} and
         // must remove them from the shared 200/300 buckets, leaving the
         // sibling tree intact in the same buckets.
-        let n = s.expire_edge(e(3), &[(0, 1)]);
+        let n = s.expire_edge(e(3), 3, &[(0, 1)]);
         assert_eq!(n, 3);
         assert_eq!(collect_sub_keyed(&s, 0, 0, 100), vec![vec![1], vec![2]]);
         assert_eq!(collect_sub_keyed(&s, 0, 1, 200), vec![vec![2, 4]]);
         assert_eq!(collect_sub_keyed(&s, 0, 2, 300), vec![vec![2, 4, 12]]);
         // Root expiries empty the buckets completely ({1} survived the
         // level-1 cascade above).
-        s.expire_edge(e(1), &[(0, 0)]);
-        s.expire_edge(e(2), &[(0, 0)]);
+        s.expire_edge(e(1), 1, &[(0, 0)]);
+        s.expire_edge(e(2), 2, &[(0, 0)]);
         assert!(collect_sub_keyed(&s, 0, 0, 100).is_empty());
         assert!(collect_sub_keyed(&s, 0, 1, 200).is_empty());
         assert!(collect_sub_keyed(&s, 0, 2, 300).is_empty());
         // Buckets are reusable after emptying.
-        s.insert_sub(0, 0, ROOT, e(9), 100);
+        s.insert_sub(0, 0, ROOT, e(9), 9, 100);
         assert_eq!(collect_sub_keyed(&s, 0, 0, 100), vec![vec![9]]);
+    }
+
+    fn collect_sub_keyed_before<S: MatchStore>(
+        s: &S,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        cutoff: u64,
+    ) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        s.for_each_sub_keyed_before(sub, level, key, cutoff, &mut |_, edges| {
+            out.push(edges.iter().map(|x| x.0).collect());
+        });
+        out
+    }
+
+    fn collect_sub_keyed_from<S: MatchStore>(
+        s: &S,
+        sub: usize,
+        level: usize,
+        key: JoinKey,
+        min_ts: u64,
+    ) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        s.for_each_sub_keyed_from(sub, level, key, min_ts, &mut |_, edges| {
+            out.push(edges.iter().map(|x| x.0).collect());
+        });
+        out
+    }
+
+    /// Deterministic range-read check: with the ts = edge-id convention,
+    /// `keyed_before(c)` must equal the keyed read filtered to newest-edge
+    /// ts < c, and `keyed_from(m)` the ≥ m suffix, for every cutoff.
+    pub fn keyed_range_reads_equal_filtered_iteration<S: MatchStore>() {
+        let mut s = S::new(layout());
+        let a = s.insert_sub(0, 0, ROOT, e(1), 1, 100);
+        let a2 = s.insert_sub(0, 0, ROOT, e(2), 2, 100);
+        for (parent, edge, key) in
+            [(a, 3u64, 200u64), (a2, 4, 200), (a, 5, 200), (a2, 6, 201), (a, 7, 200)]
+        {
+            s.insert_sub(0, 1, parent, e(edge), edge, key);
+        }
+        for key in [100u64, 200, 201, 999] {
+            for level in 0..2 {
+                // Unbounded range reads equal the plain keyed read.
+                let full: Vec<Vec<u64>> = {
+                    let mut out = Vec::new();
+                    s.for_each_sub_keyed(0, level, key, &mut |_, edges| {
+                        out.push(edges.iter().map(|x| x.0).collect());
+                    });
+                    out
+                };
+                assert_eq!(collect_sub_keyed_before::<S>(&s, 0, level, key, u64::MAX), full);
+                assert_eq!(collect_sub_keyed_from::<S>(&s, 0, level, key, 0), full);
+                for cutoff in 0..9u64 {
+                    let prefix: Vec<Vec<u64>> = full
+                        .iter()
+                        .filter(|row| *row.last().expect("nonempty") < cutoff)
+                        .cloned()
+                        .collect();
+                    let suffix: Vec<Vec<u64>> = full
+                        .iter()
+                        .filter(|row| *row.last().expect("nonempty") >= cutoff)
+                        .cloned()
+                        .collect();
+                    assert_eq!(
+                        collect_sub_keyed_before::<S>(&s, 0, level, key, cutoff),
+                        prefix,
+                        "level {level} key {key} cutoff {cutoff}"
+                    );
+                    assert_eq!(
+                        collect_sub_keyed_from::<S>(&s, 0, level, key, cutoff),
+                        suffix,
+                        "level {level} key {key} min {cutoff}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The ordered-bucket property test: after any interleaving of keyed
+    /// inserts (extensions included) and `expire_edge` cascades, every
+    /// bucket iterates in nondecreasing newest-edge-timestamp order and
+    /// early-exit range iteration equals filtered full iteration. Uses the
+    /// ts = edge-id convention so row timestamps are recoverable from the
+    /// emitted edges.
+    pub fn ordered_buckets_survive_random_ops<S: MatchStore>() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9));
+            let mut s = S::new(StoreLayout { sub_lens: vec![3] });
+            for t in 1..=160u64 {
+                // Current rows per level as (handle, newest edge id).
+                let rows_at = |s: &S, level: usize| {
+                    let mut rows: Vec<(Handle, u64)> = Vec::new();
+                    s.for_each_sub(0, level, &mut |h, edges| {
+                        rows.push((h, edges.last().expect("nonempty").0));
+                    });
+                    rows
+                };
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        // Expire the newest edge of a random live row at a
+                        // random level (its (0, level) position).
+                        let level = rng.gen_range(0..3usize);
+                        let rows = rows_at(&s, level);
+                        if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1))) {
+                            s.expire_edge(e(edge), edge, &[(0, level)]);
+                        }
+                    }
+                    1 => {
+                        s.insert_sub(0, 0, ROOT, e(t), t, t % 3);
+                    }
+                    _ => {
+                        // Extend a random level-0 or level-1 row.
+                        let level = rng.gen_range(0..2usize);
+                        let rows = rows_at(&s, level);
+                        if rows.is_empty() {
+                            s.insert_sub(0, 0, ROOT, e(t), t, t % 3);
+                        } else {
+                            let (parent, _) = rows[rng.gen_range(0..rows.len())];
+                            s.insert_sub(0, level + 1, parent, e(t), t, t % 3);
+                        }
+                    }
+                }
+                // Invariant: every bucket is newest-edge-ts ordered and
+                // range reads equal filtered full iteration.
+                for level in 0..3usize {
+                    for key in 0..3u64 {
+                        let full: Vec<Vec<u64>> = {
+                            let mut out = Vec::new();
+                            s.for_each_sub_keyed(0, level, key, &mut |_, edges| {
+                                out.push(edges.iter().map(|x| x.0).collect());
+                            });
+                            out
+                        };
+                        for w in full.windows(2) {
+                            assert!(
+                                w[0].last() <= w[1].last(),
+                                "seed {seed} t {t}: bucket ({level}, {key}) out of order"
+                            );
+                        }
+                        for cutoff in [0, t / 2, t, u64::MAX] {
+                            let prefix: Vec<Vec<u64>> = full
+                                .iter()
+                                .filter(|r| *r.last().expect("nonempty") < cutoff)
+                                .cloned()
+                                .collect();
+                            assert_eq!(
+                                collect_sub_keyed_before::<S>(&s, 0, level, key, cutoff),
+                                prefix,
+                                "seed {seed} t {t} level {level} key {key} cutoff {cutoff}"
+                            );
+                            let suffix: Vec<Vec<u64>> = full
+                                .iter()
+                                .filter(|r| *r.last().expect("nonempty") >= cutoff)
+                                .cloned()
+                                .collect();
+                            assert_eq!(
+                                collect_sub_keyed_from::<S>(&s, 0, level, key, cutoff),
+                                suffix,
+                                "seed {seed} t {t} level {level} key {key} min {cutoff}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ordered-bucket property for `L₀` rows: random leaf inserts, row
+    /// inserts and expiries; `for_each_l0_keyed_from` must always equal
+    /// the filtered keyed iteration, in insertion (timestamp) order.
+    pub fn ordered_l0_buckets_survive_random_ops<S: MatchStore>() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..6u64 {
+            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0xabcd_1234));
+            let mut s = S::new(StoreLayout { sub_lens: vec![1, 1] });
+            // Row timestamps tracked by the component edge-id pair (edge
+            // ids are never reused, unlike handles).
+            let mut row_ts: std::collections::HashMap<(u64, u64), u64> =
+                std::collections::HashMap::new();
+            let mut joined: std::collections::HashSet<(u64, u64)> =
+                std::collections::HashSet::new();
+            for t in 1..=120u64 {
+                let leaves = |s: &S, sub: usize| {
+                    let mut rows: Vec<(Handle, u64)> = Vec::new();
+                    s.for_each_sub(sub, 0, &mut |h, edges| rows.push((h, edges[0].0)));
+                    rows
+                };
+                match rng.gen_range(0..4u32) {
+                    0 => {
+                        s.insert_sub(0, 0, ROOT, e(t), t, t % 2);
+                    }
+                    1 => {
+                        s.insert_sub(1, 0, ROOT, e(t), t, t % 2);
+                    }
+                    2 => {
+                        // Join a random pair not joined yet.
+                        let l0 = leaves(&s, 0);
+                        let l1 = leaves(&s, 1);
+                        if !l0.is_empty() && !l1.is_empty() {
+                            let (c0, e0) = l0[rng.gen_range(0..l0.len())];
+                            let (c1, e1) = l1[rng.gen_range(0..l1.len())];
+                            if joined.insert((e0, e1)) {
+                                s.insert_l0(1, c0, c1, t, t % 2);
+                                row_ts.insert((e0, e1), t);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Expire a random live leaf edge of either sub.
+                        let sub = rng.gen_range(0..2usize);
+                        let rows = leaves(&s, sub);
+                        if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1))) {
+                            s.expire_edge(e(edge), edge, &[(sub, 0)]);
+                            joined.retain(|&(e0, e1)| {
+                                let gone = if sub == 0 { e0 == edge } else { e1 == edge };
+                                if gone {
+                                    row_ts.remove(&(e0, e1));
+                                }
+                                !gone
+                            });
+                        }
+                    }
+                }
+                // Rows as component edge-id pairs, via expansion.
+                let expand_pair = |s: &S, comps: &[Handle]| {
+                    let mut e0 = Vec::new();
+                    s.expand_sub(0, comps[0], &mut e0);
+                    let mut e1 = Vec::new();
+                    s.expand_sub(1, comps[1], &mut e1);
+                    (e0[0].0, e1[0].0)
+                };
+                for key in 0..2u64 {
+                    let mut full: Vec<(u64, u64)> = Vec::new();
+                    s.for_each_l0_keyed(1, key, &mut |_, comps| {
+                        full.push(expand_pair(&s, comps));
+                    });
+                    for w in full.windows(2) {
+                        assert!(
+                            row_ts[&w[0]] <= row_ts[&w[1]],
+                            "seed {seed} t {t}: L0 bucket {key} out of order"
+                        );
+                    }
+                    for min_ts in [0, t / 2, t, u64::MAX] {
+                        let expect: Vec<(u64, u64)> =
+                            full.iter().filter(|p| row_ts[p] >= min_ts).cloned().collect();
+                        let mut got: Vec<(u64, u64)> = Vec::new();
+                        s.for_each_l0_keyed_from(1, key, min_ts, &mut |_, comps| {
+                            got.push(expand_pair(&s, comps));
+                        });
+                        assert_eq!(got, expect, "seed {seed} t {t} key {key} min {min_ts}");
+                    }
+                }
+            }
+        }
     }
 
     pub fn keyed_l0_read_equals_filtered_scan<S: MatchStore>() {
         let mut s = S::new(StoreLayout { sub_lens: vec![1, 1, 1] });
-        let c0 = s.insert_sub(0, 0, ROOT, e(1), 7);
-        let c1a = s.insert_sub(1, 0, ROOT, e(2), 7);
-        let c1b = s.insert_sub(1, 0, ROOT, e(3), 7);
-        let c2 = s.insert_sub(2, 0, ROOT, e(4), 7);
-        let ua = s.insert_l0(1, c0, c1a, 500);
-        let ub = s.insert_l0(1, c0, c1b, 501);
-        s.insert_l0(2, ua, c2, 600);
-        s.insert_l0(2, ub, c2, 600);
+        let c0 = s.insert_sub(0, 0, ROOT, e(1), 1, 7);
+        let c1a = s.insert_sub(1, 0, ROOT, e(2), 2, 7);
+        let c1b = s.insert_sub(1, 0, ROOT, e(3), 3, 7);
+        let c2 = s.insert_sub(2, 0, ROOT, e(4), 4, 7);
+        let ua = s.insert_l0(1, c0, c1a, 2, 500);
+        let ub = s.insert_l0(1, c0, c1b, 3, 501);
+        s.insert_l0(2, ua, c2, 4, 600);
+        s.insert_l0(2, ub, c2, 4, 600);
         assert_eq!(collect_l0_keyed(&s, 1, 500), vec![vec![c0, c1a]]);
         assert_eq!(collect_l0_keyed(&s, 1, 501), vec![vec![c0, c1b]]);
         assert!(collect_l0_keyed(&s, 1, 999).is_empty());
@@ -472,7 +826,7 @@ pub(crate) mod conformance {
         assert_eq!(collect_l0_keyed(&s, 2, 600), collect_l0(&s, 2));
         // Expire through sub 1's edge 2: row ua and its level-2 extension
         // leave their buckets; the 600 bucket keeps exactly the survivor.
-        let n = s.expire_edge(e(2), &[(1, 0)]);
+        let n = s.expire_edge(e(2), 2, &[(1, 0)]);
         assert_eq!(n, 3, "{{2}}, ua, and one level-2 row");
         assert!(collect_l0_keyed(&s, 1, 500).is_empty());
         assert_eq!(collect_l0_keyed(&s, 1, 501), vec![vec![c0, c1b]]);

@@ -79,13 +79,19 @@ impl SlidingWindow {
             );
         }
         self.last_ts = Some(arrival.ts.0);
-        let bound = arrival.ts.0.saturating_sub(self.duration);
         let mut expired = Vec::new();
-        while let Some(front) = self.buffer.front() {
-            if front.ts.0 <= bound {
-                expired.push(self.buffer.pop_front().expect("front exists"));
-            } else {
-                break;
+        // Only expire once `t − |W| ≥ 0` is representable: for `t < |W|`
+        // the timespan `(t − |W|, t]` still covers every timestamp down to
+        // 0, so even a `ts = 0` edge is live (a saturating bound of 0 would
+        // wrongly expire it).
+        if arrival.ts.0 >= self.duration {
+            let bound = arrival.ts.0 - self.duration;
+            while let Some(front) = self.buffer.front() {
+                if front.ts.0 <= bound {
+                    expired.push(self.buffer.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
             }
         }
         self.buffer.push_back(arrival);
@@ -174,6 +180,23 @@ mod tests {
         let mut w = SlidingWindow::new(10);
         let manual: Vec<_> = es.into_iter().map(|e| w.advance(e)).collect();
         assert_eq!(via_adapter, manual);
+    }
+
+    #[test]
+    fn ts_zero_edge_survives_while_window_covers_it() {
+        // Regression: with |W| = 5 the window at t = 3 is (−2, 3], which
+        // contains ts = 0; the saturating bound used to clamp to 0 and
+        // expire the edge anyway.
+        let mut w = SlidingWindow::new(5);
+        let ev0 = w.advance(edge(1, 0));
+        assert!(ev0.expired.is_empty());
+        let ev = w.advance(edge(2, 3));
+        assert!(ev.expired.is_empty(), "ts=0 is inside (−2, 3]");
+        assert_eq!(w.len(), 2);
+        // At t = 5 the timespan is (0, 5]: now ts = 0 expires.
+        let ev2 = w.advance(edge(3, 5));
+        assert_eq!(ev2.expired.len(), 1);
+        assert_eq!(ev2.expired[0].ts.0, 0);
     }
 
     #[test]

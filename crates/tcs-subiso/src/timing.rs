@@ -10,18 +10,22 @@ use tcs_graph::{MatchRecord, QueryGraph};
 /// Whether the record's assigned timestamps satisfy every `i ≺ j`
 /// constraint of the query.
 ///
-/// # Panics
-/// Panics if the record references an edge that is not live in the snapshot
-/// (post-filtering is only meaningful over the snapshot that produced the
-/// record).
+/// A record referencing an edge that is no longer live in the snapshot
+/// (stale output post-filtered after the edge expired) cannot be a match
+/// over that snapshot and yields `false` — posterior verification must
+/// never abort the run on a dangling reference.
 pub fn satisfies_timing(q: &QueryGraph, rec: &MatchRecord, snap: &Snapshot) -> bool {
     for j in 0..q.n_edges() {
-        let tj = snap.edge(rec.edge(j)).expect("record references live edges").ts;
+        let Some(tj) = snap.edge(rec.edge(j)).map(|e| e.ts) else {
+            return false;
+        };
         let mut preds = q.order.before_mask(j);
         while preds != 0 {
             let i = preds.trailing_zeros() as usize;
             preds &= preds - 1;
-            let ti = snap.edge(rec.edge(i)).expect("record references live edges").ts;
+            let Some(ti) = snap.edge(rec.edge(i)).map(|e| e.ts) else {
+                return false;
+            };
             if ti >= tj {
                 return false;
             }
@@ -70,6 +74,20 @@ mod tests {
         let bad = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
         assert!(!satisfies_timing(&q(), &bad, &snap2));
         assert!(filter_timing(&q(), vec![bad], &snap2).is_empty());
+    }
+
+    #[test]
+    fn dangling_edge_reference_fails_instead_of_panicking() {
+        // The record was produced before edge 1 expired: the post-filter
+        // over the newer snapshot (edge 1 gone) must reject it, not abort.
+        let snap = snapshot_of(&[StreamEdge::new(2, 11, 1, 12, 2, 0, 5)]);
+        let stale = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
+        assert!(!satisfies_timing(&q(), &stale, &snap));
+        assert!(filter_timing(&q(), vec![stale], &snap).is_empty());
+        // Dangling successor side (edge 2 expired) is rejected the same way.
+        let snap2 = snapshot_of(&[StreamEdge::new(1, 10, 0, 11, 1, 0, 5)]);
+        let stale2 = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
+        assert!(!satisfies_timing(&q(), &stale2, &snap2));
     }
 
     #[test]
