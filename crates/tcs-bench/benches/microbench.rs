@@ -6,7 +6,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tcs_core::store::{MatchStore, StoreLayout, ROOT};
-use tcs_core::{IndependentStore, JoinMode, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_core::{
+    ExpiryMode, IndependentStore, JoinMode, MsTreeStore, PlanOptions, QueryPlan, TimingEngine,
+};
 use tcs_graph::gen::{Dataset, QueryGen, TimingMode};
 use tcs_graph::window::SlidingWindow;
 use tcs_graph::{EdgeId, QueryGraph};
@@ -102,13 +104,17 @@ fn bench_generators(c: &mut Criterion) {
     g.finish();
 }
 
-/// The tentpole benchmark: per-arrival join cost with keyed probes vs the
-/// original full item scans, at hub fan-outs 64 and 512, on the shared
-/// [`tcs_bench::hub`] workload (the same one `repro join` measures into
-/// BENCH_join.json — the acceptance bar is ≥ 5× insert throughput at
-/// fan-out 512).
+/// The hub benchmarks: per-arrival join cost with keyed probes vs full
+/// item scans, the ordered-bucket early exit vs plain keyed probing, and
+/// per-tick window cost with front-drain expiry vs the eager
+/// hole-compaction baseline — at hub fan-outs 64 and 512, on the shared
+/// [`tcs_bench::hub`] workloads (the same ones `repro join` measures into
+/// BENCH_join.json; see that module's schema docs for the CI gates).
 fn bench_join_probe(c: &mut Criterion) {
-    use tcs_bench::hub::{hub_arrival, hub_engine, skew_arrival, skew_engine, skew_seed_edges};
+    use tcs_bench::hub::{
+        expiry_edge, expiry_engine, expiry_warmup, expiry_window, hub_arrival, hub_engine,
+        skew_arrival, skew_engine, skew_seed_edges,
+    };
     let mut g = c.benchmark_group("join_probe");
     for fanout in [64usize, 512] {
         for (id_str, mode) in [("probe_insert", JoinMode::Probe), ("scan_insert", JoinMode::Scan)] {
@@ -134,6 +140,29 @@ fn bench_join_probe(c: &mut Criterion) {
                 b.iter(|| {
                     id += 1;
                     eng.insert(skew_arrival(fanout, id))
+                });
+            });
+        }
+        // The expiry-heavy variant: every measured tick slides the window
+        // by one edge, expiring one chain out of the shared ~fanout-row
+        // leaf bucket. FrontDrain retires the bucket's oldest entry in
+        // O(1); EagerCompact (the hole-compaction baseline) re-walks the
+        // whole bucket per cascade.
+        for (id_str, mode) in [
+            ("expiry_front_drain_tick", ExpiryMode::FrontDrain),
+            ("expiry_eager_compact_tick", ExpiryMode::EagerCompact),
+        ] {
+            g.bench_with_input(BenchmarkId::new(id_str, fanout), &fanout, |b, &fanout| {
+                let mut eng = expiry_engine(mode);
+                let mut w = SlidingWindow::new(expiry_window(fanout));
+                let mut ts = 0u64;
+                while ts < expiry_warmup(fanout) {
+                    ts += 1;
+                    eng.advance(&w.advance(expiry_edge(ts)));
+                }
+                b.iter(|| {
+                    ts += 1;
+                    eng.advance(&w.advance(expiry_edge(ts)))
                 });
             });
         }

@@ -544,9 +544,13 @@ pub fn ablation_cost_model(scale: &Scale) {
 /// joins each arrival. Emits the speedup trajectory as `BENCH_join.json`
 /// so future PRs can track regressions.
 pub fn join_probe(scale: &Scale) {
-    use crate::hub::{hub_arrival, hub_engine, skew_arrival, skew_engine, skew_seed_edges};
+    use crate::hub::{
+        expiry_edge, expiry_engine, expiry_warmup, expiry_window, hub_arrival, hub_engine,
+        skew_arrival, skew_engine, skew_seed_edges,
+    };
     use std::time::{Duration, Instant};
-    use tcs_core::JoinMode;
+    use tcs_core::{ExpiryMode, JoinMode};
+    use tcs_graph::window::SlidingWindow;
 
     let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
     let run = |fanout: usize, mode: JoinMode| -> f64 {
@@ -583,6 +587,32 @@ pub fn join_probe(scale: &Scale) {
                 n += 1;
             }
             if start.elapsed() >= budget || n >= 400_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+    // The expiry-heavy workload: whole window ticks (one expiry cascade +
+    // one insert each at steady state) against the shared ~fanout-row
+    // leaf bucket. FrontDrain retires the bucket's oldest entry in O(1);
+    // EagerCompact (the hole-compaction baseline) re-walks the bucket.
+    let run_expiry = |fanout: usize, mode: ExpiryMode| -> f64 {
+        let mut eng = expiry_engine(mode);
+        let mut w = SlidingWindow::new(expiry_window(fanout));
+        let mut ts = 0u64;
+        while ts < expiry_warmup(fanout) {
+            ts += 1;
+            eng.advance(&w.advance(expiry_edge(ts)));
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        'outer: loop {
+            for _ in 0..64 {
+                ts += 1;
+                eng.advance(&w.advance(expiry_edge(ts)));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 1_500_000 {
                 break 'outer;
             }
         }
@@ -625,8 +655,31 @@ pub fn join_probe(scale: &Scale) {
     }
     ts.emit("join_probe_skew");
 
+    let mut te = Table::new(
+        "join_probe/expiry: front-drain + tombstones vs eager hole-compaction, window ticks",
+        &["fanout", "front-drain-edges/s", "eager-edges/s", "speedup"],
+    );
+    let mut expiry_rows = Vec::new();
+    for &fanout in &[64usize, 512] {
+        // Best of two runs per mode: the CI gate on this ratio has the
+        // least headroom of the three, so shield it from transient
+        // runner throttling hitting one side's single run.
+        let best = |mode| run_expiry(fanout, mode).max(run_expiry(fanout, mode));
+        let front = best(ExpiryMode::FrontDrain);
+        let eager = best(ExpiryMode::EagerCompact);
+        te.row(vec![
+            fanout.to_string(),
+            fmt_throughput(front),
+            fmt_throughput(eager),
+            format!("{:.1}x", front / eager),
+        ]);
+        expiry_rows.push((fanout, front, eager));
+    }
+    te.emit("join_probe_expiry");
+
     // Machine-readable trajectory (no serde in this workspace's offline
-    // build — the JSON is assembled by hand).
+    // build — the JSON is assembled by hand; schema documented in
+    // `crate::hub`'s module docs).
     let mut json = String::from(
         "{\n  \"bench\": \"join_probe\",\n  \"unit\": \"edges_per_sec\",\n  \"rows\": [\n",
     );
@@ -649,6 +702,17 @@ pub fn join_probe(scale: &Scale) {
             keyed,
             early / keyed,
             if idx + 1 < skew_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"expiry_rows\": [\n");
+    for (idx, (fanout, front, eager)) in expiry_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fanout\": {}, \"front_drain\": {:.0}, \"eager\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            fanout,
+            front,
+            eager,
+            front / eager,
+            if idx + 1 < expiry_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -14,10 +14,40 @@
 //! * the **early-exit** workload ([`skew_query`] / [`skew_engine`] /
 //!   [`skew_arrival`]): one shared hub bucket with skewed timestamps,
 //!   where the ordered-bucket binary search skips the stale prefix that
-//!   plain keyed probing must expand and reject per row.
+//!   plain keyed probing must expand and reject per row;
+//! * the **expiry-heavy** workload ([`expiry_engine`] / [`expiry_edge`] /
+//!   [`expiry_window`]): a sliding window retiring one chain per slide
+//!   out of one shared ~`fanout`-row leaf bucket, where front-drain
+//!   expiry ([`ExpiryMode::FrontDrain`]) costs O(deaths) and the
+//!   hole-compaction baseline ([`ExpiryMode::EagerCompact`]) re-walks
+//!   the bucket per cascade.
+//!
+//! # `BENCH_join.json` schema
+//!
+//! The `repro join` experiment serializes all three workloads into
+//! `BENCH_join.json` (unit: edges/s, each row measured at hub fan-outs 64
+//! and 512; every `speedup` field is CI-gated):
+//!
+//! ```json
+//! {
+//!   "bench": "join_probe",
+//!   "unit": "edges_per_sec",
+//!   "rows":        [{"fanout", "probe", "scan", "speedup"}, ...],
+//!   "skew_rows":   [{"fanout", "early_exit", "keyed", "speedup"}, ...],
+//!   "expiry_rows": [{"fanout", "front_drain", "eager", "speedup"}, ...]
+//! }
+//! ```
+//!
+//! * `rows` — keyed-probe vs full-scan joins on the keyed-probe workload
+//!   (`probe` / `scan` insert throughput; gate: ≥ 5× at 512);
+//! * `skew_rows` — ordered-bucket early exit vs plain keyed probing on
+//!   the skewed-timestamp workload (gate: ≥ 1.3× at 512);
+//! * `expiry_rows` — front-drain + tombstone expiry vs the eager
+//!   hole-compaction baseline on the expiry-heavy workload, measured over
+//!   whole window ticks (expiries + insert; gate: ≥ 2× at 512).
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
-use tcs_core::{JoinMode, MsTreeStore, TimingEngine};
+use tcs_core::{ExpiryMode, JoinMode, MsTreeStore, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
 
@@ -135,9 +165,50 @@ pub fn skew_arrival(fanout: usize, id: u64) -> StreamEdge {
     StreamEdge::new(id, SKEW_D, 3, 6_000_000 + (id % 1_000_000) as u32, 4, 0, id)
 }
 
+/// An engine for the expiry-heavy workload: the 2-path [`hub_query`]
+/// under the given expiry mode. The query is a single TC-subquery, so
+/// every completed chain's leaf is stored under `KEY_EMPTY` in ONE shared
+/// bucket that grows to ~`fanout` rows under [`expiry_window`]; each
+/// prefix-edge expiry then kills exactly that chain's prefix row and leaf
+/// row — the bucket's oldest entry. [`ExpiryMode::FrontDrain`] retires it
+/// in O(1); [`ExpiryMode::EagerCompact`] (the hole-compaction baseline)
+/// re-walks all ~`fanout` entries per cascade.
+pub fn expiry_engine(mode: ExpiryMode) -> TimingEngine<MsTreeStore> {
+    let mut eng: TimingEngine<MsTreeStore> =
+        TimingEngine::new(QueryPlan::build(hub_query(), PlanOptions::timing()));
+    eng.set_expiry_mode(mode);
+    eng
+}
+
+/// Window duration holding ~`fanout` live 2-edge chains.
+pub fn expiry_window(fanout: usize) -> u64 {
+    2 * fanout as u64 + 1
+}
+
+/// Ticks needed to fill the window before measuring (the warm-up).
+pub fn expiry_warmup(fanout: usize) -> u64 {
+    expiry_window(fanout) + 2
+}
+
+/// The edge arriving at timestamp `ts` (1-based): odd timestamps open
+/// chain `i = ts/2` with its a→b prefix edge, even timestamps close chain
+/// `i = ts/2 − 1` with its b→c edge — completing one match per chain. At
+/// steady state every tick expires exactly one edge of a retired chain.
+pub fn expiry_edge(ts: u64) -> StreamEdge {
+    debug_assert!(ts >= 1);
+    if ts % 2 == 1 {
+        let i = (ts / 2) as u32;
+        StreamEdge::new(ts, 3_000_000 + i, 0, 1_000_000 + i, 1, 0, ts)
+    } else {
+        let i = (ts / 2 - 1) as u32;
+        StreamEdge::new(ts, 1_000_000 + i, 1, 2_000_000 + i, 2, 0, ts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tcs_graph::window::SlidingWindow;
 
     #[test]
     fn skew_arrival_matches_exactly_the_valid_rows() {
@@ -183,5 +254,27 @@ mod tests {
             }
             assert_eq!(eng.stats().matches_emitted, 16);
         }
+    }
+
+    #[test]
+    fn expiry_workload_emits_one_match_per_chain_in_both_modes() {
+        let fanout = 16usize;
+        let mut front = expiry_engine(ExpiryMode::FrontDrain);
+        let mut eager = expiry_engine(ExpiryMode::EagerCompact);
+        let mut wf = SlidingWindow::new(expiry_window(fanout));
+        let mut we = SlidingWindow::new(expiry_window(fanout));
+        for ts in 1..=10 * expiry_window(fanout) {
+            let e = expiry_edge(ts);
+            let a = front.advance(&wf.advance(e));
+            let b = eager.advance(&we.advance(e));
+            assert_eq!(a, b, "ts {ts}");
+            assert_eq!(a.len(), usize::from(ts % 2 == 0), "one match per closing edge");
+        }
+        // Identical counters, exact live accounting under tombstones, and
+        // a steady-state store bounded by the window.
+        assert_eq!(front.stats(), eager.stats());
+        assert_eq!(front.live_partials(), front.store_rows());
+        assert_eq!(eager.live_partials(), eager.store_rows());
+        assert!(front.store_rows() <= 2 * (fanout as u64 + 2));
     }
 }

@@ -27,24 +27,33 @@
 //! All node fields are atomics, so even a protocol bug cannot cause UB —
 //! only (detectable) logical corruption.
 //!
-//! # Ordering
+//! # Ordering and expiry cost
 //!
 //! Item lists and key buckets obey the timestamp-ordered invariant of
 //! `tcs_core::store`'s module docs: nodes carry their match's newest-edge
 //! timestamp, appends are checked nondecreasing (X locks are granted in
 //! dispatch = timestamp order, so insertions arrive sorted even under
-//! concurrency), and [`CmsTree::partial_remove`] punches bucket holes
-//! that it compacts before returning, preserving survivor order. The
-//! concurrent engine relies on it for the binary-searched range probes
-//! ([`CmsTree::for_each_sub_keyed_before`] / `..._from` /
-//! [`CmsTree::for_each_l0_keyed_from`]) and for the oldest-first early
-//! exit of [`CmsTree::payload_matches`] during deletion transactions.
+//! concurrency). The concurrent engine relies on it for the
+//! binary-searched range probes ([`CmsTree::for_each_sub_keyed_before`] /
+//! `..._from` / [`CmsTree::for_each_l0_keyed_from`]) and for the
+//! oldest-first early exit of [`CmsTree::payload_matches`] during
+//! deletion transactions.
+//!
+//! Key buckets are [`DrainBucket`]s: [`CmsTree::partial_remove`] punches a
+//! timestamp-keeping tombstone per removed node and, before returning,
+//! front-drains the leading tombstones off every touched bucket —
+//! payload-level deaths are the bucket's oldest prefix, so steady-state
+//! expiry costs O(deaths) — while interior holes from cascaded
+//! descendants are compacted only past the tombstone threshold (see the
+//! lifecycle section of `tcs_core::store`'s docs). Because a tombstone
+//! keeps its own copy of the timestamp, range reads never dereference
+//! dead nodes, so reclaimed arena slots can be reused without aliasing.
 
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use tcs_core::store::{JoinKey, StoreLayout};
+use tcs_core::store::{DrainBucket, ExpiryMode, JoinKey, StoreLayout};
 use tcs_graph::EdgeId;
 
 const NIL: u32 = u32::MAX;
@@ -105,9 +114,10 @@ struct ListHead {
     head: u32,
     tail: u32,
     len: usize,
-    /// Join-key index of this item (guarded by the same mutex as the
-    /// list links, which the item lock already serializes).
-    index: HashMap<JoinKey, Vec<u32>>,
+    /// Join-key index of this item: key → tombstoned ordered bucket
+    /// (guarded by the same mutex as the list links, which the item lock
+    /// already serializes).
+    index: HashMap<JoinKey, DrainBucket>,
 }
 
 impl Default for ListHead {
@@ -125,6 +135,10 @@ pub struct CmsTree {
     next_free: AtomicU32,
     free: Mutex<Vec<u32>>,
     lists: Vec<Mutex<ListHead>>,
+    /// Expiry compaction policy: `true` = [`ExpiryMode::EagerCompact`]
+    /// (compact every touched bucket per `partial_remove`, the ablation
+    /// baseline); `false` = front-drain + tombstone threshold (default).
+    eager_compact: AtomicBool,
 }
 
 impl CmsTree {
@@ -146,6 +160,22 @@ impl CmsTree {
             next_free: AtomicU32::new(0),
             free: Mutex::new(Vec::new()),
             lists: (0..n_items).map(|_| Mutex::new(ListHead::default())).collect(),
+            eager_compact: AtomicBool::new(false),
+        }
+    }
+
+    /// Selects the expiry compaction policy (default
+    /// [`ExpiryMode::FrontDrain`]); semantically invisible either way.
+    pub fn set_expiry_mode(&self, mode: ExpiryMode) {
+        self.eager_compact.store(mode == ExpiryMode::EagerCompact, STORE);
+    }
+
+    #[inline]
+    fn expiry_mode(&self) -> ExpiryMode {
+        if self.eager_compact.load(LOAD) {
+            ExpiryMode::EagerCompact
+        } else {
+            ExpiryMode::FrontDrain
         }
     }
 
@@ -236,13 +266,8 @@ impl CmsTree {
         }
         list.len += 1;
         self.node(idx).key.store(key, STORE);
-        let bucket = list.index.entry(key).or_default();
-        debug_assert!(
-            bucket.last().is_none_or(|&t| self.node(t).ts.load(LOAD) <= ts),
-            "bucket insert violates the timestamp-ordered invariant"
-        );
-        self.node(idx).key_pos.store(bucket.len() as u32, STORE);
-        bucket.push(idx);
+        let pos = list.index.entry(key).or_default().push(idx, ts);
+        self.node(idx).key_pos.store(pos, STORE);
         idx as u64
     }
 
@@ -282,35 +307,35 @@ impl CmsTree {
         }
     }
 
-    /// The key bucket of an item, snapshotted under the list mutex. With
-    /// the item's S lock held, membership cannot change concurrently.
-    /// Buckets are timestamp-ordered (the ordered-bucket invariant).
+    /// The live slots of an item's key bucket, snapshotted under the list
+    /// mutex. With the item's S lock held, membership cannot change
+    /// concurrently. Buckets are timestamp-ordered (the ordered-bucket
+    /// invariant); tombstones are skipped during the copy.
     fn bucket_of(&self, item: usize, key: JoinKey) -> Vec<u32> {
-        self.lists[item].lock().index.get(&key).cloned().unwrap_or_default()
+        let list = self.lists[item].lock();
+        list.index.get(&key).map(|b| b.live_slots().collect()).unwrap_or_default()
     }
 
-    /// The bucket prefix of nodes with `ts < cutoff_ts`: the binary search
-    /// runs under the list mutex (node timestamps are immutable while ≥ S
-    /// is held) so only the surviving range is copied out — the probe
-    /// stays output-sensitive.
+    /// The live bucket prefix of nodes with `ts < cutoff_ts`: the binary
+    /// search runs under the list mutex over the entries' own timestamp
+    /// copies (valid even across tombstones and arena reuse) so only the
+    /// surviving range is copied out — the probe stays output-sensitive.
     fn bucket_before(&self, item: usize, key: JoinKey, cutoff_ts: u64) -> Vec<u32> {
         let list = self.lists[item].lock();
         let Some(bucket) = list.index.get(&key) else {
             return Vec::new();
         };
-        let n = bucket.partition_point(|&idx| self.node(idx).ts.load(LOAD) < cutoff_ts);
-        bucket[..n].to_vec()
+        bucket.live_before(cutoff_ts).collect()
     }
 
-    /// The bucket suffix of nodes with `ts ≥ min_ts` (same copy-only-the-
-    /// range discipline as [`CmsTree::bucket_before`]).
+    /// The live bucket suffix of nodes with `ts ≥ min_ts` (same
+    /// copy-only-the-range discipline as [`CmsTree::bucket_before`]).
     fn bucket_from(&self, item: usize, key: JoinKey, min_ts: u64) -> Vec<u32> {
         let list = self.lists[item].lock();
         let Some(bucket) = list.index.get(&key) else {
             return Vec::new();
         };
-        let n = bucket.partition_point(|&idx| self.node(idx).ts.load(LOAD) < min_ts);
-        bucket[n..].to_vec()
+        bucket.live_from(min_ts).collect()
     }
 
     /// Iterates only the subquery matches filed under `key`. Caller holds
@@ -476,11 +501,14 @@ impl CmsTree {
 
     /// Partially removes nodes (§V-C): unlink from the level list and from
     /// the parent's child list; keep payload/parent so older transactions
-    /// can still backtrack. Bucket removals punch holes (a swap-remove
-    /// would break the timestamp order) that are compacted once at the end
-    /// of the call, so survivors keep their relative order. Returns the
-    /// nodes whose dead flag *this* call flipped (concurrent deleters race
-    /// benignly on shared descendants). Caller holds X(`item`).
+    /// can still backtrack. Bucket removals punch timestamp-keeping
+    /// tombstones (a swap-remove would break the timestamp order); before
+    /// returning, every touched bucket front-drains its leading tombstones
+    /// and compacts past the tombstone threshold (or always, under
+    /// [`ExpiryMode::EagerCompact`]), so the steady-state oldest-prefix
+    /// case costs O(deaths). Returns the nodes whose dead flag *this* call
+    /// flipped (concurrent deleters race benignly on shared descendants).
+    /// Caller holds X(`item`).
     pub fn partial_remove(&self, item: usize, nodes: &[u32]) -> Vec<u32> {
         let mut removed = Vec::with_capacity(nodes.len());
         let mut touched_keys: Vec<JoinKey> = Vec::new();
@@ -504,12 +532,11 @@ impl CmsTree {
                 list.tail = prev;
             }
             list.len -= 1;
-            // Key index (same mutex guards the buckets): punch a hole.
+            // Key index (same mutex guards the buckets): punch a
+            // tombstone at the node's recorded position.
             let key = self.node(idx).key.load(LOAD);
-            let pos = self.node(idx).key_pos.load(LOAD) as usize;
-            let bucket = list.index.get_mut(&key).expect("indexed node has a bucket");
-            debug_assert_eq!(bucket[pos], idx);
-            bucket[pos] = NIL;
+            let pos = self.node(idx).key_pos.load(LOAD);
+            list.index.get_mut(&key).expect("indexed node has a bucket").punch(pos, idx);
             touched_keys.push(key);
             drop(list);
             // Parent's child list (the links live at this item's level).
@@ -527,22 +554,21 @@ impl CmsTree {
                 }
             }
         }
-        // Squeeze the holes out of every touched bucket, re-recording
-        // survivor positions (order — and thus timestamp sortedness — is
-        // preserved). No reader can observe the holes: we hold X(item).
+        // End-of-cascade bucket maintenance: front-drain, threshold
+        // compaction (re-recording survivor positions — order, and thus
+        // timestamp sortedness, is preserved), empty-bucket removal. No
+        // reader can observe intermediate states: we hold X(item).
         if !touched_keys.is_empty() {
             touched_keys.sort_unstable();
             touched_keys.dedup();
+            let mode = self.expiry_mode();
             let mut list = self.lists[item].lock();
             for key in touched_keys {
                 let bucket = list.index.get_mut(&key).expect("touched bucket exists");
-                bucket.retain(|&n| n != NIL);
-                if bucket.is_empty() {
+                let done = bucket
+                    .finish_cascade(mode, |slot, pos| self.node(slot).key_pos.store(pos, STORE));
+                if done {
                     list.index.remove(&key);
-                } else {
-                    for (pos, &n) in bucket.iter().enumerate() {
-                        self.node(n).key_pos.store(pos as u32, STORE);
-                    }
                 }
             }
         }
@@ -695,96 +721,183 @@ mod tests {
     fn ordered_buckets_survive_random_ops() {
         // The CmsTree counterpart of the store conformance property test:
         // after any interleaving of keyed inserts and payload-scan →
-        // cascade → partial-remove → reclaim expiries, every bucket
-        // iterates in nondecreasing newest-edge-timestamp order and the
-        // binary-searched range reads equal filtered full iteration
-        // (ts = edge-id convention).
+        // cascade → partial-remove → reclaim expiries — under both expiry
+        // modes, so front-drains, tombstoned descendant holes AND
+        // threshold compactions all happen — the tree must stay
+        // indistinguishable from a naive no-tombstone model (rows per
+        // level in insertion order, retain-based expiry), every bucket
+        // must iterate in nondecreasing newest-edge-timestamp order, and
+        // the binary-searched range reads must equal filtered full
+        // iteration (ts = edge-id convention).
         use rand::rngs::SmallRng;
         use rand::{Rng, SeedableRng};
-        for seed in 0..6u64 {
-            let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x51ed_2701));
-            let t = CmsTree::new(StoreLayout { sub_lens: vec![3] });
-            for ts in 1..=160u64 {
-                let rows_at = |level: usize| {
-                    let mut rows: Vec<(u64, u64)> = Vec::new();
-                    t.for_each_sub(0, level, &mut |h, edges| {
-                        rows.push((h, edges.last().expect("nonempty").0));
-                    });
-                    rows
-                };
-                match rng.gen_range(0..4u32) {
-                    0 => {
-                        // Full expiry pass for a random live row's newest
-                        // edge: payload scan at its level, cascade to the
-                        // leaf, then reclaim.
-                        let level = rng.gen_range(0..3usize);
-                        let rows = rows_at(level);
-                        if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1))) {
-                            let mut all = Vec::new();
-                            let mut prev = t.partial_remove(
-                                t.sub_item(0, level),
-                                &t.payload_matches(t.sub_item(0, level), edge, edge),
-                            );
-                            all.extend_from_slice(&prev);
-                            for deeper in level + 1..3 {
-                                prev =
-                                    t.partial_remove(t.sub_item(0, deeper), &t.children_of(&prev));
-                                all.extend_from_slice(&prev);
-                            }
-                            t.reclaim(&all);
-                        }
-                    }
-                    1 => {
-                        t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 3);
-                    }
-                    _ => {
-                        let level = rng.gen_range(0..2usize);
-                        let rows = rows_at(level);
-                        if rows.is_empty() {
-                            t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 3);
-                        } else {
-                            let (parent, _) = rows[rng.gen_range(0..rows.len())];
-                            t.insert_sub(0, level + 1, parent, EdgeId(ts), ts, ts % 3);
-                        }
-                    }
-                }
-                for level in 0..3usize {
-                    for key in 0..3u64 {
-                        let mut full: Vec<Vec<u64>> = Vec::new();
-                        t.for_each_sub_keyed(0, level, key, &mut |_, edges| {
-                            full.push(edges.iter().map(|x| x.0).collect());
+        for mode in [ExpiryMode::FrontDrain, ExpiryMode::EagerCompact] {
+            for seed in 0..6u64 {
+                let mut rng = SmallRng::seed_from_u64(seed.wrapping_mul(0x51ed_2701));
+                let t = CmsTree::new(StoreLayout { sub_lens: vec![3] });
+                t.set_expiry_mode(mode);
+                // model[level]: live rows as edge-id paths, insertion
+                // (= timestamp) order; a row's key is its newest edge % 2.
+                let mut model: Vec<Vec<Vec<u64>>> = vec![Vec::new(); 3];
+                for ts in 1..=200u64 {
+                    let rows_at = |level: usize| {
+                        let mut rows: Vec<(u64, u64)> = Vec::new();
+                        t.for_each_sub(0, level, &mut |h, edges| {
+                            rows.push((h, edges.last().expect("nonempty").0));
                         });
-                        for w in full.windows(2) {
-                            assert!(
-                                w[0].last() <= w[1].last(),
-                                "seed {seed} ts {ts}: bucket ({level}, {key}) out of order"
-                            );
+                        rows
+                    };
+                    match rng.gen_range(0..4u32) {
+                        0 => {
+                            // Full expiry pass for a random live row's
+                            // newest edge: payload scan at its level,
+                            // cascade to the leaf, then reclaim.
+                            let level = rng.gen_range(0..3usize);
+                            let rows = rows_at(level);
+                            if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1)))
+                            {
+                                let mut all = Vec::new();
+                                let mut prev = t.partial_remove(
+                                    t.sub_item(0, level),
+                                    &t.payload_matches(t.sub_item(0, level), edge, edge),
+                                );
+                                all.extend_from_slice(&prev);
+                                for deeper in level + 1..3 {
+                                    prev = t.partial_remove(
+                                        t.sub_item(0, deeper),
+                                        &t.children_of(&prev),
+                                    );
+                                    all.extend_from_slice(&prev);
+                                }
+                                t.reclaim(&all);
+                                for rows in model.iter_mut().skip(level) {
+                                    rows.retain(|r| r[level] != edge);
+                                }
+                            }
                         }
-                        for cutoff in [0, ts / 2, ts, u64::MAX] {
-                            let prefix: Vec<Vec<u64>> = full
+                        1 => {
+                            t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 2);
+                            model[0].push(vec![ts]);
+                        }
+                        _ => {
+                            let level = rng.gen_range(0..2usize);
+                            let rows = rows_at(level);
+                            if rows.is_empty() {
+                                t.insert_sub(0, 0, u64::MAX, EdgeId(ts), ts, ts % 2);
+                                model[0].push(vec![ts]);
+                            } else {
+                                let (parent, newest) = rows[rng.gen_range(0..rows.len())];
+                                t.insert_sub(0, level + 1, parent, EdgeId(ts), ts, ts % 2);
+                                let mut row = model[level]
+                                    .iter()
+                                    .find(|r| *r.last().expect("nonempty") == newest)
+                                    .expect("model tracks every live row")
+                                    .clone();
+                                row.push(ts);
+                                model[level + 1].push(row);
+                            }
+                        }
+                    }
+                    for (level, model_rows) in model.iter().enumerate() {
+                        assert_eq!(
+                            t.len_sub(0, level),
+                            model_rows.len(),
+                            "{mode:?} seed {seed} ts {ts} level {level} len"
+                        );
+                        for key in 0..2u64 {
+                            let mut full: Vec<Vec<u64>> = Vec::new();
+                            t.for_each_sub_keyed(0, level, key, &mut |_, edges| {
+                                full.push(edges.iter().map(|x| x.0).collect());
+                            });
+                            let expect: Vec<Vec<u64>> = model_rows
                                 .iter()
-                                .filter(|r| *r.last().expect("nonempty") < cutoff)
+                                .filter(|r| *r.last().expect("nonempty") % 2 == key)
                                 .cloned()
                                 .collect();
-                            let mut got = Vec::new();
-                            t.for_each_sub_keyed_before(0, level, key, cutoff, &mut |_, edges| {
-                                got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
-                            });
-                            assert_eq!(got, prefix, "seed {seed} ts {ts} cutoff {cutoff}");
-                            let suffix: Vec<Vec<u64>> = full
-                                .iter()
-                                .filter(|r| *r.last().expect("nonempty") >= cutoff)
-                                .cloned()
-                                .collect();
-                            let mut got = Vec::new();
-                            t.for_each_sub_keyed_from(0, level, key, cutoff, &mut |_, edges| {
-                                got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
-                            });
-                            assert_eq!(got, suffix, "seed {seed} ts {ts} min {cutoff}");
+                            assert_eq!(
+                                full, expect,
+                                "{mode:?} seed {seed} ts {ts}: bucket ({level}, {key}) \
+                                 diverged from the model"
+                            );
+                            for cutoff in [0, ts / 2, ts, u64::MAX] {
+                                let prefix: Vec<Vec<u64>> = full
+                                    .iter()
+                                    .filter(|r| *r.last().expect("nonempty") < cutoff)
+                                    .cloned()
+                                    .collect();
+                                let mut got = Vec::new();
+                                t.for_each_sub_keyed_before(
+                                    0,
+                                    level,
+                                    key,
+                                    cutoff,
+                                    &mut |_, edges| {
+                                        got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
+                                    },
+                                );
+                                assert_eq!(got, prefix, "seed {seed} ts {ts} cutoff {cutoff}");
+                                let suffix: Vec<Vec<u64>> = full
+                                    .iter()
+                                    .filter(|r| *r.last().expect("nonempty") >= cutoff)
+                                    .cloned()
+                                    .collect();
+                                let mut got = Vec::new();
+                                t.for_each_sub_keyed_from(
+                                    0,
+                                    level,
+                                    key,
+                                    cutoff,
+                                    &mut |_, edges| {
+                                        got.push(edges.iter().map(|x| x.0).collect::<Vec<u64>>());
+                                    },
+                                );
+                                assert_eq!(got, suffix, "seed {seed} ts {ts} min {cutoff}");
+                            }
                         }
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn same_bucket_double_death_across_level_passes() {
+        // Satellite regression, CmsTree edition: one deletion transaction
+        // removes two same-bucket rows in one `partial_remove` call, and a
+        // follow-up transaction must still find the survivor's (possibly
+        // re-recorded) bucket position — under both expiry modes.
+        for mode in [ExpiryMode::FrontDrain, ExpiryMode::EagerCompact] {
+            let t = CmsTree::new(StoreLayout { sub_lens: vec![2] });
+            t.set_expiry_mode(mode);
+            let a1 = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 5);
+            let a2 = t.insert_sub(0, 0, u64::MAX, EdgeId(2), 2, 5);
+            t.insert_sub(0, 1, a1, EdgeId(3), 3, 7);
+            t.insert_sub(0, 1, a1, EdgeId(4), 4, 7);
+            t.insert_sub(0, 1, a2, EdgeId(5), 5, 7);
+            // Transaction 1: expire edge 1 (kills a1 + two bucket-7 rows).
+            let mut all = Vec::new();
+            let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 1, 1));
+            all.extend_from_slice(&l0);
+            let l1 = t.partial_remove(t.sub_item(0, 1), &t.children_of(&l0));
+            all.extend_from_slice(&l1);
+            assert_eq!(all.len(), 3, "{mode:?}");
+            t.reclaim(&all);
+            let mut bucket7: Vec<Vec<u64>> = Vec::new();
+            t.for_each_sub_keyed(0, 1, 7, &mut |_, edges| {
+                bucket7.push(edges.iter().map(|x| x.0).collect());
+            });
+            assert_eq!(bucket7, vec![vec![2, 5]], "{mode:?}");
+            // Transaction 2: expire edge 2 — the survivor's back-reference
+            // must still punch cleanly.
+            let mut all = Vec::new();
+            let l0 = t.partial_remove(t.sub_item(0, 0), &t.payload_matches(t.sub_item(0, 0), 2, 2));
+            all.extend_from_slice(&l0);
+            let l1 = t.partial_remove(t.sub_item(0, 1), &t.children_of(&l0));
+            all.extend_from_slice(&l1);
+            assert_eq!(all.len(), 2, "{mode:?}");
+            t.reclaim(&all);
+            assert_eq!(t.len_sub(0, 0), 0, "{mode:?}");
+            assert_eq!(t.len_sub(0, 1), 0, "{mode:?}");
         }
     }
 

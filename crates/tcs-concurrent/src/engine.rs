@@ -98,6 +98,13 @@ impl ConcurrentEngine {
         }
     }
 
+    /// Selects the tree's expiry compaction policy (default
+    /// [`tcs_core::ExpiryMode::FrontDrain`]); semantically invisible
+    /// either way (see `tcs_core::store`'s tombstone-lifecycle docs).
+    pub fn set_expiry_mode(&self, mode: tcs_core::ExpiryMode) {
+        self.shared.tree.set_expiry_mode(mode);
+    }
+
     /// Number of live complete matches (after `run`).
     pub fn live_match_count(&self) -> usize {
         let k = self.shared.plan.k();

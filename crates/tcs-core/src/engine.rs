@@ -17,7 +17,8 @@
 
 use crate::binding::PartialAssignment;
 use crate::plan::QueryPlan;
-use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use tcs_graph::window::WindowEvent;
 use tcs_graph::{EdgeId, MatchRecord, StreamEdge};
@@ -91,6 +92,14 @@ pub struct TimingEngine<S: MatchStore> {
     scratch_prefix: PartialAssignment,
     /// Reusable σ-side assignment for the same reason.
     scratch_sigma: PartialAssignment,
+    /// Reusable accumulator for the chain-join probe's accepted parents —
+    /// the probe hot loop allocates nothing per arrival.
+    scratch_parents: Vec<(Handle, JoinKey)>,
+    /// Reusable edge-id buffer behind `expand_sub` reads (expansion /
+    /// record building); a RefCell so `&self` readers share it. Borrows
+    /// are short-lived and never nested — each helper clears, fills and
+    /// releases it before the next one runs.
+    scratch_ids: RefCell<Vec<EdgeId>>,
 }
 
 impl<S: MatchStore> TimingEngine<S> {
@@ -107,6 +116,8 @@ impl<S: MatchStore> TimingEngine<S> {
             join_mode: JoinMode::default(),
             scratch_prefix: PartialAssignment::default(),
             scratch_sigma: PartialAssignment::default(),
+            scratch_parents: Vec::new(),
+            scratch_ids: RefCell::new(Vec::new()),
         }
     }
 
@@ -115,6 +126,14 @@ impl<S: MatchStore> TimingEngine<S> {
     /// tests and as the microbenchmark baseline.
     pub fn set_join_mode(&mut self, mode: JoinMode) {
         self.join_mode = mode;
+    }
+
+    /// Selects the store's expiry compaction policy (default
+    /// [`ExpiryMode::FrontDrain`]); [`ExpiryMode::EagerCompact`] keeps the
+    /// compact-every-cascade behavior as the benchmark ablation baseline.
+    /// Semantically invisible either way.
+    pub fn set_expiry_mode(&mut self, mode: ExpiryMode) {
+        self.store.set_expiry_mode(mode);
     }
 
     /// The active join strategy.
@@ -260,17 +279,22 @@ impl<S: MatchStore> TimingEngine<S> {
                 let key = self.plan.stored_sub_key(i, 0, |_| (sigma.src, sigma.dst));
                 vec![self.store.insert_sub(i, 0, ROOT, sigma.id, sigma.ts.0, key)]
             } else {
-                // Join {σ} with Ω(L^{j-1}_i) (Theorem 2 case 2).
+                // Join {σ} with Ω(L^{j-1}_i) (Theorem 2 case 2). The
+                // accepted parents land in a reusable scratch buffer so
+                // the probe hot loop allocates nothing per arrival.
                 self.stats.join_ops += 1;
-                let parents = self.join_sub_prefixes(i, j, qe, &sigma);
+                let mut parents = std::mem::take(&mut self.scratch_parents);
+                self.join_sub_prefixes(i, j, qe, &sigma, &mut parents);
                 let mut nodes = Vec::with_capacity(parents.len());
-                for (p, key) in parents {
+                for &(p, key) in &parents {
                     if self.cap_reached() {
                         break;
                     }
                     nodes.push(self.store.insert_sub(i, j, p, sigma.id, sigma.ts.0, key));
                     self.stats.partials_inserted += 1;
                 }
+                parents.clear();
+                self.scratch_parents = parents;
                 nodes
             };
             if j == 0 && !new_nodes.is_empty() {
@@ -292,17 +316,19 @@ impl<S: MatchStore> TimingEngine<S> {
 
     /// Finds the handles in `L^{j-1}_i` whose partial match `σ` extends,
     /// paired with the join key the extended (level-`j`) match must be
-    /// stored under. In [`JoinMode::Probe`] only the bucket of σ's
-    /// endpoint bindings is visited; the timing and full compatibility
-    /// checks run either way (the key is a prefilter).
+    /// stored under, appended to `parents` (the engine's reusable scratch
+    /// buffer — the whole probe path is allocation-free per arrival). In
+    /// [`JoinMode::Probe`] only the bucket of σ's endpoint bindings is
+    /// visited; the timing and full compatibility checks run either way
+    /// (the key is a prefilter).
     fn join_sub_prefixes(
         &mut self,
         i: usize,
         j: usize,
         qe: usize,
         sigma: &StreamEdge,
-    ) -> Vec<(Handle, JoinKey)> {
-        let mut parents = Vec::new();
+        parents: &mut Vec<(Handle, JoinKey)>,
+    ) {
         let mut prefix = std::mem::take(&mut self.scratch_prefix);
         let mut sigma_side = std::mem::take(&mut self.scratch_sigma);
         sigma_side.edges.clear();
@@ -350,7 +376,6 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         self.scratch_prefix = prefix;
         self.scratch_sigma = sigma_side;
-        parents
     }
 
     /// Algorithm 1 lines 11–24: joins fresh complete matches of subquery
@@ -653,9 +678,10 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Expands a complete match handle of subquery `sub` into an
-    /// assignment.
+    /// assignment (through the engine's reusable edge-id scratch).
     fn expand_assignment(&self, sub: usize, h: Handle) -> PartialAssignment {
-        let mut ids = Vec::new();
+        let mut ids = self.scratch_ids.borrow_mut();
+        ids.clear();
         self.store.expand_sub(sub, h, &mut ids);
         let seq = &self.plan.subs[sub].seq;
         PartialAssignment::new(
@@ -668,11 +694,14 @@ impl<S: MatchStore> TimingEngine<S> {
     fn record_of(&self, comps: &[Handle]) -> MatchRecord {
         let n = self.plan.query.n_edges();
         let mut edges = vec![EdgeId(u64::MAX); n];
-        for (sub, &c) in comps.iter().enumerate() {
-            let mut ids = Vec::new();
-            self.store.expand_sub(sub, c, &mut ids);
-            for (lvl, id) in ids.into_iter().enumerate() {
-                edges[self.plan.subs[sub].seq[lvl]] = id;
+        {
+            let mut ids = self.scratch_ids.borrow_mut();
+            for (sub, &c) in comps.iter().enumerate() {
+                ids.clear();
+                self.store.expand_sub(sub, c, &mut ids);
+                for (lvl, &id) in ids.iter().enumerate() {
+                    edges[self.plan.subs[sub].seq[lvl]] = id;
+                }
             }
         }
         let rec = MatchRecord::from(edges);

@@ -8,17 +8,28 @@
 //! and siblings, which is exactly the space overhead the MS-tree removes.
 //! Deletion must scan rows instead of cascading through child pointers.
 //!
-//! Like the MS-tree, every item also keeps a join-key index (key → slot
-//! bucket; see `store.rs` module docs) so the engine's keyed probes work
-//! against both backends. Buckets obey the timestamp-ordered invariant:
-//! rows carry their newest edge's timestamp, appends are checked
-//! nondecreasing, and expiry *walks the buckets* instead of the slabs —
-//! binary-searching each bucket for the expired timestamp at the payload
-//! level (the dying rows' newest-edge position) and for the suffix of
-//! possibly-affected rows at deeper levels — then compacts the touched
-//! buckets in place so survivors keep their order.
+//! Like the MS-tree, every item also keeps a join-key index (key →
+//! [`DrainBucket`]; see `store.rs` module docs) so the engine's keyed
+//! probes work against both backends, plus a per-item *timeline* — one
+//! more `DrainBucket` holding every live row of the item in insertion
+//! (= timestamp) order, the slab-world stand-in for the MS-tree's
+//! intrusive item list.
+//!
+//! Expiry walks the timelines, not the slabs: at the payload level (the
+//! dying rows' newest-edge position) the deaths are the timeline's oldest
+//! prefix and the walk stops at the first entry newer than the expired
+//! edge; at deeper levels the walk binary-searches to the possibly
+//! affected suffix and breaks out entirely once a level kills nothing (an
+//! extension cannot outlive its stored prefix). Dying rows punch
+//! tombstones into their key bucket (via the row's stored position) and
+//! the timeline (via the walk position); the end of the cascade
+//! front-drains and threshold-compacts whatever was touched — see the
+//! tombstone-lifecycle section of the `store.rs` docs. The descendant
+//! walk itself still inspects each suffix row's payload edge (Timing-IND
+//! has no child pointers to cascade through — that content scan *is* the
+//! ablation), but bucket maintenance costs O(deaths), never O(bucket).
 
-use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
@@ -64,6 +75,10 @@ impl<T> Slab<T> {
         self.slots.get(i as usize).and_then(Option::as_ref)
     }
 
+    fn get_mut(&mut self, i: u32) -> Option<&mut T> {
+        self.slots.get_mut(i as usize).and_then(Option::as_mut)
+    }
+
     fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
         self.slots.iter().enumerate().filter_map(|(i, s)| s.as_ref().map(|v| (i as u32, v)))
     }
@@ -75,6 +90,10 @@ struct SubRow {
     edges: Vec<EdgeId>,
     /// Timestamp of the newest edge (= the last element's arrival).
     ts: u64,
+    /// Join key the row is filed under.
+    key: JoinKey,
+    /// Absolute position of the row's entry in its key bucket.
+    key_pos: u32,
 }
 
 #[derive(Clone, Debug)]
@@ -84,36 +103,11 @@ struct L0Row {
     /// Timestamp of the arrival that completed the row.
     ts: u64,
     key: JoinKey,
+    /// Absolute position of the row's entry in its key bucket.
+    key_pos: u32,
 }
 
-type KeyIndex = HashMap<JoinKey, Vec<u32>>;
-
-/// Appends `slot` to `key`'s bucket, checking the timestamp-ordered
-/// invariant against the current bucket tail.
-fn index_insert(
-    index: &mut KeyIndex,
-    slot: u32,
-    ts: u64,
-    key: JoinKey,
-    tail_ts: impl Fn(u32) -> u64,
-) {
-    let bucket = index.entry(key).or_default();
-    debug_assert!(
-        bucket.last().is_none_or(|&t| tail_ts(t) <= ts),
-        "bucket insert violates the timestamp-ordered invariant"
-    );
-    bucket.push(slot);
-}
-
-/// Drops just-deleted slots from a touched bucket, preserving the
-/// survivors' (timestamp) order.
-fn index_compact(index: &mut KeyIndex, key: JoinKey, live: impl Fn(u32) -> bool) {
-    let bucket = index.get_mut(&key).expect("touched bucket exists");
-    bucket.retain(|&slot| live(slot));
-    if bucket.is_empty() {
-        index.remove(&key);
-    }
-}
+type KeyIndex = HashMap<JoinKey, DrainBucket>;
 
 /// The independent (uncompressed) storage backend.
 pub struct IndependentStore {
@@ -121,9 +115,15 @@ pub struct IndependentStore {
     subs: Vec<Vec<Slab<SubRow>>>,
     /// Join-key index per (subquery, level) item.
     sub_idx: Vec<Vec<KeyIndex>>,
+    /// Per (subquery, level) item: every live slot in insertion
+    /// (timestamp) order — the ordered spine `expire_edge` walks. Rows
+    /// don't store their timeline position; expiry punches by walk index.
+    timelines: Vec<Vec<DrainBucket>>,
     l0: Vec<Slab<L0Row>>,
     /// Join-key index per `L₀` item (`l0_idx[i - 1]` for item `i`).
     l0_idx: Vec<KeyIndex>,
+    /// Expiry compaction policy.
+    mode: ExpiryMode,
 }
 
 #[inline]
@@ -169,9 +169,26 @@ impl MatchStore for IndependentStore {
             .iter()
             .map(|&len| (0..len).map(|_| KeyIndex::new()).collect())
             .collect();
+        let timelines = layout
+            .sub_lens
+            .iter()
+            .map(|&len| (0..len).map(|_| DrainBucket::default()).collect())
+            .collect();
         let l0 = (0..layout.k().saturating_sub(1)).map(|_| Slab::default()).collect();
         let l0_idx = (0..layout.k().saturating_sub(1)).map(|_| KeyIndex::new()).collect();
-        IndependentStore { layout, subs, sub_idx, l0, l0_idx }
+        IndependentStore {
+            layout,
+            subs,
+            sub_idx,
+            timelines,
+            l0,
+            l0_idx,
+            mode: ExpiryMode::default(),
+        }
+    }
+
+    fn set_expiry_mode(&mut self, mode: ExpiryMode) {
+        self.mode = mode;
     }
 
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
@@ -192,7 +209,7 @@ impl MatchStore for IndependentStore {
         let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
             return;
         };
-        for &slot in bucket {
+        for slot in bucket.live_slots() {
             let row = self.sub_row(sub, level, slot);
             f(encode(item, slot), &row.edges);
         }
@@ -210,8 +227,7 @@ impl MatchStore for IndependentStore {
         let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
             return;
         };
-        let n = bucket.partition_point(|&slot| self.sub_row(sub, level, slot).ts < cutoff_ts);
-        for &slot in &bucket[..n] {
+        for slot in bucket.live_before(cutoff_ts) {
             let row = self.sub_row(sub, level, slot);
             f(encode(item, slot), &row.edges);
         }
@@ -229,8 +245,7 @@ impl MatchStore for IndependentStore {
         let Some(bucket) = self.sub_idx[sub][level].get(&key) else {
             return;
         };
-        let n = bucket.partition_point(|&slot| self.sub_row(sub, level, slot).ts < min_ts);
-        for &slot in &bucket[n..] {
+        for slot in bucket.live_from(min_ts) {
             let row = self.sub_row(sub, level, slot);
             f(encode(item, slot), &row.edges);
         }
@@ -254,11 +269,10 @@ impl MatchStore for IndependentStore {
             edges.push(edge);
             edges
         };
-        let slot = self.subs[sub][level].insert(SubRow { edges, ts });
-        let slab = &self.subs[sub][level];
-        index_insert(&mut self.sub_idx[sub][level], slot, ts, key, |t| {
-            slab.get(t).expect("indexed row is live").ts
-        });
+        let slot = self.subs[sub][level].insert(SubRow { edges, ts, key, key_pos: 0 });
+        let key_pos = self.sub_idx[sub][level].entry(key).or_default().push(slot, ts);
+        self.subs[sub][level].get_mut(slot).expect("fresh row").key_pos = key_pos;
+        self.timelines[sub][level].push(slot, ts);
         encode(self.sub_item_id(sub, level), slot)
     }
 
@@ -274,7 +288,7 @@ impl MatchStore for IndependentStore {
         let Some(bucket) = self.l0_idx[i - 1].get(&key) else {
             return;
         };
-        for &slot in bucket {
+        for slot in bucket.live_slots() {
             let row = self.l0[i - 1].get(slot).expect("live L0 row");
             f(encode(item, slot), &row.comps);
         }
@@ -291,9 +305,7 @@ impl MatchStore for IndependentStore {
         let Some(bucket) = self.l0_idx[i - 1].get(&key) else {
             return;
         };
-        let n = bucket
-            .partition_point(|&slot| self.l0[i - 1].get(slot).expect("live L0 row").ts < min_ts);
-        for &slot in &bucket[n..] {
+        for slot in bucket.live_from(min_ts) {
             let row = self.l0[i - 1].get(slot).expect("live L0 row");
             f(encode(item, slot), &row.comps);
         }
@@ -315,11 +327,9 @@ impl MatchStore for IndependentStore {
             comps.push(comp);
             comps
         };
-        let slot = self.l0[i - 1].insert(L0Row { comps, ts, key });
-        let slab = &self.l0[i - 1];
-        index_insert(&mut self.l0_idx[i - 1], slot, ts, key, |t| {
-            slab.get(t).expect("indexed row is live").ts
-        });
+        let slot = self.l0[i - 1].insert(L0Row { comps, ts, key, key_pos: 0 });
+        let key_pos = self.l0_idx[i - 1].entry(key).or_default().push(slot, ts);
+        self.l0[i - 1].get_mut(slot).expect("fresh row").key_pos = key_pos;
         encode(self.l0_item_id(i), slot)
     }
 
@@ -343,6 +353,7 @@ impl MatchStore for IndependentStore {
     }
 
     fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize {
+        let mode = self.mode;
         let mut deleted = 0usize;
         let mut dead_handles: HashSet<Handle> = HashSet::new();
         let mut seen: HashSet<(usize, usize)> = HashSet::new();
@@ -353,63 +364,104 @@ impl MatchStore for IndependentStore {
             let leaf_level = self.layout.sub_lens[sub] - 1;
             for level in pos_level..=leaf_level {
                 let item = self.sub_item_id(sub, level);
-                // Walk the timestamp-ordered buckets instead of the slab:
-                // a row holding `edge` at `pos_level` has row.ts == ts
-                // when that is its newest position (level == pos_level)
-                // and row.ts > ts otherwise, so each bucket contributes a
-                // binary-searched suffix and the payload-level walk stops
-                // at the first newer row.
+                // Walk the item timeline. At the payload level a dying
+                // row's newest edge is `edge` itself (row.ts == ts) and
+                // everything older already left the window, so the deaths
+                // are the oldest prefix and the walk stops at the first
+                // newer entry. Deeper rows holding `edge` at `pos_level`
+                // are strictly newer, so the walk binary-searches to the
+                // `> ts` suffix and content-scans it (Timing-IND has no
+                // child pointers — this scan is the ablation).
+                let timeline = &self.timelines[sub][level];
+                let indexed = timeline.indexed();
+                let base = timeline.front();
                 let slab = &self.subs[sub][level];
-                let mut dead: Vec<(JoinKey, u32)> = Vec::new();
-                for (key, bucket) in self.sub_idx[sub][level].iter() {
-                    let start = bucket
-                        .partition_point(|&s| slab.get(s).expect("indexed row is live").ts < ts);
-                    for &slot in &bucket[start..] {
-                        let row = slab.get(slot).expect("indexed row is live");
-                        if level == pos_level && row.ts > ts {
-                            break;
-                        }
-                        if row.edges[pos_level] == edge {
-                            dead.push((*key, slot));
-                        }
+                // Deaths as (absolute timeline position, slot).
+                let mut dead: Vec<(u32, u32)> = Vec::new();
+                let lo =
+                    if level == pos_level { 0 } else { indexed.partition_point(|e| e.ts <= ts) };
+                for (off, entry) in indexed.iter().enumerate().skip(lo) {
+                    if level == pos_level && entry.ts > ts {
+                        break;
+                    }
+                    if entry.slot == crate::store::TOMBSTONE {
+                        continue;
+                    }
+                    let row = slab.get(entry.slot).expect("timeline slot is live");
+                    if row.edges[pos_level] == edge {
+                        debug_assert!(level > pos_level || row.ts == ts, "one edge, one timestamp");
+                        dead.push((base + off as u32, entry.slot));
                     }
                 }
-                for &(_, slot) in &dead {
+                if dead.is_empty() {
+                    // A deeper death would extend a row dying here; none
+                    // did, so the cascade is over for this position.
+                    break;
+                }
+                let mut touched: Vec<JoinKey> = Vec::with_capacity(dead.len());
+                for &(tpos, slot) in &dead {
                     let row = self.subs[sub][level].remove(slot).expect("scanned row is live");
                     debug_assert_eq!(row.edges[pos_level], edge);
+                    self.sub_idx[sub][level]
+                        .get_mut(&row.key)
+                        .expect("indexed row has a bucket")
+                        .punch(row.key_pos, slot);
+                    touched.push(row.key);
+                    self.timelines[sub][level].punch(tpos, slot);
                     deleted += 1;
                     if level == leaf_level {
                         dead_handles.insert(encode(item, slot));
                     }
                 }
-                let mut keys: Vec<JoinKey> = dead.into_iter().map(|(k, _)| k).collect();
-                keys.sort_unstable();
-                keys.dedup();
-                let slab = &self.subs[sub][level];
-                for key in keys {
-                    index_compact(&mut self.sub_idx[sub][level], key, |slot| {
-                        slab.get(slot).is_some()
+                touched.sort_unstable();
+                touched.dedup();
+                let slab = &mut self.subs[sub][level];
+                let index = &mut self.sub_idx[sub][level];
+                for key in touched {
+                    let bucket = index.get_mut(&key).expect("touched bucket exists");
+                    let done = bucket.finish_cascade(mode, |s, pos| {
+                        slab.get_mut(s).expect("survivor is live").key_pos = pos;
                     });
+                    if done {
+                        index.remove(&key);
+                    }
                 }
+                // Timeline positions are never stored, so no re-recording.
+                self.timelines[sub][level].finish_cascade(mode, |_, _| {});
             }
         }
         if !dead_handles.is_empty() {
             for i in 1..self.layout.k() {
-                let dead: Vec<(JoinKey, u32)> = self.l0[i - 1]
+                let dead: Vec<(u32, JoinKey, u32)> = self.l0[i - 1]
                     .iter()
                     .filter(|(_, row)| row.comps.iter().any(|c| dead_handles.contains(c)))
-                    .map(|(slot, row)| (row.key, slot))
+                    .map(|(slot, row)| (slot, row.key, row.key_pos))
                     .collect();
-                for &(_, slot) in &dead {
-                    self.l0[i - 1].remove(slot).expect("scanned row is live");
+                let mut touched: Vec<JoinKey> = Vec::with_capacity(dead.len());
+                for &(slot, key, key_pos) in &dead {
+                    let row = self.l0[i - 1].remove(slot).expect("scanned row is live");
+                    // A row dying through a dead leaf completed no earlier
+                    // than that leaf's newest edge — i.e. the expired edge.
+                    debug_assert!(row.ts >= ts, "L0 row older than the edge that killed it");
+                    self.l0_idx[i - 1]
+                        .get_mut(&key)
+                        .expect("indexed row has a bucket")
+                        .punch(key_pos, slot);
+                    touched.push(key);
                     deleted += 1;
                 }
-                let mut keys: Vec<JoinKey> = dead.into_iter().map(|(k, _)| k).collect();
-                keys.sort_unstable();
-                keys.dedup();
-                let slab = &self.l0[i - 1];
-                for key in keys {
-                    index_compact(&mut self.l0_idx[i - 1], key, |slot| slab.get(slot).is_some());
+                touched.sort_unstable();
+                touched.dedup();
+                let slab = &mut self.l0[i - 1];
+                let index = &mut self.l0_idx[i - 1];
+                for key in touched {
+                    let bucket = index.get_mut(&key).expect("touched bucket exists");
+                    let done = bucket.finish_cascade(mode, |s, pos| {
+                        slab.get_mut(s).expect("survivor is live").key_pos = pos;
+                    });
+                    if done {
+                        index.remove(&key);
+                    }
                 }
             }
         }
@@ -427,8 +479,8 @@ impl MatchStore for IndependentStore {
     fn space_bytes(&self) -> usize {
         use std::mem::size_of;
         let index_bytes = |ix: &KeyIndex| {
-            ix.len() * (size_of::<JoinKey>() + size_of::<Vec<u32>>())
-                + ix.values().map(|b| b.capacity() * size_of::<u32>()).sum::<usize>()
+            ix.len() * (size_of::<JoinKey>() + size_of::<DrainBucket>())
+                + ix.values().map(DrainBucket::heap_bytes).sum::<usize>()
         };
         let mut bytes = 0;
         for (sub, levels) in self.subs.iter().enumerate() {
@@ -438,6 +490,7 @@ impl MatchStore for IndependentStore {
                     bytes += row.edges.capacity() * size_of::<EdgeId>();
                 }
                 bytes += index_bytes(&self.sub_idx[sub][level]);
+                bytes += self.timelines[sub][level].heap_bytes();
             }
         }
         for (i, slab) in self.l0.iter().enumerate() {
@@ -516,6 +569,14 @@ mod tests {
     #[test]
     fn conformance_ordered_l0_buckets_property() {
         conformance::ordered_l0_buckets_survive_random_ops::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_same_bucket_double_death() {
+        conformance::same_bucket_double_death_in_one_cascade::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_tombstones_match_model() {
+        conformance::tombstoned_buckets_match_model_store::<IndependentStore>();
     }
 
     #[test]

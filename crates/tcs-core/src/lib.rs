@@ -35,4 +35,4 @@ pub use engine::{EngineStats, JoinMode, TimingEngine};
 pub use independent::IndependentStore;
 pub use mstree::MsTreeStore;
 pub use plan::{PlanOptions, QueryPlan};
-pub use store::MatchStore;
+pub use store::{ExpiryMode, MatchStore};

@@ -25,17 +25,24 @@
 //! links for subquery 0, and through payload scans for subqueries `i ≥ 1`,
 //! exactly Algorithm 2's "scan `L₀^i` to `L₀^k`" step).
 //!
-//! # Ordering
+//! # Ordering and expiry cost
 //!
 //! Item lists and key buckets obey the timestamp-ordered invariant of the
 //! `store.rs` module docs: nodes carry the timestamp of their match's
-//! newest edge, appends are checked nondecreasing, and deletion punches
-//! holes that are compacted once per cascade so survivors keep their
-//! relative order. The engines rely on it for binary-search range probes
+//! newest edge and appends are checked nondecreasing. The engines rely on
+//! it for binary-search range probes
 //! ([`MatchStore::for_each_sub_keyed_before`] / `..._from`) and for the
 //! oldest-first early exit of `expire_edge`'s payload scans.
+//!
+//! Deletion costs what it deletes: item lists are intrusive (O(1) unlink
+//! per node) and key buckets are [`DrainBucket`]s — a dying row punches a
+//! timestamp-keeping tombstone at its stored bucket position, the end of
+//! the cascade front-drains the leading tombstones (payload-level deaths
+//! are always a bucket's oldest prefix), and interior holes from cascaded
+//! descendants are physically compacted only once they outnumber the live
+//! entries (see the tombstone-lifecycle section of the `store.rs` docs).
 
-use crate::store::{Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
@@ -59,8 +66,8 @@ struct Node {
     item: u32,
     /// Join key the node was filed under (see `store.rs` module docs).
     key: JoinKey,
-    /// Position inside its item's key bucket (O(1) hole-punching on
-    /// removal; buckets are compacted once per `expire_edge`).
+    /// Absolute position inside its item's key bucket (O(1) tombstone
+    /// punching on removal; re-recorded whenever the bucket compacts).
     key_pos: u32,
     dead: bool,
 }
@@ -78,13 +85,17 @@ pub struct MsTreeStore {
     nodes: Vec<Node>,
     free: Vec<u32>,
     items: Vec<ItemList>,
-    /// Per-item join-key index: key → bucket of node indices, kept
-    /// coherent with the intrusive item lists through `expire_edge`.
-    indexes: Vec<HashMap<JoinKey, Vec<u32>>>,
+    /// Per-item join-key index: key → tombstoned ordered bucket of node
+    /// indices, kept coherent with the intrusive item lists through
+    /// `expire_edge`.
+    indexes: Vec<HashMap<JoinKey, DrainBucket>>,
     /// Start of each subquery's item range in `items`.
     sub_offsets: Vec<usize>,
     /// Start of the L₀ item range (items `l0_base + (i−1)` for `i ≥ 1`).
     l0_base: usize,
+    /// Expiry compaction policy (the EagerCompact ablation reproduces the
+    /// previous compact-every-cascade behavior).
+    mode: ExpiryMode,
 }
 
 impl MsTreeStore {
@@ -172,13 +183,7 @@ impl MsTreeStore {
             self.link_under_parent(idx, parent_idx);
         }
         self.link_into_item(idx);
-        let bucket = self.indexes[item].entry(key).or_default();
-        debug_assert!(
-            bucket.last().is_none_or(|&t| self.nodes[t as usize].ts <= ts),
-            "bucket insert violates the timestamp-ordered invariant"
-        );
-        self.nodes[idx as usize].key_pos = bucket.len() as u32;
-        bucket.push(idx);
+        self.nodes[idx as usize].key_pos = self.indexes[item].entry(key).or_default().push(idx, ts);
         idx as Handle
     }
 
@@ -204,37 +209,35 @@ impl MsTreeStore {
         }
     }
 
-    /// Removes a node from its item's key bucket by punching a hole at its
-    /// position (keeps the bucket's timestamp order; a swap-remove would
-    /// move the newest entry into the middle). The touched `(item, key)`
-    /// is recorded so [`MsTreeStore::compact_buckets`] can squeeze the
-    /// holes out once the whole cascade is unlinked.
+    /// Removes a node from its item's key bucket by punching a tombstone
+    /// at its stored position (keeps the bucket's timestamp order; a
+    /// swap-remove would move the newest entry into the middle). The
+    /// touched `(item, key)` is recorded so [`MsTreeStore::finish_buckets`]
+    /// can front-drain / threshold-compact once the cascade is unlinked.
     fn unindex(&mut self, idx: u32, touched: &mut Vec<(usize, JoinKey)>) {
         let (item, key, pos) = {
             let n = &self.nodes[idx as usize];
-            (n.item as usize, n.key, n.key_pos as usize)
+            (n.item as usize, n.key, n.key_pos)
         };
-        let bucket = self.indexes[item].get_mut(&key).expect("indexed node has a bucket");
-        debug_assert_eq!(bucket[pos], idx);
-        bucket[pos] = NIL;
+        self.indexes[item].get_mut(&key).expect("indexed node has a bucket").punch(pos, idx);
         touched.push((item, key));
     }
 
-    /// Squeezes the holes out of every bucket touched by an expiry
-    /// cascade, re-recording survivor positions. Survivors keep their
-    /// relative (timestamp) order.
-    fn compact_buckets(&mut self, touched: &mut Vec<(usize, JoinKey)>) {
+    /// End-of-cascade bucket maintenance: front-drain the leading
+    /// tombstones of every touched bucket, compact past the tombstone
+    /// threshold (or always, under [`ExpiryMode::EagerCompact`]), and drop
+    /// buckets with no live entry. Survivors keep their relative
+    /// (timestamp) order and get their positions re-recorded on compaction.
+    fn finish_buckets(&mut self, touched: &mut Vec<(usize, JoinKey)>) {
         touched.sort_unstable();
         touched.dedup();
+        let mode = self.mode;
         for &(item, key) in touched.iter() {
-            let bucket = self.indexes[item].get_mut(&key).expect("touched bucket exists");
-            bucket.retain(|&n| n != NIL);
-            if bucket.is_empty() {
-                self.indexes[item].remove(&key);
-            } else {
-                for (pos, &n) in bucket.iter().enumerate() {
-                    self.nodes[n as usize].key_pos = pos as u32;
-                }
+            let nodes = &mut self.nodes;
+            let index = &mut self.indexes[item];
+            let bucket = index.get_mut(&key).expect("touched bucket exists");
+            if bucket.finish_cascade(mode, |slot, pos| nodes[slot as usize].key_pos = pos) {
+                index.remove(&key);
             }
         }
     }
@@ -311,37 +314,17 @@ impl MsTreeStore {
     }
 
     /// The timestamp-ordered bucket of `(item, key)`, if any. Buckets hold
-    /// node indices in nondecreasing node-timestamp order, so range reads
-    /// binary-search them.
+    /// node indices in nondecreasing node-timestamp order (tombstones keep
+    /// their timestamps), so range reads binary-search the entries.
     #[inline]
-    fn bucket(&self, item: usize, key: JoinKey) -> Option<&[u32]> {
-        self.indexes[item].get(&key).map(Vec::as_slice)
-    }
-
-    /// The bucket prefix of nodes with `ts < cutoff_ts`.
-    #[inline]
-    fn bucket_before(&self, item: usize, key: JoinKey, cutoff_ts: u64) -> &[u32] {
-        let Some(bucket) = self.bucket(item, key) else {
-            return &[];
-        };
-        let n = bucket.partition_point(|&idx| self.nodes[idx as usize].ts < cutoff_ts);
-        &bucket[..n]
-    }
-
-    /// The bucket suffix of nodes with `ts ≥ min_ts`.
-    #[inline]
-    fn bucket_from(&self, item: usize, key: JoinKey, min_ts: u64) -> &[u32] {
-        let Some(bucket) = self.bucket(item, key) else {
-            return &[];
-        };
-        let n = bucket.partition_point(|&idx| self.nodes[idx as usize].ts < min_ts);
-        &bucket[n..]
+    fn bucket(&self, item: usize, key: JoinKey) -> Option<&DrainBucket> {
+        self.indexes[item].get(&key)
     }
 
     /// Debug invariant: every item's list length matches a full traversal,
     /// all listed nodes are alive and timestamp-ordered, and the key index
-    /// holds exactly the listed nodes, also timestamp-ordered and without
-    /// holes.
+    /// holds exactly the listed nodes as live entries, timestamp-ordered
+    /// across tombstones, with positions that round-trip.
     #[cfg(test)]
     fn check_invariants(&self) {
         for (i, item) in self.items.iter().enumerate() {
@@ -357,23 +340,28 @@ impl MsTreeStore {
                 assert!(prev_ts <= node.ts, "item {i} list out of timestamp order");
                 prev_ts = node.ts;
                 let bucket = &self.indexes[i][&node.key];
-                assert_eq!(bucket[node.key_pos as usize], n, "index position in item {i}");
+                assert!(node.key_pos >= bucket.front(), "drained position in item {i}");
+                assert_eq!(
+                    bucket.indexed()[(node.key_pos - bucket.front()) as usize].slot,
+                    n,
+                    "index position in item {i}"
+                );
                 prev = n;
                 n = node.next;
                 count += 1;
             }
             assert_eq!(count, item.len, "item {i} length");
             assert_eq!(item.tail, prev);
-            let indexed: usize = self.indexes[i].values().map(Vec::len).sum();
-            assert_eq!(indexed, item.len, "item {i} index size");
+            let indexed: usize = self.indexes[i].values().map(DrainBucket::live_len).sum();
+            assert_eq!(indexed, item.len, "item {i} index live size");
             for bucket in self.indexes[i].values() {
-                assert!(!bucket.is_empty(), "empty bucket left behind in item {i}");
-                for w in bucket.windows(2) {
-                    assert!(w[0] != NIL && w[1] != NIL, "hole left in item {i} bucket");
-                    assert!(
-                        self.nodes[w[0] as usize].ts <= self.nodes[w[1] as usize].ts,
-                        "item {i} bucket out of timestamp order"
-                    );
+                assert!(bucket.live_len() > 0, "live-empty bucket left behind in item {i}");
+                let tombs =
+                    bucket.indexed().iter().filter(|e| e.slot == crate::store::TOMBSTONE).count()
+                        as u32;
+                assert_eq!(tombs, bucket.tombstones(), "item {i} tombstone count drifted");
+                for w in bucket.indexed().windows(2) {
+                    assert!(w[0].ts <= w[1].ts, "item {i} bucket out of timestamp order");
                 }
             }
         }
@@ -398,7 +386,12 @@ impl MatchStore for MsTreeStore {
             free: Vec::new(),
             sub_offsets,
             l0_base,
+            mode: ExpiryMode::default(),
         }
+    }
+
+    fn set_expiry_mode(&mut self, mode: ExpiryMode) {
+        self.mode = mode;
     }
 
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
@@ -423,7 +416,7 @@ impl MatchStore for MsTreeStore {
             return;
         };
         let mut buf = vec![EdgeId(0); level + 1];
-        for &n in bucket {
+        for n in bucket.live_slots() {
             self.emit_sub_path(n, level, &mut buf, f);
         }
     }
@@ -437,8 +430,11 @@ impl MatchStore for MsTreeStore {
         f: &mut dyn FnMut(Handle, &[EdgeId]),
     ) {
         let item = self.sub_item(sub, level);
+        let Some(bucket) = self.bucket(item, key) else {
+            return;
+        };
         let mut buf = vec![EdgeId(0); level + 1];
-        for &n in self.bucket_before(item, key, cutoff_ts) {
+        for n in bucket.live_before(cutoff_ts) {
             self.emit_sub_path(n, level, &mut buf, f);
         }
     }
@@ -452,8 +448,11 @@ impl MatchStore for MsTreeStore {
         f: &mut dyn FnMut(Handle, &[EdgeId]),
     ) {
         let item = self.sub_item(sub, level);
+        let Some(bucket) = self.bucket(item, key) else {
+            return;
+        };
         let mut buf = vec![EdgeId(0); level + 1];
-        for &n in self.bucket_from(item, key, min_ts) {
+        for n in bucket.live_from(min_ts) {
             self.emit_sub_path(n, level, &mut buf, f);
         }
     }
@@ -488,7 +487,7 @@ impl MatchStore for MsTreeStore {
             return;
         };
         let mut comps = vec![0 as Handle; i + 1];
-        for &n in bucket {
+        for n in bucket.live_slots() {
             self.emit_l0_row(n, i, &mut comps, f);
         }
     }
@@ -501,8 +500,11 @@ impl MatchStore for MsTreeStore {
         f: &mut dyn FnMut(Handle, &[Handle]),
     ) {
         let item = self.l0_item(i);
+        let Some(bucket) = self.bucket(item, key) else {
+            return;
+        };
         let mut comps = vec![0 as Handle; i + 1];
-        for &n in self.bucket_from(item, key, min_ts) {
+        for n in bucket.live_from(min_ts) {
             self.emit_l0_row(n, i, &mut comps, f);
         }
     }
@@ -590,13 +592,15 @@ impl MatchStore for MsTreeStore {
                 }
             }
         }
-        // Unlink everything (punching bucket holes), compact the touched
-        // buckets in one pass, then reclaim.
+        // Unlink everything (punching tombstones into the touched
+        // buckets), run the end-of-cascade front-drain / threshold
+        // compaction once, then reclaim. Tombstoned entries keep their
+        // timestamps, so reusing the freed nodes immediately is safe.
         let mut touched: Vec<(usize, JoinKey)> = Vec::new();
         for &m in &marked {
             self.unlink(m, &mut touched);
         }
-        self.compact_buckets(&mut touched);
+        self.finish_buckets(&mut touched);
         for &m in &marked {
             self.free.push(m);
         }
@@ -618,8 +622,8 @@ impl MatchStore for MsTreeStore {
             .indexes
             .iter()
             .map(|ix| {
-                ix.len() * (size_of::<JoinKey>() + size_of::<Vec<u32>>())
-                    + ix.values().map(|b| b.capacity() * size_of::<u32>()).sum::<usize>()
+                ix.len() * (size_of::<JoinKey>() + size_of::<DrainBucket>())
+                    + ix.values().map(DrainBucket::heap_bytes).sum::<usize>()
             })
             .sum();
         live * size_of::<Node>() + self.items.len() * size_of::<ItemList>() + index_bytes
@@ -690,6 +694,14 @@ mod tests {
     #[test]
     fn conformance_ordered_l0_buckets_property() {
         conformance::ordered_l0_buckets_survive_random_ops::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_same_bucket_double_death() {
+        conformance::same_bucket_double_death_in_one_cascade::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_tombstones_match_model() {
+        conformance::tombstoned_buckets_match_model_store::<MsTreeStore>();
     }
 
     #[test]

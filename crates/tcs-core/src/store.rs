@@ -100,6 +100,42 @@
 //! filtered full scan. The contract callers must uphold is "one edge, one
 //! timestamp": distinct stream edges never share a timestamp (Definition 1
 //! gives strictly increasing arrivals).
+//!
+//! # Expiry cost and the tombstone lifecycle
+//!
+//! Because buckets are timestamp-ordered and edges leave the window
+//! oldest-first, every *payload-level* death (a row whose newest edge is
+//! the expired edge) sits in a contiguous oldest prefix of its item and
+//! bucket: a live row older than the expired edge cannot exist, since its
+//! own newest edge would already have expired. Cascade deaths (descendants
+//! of a dying prefix, and `L₀` rows referencing a dead leaf) are strictly
+//! newer and land anywhere in their buckets. Expiry therefore must be
+//! cheap at the front and tolerable in the middle, which is exactly what
+//! [`DrainBucket`] provides; all three stores (MS-tree, Timing-IND, and
+//! the concurrent CmsTree) file their key buckets in one:
+//!
+//! 1. **Punch** — removing a row overwrites its bucket entry's slot with
+//!    [`TOMBSTONE`] in O(1) via the row's stored bucket position. The
+//!    entry *keeps its timestamp*, so binary searches over the bucket stay
+//!    valid and reclaimed slots can be reused immediately without
+//!    aliasing.
+//! 2. **Front-drain** — at the end of each expiry cascade the bucket's
+//!    logical `start` advances past every leading tombstone, so the
+//!    steady-state case (the window retiring the oldest rows) costs
+//!    O(deaths), never O(bucket).
+//! 3. **Threshold compaction** — interior tombstones are merely counted;
+//!    live entries are physically re-packed (and their stored positions
+//!    re-recorded) only once dead entries outnumber live ones, which
+//!    amortizes to O(1) per death and bounds a bucket's memory at ~2×
+//!    its live size. A bucket with no live entries is dropped whole.
+//!
+//! Iterators skip tombstones, so readers never observe them; `len_sub` /
+//! `len_l0` count live rows only, which keeps the engines'
+//! `live_partials == store_rows()` accounting exact under tombstones.
+//! [`ExpiryMode::EagerCompact`] disables steps 2–3 (every touched bucket
+//! is compacted at the end of every cascade — the previous
+//! hole-compaction behavior) and exists as the benchmark ablation
+//! baseline behind `BENCH_join.json`'s `expiry_rows` gate.
 
 use tcs_graph::EdgeId;
 
@@ -113,6 +149,178 @@ pub type JoinKey = u64;
 
 /// Sentinel parent for level-0 insertions.
 pub const ROOT: Handle = Handle::MAX;
+
+/// How a store retires the bucket entries of expired rows (see the
+/// "Expiry cost and the tombstone lifecycle" section of the module docs).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExpiryMode {
+    /// Front-drain the oldest prefix, tombstone interior holes, compact a
+    /// bucket only once dead entries outnumber live ones (the default:
+    /// steady-state expiry is O(deaths)).
+    #[default]
+    FrontDrain,
+    /// Compact every touched bucket at the end of every cascade — the
+    /// previous hole-compaction behavior, kept as the ablation baseline
+    /// behind the `expiry_rows` benchmark gate.
+    EagerCompact,
+}
+
+/// Slot value marking a punched (tombstoned) [`DrainBucket`] entry.
+pub const TOMBSTONE: u32 = u32::MAX;
+
+/// One slot of a [`DrainBucket`]: a store-specific row reference (node
+/// index / slab slot) plus the row's newest-edge timestamp. The timestamp
+/// outlives the row — a punched entry keeps it so binary searches over
+/// the bucket remain valid and the store may reuse the slot immediately.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketEntry {
+    /// Row reference, or [`TOMBSTONE`] once punched.
+    pub slot: u32,
+    /// The row's timestamp (nondecreasing along the bucket).
+    pub ts: u64,
+}
+
+/// A timestamp-ordered key bucket supporting O(1) hole-punching, O(drained)
+/// front-drain, and amortized-O(1) threshold compaction — the storage
+/// behind every item's join-key index (module docs: "Expiry cost and the
+/// tombstone lifecycle"). Live entries are `entries[start..]` minus the
+/// `tombs` tombstones among them; positions handed out by
+/// [`DrainBucket::push`] are absolute indices into `entries` and stay
+/// valid until the next compaction re-records them.
+#[derive(Clone, Debug, Default)]
+pub struct DrainBucket {
+    entries: Vec<BucketEntry>,
+    /// Logical front: everything before it is dead and drained.
+    start: u32,
+    /// Tombstones at positions `>= start`.
+    tombs: u32,
+}
+
+/// Compact once dead entries outnumber live ones (amortized O(1) per
+/// death), but never for a handful of holes — tiny buckets would thrash.
+const COMPACT_MIN_DEAD: u32 = 8;
+
+impl DrainBucket {
+    /// Appends a live entry; returns its absolute position (the row's
+    /// back-reference for later punching). Checks the timestamp-ordered
+    /// invariant against the bucket tail (tombstoned or not — tombstones
+    /// keep their timestamps).
+    #[inline]
+    pub fn push(&mut self, slot: u32, ts: u64) -> u32 {
+        debug_assert_ne!(slot, TOMBSTONE);
+        debug_assert!(
+            self.entries.last().is_none_or(|e| e.ts <= ts),
+            "bucket insert violates the timestamp-ordered invariant"
+        );
+        self.entries.push(BucketEntry { slot, ts });
+        (self.entries.len() - 1) as u32
+    }
+
+    /// Punches the entry at absolute position `pos` (which must currently
+    /// reference `expect`), leaving a counted tombstone.
+    #[inline]
+    pub fn punch(&mut self, pos: u32, expect: u32) {
+        let e = &mut self.entries[pos as usize];
+        debug_assert_eq!(e.slot, expect, "stale bucket back-reference");
+        debug_assert!(pos >= self.start, "punching an already-drained entry");
+        e.slot = TOMBSTONE;
+        self.tombs += 1;
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.entries.len() - self.start as usize - self.tombs as usize
+    }
+
+    /// Entries still indexed (live and tombstoned), oldest first.
+    #[inline]
+    pub fn indexed(&self) -> &[BucketEntry] {
+        &self.entries[self.start as usize..]
+    }
+
+    /// Absolute position of the first indexed entry (for punch-by-walk).
+    #[inline]
+    pub fn front(&self) -> u32 {
+        self.start
+    }
+
+    /// Tombstones currently counted behind the front (test introspection).
+    #[inline]
+    pub fn tombstones(&self) -> u32 {
+        self.tombs
+    }
+
+    /// Live slots of the whole bucket, oldest first.
+    #[inline]
+    pub fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.indexed().iter().filter(|e| e.slot != TOMBSTONE).map(|e| e.slot)
+    }
+
+    /// Live slots with `ts < cutoff_ts` (binary-searched prefix).
+    #[inline]
+    pub fn live_before(&self, cutoff_ts: u64) -> impl Iterator<Item = u32> + '_ {
+        let ix = self.indexed();
+        let n = ix.partition_point(|e| e.ts < cutoff_ts);
+        ix[..n].iter().filter(|e| e.slot != TOMBSTONE).map(|e| e.slot)
+    }
+
+    /// Live slots with `ts >= min_ts` (binary-searched suffix).
+    #[inline]
+    pub fn live_from(&self, min_ts: u64) -> impl Iterator<Item = u32> + '_ {
+        let ix = self.indexed();
+        let n = ix.partition_point(|e| e.ts < min_ts);
+        ix[n..].iter().filter(|e| e.slot != TOMBSTONE).map(|e| e.slot)
+    }
+
+    /// End-of-cascade maintenance: drain leading tombstones off the front,
+    /// then compact if the mode demands it or dead space crossed the
+    /// threshold, re-recording every surviving row's position through
+    /// `reindex(slot, new_pos)`. Returns `true` when no live entry remains
+    /// (the caller drops the bucket).
+    pub fn finish_cascade(&mut self, mode: ExpiryMode, reindex: impl FnMut(u32, u32)) -> bool {
+        while let Some(e) = self.entries.get(self.start as usize) {
+            if e.slot != TOMBSTONE {
+                break;
+            }
+            self.start += 1;
+            self.tombs -= 1;
+        }
+        debug_assert!(self.start as usize <= self.entries.len());
+        if self.live_len() == 0 {
+            // Fully drained: reset so long-lived buckets (the per-item
+            // timelines) start clean instead of accumulating dead space.
+            self.entries.clear();
+            self.start = 0;
+            self.tombs = 0;
+            return true;
+        }
+        let dead = self.start + self.tombs;
+        let threshold = dead >= COMPACT_MIN_DEAD && dead as usize >= self.live_len();
+        if mode == ExpiryMode::EagerCompact || threshold {
+            self.compact(reindex);
+        }
+        false
+    }
+
+    /// Physically removes drained space and tombstones, re-recording
+    /// survivor positions.
+    fn compact(&mut self, mut reindex: impl FnMut(u32, u32)) {
+        self.entries.drain(..self.start as usize);
+        self.entries.retain(|e| e.slot != TOMBSTONE);
+        self.start = 0;
+        self.tombs = 0;
+        for (pos, e) in self.entries.iter().enumerate() {
+            reindex(e.slot, pos as u32);
+        }
+    }
+
+    /// Heap bytes held by the bucket.
+    #[inline]
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<BucketEntry>()
+    }
+}
 
 /// Store layout: the expansion-list lengths per subquery, in join order.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -240,9 +448,15 @@ pub trait MatchStore {
     /// timestamp: the position scans walk items oldest-first and stop at
     /// the first entry newer than `ts` (every entry whose newest edge is
     /// `edge` carries exactly `ts`). Removals preserve the ordered-bucket
-    /// invariant. Returns the number of partial matches removed (over all
-    /// items).
+    /// invariant: bucket entries are front-drained or tombstoned per
+    /// [`ExpiryMode`] (see the module docs). Returns the number of partial
+    /// matches removed (over all items).
     fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize;
+
+    /// Selects the expiry compaction policy (default
+    /// [`ExpiryMode::FrontDrain`]); [`ExpiryMode::EagerCompact`] is the
+    /// benchmark ablation baseline. Semantically invisible either way.
+    fn set_expiry_mode(&mut self, mode: ExpiryMode);
 
     /// Number of matches in subquery `sub`'s item `level`.
     fn len_sub(&self, sub: usize, level: usize) -> usize;
@@ -803,6 +1017,188 @@ pub(crate) mod conformance {
                             got.push(expand_pair(&s, comps));
                         });
                         assert_eq!(got, expect, "seed {seed} t {t} key {key} min {min_ts}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression (same-cascade bucket staleness): two rows in the SAME
+    /// key bucket dying in one `expire_edge` cascade must both be punched
+    /// at their recorded positions, and a survivor behind them must keep a
+    /// valid back-reference (re-recorded if the cascade or the eager mode
+    /// compacts the bucket) so a *follow-up* expiry can remove it too.
+    pub fn same_bucket_double_death_in_one_cascade<S: MatchStore>() {
+        for mode in [ExpiryMode::FrontDrain, ExpiryMode::EagerCompact] {
+            let mut s = S::new(StoreLayout { sub_lens: vec![2] });
+            s.set_expiry_mode(mode);
+            let a1 = s.insert_sub(0, 0, ROOT, e(1), 1, 5);
+            let a2 = s.insert_sub(0, 0, ROOT, e(2), 2, 5);
+            // Three level-1 extensions sharing ONE bucket (key 7): two
+            // under a1 (both die in a1's cascade), one under a2.
+            s.insert_sub(0, 1, a1, e(3), 3, 7);
+            s.insert_sub(0, 1, a1, e(4), 4, 7);
+            s.insert_sub(0, 1, a2, e(5), 5, 7);
+            let n = s.expire_edge(e(1), 1, &[(0, 0)]);
+            assert_eq!(n, 3, "a1 and its two same-bucket children ({mode:?})");
+            assert_eq!(collect_sub_keyed(&s, 0, 0, 5), vec![vec![2]], "{mode:?}");
+            assert_eq!(collect_sub_keyed(&s, 0, 1, 7), vec![vec![2, 5]], "{mode:?}");
+            // The survivor's back-reference must still be exact: expiring
+            // a2 punches {2,5} at its (possibly remapped) position.
+            let n2 = s.expire_edge(e(2), 2, &[(0, 0)]);
+            assert_eq!(n2, 2, "{mode:?}");
+            assert!(collect_sub_keyed(&s, 0, 1, 7).is_empty(), "{mode:?}");
+            assert_eq!(s.len_sub(0, 0), 0, "{mode:?}");
+            assert_eq!(s.len_sub(0, 1), 0, "{mode:?}");
+            // Buckets are reusable after a full drain.
+            let b1 = s.insert_sub(0, 0, ROOT, e(10), 10, 5);
+            s.insert_sub(0, 1, b1, e(11), 11, 7);
+            assert_eq!(collect_sub_keyed(&s, 0, 1, 7), vec![vec![10, 11]], "{mode:?}");
+        }
+    }
+
+    /// The tombstone property test: a naive no-tombstone model (rows per
+    /// level in insertion order, retain-based expiry) must stay
+    /// indistinguishable from the real store through any interleaving of
+    /// inserts, front-drained oldest-prefix expiries, scattered descendant
+    /// deaths and threshold compactions, under both expiry modes. Uses the
+    /// ts = edge-id convention and two fat buckets per item so tombstones
+    /// pile up past the compaction threshold.
+    pub fn tombstoned_buckets_match_model_store<S: MatchStore>() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        #[derive(Clone)]
+        struct ModelRow {
+            edges: Vec<u64>,
+            key: JoinKey,
+        }
+        for mode in [ExpiryMode::FrontDrain, ExpiryMode::EagerCompact] {
+            for seed in 0..4u64 {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed.wrapping_mul(0xc0ff_ee11) ^ (mode as u64));
+                let mut s = S::new(StoreLayout { sub_lens: vec![3] });
+                s.set_expiry_mode(mode);
+                // model[level] in insertion (= timestamp) order; a row's
+                // ts is its newest edge id.
+                let mut model: Vec<Vec<ModelRow>> = vec![Vec::new(); 3];
+                for t in 1..=240u64 {
+                    let rows_at = |s: &S, level: usize| {
+                        let mut rows: Vec<(Handle, u64)> = Vec::new();
+                        s.for_each_sub(0, level, &mut |h, edges| {
+                            rows.push((h, edges.last().expect("nonempty").0));
+                        });
+                        rows
+                    };
+                    let expire =
+                        |s: &mut S, model: &mut Vec<Vec<ModelRow>>, edge: u64, pos: usize| {
+                            s.expire_edge(e(edge), edge, &[(0, pos)]);
+                            for rows in model.iter_mut().skip(pos) {
+                                rows.retain(|r| r.edges[pos] != edge);
+                            }
+                        };
+                    match rng.gen_range(0..8u32) {
+                        0 | 1 => {
+                            s.insert_sub(0, 0, ROOT, e(t), t, t % 2);
+                            model[0].push(ModelRow { edges: vec![t], key: t % 2 });
+                        }
+                        2..=4 => {
+                            // Extend a random level-0 or level-1 row.
+                            let level = rng.gen_range(0..2usize);
+                            let rows = rows_at(&s, level);
+                            if rows.is_empty() {
+                                s.insert_sub(0, 0, ROOT, e(t), t, t % 2);
+                                model[0].push(ModelRow { edges: vec![t], key: t % 2 });
+                            } else {
+                                let (parent, newest) = rows[rng.gen_range(0..rows.len())];
+                                s.insert_sub(0, level + 1, parent, e(t), t, t % 2);
+                                let prefix = model[level]
+                                    .iter()
+                                    .find(|r| *r.edges.last().expect("nonempty") == newest)
+                                    .expect("model tracks every live row");
+                                let mut edges = prefix.edges.clone();
+                                edges.push(t);
+                                model[level + 1].push(ModelRow { edges, key: t % 2 });
+                            }
+                        }
+                        5 | 6 => {
+                            // Scattered deaths: expire the newest edge of
+                            // a random live row at a random level —
+                            // descendants punch interior tombstones.
+                            let level = rng.gen_range(0..3usize);
+                            let rows = rows_at(&s, level);
+                            if let Some(&(_, edge)) = rows.get(rng.gen_range(0..rows.len().max(1)))
+                            {
+                                expire(&mut s, &mut model, edge, level);
+                            }
+                        }
+                        _ => {
+                            // Sliding-window-style front-drain: expire the
+                            // OLDEST level-0 edge.
+                            if let Some(&(_, edge)) =
+                                rows_at(&s, 0).iter().min_by_key(|&&(_, ts)| ts)
+                            {
+                                expire(&mut s, &mut model, edge, 0);
+                            }
+                        }
+                    }
+                    // The store must be indistinguishable from the model:
+                    // live counts, unkeyed iteration (as a multiset), and
+                    // keyed / range iteration in exact timestamp order.
+                    for (level, model_rows) in model.iter().enumerate() {
+                        assert_eq!(
+                            s.len_sub(0, level),
+                            model_rows.len(),
+                            "{mode:?} seed {seed} t {t} level {level} len"
+                        );
+                        let mut unkeyed = collect_sub(&s, 0, level);
+                        unkeyed.sort();
+                        let mut expect_unkeyed: Vec<Vec<u64>> =
+                            model_rows.iter().map(|r| r.edges.clone()).collect();
+                        expect_unkeyed.sort();
+                        assert_eq!(
+                            unkeyed, expect_unkeyed,
+                            "{mode:?} seed {seed} t {t} level {level} full scan"
+                        );
+                        for key in 0..2u64 {
+                            let keyed: Vec<Vec<u64>> = {
+                                let mut out = Vec::new();
+                                s.for_each_sub_keyed(0, level, key, &mut |_, edges| {
+                                    out.push(edges.iter().map(|x| x.0).collect());
+                                });
+                                out
+                            };
+                            let expect: Vec<Vec<u64>> = model_rows
+                                .iter()
+                                .filter(|r| r.key == key)
+                                .map(|r| r.edges.clone())
+                                .collect();
+                            assert_eq!(
+                                keyed, expect,
+                                "{mode:?} seed {seed} t {t} level {level} key {key}"
+                            );
+                            for cutoff in [0, t / 2, t, u64::MAX] {
+                                let prefix: Vec<Vec<u64>> = expect
+                                    .iter()
+                                    .filter(|r| *r.last().expect("nonempty") < cutoff)
+                                    .cloned()
+                                    .collect();
+                                assert_eq!(
+                                    collect_sub_keyed_before::<S>(&s, 0, level, key, cutoff),
+                                    prefix,
+                                    "{mode:?} seed {seed} t {t} level {level} key {key} < {cutoff}"
+                                );
+                                let suffix: Vec<Vec<u64>> = expect
+                                    .iter()
+                                    .filter(|r| *r.last().expect("nonempty") >= cutoff)
+                                    .cloned()
+                                    .collect();
+                                assert_eq!(
+                                    collect_sub_keyed_from::<S>(&s, 0, level, key, cutoff),
+                                    suffix,
+                                    "{mode:?} seed {seed} t {t} level {level} key {key} >= {cutoff}"
+                                );
+                            }
+                        }
                     }
                 }
             }

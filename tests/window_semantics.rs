@@ -2,11 +2,13 @@
 //! exactly as the time window slides (Definition 2 + Definition 4), across
 //! all engines.
 
-use tcs_baselines::SjTree;
-use tcs_core::{MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
+use tcs_baselines::{IncMat, SjTree};
+use tcs_concurrent::{ConcurrentEngine, LockingMode};
+use tcs_core::{IndependentStore, MatchStore, MsTreeStore, PlanOptions, QueryPlan, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::window::SlidingWindow;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
+use tcs_subiso::Strategy;
 
 fn two_path(pairs: &[(usize, usize)]) -> QueryGraph {
     QueryGraph::new(
@@ -107,6 +109,116 @@ fn sjtree_and_timing_agree_after_heavy_sliding() {
     }
     assert_eq!(total_a, total_b);
     assert!(total_a > 0);
+}
+
+/// The general window boundary, pinned across every engine and baseline:
+/// with a window of duration `|W|` at time `t`, the timespan is the
+/// half-open `(t − |W|, t]`, so an edge whose timestamp is EXACTLY
+/// `t − |W|` is expired while `t − |W| + 1` is still live. The PR-2 fix
+/// pinned the `ts = 0, t < |W|` corner in `SlidingWindow` itself; this
+/// drives the fencepost through `TimingEngine` (both stores), the
+/// concurrent engine, SJ-tree and IncMat, checking they all agree.
+///
+/// Construction: e1 = a→b at `base`, e2 = b→c at `base + 1` form a match;
+/// a probe edge e3 = b→c' arrives at `base + |W| + off`. For `off = 0` the
+/// window is `(base, base + |W|]` — e1 sits exactly on the open bound and
+/// must be gone, so e3 joins nothing. For `off = −1` e1 is still live and
+/// e3 forms a second match.
+#[test]
+fn exact_boundary_expiry_is_identical_across_engines_and_baselines() {
+    const W: u64 = 10;
+    let q = two_path(&[(0, 1)]);
+    for (base, probe_offset, expect_probe_matches) in
+        [(5u64, 0i64, 0usize), (5, -1, 1), (1, 0, 0), (1, -1, 1), (23, 3, 0), (40, -4, 1)]
+    {
+        let probe_ts = (base + W).checked_add_signed(probe_offset).expect("valid ts");
+        let stream = [
+            StreamEdge::new(1, 10, 0, 11, 1, 0, base),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, base + 1),
+            // b→c' with a fresh c': joins e1 iff e1 is still live.
+            StreamEdge::new(3, 11, 1, 13, 2, 0, probe_ts),
+        ];
+        let tag = format!("base {base} probe at t-|W|{probe_offset:+}");
+
+        // Serial engines, both stores.
+        fn timing_counts<S: MatchStore>(q: &QueryGraph, stream: &[StreamEdge]) -> (usize, usize) {
+            let mut eng: TimingEngine<S> =
+                TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+            let mut w = SlidingWindow::new(W);
+            let mut per_arrival = Vec::new();
+            for &e in stream {
+                per_arrival.push(eng.advance(&w.advance(e)).len());
+            }
+            (*per_arrival.last().expect("nonempty"), eng.live_match_count())
+        }
+        let (ms_probe, ms_live) = timing_counts::<MsTreeStore>(&q, &stream);
+        let (ind_probe, ind_live) = timing_counts::<IndependentStore>(&q, &stream);
+        assert_eq!(ms_probe, expect_probe_matches, "MsTree probe matches, {tag}");
+        assert_eq!((ms_probe, ms_live), (ind_probe, ind_live), "store divergence, {tag}");
+
+        // Concurrent engine: total matches = the first pair's match plus
+        // the probe's (if the boundary kept e1 alive); final live count
+        // counts only windows-surviving matches.
+        for mode in [LockingMode::FineGrained, LockingMode::AllLocks] {
+            let plan = QueryPlan::build(q.clone(), PlanOptions::timing());
+            let mut conc = ConcurrentEngine::new(plan, 2, mode);
+            let total = conc.run(&stream, W).matches.len();
+            assert_eq!(total, 1 + expect_probe_matches, "concurrent total, {tag} {mode:?}");
+        }
+
+        // SJ-tree (posterior timing filter, same window events).
+        let mut sj = SjTree::new(q.clone());
+        let mut w = SlidingWindow::new(W);
+        let mut sj_per_arrival = Vec::new();
+        for &e in &stream {
+            sj_per_arrival.push(sj.advance(&w.advance(e)).len());
+        }
+        assert_eq!(
+            *sj_per_arrival.last().expect("nonempty"),
+            expect_probe_matches,
+            "SJ-tree probe matches, {tag}"
+        );
+
+        // IncMat recomputes from the window's snapshot graph — the
+        // boundary edge must already be outside it.
+        for strategy in [Strategy::QuickSi, Strategy::TurboIso, Strategy::BoostIso] {
+            let mut inc = IncMat::new(q.clone(), strategy);
+            let mut w = SlidingWindow::new(W);
+            let mut inc_per_arrival = Vec::new();
+            for &e in &stream {
+                inc_per_arrival.push(inc.advance(&w.advance(e)).len());
+            }
+            assert_eq!(
+                *inc_per_arrival.last().expect("nonempty"),
+                expect_probe_matches,
+                "IncMat probe matches, {tag} {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn boundary_expiry_retracts_live_matches_in_both_stores() {
+    // The match itself must disappear the instant its oldest edge sits
+    // exactly on t − |W|, in both serial stores (live_match_count probes
+    // the store's own row accounting, exercised under tombstones).
+    const W: u64 = 7;
+    fn live_after<S: MatchStore>(q: &QueryGraph, slide_to: u64) -> usize {
+        let mut eng: TimingEngine<S> =
+            TimingEngine::new(QueryPlan::build(q.clone(), PlanOptions::timing()));
+        let mut w = SlidingWindow::new(W);
+        eng.advance(&w.advance(StreamEdge::new(1, 10, 0, 11, 1, 0, 3)));
+        eng.advance(&w.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 4)));
+        eng.advance(&w.advance(StreamEdge::new(3, 50, 0, 51, 1, 0, slide_to)));
+        eng.live_match_count()
+    }
+    let q = two_path(&[(0, 1)]);
+    // At t = 3 + W − 1 = 9 the oldest edge (ts 3) is inside (2, 9]: live.
+    assert_eq!(live_after::<MsTreeStore>(&q, 3 + W - 1), 1);
+    assert_eq!(live_after::<IndependentStore>(&q, 3 + W - 1), 1);
+    // At t = 3 + W = 10 it sits exactly on the open bound of (3, 10]: gone.
+    assert_eq!(live_after::<MsTreeStore>(&q, 3 + W), 0);
+    assert_eq!(live_after::<IndependentStore>(&q, 3 + W), 0);
 }
 
 #[test]
