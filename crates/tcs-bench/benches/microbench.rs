@@ -170,12 +170,44 @@ fn bench_join_probe(c: &mut Criterion) {
     g.finish();
 }
 
+/// The multi-tenant dispatch benchmark: per-tick cost of `n` standing
+/// tenant queries over one stream, signature-routed dispatch (one query
+/// touched per edge) vs broadcast-to-all-engines (the N-independent-
+/// engines baseline) — on the shared [`tcs_bench::hub`] multi-tenant
+/// workload `repro join` measures into BENCH_join.json's `multi_rows`.
+fn bench_multi_dispatch(c: &mut Criterion) {
+    use tcs_bench::hub::{multi_edge, multi_engine, multi_warmup};
+    use tcs_multi::DispatchMode;
+    let mut g = c.benchmark_group("multi_dispatch");
+    for n_queries in [8usize, 64] {
+        for (id_str, mode) in [
+            ("dispatch_tick", DispatchMode::Signature),
+            ("broadcast_tick", DispatchMode::Broadcast),
+        ] {
+            g.bench_with_input(BenchmarkId::new(id_str, n_queries), &n_queries, |b, &n| {
+                let mut eng = multi_engine(n, mode);
+                let mut ts = 0u64;
+                while ts < multi_warmup(n) {
+                    ts += 1;
+                    eng.advance(multi_edge(n, ts));
+                }
+                b.iter(|| {
+                    ts += 1;
+                    eng.advance(multi_edge(n, ts))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_ops,
     bench_decomposition,
     bench_engine_per_edge,
     bench_generators,
-    bench_join_probe
+    bench_join_probe,
+    bench_multi_dispatch
 );
 criterion_main!(benches);

@@ -541,16 +541,19 @@ pub fn ablation_cost_model(scale: &Scale) {
 /// throughput of keyed probes ([`tcs_core::JoinMode::Probe`]) vs the full
 /// item scans of Algorithm 1 as written ([`tcs_core::JoinMode::Scan`]) on
 /// a hub fan-out workload — `fanout` stored prefixes of which exactly one
-/// joins each arrival. Emits the speedup trajectory as `BENCH_join.json`
-/// so future PRs can track regressions.
+/// joins each arrival. Also measures the early-exit, expiry-compaction
+/// and multi-tenant-dispatch ablations on their sibling hub workloads
+/// (see `crate::hub`). Emits the speedup trajectories as
+/// `BENCH_join.json` so future PRs can track regressions.
 pub fn join_probe(scale: &Scale) {
     use crate::hub::{
         expiry_edge, expiry_engine, expiry_warmup, expiry_window, hub_arrival, hub_engine,
-        skew_arrival, skew_engine, skew_seed_edges,
+        multi_edge, multi_engine, multi_warmup, skew_arrival, skew_engine, skew_seed_edges,
     };
     use std::time::{Duration, Instant};
     use tcs_core::{ExpiryMode, JoinMode};
     use tcs_graph::window::SlidingWindow;
+    use tcs_multi::DispatchMode;
 
     let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
     let run = |fanout: usize, mode: JoinMode| -> f64 {
@@ -619,6 +622,33 @@ pub fn join_probe(scale: &Scale) {
         n as f64 / start.elapsed().as_secs_f64()
     };
 
+    // The multi-tenant workload: whole window ticks against `n`
+    // registered tenant queries. Signature dispatch routes each edge to
+    // the one query that can react; Broadcast delivers it to all `n`
+    // engines (each with its own private window copy — the
+    // N-independent-engines deployment this subsystem replaces).
+    let run_multi = |n_queries: usize, mode: DispatchMode| -> f64 {
+        let mut eng = multi_engine(n_queries, mode);
+        let mut ts = 0u64;
+        while ts < multi_warmup(n_queries) {
+            ts += 1;
+            eng.advance(multi_edge(n_queries, ts));
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        'outer: loop {
+            for _ in 0..64 {
+                ts += 1;
+                eng.advance(multi_edge(n_queries, ts));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 1_500_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+
     let mut t = Table::new(
         "join_probe: per-edge insert throughput, hub fan-out (probe vs scan)",
         &["fanout", "probe-edges/s", "scan-edges/s", "speedup"],
@@ -677,6 +707,28 @@ pub fn join_probe(scale: &Scale) {
     }
     te.emit("join_probe_expiry");
 
+    let mut tm = Table::new(
+        "join_probe/multi: signature-routed dispatch vs broadcast-to-all-engines, window ticks",
+        &["queries", "dispatch-edges/s", "broadcast-edges/s", "speedup"],
+    );
+    let mut multi_rows = Vec::new();
+    for &n_queries in &[8usize, 64] {
+        // Best of two runs per mode: the dispatch-vs-broadcast gate
+        // shares the expiry gate's sensitivity to transient runner
+        // throttling hitting one side's single run.
+        let best = |mode| run_multi(n_queries, mode).max(run_multi(n_queries, mode));
+        let dispatch = best(DispatchMode::Signature);
+        let broadcast = best(DispatchMode::Broadcast);
+        tm.row(vec![
+            n_queries.to_string(),
+            fmt_throughput(dispatch),
+            fmt_throughput(broadcast),
+            format!("{:.1}x", dispatch / broadcast),
+        ]);
+        multi_rows.push((n_queries, dispatch, broadcast));
+    }
+    tm.emit("join_probe_multi");
+
     // Machine-readable trajectory (no serde in this workspace's offline
     // build — the JSON is assembled by hand; schema documented in
     // `crate::hub`'s module docs).
@@ -713,6 +765,17 @@ pub fn join_probe(scale: &Scale) {
             eager,
             front / eager,
             if idx + 1 < expiry_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"multi_rows\": [\n");
+    for (idx, (n_queries, dispatch, broadcast)) in multi_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"queries\": {}, \"dispatch\": {:.0}, \"broadcast\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            n_queries,
+            dispatch,
+            broadcast,
+            dispatch / broadcast,
+            if idx + 1 < multi_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

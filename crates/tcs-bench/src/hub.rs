@@ -20,13 +20,22 @@
 //!   out of one shared ~`fanout`-row leaf bucket, where front-drain
 //!   expiry ([`ExpiryMode::FrontDrain`]) costs O(deaths) and the
 //!   hole-compaction baseline ([`ExpiryMode::EagerCompact`]) re-walks
-//!   the bucket per cascade.
+//!   the bucket per cascade;
+//! * the **multi-tenant** workload ([`multi_engine`] / [`multi_edge`] /
+//!   [`multi_window`]): `n` standing tenant queries over disjoint label
+//!   spaces sharing one stream that round-robins a two-edge chain per
+//!   tenant, where signature-routed dispatch
+//!   ([`DispatchMode::Signature`]) touches exactly the one query an edge
+//!   can react to and the broadcast baseline
+//!   ([`DispatchMode::Broadcast`], N independent engines with private
+//!   window copies) pays every query on every tick.
 //!
 //! # `BENCH_join.json` schema
 //!
-//! The `repro join` experiment serializes all three workloads into
-//! `BENCH_join.json` (unit: edges/s, each row measured at hub fan-outs 64
-//! and 512; every `speedup` field is CI-gated):
+//! The `repro join` experiment serializes all four workloads into
+//! `BENCH_join.json` (unit: edges/s; the hub workloads measure at
+//! fan-outs 64 and 512, the multi-tenant workload at 8 and 64 registered
+//! queries; every `speedup` field is CI-gated):
 //!
 //! ```json
 //! {
@@ -34,7 +43,8 @@
 //!   "unit": "edges_per_sec",
 //!   "rows":        [{"fanout", "probe", "scan", "speedup"}, ...],
 //!   "skew_rows":   [{"fanout", "early_exit", "keyed", "speedup"}, ...],
-//!   "expiry_rows": [{"fanout", "front_drain", "eager", "speedup"}, ...]
+//!   "expiry_rows": [{"fanout", "front_drain", "eager", "speedup"}, ...],
+//!   "multi_rows":  [{"queries", "dispatch", "broadcast", "speedup"}, ...]
 //! }
 //! ```
 //!
@@ -44,12 +54,16 @@
 //!   the skewed-timestamp workload (gate: ≥ 1.3× at 512);
 //! * `expiry_rows` — front-drain + tombstone expiry vs the eager
 //!   hole-compaction baseline on the expiry-heavy workload, measured over
-//!   whole window ticks (expiries + insert; gate: ≥ 2× at 512).
+//!   whole window ticks (expiries + insert; gate: ≥ 2× at 512);
+//! * `multi_rows` — signature-routed dispatch vs broadcast-to-all-engines
+//!   on the multi-tenant workload, measured over whole window ticks
+//!   (gate: ≥ 3× at 64 registered queries).
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
 use tcs_core::{ExpiryMode, JoinMode, MsTreeStore, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
+use tcs_multi::{DispatchMode, MultiQueryEngine};
 
 /// The 2-path query `a→b ≺ b→c` (one TC-subquery of length 2).
 pub fn hub_query() -> QueryGraph {
@@ -205,6 +219,65 @@ pub fn expiry_edge(ts: u64) -> StreamEdge {
     }
 }
 
+/// Tenant `t`'s standing query of the multi-tenant workload: the 2-path
+/// `a→b ≺ b→c` over the tenant's private label space
+/// `(3t, 3t + 1, 3t + 2)` — signatures are disjoint across tenants, so
+/// every stream edge can react with exactly one registered query.
+pub fn multi_query(t: u16) -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(3 * t), VLabel(3 * t + 1), VLabel(3 * t + 2)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+        ],
+        &[(0, 1)],
+    )
+    .expect("valid tenant query")
+}
+
+/// Window duration holding ~one live 2-edge chain per tenant.
+pub fn multi_window(n_queries: usize) -> u64 {
+    2 * n_queries as u64 + 1
+}
+
+/// Ticks needed to fill the window before measuring (the warm-up).
+pub fn multi_warmup(n_queries: usize) -> u64 {
+    multi_window(n_queries) + 2
+}
+
+/// A registry with `n_queries` tenant queries registered, under `mode`.
+/// [`DispatchMode::Signature`] is the measured path (shared window, one
+/// routed query per edge); [`DispatchMode::Broadcast`] is the
+/// N-independent-engines baseline every edge is delivered to.
+pub fn multi_engine(n_queries: usize, mode: DispatchMode) -> MultiQueryEngine<MsTreeStore> {
+    let mut multi: MultiQueryEngine<MsTreeStore> =
+        MultiQueryEngine::with_mode(multi_window(n_queries), mode);
+    for t in 0..n_queries {
+        multi.register(QueryPlan::build(multi_query(t as u16), PlanOptions::timing()));
+    }
+    multi
+}
+
+/// The edge arriving at timestamp `ts` (1-based): odd timestamps open
+/// chain `i = ts/2` with tenant `i mod n`'s a→b edge, even timestamps
+/// close chain `i = ts/2 − 1` with its b→c edge — one complete match for
+/// that tenant per closing edge, round-robin over tenants. At steady
+/// state under [`multi_window`] every tick also expires one edge of a
+/// retired chain, so dispatch is exercised on both the arrival and the
+/// expiry path.
+pub fn multi_edge(n_queries: usize, ts: u64) -> StreamEdge {
+    debug_assert!(ts >= 1);
+    if ts % 2 == 1 {
+        let i = ts / 2;
+        let t = (i % n_queries as u64) as u16;
+        StreamEdge::new(ts, 3_000_000 + i as u32, 3 * t, 1_000_000 + i as u32, 3 * t + 1, 0, ts)
+    } else {
+        let i = ts / 2 - 1;
+        let t = (i % n_queries as u64) as u16;
+        StreamEdge::new(ts, 1_000_000 + i as u32, 3 * t + 1, 2_000_000 + i as u32, 3 * t + 2, 0, ts)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +327,44 @@ mod tests {
             }
             assert_eq!(eng.stats().matches_emitted, 16);
         }
+    }
+
+    #[test]
+    fn multi_workload_emits_one_match_per_closing_edge_in_both_modes() {
+        let n = 12usize;
+        let mut dispatch = multi_engine(n, DispatchMode::Signature);
+        let mut broadcast = multi_engine(n, DispatchMode::Broadcast);
+        for ts in 1..=8 * multi_window(n) {
+            let e = multi_edge(n, ts);
+            let a = dispatch.advance(e);
+            let b = broadcast.advance(e);
+            assert_eq!(a, b, "ts {ts}");
+            assert_eq!(a.len(), usize::from(ts % 2 == 0), "one match per closing edge");
+            if ts % 2 == 0 {
+                let t = ((ts / 2 - 1) % n as u64) as usize;
+                assert_eq!(a[0].0, dispatch.query_ids().nth(t).unwrap(), "the owning tenant");
+            }
+        }
+        // Every tenant matched; dispatch touched exactly the owner per
+        // edge (normalized stats still agree across modes).
+        let (sa, sb) = (dispatch.stats(), broadcast.stats());
+        for (qa, qb) in sa.queries.iter().zip(&sb.queries) {
+            assert_eq!(qa.stats, qb.stats);
+            assert!(qa.stats.matches_emitted > 0);
+        }
+        // The shared window is accounted once (snapshot bytes appear in
+        // the registry total, never in any per-query share); broadcast
+        // buries its N private window copies in the per-query shares.
+        // (With fully disjoint tenant label spaces the private copies
+        // partition the stream, so there is no space *win* here — that
+        // shows up when signature sets overlap, as the 64-query
+        // equivalence test asserts.)
+        assert!(sa.snapshot_bytes > 0);
+        assert_eq!(sb.snapshot_bytes, 0);
+        assert_eq!(
+            sa.space_bytes(),
+            sa.snapshot_bytes + sa.queries.iter().map(|q| q.store_bytes).sum::<usize>()
+        );
     }
 
     #[test]

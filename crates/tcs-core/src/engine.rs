@@ -21,7 +21,7 @@ use crate::store::{ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use tcs_graph::window::WindowEvent;
-use tcs_graph::{EdgeId, MatchRecord, StreamEdge};
+use tcs_graph::{EdgeId, LiveEdgeView, MatchRecord, StreamEdge};
 
 /// How the engine finds join partners in the stored items.
 ///
@@ -73,12 +73,23 @@ pub struct EngineStats {
     pub join_ops: u64,
 }
 
+/// Resolves a stored edge id against a live view. Stored rows only ever
+/// reference window-live edges (expiry removes them first), so a miss is
+/// a window-maintenance bug on the owner's side, not a recoverable state.
+#[inline]
+fn resolve<L: LiveEdgeView>(live: &L, id: EdgeId) -> StreamEdge {
+    *live.live_edge(id).expect("stored edge id resolves in the live view")
+}
+
 /// The serial streaming engine, generic over the partial-match store.
 pub struct TimingEngine<S: MatchStore> {
     plan: QueryPlan,
     store: S,
-    /// Live window edges; the engine keeps edge records (not adjacency) so
-    /// stored edge ids can be resolved during joins.
+    /// Private live window edges (no adjacency — just id → record so
+    /// stored edge ids can be resolved during joins). Only the standalone
+    /// [`TimingEngine::insert`]/[`TimingEngine::expire`] path maintains
+    /// it; [`TimingEngine::insert_at`] resolves through a caller-owned
+    /// [`LiveEdgeView`] instead and leaves this map empty.
     live: HashMap<EdgeId, StreamEdge>,
     stats: EngineStats,
     /// Benchmark safety valve: stop inserting partial matches beyond this
@@ -217,10 +228,20 @@ impl<S: MatchStore> TimingEngine<S> {
         }
     }
 
-    /// Bytes held by the partial-match store plus the live-edge table.
+    /// Bytes held by the partial-match store plus the private live-edge
+    /// table. Engines driven through [`TimingEngine::insert_at`] keep the
+    /// private table empty, so this equals
+    /// [`TimingEngine::store_space_bytes`] there — the shared window is
+    /// accounted once by its owner, not once per query.
     pub fn space_bytes(&self) -> usize {
         self.store.space_bytes()
             + self.live.len() * (std::mem::size_of::<EdgeId>() + std::mem::size_of::<StreamEdge>())
+    }
+
+    /// Bytes held by the partial-match store alone (no live-edge table) —
+    /// the per-query share of a multi-query deployment's footprint.
+    pub fn store_space_bytes(&self) -> usize {
+        self.store.space_bytes()
     }
 
     /// Applies one window event: expiries first (the edges left the window
@@ -234,8 +255,22 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Algorithm 2: removes every partial match containing the expired
-    /// edge.
+    /// edge, and drops it from the engine's private live-edge table.
+    ///
+    /// Engines running against an externally owned window (the multi-query
+    /// subsystem) use [`TimingEngine::expire_partials`] instead and leave
+    /// window maintenance to the owner.
     pub fn expire(&mut self, e: &StreamEdge) {
+        self.expire_partials(e);
+        self.live.remove(&e.id);
+    }
+
+    /// The store half of Algorithm 2: removes every partial match
+    /// containing the expired edge without touching any live-edge table.
+    /// The caller owns window maintenance — either
+    /// [`TimingEngine::expire`] (private map) or a shared snapshot that
+    /// several engines read through [`LiveEdgeView`].
+    pub fn expire_partials(&mut self, e: &StreamEdge) {
         let positions = self.plan.positions(e.signature());
         if !positions.is_empty() {
             let n = self.store.expire_edge(e.id, e.ts.0, &positions);
@@ -247,18 +282,51 @@ impl<S: MatchStore> TimingEngine<S> {
                 "expiry cascade removed more partial matches than were ever inserted"
             );
         }
-        self.live.remove(&e.id);
     }
 
     /// Algorithm 1: processes an arrival; returns new complete matches.
+    ///
+    /// Standalone form: maintains the engine's private live-edge table and
+    /// delegates to [`TimingEngine::insert_at`]. Edges matching no query
+    /// edge are discarded without ever entering the table.
     pub fn insert(&mut self, sigma: StreamEdge) -> Vec<MatchRecord> {
-        self.stats.edges_processed += 1;
         let candidates: Vec<usize> = self.plan.candidates(sigma.signature()).to_vec();
+        if !candidates.is_empty() {
+            self.live.insert(sigma.id, sigma);
+        }
+        // The map is moved out for the call so the join path can borrow
+        // the view and `self` mutably at once; `mem::take` of a HashMap
+        // is a pointer swap, not a rehash.
+        let live = std::mem::take(&mut self.live);
+        let out = self.insert_candidates(sigma, &live, candidates);
+        self.live = live;
+        out
+    }
+
+    /// Algorithm 1 against an externally owned window: processes an
+    /// arrival, resolving every stored edge id through `live`. The caller
+    /// must have admitted `sigma` to `live` already (the multi-query
+    /// front-end admits each arrival to the shared snapshot once, then
+    /// routes it to every engine whose plan can react). The engine's
+    /// private table is neither read nor written on this path.
+    pub fn insert_at<L: LiveEdgeView>(&mut self, sigma: StreamEdge, live: &L) -> Vec<MatchRecord> {
+        let candidates: Vec<usize> = self.plan.candidates(sigma.signature()).to_vec();
+        self.insert_candidates(sigma, live, candidates)
+    }
+
+    /// The shared insert body: both entry points resolve the signature →
+    /// candidates lookup exactly once and hand the result here.
+    fn insert_candidates<L: LiveEdgeView>(
+        &mut self,
+        sigma: StreamEdge,
+        live: &L,
+        candidates: Vec<usize>,
+    ) -> Vec<MatchRecord> {
+        self.stats.edges_processed += 1;
         if candidates.is_empty() {
             self.stats.edges_discarded += 1;
             return Vec::new();
         }
-        self.live.insert(sigma.id, sigma);
         let mut out = Vec::new();
         let mut stored_any = false;
         for qe in candidates {
@@ -284,7 +352,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 // the probe hot loop allocates nothing per arrival.
                 self.stats.join_ops += 1;
                 let mut parents = std::mem::take(&mut self.scratch_parents);
-                self.join_sub_prefixes(i, j, qe, &sigma, &mut parents);
+                self.join_sub_prefixes(i, j, qe, &sigma, live, &mut parents);
                 let mut nodes = Vec::with_capacity(parents.len());
                 for &(p, key) in &parents {
                     if self.cap_reached() {
@@ -304,7 +372,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 stored_any = true;
             }
             if j == seq_len - 1 && !new_nodes.is_empty() {
-                self.propagate(i, &new_nodes, sigma.ts.0, &mut out);
+                self.propagate(i, &new_nodes, sigma.ts.0, live, &mut out);
             }
         }
         if !stored_any {
@@ -321,12 +389,13 @@ impl<S: MatchStore> TimingEngine<S> {
     /// [`JoinMode::Probe`] only the bucket of σ's endpoint bindings is
     /// visited; the timing and full compatibility checks run either way
     /// (the key is a prefilter).
-    fn join_sub_prefixes(
+    fn join_sub_prefixes<L: LiveEdgeView>(
         &mut self,
         i: usize,
         j: usize,
         qe: usize,
         sigma: &StreamEdge,
+        live: &L,
         parents: &mut Vec<(Handle, JoinKey)>,
     ) {
         let mut prefix = std::mem::take(&mut self.scratch_prefix);
@@ -336,18 +405,19 @@ impl<S: MatchStore> TimingEngine<S> {
         {
             let plan = &self.plan;
             let seq = &plan.subs[i].seq;
-            let live = &self.live;
             let mut visit = |h: Handle, edges: &[EdgeId]| {
                 // Timing chain: the prefix's last (newest) edge must
                 // precede σ. In Probe mode the store already cut the
                 // bucket at σ.ts (ordered-bucket invariant), so this is a
                 // no-op there; ProbeAll/Scan filter per candidate.
-                let last_edge = live[&edges[j - 1]];
+                let last_edge = resolve(live, edges[j - 1]);
                 if last_edge.ts >= sigma.ts {
                     return;
                 }
                 prefix.edges.clear();
-                prefix.edges.extend(edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])));
+                prefix.edges.extend(
+                    edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))),
+                );
                 if prefix.compatible_with(&plan.query, &sigma_side) {
                     let key = plan.stored_sub_key(i, j, |lvl| {
                         if lvl == j {
@@ -386,17 +456,24 @@ impl<S: MatchStore> TimingEngine<S> {
     /// rows outside it are skipped *before* their merged assignment is
     /// built. `now` is the triggering arrival's timestamp (every `L₀` row
     /// created here completes at `now`).
-    fn propagate(&mut self, i: usize, delta: &[Handle], now: u64, out: &mut Vec<MatchRecord>) {
+    fn propagate<L: LiveEdgeView>(
+        &mut self,
+        i: usize,
+        delta: &[Handle],
+        now: u64,
+        live: &L,
+        out: &mut Vec<MatchRecord>,
+    ) {
         let k = self.plan.k();
         if k == 1 {
             for &h in delta {
-                out.push(self.record_of(&[h]));
+                out.push(self.record_of(&[h], live));
             }
             return;
         }
         // Expand the fresh subquery-i matches once.
         let delta_sides: Vec<(Handle, PartialAssignment)> =
-            delta.iter().map(|&h| (h, self.expand_assignment(i, h))).collect();
+            delta.iter().map(|&h| (h, self.expand_assignment(i, h, live))).collect();
 
         // Entries are L₀-level-`cur` matches as (handle, components,
         // merged assignment).
@@ -412,7 +489,7 @@ impl<S: MatchStore> TimingEngine<S> {
             entries = Vec::new();
             match self.join_mode {
                 JoinMode::Scan => {
-                    let rows = self.read_l0_rows(i - 1);
+                    let rows = self.read_l0_rows(i - 1, live);
                     'outer: for (ph, comps, row_side) in &rows {
                         for (dh, d_side) in &delta_sides {
                             if row_side.compatible_with(&self.plan.query, d_side) {
@@ -447,7 +524,7 @@ impl<S: MatchStore> TimingEngine<S> {
                         } else {
                             0
                         };
-                        let rows = self.read_l0_rows_keyed_from(i - 1, key, min_ts);
+                        let rows = self.read_l0_rows_keyed_from(i - 1, key, min_ts, live);
                         for (ph, comps, row_side) in &rows {
                             if row_side.compatible_with(&self.plan.query, d_side) {
                                 if self.cap_reached() {
@@ -476,7 +553,7 @@ impl<S: MatchStore> TimingEngine<S> {
             let mut next = Vec::new();
             match self.join_mode {
                 JoinMode::Scan => {
-                    let leaves = self.read_leaves(next_sub);
+                    let leaves = self.read_leaves(next_sub, live);
                     'outer2: for (ph, comps, side) in &entries {
                         for (lh, leaf_side) in &leaves {
                             if side.compatible_with(&self.plan.query, leaf_side) {
@@ -520,7 +597,7 @@ impl<S: MatchStore> TimingEngine<S> {
                         } else {
                             0
                         };
-                        let leaves = self.read_leaves_keyed_from(next_sub, key, min_ts);
+                        let leaves = self.read_leaves_keyed_from(next_sub, key, min_ts, live);
                         for (lh, leaf_side) in &leaves {
                             if side.compatible_with(&self.plan.query, leaf_side) {
                                 if self.cap_reached() {
@@ -539,7 +616,7 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         if cur == k - 1 {
             for (_, comps, _) in entries {
-                out.push(self.record_of(&comps));
+                out.push(self.record_of(&comps, live));
             }
         }
     }
@@ -585,27 +662,31 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Builds the merged assignment of an `L₀` row from its components.
-    fn merge_row(&self, comps: &[Handle]) -> PartialAssignment {
+    fn merge_row<L: LiveEdgeView>(&self, comps: &[Handle], live: &L) -> PartialAssignment {
         let mut merged = PartialAssignment::default();
         for (sub, &c) in comps.iter().enumerate() {
-            merged.edges.extend_from_slice(&self.expand_assignment(sub, c).edges);
+            merged.edges.extend_from_slice(&self.expand_assignment(sub, c, live).edges);
         }
         merged
     }
 
     /// Reads `Ω(L₀^m)` as (handle, components, merged assignment) rows;
     /// `m == 0` is the aliased `Ω(Q^1)` (subquery-0 leaves).
-    fn read_l0_rows(&self, m: usize) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
+    fn read_l0_rows<L: LiveEdgeView>(
+        &self,
+        m: usize,
+        live: &L,
+    ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
         let mut rows = Vec::new();
         if m == 0 {
-            for (h, side) in self.read_leaves(0) {
+            for (h, side) in self.read_leaves(0, live) {
                 rows.push((h, vec![h], side));
             }
         } else {
             let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
             self.store.for_each_l0(m, &mut |h, comps| raw.push((h, comps.to_vec())));
             for (h, comps) in raw {
-                let merged = self.merge_row(&comps);
+                let merged = self.merge_row(&comps, live);
                 rows.push((h, comps, merged));
             }
         }
@@ -616,15 +697,16 @@ impl<S: MatchStore> TimingEngine<S> {
     /// filed under `key` with completion timestamp `≥ min_ts` — rows below
     /// the floor are skipped by binary search *before* any merged
     /// assignment is built (`min_ts == 0` reads the whole bucket).
-    fn read_l0_rows_keyed_from(
+    fn read_l0_rows_keyed_from<L: LiveEdgeView>(
         &self,
         m: usize,
         key: JoinKey,
         min_ts: u64,
+        live: &L,
     ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
         let mut rows = Vec::new();
         if m == 0 {
-            for (h, side) in self.read_leaves_keyed_from(0, key, min_ts) {
+            for (h, side) in self.read_leaves_keyed_from(0, key, min_ts, live) {
                 rows.push((h, vec![h], side));
             }
         } else {
@@ -633,7 +715,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 raw.push((h, comps.to_vec()))
             });
             for (h, comps) in raw {
-                let merged = self.merge_row(&comps);
+                let merged = self.merge_row(&comps, live);
                 rows.push((h, comps, merged));
             }
         }
@@ -641,14 +723,17 @@ impl<S: MatchStore> TimingEngine<S> {
     }
 
     /// Reads the complete matches of subquery `sub` with expansions.
-    fn read_leaves(&self, sub: usize) -> Vec<(Handle, PartialAssignment)> {
+    fn read_leaves<L: LiveEdgeView>(
+        &self,
+        sub: usize,
+        live: &L,
+    ) -> Vec<(Handle, PartialAssignment)> {
         let seq = &self.plan.subs[sub].seq;
         let last = seq.len() - 1;
         let mut out = Vec::new();
-        let live = &self.live;
         self.store.for_each_sub(sub, last, &mut |h, edges| {
             let side = PartialAssignment::new(
-                edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
+                edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
             );
             out.push((h, side));
         });
@@ -658,19 +743,19 @@ impl<S: MatchStore> TimingEngine<S> {
     /// Keyed counterpart of [`TimingEngine::read_leaves`]: only leaves
     /// with completion timestamp `≥ min_ts` (binary-searched; `0` reads
     /// the whole bucket).
-    fn read_leaves_keyed_from(
+    fn read_leaves_keyed_from<L: LiveEdgeView>(
         &self,
         sub: usize,
         key: JoinKey,
         min_ts: u64,
+        live: &L,
     ) -> Vec<(Handle, PartialAssignment)> {
         let seq = &self.plan.subs[sub].seq;
         let last = seq.len() - 1;
         let mut out = Vec::new();
-        let live = &self.live;
         self.store.for_each_sub_keyed_from(sub, last, key, min_ts, &mut |h, edges| {
             let side = PartialAssignment::new(
-                edges.iter().enumerate().map(|(lvl, id)| (seq[lvl], live[id])).collect(),
+                edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
             );
             out.push((h, side));
         });
@@ -679,19 +764,24 @@ impl<S: MatchStore> TimingEngine<S> {
 
     /// Expands a complete match handle of subquery `sub` into an
     /// assignment (through the engine's reusable edge-id scratch).
-    fn expand_assignment(&self, sub: usize, h: Handle) -> PartialAssignment {
+    fn expand_assignment<L: LiveEdgeView>(
+        &self,
+        sub: usize,
+        h: Handle,
+        live: &L,
+    ) -> PartialAssignment {
         let mut ids = self.scratch_ids.borrow_mut();
         ids.clear();
         self.store.expand_sub(sub, h, &mut ids);
         let seq = &self.plan.subs[sub].seq;
         PartialAssignment::new(
-            ids.iter().enumerate().map(|(lvl, id)| (seq[lvl], self.live[id])).collect(),
+            ids.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
         )
     }
 
     /// Builds the reported record from component handles (subqueries
     /// `0..comps.len()` in join order).
-    fn record_of(&self, comps: &[Handle]) -> MatchRecord {
+    fn record_of<L: LiveEdgeView>(&self, comps: &[Handle], live: &L) -> MatchRecord {
         let n = self.plan.query.n_edges();
         let mut edges = vec![EdgeId(u64::MAX); n];
         {
@@ -706,7 +796,7 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         let rec = MatchRecord::from(edges);
         debug_assert_eq!(
-            rec.verify(&self.plan.query, |id| self.live.get(&id)),
+            rec.verify(&self.plan.query, |id| live.live_edge(id)),
             Ok(()),
             "engine emitted an invalid match"
         );

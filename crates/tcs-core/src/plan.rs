@@ -317,6 +317,16 @@ impl QueryPlan {
         self.sig_to_edges.get(&sig).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// The distinct label signatures of this plan's query edges — exactly
+    /// the data-edge signatures the plan can react to, on arrival
+    /// ([`QueryPlan::candidates`] non-empty) and expiry
+    /// ([`QueryPlan::positions`] non-empty). Multi-query front-ends build
+    /// their signature-routed dispatch index from this set at
+    /// registration.
+    pub fn signatures(&self) -> impl Iterator<Item = (VLabel, VLabel, ELabel)> + '_ {
+        self.sig_to_edges.keys().copied()
+    }
+
     /// All (subquery, level) positions where an edge of this signature can
     /// sit — the deletion positions of Algorithm 2.
     pub fn positions(&self, sig: (VLabel, VLabel, ELabel)) -> Vec<(usize, usize)> {

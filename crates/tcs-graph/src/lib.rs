@@ -34,5 +34,5 @@ pub use edge::StreamEdge;
 pub use ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
 pub use matching::MatchRecord;
 pub use query::{QueryEdge, QueryGraph, TimingOrder};
-pub use snapshot::Snapshot;
+pub use snapshot::{LiveEdgeView, Snapshot};
 pub use window::{SlidingWindow, WindowEvent};

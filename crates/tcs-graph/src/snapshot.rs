@@ -7,11 +7,46 @@
 //! computation. The paper's own method deliberately does *not* keep this
 //! structure (§VII-C2 credits part of its space advantage to that), which is
 //! why the snapshot lives in the substrate crate and is only wired into the
-//! baselines.
+//! baselines — and, since the multi-query subsystem, into `tcs-multi`, where
+//! ONE snapshot is shared by every registered query as their common
+//! [`LiveEdgeView`] so N queries no longer cost N copies of the window.
 
 use crate::edge::StreamEdge;
 use crate::ids::{ELabel, EdgeId, VLabel, VertexId};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Read access to the live edges of the current window, independent of who
+/// owns them.
+///
+/// The serial engine historically kept its own `EdgeId → StreamEdge` map;
+/// the multi-query subsystem instead maintains **one** shared window per
+/// engine group and hands every registered query a view of it. Anything
+/// that can resolve a live edge id qualifies: the plain map (private
+/// engines), a [`Snapshot`] (the shared multi-query window, which also
+/// carries the signature index), or a shard-local table.
+///
+/// Implementations must return `Some` for every edge currently inside the
+/// window and `None` only for edges that already expired — consumers store
+/// ids obtained from live arrivals and resolve them during joins, so a
+/// `None` for a stored id is a window-maintenance bug on the owner's side.
+pub trait LiveEdgeView {
+    /// Resolves a live edge by id.
+    fn live_edge(&self, id: EdgeId) -> Option<&StreamEdge>;
+}
+
+impl LiveEdgeView for HashMap<EdgeId, StreamEdge> {
+    #[inline]
+    fn live_edge(&self, id: EdgeId) -> Option<&StreamEdge> {
+        self.get(&id)
+    }
+}
+
+impl LiveEdgeView for Snapshot {
+    #[inline]
+    fn live_edge(&self, id: EdgeId) -> Option<&StreamEdge> {
+        self.edge(id)
+    }
+}
 
 /// Direction of an incident edge relative to the indexed vertex.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,468 @@
+//! The shared-snapshot query registry with signature-routed dispatch.
+//!
+//! One [`MultiQueryEngine`] owns one [`SlidingWindow`] and one
+//! [`Snapshot`]; every registered query runs a [`TimingEngine`] against
+//! that snapshot through the `insert_at`/`expire_partials` split (see the
+//! crate docs for the dispatch-index lifecycle and registration
+//! semantics, and `tcs_core::engine` for the split itself).
+
+use std::collections::{BTreeMap, HashMap};
+use tcs_core::engine::EngineStats;
+use tcs_core::store::MatchStore;
+use tcs_core::{MsTreeStore, QueryPlan, TimingEngine};
+use tcs_graph::{ELabel, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
+
+/// Identifier of a registered query, unique for the lifetime of the
+/// engine (ids of unregistered queries are never reused).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub u64);
+
+/// How arriving/expiring edges reach the registered queries.
+///
+/// [`DispatchMode::Signature`] (the default) routes each edge through the
+/// leaf-signature dispatch index and maintains the shared snapshot —
+/// per-edge work is O(queries that can react).
+/// [`DispatchMode::Broadcast`] is the ablation baseline the speedup gate
+/// measures against: every edge is delivered to every registered engine
+/// through the standalone `insert`/`expire` path, so each engine keeps
+/// its own private window copy — exactly N independent [`TimingEngine`]s
+/// sharing nothing, the only deployment shape available before this
+/// subsystem. Both modes emit identical per-query match streams and
+/// stats (test-enforced).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Signature-routed dispatch over the shared snapshot (fast path).
+    #[default]
+    Signature,
+    /// Broadcast to all engines, private windows (N-independent-engines
+    /// ablation baseline).
+    Broadcast,
+}
+
+/// Per-query counters and space share reported by
+/// [`MultiQueryEngine::stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryStats {
+    /// The query.
+    pub id: QueryId,
+    /// Engine counters, normalized to what an independent engine fed the
+    /// same stream (from this query's registration on) would report:
+    /// arrivals the dispatch index filtered out are counted as processed
+    /// and discarded, because that is what the engine itself would have
+    /// done with them.
+    pub stats: EngineStats,
+    /// Bytes attributable to this query alone: its partial-match store
+    /// in [`DispatchMode::Signature`] (the shared snapshot is reported
+    /// once, in [`MultiStats::snapshot_bytes`]), its store *plus* its
+    /// private window copy in [`DispatchMode::Broadcast`] — the N×
+    /// duplication dispatch mode eliminates.
+    pub store_bytes: usize,
+}
+
+/// Aggregate report of [`MultiQueryEngine::stats`]: per-query counters
+/// plus the shared-window bytes, counted once.
+#[derive(Clone, Debug, Default)]
+pub struct MultiStats {
+    /// One entry per registered query, in registration (id) order.
+    pub queries: Vec<QueryStats>,
+    /// Bytes of the shared snapshot — the whole point of the shared
+    /// window is that this appears once here instead of once per query
+    /// (0 in [`DispatchMode::Broadcast`], where each engine pays for its
+    /// own copy inside [`QueryStats::store_bytes`]).
+    pub snapshot_bytes: usize,
+    /// Arrivals the engine has seen since construction.
+    pub edges_seen: u64,
+}
+
+impl MultiStats {
+    /// Total bytes: the shared snapshot once plus every query's own
+    /// store.
+    pub fn space_bytes(&self) -> usize {
+        self.snapshot_bytes + self.queries.iter().map(|q| q.store_bytes).sum::<usize>()
+    }
+
+    /// Sum of the per-query counters.
+    pub fn total(&self) -> EngineStats {
+        let mut t = EngineStats::default();
+        for q in &self.queries {
+            t.edges_processed += q.stats.edges_processed;
+            t.edges_discarded += q.stats.edges_discarded;
+            t.matches_emitted += q.stats.matches_emitted;
+            t.partials_inserted += q.stats.partials_inserted;
+            t.partials_deleted += q.stats.partials_deleted;
+            t.join_ops += q.stats.join_ops;
+        }
+        t
+    }
+}
+
+/// One registered query: its engine plus the routing counters the stats
+/// normalization needs.
+struct Registered<S: MatchStore> {
+    engine: TimingEngine<S>,
+    /// Arrivals actually delivered to the engine.
+    routed: u64,
+    /// Value of `edges_seen` when the query registered.
+    seen_base: u64,
+}
+
+/// A dynamic registry of standing queries over one shared window.
+///
+/// See the crate docs for the dispatch-index lifecycle, registration
+/// semantics, and the equivalence guarantee against independent engines.
+pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
+    window: SlidingWindow,
+    /// The shared live window `G_t`, one copy for all queries.
+    snapshot: Snapshot,
+    queries: BTreeMap<QueryId, Registered<S>>,
+    /// signature → registered queries with a query edge of that
+    /// signature, each bucket in id order.
+    dispatch: HashMap<(VLabel, VLabel, ELabel), Vec<QueryId>>,
+    mode: DispatchMode,
+    edges_seen: u64,
+    next_id: u64,
+    id_stride: u64,
+}
+
+impl<S: MatchStore> MultiQueryEngine<S> {
+    /// An empty registry over a window of the given duration, in
+    /// [`DispatchMode::Signature`].
+    pub fn new(window: u64) -> Self {
+        Self::with_mode(window, DispatchMode::Signature)
+    }
+
+    /// An empty registry with an explicit dispatch mode. The mode is
+    /// fixed for the engine's lifetime: the two modes keep window state
+    /// in different places (shared snapshot vs private engine maps), so
+    /// switching mid-stream would strand one of them.
+    pub fn with_mode(window: u64, mode: DispatchMode) -> Self {
+        Self::with_id_stride(window, mode, 0, 1)
+    }
+
+    /// An empty registry whose [`QueryId`]s are `first, first + stride,
+    /// first + 2·stride, …` — shard `i` of an `n`-shard front-end uses
+    /// `(i, n)` so ids stay globally unique without coordination.
+    pub fn with_id_stride(window: u64, mode: DispatchMode, first: u64, stride: u64) -> Self {
+        assert!(stride >= 1, "id stride must be positive");
+        MultiQueryEngine {
+            window: SlidingWindow::new(window),
+            snapshot: Snapshot::new(),
+            queries: BTreeMap::new(),
+            dispatch: HashMap::new(),
+            mode,
+            edges_seen: 0,
+            next_id: first,
+            id_stride: stride,
+        }
+    }
+
+    /// The dispatch mode fixed at construction.
+    pub fn mode(&self) -> DispatchMode {
+        self.mode
+    }
+
+    /// Number of registered queries.
+    pub fn n_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Ids of the registered queries, in registration (id) order.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.queries.keys().copied()
+    }
+
+    /// The distinct signatures the registry currently reacts to (the
+    /// dispatch index keys). A sharded front-end unions these per shard
+    /// into its routing table.
+    pub fn signatures(&self) -> impl Iterator<Item = (VLabel, VLabel, ELabel)> + '_ {
+        self.dispatch.keys().copied()
+    }
+
+    /// Whether any registered query can react to this signature.
+    #[inline]
+    pub fn wants(&self, sig: (VLabel, VLabel, ELabel)) -> bool {
+        self.dispatch.contains_key(&sig)
+    }
+
+    /// Registers a compiled plan as a standing query, effective from the
+    /// next arrival; returns its id. Edges already inside the window are
+    /// not replayed (crate docs, "Registration semantics").
+    pub fn register(&mut self, plan: QueryPlan) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id = self.next_id.checked_add(self.id_stride).expect("query ids exhausted");
+        for sig in plan.signatures() {
+            let bucket = self.dispatch.entry(sig).or_default();
+            debug_assert!(!bucket.contains(&id));
+            bucket.push(id);
+        }
+        let reg =
+            Registered { engine: TimingEngine::new(plan), routed: 0, seen_base: self.edges_seen };
+        self.queries.insert(id, reg);
+        id
+    }
+
+    /// Drops a standing query and its dispatch entries; its partial
+    /// matches disappear immediately. Returns false if the id is unknown
+    /// (already unregistered).
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        let Some(reg) = self.queries.remove(&id) else {
+            return false;
+        };
+        for sig in reg.engine.plan().signatures() {
+            let std::collections::hash_map::Entry::Occupied(mut bucket) = self.dispatch.entry(sig)
+            else {
+                unreachable!("registered signature has a dispatch bucket");
+            };
+            bucket.get_mut().retain(|&q| q != id);
+            if bucket.get().is_empty() {
+                bucket.remove();
+            }
+        }
+        true
+    }
+
+    /// Slides the shared window to the arrival and routes the resulting
+    /// expiries + insertion to the queries that can react. Returns the
+    /// newly completed matches as `(query, match)` pairs, grouped by
+    /// query in id order, each query's matches in its own emission order.
+    pub fn advance(&mut self, e: StreamEdge) -> Vec<(QueryId, MatchRecord)> {
+        let ev = self.window.advance(e);
+        match self.mode {
+            DispatchMode::Signature => {
+                for x in &ev.expired {
+                    if let Some(targets) = self.dispatch.get(&x.signature()) {
+                        for qid in targets {
+                            let reg = self.queries.get_mut(qid).expect("dispatch targets live");
+                            reg.engine.expire_partials(x);
+                        }
+                    }
+                    self.snapshot.remove(x.id);
+                }
+                self.edges_seen += 1;
+                self.snapshot.insert(e);
+                let mut out = Vec::new();
+                if let Some(targets) = self.dispatch.get(&e.signature()) {
+                    for qid in targets {
+                        let reg = self.queries.get_mut(qid).expect("dispatch targets live");
+                        reg.routed += 1;
+                        for m in reg.engine.insert_at(e, &self.snapshot) {
+                            out.push((*qid, m));
+                        }
+                    }
+                }
+                out
+            }
+            DispatchMode::Broadcast => {
+                self.edges_seen += 1;
+                let mut out = Vec::new();
+                for (qid, reg) in self.queries.iter_mut() {
+                    for x in &ev.expired {
+                        reg.engine.expire(x);
+                    }
+                    reg.routed += 1;
+                    for m in reg.engine.insert(e) {
+                        out.push((*qid, m));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Per-query counters (normalized — see [`QueryStats::stats`]) plus
+    /// the shared-snapshot bytes, counted once.
+    pub fn stats(&self) -> MultiStats {
+        let queries = self
+            .queries
+            .iter()
+            .map(|(&id, reg)| {
+                let mut stats = reg.engine.stats();
+                // Arrivals since registration the dispatch index filtered
+                // out: an independent engine would have processed and
+                // discarded them (no candidate query edge, by
+                // construction of the index).
+                let since = self.edges_seen - reg.seen_base;
+                let unrouted = since - reg.routed;
+                stats.edges_processed += unrouted;
+                stats.edges_discarded += unrouted;
+                let store_bytes = match self.mode {
+                    DispatchMode::Signature => reg.engine.store_space_bytes(),
+                    DispatchMode::Broadcast => reg.engine.space_bytes(),
+                };
+                QueryStats { id, stats, store_bytes }
+            })
+            .collect();
+        MultiStats {
+            queries,
+            snapshot_bytes: match self.mode {
+                DispatchMode::Signature => self.snapshot.space_bytes(),
+                DispatchMode::Broadcast => 0,
+            },
+            edges_seen: self.edges_seen,
+        }
+    }
+
+    /// Normalized counters of one query, if registered.
+    pub fn stats_of(&self, id: QueryId) -> Option<EngineStats> {
+        let reg = self.queries.get(&id)?;
+        let mut stats = reg.engine.stats();
+        let unrouted = (self.edges_seen - reg.seen_base) - reg.routed;
+        stats.edges_processed += unrouted;
+        stats.edges_discarded += unrouted;
+        Some(stats)
+    }
+
+    /// Live complete matches of one query, if registered.
+    pub fn live_match_count(&self, id: QueryId) -> Option<usize> {
+        self.queries.get(&id).map(|r| r.engine.live_match_count())
+    }
+
+    /// Total bytes: shared snapshot once plus every query's store (see
+    /// [`MultiStats::space_bytes`]).
+    pub fn space_bytes(&self) -> usize {
+        self.stats().space_bytes()
+    }
+
+    /// Edges currently inside the shared window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_core::PlanOptions;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::{EdgeId, QueryGraph};
+
+    /// 2-path query over the tenant's private label space
+    /// `(3t, 3t+1, 3t+2)`, timed `ε0 ≺ ε1`.
+    fn tenant_query(t: u16) -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(3 * t), VLabel(3 * t + 1), VLabel(3 * t + 2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap()
+    }
+
+    fn plan(t: u16) -> QueryPlan {
+        QueryPlan::build(tenant_query(t), PlanOptions::timing())
+    }
+
+    /// Opening (a→b) and closing (b→c) edges of tenant `t`'s 2-chain.
+    fn open_edge(id: u64, t: u16, ts: u64) -> StreamEdge {
+        StreamEdge::new(id, 100 + id as u32, 3 * t, 200 + t as u32, 3 * t + 1, 0, ts)
+    }
+    fn close_edge(id: u64, t: u16, ts: u64) -> StreamEdge {
+        StreamEdge::new(id, 200 + t as u32, 3 * t + 1, 300 + id as u32, 3 * t + 2, 0, ts)
+    }
+
+    #[test]
+    fn dispatch_routes_only_matching_tenants() {
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = multi.register(plan(0));
+        let q1 = multi.register(plan(1));
+        assert_eq!(multi.n_queries(), 2);
+        assert!(multi.advance(open_edge(1, 0, 1)).is_empty());
+        let out = multi.advance(close_edge(2, 0, 2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, q0);
+        // Tenant 1 never saw either edge.
+        let s1 = multi.stats_of(q1).unwrap();
+        assert_eq!(s1.edges_processed, 2);
+        assert_eq!(s1.edges_discarded, 2);
+        assert_eq!(s1.matches_emitted, 0);
+        // Tenant 0 processed both for real.
+        let s0 = multi.stats_of(q0).unwrap();
+        assert_eq!(s0.edges_processed, 2);
+        assert_eq!(s0.matches_emitted, 1);
+        assert_eq!(multi.live_match_count(q0), Some(1));
+    }
+
+    #[test]
+    fn unregister_drops_state_and_dispatch_entries() {
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = multi.register(plan(0));
+        multi.advance(open_edge(1, 0, 1));
+        multi.advance(close_edge(2, 0, 2));
+        assert!(multi.wants(open_edge(9, 0, 9).signature()));
+        assert!(multi.unregister(q0));
+        assert!(!multi.unregister(q0), "double unregister reports unknown");
+        assert!(!multi.wants(open_edge(9, 0, 9).signature()));
+        assert_eq!(multi.n_queries(), 0);
+        // The stream keeps flowing; nobody reacts.
+        assert!(multi.advance(close_edge(3, 0, 3)).is_empty());
+        assert_eq!(multi.stats().space_bytes(), multi.stats().snapshot_bytes);
+    }
+
+    #[test]
+    fn late_registration_starts_fresh() {
+        // A query registered between the opening and closing edge of its
+        // pattern must NOT see the opening edge (no replay): no match.
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        multi.advance(open_edge(1, 0, 1));
+        let q0 = multi.register(plan(0));
+        assert!(multi.advance(close_edge(2, 0, 2)).is_empty());
+        // A full pattern after registration does match.
+        multi.advance(open_edge(3, 0, 3));
+        let out = multi.advance(close_edge(4, 0, 4));
+        assert_eq!(out, vec![(q0, MatchRecord::from(vec![EdgeId(3), EdgeId(4)]))]);
+        // Stats count the pre-registration edge not at all, the
+        // post-registration ones fully.
+        let s = multi.stats_of(q0).unwrap();
+        assert_eq!(s.edges_processed, 3);
+    }
+
+    #[test]
+    fn expiry_is_routed_through_the_shared_window() {
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(5);
+        let q0 = multi.register(plan(0));
+        multi.advance(open_edge(1, 0, 1));
+        let out = multi.advance(close_edge(2, 0, 2));
+        assert_eq!(out.len(), 1);
+        assert_eq!(multi.live_match_count(q0), Some(1));
+        // ts=10 expires both pattern edges: the match disappears and the
+        // snapshot shrinks with the window.
+        multi.advance(open_edge(3, 1, 10));
+        assert_eq!(multi.live_match_count(q0), Some(0));
+        assert_eq!(multi.window_len(), 1);
+        let st = multi.stats();
+        assert!(st.queries[0].stats.partials_deleted >= 2);
+    }
+
+    #[test]
+    fn broadcast_mode_matches_signature_mode() {
+        let mut sig: MultiQueryEngine = MultiQueryEngine::new(6);
+        let mut bc: MultiQueryEngine = MultiQueryEngine::with_mode(6, DispatchMode::Broadcast);
+        for t in 0..3u16 {
+            sig.register(plan(t));
+            bc.register(plan(t));
+        }
+        let mut id = 0u64;
+        let mut ts = 0u64;
+        for round in 0..40u64 {
+            let t = (round % 3) as u16;
+            id += 1;
+            ts += 1;
+            let e = if round % 2 == 0 { open_edge(id, t, ts) } else { close_edge(id, t, ts) };
+            let a = sig.advance(e);
+            let b = bc.advance(e);
+            assert_eq!(a, b, "round {round}");
+        }
+        let (sa, sb) = (sig.stats(), bc.stats());
+        assert_eq!(sa.queries.len(), sb.queries.len());
+        for (qa, qb) in sa.queries.iter().zip(&sb.queries) {
+            assert_eq!(qa.id, qb.id);
+            assert_eq!(qa.stats, qb.stats, "normalized stats agree across modes");
+        }
+        // Broadcast pays for 3 private windows; signature mode holds the
+        // snapshot once and only per-query stores on top.
+        assert_eq!(sb.snapshot_bytes, 0);
+        assert!(sa.snapshot_bytes > 0);
+    }
+}

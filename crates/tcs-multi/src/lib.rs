@@ -1,0 +1,87 @@
+//! Multi-query subsystem: many standing time-constrained queries over one
+//! edge stream.
+//!
+//! The paper's engines answer **one** continuous query per stream; a
+//! production deployment serves thousands of tenants watching the same
+//! traffic. Running N independent [`TimingEngine`]s costs N copies of the
+//! live window and N× per-edge work even when an arriving edge can match
+//! none of a query's edge predicates. This crate removes both
+//! multipliers:
+//!
+//! * [`MultiQueryEngine`] — a dynamic query registry over **one** shared
+//!   [`SlidingWindow`](tcs_graph::SlidingWindow) +
+//!   [`Snapshot`](tcs_graph::Snapshot). Every registered query's engine
+//!   resolves stored edge ids through the shared snapshot (the
+//!   [`LiveEdgeView`](tcs_graph::LiveEdgeView) seam in `tcs-core`), so
+//!   the window is held once, not once per query.
+//! * **Signature-routed dispatch** — per-edge work is proportional to the
+//!   queries that can actually react, not to the number registered (see
+//!   the dispatch-index lifecycle below).
+//! * [`ShardedMultiEngine`] — a concurrent front-end partitioning the
+//!   registry across worker threads, one shard per core, with per-shard
+//!   dispatch tables (see shard ownership below).
+//!
+//! # Dispatch-index lifecycle
+//!
+//! The index maps a label signature `(src VLabel, dst VLabel, ELabel)` to
+//! the ids of the registered queries with at least one query edge of that
+//! signature ([`QueryPlan::signatures`]). It is maintained purely by
+//! registration churn:
+//!
+//! * [`MultiQueryEngine::register`] inserts the new id under every
+//!   signature of the compiled plan;
+//! * [`MultiQueryEngine::unregister`] removes the id from those buckets
+//!   (dropping buckets that empty out);
+//! * [`MultiQueryEngine::advance`] consults the index twice per window
+//!   event — once per expired edge (only engines whose plans have
+//!   deletion positions for the signature run Algorithm 2) and once for
+//!   the arrival (only engines with candidate query edges run
+//!   Algorithm 1). Everything else is untouched: an edge matching no
+//!   registered signature costs one hash lookup total, not one per query.
+//!
+//! The keys are a prefilter exactly like the plans' own signature index:
+//! a routed engine still runs its full candidate/self-loop/compatibility
+//! checks, so dispatch is semantically invisible —
+//! [`DispatchMode::Broadcast`] (route everything to everyone, i.e. N
+//! independent engines each owning a private window copy) emits the
+//! identical per-query match streams, and the equivalence tests enforce
+//! it.
+//!
+//! # Registration semantics
+//!
+//! Queries register and unregister **mid-stream**. A query registered at
+//! stream position `p` behaves exactly like a fresh independent
+//! [`TimingEngine`] that starts consuming the stream at `p`: edges
+//! already inside the window when it registers are *not* replayed into
+//! it (they can resolve through the shared snapshot but never enter the
+//! newcomer's partial-match store, so they never appear in its matches).
+//! Unregistering drops the query's store immediately; its
+//! [`QueryId`] is never reused. Expiry routing to a query registered
+//! after the expiring edge arrived is a no-op on its store — stores
+//! ignore expiries for edges they never absorbed.
+//!
+//! # Shard ownership
+//!
+//! [`ShardedMultiEngine`] owns `n_shards` single-threaded
+//! [`MultiQueryEngine`]s. Each query is **homed** on exactly one shard
+//! (least-loaded at registration) and never migrates; each shard owns its
+//! own window + snapshot holding only the edges routed to it, so shards
+//! share nothing and need no locks. The front-end keeps a per-signature
+//! shard-routing table (the union of its shards' dispatch indexes) and,
+//! during [`ShardedMultiEngine::process`], fans each edge out over
+//! `tcs-concurrent`'s bounded channels to the shards that can react; a
+//! shard's window therefore sees a filtered — but still strictly
+//! timestamp-increasing — substream, which is exactly what its queries
+//! would have kept from the full stream. Registration churn is a
+//! front-end (single-threaded) operation between `process` calls; match
+//! streams come back per shard and are concatenated (order across shards
+//! is unspecified — within one query it remains stream order).
+//!
+//! [`TimingEngine`]: tcs_core::TimingEngine
+//! [`QueryPlan::signatures`]: tcs_core::QueryPlan::signatures
+
+pub mod engine;
+pub mod shard;
+
+pub use engine::{DispatchMode, MultiQueryEngine, MultiStats, QueryId, QueryStats};
+pub use shard::ShardedMultiEngine;

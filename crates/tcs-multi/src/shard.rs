@@ -1,0 +1,310 @@
+//! The sharded concurrent front-end: queries partitioned across worker
+//! threads, shared-nothing shards, signature-routed fan-out.
+//!
+//! Serial [`MultiQueryEngine`] throughput is bounded by one core; a
+//! multi-tenant deployment has thousands of independent queries and
+//! machines with many cores. [`ShardedMultiEngine`] homes every query on
+//! exactly one shard (see the crate docs, "Shard ownership"), gives each
+//! shard its own window + snapshot + dispatch index, and during
+//! [`ShardedMultiEngine::process`] streams each edge over a bounded
+//! channel (`tcs_concurrent::chan`) to exactly the shards whose routing
+//! entry says some homed query can react. Shards never exchange state,
+//! so the only synchronization is the channels' own back-pressure.
+
+use crate::engine::{MultiQueryEngine, MultiStats, QueryId};
+use std::collections::HashMap;
+use tcs_concurrent::chan;
+use tcs_core::store::MatchStore;
+use tcs_core::{MsTreeStore, QueryPlan};
+use tcs_graph::{ELabel, MatchRecord, StreamEdge, VLabel};
+
+/// A pool of shared-nothing [`MultiQueryEngine`] shards behind a
+/// signature-routed fan-out. Registration churn happens between
+/// [`ShardedMultiEngine::process`] calls (the front-end is single-threaded
+/// outside `process`); each `process` call runs one worker thread per
+/// shard.
+pub struct ShardedMultiEngine<S: MatchStore = MsTreeStore> {
+    shards: Vec<MultiQueryEngine<S>>,
+    /// signature → shard indices with ≥ 1 homed query reacting to it
+    /// (the union of the shards' own dispatch indexes, at shard
+    /// granularity).
+    route: HashMap<(VLabel, VLabel, ELabel), Vec<usize>>,
+    /// query → its home shard (queries never migrate).
+    home: HashMap<QueryId, usize>,
+    /// Homed queries per shard, for least-loaded placement.
+    loads: Vec<usize>,
+    /// Arrivals fed through [`ShardedMultiEngine::process`] — the
+    /// front-end's own count, since per-shard counts only cover routed
+    /// substreams (and overlap when shards share a signature).
+    edges_fed: u64,
+}
+
+impl<S: MatchStore> ShardedMultiEngine<S> {
+    /// A front-end of `n_shards` empty shards over windows of the given
+    /// duration. Shard `i` allocates [`QueryId`]s `i, i + n, i + 2n, …`,
+    /// so ids are globally unique without coordination.
+    pub fn new(window: u64, n_shards: usize) -> Self {
+        assert!(n_shards >= 1, "need at least one shard");
+        let shards = (0..n_shards)
+            .map(|i| {
+                MultiQueryEngine::with_id_stride(
+                    window,
+                    crate::DispatchMode::Signature,
+                    i as u64,
+                    n_shards as u64,
+                )
+            })
+            .collect();
+        ShardedMultiEngine {
+            shards,
+            route: HashMap::new(),
+            home: HashMap::new(),
+            loads: vec![0; n_shards],
+            edges_fed: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered queries across all shards.
+    pub fn n_queries(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The home shard of a registered query.
+    pub fn shard_of(&self, id: QueryId) -> Option<usize> {
+        self.home.get(&id).copied()
+    }
+
+    /// Homes a compiled plan on the least-loaded shard and registers it
+    /// there; returns its globally unique id.
+    pub fn register(&mut self, plan: QueryPlan) -> QueryId {
+        let shard = self
+            .loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &n)| n)
+            .map(|(i, _)| i)
+            .expect("at least one shard");
+        let sigs: Vec<_> = plan.signatures().collect();
+        let id = self.shards[shard].register(plan);
+        self.home.insert(id, shard);
+        self.loads[shard] += 1;
+        for sig in sigs {
+            let bucket = self.route.entry(sig).or_default();
+            if !bucket.contains(&shard) {
+                bucket.push(shard);
+            }
+        }
+        id
+    }
+
+    /// Unregisters a query from its home shard and prunes routing entries
+    /// the shard no longer needs. Returns false if the id is unknown.
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        let Some(shard) = self.home.remove(&id) else {
+            return false;
+        };
+        let removed = self.shards[shard].unregister(id);
+        debug_assert!(removed, "home table and shard registry agree");
+        self.loads[shard] -= 1;
+        // Re-derive the routing table from the shards' dispatch indexes:
+        // registration churn is rare next to stream volume, and a full
+        // rebuild cannot leave a stale entry behind.
+        self.route.clear();
+        for (i, sh) in self.shards.iter().enumerate() {
+            for sig in sh.signatures() {
+                self.route.entry(sig).or_default().push(i);
+            }
+        }
+        removed
+    }
+
+    /// Streams a batch of edges through the shard pool: one worker thread
+    /// per shard, each edge fanned out to exactly the shards that can
+    /// react (an edge no query reacts to costs one routing lookup on the
+    /// front-end thread and nothing anywhere else). Returns the completed
+    /// `(query, match)` pairs; order across shards is unspecified, within
+    /// one query it is stream order.
+    pub fn process(&mut self, stream: &[StreamEdge]) -> Vec<(QueryId, MatchRecord)>
+    where
+        S: Send,
+    {
+        self.edges_fed += stream.len() as u64;
+        let route = &self.route;
+        let mut outs: Vec<Vec<(QueryId, MatchRecord)>> = Vec::with_capacity(self.shards.len());
+        std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(self.shards.len());
+            let mut handles = Vec::with_capacity(self.shards.len());
+            for sh in self.shards.iter_mut() {
+                let (tx, rx) = chan::bounded::<StreamEdge>(1024);
+                txs.push(tx);
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Ok(e) = rx.recv() {
+                        out.extend(sh.advance(e));
+                    }
+                    out
+                }));
+            }
+            for &e in stream {
+                if let Some(shards) = route.get(&e.signature()) {
+                    for &s in shards {
+                        txs[s].send(e).expect("shard worker alive");
+                    }
+                }
+            }
+            // Dropping the senders disconnects the channels; workers
+            // drain what is buffered and return their matches.
+            drop(txs);
+            for h in handles {
+                outs.push(h.join().expect("shard worker did not panic"));
+            }
+        });
+        outs.into_iter().flatten().collect()
+    }
+
+    /// Merged per-query stats across shards. Space is exact (each shard's
+    /// snapshot appears once, per-query stores on top) and `edges_seen`
+    /// is the front-end's own arrival count (per-shard counts would
+    /// double-count signatures homed on several shards and miss edges no
+    /// query reacts to). Caveat on the per-query edge counters: each
+    /// shard only sees its routed substream, so a query's
+    /// `edges_processed`/`edges_discarded` are relative to its home
+    /// shard's deliveries, not the full stream — match, partial and join
+    /// counters are exact.
+    pub fn stats(&self) -> MultiStats {
+        let mut merged = MultiStats::default();
+        for sh in &self.shards {
+            let st = sh.stats();
+            merged.queries.extend(st.queries);
+            merged.snapshot_bytes += st.snapshot_bytes;
+        }
+        merged.edges_seen = self.edges_fed;
+        merged.queries.sort_by_key(|q| q.id);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcs_core::PlanOptions;
+    use tcs_graph::query::QueryEdge;
+    use tcs_graph::QueryGraph;
+
+    fn tenant_query(t: u16) -> QueryGraph {
+        QueryGraph::new(
+            vec![VLabel(3 * t), VLabel(3 * t + 1), VLabel(3 * t + 2)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap()
+    }
+
+    fn plan(t: u16) -> QueryPlan {
+        QueryPlan::build(tenant_query(t), PlanOptions::timing())
+    }
+
+    fn tenant_stream(n_tenants: u16, rounds: u64) -> Vec<StreamEdge> {
+        let mut out = Vec::new();
+        let mut ts = 0u64;
+        for r in 0..rounds {
+            let t = (r % n_tenants as u64) as u16;
+            ts += 1;
+            if (r / n_tenants as u64).is_multiple_of(2) {
+                out.push(StreamEdge::new(
+                    ts,
+                    100 + r as u32,
+                    3 * t,
+                    200 + t as u32,
+                    3 * t + 1,
+                    0,
+                    ts,
+                ));
+            } else {
+                out.push(StreamEdge::new(
+                    ts,
+                    200 + t as u32,
+                    3 * t + 1,
+                    300 + r as u32,
+                    3 * t + 2,
+                    0,
+                    ts,
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sharded_equals_serial_registry() {
+        let stream = tenant_stream(6, 240);
+        let mut serial: MultiQueryEngine = MultiQueryEngine::new(25);
+        let serial_ids: Vec<_> = (0..6u16).map(|t| serial.register(plan(t))).collect();
+        let mut sharded: ShardedMultiEngine = ShardedMultiEngine::new(25, 3);
+        let sharded_ids: Vec<_> = (0..6u16).map(|t| sharded.register(plan(t))).collect();
+        assert_eq!(sharded.n_queries(), 6);
+
+        let mut want: Vec<(usize, MatchRecord)> = Vec::new();
+        for &e in &stream {
+            for (qid, m) in serial.advance(e) {
+                let tenant = serial_ids.iter().position(|&x| x == qid).unwrap();
+                want.push((tenant, m));
+            }
+        }
+        let mut got: Vec<(usize, MatchRecord)> = sharded
+            .process(&stream)
+            .into_iter()
+            .map(|(qid, m)| (sharded_ids.iter().position(|&x| x == qid).unwrap(), m))
+            .collect();
+        want.sort();
+        got.sort();
+        assert_eq!(want, got);
+        assert!(!want.is_empty(), "the workload produces matches");
+    }
+
+    #[test]
+    fn registration_churn_between_batches() {
+        let stream = tenant_stream(4, 160);
+        let (first, second) = stream.split_at(80);
+        let mut sharded: ShardedMultiEngine = ShardedMultiEngine::new(25, 2);
+        let q0 = sharded.register(plan(0));
+        let q1 = sharded.register(plan(1));
+        let out1 = sharded.process(first);
+        assert!(out1.iter().any(|(q, _)| *q == q0));
+        assert!(out1.iter().any(|(q, _)| *q == q1));
+        // Tenant 1 leaves, tenant 2 arrives between batches.
+        assert!(sharded.unregister(q1));
+        let q2 = sharded.register(plan(2));
+        let out2 = sharded.process(second);
+        assert!(out2.iter().all(|(q, _)| *q != q1), "unregistered query stays silent");
+        assert!(out2.iter().any(|(q, _)| *q == q2), "late registration matches fresh patterns");
+        // Stats merge across shards without losing anyone.
+        let st = sharded.stats();
+        assert_eq!(st.queries.len(), 2);
+        assert!(st.space_bytes() >= st.snapshot_bytes);
+    }
+
+    #[test]
+    fn least_loaded_placement_spreads_queries() {
+        let mut sharded: ShardedMultiEngine = ShardedMultiEngine::new(10, 4);
+        let ids: Vec<_> = (0..8u16).map(|t| sharded.register(plan(t))).collect();
+        let mut per_shard = vec![0usize; 4];
+        for &id in &ids {
+            per_shard[sharded.shard_of(id).unwrap()] += 1;
+        }
+        assert_eq!(per_shard, vec![2, 2, 2, 2]);
+        // Ids are globally unique and strided.
+        let mut sorted: Vec<u64> = ids.iter().map(|q| q.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+}

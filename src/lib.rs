@@ -15,6 +15,9 @@
 //!   comparison systems.
 //! * [`concurrent`] — the fine-grained locking framework and concurrent
 //!   engine of §V.
+//! * [`multi`] — the multi-query subsystem: a shared-snapshot query
+//!   registry with signature-routed dispatch and a sharded concurrent
+//!   front-end, for many standing queries over one stream.
 //!
 //! ## Quickstart
 //!
@@ -50,4 +53,5 @@ pub use tcs_baselines as baselines;
 pub use tcs_concurrent as concurrent;
 pub use tcs_core as core;
 pub use tcs_graph as graph;
+pub use tcs_multi as multi;
 pub use tcs_subiso as subiso;
