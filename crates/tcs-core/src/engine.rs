@@ -16,12 +16,13 @@
 //! emitted exactly once, at the arrival timestamp of its newest edge.
 
 use crate::binding::PartialAssignment;
+use crate::ingest::{IngestError, IngestStats, OrderPolicy};
 use crate::plan::QueryPlan;
 use crate::store::{ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use tcs_graph::window::WindowEvent;
-use tcs_graph::{EdgeId, LiveEdgeView, MatchRecord, StreamEdge};
+use tcs_graph::{EdgeId, LiveEdgeView, MatchRecord, StreamEdge, Timestamp};
 
 /// How the engine finds join partners in the stored items.
 ///
@@ -111,6 +112,16 @@ pub struct TimingEngine<S: MatchStore> {
     /// are short-lived and never nested — each helper clears, fills and
     /// releases it before the next one runs.
     scratch_ids: RefCell<Vec<EdgeId>>,
+    /// Newest accepted arrival timestamp — the store-order invariant's
+    /// release-build guard. One comparison per arrival at the boundary;
+    /// the hot join/expiry loops stay check-free.
+    watermark: Option<u64>,
+    /// What an out-of-order arrival becomes (see [`OrderPolicy`]).
+    order_policy: OrderPolicy,
+    /// Boundary counters, kept OUTSIDE [`EngineStats`] so engine
+    /// counters stay byte-identical to an oracle fed the sanitized
+    /// stream.
+    ingest: IngestStats,
 }
 
 impl<S: MatchStore> TimingEngine<S> {
@@ -129,6 +140,9 @@ impl<S: MatchStore> TimingEngine<S> {
             scratch_sigma: PartialAssignment::default(),
             scratch_parents: Vec::new(),
             scratch_ids: RefCell::new(Vec::new()),
+            watermark: None,
+            order_policy: OrderPolicy::default(),
+            ingest: IngestStats::default(),
         }
     }
 
@@ -218,6 +232,31 @@ impl<S: MatchStore> TimingEngine<S> {
         self.stats
     }
 
+    /// The newest admitted arrival timestamp, if any arrival was admitted
+    /// yet — the release-build guard behind the ordered-bucket invariant.
+    pub fn watermark(&self) -> Option<u64> {
+        self.watermark
+    }
+
+    /// The active out-of-order arrival policy (default
+    /// [`OrderPolicy::Reject`]).
+    pub fn order_policy(&self) -> OrderPolicy {
+        self.order_policy
+    }
+
+    /// Replaces the out-of-order arrival policy (effective from the next
+    /// arrival).
+    pub fn set_order_policy(&mut self, policy: OrderPolicy) {
+        self.order_policy = policy;
+    }
+
+    /// Boundary counters: admissions, clamps, drops and rejections. Kept
+    /// outside [`EngineStats`] on purpose — engine counters stay
+    /// byte-identical to an oracle engine fed the sanitized stream.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.ingest
+    }
+
     /// Number of live complete matches of the whole query.
     pub fn live_match_count(&self) -> usize {
         let k = self.plan.k();
@@ -284,12 +323,69 @@ impl<S: MatchStore> TimingEngine<S> {
         }
     }
 
+    /// The ingestion boundary: validates one arrival against the
+    /// watermark and the self-loop label invariant, applying the active
+    /// [`OrderPolicy`]. `Ok(true)` admits the (possibly clamped) edge for
+    /// processing, `Ok(false)` drops it silently per policy, `Err`
+    /// rejects it leaving the engine untouched.
+    ///
+    /// This is the *only* release-build check on the arrival path — one
+    /// timestamp comparison; the hot join and expiry loops stay
+    /// check-free, relying on the ordered-bucket invariant the boundary
+    /// now guarantees. Duplicate-id detection deliberately does NOT live
+    /// here: it needs a live-id window, which the stream owner's
+    /// [`IngestGate`](crate::ingest::IngestGate) maintains once per
+    /// stream, not once per engine.
+    fn admit(&mut self, sigma: &mut StreamEdge) -> Result<bool, IngestError> {
+        // A self-loop whose endpoint labels disagree denotes no vertex:
+        // never admissible under any policy.
+        if sigma.src == sigma.dst && sigma.src_label != sigma.dst_label {
+            self.ingest.rejected_dangling += 1;
+            return Err(IngestError::DanglingEndpoint { id: sigma.id, vertex: sigma.src });
+        }
+        if let Some(w) = self.watermark {
+            if sigma.ts.0 < w {
+                match self.order_policy {
+                    OrderPolicy::Reject => {
+                        self.ingest.rejected_out_of_order += 1;
+                        return Err(IngestError::OutOfOrder { ts: sigma.ts.0, watermark: w });
+                    }
+                    OrderPolicy::ClampToWatermark => {
+                        sigma.ts = Timestamp(w);
+                        self.ingest.clamped += 1;
+                    }
+                    OrderPolicy::DropSilently => {
+                        self.ingest.dropped_out_of_order += 1;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        self.watermark = Some(self.watermark.map_or(sigma.ts.0, |w| w.max(sigma.ts.0)));
+        self.ingest.admitted += 1;
+        Ok(true)
+    }
+
     /// Algorithm 1: processes an arrival; returns new complete matches.
     ///
     /// Standalone form: maintains the engine's private live-edge table and
-    /// delegates to [`TimingEngine::insert_at`]. Edges matching no query
-    /// edge are discarded without ever entering the table.
+    /// shares its body with [`TimingEngine::insert_at`]. Edges matching no
+    /// query edge are discarded without ever entering the table. Panics on
+    /// invalid input ([`IngestError`]) — callers that must survive a
+    /// misbehaving source use [`TimingEngine::try_insert`] instead.
     pub fn insert(&mut self, sigma: StreamEdge) -> Vec<MatchRecord> {
+        self.try_insert(sigma)
+            .unwrap_or_else(|err| panic!("TimingEngine::insert fed invalid input: {err}"))
+    }
+
+    /// [`TimingEngine::insert`] with the boundary check surfaced: invalid
+    /// arrivals become a typed [`IngestError`] (engine untouched) instead
+    /// of a panic; out-of-order arrivals follow the active
+    /// [`OrderPolicy`].
+    pub fn try_insert(&mut self, mut sigma: StreamEdge) -> Result<Vec<MatchRecord>, IngestError> {
+        if !self.admit(&mut sigma)? {
+            return Ok(Vec::new());
+        }
         let candidates: Vec<usize> = self.plan.candidates(sigma.signature()).to_vec();
         if !candidates.is_empty() {
             self.live.insert(sigma.id, sigma);
@@ -300,7 +396,19 @@ impl<S: MatchStore> TimingEngine<S> {
         let live = std::mem::take(&mut self.live);
         let out = self.insert_candidates(sigma, &live, candidates);
         self.live = live;
-        out
+        Ok(out)
+    }
+
+    /// Processes a batch through [`TimingEngine::try_insert`], stopping at
+    /// the first rejected arrival (matches emitted before the failure are
+    /// lost to the caller but remain live in the store — the error names
+    /// the offending edge, so resuming past it is well-defined).
+    pub fn insert_batch(&mut self, batch: &[StreamEdge]) -> Result<Vec<MatchRecord>, IngestError> {
+        let mut out = Vec::new();
+        for &e in batch {
+            out.extend(self.try_insert(e)?);
+        }
+        Ok(out)
     }
 
     /// Algorithm 1 against an externally owned window: processes an
@@ -309,9 +417,21 @@ impl<S: MatchStore> TimingEngine<S> {
     /// front-end admits each arrival to the shared snapshot once, then
     /// routes it to every engine whose plan can react). The engine's
     /// private table is neither read nor written on this path.
-    pub fn insert_at<L: LiveEdgeView>(&mut self, sigma: StreamEdge, live: &L) -> Vec<MatchRecord> {
+    ///
+    /// The boundary check runs here too: a front-end that pre-sanitizes
+    /// its stream (an [`IngestGate`](crate::ingest::IngestGate)) never
+    /// trips it — routed substreams of a nondecreasing stream are
+    /// nondecreasing — so the check is a pure guard against owner bugs.
+    pub fn insert_at<L: LiveEdgeView>(
+        &mut self,
+        mut sigma: StreamEdge,
+        live: &L,
+    ) -> Result<Vec<MatchRecord>, IngestError> {
+        if !self.admit(&mut sigma)? {
+            return Ok(Vec::new());
+        }
         let candidates: Vec<usize> = self.plan.candidates(sigma.signature()).to_vec();
-        self.insert_candidates(sigma, live, candidates)
+        Ok(self.insert_candidates(sigma, live, candidates))
     }
 
     /// The shared insert body: both entry points resolve the signature →
@@ -1170,6 +1290,94 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_arrivals_follow_policy() {
+        use crate::ingest::{IngestError, OrderPolicy};
+        let q = path2_query(&[]);
+
+        // Reject (default): typed error, engine untouched.
+        let mut eng: TimingEngine<MsTreeStore> = mk(q.clone());
+        eng.try_insert(StreamEdge::new(1, 10, 0, 11, 1, 0, 5)).unwrap();
+        let err = eng.try_insert(StreamEdge::new(2, 11, 1, 12, 2, 0, 3)).unwrap_err();
+        assert_eq!(err, IngestError::OutOfOrder { ts: 3, watermark: 5 });
+        assert_eq!(eng.stats().edges_processed, 1);
+        assert_eq!(eng.ingest_stats().rejected_out_of_order, 1);
+        assert_eq!(eng.watermark(), Some(5));
+
+        // ClampToWatermark: admitted as "just now", joins like any other
+        // arrival.
+        let mut eng: TimingEngine<MsTreeStore> = mk(q.clone());
+        eng.set_order_policy(OrderPolicy::ClampToWatermark);
+        eng.try_insert(StreamEdge::new(1, 10, 0, 11, 1, 0, 5)).unwrap();
+        let m = eng.try_insert(StreamEdge::new(2, 11, 1, 12, 2, 0, 3)).unwrap();
+        assert_eq!(m.len(), 1, "clamped straggler still completes the match");
+        assert_eq!(eng.ingest_stats().clamped, 1);
+        assert_eq!(eng.watermark(), Some(5));
+
+        // DropSilently: no matches, no error, counter moves.
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        eng.set_order_policy(OrderPolicy::DropSilently);
+        eng.try_insert(StreamEdge::new(1, 10, 0, 11, 1, 0, 5)).unwrap();
+        let m = eng.try_insert(StreamEdge::new(2, 11, 1, 12, 2, 0, 3)).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(eng.stats().edges_processed, 1);
+        assert_eq!(eng.ingest_stats().dropped_out_of_order, 1);
+    }
+
+    #[test]
+    fn equal_timestamps_are_admitted() {
+        let q = path2_query(&[]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        eng.try_insert(StreamEdge::new(1, 10, 0, 11, 1, 0, 5)).unwrap();
+        let m = eng.try_insert(StreamEdge::new(2, 11, 1, 12, 2, 0, 5)).unwrap();
+        assert_eq!(m.len(), 1, "nondecreasing, not strictly increasing, is in order");
+        assert_eq!(eng.ingest_stats().admitted, 2);
+    }
+
+    #[test]
+    fn mismatched_self_loop_labels_rejected() {
+        use crate::ingest::IngestError;
+        let q = path2_query(&[]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        let err = eng.try_insert(StreamEdge::new(1, 7, 0, 7, 1, 0, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            IngestError::DanglingEndpoint { id: EdgeId(1), vertex: tcs_graph::VertexId(7) }
+        );
+        assert_eq!(eng.ingest_stats().rejected_dangling, 1);
+        assert_eq!(eng.stats().edges_processed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid input")]
+    fn insert_panics_on_out_of_order_input() {
+        let q = path2_query(&[]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        eng.insert(StreamEdge::new(1, 10, 0, 11, 1, 0, 5));
+        eng.insert(StreamEdge::new(2, 11, 1, 12, 2, 0, 3));
+    }
+
+    #[test]
+    fn insert_batch_stops_at_first_rejection() {
+        use crate::ingest::IngestError;
+        let q = path2_query(&[]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        let batch = [
+            StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+            StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+            StreamEdge::new(3, 10, 0, 11, 1, 0, 1), // behind watermark 2
+            StreamEdge::new(4, 11, 1, 12, 2, 0, 3),
+        ];
+        let err = eng.insert_batch(&batch).unwrap_err();
+        assert_eq!(err, IngestError::OutOfOrder { ts: 1, watermark: 2 });
+        // Edges before the failure were processed and remain live.
+        assert_eq!(eng.stats().edges_processed, 2);
+        assert_eq!(eng.live_match_count(), 1);
+        // Resuming past the offender is well-defined.
+        let m = eng.insert_batch(&batch[3..]).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
     fn stats_track_inserts_and_joins() {
         let q = path2_query(&[(0, 1)]);
         let mut eng: TimingEngine<MsTreeStore> = mk(q);
@@ -1189,7 +1397,7 @@ mod tests {
         let mut peak = 0;
         for t in 1..50u64 {
             let (s, sl, d, dl) = if t % 2 == 1 { (10, 0, 11, 1) } else { (11, 1, 12, 2) };
-            eng.advance(&w.advance(StreamEdge::new(t, s + t as u32 % 2, sl, d, dl, 0, t)));
+            eng.advance(&w.advance(StreamEdge::new(t, s, sl, d, dl, 0, t)));
             peak = peak.max(eng.space_bytes());
         }
         assert!(peak > 0);

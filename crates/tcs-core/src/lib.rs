@@ -24,7 +24,9 @@ pub mod binding;
 pub mod cost;
 pub mod decompose;
 pub mod engine;
+pub mod failpoints;
 pub mod independent;
+pub mod ingest;
 pub mod joinorder;
 pub mod mstree;
 pub mod plan;
@@ -33,6 +35,7 @@ pub mod store;
 pub use decompose::{decompose, tc_subqueries, Decomposition, TcSubquery};
 pub use engine::{EngineStats, JoinMode, TimingEngine};
 pub use independent::IndependentStore;
+pub use ingest::{IngestError, IngestGate, IngestStats, OrderPolicy};
 pub use mstree::MsTreeStore;
 pub use plan::{PlanOptions, QueryPlan};
 pub use store::{ExpiryMode, MatchStore};

@@ -68,12 +68,16 @@ impl SlidingWindow {
     /// first, paired with the arrival.
     ///
     /// # Panics
-    /// Panics if timestamps are not strictly increasing (Definition 1).
+    /// Panics if timestamps are not nondecreasing. Equal timestamps are
+    /// accepted: batched sources legitimately stamp several edges with one
+    /// tick, and the `ClampToWatermark` ingestion policy (`tcs-core`)
+    /// rewrites stragglers to exactly the watermark — the buffer stays
+    /// sorted either way, which is all expiry needs.
     pub fn advance(&mut self, arrival: StreamEdge) -> WindowEvent {
         if let Some(last) = self.last_ts {
             assert!(
-                arrival.ts.0 > last,
-                "stream timestamps must be strictly increasing ({} after {})",
+                arrival.ts.0 >= last,
+                "stream timestamps must be nondecreasing ({} after {})",
                 arrival.ts.0,
                 last
             );
@@ -149,11 +153,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
+    #[should_panic(expected = "nondecreasing")]
     fn non_monotone_timestamps_panic() {
         let mut w = SlidingWindow::new(5);
         w.advance(edge(1, 10));
-        w.advance(edge(2, 10));
+        w.advance(edge(2, 9));
+    }
+
+    #[test]
+    fn equal_timestamps_are_accepted() {
+        // Nondecreasing, not strictly increasing: batched ticks and
+        // watermark-clamped stragglers share a timestamp legally, and both
+        // edges expire together when the window passes them.
+        let mut w = SlidingWindow::new(5);
+        w.advance(edge(1, 10));
+        let ev = w.advance(edge(2, 10));
+        assert!(ev.expired.is_empty());
+        assert_eq!(w.len(), 2);
+        let ev2 = w.advance(edge(3, 15));
+        assert_eq!(ev2.expired.iter().map(|e| e.id.0).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

@@ -6,10 +6,16 @@
 //! crate docs for the dispatch-index lifecycle and registration
 //! semantics, and `tcs_core::engine` for the split itself).
 
+use crate::fault::{payload_str, FaultPolicy, QueryFault, ShardHealth};
 use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use tcs_core::engine::EngineStats;
+use tcs_core::fail_point;
+use tcs_core::failpoints::sites;
 use tcs_core::store::MatchStore;
-use tcs_core::{MsTreeStore, QueryPlan, TimingEngine};
+use tcs_core::{
+    IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan, TimingEngine,
+};
 use tcs_graph::{ELabel, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
 
 /// Identifier of a registered query, unique for the lifetime of the
@@ -72,6 +78,18 @@ pub struct MultiStats {
     pub snapshot_bytes: usize,
     /// Arrivals the engine has seen since construction.
     pub edges_seen: u64,
+    /// Every query quarantined so far, in fault order (see
+    /// [`FaultPolicy::Quarantine`]). Quarantined queries no longer appear
+    /// in [`MultiStats::queries`]; this log is how their fate is read.
+    pub faults: Vec<QueryFault>,
+    /// Ingestion-boundary counters: what the gate admitted, clamped,
+    /// dropped and rejected (see `tcs_core::ingest`). Kept apart from the
+    /// per-query [`EngineStats`] so those stay oracle-comparable.
+    pub ingest: IngestStats,
+    /// Per-shard health (shed counts, worker restarts) — filled by
+    /// [`ShardedMultiEngine::stats`](crate::ShardedMultiEngine::stats),
+    /// empty for a serial registry.
+    pub shards: Vec<ShardHealth>,
 }
 
 impl MultiStats {
@@ -122,6 +140,13 @@ pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
     edges_seen: u64,
     next_id: u64,
     id_stride: u64,
+    /// The typed ingestion boundary: every arrival passes the gate before
+    /// it can touch the window, the snapshot, or any engine.
+    gate: IngestGate,
+    /// What a panic inside one query's per-arrival work becomes.
+    fault_policy: FaultPolicy,
+    /// Quarantined queries, in fault order.
+    faults: Vec<QueryFault>,
 }
 
 impl<S: MatchStore> MultiQueryEngine<S> {
@@ -153,7 +178,44 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             edges_seen: 0,
             next_id: first,
             id_stride: stride,
+            gate: IngestGate::new(window, OrderPolicy::default()),
+            fault_policy: FaultPolicy::default(),
+            faults: Vec::new(),
         }
+    }
+
+    /// The active out-of-order arrival policy of the ingestion gate.
+    pub fn order_policy(&self) -> OrderPolicy {
+        self.gate.policy()
+    }
+
+    /// Replaces the ingestion gate's out-of-order policy (effective from
+    /// the next arrival).
+    pub fn set_order_policy(&mut self, policy: OrderPolicy) {
+        self.gate.set_policy(policy);
+    }
+
+    /// Ingestion-boundary counters so far.
+    pub fn ingest_stats(&self) -> IngestStats {
+        self.gate.stats()
+    }
+
+    /// The active per-query panic policy.
+    pub fn fault_policy(&self) -> FaultPolicy {
+        self.fault_policy
+    }
+
+    /// Replaces the per-query panic policy (effective from the next
+    /// arrival). [`FaultPolicy::Propagate`] is the default for a bare
+    /// registry; [`ShardedMultiEngine`](crate::ShardedMultiEngine) puts
+    /// its shards under [`FaultPolicy::Quarantine`].
+    pub fn set_fault_policy(&mut self, policy: FaultPolicy) {
+        self.fault_policy = policy;
+    }
+
+    /// Every query quarantined so far, in fault order.
+    pub fn faults(&self) -> &[QueryFault] {
+        &self.faults
     }
 
     /// The dispatch mode fixed at construction.
@@ -186,10 +248,27 @@ impl<S: MatchStore> MultiQueryEngine<S> {
 
     /// Registers a compiled plan as a standing query, effective from the
     /// next arrival; returns its id. Edges already inside the window are
-    /// not replayed (crate docs, "Registration semantics").
+    /// not replayed (crate docs, "Registration semantics"). Ids are never
+    /// reused — in particular not those of quarantined queries, so a
+    /// registration after a fault can never inherit stale dispatch
+    /// entries (regression-tested).
     pub fn register(&mut self, plan: QueryPlan) -> QueryId {
         let id = QueryId(self.next_id);
-        self.next_id = self.next_id.checked_add(self.id_stride).expect("query ids exhausted");
+        self.next_id = match self.next_id.checked_add(self.id_stride) {
+            Some(n) => n,
+            None => panic!("query ids exhausted"),
+        };
+        self.register_as(id, plan);
+        id
+    }
+
+    /// Registers a plan under a caller-chosen id — the supervisor's
+    /// re-homing path, where surviving queries keep their public ids
+    /// across a shard rebuild. The id must be unused and must never
+    /// collide with ids the stride will produce (callers pass ids the
+    /// stride already produced).
+    pub(crate) fn register_as(&mut self, id: QueryId, plan: QueryPlan) {
+        debug_assert!(!self.queries.contains_key(&id), "query id {id:?} already registered");
         for sig in plan.signatures() {
             let bucket = self.dispatch.entry(sig).or_default();
             debug_assert!(!bucket.contains(&id));
@@ -198,7 +277,27 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         let reg =
             Registered { engine: TimingEngine::new(plan), routed: 0, seen_base: self.edges_seen };
         self.queries.insert(id, reg);
-        id
+    }
+
+    /// The next id [`MultiQueryEngine::register`] would hand out — a
+    /// rebuilt shard resumes the sequence so ids stay unique across
+    /// restarts.
+    pub(crate) fn next_raw_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The registered queries as `(id, plan)` pairs in id order — what a
+    /// supervisor re-homes after this registry's worker died.
+    pub(crate) fn registrations(&self) -> Vec<(QueryId, QueryPlan)> {
+        self.queries.iter().map(|(&id, reg)| (id, reg.engine.plan().clone())).collect()
+    }
+
+    /// Carries a predecessor's fault log into this registry (shard
+    /// rebuild: the log survives the worker).
+    pub(crate) fn adopt_faults(&mut self, faults: Vec<QueryFault>) {
+        let mut faults = faults;
+        faults.extend(std::mem::take(&mut self.faults));
+        self.faults = faults;
     }
 
     /// Drops a standing query and its dispatch entries; its partial
@@ -225,15 +324,59 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// expiries + insertion to the queries that can react. Returns the
     /// newly completed matches as `(query, match)` pairs, grouped by
     /// query in id order, each query's matches in its own emission order.
+    ///
+    /// Panics on invalid input ([`IngestError`]) — stream owners that must
+    /// survive a misbehaving source use [`MultiQueryEngine::try_advance`]
+    /// or a lenient [`OrderPolicy`] instead.
     pub fn advance(&mut self, e: StreamEdge) -> Vec<(QueryId, MatchRecord)> {
+        match self.try_advance(e) {
+            Ok(out) => out,
+            Err(err) => panic!("MultiQueryEngine::advance fed invalid input: {err}"),
+        }
+    }
+
+    /// [`MultiQueryEngine::advance`] with the ingestion boundary surfaced:
+    /// an invalid arrival becomes a typed [`IngestError`] with every
+    /// window, snapshot and engine untouched; out-of-order arrivals follow
+    /// the gate's [`OrderPolicy`]. Under [`FaultPolicy::Quarantine`] a
+    /// panic inside one query's work quarantines that query (recorded in
+    /// [`MultiQueryEngine::faults`]) and the remaining queries still
+    /// process the arrival.
+    pub fn try_advance(
+        &mut self,
+        e: StreamEdge,
+    ) -> Result<Vec<(QueryId, MatchRecord)>, IngestError> {
+        let Some(e) = self.gate.admit(e)? else {
+            return Ok(Vec::new()); // dropped per OrderPolicy::DropSilently
+        };
         let ev = self.window.advance(e);
-        match self.mode {
+        // Queries that panicked while handling THIS arrival: skipped for
+        // the rest of the event, unregistered after it.
+        let mut faulted: Vec<(QueryId, String)> = Vec::new();
+        let out = match self.mode {
             DispatchMode::Signature => {
                 for x in &ev.expired {
                     if let Some(targets) = self.dispatch.get(&x.signature()) {
                         for qid in targets {
-                            let reg = self.queries.get_mut(qid).expect("dispatch targets live");
-                            reg.engine.expire_partials(x);
+                            if faulted.iter().any(|(f, _)| f == qid) {
+                                continue;
+                            }
+                            let Some(reg) = self.queries.get_mut(qid) else {
+                                debug_assert!(false, "dispatch targets a registered query");
+                                continue;
+                            };
+                            let mut work = || {
+                                fail_point!(sites::PRE_EXPIRY, qid.0);
+                                reg.engine.expire_partials(x);
+                            };
+                            match self.fault_policy {
+                                FaultPolicy::Propagate => work(),
+                                FaultPolicy::Quarantine => {
+                                    if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
+                                        faulted.push((*qid, payload_str(&*p)));
+                                    }
+                                }
+                            }
                         }
                     }
                     self.snapshot.remove(x.id);
@@ -243,10 +386,42 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                 let mut out = Vec::new();
                 if let Some(targets) = self.dispatch.get(&e.signature()) {
                     for qid in targets {
-                        let reg = self.queries.get_mut(qid).expect("dispatch targets live");
+                        if faulted.iter().any(|(f, _)| f == qid) {
+                            continue;
+                        }
+                        let Some(reg) = self.queries.get_mut(qid) else {
+                            debug_assert!(false, "dispatch targets a registered query");
+                            continue;
+                        };
                         reg.routed += 1;
-                        for m in reg.engine.insert_at(e, &self.snapshot) {
-                            out.push((*qid, m));
+                        let snapshot = &self.snapshot;
+                        let mut work = || {
+                            fail_point!(sites::PRE_PROBE, qid.0);
+                            let ms = match reg.engine.insert_at(e, snapshot) {
+                                Ok(ms) => ms,
+                                // The gate sanitized the stream, so an
+                                // engine-level rejection is a bug in THIS
+                                // query's plumbing: under Quarantine it
+                                // condemns only the query.
+                                Err(err) => panic!("sanitized stream rejected: {err}"),
+                            };
+                            fail_point!(sites::POST_RECORD, qid.0);
+                            ms
+                        };
+                        match self.fault_policy {
+                            FaultPolicy::Propagate => {
+                                for m in work() {
+                                    out.push((*qid, m));
+                                }
+                            }
+                            FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
+                                Ok(ms) => {
+                                    for m in ms {
+                                        out.push((*qid, m));
+                                    }
+                                }
+                                Err(p) => faulted.push((*qid, payload_str(&*p))),
+                            },
                         }
                     }
                 }
@@ -256,17 +431,42 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                 self.edges_seen += 1;
                 let mut out = Vec::new();
                 for (qid, reg) in self.queries.iter_mut() {
-                    for x in &ev.expired {
-                        reg.engine.expire(x);
-                    }
                     reg.routed += 1;
-                    for m in reg.engine.insert(e) {
-                        out.push((*qid, m));
+                    let mut work = || {
+                        fail_point!(sites::PRE_EXPIRY, qid.0);
+                        for x in &ev.expired {
+                            reg.engine.expire(x);
+                        }
+                        fail_point!(sites::PRE_PROBE, qid.0);
+                        let ms = reg.engine.insert(e);
+                        fail_point!(sites::POST_RECORD, qid.0);
+                        ms
+                    };
+                    match self.fault_policy {
+                        FaultPolicy::Propagate => {
+                            for m in work() {
+                                out.push((*qid, m));
+                            }
+                        }
+                        FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
+                            Ok(ms) => {
+                                for m in ms {
+                                    out.push((*qid, m));
+                                }
+                            }
+                            Err(p) => faulted.push((*qid, payload_str(&*p))),
+                        },
                     }
                 }
                 out
             }
+        };
+        for (qid, payload) in faulted {
+            let removed = self.unregister(qid);
+            debug_assert!(removed, "faulted query was registered");
+            self.faults.push(QueryFault { qid, payload, edge_seq: self.edges_seen });
         }
+        Ok(out)
     }
 
     /// Per-query counters (normalized — see [`QueryStats::stats`]) plus
@@ -299,6 +499,9 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                 DispatchMode::Broadcast => 0,
             },
             edges_seen: self.edges_seen,
+            faults: self.faults.clone(),
+            ingest: self.gate.stats(),
+            shards: Vec::new(),
         }
     }
 
@@ -330,6 +533,7 @@ impl<S: MatchStore> MultiQueryEngine<S> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use tcs_core::PlanOptions;

@@ -70,18 +70,72 @@
 //! shard-routing table (the union of its shards' dispatch indexes) and,
 //! during [`ShardedMultiEngine::process`], fans each edge out over
 //! `tcs-concurrent`'s bounded channels to the shards that can react; a
-//! shard's window therefore sees a filtered — but still strictly
-//! timestamp-increasing — substream, which is exactly what its queries
-//! would have kept from the full stream. Registration churn is a
-//! front-end (single-threaded) operation between `process` calls; match
-//! streams come back per shard and are concatenated (order across shards
-//! is unspecified — within one query it remains stream order).
+//! shard's window therefore sees a filtered — but still nondecreasing in
+//! timestamp — substream, which is exactly what its queries would have
+//! kept from the full stream. Registration churn is a front-end
+//! (single-threaded) operation between `process` calls; match streams
+//! come back per shard and are concatenated (order across shards is
+//! unspecified — within one query it remains stream order).
+//!
+//! # Failure model
+//!
+//! A multi-tenant registry is exactly where faults hurt the most: one
+//! tenant's pathological query, one source's corrupted feed, or one slow
+//! core must not take down every other tenant. The crate names three
+//! fault classes and gives each the smallest blast radius that keeps the
+//! survivors' semantics exact:
+//!
+//! 1. **Bad input** is rejected *at the boundary, before any state
+//!    mutates*. Every arrival passes an [`IngestGate`](tcs_core::IngestGate)
+//!    (watermark + live-edge bookkeeping): out-of-order timestamps are
+//!    handled per the configured [`OrderPolicy`] (typed rejection by
+//!    default, or clamp-to-watermark / counted silent drop), duplicate
+//!    live edge ids and inconsistently-labelled endpoints are always
+//!    rejected. [`MultiQueryEngine::try_advance`] and
+//!    [`ShardedMultiEngine::try_process`] surface the
+//!    [`IngestError`]; the panicking `advance`/`process` wrappers keep
+//!    the happy-path API. `try_process` is batch-atomic: on `Err`
+//!    nothing from the batch was admitted anywhere. Blast radius: the
+//!    offending edge (or batch), zero queries.
+//! 2. **Query faults** — a panic inside one query's per-arrival work.
+//!    Under [`FaultPolicy::Quarantine`] (the default for shards of a
+//!    [`ShardedMultiEngine`]; bare engines default to
+//!    [`FaultPolicy::Propagate`]) the registry catches the panic at a
+//!    per-query `catch_unwind` boundary, unregisters the offender and
+//!    records a [`QueryFault`] (id, stringified payload, stream
+//!    position) in a fault log surfaced through `stats()`. Blast
+//!    radius: the faulting query; its shard, worker thread and channel
+//!    keep serving, and the dispatcher never observes a dead channel
+//!    for this class.
+//! 3. **Worker faults and overload** — a panic outside the per-query
+//!    boundary kills a shard worker; the dispatcher skips the dead
+//!    channel for the rest of the batch and the supervisor then rebuilds
+//!    the shard, re-homing surviving queries under their original ids
+//!    (window state restarts fresh, like a late registration;
+//!    [`ShardHealth::restarts`] counts rebuilds). A worker that is
+//!    merely *slow* fills its channel instead, and the configured
+//!    [`OverloadPolicy`] either back-pressures (default, lossless) or
+//!    sheds bounded work with per-shard counters. Blast radius: one
+//!    shard's recent window (restart) or the shed edges (overload) —
+//!    never another shard.
+//!
+//! The `failpoints` cargo feature (off by default, zero-cost when off)
+//! compiles in the `tcs-core` fault-injection sites the chaos tests use
+//! to drive all three classes deterministically.
 //!
 //! [`TimingEngine`]: tcs_core::TimingEngine
 //! [`QueryPlan::signatures`]: tcs_core::QueryPlan::signatures
 
+// A fault-tolerance layer that panics on its own sloppy error handling
+// defeats the purpose: every unwrap/expect here must be either proven
+// unreachable (let-else + debug_assert) or turned into a typed error.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod engine;
+pub mod fault;
 pub mod shard;
 
 pub use engine::{DispatchMode, MultiQueryEngine, MultiStats, QueryId, QueryStats};
+pub use fault::{FaultPolicy, OverloadPolicy, QueryFault, ShardHealth};
 pub use shard::ShardedMultiEngine;
+pub use tcs_core::{IngestError, IngestStats, OrderPolicy};
