@@ -17,6 +17,8 @@
 //! interface as the main engine so the benchmark harness and the oracle
 //! tests treat every system uniformly.
 
+#![forbid(unsafe_code)]
+
 pub mod incmat;
 pub mod sjtree;
 

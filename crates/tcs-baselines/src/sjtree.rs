@@ -39,7 +39,7 @@ impl SjTree {
             query.edges.clone(),
             &[], // timing order erased: SJ-tree is structure-only
         )
-        .expect("erasing the timing order preserves validity");
+        .unwrap_or_else(|e| unreachable!("erasing the timing order preserves validity: {e}"));
         let plan = QueryPlan::build(structural, PlanOptions::timing());
         SjTree { query, engine: TimingEngine::new(plan), ts: HashMap::new() }
     }
@@ -98,6 +98,7 @@ impl SjTree {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::query::QueryEdge;

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Criterion micro-benchmarks for the core data structures and the
 //! end-to-end per-edge costs. These complement the `repro` harness: where
 //! `repro` reproduces the paper's figures, these isolate the pieces

@@ -5,8 +5,8 @@ use tcs_graph::window::SlidingWindow;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let window: u64 = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(10_000);
-    let qsize: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(12);
+    let window: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let qsize: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
     for dataset in Dataset::ALL {
         let t0 = Instant::now();
         let stream = dataset.generate(window as usize + 3_000, 42);

@@ -21,6 +21,18 @@
 
 use tcs_bench::{experiments, Scale};
 
+/// Parses the value of `flag` at `args[i]`, exiting with usage on a
+/// missing or malformed argument (a CLI error, not a bug).
+fn parse_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    match args.get(i).map(|s| s.parse()) {
+        Some(Ok(v)) => v,
+        _ => {
+            eprintln!("{flag} needs a valid argument");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -35,19 +47,19 @@ fn main() {
             "--quick" => scale = Scale::quick(),
             "--edges" => {
                 i += 1;
-                scale.measured_edges = args[i].parse().expect("--edges N");
+                scale.measured_edges = parse_flag(&args, i, "--edges");
             }
             "--queries" => {
                 i += 1;
-                scale.queries_per_config = args[i].parse().expect("--queries N");
+                scale.queries_per_config = parse_flag(&args, i, "--queries");
             }
             "--budget" => {
                 i += 1;
-                scale.run_budget_secs = args[i].parse().expect("--budget SECS");
+                scale.run_budget_secs = parse_flag(&args, i, "--budget");
             }
             "--seed" => {
                 i += 1;
-                scale.seed = args[i].parse().expect("--seed S");
+                scale.seed = parse_flag(&args, i, "--seed");
             }
             name if !name.starts_with("--") => exp = name.to_string(),
             other => {

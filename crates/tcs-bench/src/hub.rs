@@ -75,7 +75,7 @@ pub fn hub_query() -> QueryGraph {
         ],
         &[(0, 1)],
     )
-    .expect("valid hub query")
+    .unwrap_or_else(|e| unreachable!("valid hub query: {e}"))
 }
 
 /// An engine pre-seeded with `fanout` level-0 prefixes `i → 10000+i`
@@ -119,7 +119,7 @@ pub fn skew_query() -> QueryGraph {
         ],
         &[(0, 1), (2, 3), (2, 1)],
     )
-    .expect("valid skew query")
+    .unwrap_or_else(|e| unreachable!("valid skew query: {e}"))
 }
 
 /// The hub vertex every stored row binds `a` to.
@@ -232,7 +232,7 @@ pub fn multi_query(t: u16) -> QueryGraph {
         ],
         &[(0, 1)],
     )
-    .expect("valid tenant query")
+    .unwrap_or_else(|e| unreachable!("valid tenant query: {e}"))
 }
 
 /// Window duration holding ~one live 2-edge chain per tenant.
@@ -279,6 +279,7 @@ pub fn multi_edge(n_queries: usize, ts: u64) -> StreamEdge {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::window::SlidingWindow;

@@ -127,10 +127,12 @@ fn build_full_order_query(g: &[StreamEdge]) -> QueryGraph {
         edges.push(QueryEdge { src, dst, label: e.label });
     }
     let pairs: Vec<(usize, usize)> = (0..g.len() - 1).map(|i| (i, i + 1)).collect();
-    QueryGraph::new(labels, edges, &pairs).expect("walked query is valid")
+    QueryGraph::new(labels, edges, &pairs)
+        .unwrap_or_else(|e| unreachable!("walked query is valid: {e}"))
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::gen::Dataset;

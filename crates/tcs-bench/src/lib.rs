@@ -21,6 +21,8 @@
 //! * [`hub`] — the shared hub fan-out workload measured by both the
 //!   `join_probe` Criterion group and the `repro join` experiment.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod hub;
 pub mod kgen;

@@ -37,7 +37,7 @@ impl Table {
             }
         }
         let mut out = String::new();
-        writeln!(out, "== {} ==", self.title).unwrap();
+        writeln!(out, "== {} ==", self.title).unwrap_or_else(|_| unreachable!());
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
             cells
                 .iter()
@@ -46,10 +46,11 @@ impl Table {
                 .collect::<Vec<_>>()
                 .join("  ")
         };
-        writeln!(out, "{}", fmt_row(&self.header, &widths)).unwrap();
-        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())).unwrap();
+        writeln!(out, "{}", fmt_row(&self.header, &widths)).unwrap_or_else(|_| unreachable!());
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))
+            .unwrap_or_else(|_| unreachable!());
         for row in &self.rows {
-            writeln!(out, "{}", fmt_row(row, &widths)).unwrap();
+            writeln!(out, "{}", fmt_row(row, &widths)).unwrap_or_else(|_| unreachable!());
         }
         out
     }
@@ -60,10 +61,10 @@ impl Table {
         let dir = Path::new("results");
         if fs::create_dir_all(dir).is_ok() {
             let mut tsv = String::new();
-            writeln!(tsv, "# {}", self.title).unwrap();
-            writeln!(tsv, "{}", self.header.join("\t")).unwrap();
+            writeln!(tsv, "# {}", self.title).unwrap_or_else(|_| unreachable!());
+            writeln!(tsv, "{}", self.header.join("\t")).unwrap_or_else(|_| unreachable!());
             for row in &self.rows {
-                writeln!(tsv, "{}", row.join("\t")).unwrap();
+                writeln!(tsv, "{}", row.join("\t")).unwrap_or_else(|_| unreachable!());
             }
             let path = dir.join(format!("{name}.tsv"));
             if let Err(e) = fs::write(&path, tsv) {
@@ -90,6 +91,7 @@ pub fn fmt_space_kb(bytes: f64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -96,6 +96,7 @@ pub fn average(metrics: &[RunMetrics]) -> RunMetrics {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::systems::SystemKind;

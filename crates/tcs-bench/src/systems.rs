@@ -135,6 +135,7 @@ impl StreamSystem for IncSystem {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::query::QueryEdge;

@@ -9,7 +9,7 @@
 //! channel is nowhere near the throughput bottleneck — transactions do
 //! joins, not queue hops.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -200,6 +200,7 @@ impl<T> Drop for Receiver<T> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -49,11 +49,10 @@
 //! keeps its own copy of the timestamp, range reads never dereference
 //! dead nodes, so reclaimed arena slots can be reused without aliasing.
 
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use crate::sync::{AtomicBool, AtomicU32, AtomicU64, Mutex, Ordering};
+use std::collections::{HashMap, HashSet};
 use std::sync::OnceLock;
-use tcs_core::store::{DrainBucket, ExpiryMode, JoinKey, StoreLayout};
+use tcs_core::store::{AuditViolation, DrainBucket, ExpiryMode, JoinKey, StoreAudit, StoreLayout};
 use tcs_graph::EdgeId;
 
 const NIL: u32 = u32::MAX;
@@ -207,7 +206,7 @@ impl CmsTree {
     fn node(&self, idx: u32) -> &Node {
         let chunk = idx as usize / CHUNK;
         let off = idx as usize % CHUNK;
-        &self.chunks[chunk].get().expect("allocated chunk")[off]
+        &self.chunks[chunk].get().unwrap_or_else(|| unreachable!("allocated chunk"))[off]
     }
 
     fn alloc(&self, payload: u64, parent: u32, ts: u64) -> u32 {
@@ -536,7 +535,10 @@ impl CmsTree {
             // tombstone at the node's recorded position.
             let key = self.node(idx).key.load(LOAD);
             let pos = self.node(idx).key_pos.load(LOAD);
-            list.index.get_mut(&key).expect("indexed node has a bucket").punch(pos, idx);
+            list.index
+                .get_mut(&key)
+                .unwrap_or_else(|| unreachable!("indexed node has a bucket"))
+                .punch(pos, idx);
             touched_keys.push(key);
             drop(list);
             // Parent's child list (the links live at this item's level).
@@ -564,7 +566,10 @@ impl CmsTree {
             let mode = self.expiry_mode();
             let mut list = self.lists[item].lock();
             for key in touched_keys {
-                let bucket = list.index.get_mut(&key).expect("touched bucket exists");
+                let bucket = list
+                    .index
+                    .get_mut(&key)
+                    .unwrap_or_else(|| unreachable!("touched bucket exists"));
                 let done = bucket
                     .finish_cascade(mode, |slot, pos| self.node(slot).key_pos.store(pos, STORE));
                 if done {
@@ -602,9 +607,225 @@ impl CmsTree {
         (allocated - free) * std::mem::size_of::<Node>()
             + self.lists.len() * std::mem::size_of::<Mutex<ListHead>>()
     }
+
+    /// Walks one item's level list under its list mutex, reporting
+    /// structure/order/index violations and returning the linked nodes.
+    fn audit_item(&self, i: usize, out: &mut Vec<AuditViolation>) -> HashSet<u32> {
+        const S: &str = "cms-tree";
+        let list = self.lists[i].lock();
+        let mut live = HashSet::new();
+        let mut n = list.head;
+        let mut prev = NIL;
+        let mut prev_ts = 0u64;
+        while n != NIL {
+            if !live.insert(n) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "list-cycle",
+                    detail: format!("item {i}: node {n} linked twice"),
+                });
+                break;
+            }
+            let node = self.node(n);
+            if node.dead.load(LOAD) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "dead-node-linked",
+                    detail: format!("item {i}: node {n} is dead but still listed"),
+                });
+            }
+            if node.prev.load(LOAD) != prev {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "list-backlink",
+                    detail: format!(
+                        "item {i}: node {n} prev is {} not {prev}",
+                        node.prev.load(LOAD)
+                    ),
+                });
+            }
+            let ts = node.ts.load(LOAD);
+            if ts < prev_ts {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "item-timestamp-order",
+                    detail: format!("item {i}: node {n} ts {ts} after ts {prev_ts}"),
+                });
+            }
+            prev_ts = ts;
+            let key = node.key.load(LOAD);
+            let key_pos = node.key_pos.load(LOAD);
+            match list.index.get(&key) {
+                None => out.push(AuditViolation {
+                    store: S,
+                    invariant: "missing-bucket",
+                    detail: format!("item {i}: node {n} filed under absent key {key}"),
+                }),
+                Some(bucket) => {
+                    let pos_ok = key_pos >= bucket.front()
+                        && bucket
+                            .indexed()
+                            .get((key_pos - bucket.front()) as usize)
+                            .is_some_and(|e| e.slot == n && e.ts == ts);
+                    if !pos_ok {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "bucket-position",
+                            detail: format!(
+                                "item {i}: node {n} position {key_pos} does not round-trip \
+                                 in key {key}"
+                            ),
+                        });
+                    }
+                }
+            }
+            prev = n;
+            n = node.next.load(LOAD);
+        }
+        if live.len() != list.len {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "item-length",
+                detail: format!("item {i}: walked {} nodes, recorded len {}", live.len(), list.len),
+            });
+        }
+        if list.tail != prev {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "list-tail",
+                detail: format!("item {i}: tail is {} not {prev}", list.tail),
+            });
+        }
+        let indexed: usize = list.index.values().map(DrainBucket::live_len).sum();
+        if indexed != list.len {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "index-live-size",
+                detail: format!("item {i}: {indexed} live index entries vs len {}", list.len),
+            });
+        }
+        for (key, bucket) in &list.index {
+            if bucket.live_len() == 0 {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "empty-bucket-retained",
+                    detail: format!("item {i}: key {key} bucket has no live entry"),
+                });
+            }
+            bucket.audit(S, &format!("item {i} key {key}"), out);
+        }
+        live
+    }
+}
+
+impl StoreAudit for CmsTree {
+    /// Full invariant sweep, locking each list in turn. Only meaningful
+    /// at quiescent points — no in-flight transactions: a mid-transaction
+    /// audit would see partially removed nodes awaiting their level pass
+    /// and unreclaimed arena slots.
+    fn audit(&self) -> Vec<AuditViolation> {
+        const S: &str = "cms-tree";
+        let mut out = Vec::new();
+        let live_of: Vec<HashSet<u32>> =
+            (0..self.lists.len()).map(|i| self.audit_item(i, &mut out)).collect();
+        // Cross-item references (same shape as the serial MS-tree):
+        // subquery nodes chain to a live parent one level up, L₀ nodes to
+        // the previous L₀ item (item 1: the grafted subquery-0 leaf), and
+        // L₀ payloads to live complete matches of their subquery.
+        let k = self.layout.k();
+        let check_parent = |n: u32, parent_item: usize, out: &mut Vec<AuditViolation>| {
+            let parent = self.node(n).parent.load(LOAD);
+            if parent == NIL || !live_of[parent_item].contains(&parent) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "dangling-parent",
+                    detail: format!(
+                        "node {n}: parent {parent} is not a live node of item {parent_item}"
+                    ),
+                });
+            }
+        };
+        for sub in 0..k {
+            for level in 0..self.layout.sub_lens[sub] {
+                let item = self.sub_item(sub, level);
+                for &n in &live_of[item] {
+                    if level == 0 {
+                        if self.node(n).parent.load(LOAD) != NIL {
+                            out.push(AuditViolation {
+                                store: S,
+                                invariant: "dangling-parent",
+                                detail: format!("root-level node {n} has a parent"),
+                            });
+                        }
+                    } else {
+                        check_parent(n, self.sub_item(sub, level - 1), &mut out);
+                    }
+                }
+            }
+        }
+        for i in 1..k {
+            let item = self.l0_item(i);
+            let parent_item = if i == 1 {
+                self.sub_item(0, self.layout.sub_lens[0] - 1)
+            } else {
+                self.l0_item(i - 1)
+            };
+            let leaf_item = self.sub_item(i, self.layout.sub_lens[i] - 1);
+            for &n in &live_of[item] {
+                check_parent(n, parent_item, &mut out);
+                let comp = self.node(n).payload.load(LOAD);
+                if u32::try_from(comp).is_err() || !live_of[leaf_item].contains(&(comp as u32)) {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "dangling-component",
+                        detail: format!(
+                            "L0 item {i} node {n}: component {comp} is not a live \
+                             complete match of subquery {i}"
+                        ),
+                    });
+                }
+            }
+        }
+        // Allocator accounting (quiescence: every partially removed node
+        // has been reclaimed): linked + free covers the arena exactly.
+        let free_list = self.free.lock();
+        let free: HashSet<u32> = free_list.iter().copied().collect();
+        if free.len() != free_list.len() {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "free-list-duplicates",
+                detail: format!("{} free entries, {} distinct", free_list.len(), free.len()),
+            });
+        }
+        let linked: usize = live_of.iter().map(HashSet::len).sum();
+        let allocated = self.next_free.load(LOAD) as usize;
+        if linked + free.len() != allocated {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "arena-accounting",
+                detail: format!(
+                    "{linked} linked + {} free != {allocated} allocated arena nodes",
+                    free.len()
+                ),
+            });
+        }
+        for set in &live_of {
+            for n in set {
+                if free.contains(n) {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "free-live-overlap",
+                        detail: format!("node {n} is both linked and on the free list"),
+                    });
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

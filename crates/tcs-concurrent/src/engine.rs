@@ -20,7 +20,7 @@
 
 use crate::cmstree::CmsTree;
 use crate::lock::{LockManager, Mode, TxnId};
-use parking_lot::{Mutex, RwLock};
+use crate::sync::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -120,6 +120,20 @@ impl ConcurrentEngine {
         self.shared.tree.space_bytes()
     }
 
+    /// Runs the full [`tcs_core::store::StoreAudit`] sweep over the
+    /// shared tree. Only meaningful at quiescent points — between `run`
+    /// calls, when no transaction is in flight and every partial removal
+    /// has been reclaimed.
+    pub fn audit(&self) -> Vec<tcs_core::store::AuditViolation> {
+        tcs_core::store::StoreAudit::audit(&self.shared.tree)
+    }
+
+    /// Panics with every [`ConcurrentEngine::audit`] violation; same
+    /// quiescence requirement.
+    pub fn assert_clean(&self) {
+        tcs_core::store::StoreAudit::assert_clean(&self.shared.tree);
+    }
+
     /// Processes the whole stream under a window of the given duration.
     pub fn run(&mut self, stream: &[StreamEdge], window: u64) -> ConcurrentResult {
         self.run_budgeted(stream, window, None)
@@ -164,7 +178,7 @@ impl ConcurrentEngine {
                         next_id += 1;
                         transactions += 1;
                         shared.locks.dispatch(txn.id, &txn.reqs);
-                        tx.send(txn).expect("workers alive");
+                        tx.send(txn).unwrap_or_else(|_| unreachable!("workers alive"));
                     }
                 }
                 if let Some(txn) = make_ins_txn(shared, next_id, ev.arrival) {
@@ -172,11 +186,16 @@ impl ConcurrentEngine {
                     transactions += 1;
                     shared.live.write().insert(ev.arrival.id, ev.arrival);
                     shared.locks.dispatch(txn.id, &txn.reqs);
-                    tx.send(txn).expect("workers alive");
+                    tx.send(txn).unwrap_or_else(|_| unreachable!("workers alive"));
                 }
             }
             drop(tx);
         });
+        // All workers have joined: the tree is quiescent (every partial
+        // removal reclaimed), the one boundary where the full CmsTree
+        // audit is valid.
+        #[cfg(feature = "debug-audit")]
+        tcs_core::store::StoreAudit::assert_clean(&shared.tree);
         let mut results = shared.results.lock();
         results.sort_by_key(|&(id, _)| id);
         let matches = results.drain(..).flat_map(|(_, ms)| ms).collect();
@@ -560,7 +579,7 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                             .edges
                             .iter()
                             .find(|&&(q, _)| q == qe)
-                            .expect("row binds its own query edges")
+                            .unwrap_or_else(|| unreachable!("row binds its own query edges"))
                             .1;
                         (e.src, e.dst)
                     });
@@ -569,7 +588,7 @@ fn run_ins(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                         side.edges
                             .iter()
                             .find(|&&(q, _)| q == qe)
-                            .expect("row binds its own query edges")
+                            .unwrap_or_else(|| unreachable!("row binds its own query edges"))
                             .1
                             .ts
                             .0
@@ -801,7 +820,7 @@ fn stored_l0_key_of(shared: &Shared, level: usize, merged: &PartialAssignment) -
             .edges
             .iter()
             .find(|&&(q, _)| q == qe)
-            .expect("merged row binds its own query edges")
+            .unwrap_or_else(|| unreachable!("merged row binds its own query edges"))
             .1;
         (e.src, e.dst)
     })
@@ -828,6 +847,7 @@ fn record_of(shared: &Shared, live: &HashMap<EdgeId, StreamEdge>, comps: &[u64])
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_core::plan::PlanOptions;

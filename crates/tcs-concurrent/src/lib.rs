@@ -24,11 +24,38 @@
 //!   coarse-grained [`engine::LockingMode::AllLocks`] baseline
 //!   ("All-locks-N", which acquires every lock up front and collapses to
 //!   nearly serial execution — the flat ≈1.2× speedup of Figures 19–20).
+//!
+//! # Verification
+//!
+//! The concurrency in this crate is model-checked. Every primitive is
+//! taken from the [`sync`] shim: a plain re-export of
+//! `parking_lot`/`std` in normal builds, and — under
+//! `RUSTFLAGS="--cfg tcs_model"` — the instrumented primitives of the
+//! `tcs-verify` crate, whose CHESS-style scheduler enumerates thread
+//! interleavings up to a preemption bound and replays any failing
+//! schedule deterministically. The model suite
+//! (`tests/model.rs`, compiled only under the cfg) exhaustively explores
+//! the [`chan`] send/recv/disconnect protocol, the [`lock`] manager's
+//! dispatch/acquire/release cycle, and the [`cmstree`] X-guard
+//! insert/expire/report protocol at preemption bound 2 — including a
+//! regression model that narrows the X guard and proves the PR-2 race is
+//! caught with a replayable minimized schedule. See the `tcs-verify`
+//! crate docs for the scheduler's limits and the replay howto.
+//!
+//! Data-structure *state* is separately auditable:
+//! [`cmstree::CmsTree`] implements `tcs_core::store::StoreAudit`, a full
+//! invariant sweep (ordered buckets, tombstone lifecycle, index
+//! coherence, no dangling references, allocator accounting) valid at
+//! quiescent points; the `debug-audit` feature arms it at the end of
+//! every [`engine::ConcurrentEngine::run`].
+
+#![forbid(unsafe_code)]
 
 pub mod chan;
 pub mod cmstree;
 pub mod engine;
 pub mod lock;
+pub mod sync;
 
 pub use engine::{ConcurrentEngine, ConcurrentResult, LockingMode};
 pub use lock::{LockManager, Mode, TxnId};

@@ -12,7 +12,7 @@
 //! [`LockManager::cancel`] their remaining requests so younger
 //! transactions are not stranded.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::collections::VecDeque;
 
 /// Transaction identifier: the dispatch sequence number (timestamp order).
@@ -153,6 +153,7 @@ impl Drop for LockGuard<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};

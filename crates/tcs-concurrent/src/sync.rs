@@ -1,0 +1,27 @@
+//! The sync shim: one import point for every primitive the crate's
+//! protocols run on.
+//!
+//! Normal builds re-export `parking_lot` mutexes/condvars and `std`
+//! atomics — zero-cost. Built with `RUSTFLAGS="--cfg tcs_model"`, the
+//! same names resolve to the instrumented types of
+//! [`tcs_verify::sync`], whose every operation is a scheduling point of
+//! the deterministic interleaving scheduler — that is what lets the
+//! model suite (`tests/model.rs`) exhaustively explore the channel,
+//! lock-manager, and CmsTree protocols and replay any failing schedule.
+//! The instrumented types fall back to real-primitive behavior outside
+//! a model run, so the ordinary unit tests pass under either cfg.
+//!
+//! Everything protocol-relevant in this crate must import from here,
+//! never from `parking_lot`/`std::sync::atomic` directly (the one
+//! deliberate exception: `cmstree`'s arena-chunk `OnceLock`, which is
+//! init-once plumbing, not protocol).
+
+#[cfg(not(tcs_model))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+#[cfg(not(tcs_model))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+#[cfg(tcs_model)]
+pub use tcs_verify::sync::{
+    AtomicBool, AtomicU32, AtomicU64, Condvar, Mutex, MutexGuard, Ordering, RwLock,
+};

@@ -120,6 +120,7 @@ pub fn edge_ids(a: &PartialAssignment) -> Vec<EdgeId> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::query::QueryEdge;

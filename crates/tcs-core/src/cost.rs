@@ -45,6 +45,7 @@ pub fn expected_joins(q: &QueryGraph, k: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::QueryGraph;

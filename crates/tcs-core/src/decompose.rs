@@ -211,6 +211,7 @@ pub fn decompose_from(q: &QueryGraph, tcsub: &[TcSubquery]) -> Decomposition {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::query::QueryEdge;

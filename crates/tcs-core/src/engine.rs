@@ -18,7 +18,7 @@
 use crate::binding::PartialAssignment;
 use crate::ingest::{IngestError, IngestStats, OrderPolicy};
 use crate::plan::QueryPlan;
-use crate::store::{ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{AuditViolation, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use tcs_graph::window::WindowEvent;
@@ -79,7 +79,7 @@ pub struct EngineStats {
 /// a window-maintenance bug on the owner's side, not a recoverable state.
 #[inline]
 fn resolve<L: LiveEdgeView>(live: &L, id: EdgeId) -> StreamEdge {
-    *live.live_edge(id).expect("stored edge id resolves in the live view")
+    *live.live_edge(id).unwrap_or_else(|| unreachable!("stored edge id resolves in the live view"))
 }
 
 /// The serial streaming engine, generic over the partial-match store.
@@ -195,6 +195,53 @@ impl<S: MatchStore> TimingEngine<S> {
             self.stats.partials_inserted
         );
         self.stats.partials_inserted - self.stats.partials_deleted
+    }
+
+    /// One sweep over every documented invariant: the store's own
+    /// [`StoreAudit`] pass (ordered buckets, tombstone lifecycle, index
+    /// coherence, no dangling references, allocator accounting) plus the
+    /// engine-level cross-check that the balanced insert/delete counters
+    /// equal the store's actual row count
+    /// ([`TimingEngine::live_partials`] == [`TimingEngine::store_rows`]).
+    ///
+    /// Callable from tests at any operation boundary; the `debug-audit`
+    /// feature additionally runs it (panicking on violations) at the end
+    /// of every expiry cascade and every accepted batch.
+    pub fn audit(&self) -> Vec<AuditViolation> {
+        let mut out = self.store.audit();
+        let (live, rows) = (self.live_partials(), self.store_rows());
+        if live != rows {
+            out.push(AuditViolation {
+                store: "engine",
+                invariant: "live-partials-accounting",
+                detail: format!("live_partials {live} != store_rows {rows}"),
+            });
+        }
+        out
+    }
+
+    /// Panics with a numbered violation list if [`TimingEngine::audit`]
+    /// finds anything.
+    pub fn assert_clean(&self) {
+        let found = self.audit();
+        assert!(
+            found.is_empty(),
+            "engine audit found {} violation(s):{}",
+            found.len(),
+            crate::store::format_violations(&found)
+        );
+    }
+
+    /// The `debug-audit` hook: a full sweep at a named boundary.
+    #[cfg(feature = "debug-audit")]
+    fn debug_audit(&self, boundary: &str) {
+        let found = self.audit();
+        assert!(
+            found.is_empty(),
+            "debug-audit at {boundary}: {} violation(s):{}",
+            found.len(),
+            crate::store::format_violations(&found)
+        );
     }
 
     /// Rows actually held by the store, over every subquery item and `L₀`
@@ -321,6 +368,10 @@ impl<S: MatchStore> TimingEngine<S> {
                 "expiry cascade removed more partial matches than were ever inserted"
             );
         }
+        // End-of-cascade boundary: the store just finished its bucket
+        // maintenance, so every invariant must hold.
+        #[cfg(feature = "debug-audit")]
+        self.debug_audit("end-of-cascade");
     }
 
     /// The ingestion boundary: validates one arrival against the
@@ -408,6 +459,10 @@ impl<S: MatchStore> TimingEngine<S> {
         for &e in batch {
             out.extend(self.try_insert(e)?);
         }
+        // End-of-batch boundary sweep (a rejected batch returns above
+        // with the engine untouched past the offending arrival).
+        #[cfg(feature = "debug-audit")]
+        self.debug_audit("end-of-batch");
         Ok(out)
     }
 
@@ -697,7 +752,7 @@ impl<S: MatchStore> TimingEngine<S> {
                                 .edges
                                 .iter()
                                 .find(|&&(q, _)| q == qe)
-                                .expect("row binds its own query edges")
+                                .unwrap_or_else(|| unreachable!("row binds its own query edges"))
                                 .1;
                             (e.src, e.dst)
                         });
@@ -709,7 +764,9 @@ impl<S: MatchStore> TimingEngine<S> {
                                 side.edges
                                     .iter()
                                     .find(|&&(q, _)| q == qe)
-                                    .expect("row binds its own query edges")
+                                    .unwrap_or_else(|| {
+                                        unreachable!("row binds its own query edges")
+                                    })
                                     .1
                                     .ts
                                     .0
@@ -770,7 +827,7 @@ impl<S: MatchStore> TimingEngine<S> {
                 .edges
                 .iter()
                 .find(|&&(q, _)| q == qe)
-                .expect("merged row binds its own query edges")
+                .unwrap_or_else(|| unreachable!("merged row binds its own query edges"))
                 .1;
             (e.src, e.dst)
         });
@@ -925,6 +982,7 @@ impl<S: MatchStore> TimingEngine<S> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::independent::IndependentStore;

@@ -105,21 +105,21 @@ fn registry() -> &'static Mutex<HashMap<&'static str, Arm>> {
 /// [`disarm`]ed. Re-arming a site replaces its previous arm.
 #[cfg(feature = "failpoints")]
 pub fn arm(site: &'static str, tag: Option<u64>, action: Action) {
-    let mut reg = registry().lock().expect("failpoint registry lock");
+    let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.insert(site, Arm { tag, action });
 }
 
 /// Disarms one site (no-op if not armed).
 #[cfg(feature = "failpoints")]
 pub fn disarm(site: &str) {
-    let mut reg = registry().lock().expect("failpoint registry lock");
+    let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.remove(site);
 }
 
 /// Disarms every site.
 #[cfg(feature = "failpoints")]
 pub fn reset() {
-    let mut reg = registry().lock().expect("failpoint registry lock");
+    let mut reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     reg.clear();
 }
 
@@ -132,7 +132,7 @@ pub fn hit(site: &str, tag: u64) {
     // while holding the registry mutex would poison (or stall) every
     // other hit in the process.
     let action = {
-        let reg = registry().lock().expect("failpoint registry lock");
+        let reg = registry().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         match reg.get(site) {
             Some(a) if a.tag.is_none() || a.tag == Some(tag) => Some(a.action.clone()),
             _ => None,
@@ -165,6 +165,7 @@ pub fn install_quiet_hook() {
 }
 
 #[cfg(all(test, feature = "failpoints"))]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

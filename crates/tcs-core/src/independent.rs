@@ -29,7 +29,10 @@
 //! has no child pointers to cascade through — that content scan *is* the
 //! ablation), but bucket maintenance costs O(deaths), never O(bucket).
 
-use crate::store::{DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{
+    AuditViolation, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreAudit, StoreLayout,
+    ROOT,
+};
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
@@ -153,7 +156,173 @@ impl IndependentStore {
     }
 
     fn sub_row(&self, sub: usize, level: usize, slot: u32) -> &SubRow {
-        self.subs[sub][level].get(slot).expect("live sub row")
+        self.subs[sub][level].get(slot).unwrap_or_else(|| unreachable!("live sub row"))
+    }
+}
+
+/// Audits one slab + key-index pair: slab accounting, every row's bucket
+/// back-reference round-trips, index live totals match, no live-empty
+/// bucket survives, and each bucket passes its own lifecycle audit.
+/// `row_info` extracts `(key, key_pos, ts)` from a row; `what` labels the
+/// item (e.g. `"sub 0 level 2"`).
+fn audit_slab_index<T>(
+    slab: &Slab<T>,
+    index: &KeyIndex,
+    what: &str,
+    row_info: impl Fn(&T) -> (JoinKey, u32, u64),
+    out: &mut Vec<AuditViolation>,
+) {
+    const S: &str = "independent";
+    let live = slab.iter().count();
+    if live != slab.len || slab.len + slab.free.len() != slab.slots.len() {
+        out.push(AuditViolation {
+            store: S,
+            invariant: "slab-accounting",
+            detail: format!(
+                "{what}: {live} live rows, recorded len {}, {} free of {} slots",
+                slab.len,
+                slab.free.len(),
+                slab.slots.len()
+            ),
+        });
+    }
+    for (slot, row) in slab.iter() {
+        let (key, key_pos, ts) = row_info(row);
+        match index.get(&key) {
+            None => out.push(AuditViolation {
+                store: S,
+                invariant: "missing-bucket",
+                detail: format!("{what}: row {slot} filed under absent key {key}"),
+            }),
+            Some(bucket) => {
+                let pos_ok = key_pos >= bucket.front()
+                    && bucket
+                        .indexed()
+                        .get((key_pos - bucket.front()) as usize)
+                        .is_some_and(|e| e.slot == slot && e.ts == ts);
+                if !pos_ok {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "bucket-position",
+                        detail: format!(
+                            "{what}: row {slot} position {key_pos} does not round-trip \
+                             in key {key}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    let indexed: usize = index.values().map(DrainBucket::live_len).sum();
+    if indexed != slab.len {
+        out.push(AuditViolation {
+            store: S,
+            invariant: "index-live-size",
+            detail: format!("{what}: {indexed} live index entries vs len {}", slab.len),
+        });
+    }
+    for (key, bucket) in index {
+        if bucket.live_len() == 0 {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "empty-bucket-retained",
+                detail: format!("{what}: key {key} bucket has no live entry"),
+            });
+        }
+        bucket.audit(S, &format!("{what} key {key}"), out);
+    }
+}
+
+impl StoreAudit for IndependentStore {
+    fn audit(&self) -> Vec<AuditViolation> {
+        const S: &str = "independent";
+        let mut out = Vec::new();
+        for (sub, levels) in self.subs.iter().enumerate() {
+            for (level, slab) in levels.iter().enumerate() {
+                let what = format!("sub {sub} level {level}");
+                audit_slab_index(
+                    slab,
+                    &self.sub_idx[sub][level],
+                    &what,
+                    |r: &SubRow| (r.key, r.key_pos, r.ts),
+                    &mut out,
+                );
+                // Rows carry the full prefix: arity is the level + 1.
+                for (slot, row) in slab.iter() {
+                    if row.edges.len() != level + 1 {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "row-arity",
+                            detail: format!(
+                                "{what}: row {slot} holds {} edges, expected {}",
+                                row.edges.len(),
+                                level + 1
+                            ),
+                        });
+                    }
+                }
+                // The timeline (the ordered spine expiry walks) must hold
+                // exactly the live slots, in timestamp order.
+                let timeline = &self.timelines[sub][level];
+                timeline.audit(S, &format!("{what} timeline"), &mut out);
+                let spine: HashSet<u32> = timeline.live_slots().collect();
+                let rows: HashSet<u32> = slab.iter().map(|(slot, _)| slot).collect();
+                if spine != rows {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "timeline-membership",
+                        detail: format!(
+                            "{what}: timeline holds {} slots, slab holds {} — sets differ",
+                            spine.len(),
+                            rows.len()
+                        ),
+                    });
+                }
+            }
+        }
+        for i in 1..self.layout.k() {
+            let what = format!("L0 item {i}");
+            audit_slab_index(
+                &self.l0[i - 1],
+                &self.l0_idx[i - 1],
+                &what,
+                |r: &L0Row| (r.key, r.key_pos, r.ts),
+                &mut out,
+            );
+            for (slot, row) in self.l0[i - 1].iter() {
+                if row.comps.len() != i + 1 {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "row-arity",
+                        detail: format!(
+                            "{what}: row {slot} holds {} components, expected {}",
+                            row.comps.len(),
+                            i + 1
+                        ),
+                    });
+                    continue;
+                }
+                // Every component must resolve to a live complete match
+                // of its subquery — the no-dangling-references invariant.
+                for (j, &comp) in row.comps.iter().enumerate() {
+                    let leaf = self.layout.sub_lens[j] - 1;
+                    let (item, cslot) = decode(comp);
+                    let live = item == self.sub_item_id(j, leaf)
+                        && self.subs[j][leaf].get(cslot).is_some();
+                    if !live {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "dangling-component",
+                            detail: format!(
+                                "{what}: row {slot} component {j} ({comp:#x}) is not a \
+                                 live complete match of subquery {j}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 }
 
@@ -271,7 +440,8 @@ impl MatchStore for IndependentStore {
         };
         let slot = self.subs[sub][level].insert(SubRow { edges, ts, key, key_pos: 0 });
         let key_pos = self.sub_idx[sub][level].entry(key).or_default().push(slot, ts);
-        self.subs[sub][level].get_mut(slot).expect("fresh row").key_pos = key_pos;
+        self.subs[sub][level].get_mut(slot).unwrap_or_else(|| unreachable!("fresh row")).key_pos =
+            key_pos;
         self.timelines[sub][level].push(slot, ts);
         encode(self.sub_item_id(sub, level), slot)
     }
@@ -289,7 +459,7 @@ impl MatchStore for IndependentStore {
             return;
         };
         for slot in bucket.live_slots() {
-            let row = self.l0[i - 1].get(slot).expect("live L0 row");
+            let row = self.l0[i - 1].get(slot).unwrap_or_else(|| unreachable!("live L0 row"));
             f(encode(item, slot), &row.comps);
         }
     }
@@ -306,7 +476,7 @@ impl MatchStore for IndependentStore {
             return;
         };
         for slot in bucket.live_from(min_ts) {
-            let row = self.l0[i - 1].get(slot).expect("live L0 row");
+            let row = self.l0[i - 1].get(slot).unwrap_or_else(|| unreachable!("live L0 row"));
             f(encode(item, slot), &row.comps);
         }
     }
@@ -323,13 +493,17 @@ impl MatchStore for IndependentStore {
             vec![parent, comp]
         } else {
             let (_, pslot) = decode(parent);
-            let mut comps = self.l0[i - 2].get(pslot).expect("live L0 parent").comps.clone();
+            let mut comps = self.l0[i - 2]
+                .get(pslot)
+                .unwrap_or_else(|| unreachable!("live L0 parent"))
+                .comps
+                .clone();
             comps.push(comp);
             comps
         };
         let slot = self.l0[i - 1].insert(L0Row { comps, ts, key, key_pos: 0 });
         let key_pos = self.l0_idx[i - 1].entry(key).or_default().push(slot, ts);
-        self.l0[i - 1].get_mut(slot).expect("fresh row").key_pos = key_pos;
+        self.l0[i - 1].get_mut(slot).unwrap_or_else(|| unreachable!("fresh row")).key_pos = key_pos;
         encode(self.l0_item_id(i), slot)
     }
 
@@ -387,7 +561,9 @@ impl MatchStore for IndependentStore {
                     if entry.slot == crate::store::TOMBSTONE {
                         continue;
                     }
-                    let row = slab.get(entry.slot).expect("timeline slot is live");
+                    let row = slab
+                        .get(entry.slot)
+                        .unwrap_or_else(|| unreachable!("timeline slot is live"));
                     if row.edges[pos_level] == edge {
                         debug_assert!(level > pos_level || row.ts == ts, "one edge, one timestamp");
                         dead.push((base + off as u32, entry.slot));
@@ -400,11 +576,13 @@ impl MatchStore for IndependentStore {
                 }
                 let mut touched: Vec<JoinKey> = Vec::with_capacity(dead.len());
                 for &(tpos, slot) in &dead {
-                    let row = self.subs[sub][level].remove(slot).expect("scanned row is live");
+                    let row = self.subs[sub][level]
+                        .remove(slot)
+                        .unwrap_or_else(|| unreachable!("scanned row is live"));
                     debug_assert_eq!(row.edges[pos_level], edge);
                     self.sub_idx[sub][level]
                         .get_mut(&row.key)
-                        .expect("indexed row has a bucket")
+                        .unwrap_or_else(|| unreachable!("indexed row has a bucket"))
                         .punch(row.key_pos, slot);
                     touched.push(row.key);
                     self.timelines[sub][level].punch(tpos, slot);
@@ -418,9 +596,13 @@ impl MatchStore for IndependentStore {
                 let slab = &mut self.subs[sub][level];
                 let index = &mut self.sub_idx[sub][level];
                 for key in touched {
-                    let bucket = index.get_mut(&key).expect("touched bucket exists");
+                    let bucket = index
+                        .get_mut(&key)
+                        .unwrap_or_else(|| unreachable!("touched bucket exists"));
                     let done = bucket.finish_cascade(mode, |s, pos| {
-                        slab.get_mut(s).expect("survivor is live").key_pos = pos;
+                        slab.get_mut(s)
+                            .unwrap_or_else(|| unreachable!("survivor is live"))
+                            .key_pos = pos;
                     });
                     if done {
                         index.remove(&key);
@@ -439,13 +621,15 @@ impl MatchStore for IndependentStore {
                     .collect();
                 let mut touched: Vec<JoinKey> = Vec::with_capacity(dead.len());
                 for &(slot, key, key_pos) in &dead {
-                    let row = self.l0[i - 1].remove(slot).expect("scanned row is live");
+                    let row = self.l0[i - 1]
+                        .remove(slot)
+                        .unwrap_or_else(|| unreachable!("scanned row is live"));
                     // A row dying through a dead leaf completed no earlier
                     // than that leaf's newest edge — i.e. the expired edge.
                     debug_assert!(row.ts >= ts, "L0 row older than the edge that killed it");
                     self.l0_idx[i - 1]
                         .get_mut(&key)
-                        .expect("indexed row has a bucket")
+                        .unwrap_or_else(|| unreachable!("indexed row has a bucket"))
                         .punch(key_pos, slot);
                     touched.push(key);
                     deleted += 1;
@@ -455,9 +639,13 @@ impl MatchStore for IndependentStore {
                 let slab = &mut self.l0[i - 1];
                 let index = &mut self.l0_idx[i - 1];
                 for key in touched {
-                    let bucket = index.get_mut(&key).expect("touched bucket exists");
+                    let bucket = index
+                        .get_mut(&key)
+                        .unwrap_or_else(|| unreachable!("touched bucket exists"));
                     let done = bucket.finish_cascade(mode, |s, pos| {
-                        slab.get_mut(s).expect("survivor is live").key_pos = pos;
+                        slab.get_mut(s)
+                            .unwrap_or_else(|| unreachable!("survivor is live"))
+                            .key_pos = pos;
                     });
                     if done {
                         index.remove(&key);
@@ -505,6 +693,7 @@ impl MatchStore for IndependentStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::mstree::MsTreeStore;

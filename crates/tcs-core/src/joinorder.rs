@@ -126,7 +126,7 @@ fn greedy_order(
                 pick = Some((pos, s, connected));
             }
         }
-        let (pos, _, _) = pick.expect("remaining not empty");
+        let (pos, _, _) = pick.unwrap_or_else(|| unreachable!("remaining not empty"));
         let i = remaining.remove(pos);
         union_mask |= d.subqueries[i].mask;
         out.push(d.subqueries[i].clone());
@@ -147,6 +147,7 @@ pub fn is_prefix_connected(q: &QueryGraph, ordered: &[TcSubquery]) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::decompose::decompose;

@@ -20,6 +20,8 @@
 //!    (DELETE), discardable-edge pruning (Lemma 1 / Theorem 2) and
 //!    duplicate-free reporting of complete matches.
 
+#![forbid(unsafe_code)]
+
 pub mod binding;
 pub mod cost;
 pub mod decompose;

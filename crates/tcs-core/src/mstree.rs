@@ -42,7 +42,10 @@
 //! descendants are physically compacted only once they outnumber the live
 //! entries (see the tombstone-lifecycle section of the `store.rs` docs).
 
-use crate::store::{DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
+use crate::store::{
+    AuditViolation, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreAudit, StoreLayout,
+    ROOT,
+};
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
 
@@ -219,7 +222,10 @@ impl MsTreeStore {
             let n = &self.nodes[idx as usize];
             (n.item as usize, n.key, n.key_pos)
         };
-        self.indexes[item].get_mut(&key).expect("indexed node has a bucket").punch(pos, idx);
+        self.indexes[item]
+            .get_mut(&key)
+            .unwrap_or_else(|| unreachable!("indexed node has a bucket"))
+            .punch(pos, idx);
         touched.push((item, key));
     }
 
@@ -235,7 +241,8 @@ impl MsTreeStore {
         for &(item, key) in touched.iter() {
             let nodes = &mut self.nodes;
             let index = &mut self.indexes[item];
-            let bucket = index.get_mut(&key).expect("touched bucket exists");
+            let bucket =
+                index.get_mut(&key).unwrap_or_else(|| unreachable!("touched bucket exists"));
             if bucket.finish_cascade(mode, |slot, pos| nodes[slot as usize].key_pos = pos) {
                 index.remove(&key);
             }
@@ -321,50 +328,216 @@ impl MsTreeStore {
         self.indexes[item].get(&key)
     }
 
-    /// Debug invariant: every item's list length matches a full traversal,
-    /// all listed nodes are alive and timestamp-ordered, and the key index
-    /// holds exactly the listed nodes as live entries, timestamp-ordered
-    /// across tombstones, with positions that round-trip.
-    #[cfg(test)]
-    fn check_invariants(&self) {
-        for (i, item) in self.items.iter().enumerate() {
-            let mut n = item.head;
-            let mut count = 0;
-            let mut prev = NIL;
-            let mut prev_ts = 0u64;
-            while n != NIL {
-                let node = &self.nodes[n as usize];
-                assert!(!node.dead, "dead node in item {i}");
-                assert_eq!(node.prev, prev);
-                assert_eq!(node.item as usize, i);
-                assert!(prev_ts <= node.ts, "item {i} list out of timestamp order");
-                prev_ts = node.ts;
-                let bucket = &self.indexes[i][&node.key];
-                assert!(node.key_pos >= bucket.front(), "drained position in item {i}");
-                assert_eq!(
-                    bucket.indexed()[(node.key_pos - bucket.front()) as usize].slot,
-                    n,
-                    "index position in item {i}"
-                );
-                prev = n;
-                n = node.next;
-                count += 1;
+    /// Walks item `i`'s intrusive list, reporting list-structure, order
+    /// and index-coherence violations, and returns the set of linked
+    /// nodes (for the cross-item reference checks of the audit).
+    fn audit_item(&self, i: usize, out: &mut Vec<AuditViolation>) -> HashSet<u32> {
+        const S: &str = "ms-tree";
+        let item = &self.items[i];
+        let mut live = HashSet::new();
+        let mut n = item.head;
+        let mut prev = NIL;
+        let mut prev_ts = 0u64;
+        while n != NIL {
+            if !live.insert(n) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "list-cycle",
+                    detail: format!("item {i}: node {n} linked twice"),
+                });
+                break;
             }
-            assert_eq!(count, item.len, "item {i} length");
-            assert_eq!(item.tail, prev);
-            let indexed: usize = self.indexes[i].values().map(DrainBucket::live_len).sum();
-            assert_eq!(indexed, item.len, "item {i} index live size");
-            for bucket in self.indexes[i].values() {
-                assert!(bucket.live_len() > 0, "live-empty bucket left behind in item {i}");
-                let tombs =
-                    bucket.indexed().iter().filter(|e| e.slot == crate::store::TOMBSTONE).count()
-                        as u32;
-                assert_eq!(tombs, bucket.tombstones(), "item {i} tombstone count drifted");
-                for w in bucket.indexed().windows(2) {
-                    assert!(w[0].ts <= w[1].ts, "item {i} bucket out of timestamp order");
+            let node = &self.nodes[n as usize];
+            if node.dead {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "dead-node-linked",
+                    detail: format!("item {i}: node {n} is dead but still listed"),
+                });
+            }
+            if node.prev != prev {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "list-backlink",
+                    detail: format!("item {i}: node {n} prev is {} not {prev}", node.prev),
+                });
+            }
+            if node.item as usize != i {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "list-membership",
+                    detail: format!("item {i}: node {n} claims item {}", node.item),
+                });
+            }
+            if node.ts < prev_ts {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "item-timestamp-order",
+                    detail: format!("item {i}: node {n} ts {} after ts {prev_ts}", node.ts),
+                });
+            }
+            prev_ts = node.ts;
+            match self.indexes[i].get(&node.key) {
+                None => out.push(AuditViolation {
+                    store: S,
+                    invariant: "missing-bucket",
+                    detail: format!("item {i}: node {n} filed under absent key {}", node.key),
+                }),
+                Some(bucket) => {
+                    let pos_ok = node.key_pos >= bucket.front()
+                        && bucket
+                            .indexed()
+                            .get((node.key_pos - bucket.front()) as usize)
+                            .is_some_and(|e| e.slot == n);
+                    if !pos_ok {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "bucket-position",
+                            detail: format!(
+                                "item {i}: node {n} position {} does not round-trip in key {}",
+                                node.key_pos, node.key
+                            ),
+                        });
+                    }
+                }
+            }
+            prev = n;
+            n = node.next;
+        }
+        if live.len() != item.len {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "item-length",
+                detail: format!("item {i}: walked {} nodes, recorded len {}", live.len(), item.len),
+            });
+        }
+        if item.tail != prev {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "list-tail",
+                detail: format!("item {i}: tail is {} not {prev}", item.tail),
+            });
+        }
+        let indexed: usize = self.indexes[i].values().map(DrainBucket::live_len).sum();
+        if indexed != item.len {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "index-live-size",
+                detail: format!("item {i}: {indexed} live index entries vs len {}", item.len),
+            });
+        }
+        for (key, bucket) in &self.indexes[i] {
+            if bucket.live_len() == 0 {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "empty-bucket-retained",
+                    detail: format!("item {i}: key {key} bucket has no live entry"),
+                });
+            }
+            bucket.audit(S, &format!("item {i} key {key}"), out);
+        }
+        live
+    }
+}
+
+impl StoreAudit for MsTreeStore {
+    fn audit(&self) -> Vec<AuditViolation> {
+        const S: &str = "ms-tree";
+        let mut out = Vec::new();
+        // Pass 1: per-item list/index coherence, collecting live sets.
+        let live_of: Vec<HashSet<u32>> =
+            (0..self.items.len()).map(|i| self.audit_item(i, &mut out)).collect();
+        // Pass 2: cross-item references. Subquery nodes chain to a live
+        // parent one level up; L₀ nodes chain to the previous L₀ item
+        // (item 1: the grafted subquery-0 leaf) and their payloads point
+        // at live complete matches of their subquery.
+        let k = self.layout.k();
+        let check_parent = |n: u32, parent_item: usize, out: &mut Vec<AuditViolation>| {
+            let parent = self.nodes[n as usize].parent;
+            if parent == NIL || !live_of[parent_item].contains(&parent) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "dangling-parent",
+                    detail: format!(
+                        "node {n}: parent {parent} is not a live node of item {parent_item}"
+                    ),
+                });
+            }
+        };
+        for sub in 0..k {
+            for level in 0..self.layout.sub_lens[sub] {
+                let item = self.sub_item(sub, level);
+                for &n in &live_of[item] {
+                    if level == 0 {
+                        if self.nodes[n as usize].parent != NIL {
+                            out.push(AuditViolation {
+                                store: S,
+                                invariant: "dangling-parent",
+                                detail: format!("root-level node {n} has a parent"),
+                            });
+                        }
+                    } else {
+                        check_parent(n, self.sub_item(sub, level - 1), &mut out);
+                    }
                 }
             }
         }
+        for i in 1..k {
+            let item = self.l0_item(i);
+            let parent_item = if i == 1 {
+                self.sub_item(0, self.layout.sub_lens[0] - 1)
+            } else {
+                self.l0_item(i - 1)
+            };
+            let leaf_item = self.sub_item(i, self.layout.sub_lens[i] - 1);
+            for &n in &live_of[item] {
+                check_parent(n, parent_item, &mut out);
+                let comp = self.nodes[n as usize].payload;
+                if u32::try_from(comp).is_err() || !live_of[leaf_item].contains(&(comp as u32)) {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "dangling-component",
+                        detail: format!(
+                            "L0 item {i} node {n}: component {comp} is not a live \
+                             complete match of subquery {i}"
+                        ),
+                    });
+                }
+            }
+        }
+        // Allocator accounting: linked + free covers the arena exactly.
+        let free: HashSet<u32> = self.free.iter().copied().collect();
+        if free.len() != self.free.len() {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "free-list-duplicates",
+                detail: format!("{} free entries, {} distinct", self.free.len(), free.len()),
+            });
+        }
+        let linked: usize = live_of.iter().map(HashSet::len).sum();
+        if linked + free.len() != self.nodes.len() {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "arena-accounting",
+                detail: format!(
+                    "{linked} linked + {} free != {} arena nodes",
+                    free.len(),
+                    self.nodes.len()
+                ),
+            });
+        }
+        for set in &live_of {
+            for n in set {
+                if free.contains(n) {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "free-live-overlap",
+                        detail: format!("node {n} is both linked and on the free list"),
+                    });
+                }
+            }
+        }
+        out
     }
 }
 
@@ -631,6 +804,7 @@ impl MatchStore for MsTreeStore {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::store::conformance;
@@ -714,12 +888,12 @@ mod tests {
         s.insert_sub(0, 2, b, EdgeId(4), 4, 0);
         s.insert_sub(0, 2, b, EdgeId(9), 9, 0);
         assert_eq!(s.nodes.len(), 4);
-        s.check_invariants();
+        s.assert_clean();
         // Deleting σ1 (Figure 10 walk-through) removes all 4 nodes.
         let n = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         assert_eq!(n, 4);
         assert_eq!(s.free.len(), 4);
-        s.check_invariants();
+        s.assert_clean();
     }
 
     #[test]
@@ -732,7 +906,7 @@ mod tests {
         let a2 = s.insert_sub(0, 0, ROOT, EdgeId(3), 3, 0);
         s.insert_sub(0, 1, a2, EdgeId(4), 4, 0);
         assert_eq!(s.nodes.len(), cap, "arena did not grow");
-        s.check_invariants();
+        s.assert_clean();
     }
 
     #[test]
@@ -745,12 +919,12 @@ mod tests {
         s.insert_sub(0, 1, p, EdgeId(12), 12, 0);
         let n = s.expire_edge(EdgeId(11), 11, &[(0, 1)]);
         assert_eq!(n, 1);
-        s.check_invariants();
+        s.assert_clean();
         // The two survivors are still reachable as children of p: expire p
         // and verify the cascade count.
         let n2 = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
         assert_eq!(n2, 3, "parent + two remaining children");
-        s.check_invariants();
+        s.assert_clean();
     }
 
     #[test]
@@ -766,6 +940,6 @@ mod tests {
         assert_eq!(n, 3, "c0 + u01 + u012 die; c1, c2 survive");
         assert_eq!(s.len_sub(1, 0), 1);
         assert_eq!(s.len_sub(2, 0), 1);
-        s.check_invariants();
+        s.assert_clean();
     }
 }

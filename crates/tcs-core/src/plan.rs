@@ -409,7 +409,8 @@ fn l0_key_specs(q: &QueryGraph, subs: &[TcSubquery]) -> Vec<Vec<L0KeyPart>> {
                 first_binding(q, &s.seq, v).map(|(level, dst)| (sub, level, dst))
             });
             if let Some(row) = row {
-                let delta = first_binding(q, &subs[i].seq, v).expect("v is in the right side");
+                let delta = first_binding(q, &subs[i].seq, v)
+                    .unwrap_or_else(|| unreachable!("v is in the right side"));
                 parts.push(L0KeyPart { row, delta: (delta.0, delta.1) });
             }
         }
@@ -495,6 +496,7 @@ fn random_cover(q: &QueryGraph, tcsub: &[TcSubquery], seed: u64) -> Decompositio
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

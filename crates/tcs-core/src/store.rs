@@ -142,6 +142,77 @@ use tcs_graph::EdgeId;
 /// Opaque reference to a stored partial match.
 pub type Handle = u64;
 
+/// One violated invariant found by a [`StoreAudit`] sweep.
+#[derive(Clone, Debug)]
+pub struct AuditViolation {
+    /// Which store reported it (`"ms-tree"`, `"independent"`,
+    /// `"cms-tree"`, or `"engine"` for the accounting cross-check).
+    pub store: &'static str,
+    /// Short slug of the broken invariant (stable across messages, so
+    /// tests can match on it).
+    pub invariant: &'static str,
+    /// Human-readable specifics: which item/bucket/node and how.
+    pub detail: String,
+}
+
+impl std::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.store, self.invariant, self.detail)
+    }
+}
+
+/// Renders a violation list the way [`StoreAudit::assert_clean`] panics
+/// with it: one numbered line per violation.
+pub fn format_violations(found: &[AuditViolation]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for (i, v) in found.iter().enumerate() {
+        let _ = write!(s, "\n  {}. {v}", i + 1);
+    }
+    s
+}
+
+/// A full invariant sweep over a store's internal state, callable from
+/// tests at any operation boundary and wired behind the `debug-audit`
+/// feature at the engine's end-of-cascade / end-of-batch boundaries.
+///
+/// One call checks every documented invariant at once:
+///
+/// * **ordered buckets** — every item list and key bucket iterates in
+///   nondecreasing newest-edge-timestamp order (tombstones keep their
+///   timestamps, so the order holds across holes);
+/// * **tombstone lifecycle** — tombstone counts are exact, no bucket
+///   keeps a tombstone at its front after the end-of-cascade front-drain,
+///   and dead space never crosses the threshold `finish_cascade` would
+///   have compacted at;
+/// * **index coherence** — key buckets hold exactly the live rows of
+///   their item, every row's recorded bucket position round-trips, and
+///   live-empty buckets have been dropped;
+/// * **no dangling references** — parent/prefix links and `L₀` component
+///   handles resolve to live rows of the right item;
+/// * **allocator accounting** — live rows plus free slots cover the arena
+///   exactly (nothing leaked, nothing aliased).
+///
+/// Implementations take `&self` and must not mutate; the concurrent
+/// store's implementation locks each list in turn and is only meaningful
+/// at quiescent points (no in-flight transactions).
+pub trait StoreAudit {
+    /// Sweeps every invariant, returning all violations found (empty =
+    /// clean).
+    fn audit(&self) -> Vec<AuditViolation>;
+
+    /// Panics with a numbered list of violations if the sweep finds any.
+    fn assert_clean(&self) {
+        let found = self.audit();
+        assert!(
+            found.is_empty(),
+            "store audit found {} violation(s):{}",
+            found.len(),
+            format_violations(&found)
+        );
+    }
+}
+
 /// Opaque join-key under which a stored match is grouped for keyed
 /// iteration (see the module docs). Computed by the engine from the
 /// plan's key specs; equal keys ⇔ same bucket.
@@ -320,6 +391,55 @@ impl DrainBucket {
     pub fn heap_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<BucketEntry>()
     }
+
+    /// Audits the bucket's own invariants at a cascade boundary (i.e.
+    /// after [`DrainBucket::finish_cascade`] ran for the last cascade that
+    /// touched it): timestamp order across live entries *and* tombstones,
+    /// an exact tombstone count, no tombstone left at the front, and dead
+    /// space below the compaction threshold. `store`/`what` label the
+    /// violations (e.g. `"ms-tree"`, `"item 3 key 7"`).
+    pub fn audit(&self, store: &'static str, what: &str, out: &mut Vec<AuditViolation>) {
+        let ix = self.indexed();
+        for (pos, w) in ix.windows(2).enumerate() {
+            if w[0].ts > w[1].ts {
+                out.push(AuditViolation {
+                    store,
+                    invariant: "bucket-timestamp-order",
+                    detail: format!(
+                        "{what}: entry {pos} has ts {} > successor ts {}",
+                        w[0].ts, w[1].ts
+                    ),
+                });
+                break;
+            }
+        }
+        let tombs = ix.iter().filter(|e| e.slot == TOMBSTONE).count() as u32;
+        if tombs != self.tombs {
+            out.push(AuditViolation {
+                store,
+                invariant: "tombstone-count",
+                detail: format!("{what}: counted {tombs} tombstones, recorded {}", self.tombs),
+            });
+        }
+        if ix.first().is_some_and(|e| e.slot == TOMBSTONE) {
+            out.push(AuditViolation {
+                store,
+                invariant: "front-drain",
+                detail: format!("{what}: tombstone at the bucket front survived finish_cascade"),
+            });
+        }
+        let dead = self.start + self.tombs;
+        if dead >= COMPACT_MIN_DEAD && dead as usize >= self.live_len() {
+            out.push(AuditViolation {
+                store,
+                invariant: "dead-space-threshold",
+                detail: format!(
+                    "{what}: {dead} dead entries vs {} live crossed the compaction threshold",
+                    self.live_len()
+                ),
+            });
+        }
+    }
 }
 
 /// Store layout: the expansion-list lengths per subquery, in join order.
@@ -337,8 +457,10 @@ impl StoreLayout {
     }
 }
 
-/// Storage for all expansion lists of one query plan.
-pub trait MatchStore {
+/// Storage for all expansion lists of one query plan. Every store is
+/// also [`StoreAudit`]-able so tests and the `debug-audit` engine hooks
+/// can sweep all documented invariants in one call.
+pub trait MatchStore: StoreAudit {
     /// Creates an empty store for the layout.
     fn new(layout: StoreLayout) -> Self
     where
@@ -475,6 +597,7 @@ pub trait MatchStore {
 /// every match by its newest edge id, which exercises multi-bucket items
 /// without changing the semantics under test.
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 pub(crate) mod conformance {
     use super::*;
 
@@ -888,8 +1011,10 @@ pub(crate) mod conformance {
                         }
                     }
                 }
-                // Invariant: every bucket is newest-edge-ts ordered and
-                // range reads equal filtered full iteration.
+                // Invariant: the full audit sweep passes, every bucket is
+                // newest-edge-ts ordered and range reads equal filtered
+                // full iteration.
+                s.assert_clean();
                 for level in 0..3usize {
                     for key in 0..3u64 {
                         let full: Vec<Vec<u64>> = {
@@ -990,6 +1115,7 @@ pub(crate) mod conformance {
                         }
                     }
                 }
+                s.assert_clean();
                 // Rows as component edge-id pairs, via expansion.
                 let expand_pair = |s: &S, comps: &[Handle]| {
                     let mut e0 = Vec::new();
@@ -1143,7 +1269,9 @@ pub(crate) mod conformance {
                     }
                     // The store must be indistinguishable from the model:
                     // live counts, unkeyed iteration (as a multiset), and
-                    // keyed / range iteration in exact timestamp order.
+                    // keyed / range iteration in exact timestamp order —
+                    // and the full invariant sweep must stay clean.
+                    s.assert_clean();
                     for (level, model_rows) in model.iter().enumerate() {
                         assert_eq!(
                             s.len_sub(0, level),

@@ -61,7 +61,7 @@ pub fn exfiltration_query() -> QueryGraph {
         ],
         &[(0, 1), (1, 2), (2, 3), (3, 4)],
     )
-    .expect("exfiltration query is valid")
+    .unwrap_or_else(|e| unreachable!("exfiltration query is valid: {e}"))
 }
 
 /// Scenario output: the traffic stream, the monitoring query, and the
@@ -119,7 +119,7 @@ pub fn build_sized(seed: u64, n_benign: usize, n_hosts: u32) -> (Vec<StreamEdge>
                 3 => push(&mut edges, cnc, victim, traffic::TCP_CMD),
                 _ => {
                     push(&mut edges, victim, cnc, traffic::LARGE_MSG);
-                    planted_at = edges.last().expect("just pushed").ts.0;
+                    planted_at = edges.last().map_or(planted_at, |e| e.ts.0);
                 }
             }
             attack_step += 1;
@@ -151,6 +151,7 @@ pub fn build_sized(seed: u64, n_benign: usize, n_hosts: u32) -> (Vec<StreamEdge>
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

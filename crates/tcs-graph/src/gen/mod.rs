@@ -76,6 +76,7 @@ pub(crate) fn check_stream_invariants(edges: &[StreamEdge]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -87,6 +87,7 @@ fn shuffle<T, R: Rng>(xs: &mut [T], rng: &mut R) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use std::collections::HashMap;

@@ -123,6 +123,7 @@ impl SocialStreamGen {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use std::collections::HashMap;

@@ -76,6 +76,7 @@ impl WikiTalkGen {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use std::collections::HashMap;

@@ -58,6 +58,7 @@ impl Zipf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;

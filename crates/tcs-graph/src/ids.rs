@@ -65,6 +65,7 @@ impl_debug_display!(ELabel, "l");
 impl_debug_display!(Timestamp, "t");
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

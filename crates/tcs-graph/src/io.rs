@@ -51,7 +51,7 @@ pub fn stream_to_string(edges: &[StreamEdge]) -> String {
             "{} {} {} {} {} {} {}",
             e.id.0, e.src.0, e.src_label.0, e.dst.0, e.dst_label.0, e.label.0, e.ts.0
         )
-        .expect("writing to String cannot fail");
+        .unwrap_or_else(|_| unreachable!());
     }
     s
 }
@@ -89,13 +89,13 @@ pub fn stream_from_str(text: &str) -> Result<Vec<StreamEdge>, ParseError> {
 pub fn query_to_string(q: &QueryGraph) -> String {
     let mut s = String::new();
     for (i, l) in q.vertex_labels.iter().enumerate() {
-        writeln!(s, "v {i} {}", l.0).expect("writing to String cannot fail");
+        writeln!(s, "v {i} {}", l.0).unwrap_or_else(|_| unreachable!());
     }
     for e in &q.edges {
-        writeln!(s, "e {} {} {}", e.src, e.dst, e.label.0).expect("writing to String cannot fail");
+        writeln!(s, "e {} {} {}", e.src, e.dst, e.label.0).unwrap_or_else(|_| unreachable!());
     }
     for &(a, b) in q.order.pairs() {
-        writeln!(s, "t {a} {b}").expect("writing to String cannot fail");
+        writeln!(s, "t {a} {b}").unwrap_or_else(|_| unreachable!());
     }
     s
 }
@@ -148,6 +148,7 @@ pub fn query_from_str(text: &str) -> Result<QueryGraph, ParseError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::gen::Dataset;

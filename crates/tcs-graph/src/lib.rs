@@ -21,6 +21,8 @@
 //!   random-walk query generator of §VII-B.
 //! * [`io`] — plain-text serialization of streams and queries.
 
+#![forbid(unsafe_code)]
+
 pub mod edge;
 pub mod gen;
 pub mod ids;

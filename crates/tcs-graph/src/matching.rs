@@ -140,6 +140,7 @@ impl From<Vec<EdgeId>> for MatchRecord {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::ids::{ELabel, VLabel};

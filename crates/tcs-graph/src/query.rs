@@ -139,7 +139,8 @@ impl TimingOrder {
 
     /// An empty timing order over `n_edges` edges (`≺ = ∅`).
     pub fn empty(n_edges: usize) -> Self {
-        TimingOrder::new(n_edges, &[]).expect("empty order is always valid")
+        TimingOrder::new(n_edges, &[])
+            .unwrap_or_else(|e| unreachable!("empty order is always valid: {e}"))
     }
 
     /// Number of edges this order ranges over.
@@ -364,11 +365,12 @@ impl QueryGraph {
         ];
         // 6 ≺ 3 ≺ 1 and 6 ≺ 5 ≺ 4 (1-based) → (5,2),(2,0),(5,4),(4,3).
         QueryGraph::new(labels, edges, &[(5, 2), (2, 0), (5, 4), (4, 3)])
-            .expect("running example is valid")
+            .unwrap_or_else(|e| unreachable!("running example is valid: {e}"))
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

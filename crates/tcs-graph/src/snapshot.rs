@@ -126,10 +126,16 @@ impl Snapshot {
     /// Swap-removes position `p` of vertex `v`'s adjacency list, patching
     /// the moved entry's stored position.
     fn remove_adj_at(&mut self, v: VertexId, p: u32) {
-        let list = self.adj.get_mut(&v).expect("indexed vertex has a list");
+        let Some(list) = self.adj.get_mut(&v) else {
+            debug_assert!(false, "indexed vertex has a list");
+            return;
+        };
         list.swap_remove(p as usize);
         if let Some(&(moved, dir)) = list.get(p as usize) {
-            let mp = self.pos.get_mut(&moved).expect("live edge has positions");
+            let Some(mp) = self.pos.get_mut(&moved) else {
+                debug_assert!(false, "live edge has positions");
+                return;
+            };
             match dir {
                 Dir::Out => mp.src_pos = p,
                 Dir::In => mp.dst_pos = p,
@@ -145,16 +151,26 @@ impl Snapshot {
         let Some(e) = self.edges.remove(&id) else {
             return;
         };
-        let pos = self.pos.remove(&id).expect("live edge has positions");
+        let Some(pos) = self.pos.remove(&id) else {
+            debug_assert!(false, "live edge has positions");
+            return;
+        };
         self.remove_adj_at(e.src, pos.src_pos);
         if e.dst != e.src {
             self.remove_adj_at(e.dst, pos.dst_pos);
         }
         let sig = e.signature();
-        let list = self.by_signature.get_mut(&sig).expect("indexed signature has a list");
+        let Some(list) = self.by_signature.get_mut(&sig) else {
+            debug_assert!(false, "indexed signature has a list");
+            return;
+        };
         list.swap_remove(pos.sig_pos as usize);
         if let Some(&moved) = list.get(pos.sig_pos as usize) {
-            self.pos.get_mut(&moved).expect("live edge has positions").sig_pos = pos.sig_pos;
+            if let Some(mp) = self.pos.get_mut(&moved) {
+                mp.sig_pos = pos.sig_pos;
+            } else {
+                debug_assert!(false, "live edge has positions");
+            }
         }
         if list.is_empty() {
             self.by_signature.remove(&sig);
@@ -239,6 +255,7 @@ impl Snapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -90,11 +90,9 @@ impl SlidingWindow {
         // wrongly expire it).
         if arrival.ts.0 >= self.duration {
             let bound = arrival.ts.0 - self.duration;
-            while let Some(front) = self.buffer.front() {
-                if front.ts.0 <= bound {
-                    expired.push(self.buffer.pop_front().expect("front exists"));
-                } else {
-                    break;
+            while self.buffer.front().is_some_and(|front| front.ts.0 <= bound) {
+                if let Some(e) = self.buffer.pop_front() {
+                    expired.push(e);
                 }
             }
         }
@@ -118,6 +116,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
 

@@ -530,6 +530,31 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     pub fn window_len(&self) -> usize {
         self.window.len()
     }
+
+    /// Runs the full [`tcs_core::store::StoreAudit`] sweep over every
+    /// registered query's store (plus each engine's
+    /// `live_partials == store_rows` cross-check), prefixing each
+    /// violation's detail with the owning query id.
+    pub fn audit(&self) -> Vec<tcs_core::store::AuditViolation> {
+        let mut out = Vec::new();
+        for (id, reg) in &self.queries {
+            for mut v in reg.engine.audit() {
+                v.detail = format!("query {}: {}", id.0, v.detail);
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Panics with every [`MultiQueryEngine::audit`] violation.
+    pub fn assert_clean(&self) {
+        let violations = self.audit();
+        assert!(
+            violations.is_empty(),
+            "multi-query store audit failed:\n{}",
+            tcs_core::store::format_violations(&violations)
+        );
+    }
 }
 
 #[cfg(test)]

@@ -126,10 +126,10 @@
 //! [`TimingEngine`]: tcs_core::TimingEngine
 //! [`QueryPlan::signatures`]: tcs_core::QueryPlan::signatures
 
-// A fault-tolerance layer that panics on its own sloppy error handling
-// defeats the purpose: every unwrap/expect here must be either proven
-// unreachable (let-else + debug_assert) or turned into a typed error.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// unwrap/expect are denied workspace-wide (see [workspace.lints] in the
+// root manifest): every unwrap/expect must be either proven unreachable
+// (let-else + debug_assert) or turned into a typed error.
+#![forbid(unsafe_code)]
 
 pub mod engine;
 pub mod fault;

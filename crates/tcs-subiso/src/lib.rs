@@ -17,6 +17,8 @@
 //! * [`oracle`] — a deliberately naive, obviously-correct enumerator used as
 //!   ground truth by the whole workspace's tests.
 
+#![forbid(unsafe_code)]
+
 pub mod matcher;
 pub mod oracle;
 pub mod strategy;

@@ -193,9 +193,12 @@ impl<'a> SearchState<'a> {
     }
 
     fn unbind(&mut self, qv: usize) {
-        let dv = self.fwd[qv].take().expect("unbind of unbound vertex");
-        let pos =
-            self.bwd.iter().rposition(|&(v, q)| v == dv && q == qv).expect("binding recorded");
+        let dv = self.fwd[qv].take().unwrap_or_else(|| unreachable!("unbind of unbound vertex"));
+        let pos = self
+            .bwd
+            .iter()
+            .rposition(|&(v, q)| v == dv && q == qv)
+            .unwrap_or_else(|| unreachable!("binding recorded"));
         self.bwd.remove(pos);
     }
 }
@@ -210,6 +213,7 @@ pub fn snapshot_of(edges: &[StreamEdge]) -> Snapshot {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use tcs_graph::query::QueryEdge;

@@ -135,7 +135,7 @@ fn prefix_connected_order(q: &QueryGraph, scores: &[f64]) -> Vec<usize> {
             }
         }
         // A connected query always has a connected extension.
-        let pick = best.expect("query is weakly connected");
+        let pick = best.unwrap_or_else(|| unreachable!("query is weakly connected"));
         chosen[pick] = true;
         order.push(pick);
     }
@@ -161,7 +161,7 @@ fn neighbourhood_covers(
     }
     let mut have: HashMap<(bool, tcs_graph::VLabel, tcs_graph::ELabel), usize> = HashMap::new();
     for &(eid, _) in snap.incident(dv) {
-        let e = snap.edge(eid).expect("live edge");
+        let e = snap.edge(eid).unwrap_or_else(|| unreachable!("live edge"));
         if e.src == dv {
             *have.entry((true, e.dst_label, e.label)).or_default() += 1;
         }
@@ -173,6 +173,7 @@ fn neighbourhood_covers(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::matcher::snapshot_of;

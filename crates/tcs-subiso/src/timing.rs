@@ -40,6 +40,7 @@ pub fn filter_timing(q: &QueryGraph, recs: Vec<MatchRecord>, snap: &Snapshot) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
     use super::*;
     use crate::matcher::snapshot_of;

@@ -1,0 +1,63 @@
+//! Model-aware thread spawn/join.
+//!
+//! [`spawn`] called on a model thread registers the child with the run's
+//! scheduler: the child becomes one more alternative at every scheduling
+//! point, and [`JoinHandle::join`] blocks deterministically. Off model
+//! threads both fall back to `std::thread`.
+
+use crate::sched;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+enum Inner<T> {
+    Model { tid: usize, slot: Arc<StdMutex<Option<T>>> },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned thread; [`JoinHandle::join`] returns the
+/// closure's value.
+pub struct JoinHandle<T>(Inner<T>);
+
+/// Spawns a thread running `f` (a model thread when the caller is one).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match sched::current() {
+        Some(ctx) => {
+            let slot = Arc::new(StdMutex::new(None));
+            let out = Arc::clone(&slot);
+            let tid = sched::spawn_thread(&ctx, move || {
+                let v = f();
+                *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            });
+            JoinHandle(Inner::Model { tid, slot })
+        }
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread and returns its value. A child that panicked
+    /// aborts the whole model execution before this can return, so no
+    /// `Result` wrapping is needed; the std fallback re-raises the
+    /// child's panic.
+    pub fn join(self) -> T {
+        match self.0 {
+            Inner::Model { tid, slot } => {
+                match sched::current() {
+                    Some(ctx) => sched::join_thread(&ctx, tid),
+                    None => panic!("model JoinHandle joined from a non-model thread"),
+                }
+                match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                    Some(v) => v,
+                    None => panic!("model thread finished without storing a result"),
+                }
+            }
+            Inner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            },
+        }
+    }
+}

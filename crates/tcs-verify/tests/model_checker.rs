@@ -1,0 +1,221 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
+//! The checker checking itself: known-good protocols must pass with a
+//! complete report, known-bad protocols must fail with a replayable
+//! minimized schedule, and lost wakeups must surface as deadlocks.
+
+use std::sync::Arc;
+use tcs_verify::sync::{AtomicU64, Condvar, Mutex, Ordering, RwLock};
+use tcs_verify::{check, replay, thread, Options};
+
+/// Two unsynchronized read-modify-write increments: the classic lost
+/// update. Needs one preemption between the load and the store.
+fn racy_increments() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let c = Arc::clone(&counter);
+    let t = thread::spawn(move || {
+        let v = c.load(Ordering::SeqCst);
+        c.store(v + 1, Ordering::SeqCst);
+    });
+    let v = counter.load(Ordering::SeqCst);
+    counter.store(v + 1, Ordering::SeqCst);
+    t.join();
+    assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+}
+
+#[test]
+fn finds_the_lost_update_and_replays_it() {
+    let report = check(Options::exhaustive(2), racy_increments);
+    let failure = report.assert_fails();
+    assert!(failure.message.contains("lost update"), "got: {}", failure.message);
+    // Iterative deepening: bound 0 (serial schedules) cannot lose the
+    // update, so the minimized schedule uses exactly one preemption.
+    assert!(!failure.schedule.is_empty(), "a preemptive schedule was recorded");
+    // The printed schedule reproduces the same failure deterministically.
+    let again = replay(&failure.schedule, racy_increments)
+        .unwrap_or_else(|| panic!("replay of \"{}\" did not fail", failure.schedule));
+    assert!(again.message.contains("lost update"), "got: {}", again.message);
+}
+
+#[test]
+fn serial_schedules_cannot_lose_the_update() {
+    // Bound 0 = no preemptions: each thread runs its two steps
+    // back-to-back, so the race is invisible — and the report must be
+    // complete (the bound-0 space was exhausted).
+    let report = check(Options::exhaustive(0), racy_increments);
+    report.assert_pass();
+    assert!(report.complete);
+}
+
+#[test]
+fn mutex_protected_increments_pass_exhaustively() {
+    let report = check(Options::exhaustive(2), || {
+        let counter = Arc::new(Mutex::new(0u64));
+        let c = Arc::clone(&counter);
+        let t = thread::spawn(move || *c.lock() += 1);
+        *counter.lock() += 1;
+        t.join();
+        assert_eq!(*counter.lock(), 2);
+    });
+    report.assert_pass();
+    assert!(report.complete, "explored {} executions without exhausting", report.executions);
+    assert!(report.executions > 1, "more than one interleaving exists");
+}
+
+#[test]
+fn mutex_guarantees_mutual_exclusion() {
+    // A non-atomic critical section under a mutex: entry count must
+    // never see a second thread inside.
+    let report = check(Options::exhaustive(2), || {
+        let inside = Arc::new(AtomicU64::new(0));
+        let lock = Arc::new(Mutex::new(()));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let inside = Arc::clone(&inside);
+            let lock = Arc::clone(&lock);
+            handles.push(thread::spawn(move || {
+                let _g = lock.lock();
+                let now = inside.load(Ordering::SeqCst);
+                assert_eq!(now, 0, "two threads inside the critical section");
+                inside.store(now + 1, Ordering::SeqCst);
+                inside.store(now, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    report.assert_pass();
+    assert!(report.complete);
+}
+
+#[test]
+fn lost_wakeup_is_reported_as_deadlock() {
+    // Broken protocol: the waiter parks unconditionally, so a notify
+    // that lands before the wait is lost and the waiter sleeps forever.
+    // The scheduler must diagnose the schedule where the notifier runs
+    // first.
+    let report = check(Options::exhaustive(2), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (mu, cv) = &*s;
+            let mut ready = mu.lock();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (mu, cv) = &*state;
+        let mut ready = mu.lock();
+        cv.wait(&mut ready); // BUG: no predicate check — if the notify
+                             // already happened, nobody wakes us.
+        drop(ready);
+        t.join();
+    });
+    let failure = report.assert_fails();
+    assert!(failure.message.contains("deadlock"), "got: {}", failure.message);
+}
+
+#[test]
+fn predicate_loop_fixes_the_lost_wakeup() {
+    // Same shape with the canonical while-loop: no schedule deadlocks.
+    // (The wait sits inside the loop; when the notify wins the race the
+    // predicate is already true and the waiter never parks.)
+    let report = check(Options::exhaustive(2), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (mu, cv) = &*s;
+            let mut ready = mu.lock();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (mu, cv) = &*state;
+        let mut ready = mu.lock();
+        while !*ready {
+            cv.wait(&mut ready);
+        }
+        drop(ready);
+        t.join();
+    });
+    report.assert_pass();
+    assert!(report.complete);
+}
+
+#[test]
+fn rwlock_readers_exclude_the_writer() {
+    let report = check(Options::exhaustive(2), || {
+        let data = Arc::new(RwLock::new(0u64));
+        let d = Arc::clone(&data);
+        let w = thread::spawn(move || *d.write() += 1);
+        let r = *data.read();
+        assert!(r == 0 || r == 1, "torn read");
+        w.join();
+        assert_eq!(*data.read(), 1);
+    });
+    report.assert_pass();
+    assert!(report.complete);
+}
+
+#[test]
+fn random_mode_finds_the_race_too() {
+    let report = check(Options::random(0xfee1_dead, 500), racy_increments);
+    let failure = report.assert_fails();
+    let again = replay(&failure.schedule, racy_increments);
+    assert!(again.is_some(), "random-found schedule replays deterministically");
+}
+
+#[test]
+fn instrumented_primitives_work_off_model() {
+    // The fallback path: the same types behave as real primitives when
+    // no model run is active (this is what keeps ordinary unit tests
+    // passing under `--cfg tcs_model` builds).
+    let counter = Arc::new(Mutex::new(0u64));
+    let state = Arc::new((Mutex::new(false), Condvar::new()));
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let counter = Arc::clone(&counter);
+        let state = Arc::clone(&state);
+        handles.push(thread::spawn(move || {
+            *counter.lock() += 1;
+            let (mu, cv) = &*state;
+            let mut ready = mu.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+        }));
+    }
+    {
+        let (mu, cv) = &*state;
+        *mu.lock() = true;
+        cv.notify_all();
+    }
+    for h in handles {
+        h.join();
+    }
+    assert_eq!(*counter.lock(), 4);
+    let atomic = AtomicU64::new(7);
+    assert_eq!(atomic.fetch_add(1, Ordering::SeqCst), 7);
+    assert_eq!(atomic.load(Ordering::SeqCst), 8);
+}
+
+#[test]
+fn three_thread_handoff_explores_and_passes() {
+    // Three threads passing a token through a shared mutex; exercises
+    // spawn/join fan-out and FIFO handoff with a bigger enabled set.
+    let report = check(Options::exhaustive(2), || {
+        let total = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for i in 0..3u64 {
+            let total = Arc::clone(&total);
+            handles.push(thread::spawn(move || *total.lock() += i + 1));
+        }
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*total.lock(), 6);
+    });
+    report.assert_pass();
+    assert!(report.complete);
+    assert!(report.executions >= 6, "at least the serial orders: {}", report.executions);
+}

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Concurrency demo (§V): process one stream with 1–4 worker threads
 //! under the fine-grained locking scheme and the All-locks baseline,
 //! verifying streaming consistency (identical results) and reporting

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! The paper's second motivating example (Figure 2): credit-card
 //! cash-out fraud over a transaction stream.
 //!

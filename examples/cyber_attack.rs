@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! The paper's motivating example (Figure 1) and case study (§VII-F):
 //! detect an information-exfiltration attack pattern in network traffic.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Multi-tenant monitoring: many standing fraud/attack queries over ONE
 //! transaction stream.
 //!

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Quickstart: define a query with a timing order, stream edges through
 //! the engine, and collect time-constrained matches.
 //!

@@ -19,6 +19,27 @@
 //!   registry with signature-routed dispatch and a sharded concurrent
 //!   front-end, for many standing queries over one stream.
 //!
+//! ## Verification
+//!
+//! Two dedicated verification layers back the test suite:
+//!
+//! * **Bounded model checking** — `concurrent`'s primitives come from its
+//!   `sync` shim; building with `RUSTFLAGS="--cfg tcs_model"` swaps in
+//!   the `tcs-verify` scheduler, which enumerates thread interleavings up
+//!   to a preemption bound and prints a replayable schedule string on
+//!   failure (see the `tcs-verify` crate docs for the howto and the
+//!   soundness limits of preemption bounding).
+//! * **Store invariant audits** — every match store implements
+//!   [`core::store::StoreAudit`], one sweep over all documented
+//!   invariants: nondecreasing bucket timestamps, the tombstone
+//!   lifecycle (front-drained prefixes, the dead-space compaction
+//!   threshold), index/list coherence, no dangling parent or component
+//!   references, and allocator accounting — plus the engine's
+//!   `live_partials == store_rows` cross-check. The workspace
+//!   `debug-audit` feature arms the sweep at every end-of-cascade,
+//!   end-of-batch and end-of-run boundary; property and chaos tests call
+//!   it after every generated operation.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -48,6 +69,8 @@
 //! let m2 = engine.advance(&window.advance(StreamEdge::new(2, 11, 1, 12, 2, 0, 2)));
 //! assert_eq!(m2.len(), 1); // the pattern completed, in order
 //! ```
+
+#![forbid(unsafe_code)]
 
 pub use tcs_baselines as baselines;
 pub use tcs_concurrent as concurrent;

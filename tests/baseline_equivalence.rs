@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! The baselines must also be *correct* (they are slower, not wrong):
 //! SJ-tree and IncMat (all three matcher styles) report exactly the
 //! oracle's new-match sets on random streams.

@@ -323,6 +323,16 @@ proptest! {
                     prop_assert!(matches!(err, IngestError::OutOfOrder { .. }));
                 }
             }
+            // A mid-operation panic must never corrupt a *surviving*
+            // query's store: the full invariant sweep stays clean after
+            // every operation, faults included.
+            let violations = multi.audit();
+            prop_assert!(
+                violations.is_empty(),
+                "survivor store audit failed after edge {}:\n{}",
+                i,
+                tcs_core::store::format_violations(&violations)
+            );
         }
         failpoints::reset();
 
@@ -344,6 +354,13 @@ proptest! {
             }
             prop_assert_eq!(&emitted[t], &want, "survivor match stream, tenant {}", t);
             prop_assert_eq!(multi.stats_of(q).unwrap(), oracle.stats(), "survivor stats, tenant {}", t);
+            let oracle_violations = oracle.audit();
+            prop_assert!(
+                oracle_violations.is_empty(),
+                "oracle store audit failed, tenant {}:\n{}",
+                t,
+                tcs_core::store::format_violations(&oracle_violations)
+            );
         }
     }
 }

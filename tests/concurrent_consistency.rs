@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Streaming consistency (Definition 11): the concurrent engine — any
 //! thread count, either locking mode — must produce exactly the serial
 //! engine's results and final state on realistic generated workloads.

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! The multi-query subsystem's defining guarantee, test-enforced: a
 //! [`MultiQueryEngine`] with N registered plans emits, per query, exactly
 //! the match stream of N independent [`TimingEngine`]s consuming the same

@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Oracle equivalence: the streaming engines must report exactly the same
 //! new matches as the naive per-snapshot enumerator, at every tick, on
 //! random streams and generated queries.

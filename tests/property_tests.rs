@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Property-based tests (proptest) over the core invariants:
 //! timing-order closure laws, decomposition partition/validity, join-order
 //! prefix-connectivity, store equivalence under random operation
@@ -114,6 +115,16 @@ proptest! {
     }
 }
 
+/// Fails the running case with the full formatted violation list when a
+/// [`tcs_core::store::StoreAudit`] sweep reports anything.
+fn assert_audit_clean(violations: &[tcs_core::store::AuditViolation], store: &str, tick: u64) {
+    prop_assert!(
+        violations.is_empty(),
+        "{store} store audit failed at tick {tick}:\n{}",
+        tcs_core::store::format_violations(violations)
+    );
+}
+
 /// Random small streams for engine-vs-oracle properties.
 fn arb_stream() -> impl Strategy<Value = Vec<StreamEdge>> {
     (20usize..80, any::<u64>()).prop_map(|(n, seed)| {
@@ -168,6 +179,8 @@ proptest! {
             b.sort();
             prop_assert_eq!(&a, &expected, "mstree tick {}", e.ts);
             prop_assert_eq!(&b, &expected, "independent tick {}", e.ts);
+            assert_audit_clean(&ms.audit(), "mstree", e.ts.0);
+            assert_audit_clean(&ind.audit(), "independent", e.ts.0);
         }
         // Final live counts agree too.
         prop_assert_eq!(ms.live_match_count(), ind.live_match_count());
@@ -266,6 +279,9 @@ proptest! {
             let mut ind_got = ind.advance(&w3.advance(e));
             ind_got.sort();
             prop_assert_eq!(&ind_got, &expected, "independent probe vs oracle at tick {}", e.ts);
+            assert_audit_clean(&probe.audit(), "mstree(probe)", e.ts.0);
+            assert_audit_clean(&scan.audit(), "mstree(scan)", e.ts.0);
+            assert_audit_clean(&ind.audit(), "independent", e.ts.0);
         }
         prop_assert_eq!(probe.stats(), scan.stats(), "probe and scan counters diverged");
         prop_assert_eq!(probe.live_match_count(), oracle.all_matches().len());
@@ -297,6 +313,30 @@ proptest! {
             b.sort();
             prop_assert_eq!(a, b);
             prop_assert_eq!(ms.live_match_count(), ind.live_match_count());
+            assert_audit_clean(&ms.audit(), "mstree", e.ts.0);
+            assert_audit_clean(&ind.audit(), "independent", e.ts.0);
+        }
+    }
+
+    /// The concurrent tree passes the same invariant sweep at every
+    /// quiescent point: run the fine-grained engine over random streams
+    /// in several batches and audit between batches (all workers joined,
+    /// all partial removals reclaimed).
+    #[test]
+    fn concurrent_tree_audit_is_clean_at_quiescence(
+        stream in arb_stream(),
+        q in arb_query(),
+        window in 5u64..25,
+    ) {
+        use tcs_concurrent::engine::{ConcurrentEngine, LockingMode};
+        let mut eng = ConcurrentEngine::new(
+            QueryPlan::build(q, PlanOptions::timing()),
+            2,
+            LockingMode::FineGrained,
+        );
+        for chunk in stream.chunks(stream.len().div_ceil(3).max(1)) {
+            eng.run(chunk, window);
+            assert_audit_clean(&eng.audit(), "cms-tree", 0);
         }
     }
 

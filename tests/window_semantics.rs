@@ -1,3 +1,4 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
 //! Window-semantics integration tests: matches must appear and disappear
 //! exactly as the time window slides (Definition 2 + Definition 4), across
 //! all engines.
