@@ -171,6 +171,40 @@ fn bench_join_probe(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batch-ingestion benchmark: per-batch cost of sorted batch
+/// application (admission sweep, candidate + probe-verdict caching) vs
+/// the per-edge ablation on the shared [`tcs_bench::hub`] batch workload
+/// (`repro join` measures the same workload into BENCH_join.json's
+/// `batch_rows`) — a run-heavy rejecting stream against one 512-row hub
+/// bucket, at batch sizes 64 and 1024.
+fn bench_batch_ingest(c: &mut Criterion) {
+    use tcs_bench::hub::{batch_arrival, batch_engine, batch_seed_edges};
+    use tcs_core::BatchMode;
+    let mut g = c.benchmark_group("batch_ingest");
+    g.sample_size(20);
+    for batch in [64usize, 1024] {
+        for (id_str, mode) in
+            [("sorted_batch", BatchMode::Sorted), ("per_edge_batch", BatchMode::PerEdge)]
+        {
+            g.bench_with_input(BenchmarkId::new(id_str, batch), &batch, |b, &batch| {
+                let fanout = 512usize;
+                let mut eng = batch_engine(fanout, mode);
+                let mut id = batch_seed_edges(fanout);
+                let mut buf = Vec::with_capacity(batch);
+                b.iter(|| {
+                    buf.clear();
+                    for _ in 0..batch {
+                        id += 1;
+                        buf.push(batch_arrival(fanout, id));
+                    }
+                    eng.insert_batch(&buf).expect("valid batch")
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 /// The multi-tenant dispatch benchmark: per-tick cost of `n` standing
 /// tenant queries over one stream, signature-routed dispatch (one query
 /// touched per edge) vs broadcast-to-all-engines (the N-independent-
@@ -209,6 +243,7 @@ criterion_group!(
     bench_engine_per_edge,
     bench_generators,
     bench_join_probe,
+    bench_batch_ingest,
     bench_multi_dispatch
 );
 criterion_main!(benches);

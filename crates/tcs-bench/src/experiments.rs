@@ -541,17 +541,18 @@ pub fn ablation_cost_model(scale: &Scale) {
 /// throughput of keyed probes ([`tcs_core::JoinMode::Probe`]) vs the full
 /// item scans of Algorithm 1 as written ([`tcs_core::JoinMode::Scan`]) on
 /// a hub fan-out workload — `fanout` stored prefixes of which exactly one
-/// joins each arrival. Also measures the early-exit, expiry-compaction
-/// and multi-tenant-dispatch ablations on their sibling hub workloads
-/// (see `crate::hub`). Emits the speedup trajectories as
+/// joins each arrival. Also measures the early-exit, expiry-compaction,
+/// multi-tenant-dispatch and batch-ingestion ablations on their sibling
+/// hub workloads (see `crate::hub`). Emits the speedup trajectories as
 /// `BENCH_join.json` so future PRs can track regressions.
 pub fn join_probe(scale: &Scale) {
     use crate::hub::{
-        expiry_edge, expiry_engine, expiry_warmup, expiry_window, hub_arrival, hub_engine,
-        multi_edge, multi_engine, multi_warmup, skew_arrival, skew_engine, skew_seed_edges,
+        batch_arrival, batch_engine, batch_seed_edges, expiry_edge, expiry_engine, expiry_warmup,
+        expiry_window, hub_arrival, hub_engine, multi_edge, multi_engine, multi_warmup,
+        skew_arrival, skew_engine, skew_seed_edges,
     };
     use std::time::{Duration, Instant};
-    use tcs_core::{ExpiryMode, JoinMode};
+    use tcs_core::{BatchMode, ExpiryMode, JoinMode};
     use tcs_graph::window::SlidingWindow;
     use tcs_multi::DispatchMode;
 
@@ -649,6 +650,34 @@ pub fn join_probe(scale: &Scale) {
         n as f64 / start.elapsed().as_secs_f64()
     };
 
+    // The batch-ingestion workload: `batch`-edge chunks of a run-heavy
+    // rejecting stream against one shared fanout-row bucket. Sorted
+    // ingestion derives each run's verdicts once per batch and replays
+    // them; PerEdge (the ablation baseline) re-derives all `fanout`
+    // rejections per arrival. Both modes ingest through `insert_batch`,
+    // so chunking overhead is identical and only the mode differs.
+    let run_batch = |fanout: usize, batch: usize, mode: BatchMode| -> f64 {
+        let mut eng = batch_engine(fanout, mode);
+        let mut id = batch_seed_edges(fanout);
+        let mut buf: Vec<tcs_graph::StreamEdge> = Vec::with_capacity(batch);
+        let start = Instant::now();
+        let mut n = 0u64;
+        loop {
+            buf.clear();
+            for _ in 0..batch {
+                id += 1;
+                buf.push(batch_arrival(fanout, id));
+            }
+            eng.insert_batch(&buf)
+                .unwrap_or_else(|e| unreachable!("batch workload arrivals are valid: {e}"));
+            n += batch as u64;
+            if start.elapsed() >= budget || n >= 1_500_000 {
+                break;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+
     let mut t = Table::new(
         "join_probe: per-edge insert throughput, hub fan-out (probe vs scan)",
         &["fanout", "probe-edges/s", "scan-edges/s", "speedup"],
@@ -729,6 +758,28 @@ pub fn join_probe(scale: &Scale) {
     }
     tm.emit("join_probe_multi");
 
+    let mut tb = Table::new(
+        "join_probe/batch: sorted batch ingestion (verdict replay) vs per-edge, fan-out 512",
+        &["batch", "batched-edges/s", "per-edge-edges/s", "speedup"],
+    );
+    let mut batch_rows = Vec::new();
+    for &batch in &[64usize, 1024] {
+        // Best of two runs per mode: the batch gate shares the expiry
+        // gate's sensitivity to transient runner throttling hitting one
+        // side's single run.
+        let best = |mode| run_batch(512, batch, mode).max(run_batch(512, batch, mode));
+        let batched = best(BatchMode::Sorted);
+        let per_edge = best(BatchMode::PerEdge);
+        tb.row(vec![
+            batch.to_string(),
+            fmt_throughput(batched),
+            fmt_throughput(per_edge),
+            format!("{:.1}x", batched / per_edge),
+        ]);
+        batch_rows.push((batch, batched, per_edge));
+    }
+    tb.emit("join_probe_batch");
+
     // Machine-readable trajectory (no serde in this workspace's offline
     // build — the JSON is assembled by hand; schema documented in
     // `crate::hub`'s module docs).
@@ -776,6 +827,17 @@ pub fn join_probe(scale: &Scale) {
             broadcast,
             dispatch / broadcast,
             if idx + 1 < multi_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"batch_rows\": [\n");
+    for (idx, (batch, batched, per_edge)) in batch_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"batch\": {}, \"batched\": {:.0}, \"per_edge\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            batch,
+            batched,
+            per_edge,
+            batched / per_edge,
+            if idx + 1 < batch_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -28,14 +28,23 @@
 //!   ([`DispatchMode::Signature`]) touches exactly the one query an edge
 //!   can react to and the broadcast baseline
 //!   ([`DispatchMode::Broadcast`], N independent engines with private
-//!   window copies) pays every query on every tick.
+//!   window copies) pays every query on every tick;
+//! * the **batch-ingestion** workload ([`batch_query`] / [`batch_engine`]
+//!   / [`batch_arrival`]): a timed 3-path query with `fanout` 2-edge
+//!   prefixes parked in ONE shared hub bucket, and a run-heavy arrival
+//!   stream every bucket row rejects with a *binding* mismatch — the
+//!   sorted batch path ([`tcs_core::BatchMode::Sorted`]) derives the
+//!   verdict once per run per batch and replays it, while the per-edge
+//!   ablation ([`tcs_core::BatchMode::PerEdge`]) re-derives all `fanout`
+//!   rejections (prefix resolution + compatibility check) per arrival.
 //!
 //! # `BENCH_join.json` schema
 //!
-//! The `repro join` experiment serializes all four workloads into
+//! The `repro join` experiment serializes all five workloads into
 //! `BENCH_join.json` (unit: edges/s; the hub workloads measure at
 //! fan-outs 64 and 512, the multi-tenant workload at 8 and 64 registered
-//! queries; every `speedup` field is CI-gated):
+//! queries, the batch workload at batch sizes 64 and 1024 over fan-out
+//! 512; every `speedup` field is CI-gated):
 //!
 //! ```json
 //! {
@@ -44,7 +53,8 @@
 //!   "rows":        [{"fanout", "probe", "scan", "speedup"}, ...],
 //!   "skew_rows":   [{"fanout", "early_exit", "keyed", "speedup"}, ...],
 //!   "expiry_rows": [{"fanout", "front_drain", "eager", "speedup"}, ...],
-//!   "multi_rows":  [{"queries", "dispatch", "broadcast", "speedup"}, ...]
+//!   "multi_rows":  [{"queries", "dispatch", "broadcast", "speedup"}, ...],
+//!   "batch_rows":  [{"batch", "batched", "per_edge", "speedup"}, ...]
 //! }
 //! ```
 //!
@@ -57,10 +67,13 @@
 //!   whole window ticks (expiries + insert; gate: ≥ 2× at 512);
 //! * `multi_rows` — signature-routed dispatch vs broadcast-to-all-engines
 //!   on the multi-tenant workload, measured over whole window ticks
-//!   (gate: ≥ 3× at 64 registered queries).
+//!   (gate: ≥ 3× at 64 registered queries);
+//! * `batch_rows` — sorted batch ingestion vs per-edge ingestion on the
+//!   batch workload, batches of `batch` arrivals each (gate: ≥ 2.5× at
+//!   batch size 1024).
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
-use tcs_core::{ExpiryMode, JoinMode, MsTreeStore, TimingEngine};
+use tcs_core::{BatchMode, ExpiryMode, JoinMode, MsTreeStore, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
 use tcs_multi::{DispatchMode, MultiQueryEngine};
@@ -278,6 +291,79 @@ pub fn multi_edge(n_queries: usize, ts: u64) -> StreamEdge {
     }
 }
 
+/// The 3-path query `a→b ≺ b→c ≺ c→d` of the batch-ingestion workload
+/// (one TC-subquery of length 3 — deeper prefixes make the per-row
+/// rejection the per-edge path re-derives more expensive, which is
+/// exactly the work the batch path's verdict cache amortizes).
+pub fn batch_query() -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(0), VLabel(1), VLabel(2), VLabel(3)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
+        ],
+        &[(0, 1), (1, 2)],
+    )
+    .unwrap_or_else(|e| unreachable!("valid batch query: {e}"))
+}
+
+/// The shared source every stored prefix binds `a` to — and the vertex
+/// every rejecting arrival points `d` back at (injectivity breach).
+const BATCH_A: u32 = 1;
+/// The mid vertex every stored prefix binds `b` to.
+const BATCH_B: u32 = 2;
+/// The hub vertex every stored prefix binds `c` to — the one probe
+/// bucket all measured arrivals hit.
+const BATCH_HUB: u32 = 3;
+
+/// Seed edges consumed by [`batch_engine`]; measured arrival ids must
+/// start above this.
+pub fn batch_seed_edges(fanout: usize) -> u64 {
+    fanout as u64 + 1
+}
+
+/// An engine pre-seeded with `fanout` 2-edge prefixes `A→B ≺ B→HUB` in
+/// ONE bucket keyed on `F(c) = HUB` (the `fanout` parallel `a→b` edges
+/// all join the single shared `b→c` edge), ingesting under `mode`.
+pub fn batch_engine(fanout: usize, mode: BatchMode) -> TimingEngine<MsTreeStore> {
+    let mut eng: TimingEngine<MsTreeStore> =
+        TimingEngine::new(QueryPlan::build(batch_query(), PlanOptions::timing()));
+    // The workload banks on this exact plan shape; fail loudly if the
+    // decomposition or join order ever drifts.
+    assert_eq!(eng.plan().k(), 1);
+    assert_eq!(eng.plan().subs[0].seq, vec![0, 1, 2]);
+    eng.set_join_mode(JoinMode::Probe);
+    eng.set_batch_mode(mode);
+    for i in 1..=fanout as u64 {
+        eng.insert(StreamEdge::new(i, BATCH_A, 0, BATCH_B, 1, 0, i));
+    }
+    let last = fanout as u64 + 1;
+    eng.insert(StreamEdge::new(last, BATCH_B, 1, BATCH_HUB, 2, 0, last));
+    eng
+}
+
+/// The `id`-th measured arrival: `c→d` from the hub back to the shared
+/// source, so every bucket row rejects it with a binding mismatch
+/// (`F(d) = A` collides with `F(a) = A` — injectivity). All arrivals
+/// share endpoints and signature, so each batch is one run: the sorted
+/// batch path derives the `fanout` rejections once per batch and replays
+/// the cached verdicts, the per-edge path re-derives them per arrival.
+/// `id` must start above [`batch_seed_edges`].
+pub fn batch_arrival(fanout: usize, id: u64) -> StreamEdge {
+    debug_assert!(id > batch_seed_edges(fanout));
+    StreamEdge::new(id, BATCH_HUB, 2, BATCH_A, 3, 0, id)
+}
+
+/// An *accepting* arrival for the same bucket: `c→d` to a fresh vertex
+/// completes all `fanout` chains. Not part of the measured stream — the
+/// workload tests use it to pin down that both ingestion modes emit the
+/// identical matches when the bucket does accept.
+pub fn batch_accepting(fanout: usize, id: u64) -> StreamEdge {
+    debug_assert!(id > batch_seed_edges(fanout));
+    StreamEdge::new(id, BATCH_HUB, 2, 4_000_000 + id as u32, 3, 0, id)
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
@@ -328,6 +414,40 @@ mod tests {
             }
             assert_eq!(eng.stats().matches_emitted, 16);
         }
+    }
+
+    #[test]
+    fn batch_workload_rejects_whole_bucket_identically_in_both_modes() {
+        let fanout = 16usize;
+        let mut sorted = batch_engine(fanout, BatchMode::Sorted);
+        let mut per_edge = batch_engine(fanout, BatchMode::PerEdge);
+        let mut id = batch_seed_edges(fanout);
+        for chunk in 0..4 {
+            // Three rejecting batches, then one ending with an accepting
+            // edge (a run break mid-batch) that completes every chain.
+            let batch: Vec<StreamEdge> = (0..8)
+                .map(|k| {
+                    id += 1;
+                    if chunk == 3 && k == 7 {
+                        batch_accepting(fanout, id)
+                    } else {
+                        batch_arrival(fanout, id)
+                    }
+                })
+                .collect();
+            let a = sorted.insert_batch(&batch).expect("valid batch");
+            let b = per_edge.insert_batch(&batch).expect("valid batch");
+            assert_eq!(a, b, "chunk {chunk}");
+            let want = if chunk == 3 { fanout } else { 0 };
+            assert_eq!(a.len(), want, "chunk {chunk}: rejecting batches emit nothing");
+        }
+        // Byte-identical counters: the sorted path replayed verdicts, the
+        // per-edge path re-derived them, and nothing else differs.
+        assert_eq!(sorted.stats(), per_edge.stats());
+        assert_eq!(sorted.ingest_stats(), per_edge.ingest_stats());
+        assert_eq!(sorted.stats().matches_emitted, fanout as u64);
+        sorted.assert_clean();
+        per_edge.assert_clean();
     }
 
     #[test]

@@ -87,6 +87,10 @@ struct Node {
     /// Position in the item's key bucket (mutated under the list mutex;
     /// removals punch a hole there, compacted once per level pass).
     key_pos: AtomicU32,
+    /// For `L₀` nodes: position inside the referencer list
+    /// `refs[payload]` of the owning item (O(1) deregistration; mutated
+    /// under the list mutex). Unused for subquery nodes.
+    ref_pos: AtomicU32,
     dead: AtomicBool,
 }
 
@@ -103,6 +107,7 @@ impl Default for Node {
             prev: AtomicU32::new(NIL),
             key: AtomicU64::new(0),
             key_pos: AtomicU32::new(0),
+            ref_pos: AtomicU32::new(0),
             dead: AtomicBool::new(false),
         }
     }
@@ -117,11 +122,17 @@ struct ListHead {
     /// (guarded by the same mutex as the list links, which the item lock
     /// already serializes).
     index: HashMap<JoinKey, DrainBucket>,
+    /// Referencer index, populated only for `L₀` items: complete-match
+    /// leaf handle (the node payload) → `L₀` nodes referencing it.
+    /// Algorithm 2's right-to-left `L₀` pass looks dead leaves up here
+    /// instead of scanning the whole item. Maintained under the same
+    /// mutex via each node's `ref_pos`.
+    refs: HashMap<u64, Vec<u32>>,
 }
 
 impl Default for ListHead {
     fn default() -> Self {
-        ListHead { head: NIL, tail: NIL, len: 0, index: HashMap::new() }
+        ListHead { head: NIL, tail: NIL, len: 0, index: HashMap::new(), refs: HashMap::new() }
     }
 }
 
@@ -267,6 +278,13 @@ impl CmsTree {
         self.node(idx).key.store(key, STORE);
         let pos = list.index.entry(key).or_default().push(idx, ts);
         self.node(idx).key_pos.store(pos, STORE);
+        // Register L₀ nodes with the referencer index so a death of the
+        // component they reference finds them by lookup, not by scan.
+        if item >= self.l0_base {
+            let refs = list.refs.entry(payload).or_default();
+            refs.push(idx);
+            self.node(idx).ref_pos.store(refs.len() as u32 - 1, STORE);
+        }
         idx as u64
     }
 
@@ -433,6 +451,15 @@ impl CmsTree {
         self.emit_l0_nodes(&self.bucket_from(item, key, min_ts), i, f);
     }
 
+    /// The `L₀` nodes of item `i` referencing complete-match leaf `comp`
+    /// — the referencer-index lookup behind Algorithm 2's right-to-left
+    /// `L₀` pass, replacing a full item scan per dead leaf. Caller holds
+    /// X(l0_item(i)).
+    pub fn l0_referencers(&self, i: usize, comp: u64) -> Vec<u32> {
+        let list = self.lists[self.l0_item(i)].lock();
+        list.refs.get(&comp).cloned().unwrap_or_default()
+    }
+
     /// Materializes and emits `L₀` rows as component handles.
     fn emit_l0_nodes(&self, nodes: &[u32], i: usize, f: &mut dyn FnMut(u64, &[u64])) {
         let mut comps = vec![0u64; i + 1];
@@ -540,6 +567,24 @@ impl CmsTree {
                 .unwrap_or_else(|| unreachable!("indexed node has a bucket"))
                 .punch(pos, idx);
             touched_keys.push(key);
+            // Deregister L₀ nodes from the referencer index (swap-remove,
+            // fixing the moved node's back-reference).
+            if item >= self.l0_base {
+                let payload = self.node(idx).payload.load(LOAD);
+                let rp = self.node(idx).ref_pos.load(LOAD) as usize;
+                let refs = list
+                    .refs
+                    .get_mut(&payload)
+                    .unwrap_or_else(|| unreachable!("L0 node is registered as a referencer"));
+                debug_assert_eq!(refs.get(rp), Some(&idx), "stale referencer back-reference");
+                refs.swap_remove(rp);
+                if let Some(&moved) = refs.get(rp) {
+                    self.node(moved).ref_pos.store(rp as u32, STORE);
+                }
+                if refs.is_empty() {
+                    list.refs.remove(&payload);
+                }
+            }
             drop(list);
             // Parent's child list (the links live at this item's level).
             let parent = self.node(idx).parent.load(LOAD);
@@ -679,6 +724,25 @@ impl CmsTree {
                     }
                 }
             }
+            if i >= self.l0_base {
+                let payload = node.payload.load(LOAD);
+                let rp = node.ref_pos.load(LOAD) as usize;
+                let ok = list
+                    .refs
+                    .get(&payload)
+                    .and_then(|refs| refs.get(rp))
+                    .is_some_and(|&slot| slot == n);
+                if !ok {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "referencer-position",
+                        detail: format!(
+                            "item {i}: node {n} ref_pos {rp} does not round-trip under \
+                             payload {payload}"
+                        ),
+                    });
+                }
+            }
             prev = n;
             n = node.next.load(LOAD);
         }
@@ -702,6 +766,17 @@ impl CmsTree {
                 store: S,
                 invariant: "index-live-size",
                 detail: format!("item {i}: {indexed} live index entries vs len {}", list.len),
+            });
+        }
+        let registered: usize = list.refs.values().map(Vec::len).sum();
+        let expect = if i >= self.l0_base { list.len } else { 0 };
+        if registered != expect {
+            out.push(AuditViolation {
+                store: S,
+                invariant: "referencer-size",
+                detail: format!(
+                    "item {i}: {registered} registered referencers vs {expect} expected"
+                ),
             });
         }
         for (key, bucket) in &list.index {
@@ -1120,6 +1195,37 @@ mod tests {
             assert_eq!(t.len_sub(0, 0), 0, "{mode:?}");
             assert_eq!(t.len_sub(0, 1), 0, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn l0_referencer_index_tracks_rows() {
+        // Rows register under the component they reference, deaths
+        // deregister with the swap-remove back-reference fix, and the
+        // lookup matches what a full scan would find.
+        let t = CmsTree::new(layout());
+        let a = t.insert_sub(0, 0, u64::MAX, EdgeId(1), 1, 0);
+        let b = t.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        let c0 = t.insert_sub(0, 2, b, EdgeId(3), 3, 0);
+        let x = t.insert_sub(1, 0, u64::MAX, EdgeId(10), 10, 0);
+        let c1 = t.insert_sub(1, 1, x, EdgeId(11), 11, 0);
+        let y = t.insert_sub(1, 0, u64::MAX, EdgeId(12), 12, 0);
+        let c2 = t.insert_sub(1, 1, y, EdgeId(13), 13, 0);
+        let r1 = t.insert_l0(1, c0, c1, 11, 0);
+        let r2 = t.insert_l0(1, c0, c1, 12, 1);
+        let r3 = t.insert_l0(1, c0, c2, 13, 0);
+        assert_eq!(t.l0_referencers(1, c1), vec![r1 as u32, r2 as u32]);
+        assert_eq!(t.l0_referencers(1, c2), vec![r3 as u32]);
+        // Kill one c1 row: the swap-removed survivor still round-trips
+        // (the audit's referencer invariants check the back-references).
+        let removed = t.partial_remove(t.l0_item(1), &[r1 as u32]);
+        assert_eq!(removed, vec![r1 as u32]);
+        t.reclaim(&removed);
+        assert_eq!(t.l0_referencers(1, c1), vec![r2 as u32]);
+        assert!(t.audit().is_empty(), "referencer index survives churn");
+        let removed = t.partial_remove(t.l0_item(1), &[r2 as u32, r3 as u32]);
+        t.reclaim(&removed);
+        assert!(t.l0_referencers(1, c1).is_empty(), "emptied referencer lists are dropped");
+        assert!(t.l0_referencers(1, c2).is_empty());
     }
 
     #[test]

@@ -717,14 +717,12 @@ fn run_del(shared: &Shared, id: TxnId, sigma: StreamEdge, reqs: &[(usize, Mode)]
                 let item = tree.l0_item(m);
                 let g = ctx.acquire(item, Mode::X);
                 let mut cands = tree.children_of(&prev);
-                if !dead_leaves[m].is_empty() {
-                    let mut n_scan = Vec::new();
-                    tree.for_each_l0(m, &mut |h, comps| {
-                        if dead_leaves[m].contains(&comps[m]) {
-                            n_scan.push(h as u32);
-                        }
-                    });
-                    cands.extend(n_scan);
+                // Rows referencing a dead complete match of subquery m are
+                // found by referencer-index lookup, not an item scan
+                // (duplicates with the cascade are benign: the dead flag
+                // makes partial_remove idempotent).
+                for &leaf in &dead_leaves[m] {
+                    cands.extend(tree.l0_referencers(m, leaf));
                 }
                 let removed = tree.partial_remove(item, &cands);
                 drop(g);

@@ -49,18 +49,51 @@ impl PartialAssignment {
 
     /// The join check: can `self ∪ other` be one partial match?
     pub fn compatible_with(&self, q: &QueryGraph, other: &PartialAssignment) -> bool {
-        // Distinct data edges across sides (identical timestamps are
-        // impossible for distinct stream edges, so an id collision is the
-        // only aliasing to rule out).
-        for &(_, ea) in &self.edges {
-            if other.edges.iter().any(|&(_, eb)| eb.id == ea.id) {
-                return false;
-            }
-        }
-        merge_binding(q, &self.edges, &other.edges).is_some()
-            && cross_timing_ok(q, &self.edges, &other.edges)
-            && cross_timing_ok(q, &other.edges, &self.edges)
+        compat_sides(q, &self.edges, &other.edges) == Compat::Ok
     }
+}
+
+/// Why a join check passed or failed — the batch path caches rejection
+/// *reasons*, not just booleans, because only binding verdicts are stable
+/// across a run of same-endpoint arrivals (see `engine.rs`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Compat {
+    /// The union is a valid partial match.
+    Ok,
+    /// Shared data edge, vertex-mapping conflict, or injectivity breach —
+    /// depends only on ids and endpoints, never on timestamps.
+    BindingMismatch,
+    /// A ≺ constraint fails on the assigned timestamps.
+    TimingViolation,
+}
+
+/// Slice-level join check (the workhorse behind
+/// [`PartialAssignment::compatible_with`]): classifies `a ∪ b` without
+/// requiring either side to be wrapped in a `PartialAssignment`.
+///
+/// One [`cross_timing_ok`] call suffices: it scans `a.chain(b)` for both
+/// the constrained edge and its predecessors, so every cross- and
+/// intra-side constraint is covered in a single pass.
+pub fn compat_sides(
+    q: &QueryGraph,
+    a: &[(usize, StreamEdge)],
+    b: &[(usize, StreamEdge)],
+) -> Compat {
+    // Distinct data edges across sides (identical timestamps are
+    // impossible for distinct stream edges, so an id collision is the
+    // only aliasing to rule out).
+    for &(_, ea) in a {
+        if b.iter().any(|&(_, eb)| eb.id == ea.id) {
+            return Compat::BindingMismatch;
+        }
+    }
+    if merge_binding(q, a, b).is_none() {
+        return Compat::BindingMismatch;
+    }
+    if !cross_timing_ok(q, a, b) {
+        return Compat::TimingViolation;
+    }
+    Compat::Ok
 }
 
 /// Tries to build the injective vertex mapping over both edge lists;
@@ -198,6 +231,20 @@ mod tests {
         let a = PartialAssignment::new(vec![(1, se(2, 11, 12, 5))]);
         let b = PartialAssignment::new(vec![(2, se(3, 12, 13, 6))]);
         assert!(a.compatible_with(&q, &b));
+    }
+
+    #[test]
+    fn compat_sides_classifies_failures() {
+        let q = q();
+        let prefix = vec![(0, se(1, 10, 11, 1)), (1, se(2, 11, 12, 2))];
+        // Clean extension.
+        assert_eq!(compat_sides(&q, &prefix, &[(2, se(3, 12, 13, 3))]), Compat::Ok);
+        // Shared edge id → binding, regardless of timestamps.
+        assert_eq!(compat_sides(&q, &prefix, &[(2, se(1, 12, 13, 3))]), Compat::BindingMismatch);
+        // Injectivity breach (F(d) = 10 = F(a)) → binding.
+        assert_eq!(compat_sides(&q, &prefix, &[(2, se(3, 12, 10, 3))]), Compat::BindingMismatch);
+        // ε0 ≺ ε2 violated on timestamps only → timing.
+        assert_eq!(compat_sides(&q, &prefix, &[(2, se(3, 12, 13, 1))]), Compat::TimingViolation);
     }
 
     #[test]

@@ -14,15 +14,59 @@
 //! components completing earlier are found in `Ω(Q^x)` reads, later ones
 //! trigger their own propagation. Hence every complete match of `Q` is
 //! emitted exactly once, at the arrival timestamp of its newest edge.
+//!
+//! # Batch-at-a-time ingestion
+//!
+//! [`TimingEngine::insert_batch`] and [`TimingEngine::advance_batch`]
+//! apply a whole batch per call under [`BatchMode::Sorted`] (the
+//! default). Effects still apply in strict input order — batching is
+//! *amortization*, never reordering, so the match stream and
+//! [`EngineStats`] are byte-identical to per-edge ingestion
+//! ([`BatchMode::PerEdge`], the ablation baseline):
+//!
+//! * **One admission pass.** The whole batch is validated against the
+//!   watermark boundary up front, stopping at the first rejection; the
+//!   admitted prefix is then processed without further boundary checks
+//!   (admission touches only the watermark and ingest counters, so
+//!   admitting ahead of processing is invisible to join semantics).
+//! * **Signature-grouped candidate lookup.** The signature → candidate
+//!   query edges resolution happens once per distinct signature in the
+//!   batch instead of once per edge.
+//! * **Run-level verdict reuse.** Within a *run* — maximal consecutive
+//!   admitted edges sharing (src, dst, signature) — a chain-join probe
+//!   under [`JoinMode::Probe`] visits the same bucket prefix with the
+//!   same endpoint bindings. The bucket cutoff already discharges every
+//!   timing constraint (a timing sequence is a chain: all stored prefix
+//!   timestamps precede σ's), so each stored prefix's verdict reduces to
+//!   endpoint bindings, which are *identical* across the run. The engine
+//!   caches per-prefix verdicts and replays them for later run members,
+//!   re-evaluating only bucket entries appended mid-run. Verdict
+//!   stability needs id-stability: a batch with duplicate edge ids
+//!   (against the live table or within itself) disables the cache for
+//!   that batch rather than risk a flipped binding verdict.
+//! * **Fueled maintenance.** [`TimingEngine::set_batch_fuel`] grants the
+//!   store a fuel budget per batch; expiry compactions beyond the budget
+//!   are deferred as declared debt and paid down by later batches
+//!   (unspent fuel carries forward). Reads never observe the deferral.
+//! * **Columnar row arena.** Propagation builds merged assignments in a
+//!   per-engine arena (`extend_from_within` over span indices) instead of
+//!   cloning a `PartialAssignment` per inserted `L₀` row.
 
-use crate::binding::PartialAssignment;
+use crate::binding::{compat_sides, Compat, PartialAssignment};
 use crate::ingest::{IngestError, IngestStats, OrderPolicy};
 use crate::plan::QueryPlan;
 use crate::store::{AuditViolation, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::cell::RefCell;
-use std::collections::HashMap;
-use tcs_graph::window::WindowEvent;
-use tcs_graph::{EdgeId, LiveEdgeView, MatchRecord, StreamEdge, Timestamp};
+use std::collections::{HashMap, HashSet};
+use tcs_graph::window::{BatchEvent, WindowEvent};
+use tcs_graph::{
+    ELabel, EdgeId, LiveEdgeView, MatchRecord, StreamEdge, Timestamp, VLabel, VertexId,
+};
+
+/// One per-batch candidate-cache entry: a distinct arrival signature and
+/// the plan's candidate query-edge positions for it (see
+/// `TimingEngine::sig_slot`).
+type SigCandidates = ((VLabel, VLabel, ELabel), Vec<usize>);
 
 /// How the engine finds join partners in the stored items.
 ///
@@ -54,6 +98,117 @@ pub enum JoinMode {
     ProbeAll,
     /// Full item scans (reference baseline).
     Scan,
+}
+
+/// How [`TimingEngine::insert_batch`] applies a batch (see the module
+/// docs). Both modes emit byte-identical match streams and stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchMode {
+    /// Edge-at-a-time: each arrival runs the full per-edge path (the
+    /// ablation baseline the batch bench gate compares against).
+    PerEdge,
+    /// Batch-at-a-time (default): whole-batch admission, per-signature
+    /// candidate caching and run-level probe-verdict reuse.
+    #[default]
+    Sorted,
+}
+
+/// One cached chain-join probe verdict, aligned with the bucket's live
+/// iteration order. `Accept` carries everything a replay needs (the
+/// stored join key depends only on endpoint bindings, which are constant
+/// across a run); `Retest` marks entries whose verdict is not known to be
+/// binding-only (defensive — unreachable under [`JoinMode::Probe`]'s
+/// cutoff, but cheap insurance) and is re-evaluated on every replay.
+#[derive(Clone, Copy, Debug)]
+enum Verdict {
+    Accept(Handle, JoinKey),
+    Reject,
+    Retest,
+}
+
+/// Per-batch probe-verdict cache for the current run of consecutive
+/// same-(src, dst, signature) arrivals (module docs: batch ingestion).
+#[derive(Default)]
+struct ProbeCache {
+    /// Caching engaged for the current batch (Sorted mode, Probe joins,
+    /// id-stable batch).
+    active: bool,
+    /// Identity of the current run; any change is a run break.
+    run_key: Option<(VertexId, VertexId, (VLabel, VLabel, ELabel))>,
+    /// Verdicts per candidate query edge, in bucket iteration order.
+    per_qe: Vec<(usize, Vec<Verdict>)>,
+}
+
+impl ProbeCache {
+    /// Starts a new run, discarding every cached verdict but keeping the
+    /// allocated verdict buffers for reuse.
+    fn reset_run(&mut self, run_key: (VertexId, VertexId, (VLabel, VLabel, ELabel))) {
+        self.run_key = Some(run_key);
+        for (qe, v) in &mut self.per_qe {
+            *qe = usize::MAX;
+            v.clear();
+        }
+    }
+
+    /// Detaches the verdict list for `qe` (empty on a run's first edge);
+    /// [`ProbeCache::put_back`] must restore it after the probe.
+    fn take_for(&mut self, qe: usize) -> Vec<Verdict> {
+        if let Some(p) = self.per_qe.iter().position(|&(q, _)| q == qe) {
+            return std::mem::take(&mut self.per_qe[p].1);
+        }
+        if let Some(p) = self.per_qe.iter().position(|&(q, _)| q == usize::MAX) {
+            self.per_qe[p].0 = qe;
+            return std::mem::take(&mut self.per_qe[p].1);
+        }
+        self.per_qe.push((qe, Vec::new()));
+        Vec::new()
+    }
+
+    /// Restores (possibly grown) verdicts for `qe` after a probe.
+    fn put_back(&mut self, qe: usize, verdicts: Vec<Verdict>) {
+        if let Some(p) = self.per_qe.iter().position(|&(q, _)| q == qe) {
+            self.per_qe[p].1 = verdicts;
+        }
+    }
+
+    /// Leaves batch scope: no verdict survives into the next batch.
+    fn deactivate(&mut self) {
+        self.active = false;
+        self.run_key = None;
+        for (qe, v) in &mut self.per_qe {
+            *qe = usize::MAX;
+            v.clear();
+        }
+    }
+}
+
+/// The columnar arena behind `propagate`: merged row assignments and
+/// component-handle lists live in two flat vectors; rows are index spans
+/// ([`ArenaRow`]). Extending a row is `extend_from_within` — no
+/// `PartialAssignment` clone, no per-row `Vec<Handle>` allocation — and
+/// the arena's capacity is reused across arrivals.
+#[derive(Default)]
+struct RowArena {
+    edges: Vec<(usize, StreamEdge)>,
+    comps: Vec<Handle>,
+}
+
+impl RowArena {
+    fn clear(&mut self) {
+        self.edges.clear();
+        self.comps.clear();
+    }
+}
+
+/// One `L₀`-level row during propagation: its store handle plus spans
+/// into the arena's `edges` / `comps` columns.
+#[derive(Clone, Copy, Debug)]
+struct ArenaRow {
+    h: Handle,
+    e0: u32,
+    e1: u32,
+    c0: u32,
+    c1: u32,
 }
 
 /// Counters the experiments report.
@@ -122,6 +277,15 @@ pub struct TimingEngine<S: MatchStore> {
     /// counters stay byte-identical to an oracle fed the sanitized
     /// stream.
     ingest: IngestStats,
+    /// How `insert_batch` applies a batch (module docs).
+    batch_mode: BatchMode,
+    /// Maintenance fuel granted to the store per batch (`None` = fuel
+    /// metering off, compactions run eagerly).
+    batch_fuel: Option<u64>,
+    /// Per-run probe-verdict cache, live only inside a Sorted batch.
+    probe_cache: ProbeCache,
+    /// Columnar scratch for `propagate` (reused across arrivals).
+    arena: RowArena,
 }
 
 impl<S: MatchStore> TimingEngine<S> {
@@ -143,6 +307,50 @@ impl<S: MatchStore> TimingEngine<S> {
             watermark: None,
             order_policy: OrderPolicy::default(),
             ingest: IngestStats::default(),
+            batch_mode: BatchMode::default(),
+            batch_fuel: None,
+            probe_cache: ProbeCache::default(),
+            arena: RowArena::default(),
+        }
+    }
+
+    /// Selects batch-at-a-time (default) or edge-at-a-time batch
+    /// application. Both emit identical streams and stats; `PerEdge`
+    /// exists as the equivalence-test oracle and bench baseline.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.batch_mode = mode;
+    }
+
+    /// The active batch application strategy.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
+    }
+
+    /// Arms per-batch maintenance fuel: every `insert_batch` /
+    /// `advance_batch` call grants the store `per_batch` fuel units for
+    /// expiry compaction; work beyond the budget is deferred as declared
+    /// debt and paid by later batches (unspent fuel carries forward).
+    /// `None` (the default) disarms metering, settling any outstanding
+    /// debt first. Reads never observe deferral either way.
+    pub fn set_batch_fuel(&mut self, per_batch: Option<u64>) {
+        self.batch_fuel = per_batch;
+        self.store.set_maintenance_fuel(per_batch.map(|_| 0));
+    }
+
+    /// Deferred compaction entries currently declared by the store.
+    pub fn deferred_maintenance(&self) -> usize {
+        self.store.deferred_maintenance()
+    }
+
+    /// Pays all outstanding maintenance debt immediately, fuel-free.
+    pub fn settle_maintenance(&mut self) {
+        self.store.settle_maintenance();
+    }
+
+    /// Grants the per-batch fuel allowance (no-op when disarmed).
+    fn refuel_batch(&mut self) {
+        if let Some(f) = self.batch_fuel {
+            self.store.refuel(f);
         }
     }
 
@@ -340,6 +548,39 @@ impl<S: MatchStore> TimingEngine<S> {
         self.insert(ev.arrival)
     }
 
+    /// Applies one batched window event: each step's expiries, then its
+    /// arrival run through the active [`BatchMode`]. Equivalent to folding
+    /// [`TimingEngine::advance`] over the per-edge events the batch was
+    /// built from, but the shared window advanced once and maintenance is
+    /// metered per batch (one [`TimingEngine::set_batch_fuel`] grant
+    /// covers the whole call). Panics on invalid input like
+    /// [`TimingEngine::insert`] — the window owner already sanitized the
+    /// stream, so a rejection here is an owner bug, not an input error.
+    pub fn advance_batch(&mut self, ev: &BatchEvent) -> Vec<MatchRecord> {
+        self.refuel_batch();
+        let mut out = Vec::new();
+        for step in &ev.steps {
+            for e in &step.expired {
+                self.expire(e);
+            }
+            match self.batch_mode {
+                BatchMode::PerEdge => {
+                    for &a in &step.arrivals {
+                        out.extend(self.insert(a));
+                    }
+                }
+                BatchMode::Sorted => {
+                    out.extend(self.insert_batch_sorted(&step.arrivals).unwrap_or_else(|err| {
+                        panic!("TimingEngine::advance_batch fed invalid input: {err}")
+                    }));
+                }
+            }
+        }
+        #[cfg(feature = "debug-audit")]
+        self.debug_audit("end-of-batch");
+        out
+    }
+
     /// Algorithm 2: removes every partial match containing the expired
     /// edge, and drops it from the engine's private live-edge table.
     ///
@@ -445,25 +686,128 @@ impl<S: MatchStore> TimingEngine<S> {
         // the view and `self` mutably at once; `mem::take` of a HashMap
         // is a pointer swap, not a rehash.
         let live = std::mem::take(&mut self.live);
-        let out = self.insert_candidates(sigma, &live, candidates);
+        let out = self.insert_candidates(sigma, &live, &candidates);
         self.live = live;
         Ok(out)
     }
 
-    /// Processes a batch through [`TimingEngine::try_insert`], stopping at
-    /// the first rejected arrival (matches emitted before the failure are
-    /// lost to the caller but remain live in the store — the error names
-    /// the offending edge, so resuming past it is well-defined).
+    /// Applies a whole batch of arrivals, stopping at the first rejected
+    /// arrival (matches emitted before the failure are lost to the caller
+    /// but remain live in the store — the error names the offending edge,
+    /// so resuming past it is well-defined). Under [`BatchMode::Sorted`]
+    /// (default) the batch path amortizes admission, candidate lookup and
+    /// probe verdicts across the batch (module docs); under
+    /// [`BatchMode::PerEdge`] each edge runs the full per-edge path. Both
+    /// modes produce byte-identical streams, stats and store contents.
     pub fn insert_batch(&mut self, batch: &[StreamEdge]) -> Result<Vec<MatchRecord>, IngestError> {
-        let mut out = Vec::new();
-        for &e in batch {
-            out.extend(self.try_insert(e)?);
-        }
+        self.refuel_batch();
+        let result = match self.batch_mode {
+            BatchMode::PerEdge => {
+                let mut out = Vec::new();
+                for &e in batch {
+                    out.extend(self.try_insert(e)?);
+                }
+                Ok(out)
+            }
+            BatchMode::Sorted => self.insert_batch_sorted(batch),
+        };
         // End-of-batch boundary sweep (a rejected batch returns above
         // with the engine untouched past the offending arrival).
         #[cfg(feature = "debug-audit")]
-        self.debug_audit("end-of-batch");
-        Ok(out)
+        if result.is_ok() {
+            self.debug_audit("end-of-batch");
+        }
+        result
+    }
+
+    /// The Sorted batch body: one admission pass over the whole batch,
+    /// then in-order processing of the admitted prefix with candidate and
+    /// probe-verdict caching. Returns the first rejection *after*
+    /// processing the edges admitted before it, leaving the engine in
+    /// exactly the state the per-edge path would.
+    fn insert_batch_sorted(
+        &mut self,
+        batch: &[StreamEdge],
+    ) -> Result<Vec<MatchRecord>, IngestError> {
+        let mut admitted: Vec<StreamEdge> = Vec::with_capacity(batch.len());
+        let mut failure: Option<IngestError> = None;
+        for &e in batch {
+            let mut sigma = e;
+            match self.admit(&mut sigma) {
+                Ok(true) => admitted.push(sigma),
+                Ok(false) => {}
+                Err(err) => {
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        // Verdict reuse requires id-stability (module docs): a duplicate
+        // edge id — against the live table or within the batch — could
+        // flip a binding verdict between run members, so such a batch
+        // runs uncached (it is invalid input anyway; this keeps even the
+        // failure behavior byte-identical to per-edge ingestion).
+        let mut cache_ok = self.join_mode == JoinMode::Probe;
+        if cache_ok {
+            let mut ids: HashSet<EdgeId> = HashSet::with_capacity(admitted.len());
+            for e in &admitted {
+                if self.live.contains_key(&e.id) || !ids.insert(e.id) {
+                    cache_ok = false;
+                    break;
+                }
+            }
+        }
+        // Per-batch signature → candidate-list cache: the plan lookup and
+        // its defensive copy happen once per distinct signature.
+        let mut sigs: Vec<SigCandidates> = Vec::new();
+        let mut out = Vec::new();
+        let mut live = std::mem::take(&mut self.live);
+        self.probe_cache.active = cache_ok;
+        for &sigma in &admitted {
+            let ci = Self::sig_slot(&mut sigs, &self.plan, sigma.signature());
+            self.note_run(&sigma, sigs[ci].0);
+            let candidates = &sigs[ci].1;
+            if !candidates.is_empty() {
+                live.insert(sigma.id, sigma);
+            }
+            out.extend(self.insert_candidates(sigma, &live, candidates));
+        }
+        self.probe_cache.deactivate();
+        self.live = live;
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
+    }
+
+    /// Per-batch candidate cache lookup: position of `sig` in `sigs`,
+    /// resolving (and defensively copying) the plan's candidate list only
+    /// on first sight. Linear search — batches rarely carry more than a
+    /// handful of distinct signatures, and a run-heavy batch hits slot 0.
+    fn sig_slot(
+        sigs: &mut Vec<SigCandidates>,
+        plan: &QueryPlan,
+        sig: (VLabel, VLabel, ELabel),
+    ) -> usize {
+        match sigs.iter().position(|&(s, _)| s == sig) {
+            Some(p) => p,
+            None => {
+                sigs.push((sig, plan.candidates(sig).to_vec()));
+                sigs.len() - 1
+            }
+        }
+    }
+
+    /// Run-break detection for the probe-verdict cache: a new (src, dst,
+    /// signature) triple invalidates every cached verdict — bindings and
+    /// probe keys both change with the endpoints.
+    fn note_run(&mut self, sigma: &StreamEdge, sig: (VLabel, VLabel, ELabel)) {
+        if self.probe_cache.active {
+            let run_key = (sigma.src, sigma.dst, sig);
+            if self.probe_cache.run_key != Some(run_key) {
+                self.probe_cache.reset_run(run_key);
+            }
+        }
     }
 
     /// Algorithm 1 against an externally owned window: processes an
@@ -486,7 +830,70 @@ impl<S: MatchStore> TimingEngine<S> {
             return Ok(Vec::new());
         }
         let candidates: Vec<usize> = self.plan.candidates(sigma.signature()).to_vec();
-        Ok(self.insert_candidates(sigma, live, candidates))
+        Ok(self.insert_candidates(sigma, live, &candidates))
+    }
+
+    /// Batch form of [`TimingEngine::insert_at`]: applies a routed
+    /// sub-batch against the externally owned window, stopping at the
+    /// first rejection exactly like [`TimingEngine::insert_batch`]. The
+    /// caller must have admitted every batch edge to `live` already and
+    /// guarantees stream-wide id uniqueness (the multi-query front-end's
+    /// [`IngestGate`](crate::ingest::IngestGate) enforces both), so the
+    /// verdict cache only re-checks batch-internal duplicates.
+    pub fn insert_batch_at<L: LiveEdgeView>(
+        &mut self,
+        batch: &[StreamEdge],
+        live: &L,
+    ) -> Result<Vec<MatchRecord>, IngestError> {
+        self.refuel_batch();
+        let result = match self.batch_mode {
+            BatchMode::PerEdge => {
+                let mut out = Vec::new();
+                for &e in batch {
+                    out.extend(self.insert_at(e, live)?);
+                }
+                Ok(out)
+            }
+            BatchMode::Sorted => {
+                let mut admitted: Vec<StreamEdge> = Vec::with_capacity(batch.len());
+                let mut failure: Option<IngestError> = None;
+                for &e in batch {
+                    let mut sigma = e;
+                    match self.admit(&mut sigma) {
+                        Ok(true) => admitted.push(sigma),
+                        Ok(false) => {}
+                        Err(err) => {
+                            failure = Some(err);
+                            break;
+                        }
+                    }
+                }
+                let mut cache_ok = self.join_mode == JoinMode::Probe;
+                if cache_ok {
+                    let mut ids: HashSet<EdgeId> = HashSet::with_capacity(admitted.len());
+                    cache_ok = admitted.iter().all(|e| ids.insert(e.id));
+                }
+                let mut sigs: Vec<SigCandidates> = Vec::new();
+                let mut out = Vec::new();
+                self.probe_cache.active = cache_ok;
+                for &sigma in &admitted {
+                    let ci = Self::sig_slot(&mut sigs, &self.plan, sigma.signature());
+                    self.note_run(&sigma, sigs[ci].0);
+                    let candidates = &sigs[ci].1;
+                    out.extend(self.insert_candidates(sigma, live, candidates));
+                }
+                self.probe_cache.deactivate();
+                match failure {
+                    Some(err) => Err(err),
+                    None => Ok(out),
+                }
+            }
+        };
+        #[cfg(feature = "debug-audit")]
+        if result.is_ok() {
+            self.debug_audit("end-of-batch");
+        }
+        result
     }
 
     /// The shared insert body: both entry points resolve the signature →
@@ -495,7 +902,7 @@ impl<S: MatchStore> TimingEngine<S> {
         &mut self,
         sigma: StreamEdge,
         live: &L,
-        candidates: Vec<usize>,
+        candidates: &[usize],
     ) -> Vec<MatchRecord> {
         self.stats.edges_processed += 1;
         if candidates.is_empty() {
@@ -504,7 +911,7 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         let mut out = Vec::new();
         let mut stored_any = false;
-        for qe in candidates {
+        for &qe in candidates {
             let q_edge = self.plan.query.edges[qe];
             // A self-loop query edge only matches self-loop data edges and
             // vice versa (signatures cannot tell).
@@ -577,32 +984,81 @@ impl<S: MatchStore> TimingEngine<S> {
         let mut sigma_side = std::mem::take(&mut self.scratch_sigma);
         sigma_side.edges.clear();
         sigma_side.edges.push((qe, *sigma));
+        // Run-level verdict reuse (module docs): within a run the bucket's
+        // visit sequence for an earlier run member is an exact prefix of a
+        // later member's (append-only mid-run, monotone cutoff), so cached
+        // verdicts align slot-for-slot with the entries visited here.
+        let caching = self.probe_cache.active && self.join_mode == JoinMode::Probe;
+        let mut verdicts = if caching { self.probe_cache.take_for(qe) } else { Vec::new() };
         {
             let plan = &self.plan;
             let seq = &plan.subs[i].seq;
+            let mut replay = 0usize;
             let mut visit = |h: Handle, edges: &[EdgeId]| {
+                let slot = replay;
+                replay += 1;
+                if caching && slot < verdicts.len() {
+                    match verdicts[slot] {
+                        Verdict::Accept(h2, key) => {
+                            debug_assert_eq!(h2, h, "verdict cache misaligned with bucket");
+                            parents.push((h2, key));
+                            return;
+                        }
+                        Verdict::Reject => return,
+                        Verdict::Retest => {}
+                    }
+                }
+                // First visit of this entry in the current run (or a
+                // Retest slot): run the full evaluation, recording the
+                // verdict when it is binding-only and thus run-stable.
+                let fresh = caching && slot >= verdicts.len();
                 // Timing chain: the prefix's last (newest) edge must
                 // precede σ. In Probe mode the store already cut the
                 // bucket at σ.ts (ordered-bucket invariant), so this is a
                 // no-op there; ProbeAll/Scan filter per candidate.
                 let last_edge = resolve(live, edges[j - 1]);
                 if last_edge.ts >= sigma.ts {
+                    if fresh {
+                        verdicts.push(Verdict::Retest);
+                    }
                     return;
                 }
                 prefix.edges.clear();
                 prefix.edges.extend(
                     edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))),
                 );
-                if prefix.compatible_with(&plan.query, &sigma_side) {
-                    let key = plan.stored_sub_key(i, j, |lvl| {
-                        if lvl == j {
-                            (sigma.src, sigma.dst)
-                        } else {
-                            let e = prefix.edges[lvl].1;
-                            (e.src, e.dst)
+                match compat_sides(&plan.query, &prefix.edges, &sigma_side.edges) {
+                    Compat::Ok => {
+                        let key = plan.stored_sub_key(i, j, |lvl| {
+                            if lvl == j {
+                                (sigma.src, sigma.dst)
+                            } else {
+                                let e = prefix.edges[lvl].1;
+                                (e.src, e.dst)
+                            }
+                        });
+                        parents.push((h, key));
+                        if fresh {
+                            verdicts.push(Verdict::Accept(h, key));
                         }
-                    });
-                    parents.push((h, key));
+                    }
+                    // Binding verdicts depend only on ids and endpoint
+                    // bindings — constant across the run — so a rejection
+                    // replays as a rejection.
+                    Compat::BindingMismatch => {
+                        if fresh {
+                            verdicts.push(Verdict::Reject);
+                        }
+                    }
+                    // Timing depends on σ.ts, which varies within a run:
+                    // never cached (unreachable under Probe's cutoff, but
+                    // the defensive arm keeps the cache sound even if a
+                    // store over-delivers).
+                    Compat::TimingViolation => {
+                        if fresh {
+                            verdicts.push(Verdict::Retest);
+                        }
+                    }
                 }
             };
             match self.join_mode {
@@ -618,6 +1074,9 @@ impl<S: MatchStore> TimingEngine<S> {
                 }
                 JoinMode::Scan => self.store.for_each_sub(i, j - 1, &mut visit),
             }
+        }
+        if caching {
+            self.probe_cache.put_back(qe, verdicts);
         }
         self.scratch_prefix = prefix;
         self.scratch_sigma = sigma_side;
@@ -646,17 +1105,33 @@ impl<S: MatchStore> TimingEngine<S> {
             }
             return;
         }
-        // Expand the fresh subquery-i matches once.
-        let delta_sides: Vec<(Handle, PartialAssignment)> =
-            delta.iter().map(|&h| (h, self.expand_assignment(i, h, live))).collect();
+        // All merged assignments and component lists for this propagation
+        // live in the columnar arena (capacity reused across arrivals);
+        // rows are index spans, extension is `extend_from_within`.
+        let mut arena = std::mem::take(&mut self.arena);
+        arena.clear();
+        // Expand the fresh subquery-i matches once, as arena spans.
+        let mut delta_rows: Vec<ArenaRow> = Vec::with_capacity(delta.len());
+        for &h in delta {
+            let e0 = arena.edges.len() as u32;
+            self.append_assignment(i, h, live, &mut arena.edges);
+            let c0 = arena.comps.len() as u32;
+            arena.comps.push(h);
+            delta_rows.push(ArenaRow {
+                h,
+                e0,
+                e1: arena.edges.len() as u32,
+                c0,
+                c1: arena.comps.len() as u32,
+            });
+        }
 
-        // Entries are L₀-level-`cur` matches as (handle, components,
-        // merged assignment).
+        // Entries are L₀-level-`cur` matches.
         let mut cur: usize;
-        let mut entries: Vec<(Handle, Vec<Handle>, PartialAssignment)>;
+        let mut entries: Vec<ArenaRow>;
         if i == 0 {
             cur = 0;
-            entries = delta_sides.into_iter().map(|(h, a)| (h, vec![h], a)).collect();
+            entries = delta_rows;
         } else {
             // Join Δ with Ω(L₀^{i-1}).
             self.stats.join_ops += 1;
@@ -664,57 +1139,43 @@ impl<S: MatchStore> TimingEngine<S> {
             entries = Vec::new();
             match self.join_mode {
                 JoinMode::Scan => {
-                    let rows = self.read_l0_rows(i - 1, live);
-                    'outer: for (ph, comps, row_side) in &rows {
-                        for (dh, d_side) in &delta_sides {
-                            if row_side.compatible_with(&self.plan.query, d_side) {
+                    let rows = self.read_l0_rows_arena(i - 1, live, &mut arena);
+                    'outer: for &row in &rows {
+                        for &d in &delta_rows {
+                            if self.spans_compatible(&arena, row, d) {
                                 if self.cap_reached() {
                                     break 'outer;
                                 }
-                                self.push_l0_entry(
-                                    i,
-                                    *ph,
-                                    comps,
-                                    row_side,
-                                    *dh,
-                                    d_side,
-                                    now,
-                                    &mut entries,
-                                );
+                                self.push_l0_entry(i, row, d, now, &mut arena, &mut entries);
                             }
                         }
                     }
                 }
                 JoinMode::Probe | JoinMode::ProbeAll => {
-                    // Probe Ω(L₀^{i-1}) by Δ's shared-vertex bindings.
-                    'outer: for (dh, d_side) in &delta_sides {
+                    // Probe Ω(L₀^{i-1}) by Δ's shared-vertex bindings
+                    // (Δ spans hold subquery i's edges in level order, so
+                    // level ↦ span offset directly).
+                    'outer: for &d in &delta_rows {
                         let key = self.plan.l0_delta_key(i, |lvl| {
-                            let e = d_side.edges[lvl].1;
+                            let e = arena.edges[d.e0 as usize + lvl].1;
                             (e.src, e.dst)
                         });
                         // Rows below the constraint floor cannot join Δ;
                         // the keyed read binary-searches past them.
                         let min_ts = if self.join_mode == JoinMode::Probe {
-                            self.plan.l0_row_ts_floor(i, |lvl| d_side.edges[lvl].1.ts.0)
+                            self.plan
+                                .l0_row_ts_floor(i, |lvl| arena.edges[d.e0 as usize + lvl].1.ts.0)
                         } else {
                             0
                         };
-                        let rows = self.read_l0_rows_keyed_from(i - 1, key, min_ts, live);
-                        for (ph, comps, row_side) in &rows {
-                            if row_side.compatible_with(&self.plan.query, d_side) {
+                        let rows =
+                            self.read_l0_rows_keyed_arena(i - 1, key, min_ts, live, &mut arena);
+                        for &row in &rows {
+                            if self.spans_compatible(&arena, row, d) {
                                 if self.cap_reached() {
                                     break 'outer;
                                 }
-                                self.push_l0_entry(
-                                    i,
-                                    *ph,
-                                    comps,
-                                    row_side,
-                                    *dh,
-                                    d_side,
-                                    now,
-                                    &mut entries,
-                                );
+                                self.push_l0_entry(i, row, d, now, &mut arena, &mut entries);
                             }
                         }
                     }
@@ -728,16 +1189,14 @@ impl<S: MatchStore> TimingEngine<S> {
             let mut next = Vec::new();
             match self.join_mode {
                 JoinMode::Scan => {
-                    let leaves = self.read_leaves(next_sub, live);
-                    'outer2: for (ph, comps, side) in &entries {
-                        for (lh, leaf_side) in &leaves {
-                            if side.compatible_with(&self.plan.query, leaf_side) {
+                    let leaves = self.read_leaves_arena(next_sub, live, &mut arena);
+                    'outer2: for &row in &entries {
+                        for &leaf in &leaves {
+                            if self.spans_compatible(&arena, row, leaf) {
                                 if self.cap_reached() {
                                     break 'outer2;
                                 }
-                                self.push_l0_entry(
-                                    next_sub, *ph, comps, side, *lh, leaf_side, now, &mut next,
-                                );
+                                self.push_l0_entry(next_sub, row, leaf, now, &mut arena, &mut next);
                             }
                         }
                     }
@@ -745,44 +1204,28 @@ impl<S: MatchStore> TimingEngine<S> {
                 JoinMode::Probe | JoinMode::ProbeAll => {
                     // Probe subquery `next_sub`'s leaves by each row's
                     // shared-vertex bindings.
-                    'outer3: for (ph, comps, side) in &entries {
+                    'outer3: for &row in &entries {
                         let key = self.plan.l0_row_key(next_sub, |sub, lvl| {
-                            let qe = self.plan.subs[sub].seq[lvl];
-                            let e = side
-                                .edges
-                                .iter()
-                                .find(|&&(q, _)| q == qe)
-                                .unwrap_or_else(|| unreachable!("row binds its own query edges"))
-                                .1;
+                            let e = Self::span_edge_of(&self.plan, &arena, row, sub, lvl);
                             (e.src, e.dst)
                         });
                         // Leaves below the row's constraint floor cannot
                         // join; skip them before expanding assignments.
                         let min_ts = if self.join_mode == JoinMode::Probe {
                             self.plan.leaf_ts_floor(next_sub, |sub, lvl| {
-                                let qe = self.plan.subs[sub].seq[lvl];
-                                side.edges
-                                    .iter()
-                                    .find(|&&(q, _)| q == qe)
-                                    .unwrap_or_else(|| {
-                                        unreachable!("row binds its own query edges")
-                                    })
-                                    .1
-                                    .ts
-                                    .0
+                                Self::span_edge_of(&self.plan, &arena, row, sub, lvl).ts.0
                             })
                         } else {
                             0
                         };
-                        let leaves = self.read_leaves_keyed_from(next_sub, key, min_ts, live);
-                        for (lh, leaf_side) in &leaves {
-                            if side.compatible_with(&self.plan.query, leaf_side) {
+                        let leaves =
+                            self.read_leaves_keyed_arena(next_sub, key, min_ts, live, &mut arena);
+                        for &leaf in &leaves {
+                            if self.spans_compatible(&arena, row, leaf) {
                                 if self.cap_reached() {
                                     break 'outer3;
                                 }
-                                self.push_l0_entry(
-                                    next_sub, *ph, comps, side, *lh, leaf_side, now, &mut next,
-                                );
+                                self.push_l0_entry(next_sub, row, leaf, now, &mut arena, &mut next);
                             }
                         }
                     }
@@ -792,168 +1235,223 @@ impl<S: MatchStore> TimingEngine<S> {
             entries = next;
         }
         if cur == k - 1 {
-            for (_, comps, _) in entries {
-                out.push(self.record_of(&comps, live));
+            for r in entries {
+                out.push(self.record_of(&arena.comps[r.c0 as usize..r.c1 as usize], live));
             }
         }
+        arena.clear();
+        self.arena = arena;
     }
 
-    /// Inserts one `L₀` row at item `level` (parent `ph` × component `dh`)
-    /// under its stored join key and appends the extended entry. `now` is
-    /// the row's completion timestamp — its newest component's newest edge
-    /// is always the arrival driving this propagation.
-    #[allow(clippy::too_many_arguments)]
+    /// Join check over two arena spans — no assignment is materialized.
+    fn spans_compatible(&self, arena: &RowArena, a: ArenaRow, b: ArenaRow) -> bool {
+        compat_sides(
+            &self.plan.query,
+            &arena.edges[a.e0 as usize..a.e1 as usize],
+            &arena.edges[b.e0 as usize..b.e1 as usize],
+        ) == Compat::Ok
+    }
+
+    /// The data edge a row span assigns to (subquery `sub`, level `lvl`).
+    fn span_edge_of(
+        plan: &QueryPlan,
+        arena: &RowArena,
+        row: ArenaRow,
+        sub: usize,
+        lvl: usize,
+    ) -> StreamEdge {
+        let qe = plan.subs[sub].seq[lvl];
+        arena.edges[row.e0 as usize..row.e1 as usize]
+            .iter()
+            .find(|&&(q, _)| q == qe)
+            .unwrap_or_else(|| unreachable!("row binds its own query edges"))
+            .1
+    }
+
+    /// Inserts one `L₀` row at item `level` (parent `row` × component
+    /// `d`) under its stored join key and appends the extended entry —
+    /// two `extend_from_within` calls over the arena columns, no clone.
+    /// `now` is the row's completion timestamp — its newest component's
+    /// newest edge is always the arrival driving this propagation.
     fn push_l0_entry(
         &mut self,
         level: usize,
-        ph: Handle,
-        comps: &[Handle],
-        row_side: &PartialAssignment,
-        dh: Handle,
-        d_side: &PartialAssignment,
+        row: ArenaRow,
+        d: ArenaRow,
         now: u64,
-        entries: &mut Vec<(Handle, Vec<Handle>, PartialAssignment)>,
+        arena: &mut RowArena,
+        entries: &mut Vec<ArenaRow>,
     ) {
-        let mut merged = row_side.clone();
-        merged.edges.extend_from_slice(&d_side.edges);
+        let e0 = arena.edges.len() as u32;
+        arena.edges.extend_from_within(row.e0 as usize..row.e1 as usize);
+        arena.edges.extend_from_within(d.e0 as usize..d.e1 as usize);
+        let e1 = arena.edges.len() as u32;
         debug_assert_eq!(
-            merged.max_ts().map(|t| t.0),
+            arena.edges[e0 as usize..e1 as usize].iter().map(|&(_, e)| e.ts.0).max(),
             Some(now),
             "an L₀ row completes at the triggering arrival's timestamp"
         );
+        let merged = ArenaRow { h: row.h, e0, e1, c0: 0, c1: 0 };
         let key = self.plan.stored_l0_key(level, |sub, lvl| {
-            let qe = self.plan.subs[sub].seq[lvl];
-            let e = merged
-                .edges
-                .iter()
-                .find(|&&(q, _)| q == qe)
-                .unwrap_or_else(|| unreachable!("merged row binds its own query edges"))
-                .1;
+            let e = Self::span_edge_of(&self.plan, arena, merged, sub, lvl);
             (e.src, e.dst)
         });
-        let nh = self.store.insert_l0(level, ph, dh, now, key);
+        let nh = self.store.insert_l0(level, row.h, d.h, now, key);
         self.stats.partials_inserted += 1;
-        let mut nc = comps.to_vec();
-        nc.push(dh);
-        entries.push((nh, nc, merged));
+        let c0 = arena.comps.len() as u32;
+        arena.comps.extend_from_within(row.c0 as usize..row.c1 as usize);
+        arena.comps.push(d.h);
+        entries.push(ArenaRow { h: nh, e0, e1, c0, c1: arena.comps.len() as u32 });
     }
 
-    /// Builds the merged assignment of an `L₀` row from its components.
-    fn merge_row<L: LiveEdgeView>(&self, comps: &[Handle], live: &L) -> PartialAssignment {
-        let mut merged = PartialAssignment::default();
-        for (sub, &c) in comps.iter().enumerate() {
-            merged.edges.extend_from_slice(&self.expand_assignment(sub, c, live).edges);
-        }
-        merged
-    }
-
-    /// Reads `Ω(L₀^m)` as (handle, components, merged assignment) rows;
-    /// `m == 0` is the aliased `Ω(Q^1)` (subquery-0 leaves).
-    fn read_l0_rows<L: LiveEdgeView>(
+    /// Reads `Ω(L₀^m)` into arena spans; `m == 0` is the aliased
+    /// `Ω(Q^1)` (subquery-0 leaves).
+    fn read_l0_rows_arena<L: LiveEdgeView>(
         &self,
         m: usize,
         live: &L,
-    ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
-        let mut rows = Vec::new();
+        arena: &mut RowArena,
+    ) -> Vec<ArenaRow> {
         if m == 0 {
-            for (h, side) in self.read_leaves(0, live) {
-                rows.push((h, vec![h], side));
-            }
-        } else {
-            let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
-            self.store.for_each_l0(m, &mut |h, comps| raw.push((h, comps.to_vec())));
-            for (h, comps) in raw {
-                let merged = self.merge_row(&comps, live);
-                rows.push((h, comps, merged));
-            }
+            return self.read_leaves_arena(0, live, arena);
         }
-        rows
-    }
-
-    /// Keyed counterpart of [`TimingEngine::read_l0_rows`]: only the rows
-    /// filed under `key` with completion timestamp `≥ min_ts` — rows below
-    /// the floor are skipped by binary search *before* any merged
-    /// assignment is built (`min_ts == 0` reads the whole bucket).
-    fn read_l0_rows_keyed_from<L: LiveEdgeView>(
-        &self,
-        m: usize,
-        key: JoinKey,
-        min_ts: u64,
-        live: &L,
-    ) -> Vec<(Handle, Vec<Handle>, PartialAssignment)> {
-        let mut rows = Vec::new();
-        if m == 0 {
-            for (h, side) in self.read_leaves_keyed_from(0, key, min_ts, live) {
-                rows.push((h, vec![h], side));
-            }
-        } else {
-            let mut raw: Vec<(Handle, Vec<Handle>)> = Vec::new();
-            self.store.for_each_l0_keyed_from(m, key, min_ts, &mut |h, comps| {
-                raw.push((h, comps.to_vec()))
+        let mut rows: Vec<ArenaRow> = Vec::new();
+        {
+            let comps_col = &mut arena.comps;
+            self.store.for_each_l0(m, &mut |h, comps| {
+                let c0 = comps_col.len() as u32;
+                comps_col.extend_from_slice(comps);
+                rows.push(ArenaRow { h, e0: 0, e1: 0, c0, c1: comps_col.len() as u32 });
             });
-            for (h, comps) in raw {
-                let merged = self.merge_row(&comps, live);
-                rows.push((h, comps, merged));
-            }
         }
+        self.expand_row_spans(&mut rows, live, arena);
         rows
     }
 
-    /// Reads the complete matches of subquery `sub` with expansions.
-    fn read_leaves<L: LiveEdgeView>(
+    /// Keyed counterpart of [`TimingEngine::read_l0_rows_arena`]: only the
+    /// rows filed under `key` with completion timestamp `≥ min_ts` — rows
+    /// below the floor are skipped by binary search *before* any merged
+    /// assignment is built (`min_ts == 0` reads the whole bucket).
+    fn read_l0_rows_keyed_arena<L: LiveEdgeView>(
+        &self,
+        m: usize,
+        key: JoinKey,
+        min_ts: u64,
+        live: &L,
+        arena: &mut RowArena,
+    ) -> Vec<ArenaRow> {
+        if m == 0 {
+            return self.read_leaves_keyed_arena(0, key, min_ts, live, arena);
+        }
+        let mut rows: Vec<ArenaRow> = Vec::new();
+        {
+            let comps_col = &mut arena.comps;
+            self.store.for_each_l0_keyed_from(m, key, min_ts, &mut |h, comps| {
+                let c0 = comps_col.len() as u32;
+                comps_col.extend_from_slice(comps);
+                rows.push(ArenaRow { h, e0: 0, e1: 0, c0, c1: comps_col.len() as u32 });
+            });
+        }
+        self.expand_row_spans(&mut rows, live, arena);
+        rows
+    }
+
+    /// Second pass of the `L₀` reads: expands each row's component
+    /// handles (already parked in the comps column) into its edge span.
+    /// Split from the store callback because expansion needs the store
+    /// borrow the callback holds.
+    fn expand_row_spans<L: LiveEdgeView>(
+        &self,
+        rows: &mut [ArenaRow],
+        live: &L,
+        arena: &mut RowArena,
+    ) {
+        for r in rows {
+            r.e0 = arena.edges.len() as u32;
+            for (sub, ci) in (r.c0 as usize..r.c1 as usize).enumerate() {
+                let c = arena.comps[ci];
+                self.append_assignment(sub, c, live, &mut arena.edges);
+            }
+            r.e1 = arena.edges.len() as u32;
+        }
+    }
+
+    /// Reads the complete matches of subquery `sub` into arena spans.
+    fn read_leaves_arena<L: LiveEdgeView>(
         &self,
         sub: usize,
         live: &L,
-    ) -> Vec<(Handle, PartialAssignment)> {
+        arena: &mut RowArena,
+    ) -> Vec<ArenaRow> {
         let seq = &self.plan.subs[sub].seq;
         let last = seq.len() - 1;
-        let mut out = Vec::new();
-        self.store.for_each_sub(sub, last, &mut |h, edges| {
-            let side = PartialAssignment::new(
-                edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
-            );
-            out.push((h, side));
+        let mut rows = Vec::new();
+        let edges_col = &mut arena.edges;
+        let comps_col = &mut arena.comps;
+        self.store.for_each_sub(sub, last, &mut |h, ids| {
+            let e0 = edges_col.len() as u32;
+            edges_col
+                .extend(ids.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))));
+            let c0 = comps_col.len() as u32;
+            comps_col.push(h);
+            rows.push(ArenaRow {
+                h,
+                e0,
+                e1: edges_col.len() as u32,
+                c0,
+                c1: comps_col.len() as u32,
+            });
         });
-        out
+        rows
     }
 
-    /// Keyed counterpart of [`TimingEngine::read_leaves`]: only leaves
-    /// with completion timestamp `≥ min_ts` (binary-searched; `0` reads
-    /// the whole bucket).
-    fn read_leaves_keyed_from<L: LiveEdgeView>(
+    /// Keyed counterpart of [`TimingEngine::read_leaves_arena`]: only
+    /// leaves with completion timestamp `≥ min_ts` (binary-searched; `0`
+    /// reads the whole bucket).
+    fn read_leaves_keyed_arena<L: LiveEdgeView>(
         &self,
         sub: usize,
         key: JoinKey,
         min_ts: u64,
         live: &L,
-    ) -> Vec<(Handle, PartialAssignment)> {
+        arena: &mut RowArena,
+    ) -> Vec<ArenaRow> {
         let seq = &self.plan.subs[sub].seq;
         let last = seq.len() - 1;
-        let mut out = Vec::new();
-        self.store.for_each_sub_keyed_from(sub, last, key, min_ts, &mut |h, edges| {
-            let side = PartialAssignment::new(
-                edges.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
-            );
-            out.push((h, side));
+        let mut rows = Vec::new();
+        let edges_col = &mut arena.edges;
+        let comps_col = &mut arena.comps;
+        self.store.for_each_sub_keyed_from(sub, last, key, min_ts, &mut |h, ids| {
+            let e0 = edges_col.len() as u32;
+            edges_col
+                .extend(ids.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))));
+            let c0 = comps_col.len() as u32;
+            comps_col.push(h);
+            rows.push(ArenaRow {
+                h,
+                e0,
+                e1: edges_col.len() as u32,
+                c0,
+                c1: comps_col.len() as u32,
+            });
         });
-        out
+        rows
     }
 
-    /// Expands a complete match handle of subquery `sub` into an
-    /// assignment (through the engine's reusable edge-id scratch).
-    fn expand_assignment<L: LiveEdgeView>(
+    /// Expands a complete match handle of subquery `sub` onto the end of
+    /// an edge column (through the engine's reusable edge-id scratch).
+    fn append_assignment<L: LiveEdgeView>(
         &self,
         sub: usize,
         h: Handle,
         live: &L,
-    ) -> PartialAssignment {
+        out: &mut Vec<(usize, StreamEdge)>,
+    ) {
         let mut ids = self.scratch_ids.borrow_mut();
         ids.clear();
         self.store.expand_sub(sub, h, &mut ids);
         let seq = &self.plan.subs[sub].seq;
-        PartialAssignment::new(
-            ids.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))).collect(),
-        )
+        out.extend(ids.iter().enumerate().map(|(lvl, &id)| (seq[lvl], resolve(live, id))));
     }
 
     /// Builds the reported record from component handles (subqueries
@@ -1461,5 +1959,156 @@ mod tests {
         assert!(peak > 0);
         // Space stays bounded (window evicts).
         assert!(eng.space_bytes() <= peak);
+    }
+
+    /// Random streams chunked at random batch boundaries: the Sorted batch
+    /// path must emit byte-identical match streams AND stats vs PerEdge,
+    /// for both stores, all join modes, with window expiry in play.
+    #[test]
+    fn batch_modes_are_equivalent() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..4u64 {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x6a7c);
+            let edges: Vec<StreamEdge> = (0..300)
+                .map(|i| {
+                    let src = rng.gen_range(0..6u32);
+                    let mut dst = rng.gen_range(0..6u32);
+                    while dst == src {
+                        dst = rng.gen_range(0..6u32);
+                    }
+                    // Bursty timestamps so runs of equal signatures and
+                    // multi-arrival batch steps both occur.
+                    StreamEdge::new(i, src, (src % 3) as u16, dst, (dst % 3) as u16, 0, i / 3 + 1)
+                })
+                .collect();
+            for pairs in [vec![], vec![(0, 1)]] {
+                let q = QueryGraph::new(
+                    vec![VLabel(0), VLabel(1), VLabel(2)],
+                    vec![
+                        QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                        QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+                    ],
+                    &pairs,
+                )
+                .unwrap();
+                for mode in [JoinMode::Probe, JoinMode::ProbeAll, JoinMode::Scan] {
+                    let mut per: TimingEngine<MsTreeStore> = mk(q.clone());
+                    per.set_batch_mode(BatchMode::PerEdge);
+                    per.set_join_mode(mode);
+                    let mut srt: TimingEngine<MsTreeStore> = mk(q.clone());
+                    srt.set_join_mode(mode);
+                    let mut ind_per: TimingEngine<IndependentStore> = mk(q.clone());
+                    ind_per.set_batch_mode(BatchMode::PerEdge);
+                    ind_per.set_join_mode(mode);
+                    let mut ind_srt: TimingEngine<IndependentStore> = mk(q.clone());
+                    ind_srt.set_join_mode(mode);
+                    let mut ws = [
+                        SlidingWindow::new(40),
+                        SlidingWindow::new(40),
+                        SlidingWindow::new(40),
+                        SlidingWindow::new(40),
+                    ];
+                    let mut rest = edges.as_slice();
+                    while !rest.is_empty() {
+                        let n = rng.gen_range(1..=rest.len().min(64));
+                        let (chunk, tail) = rest.split_at(n);
+                        rest = tail;
+                        let a: Vec<MatchRecord> =
+                            chunk.iter().flat_map(|&e| per.advance(&ws[0].advance(e))).collect();
+                        let b = srt.advance_batch(&ws[1].advance_batch(chunk));
+                        let c: Vec<MatchRecord> = chunk
+                            .iter()
+                            .flat_map(|&e| ind_per.advance(&ws[2].advance(e)))
+                            .collect();
+                        let d = ind_srt.advance_batch(&ws[3].advance_batch(chunk));
+                        // Byte-identical per store; set-identical across
+                        // stores (their scan orders legitimately differ).
+                        assert_eq!(a, b, "seed {seed} pairs {pairs:?} mode {mode:?}");
+                        assert_eq!(c, d, "seed {seed} pairs {pairs:?} mode {mode:?} (ind)");
+                        let (mut sa, mut sc) = (a, c);
+                        sa.sort();
+                        sc.sort();
+                        assert_eq!(sa, sc, "seed {seed} pairs {pairs:?} {mode:?} (cross)");
+                    }
+                    assert_eq!(per.stats(), srt.stats(), "seed {seed} pairs {pairs:?} {mode:?}");
+                    assert_eq!(
+                        ind_per.stats(),
+                        ind_srt.stats(),
+                        "seed {seed} pairs {pairs:?} {mode:?} (ind)"
+                    );
+                    assert_eq!(per.ingest_stats(), srt.ingest_stats());
+                }
+            }
+        }
+    }
+
+    /// A run of same-(src, dst, signature) arrivals exercises the verdict
+    /// cache; interleaving run breaks and a mid-stream duplicate id (which
+    /// disables caching for its batch) must not change anything.
+    #[test]
+    fn batch_run_cache_is_invisible() {
+        let q = path2_query(&[(0, 1)]);
+        let mut per: TimingEngine<MsTreeStore> = mk(q.clone());
+        per.set_batch_mode(BatchMode::PerEdge);
+        let mut srt: TimingEngine<MsTreeStore> = mk(q);
+        let mut batch = Vec::new();
+        let mut id = 0u64;
+        // One a→b parent, then a run of parallel b→c arrivals that all
+        // probe the same bucket prefix.
+        batch.push(StreamEdge::new(id, 10, 0, 11, 1, 0, 1));
+        for t in 2..40u64 {
+            id += 1;
+            batch.push(StreamEdge::new(id, 11, 1, 12, 2, 0, t));
+        }
+        // Run break: a second level-0 parent, then more of the run.
+        id += 1;
+        batch.push(StreamEdge::new(id, 10, 0, 11, 1, 0, 40));
+        for t in 41..60u64 {
+            id += 1;
+            batch.push(StreamEdge::new(id, 11, 1, 12, 2, 0, t));
+        }
+        let a = per.insert_batch(&batch).unwrap();
+        let b = srt.insert_batch(&batch).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(per.stats(), srt.stats());
+        assert!(!a.is_empty());
+        // Duplicate id within a batch: caching is disabled, results still
+        // match the per-edge path exactly (the duplicate is processed
+        // like any other arrival — id uniqueness is the gate's job).
+        let dup =
+            [StreamEdge::new(900, 11, 1, 12, 2, 0, 60), StreamEdge::new(900, 11, 1, 12, 2, 0, 60)];
+        let a2 = per.insert_batch(&dup).unwrap();
+        let b2 = srt.insert_batch(&dup).unwrap();
+        assert_eq!(a2, b2);
+        assert_eq!(per.stats(), srt.stats());
+    }
+
+    /// Engine-level fuel: a tiny per-batch budget defers compactions
+    /// (visible as declared debt), later batches pay it down, and
+    /// settling or disarming clears it — all without changing results.
+    #[test]
+    fn batch_fuel_defers_and_settles_via_engine() {
+        let q = path2_query(&[]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        eng.set_batch_fuel(Some(0));
+        let mut w = SlidingWindow::new(30);
+        let mut deferred_seen = false;
+        for t in 1..400u64 {
+            let (s, sl, d, dl) = if t % 2 == 1 { (10, 0, 11, 1) } else { (11, 1, 12, 2) };
+            let ev = w.advance_batch(&[StreamEdge::new(t, s, sl, d, dl, 0, t)]);
+            eng.advance_batch(&ev);
+            deferred_seen |= eng.deferred_maintenance() > 0;
+        }
+        assert!(deferred_seen, "zero-fuel batches never deferred a compaction");
+        // A generous refuel (carried forward across batches) pays debt.
+        eng.set_batch_fuel(Some(1_000_000));
+        let ev = w.advance_batch(&[StreamEdge::new(400, 10, 0, 11, 1, 0, 400)]);
+        eng.advance_batch(&ev);
+        assert_eq!(eng.deferred_maintenance(), 0);
+        // Settle is idempotent; disarming restores eager maintenance.
+        eng.settle_maintenance();
+        eng.set_batch_fuel(None);
+        assert_eq!(eng.deferred_maintenance(), 0);
     }
 }

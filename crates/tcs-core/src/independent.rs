@@ -15,23 +15,30 @@
 //! (= timestamp) order, the slab-world stand-in for the MS-tree's
 //! intrusive item list.
 //!
-//! Expiry walks the timelines, not the slabs: at the payload level (the
-//! dying rows' newest-edge position) the deaths are the timeline's oldest
-//! prefix and the walk stops at the first entry newer than the expired
-//! edge; at deeper levels the walk binary-searches to the possibly
-//! affected suffix and breaks out entirely once a level kills nothing (an
-//! extension cannot outlive its stored prefix). Dying rows punch
-//! tombstones into their key bucket (via the row's stored position) and
-//! the timeline (via the walk position); the end of the cascade
-//! front-drains and threshold-compacts whatever was touched — see the
-//! tombstone-lifecycle section of the `store.rs` docs. The descendant
-//! walk itself still inspects each suffix row's payload edge (Timing-IND
-//! has no child pointers to cascade through — that content scan *is* the
-//! ablation), but bucket maintenance costs O(deaths), never O(bucket).
+//! Expiry used to walk the timelines and content-scan each suffix row's
+//! payload edge; each item now also carries a *payload index* — one
+//! `edge → [slots]` map per edge position — so the descendant walk looks
+//! the deaths up directly instead of scanning the `> ts` timeline suffix
+//! per cascade level. Every row containing the expired edge (at any
+//! level) is dead by definition, so the per-(level, payload-edge) lookup
+//! *is* the death set; the cascade still breaks out entirely once a level
+//! kills nothing (an extension cannot outlive its stored prefix). Dying
+//! rows punch tombstones into their key bucket and the timeline (both via
+//! stored back-references); the end of the cascade front-drains and
+//! threshold-compacts whatever was touched — see the tombstone-lifecycle
+//! section of the `store.rs` docs. Timing-IND still has no child pointers
+//! to cascade through — the `L₀` phase keeps its row scan, which *is* the
+//! ablation — but item maintenance costs O(deaths), never O(item).
+//!
+//! Like the MS-tree, the store supports *fueled* maintenance: arming a
+//! tank via [`MatchStore::set_maintenance_fuel`] meters compaction work
+//! per cascade (key buckets and timelines both), deferring
+//! over-threshold buckets as declared debt that [`MatchStore::refuel`]
+//! pays down in deterministic (item, key) order.
 
 use crate::store::{
-    AuditViolation, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreAudit, StoreLayout,
-    ROOT,
+    AuditViolation, CascadeOutcome, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore,
+    StoreAudit, StoreLayout, ROOT,
 };
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
@@ -97,6 +104,11 @@ struct SubRow {
     key: JoinKey,
     /// Absolute position of the row's entry in its key bucket.
     key_pos: u32,
+    /// Absolute position of the row's entry in the item timeline.
+    tl_pos: u32,
+    /// Per edge position: index of this row in the payload-index list for
+    /// `edges[pos]`, so deregistration is O(1) per position.
+    ref_pos: Vec<u32>,
 }
 
 #[derive(Clone, Debug)]
@@ -111,6 +123,8 @@ struct L0Row {
 }
 
 type KeyIndex = HashMap<JoinKey, DrainBucket>;
+/// Per (item, edge position): which live slots hold a given edge there.
+type PayloadIndex = Vec<HashMap<EdgeId, Vec<u32>>>;
 
 /// The independent (uncompressed) storage backend.
 pub struct IndependentStore {
@@ -119,14 +133,24 @@ pub struct IndependentStore {
     /// Join-key index per (subquery, level) item.
     sub_idx: Vec<Vec<KeyIndex>>,
     /// Per (subquery, level) item: every live slot in insertion
-    /// (timestamp) order — the ordered spine `expire_edge` walks. Rows
-    /// don't store their timeline position; expiry punches by walk index.
+    /// (timestamp) order — the ordered spine that keeps expiry punches in
+    /// timestamp order. Rows record their position in `tl_pos`.
     timelines: Vec<Vec<DrainBucket>>,
+    /// Per (subquery, level) item: the payload index (`payload_idx[sub]
+    /// [level][pos]` maps an edge to the rows holding it at `pos`), the
+    /// direct death lookup `expire_edge` uses instead of a content scan.
+    payload_idx: Vec<Vec<PayloadIndex>>,
     l0: Vec<Slab<L0Row>>,
     /// Join-key index per `L₀` item (`l0_idx[i - 1]` for item `i`).
     l0_idx: Vec<KeyIndex>,
     /// Expiry compaction policy.
     mode: ExpiryMode,
+    /// Maintenance fuel tank; `None` means unmetered (compact eagerly).
+    fuel: Option<u64>,
+    /// Declared compaction debt on key buckets, as (item id, key).
+    deferred: HashSet<(u32, JoinKey)>,
+    /// Declared compaction debt on item timelines, as (sub, level).
+    deferred_tl: HashSet<(usize, usize)>,
 }
 
 #[inline]
@@ -158,6 +182,90 @@ impl IndependentStore {
     fn sub_row(&self, sub: usize, level: usize, slot: u32) -> &SubRow {
         self.subs[sub][level].get(slot).unwrap_or_else(|| unreachable!("live sub row"))
     }
+
+    /// Inverse of [`IndependentStore::sub_item_id`] / `l0_item_id`.
+    fn locate_item(&self, item: u32) -> ItemLoc {
+        let mut acc = 0u32;
+        for (sub, &len) in self.layout.sub_lens.iter().enumerate() {
+            if item < acc + len as u32 {
+                return ItemLoc::Sub(sub, (item - acc) as usize);
+            }
+            acc += len as u32;
+        }
+        ItemLoc::L0((item - acc) as usize + 1)
+    }
+
+    /// Pays deferred compaction debt from `tank`, in deterministic order:
+    /// key buckets sorted by (item, key), then timelines by (sub, level).
+    /// Entries whose bucket still cannot afford its compaction stay
+    /// deferred; stale entries (bucket since drained) are dropped.
+    fn pay_debt(&mut self, tank: &mut u64) {
+        let mode = self.mode;
+        let mut entries: Vec<(u32, JoinKey)> = self.deferred.iter().copied().collect();
+        entries.sort_unstable();
+        for (item, key) in entries {
+            let outcome = match self.locate_item(item) {
+                ItemLoc::Sub(sub, level) => {
+                    let slab = &mut self.subs[sub][level];
+                    let index = &mut self.sub_idx[sub][level];
+                    let Some(bucket) = index.get_mut(&key) else {
+                        self.deferred.remove(&(item, key));
+                        continue;
+                    };
+                    let outcome = bucket.finish_cascade_fueled(mode, tank, |s, pos| {
+                        slab.get_mut(s)
+                            .unwrap_or_else(|| unreachable!("survivor is live"))
+                            .key_pos = pos;
+                    });
+                    if outcome == CascadeOutcome::Drained {
+                        index.remove(&key);
+                    }
+                    outcome
+                }
+                ItemLoc::L0(i) => {
+                    let slab = &mut self.l0[i - 1];
+                    let index = &mut self.l0_idx[i - 1];
+                    let Some(bucket) = index.get_mut(&key) else {
+                        self.deferred.remove(&(item, key));
+                        continue;
+                    };
+                    let outcome = bucket.finish_cascade_fueled(mode, tank, |s, pos| {
+                        slab.get_mut(s)
+                            .unwrap_or_else(|| unreachable!("survivor is live"))
+                            .key_pos = pos;
+                    });
+                    if outcome == CascadeOutcome::Drained {
+                        index.remove(&key);
+                    }
+                    outcome
+                }
+            };
+            if outcome != CascadeOutcome::Deferred {
+                self.deferred.remove(&(item, key));
+            }
+        }
+        let mut tls: Vec<(usize, usize)> = self.deferred_tl.iter().copied().collect();
+        tls.sort_unstable();
+        for (sub, level) in tls {
+            let timelines = &mut self.timelines;
+            let subs = &mut self.subs;
+            let outcome = timelines[sub][level].finish_cascade_fueled(mode, tank, |s, pos| {
+                subs[sub][level]
+                    .get_mut(s)
+                    .unwrap_or_else(|| unreachable!("survivor is live"))
+                    .tl_pos = pos;
+            });
+            if outcome != CascadeOutcome::Deferred {
+                self.deferred_tl.remove(&(sub, level));
+            }
+        }
+    }
+}
+
+/// Which container an item id resolves to (see `locate_item`).
+enum ItemLoc {
+    Sub(usize, usize),
+    L0(usize),
 }
 
 /// Audits one slab + key-index pair: slab accounting, every row's bucket
@@ -170,6 +278,7 @@ fn audit_slab_index<T>(
     index: &KeyIndex,
     what: &str,
     row_info: impl Fn(&T) -> (JoinKey, u32, u64),
+    is_deferred: impl Fn(&JoinKey) -> bool,
     out: &mut Vec<AuditViolation>,
 ) {
     const S: &str = "independent";
@@ -229,7 +338,7 @@ fn audit_slab_index<T>(
                 detail: format!("{what}: key {key} bucket has no live entry"),
             });
         }
-        bucket.audit(S, &format!("{what} key {key}"), out);
+        bucket.audit_with_debt(S, &format!("{what} key {key}"), is_deferred(key), out);
     }
 }
 
@@ -240,31 +349,41 @@ impl StoreAudit for IndependentStore {
         for (sub, levels) in self.subs.iter().enumerate() {
             for (level, slab) in levels.iter().enumerate() {
                 let what = format!("sub {sub} level {level}");
+                let item = self.sub_item_id(sub, level);
                 audit_slab_index(
                     slab,
                     &self.sub_idx[sub][level],
                     &what,
                     |r: &SubRow| (r.key, r.key_pos, r.ts),
+                    |key| self.deferred.contains(&(item, *key)),
                     &mut out,
                 );
-                // Rows carry the full prefix: arity is the level + 1.
+                // Rows carry the full prefix: arity is the level + 1, and
+                // every position carries a payload-index back-reference.
                 for (slot, row) in slab.iter() {
-                    if row.edges.len() != level + 1 {
+                    if row.edges.len() != level + 1 || row.ref_pos.len() != level + 1 {
                         out.push(AuditViolation {
                             store: S,
                             invariant: "row-arity",
                             detail: format!(
-                                "{what}: row {slot} holds {} edges, expected {}",
+                                "{what}: row {slot} holds {} edges / {} back-refs, expected {}",
                                 row.edges.len(),
+                                row.ref_pos.len(),
                                 level + 1
                             ),
                         });
                     }
                 }
-                // The timeline (the ordered spine expiry walks) must hold
-                // exactly the live slots, in timestamp order.
+                // The timeline (the ordered spine expiry punches through)
+                // must hold exactly the live slots, in timestamp order,
+                // and every row's stored position must round-trip.
                 let timeline = &self.timelines[sub][level];
-                timeline.audit(S, &format!("{what} timeline"), &mut out);
+                timeline.audit_with_debt(
+                    S,
+                    &format!("{what} timeline"),
+                    self.deferred_tl.contains(&(sub, level)),
+                    &mut out,
+                );
                 let spine: HashSet<u32> = timeline.live_slots().collect();
                 let rows: HashSet<u32> = slab.iter().map(|(slot, _)| slot).collect();
                 if spine != rows {
@@ -278,15 +397,77 @@ impl StoreAudit for IndependentStore {
                         ),
                     });
                 }
+                for (slot, row) in slab.iter() {
+                    let pos_ok = row.tl_pos >= timeline.front()
+                        && timeline
+                            .indexed()
+                            .get((row.tl_pos - timeline.front()) as usize)
+                            .is_some_and(|e| e.slot == slot && e.ts == row.ts);
+                    if !pos_ok {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "timeline-position",
+                            detail: format!(
+                                "{what}: row {slot} timeline position {} does not round-trip",
+                                row.tl_pos
+                            ),
+                        });
+                    }
+                }
+                // Payload-index coherence: every registration points at a
+                // live row holding that edge at that position (and the
+                // row's back-reference agrees), and every position indexes
+                // exactly the live rows.
+                for (pos, map) in self.payload_idx[sub][level].iter().enumerate() {
+                    let mut registered = 0usize;
+                    for (e, refs) in map {
+                        if refs.is_empty() {
+                            out.push(AuditViolation {
+                                store: S,
+                                invariant: "empty-payload-entry",
+                                detail: format!("{what}: pos {pos} edge {e:?} lists no rows"),
+                            });
+                        }
+                        registered += refs.len();
+                        for (rp, &rslot) in refs.iter().enumerate() {
+                            let ok = slab.get(rslot).is_some_and(|r| {
+                                r.edges.get(pos) == Some(e)
+                                    && r.ref_pos.get(pos) == Some(&(rp as u32))
+                            });
+                            if !ok {
+                                out.push(AuditViolation {
+                                    store: S,
+                                    invariant: "payload-position",
+                                    detail: format!(
+                                        "{what}: pos {pos} edge {e:?} entry {rp} does not \
+                                         round-trip through row {rslot}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    if registered != slab.len {
+                        out.push(AuditViolation {
+                            store: S,
+                            invariant: "payload-size",
+                            detail: format!(
+                                "{what}: pos {pos} registers {registered} rows, slab holds {}",
+                                slab.len
+                            ),
+                        });
+                    }
+                }
             }
         }
         for i in 1..self.layout.k() {
             let what = format!("L0 item {i}");
+            let item = self.l0_item_id(i);
             audit_slab_index(
                 &self.l0[i - 1],
                 &self.l0_idx[i - 1],
                 &what,
                 |r: &L0Row| (r.key, r.key_pos, r.ts),
+                |key| self.deferred.contains(&(item, *key)),
                 &mut out,
             );
             for (slot, row) in self.l0[i - 1].iter() {
@@ -322,6 +503,30 @@ impl StoreAudit for IndependentStore {
                 }
             }
         }
+        // Every declared debt entry must still name an existing bucket —
+        // drains and settles are responsible for clearing their entries.
+        for &(item, key) in &self.deferred {
+            let exists = match self.locate_item(item) {
+                ItemLoc::Sub(sub, level) => self.sub_idx[sub][level].contains_key(&key),
+                ItemLoc::L0(i) => self.l0_idx[i - 1].contains_key(&key),
+            };
+            if !exists {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "stale-debt",
+                    detail: format!("item {item} key {key} is deferred but has no bucket"),
+                });
+            }
+        }
+        for &(sub, level) in &self.deferred_tl {
+            if self.timelines.get(sub).and_then(|ls| ls.get(level)).is_none() {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "stale-debt",
+                    detail: format!("timeline ({sub}, {level}) is deferred but does not exist"),
+                });
+            }
+        }
         out
     }
 }
@@ -343,6 +548,11 @@ impl MatchStore for IndependentStore {
             .iter()
             .map(|&len| (0..len).map(|_| DrainBucket::default()).collect())
             .collect();
+        let payload_idx = layout
+            .sub_lens
+            .iter()
+            .map(|&len| (0..len).map(|lvl| vec![HashMap::new(); lvl + 1]).collect())
+            .collect();
         let l0 = (0..layout.k().saturating_sub(1)).map(|_| Slab::default()).collect();
         let l0_idx = (0..layout.k().saturating_sub(1)).map(|_| KeyIndex::new()).collect();
         IndependentStore {
@@ -350,14 +560,47 @@ impl MatchStore for IndependentStore {
             subs,
             sub_idx,
             timelines,
+            payload_idx,
             l0,
             l0_idx,
             mode: ExpiryMode::default(),
+            fuel: None,
+            deferred: HashSet::new(),
+            deferred_tl: HashSet::new(),
         }
     }
 
     fn set_expiry_mode(&mut self, mode: ExpiryMode) {
         self.mode = mode;
+    }
+
+    fn set_maintenance_fuel(&mut self, tank: Option<u64>) {
+        if tank.is_none() {
+            self.settle_maintenance();
+        }
+        self.fuel = tank;
+    }
+
+    fn refuel(&mut self, budget: u64) {
+        let Some(tank) = self.fuel else {
+            return;
+        };
+        let mut tank = tank.saturating_add(budget);
+        self.pay_debt(&mut tank);
+        self.fuel = Some(tank);
+    }
+
+    fn settle_maintenance(&mut self) {
+        let mut tank = u64::MAX;
+        self.pay_debt(&mut tank);
+        debug_assert!(
+            self.deferred.is_empty() && self.deferred_tl.is_empty(),
+            "unmetered debt payment must settle everything"
+        );
+    }
+
+    fn deferred_maintenance(&self) -> usize {
+        self.deferred.len() + self.deferred_tl.len()
     }
 
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
@@ -438,11 +681,27 @@ impl MatchStore for IndependentStore {
             edges.push(edge);
             edges
         };
-        let slot = self.subs[sub][level].insert(SubRow { edges, ts, key, key_pos: 0 });
+        let slot = self.subs[sub][level].insert(SubRow {
+            edges,
+            ts,
+            key,
+            key_pos: 0,
+            tl_pos: 0,
+            ref_pos: Vec::new(),
+        });
         let key_pos = self.sub_idx[sub][level].entry(key).or_default().push(slot, ts);
-        self.subs[sub][level].get_mut(slot).unwrap_or_else(|| unreachable!("fresh row")).key_pos =
-            key_pos;
-        self.timelines[sub][level].push(slot, ts);
+        let tl_pos = self.timelines[sub][level].push(slot, ts);
+        let slab = &mut self.subs[sub][level];
+        let pidx = &mut self.payload_idx[sub][level];
+        let row = slab.get_mut(slot).unwrap_or_else(|| unreachable!("fresh row"));
+        row.key_pos = key_pos;
+        row.tl_pos = tl_pos;
+        row.ref_pos.reserve_exact(level + 1);
+        for (pos, pidx_level) in pidx.iter_mut().enumerate().take(level + 1) {
+            let refs = pidx_level.entry(row.edges[pos]).or_default();
+            row.ref_pos.push(refs.len() as u32);
+            refs.push(slot);
+        }
         encode(self.sub_item_id(sub, level), slot)
     }
 
@@ -528,6 +787,7 @@ impl MatchStore for IndependentStore {
 
     fn expire_edge(&mut self, edge: EdgeId, ts: u64, positions: &[(usize, usize)]) -> usize {
         let mode = self.mode;
+        let mut tank = self.fuel.unwrap_or(u64::MAX);
         let mut deleted = 0usize;
         let mut dead_handles: HashSet<Handle> = HashSet::new();
         let mut seen: HashSet<(usize, usize)> = HashSet::new();
@@ -538,48 +798,50 @@ impl MatchStore for IndependentStore {
             let leaf_level = self.layout.sub_lens[sub] - 1;
             for level in pos_level..=leaf_level {
                 let item = self.sub_item_id(sub, level);
-                // Walk the item timeline. At the payload level a dying
-                // row's newest edge is `edge` itself (row.ts == ts) and
-                // everything older already left the window, so the deaths
-                // are the oldest prefix and the walk stops at the first
-                // newer entry. Deeper rows holding `edge` at `pos_level`
-                // are strictly newer, so the walk binary-searches to the
-                // `> ts` suffix and content-scans it (Timing-IND has no
-                // child pointers — this scan is the ablation).
-                let timeline = &self.timelines[sub][level];
-                let indexed = timeline.indexed();
-                let base = timeline.front();
-                let slab = &self.subs[sub][level];
-                // Deaths as (absolute timeline position, slot).
-                let mut dead: Vec<(u32, u32)> = Vec::new();
-                let lo =
-                    if level == pos_level { 0 } else { indexed.partition_point(|e| e.ts <= ts) };
-                for (off, entry) in indexed.iter().enumerate().skip(lo) {
-                    if level == pos_level && entry.ts > ts {
-                        break;
-                    }
-                    if entry.slot == crate::store::TOMBSTONE {
-                        continue;
-                    }
-                    let row = slab
-                        .get(entry.slot)
-                        .unwrap_or_else(|| unreachable!("timeline slot is live"));
-                    if row.edges[pos_level] == edge {
-                        debug_assert!(level > pos_level || row.ts == ts, "one edge, one timestamp");
-                        dead.push((base + off as u32, entry.slot));
-                    }
-                }
-                if dead.is_empty() {
+                // The payload index answers "which rows hold `edge` at
+                // `pos_level`?" directly — and every such row is dead by
+                // definition, so the lookup *is* the death set. No
+                // timeline suffix scan.
+                let Some(refs) = self.payload_idx[sub][level][pos_level].get(&edge) else {
                     // A deeper death would extend a row dying here; none
-                    // did, so the cascade is over for this position.
+                    // exists, so the cascade is over for this position.
                     break;
-                }
+                };
+                // Deaths as (absolute timeline position, slot), processed
+                // in timestamp order like the old walk.
+                let mut dead: Vec<(u32, u32)> = refs
+                    .iter()
+                    .map(|&slot| (self.sub_row(sub, level, slot).tl_pos, slot))
+                    .collect();
+                dead.sort_unstable();
                 let mut touched: Vec<JoinKey> = Vec::with_capacity(dead.len());
                 for &(tpos, slot) in &dead {
                     let row = self.subs[sub][level]
                         .remove(slot)
-                        .unwrap_or_else(|| unreachable!("scanned row is live"));
+                        .unwrap_or_else(|| unreachable!("indexed row is live"));
                     debug_assert_eq!(row.edges[pos_level], edge);
+                    debug_assert!(level > pos_level || row.ts == ts, "one edge, one timestamp");
+                    // Deregister the row from every payload position
+                    // (swap-remove + moved-row fixup, O(1) each).
+                    let slab = &mut self.subs[sub][level];
+                    let pidx = &mut self.payload_idx[sub][level];
+                    for (pos, pidx_level) in pidx.iter_mut().enumerate().take(row.edges.len()) {
+                        let e = row.edges[pos];
+                        let rp = row.ref_pos[pos] as usize;
+                        let prefs = pidx_level
+                            .get_mut(&e)
+                            .unwrap_or_else(|| unreachable!("row is registered at every position"));
+                        debug_assert_eq!(prefs[rp], slot, "stale payload back-reference");
+                        prefs.swap_remove(rp);
+                        if let Some(&moved) = prefs.get(rp) {
+                            slab.get_mut(moved)
+                                .unwrap_or_else(|| unreachable!("referencer is live"))
+                                .ref_pos[pos] = rp as u32;
+                        }
+                        if prefs.is_empty() {
+                            pidx_level.remove(&e);
+                        }
+                    }
                     self.sub_idx[sub][level]
                         .get_mut(&row.key)
                         .unwrap_or_else(|| unreachable!("indexed row has a bucket"))
@@ -599,21 +861,48 @@ impl MatchStore for IndependentStore {
                     let bucket = index
                         .get_mut(&key)
                         .unwrap_or_else(|| unreachable!("touched bucket exists"));
-                    let done = bucket.finish_cascade(mode, |s, pos| {
+                    match bucket.finish_cascade_fueled(mode, &mut tank, |s, pos| {
                         slab.get_mut(s)
                             .unwrap_or_else(|| unreachable!("survivor is live"))
                             .key_pos = pos;
-                    });
-                    if done {
-                        index.remove(&key);
+                    }) {
+                        CascadeOutcome::Drained => {
+                            index.remove(&key);
+                            self.deferred.remove(&(item, key));
+                        }
+                        CascadeOutcome::Settled => {
+                            self.deferred.remove(&(item, key));
+                        }
+                        CascadeOutcome::Deferred => {
+                            self.deferred.insert((item, key));
+                        }
                     }
                 }
-                // Timeline positions are never stored, so no re-recording.
-                self.timelines[sub][level].finish_cascade(mode, |_, _| {});
+                // Timeline survivors re-record their position on compaction.
+                let timelines = &mut self.timelines;
+                let subs = &mut self.subs;
+                match timelines[sub][level].finish_cascade_fueled(mode, &mut tank, |s, pos| {
+                    subs[sub][level]
+                        .get_mut(s)
+                        .unwrap_or_else(|| unreachable!("survivor is live"))
+                        .tl_pos = pos;
+                }) {
+                    CascadeOutcome::Deferred => {
+                        self.deferred_tl.insert((sub, level));
+                    }
+                    _ => {
+                        self.deferred_tl.remove(&(sub, level));
+                    }
+                }
             }
         }
         if !dead_handles.is_empty() {
             for i in 1..self.layout.k() {
+                let item = self.l0_item_id(i);
+                // Timing-IND keeps full-row scans here: with no child
+                // pointers from leaves into L₀ rows, finding dependents
+                // means inspecting row contents — that scan is the
+                // ablation the paper measures.
                 let dead: Vec<(u32, JoinKey, u32)> = self.l0[i - 1]
                     .iter()
                     .filter(|(_, row)| row.comps.iter().any(|c| dead_handles.contains(c)))
@@ -642,16 +931,27 @@ impl MatchStore for IndependentStore {
                     let bucket = index
                         .get_mut(&key)
                         .unwrap_or_else(|| unreachable!("touched bucket exists"));
-                    let done = bucket.finish_cascade(mode, |s, pos| {
+                    match bucket.finish_cascade_fueled(mode, &mut tank, |s, pos| {
                         slab.get_mut(s)
                             .unwrap_or_else(|| unreachable!("survivor is live"))
                             .key_pos = pos;
-                    });
-                    if done {
-                        index.remove(&key);
+                    }) {
+                        CascadeOutcome::Drained => {
+                            index.remove(&key);
+                            self.deferred.remove(&(item, key));
+                        }
+                        CascadeOutcome::Settled => {
+                            self.deferred.remove(&(item, key));
+                        }
+                        CascadeOutcome::Deferred => {
+                            self.deferred.insert((item, key));
+                        }
                     }
                 }
             }
+        }
+        if self.fuel.is_some() {
+            self.fuel = Some(tank);
         }
         deleted
     }
@@ -676,9 +976,14 @@ impl MatchStore for IndependentStore {
                 bytes += slab.slots.capacity() * size_of::<Option<SubRow>>();
                 for (_, row) in slab.iter() {
                     bytes += row.edges.capacity() * size_of::<EdgeId>();
+                    bytes += row.ref_pos.capacity() * size_of::<u32>();
                 }
                 bytes += index_bytes(&self.sub_idx[sub][level]);
                 bytes += self.timelines[sub][level].heap_bytes();
+                for map in &self.payload_idx[sub][level] {
+                    bytes += map.len() * (size_of::<EdgeId>() + size_of::<Vec<u32>>());
+                    bytes += map.values().map(|v| v.capacity() * size_of::<u32>()).sum::<usize>();
+                }
             }
         }
         for (i, slab) in self.l0.iter().enumerate() {
@@ -766,6 +1071,39 @@ mod tests {
     #[test]
     fn conformance_tombstones_match_model() {
         conformance::tombstoned_buckets_match_model_store::<IndependentStore>();
+    }
+    #[test]
+    fn conformance_fueled_maintenance() {
+        conformance::fueled_maintenance_defers_and_settles::<IndependentStore>();
+    }
+
+    #[test]
+    fn payload_index_finds_descendant_deaths() {
+        // Layout [3]: rows at level 2 hold the level-0 edge at position 0;
+        // expiring that edge must kill every extension via index lookup
+        // (the audit cross-checks registrations after every step).
+        let layout = StoreLayout { sub_lens: vec![3] };
+        let mut s = IndependentStore::new(layout);
+        let a = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let b1 = s.insert_sub(0, 1, a, EdgeId(2), 2, 0);
+        let b2 = s.insert_sub(0, 1, a, EdgeId(3), 3, 0);
+        for x in 0..4u64 {
+            s.insert_sub(0, 2, b1, EdgeId(10 + x), 10 + x, x);
+        }
+        for x in 0..4u64 {
+            s.insert_sub(0, 2, b2, EdgeId(20 + x), 20 + x, x);
+        }
+        s.assert_clean();
+        // Kill the middle level's first branch: its 4 extensions cascade.
+        let n = s.expire_edge(EdgeId(2), 2, &[(0, 1)]);
+        assert_eq!(n, 5, "b1 and its four extensions");
+        assert_eq!(s.len_sub(0, 2), 4);
+        s.assert_clean();
+        // Kill the shared root: everything else dies through position 0.
+        let n = s.expire_edge(EdgeId(1), 1, &[(0, 0)]);
+        assert_eq!(n, 6, "a, b2, and b2's four extensions");
+        assert_eq!(s.len_sub(0, 0) + s.len_sub(0, 1) + s.len_sub(0, 2), 0);
+        s.assert_clean();
     }
 
     #[test]

@@ -34,8 +34,9 @@ pub mod mstree;
 pub mod plan;
 pub mod store;
 
+pub use binding::{compat_sides, Compat};
 pub use decompose::{decompose, tc_subqueries, Decomposition, TcSubquery};
-pub use engine::{EngineStats, JoinMode, TimingEngine};
+pub use engine::{BatchMode, EngineStats, JoinMode, TimingEngine};
 pub use independent::IndependentStore;
 pub use ingest::{IngestError, IngestGate, IngestStats, OrderPolicy};
 pub use mstree::MsTreeStore;

@@ -22,8 +22,10 @@
 //!
 //! Deletion removes all nodes containing an expired edge plus their
 //! descendants (which reach the grafted `L₀` levels through ordinary child
-//! links for subquery 0, and through payload scans for subqueries `i ≥ 1`,
-//! exactly Algorithm 2's "scan `L₀^i` to `L₀^k`" step).
+//! links for subquery 0, and through a *referencer index* for subqueries
+//! `i ≥ 1`: every `L₀` item keeps a leaf-handle → referencing-nodes map, so
+//! Algorithm 2's "scan `L₀^i` to `L₀^k`" step costs O(deaths) lookups
+//! instead of a content scan over every `L₀` row).
 //!
 //! # Ordering and expiry cost
 //!
@@ -41,10 +43,17 @@
 //! are always a bucket's oldest prefix), and interior holes from cascaded
 //! descendants are physically compacted only once they outnumber the live
 //! entries (see the tombstone-lifecycle section of the `store.rs` docs).
+//!
+//! Under *fueled maintenance* ([`MatchStore::set_maintenance_fuel`], used
+//! by the engine's batch path) those threshold compactions additionally
+//! draw from a per-batch fuel tank; a compaction the tank cannot cover is
+//! recorded as deferred debt and paid down by later refuels (or an
+//! unconditional [`MatchStore::settle_maintenance`]). Deferral never
+//! changes what readers observe — tombstones are skipped either way.
 
 use crate::store::{
-    AuditViolation, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore, StoreAudit, StoreLayout,
-    ROOT,
+    AuditViolation, CascadeOutcome, DrainBucket, ExpiryMode, Handle, JoinKey, MatchStore,
+    StoreAudit, StoreLayout, ROOT,
 };
 use std::collections::{HashMap, HashSet};
 use tcs_graph::EdgeId;
@@ -72,6 +81,11 @@ struct Node {
     /// Absolute position inside its item's key bucket (O(1) tombstone
     /// punching on removal; re-recorded whenever the bucket compacts).
     key_pos: u32,
+    /// For `L₀` nodes (`item ≥ l0_base`): position inside the referencer
+    /// list `l0_refs[item − l0_base][payload]` (O(1) deregistration;
+    /// re-recorded when a swap-remove moves another node into the slot).
+    /// Unused for subquery nodes.
+    ref_pos: u32,
     dead: bool,
 }
 
@@ -96,9 +110,19 @@ pub struct MsTreeStore {
     sub_offsets: Vec<usize>,
     /// Start of the L₀ item range (items `l0_base + (i−1)` for `i ≥ 1`).
     l0_base: usize,
+    /// Per-L₀-item referencer index: complete-match leaf handle (an L₀
+    /// node's payload) → the L₀ nodes of that item referencing it. Turns
+    /// Algorithm 2's dead-leaf scan into O(deaths) lookups; kept coherent
+    /// by `insert_l0` / `unlink` via each node's `ref_pos`.
+    l0_refs: Vec<HashMap<u64, Vec<u32>>>,
     /// Expiry compaction policy (the EagerCompact ablation reproduces the
     /// previous compact-every-cascade behavior).
     mode: ExpiryMode,
+    /// Fueled-maintenance tank; `None` (the default) compacts immediately.
+    fuel: Option<u64>,
+    /// Buckets whose threshold compaction was deferred for lack of fuel —
+    /// the declared debt the audit exempts from the dead-space check.
+    deferred: HashSet<(usize, JoinKey)>,
 }
 
 impl MsTreeStore {
@@ -127,6 +151,7 @@ impl MsTreeStore {
             item,
             key,
             key_pos: 0,
+            ref_pos: 0,
             dead: false,
         };
         match self.free.pop() {
@@ -238,25 +263,90 @@ impl MsTreeStore {
         touched.sort_unstable();
         touched.dedup();
         let mode = self.mode;
+        let mut tank = self.fuel.unwrap_or(u64::MAX);
         for &(item, key) in touched.iter() {
             let nodes = &mut self.nodes;
             let index = &mut self.indexes[item];
             let bucket =
                 index.get_mut(&key).unwrap_or_else(|| unreachable!("touched bucket exists"));
-            if bucket.finish_cascade(mode, |slot, pos| nodes[slot as usize].key_pos = pos) {
-                index.remove(&key);
+            match bucket.finish_cascade_fueled(mode, &mut tank, |slot, pos| {
+                nodes[slot as usize].key_pos = pos
+            }) {
+                CascadeOutcome::Drained => {
+                    index.remove(&key);
+                    self.deferred.remove(&(item, key));
+                }
+                CascadeOutcome::Settled => {
+                    self.deferred.remove(&(item, key));
+                }
+                CascadeOutcome::Deferred => {
+                    self.deferred.insert((item, key));
+                }
+            }
+        }
+        if self.fuel.is_some() {
+            self.fuel = Some(tank);
+        }
+    }
+
+    /// Revisits every deferred bucket with `tank` fuel, paying down as much
+    /// debt as the tank covers (in ascending `(item, key)` order, so
+    /// payment is deterministic).
+    fn pay_debt(&mut self, tank: &mut u64) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let mut entries: Vec<(usize, JoinKey)> = self.deferred.iter().copied().collect();
+        entries.sort_unstable();
+        let mode = self.mode;
+        for (item, key) in entries {
+            let nodes = &mut self.nodes;
+            let index = &mut self.indexes[item];
+            let Some(bucket) = index.get_mut(&key) else {
+                // The bucket fully drained after the debt was recorded.
+                self.deferred.remove(&(item, key));
+                continue;
+            };
+            match bucket
+                .finish_cascade_fueled(mode, tank, |slot, pos| nodes[slot as usize].key_pos = pos)
+            {
+                CascadeOutcome::Drained => {
+                    index.remove(&key);
+                    self.deferred.remove(&(item, key));
+                }
+                CascadeOutcome::Settled => {
+                    self.deferred.remove(&(item, key));
+                }
+                CascadeOutcome::Deferred => {}
             }
         }
     }
 
-    /// Unlinks a dead node from its item list, its key bucket, and its
-    /// parent's child list.
+    /// Unlinks a dead node from its item list, its key bucket, its L₀
+    /// referencer list (if it is an L₀ node), and its parent's child list.
     fn unlink(&mut self, idx: u32, touched: &mut Vec<(usize, JoinKey)>) {
         self.unindex(idx, touched);
         let (prev, next, item, parent, prev_sib, next_sib) = {
             let n = &self.nodes[idx as usize];
             (n.prev, n.next, n.item, n.parent, n.prev_sib, n.next_sib)
         };
+        if item as usize >= self.l0_base {
+            let (payload, rp) = {
+                let n = &self.nodes[idx as usize];
+                (n.payload, n.ref_pos as usize)
+            };
+            let refs = self.l0_refs[item as usize - self.l0_base]
+                .get_mut(&payload)
+                .unwrap_or_else(|| unreachable!("L0 node is registered as a referencer"));
+            debug_assert_eq!(refs.get(rp), Some(&idx), "stale referencer back-reference");
+            refs.swap_remove(rp);
+            if let Some(&moved) = refs.get(rp) {
+                self.nodes[moved as usize].ref_pos = rp as u32;
+            }
+            if refs.is_empty() {
+                self.l0_refs[item as usize - self.l0_base].remove(&payload);
+            }
+        }
         // Item list.
         if prev != NIL {
             self.nodes[prev as usize].next = next;
@@ -434,7 +524,12 @@ impl MsTreeStore {
                     detail: format!("item {i}: key {key} bucket has no live entry"),
                 });
             }
-            bucket.audit(S, &format!("item {i} key {key}"), out);
+            bucket.audit_with_debt(
+                S,
+                &format!("item {i} key {key}"),
+                self.deferred.contains(&(i, *key)),
+                out,
+            );
         }
         live
     }
@@ -505,6 +600,52 @@ impl StoreAudit for MsTreeStore {
                 }
             }
         }
+        // Referencer-index coherence: every live L₀ node is registered
+        // under its payload at its recorded position, and the index holds
+        // nothing else.
+        for i in 1..k {
+            let item = self.l0_item(i);
+            for &n in &live_of[item] {
+                let node = &self.nodes[n as usize];
+                let ok = self.l0_refs[i - 1]
+                    .get(&node.payload)
+                    .and_then(|refs| refs.get(node.ref_pos as usize))
+                    .is_some_and(|&r| r == n);
+                if !ok {
+                    out.push(AuditViolation {
+                        store: S,
+                        invariant: "referencer-position",
+                        detail: format!(
+                            "L0 item {i} node {n}: ref_pos {} does not round-trip under \
+                             payload {}",
+                            node.ref_pos, node.payload
+                        ),
+                    });
+                }
+            }
+            let registered: usize = self.l0_refs[i - 1].values().map(Vec::len).sum();
+            if registered != live_of[item].len() {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "referencer-size",
+                    detail: format!(
+                        "L0 item {i}: {registered} registered referencers vs {} live rows",
+                        live_of[item].len()
+                    ),
+                });
+            }
+        }
+        // Declared maintenance debt must point at real buckets (a stale
+        // entry could mask an undeclared over-threshold bucket later).
+        for &(item, key) in &self.deferred {
+            if item >= self.indexes.len() || !self.indexes[item].contains_key(&key) {
+                out.push(AuditViolation {
+                    store: S,
+                    invariant: "stale-debt",
+                    detail: format!("deferred entry (item {item}, key {key}) has no bucket"),
+                });
+            }
+        }
         // Allocator accounting: linked + free covers the arena exactly.
         let free: HashSet<u32> = self.free.iter().copied().collect();
         if free.len() != self.free.len() {
@@ -554,17 +695,48 @@ impl MatchStore for MsTreeStore {
         MsTreeStore {
             items: vec![ItemList { head: NIL, tail: NIL, len: 0 }; acc + l0_items],
             indexes: vec![HashMap::new(); acc + l0_items],
+            l0_refs: vec![HashMap::new(); l0_items],
             layout,
             nodes: Vec::new(),
             free: Vec::new(),
             sub_offsets,
             l0_base,
             mode: ExpiryMode::default(),
+            fuel: None,
+            deferred: HashSet::new(),
         }
     }
 
     fn set_expiry_mode(&mut self, mode: ExpiryMode) {
         self.mode = mode;
+    }
+
+    fn set_maintenance_fuel(&mut self, tank: Option<u64>) {
+        if tank.is_none() {
+            // Disarming returns to strict immediate compaction: pay off
+            // every deferral so no undeclared dead space lingers.
+            self.settle_maintenance();
+        }
+        self.fuel = tank;
+    }
+
+    fn refuel(&mut self, budget: u64) {
+        let Some(tank) = self.fuel else {
+            return;
+        };
+        let mut tank = tank.saturating_add(budget);
+        self.pay_debt(&mut tank);
+        self.fuel = Some(tank);
+    }
+
+    fn settle_maintenance(&mut self) {
+        let mut unlimited = u64::MAX;
+        self.pay_debt(&mut unlimited);
+        debug_assert!(self.deferred.is_empty());
+    }
+
+    fn deferred_maintenance(&self) -> usize {
+        self.deferred.len()
     }
 
     fn for_each_sub(&self, sub: usize, level: usize, f: &mut dyn FnMut(Handle, &[EdgeId])) {
@@ -691,7 +863,14 @@ impl MatchStore for MsTreeStore {
         key: JoinKey,
     ) -> Handle {
         let item = self.l0_item(i);
-        self.insert_node(comp, parent, item, ts, key)
+        let h = self.insert_node(comp, parent, item, ts, key);
+        // Register with the referencer index so a death of the component
+        // leaf finds this row by lookup instead of an item scan.
+        let refs = self.l0_refs[i - 1].entry(comp).or_default();
+        let pos = refs.len() as u32;
+        refs.push(h as u32);
+        self.nodes[h as usize].ref_pos = pos;
+        h
     }
 
     fn expand_sub(&self, sub: usize, handle: Handle, out: &mut Vec<EdgeId>) {
@@ -733,35 +912,35 @@ impl MatchStore for MsTreeStore {
             }
         }
         // Phase 2: collect dead complete-match handles of subqueries ≥ 1
-        // (their L₀ references are payloads, not child links).
+        // (their L₀ references are payloads, not child links), in mark
+        // order so the walk below is deterministic.
         let k = self.layout.k();
         if k > 1 {
-            let mut dead_leaves: Vec<HashSet<u64>> = vec![HashSet::new(); k];
+            let mut dead_leaves: Vec<Vec<u64>> = vec![Vec::new(); k];
             for (sub, dl) in dead_leaves.iter_mut().enumerate().skip(1) {
                 let leaf_item = self.sub_item(sub, self.layout.sub_lens[sub] - 1);
                 for &m in &marked {
                     if self.nodes[m as usize].item as usize == leaf_item {
-                        dl.insert(m as u64);
+                        dl.push(m as u64);
                     }
                 }
             }
-            // Phase 3: scan L₀ items left to right (Algorithm 2 line 7),
-            // deleting rows whose payload references a dead leaf. Cascades
-            // may kill deeper L₀ rows before their own scan reaches them —
-            // the dead flag makes that idempotent.
+            // Phase 3: kill the rows referencing a dead leaf, L₀ items
+            // left to right (Algorithm 2 line 7) — via the referencer
+            // index, so the step is O(deaths) lookups rather than a
+            // payload scan over every row of the item. Cascades may kill
+            // deeper L₀ rows before their own item's turn — the dead flag
+            // makes that idempotent.
+            let mut refs_scratch: Vec<u32> = Vec::new();
             for (i, dl) in dead_leaves.iter().enumerate().skip(1) {
-                if dl.is_empty() {
-                    continue;
-                }
-                let item = self.l0_item(i);
-                let mut n = self.items[item].head;
-                while n != NIL {
-                    let next = self.nodes[n as usize].next;
-                    if !self.nodes[n as usize].dead && dl.contains(&self.nodes[n as usize].payload)
-                    {
+                for &leaf in dl {
+                    refs_scratch.clear();
+                    if let Some(refs) = self.l0_refs[i - 1].get(&leaf) {
+                        refs_scratch.extend_from_slice(refs);
+                    }
+                    for &n in &refs_scratch {
                         self.mark_cascade(n, &mut marked);
                     }
-                    n = next;
                 }
             }
         }
@@ -876,6 +1055,40 @@ mod tests {
     #[test]
     fn conformance_tombstones_match_model() {
         conformance::tombstoned_buckets_match_model_store::<MsTreeStore>();
+    }
+    #[test]
+    fn conformance_fueled_maintenance() {
+        conformance::fueled_maintenance_defers_and_settles::<MsTreeStore>();
+    }
+
+    #[test]
+    fn l0_referencer_index_tracks_rows() {
+        // Two L₀ rows referencing the SAME sub-1 leaf, one referencing
+        // another: expiring the shared leaf's edge kills exactly its two
+        // referencers by lookup, and the index survives the swap-remove
+        // churn (checked by the audit's referencer invariants).
+        let mut s = MsTreeStore::new(StoreLayout { sub_lens: vec![1, 1] });
+        let a1 = s.insert_sub(0, 0, ROOT, EdgeId(1), 1, 0);
+        let a2 = s.insert_sub(0, 0, ROOT, EdgeId(2), 2, 0);
+        let a3 = s.insert_sub(0, 0, ROOT, EdgeId(3), 3, 0);
+        let b1 = s.insert_sub(1, 0, ROOT, EdgeId(10), 10, 0);
+        let b2 = s.insert_sub(1, 0, ROOT, EdgeId(11), 11, 0);
+        s.insert_l0(1, a1, b1, 10, 0);
+        s.insert_l0(1, a2, b2, 11, 0);
+        s.insert_l0(1, a3, b1, 12, 0);
+        assert_eq!(s.l0_refs[0].get(&b1).map(Vec::len), Some(2));
+        assert_eq!(s.l0_refs[0].get(&b2).map(Vec::len), Some(1));
+        s.assert_clean();
+        let n = s.expire_edge(EdgeId(10), 10, &[(1, 0)]);
+        assert_eq!(n, 3, "leaf b1 and its two referencing rows");
+        assert_eq!(s.len_l0(1), 1);
+        assert!(!s.l0_refs[0].contains_key(&b1), "emptied referencer lists are dropped");
+        assert_eq!(s.l0_refs[0].get(&b2).map(Vec::len), Some(1));
+        s.assert_clean();
+        let n2 = s.expire_edge(EdgeId(11), 11, &[(1, 0)]);
+        assert_eq!(n2, 2);
+        assert!(s.l0_refs[0].is_empty());
+        s.assert_clean();
     }
 
     #[test]

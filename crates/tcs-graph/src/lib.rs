@@ -37,4 +37,4 @@ pub use ids::{ELabel, EdgeId, Timestamp, VLabel, VertexId};
 pub use matching::MatchRecord;
 pub use query::{QueryEdge, QueryGraph, TimingOrder};
 pub use snapshot::{LiveEdgeView, Snapshot};
-pub use window::{SlidingWindow, WindowEvent};
+pub use window::{BatchEvent, SlidingWindow, WindowBatchStep, WindowEvent};

@@ -20,6 +20,40 @@ pub struct WindowEvent {
     pub arrival: StreamEdge,
 }
 
+/// One segment of a batched advance: the edges expired at this boundary,
+/// then the run of arrivals admitted before the next expiry boundary.
+///
+/// Concatenating a step's `expired` (oldest first) and `arrivals` (stream
+/// order) reproduces exactly the per-edge [`WindowEvent`] sequence: an
+/// arrival that expires nothing is folded into the previous step's run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowBatchStep {
+    /// Edges expired before the first arrival of this step, oldest first.
+    pub expired: Vec<StreamEdge>,
+    /// Consecutive arrivals with no expiry boundary between them.
+    pub arrivals: Vec<StreamEdge>,
+}
+
+/// A batch of arrivals split at its expiry boundaries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchEvent {
+    /// Steps in stream order; every arrival of the batch appears in exactly
+    /// one step, and only the first step may have an empty `expired` list.
+    pub steps: Vec<WindowBatchStep>,
+}
+
+impl BatchEvent {
+    /// Total arrivals across all steps.
+    pub fn arrivals(&self) -> usize {
+        self.steps.iter().map(|s| s.arrivals.len()).sum()
+    }
+
+    /// Total expiries across all steps.
+    pub fn expiries(&self) -> usize {
+        self.steps.iter().map(|s| s.expired.len()).sum()
+    }
+}
+
 /// A time-based sliding window over a stream of [`StreamEdge`]s.
 #[derive(Clone, Debug)]
 pub struct SlidingWindow {
@@ -98,6 +132,27 @@ impl SlidingWindow {
         }
         self.buffer.push_back(arrival);
         WindowEvent { expired, arrival }
+    }
+
+    /// Slides the window across a whole batch of arrivals at once.
+    ///
+    /// Semantically identical to calling [`advance`](Self::advance) per
+    /// edge; the per-edge events are merged into maximal expiry-free runs
+    /// so batch consumers advance their stores once per boundary instead of
+    /// once per edge.
+    ///
+    /// # Panics
+    /// Panics if timestamps are not nondecreasing (same as `advance`).
+    pub fn advance_batch(&mut self, arrivals: &[StreamEdge]) -> BatchEvent {
+        let mut steps: Vec<WindowBatchStep> = Vec::new();
+        for &a in arrivals {
+            let ev = self.advance(a);
+            match steps.last_mut() {
+                Some(step) if ev.expired.is_empty() => step.arrivals.push(a),
+                _ => steps.push(WindowBatchStep { expired: ev.expired, arrivals: vec![a] }),
+            }
+        }
+        BatchEvent { steps }
     }
 
     /// Drains every remaining edge as expired (stream end).
@@ -214,6 +269,57 @@ mod tests {
         let ev2 = w.advance(edge(3, 5));
         assert_eq!(ev2.expired.len(), 1);
         assert_eq!(ev2.expired[0].ts.0, 0);
+    }
+
+    #[test]
+    fn advance_batch_flattens_to_per_edge_events() {
+        // Nondecreasing timestamps with ties and jumps: increments cycle
+        // through 2, 4, 1, 3, 0.
+        let mut ts = 0u64;
+        let es: Vec<_> = (1..=40)
+            .map(|t| {
+                ts += (t * 7) % 5;
+                edge(t, ts)
+            })
+            .collect();
+        let mut per_edge = SlidingWindow::new(10);
+        let evs: Vec<_> = es.iter().map(|&e| per_edge.advance(e)).collect();
+        for split in [1usize, 3, 17, 40] {
+            let mut batched = SlidingWindow::new(10);
+            let mut flat: Vec<(Vec<StreamEdge>, Vec<StreamEdge>)> = Vec::new();
+            for chunk in es.chunks(split) {
+                let bev = batched.advance_batch(chunk);
+                assert_eq!(bev.arrivals(), chunk.len());
+                for (k, step) in bev.steps.iter().enumerate() {
+                    assert!(!step.arrivals.is_empty(), "steps carry at least one arrival");
+                    assert!(k == 0 || !step.expired.is_empty(), "later steps start at a boundary");
+                    flat.push((step.expired.clone(), step.arrivals.clone()));
+                }
+            }
+            // Re-derive the per-edge event list from the steps.
+            let mut rebuilt = Vec::new();
+            for (expired, arrivals) in flat {
+                let mut expired = Some(expired);
+                for a in arrivals {
+                    rebuilt.push(WindowEvent {
+                        expired: expired.take().unwrap_or_default(),
+                        arrival: a,
+                    });
+                }
+            }
+            assert_eq!(rebuilt, evs, "batch of {split} must flatten to per-edge events");
+            assert_eq!(batched.len(), per_edge.len());
+        }
+    }
+
+    #[test]
+    fn advance_batch_of_empty_slice_is_noop() {
+        let mut w = SlidingWindow::new(5);
+        w.advance(edge(1, 1));
+        let bev = w.advance_batch(&[]);
+        assert!(bev.steps.is_empty());
+        assert_eq!(bev.arrivals() + bev.expiries(), 0);
+        assert_eq!(w.len(), 1);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use tcs_core::fail_point;
 use tcs_core::failpoints::sites;
 use tcs_core::store::MatchStore;
 use tcs_core::{
-    IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan, TimingEngine,
+    BatchMode, IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan,
+    TimingEngine,
 };
 use tcs_graph::{ELabel, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
 
@@ -147,6 +148,9 @@ pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
     fault_policy: FaultPolicy,
     /// Quarantined queries, in fault order.
     faults: Vec<QueryFault>,
+    /// How [`MultiQueryEngine::advance_batch`] applies routed sub-batches
+    /// inside each engine (propagated to engines at registration).
+    batch_mode: BatchMode,
 }
 
 impl<S: MatchStore> MultiQueryEngine<S> {
@@ -181,6 +185,22 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             gate: IngestGate::new(window, OrderPolicy::default()),
             fault_policy: FaultPolicy::default(),
             faults: Vec::new(),
+            batch_mode: BatchMode::default(),
+        }
+    }
+
+    /// How routed sub-batches are applied inside each query's engine.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
+    }
+
+    /// Sets the per-engine batch mode — [`BatchMode::PerEdge`] is the
+    /// ablation baseline of the batch bench gate. Applies to every
+    /// registered engine and to future registrations.
+    pub fn set_batch_mode(&mut self, mode: BatchMode) {
+        self.batch_mode = mode;
+        for reg in self.queries.values_mut() {
+            reg.engine.set_batch_mode(mode);
         }
     }
 
@@ -274,8 +294,9 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             debug_assert!(!bucket.contains(&id));
             bucket.push(id);
         }
-        let reg =
-            Registered { engine: TimingEngine::new(plan), routed: 0, seen_base: self.edges_seen };
+        let mut engine = TimingEngine::new(plan);
+        engine.set_batch_mode(self.batch_mode);
+        let reg = Registered { engine, routed: 0, seen_base: self.edges_seen };
         self.queries.insert(id, reg);
     }
 
@@ -467,6 +488,192 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             self.faults.push(QueryFault { qid, payload, edge_seq: self.edges_seen });
         }
         Ok(out)
+    }
+
+    /// Batch form of [`MultiQueryEngine::advance`]: one gate pass, one
+    /// shared-window advance and signature-grouped dispatch for a whole
+    /// batch. Panics on invalid input like [`MultiQueryEngine::advance`].
+    pub fn advance_batch(&mut self, batch: &[StreamEdge]) -> Vec<(QueryId, MatchRecord)> {
+        match self.try_advance_batch(batch) {
+            Ok(out) => out,
+            Err(err) => panic!("MultiQueryEngine::advance_batch fed invalid input: {err}"),
+        }
+    }
+
+    /// [`MultiQueryEngine::try_advance`] folded over a batch, amortized:
+    /// the gate validates every arrival up front (stopping at the first
+    /// rejection, whose error is returned after the admitted prefix is
+    /// processed), the shared window advances once, and arrivals are
+    /// dispatched as *runs* — maximal consecutive same-signature spans
+    /// with no intervening expiry — so each reacting query receives a
+    /// contiguous sub-batch through
+    /// [`TimingEngine::insert_batch_at`] instead of one call per edge.
+    ///
+    /// Each query's own match stream is byte-identical to the per-edge
+    /// fold; the *interleaving* across queries differs (grouped per run ×
+    /// query instead of per edge × query). Quarantine semantics carry
+    /// over: a panic anywhere in a query's sub-batch work condemns that
+    /// query alone — it is skipped for the rest of the batch and
+    /// unregistered at the end, and every other query still processes the
+    /// full batch.
+    pub fn try_advance_batch(
+        &mut self,
+        batch: &[StreamEdge],
+    ) -> Result<Vec<(QueryId, MatchRecord)>, IngestError> {
+        let mut admitted: Vec<StreamEdge> = Vec::with_capacity(batch.len());
+        let mut failure: Option<IngestError> = None;
+        for &e in batch {
+            match self.gate.admit(e) {
+                Ok(Some(e)) => admitted.push(e),
+                Ok(None) => {}
+                Err(err) => {
+                    failure = Some(err);
+                    break;
+                }
+            }
+        }
+        let ev = self.window.advance_batch(&admitted);
+        let mut faulted: Vec<(QueryId, String)> = Vec::new();
+        let mut out: Vec<(QueryId, MatchRecord)> = Vec::new();
+        for step in &ev.steps {
+            match self.mode {
+                DispatchMode::Signature => {
+                    for x in &step.expired {
+                        if let Some(targets) = self.dispatch.get(&x.signature()) {
+                            for qid in targets {
+                                if faulted.iter().any(|(f, _)| f == qid) {
+                                    continue;
+                                }
+                                let Some(reg) = self.queries.get_mut(qid) else {
+                                    debug_assert!(false, "dispatch targets a registered query");
+                                    continue;
+                                };
+                                let mut work = || {
+                                    fail_point!(sites::PRE_EXPIRY, qid.0);
+                                    reg.engine.expire_partials(x);
+                                };
+                                match self.fault_policy {
+                                    FaultPolicy::Propagate => work(),
+                                    FaultPolicy::Quarantine => {
+                                        if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
+                                            faulted.push((*qid, payload_str(&*p)));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        self.snapshot.remove(x.id);
+                    }
+                    self.edges_seen += step.arrivals.len() as u64;
+                    // The whole step enters the snapshot before dispatch:
+                    // engines only resolve ids they have stored, so edges
+                    // admitted ahead of their own processing are invisible
+                    // until their run is delivered.
+                    for &a in &step.arrivals {
+                        self.snapshot.insert(a);
+                    }
+                    let mut s = 0usize;
+                    while s < step.arrivals.len() {
+                        let sig = step.arrivals[s].signature();
+                        let mut t = s + 1;
+                        while t < step.arrivals.len() && step.arrivals[t].signature() == sig {
+                            t += 1;
+                        }
+                        let run = &step.arrivals[s..t];
+                        s = t;
+                        let Some(targets) = self.dispatch.get(&sig) else {
+                            continue;
+                        };
+                        for qid in targets {
+                            if faulted.iter().any(|(f, _)| f == qid) {
+                                continue;
+                            }
+                            let Some(reg) = self.queries.get_mut(qid) else {
+                                debug_assert!(false, "dispatch targets a registered query");
+                                continue;
+                            };
+                            reg.routed += run.len() as u64;
+                            let snapshot = &self.snapshot;
+                            let mut work = || {
+                                fail_point!(sites::PRE_PROBE, qid.0);
+                                let ms = match reg.engine.insert_batch_at(run, snapshot) {
+                                    Ok(ms) => ms,
+                                    // The gate sanitized the stream: an
+                                    // engine-level rejection is a bug in
+                                    // THIS query's plumbing.
+                                    Err(err) => panic!("sanitized stream rejected: {err}"),
+                                };
+                                fail_point!(sites::POST_RECORD, qid.0);
+                                ms
+                            };
+                            match self.fault_policy {
+                                FaultPolicy::Propagate => {
+                                    for m in work() {
+                                        out.push((*qid, m));
+                                    }
+                                }
+                                FaultPolicy::Quarantine => {
+                                    match catch_unwind(AssertUnwindSafe(work)) {
+                                        Ok(ms) => {
+                                            for m in ms {
+                                                out.push((*qid, m));
+                                            }
+                                        }
+                                        Err(p) => faulted.push((*qid, payload_str(&*p))),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                DispatchMode::Broadcast => {
+                    self.edges_seen += step.arrivals.len() as u64;
+                    for (qid, reg) in self.queries.iter_mut() {
+                        if faulted.iter().any(|(f, _)| f == qid) {
+                            continue;
+                        }
+                        reg.routed += step.arrivals.len() as u64;
+                        let mut work = || {
+                            fail_point!(sites::PRE_EXPIRY, qid.0);
+                            for x in &step.expired {
+                                reg.engine.expire(x);
+                            }
+                            fail_point!(sites::PRE_PROBE, qid.0);
+                            let ms = match reg.engine.insert_batch(&step.arrivals) {
+                                Ok(ms) => ms,
+                                Err(err) => panic!("sanitized stream rejected: {err}"),
+                            };
+                            fail_point!(sites::POST_RECORD, qid.0);
+                            ms
+                        };
+                        match self.fault_policy {
+                            FaultPolicy::Propagate => {
+                                for m in work() {
+                                    out.push((*qid, m));
+                                }
+                            }
+                            FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
+                                Ok(ms) => {
+                                    for m in ms {
+                                        out.push((*qid, m));
+                                    }
+                                }
+                                Err(p) => faulted.push((*qid, payload_str(&*p))),
+                            },
+                        }
+                    }
+                }
+            }
+        }
+        for (qid, payload) in faulted {
+            let removed = self.unregister(qid);
+            debug_assert!(removed, "faulted query was registered");
+            self.faults.push(QueryFault { qid, payload, edge_seq: self.edges_seen });
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
     }
 
     /// Per-query counters (normalized — see [`QueryStats::stats`]) plus
@@ -693,5 +900,92 @@ mod tests {
         // snapshot once and only per-query stores on top.
         assert_eq!(sb.snapshot_bytes, 0);
         assert!(sa.snapshot_bytes > 0);
+    }
+
+    /// Batched dispatch must match the per-edge fold per query — same
+    /// per-query match subsequences, same normalized stats — in both
+    /// dispatch modes, with a registration landing between batches.
+    #[test]
+    fn advance_batch_matches_per_edge_fold() {
+        for mode in [DispatchMode::Signature, DispatchMode::Broadcast] {
+            let mut per: MultiQueryEngine = MultiQueryEngine::with_mode(12, mode);
+            let mut bat: MultiQueryEngine = MultiQueryEngine::with_mode(12, mode);
+            for t in 0..2u16 {
+                per.register(plan(t));
+                bat.register(plan(t));
+            }
+            let mut edges = Vec::new();
+            let mut id = 0u64;
+            for round in 0..60u64 {
+                let t = (round % 2) as u16;
+                id += 1;
+                // Consecutive same-signature arrivals (runs) and window
+                // expiries both occur on this stream.
+                let e = if round % 4 < 2 {
+                    open_edge(id, t, round + 1)
+                } else {
+                    close_edge(id, t, round + 1)
+                };
+                edges.push(e);
+            }
+            let mut out_per: Vec<(QueryId, MatchRecord)> = Vec::new();
+            let mut out_bat: Vec<(QueryId, MatchRecord)> = Vec::new();
+            for (bi, chunk) in edges.chunks(7).enumerate() {
+                if bi == 3 {
+                    // A registration between batches must behave like one
+                    // at the same stream position of the per-edge fold.
+                    per.register(plan(2));
+                    bat.register(plan(2));
+                }
+                for &e in chunk {
+                    out_per.extend(per.advance(e));
+                }
+                out_bat.extend(bat.advance_batch(chunk));
+            }
+            // Per-query subsequences are byte-identical (cross-query
+            // interleaving legitimately differs: run × query grouping).
+            for qid in per.query_ids() {
+                let a: Vec<&MatchRecord> =
+                    out_per.iter().filter(|(q, _)| *q == qid).map(|(_, m)| m).collect();
+                let b: Vec<&MatchRecord> =
+                    out_bat.iter().filter(|(q, _)| *q == qid).map(|(_, m)| m).collect();
+                assert_eq!(a, b, "query {qid:?} mode {mode:?}");
+                assert_eq!(per.stats_of(qid), bat.stats_of(qid), "stats {qid:?} {mode:?}");
+            }
+            assert!(!out_per.is_empty());
+            assert_eq!(per.ingest_stats(), bat.ingest_stats());
+            per.assert_clean();
+            bat.assert_clean();
+        }
+    }
+
+    /// The PerEdge ablation of the batched path is equivalent too, and
+    /// switching it on mid-stream (between batches) is safe.
+    #[test]
+    fn advance_batch_per_edge_mode_equivalent() {
+        let mut srt: MultiQueryEngine = MultiQueryEngine::new(20);
+        let mut per: MultiQueryEngine = MultiQueryEngine::new(20);
+        per.set_batch_mode(BatchMode::PerEdge);
+        assert_eq!(per.batch_mode(), BatchMode::PerEdge);
+        srt.register(plan(0));
+        per.register(plan(0));
+        let mut id = 0;
+        let mut edges = Vec::new();
+        for round in 0..30u64 {
+            id += 1;
+            let e = if round % 3 == 0 {
+                open_edge(id, 0, round + 1)
+            } else {
+                close_edge(id, 0, round + 1)
+            };
+            edges.push(e);
+        }
+        for chunk in edges.chunks(5) {
+            let a = srt.advance_batch(chunk);
+            let b = per.advance_batch(chunk);
+            assert_eq!(a, b);
+        }
+        let (sa, sb) = (srt.stats(), per.stats());
+        assert_eq!(sa.queries[0].stats, sb.queries[0].stats);
     }
 }

@@ -7,10 +7,15 @@
 //! machines with many cores. [`ShardedMultiEngine`] homes every query on
 //! exactly one shard (see the crate docs, "Shard ownership"), gives each
 //! shard its own window + snapshot + dispatch index, and during
-//! [`ShardedMultiEngine::process`] streams each edge over a bounded
-//! channel (`tcs_concurrent::chan`) to exactly the shards whose routing
-//! entry says some homed query can react. Shards never exchange state,
-//! so the only synchronization is the channels' own back-pressure.
+//! [`ShardedMultiEngine::process`] streams **chunks** of edges over a
+//! bounded channel (`tcs_concurrent::chan`) to exactly the shards whose
+//! routing entry says some homed query can react: the dispatcher
+//! accumulates each shard's routed substream into a pending chunk and
+//! flushes it when it reaches [`CHUNK`] edges (and at end of batch), so
+//! workers pay one channel round-trip and one batched
+//! [`MultiQueryEngine::advance_batch`] call per chunk instead of one
+//! `advance` per edge. Shards never exchange state, so the only
+//! synchronization is the channels' own back-pressure.
 //!
 //! # Fault handling
 //!
@@ -35,7 +40,9 @@
 //!   rebuilds).
 //! * **Overload.** The dispatcher→worker channels apply the configured
 //!   [`OverloadPolicy`]: lossless back-pressure (default), or bounded
-//!   shedding with per-shard loss counters.
+//!   shedding with per-shard loss counters. Shedding happens at chunk
+//!   granularity (a full channel loses a whole pending chunk), but the
+//!   loss counters stay in **edges** — a shed chunk adds its length.
 //!
 //! # Per-shard substream counters (contract)
 //!
@@ -57,6 +64,47 @@ use tcs_core::failpoints::sites;
 use tcs_core::store::MatchStore;
 use tcs_core::{IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan};
 use tcs_graph::{ELabel, MatchRecord, StreamEdge, VLabel};
+
+/// Edges per dispatcher→worker chunk. Large enough that workers amortize
+/// channel synchronization and run the batched
+/// [`MultiQueryEngine::advance_batch`] ingest path over same-signature
+/// runs; small enough that a tight channel capacity
+/// ([`ShardedMultiEngine::set_channel_capacity`]) still exerts
+/// back-pressure and shedding on short streams.
+pub const CHUNK: usize = 16;
+
+/// Sends one pending chunk to a worker under the configured overload
+/// policy. A disconnected channel (dead worker) retires the sender; loss
+/// counters are incremented by the shed chunk's length, keeping
+/// [`ShardHealth`] counters in edges.
+fn flush_chunk(
+    s: usize,
+    txs: &mut [Option<chan::Sender<Vec<StreamEdge>>>],
+    chunk: Vec<StreamEdge>,
+    overload: OverloadPolicy,
+    health: &mut [ShardHealth],
+) {
+    let Some(tx) = txs[s].as_ref() else {
+        return;
+    };
+    match overload {
+        OverloadPolicy::Backpressure => {
+            if tx.send(chunk).is_err() {
+                txs[s] = None;
+            }
+        }
+        OverloadPolicy::ShedNewest => match tx.try_send(chunk) {
+            Ok(()) => {}
+            Err(TrySendError::Full(c)) => health[s].shed_newest += c.len() as u64,
+            Err(TrySendError::Disconnected(_)) => txs[s] = None,
+        },
+        OverloadPolicy::ShedOldest => match tx.send_evict(chunk) {
+            Ok(None) => {}
+            Ok(Some(c)) => health[s].shed_oldest += c.len() as u64,
+            Err(_) => txs[s] = None,
+        },
+    }
+}
 
 /// A pool of shared-nothing [`MultiQueryEngine`] shards behind a
 /// signature-routed fan-out. Registration churn happens between
@@ -177,8 +225,9 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
     }
 
     /// Resizes the dispatcher→worker channels (effective from the next
-    /// batch; clamped to ≥ 1). Smaller buffers trade throughput for
-    /// earlier shedding/back-pressure.
+    /// batch; clamped to ≥ 1). Capacity counts **chunks** of up to
+    /// [`CHUNK`] edges, not single edges. Smaller buffers trade
+    /// throughput for earlier shedding/back-pressure.
     pub fn set_channel_capacity(&mut self, cap: usize) {
         self.channel_cap = cap.max(1);
     }
@@ -240,9 +289,10 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
     }
 
     /// Streams a batch of edges through the shard pool: one worker thread
-    /// per shard, each edge fanned out to exactly the shards that can
-    /// react (an edge no query reacts to costs one routing lookup on the
-    /// front-end thread and nothing anywhere else). Returns the completed
+    /// per shard, each edge fanned out — in [`CHUNK`]-sized sub-batches —
+    /// to exactly the shards that can react (an edge no query reacts to
+    /// costs one routing lookup on the front-end thread and nothing
+    /// anywhere else). Returns the completed
     /// `(query, match)` pairs; order across shards is unspecified, within
     /// one query it is stream order.
     ///
@@ -298,7 +348,7 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
                 let mut txs = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
                 for (i, sh) in self.shards.iter_mut().enumerate() {
-                    let (tx, rx) = chan::bounded::<StreamEdge>(cap);
+                    let (tx, rx) = chan::bounded::<Vec<StreamEdge>>(cap);
                     txs.push(Some(tx));
                     handles.push(scope.spawn(move || {
                         let mut out = Vec::new();
@@ -308,42 +358,40 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
                             // not one query.
                             fail_point!(sites::WORKER_LOOP, i as u64);
                             match rx.recv() {
-                                Ok(e) => out.extend(sh.advance(e)),
+                                Ok(chunk) => out.extend(sh.advance_batch(&chunk)),
                                 Err(_) => break,
                             }
                         }
                         out
                     }));
                 }
+                // Per-shard pending chunks: routed edges accumulate here
+                // and flush as whole sub-batches, so workers run the
+                // batched ingest path (signature runs, shared probe
+                // cache) instead of one `advance` per edge. A dead
+                // worker's channel reports disconnected; `flush_chunk`
+                // retires it (the supervisor deals with the corpse after
+                // the batch) — a survivable fault never kills the
+                // dispatch loop.
+                let mut pending: Vec<Vec<StreamEdge>> = vec![Vec::new(); n];
                 for &e in &sanitized {
                     let Some(shards) = route.get(&e.signature()) else {
                         continue;
                     };
                     for &s in shards {
-                        // A dead worker's channel reports disconnected;
-                        // the dispatcher skips it (the supervisor deals
-                        // with the corpse after the batch) — a survivable
-                        // fault never kills the dispatch loop.
-                        let Some(tx) = txs[s].as_ref() else {
+                        if txs[s].is_none() {
                             continue;
-                        };
-                        match overload {
-                            OverloadPolicy::Backpressure => {
-                                if tx.send(e).is_err() {
-                                    txs[s] = None;
-                                }
-                            }
-                            OverloadPolicy::ShedNewest => match tx.try_send(e) {
-                                Ok(()) => {}
-                                Err(TrySendError::Full(_)) => health[s].shed_newest += 1,
-                                Err(TrySendError::Disconnected(_)) => txs[s] = None,
-                            },
-                            OverloadPolicy::ShedOldest => match tx.send_evict(e) {
-                                Ok(None) => {}
-                                Ok(Some(_)) => health[s].shed_oldest += 1,
-                                Err(_) => txs[s] = None,
-                            },
                         }
+                        pending[s].push(e);
+                        if pending[s].len() >= CHUNK {
+                            let chunk = std::mem::take(&mut pending[s]);
+                            flush_chunk(s, &mut txs, chunk, overload, health);
+                        }
+                    }
+                }
+                for (s, chunk) in pending.into_iter().enumerate() {
+                    if !chunk.is_empty() {
+                        flush_chunk(s, &mut txs, chunk, overload, health);
                     }
                 }
                 // Dropping the senders disconnects the channels; workers
