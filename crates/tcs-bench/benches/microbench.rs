@@ -236,6 +236,34 @@ fn bench_multi_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Template sharing vs one-engine-per-registration on the
+/// duplicate-template workload: every tick is one window advance over
+/// `n_copies` registrations of the same fraud template.
+fn bench_template_share(c: &mut Criterion) {
+    use tcs_bench::hub::{share_edge, share_engine, share_warmup};
+    use tcs_multi::ShareMode;
+    let mut g = c.benchmark_group("template_share");
+    for n_copies in [64usize, 1024] {
+        for (id_str, share) in
+            [("shared_tick", ShareMode::Shared), ("private_tick", ShareMode::Private)]
+        {
+            g.bench_with_input(BenchmarkId::new(id_str, n_copies), &n_copies, |b, &n| {
+                let mut eng = share_engine(n, share);
+                let mut ts = 0u64;
+                while ts < share_warmup() {
+                    ts += 1;
+                    eng.advance(share_edge(ts));
+                }
+                b.iter(|| {
+                    ts += 1;
+                    eng.advance(share_edge(ts))
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_store_ops,
@@ -244,6 +272,7 @@ criterion_group!(
     bench_generators,
     bench_join_probe,
     bench_batch_ingest,
-    bench_multi_dispatch
+    bench_multi_dispatch,
+    bench_template_share
 );
 criterion_main!(benches);

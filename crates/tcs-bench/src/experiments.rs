@@ -548,13 +548,13 @@ pub fn ablation_cost_model(scale: &Scale) {
 pub fn join_probe(scale: &Scale) {
     use crate::hub::{
         batch_arrival, batch_engine, batch_seed_edges, expiry_edge, expiry_engine, expiry_warmup,
-        expiry_window, hub_arrival, hub_engine, multi_edge, multi_engine, multi_warmup,
-        skew_arrival, skew_engine, skew_seed_edges,
+        expiry_window, hub_arrival, hub_engine, multi_edge, multi_engine, multi_warmup, share_edge,
+        share_engine, share_store_bytes, share_warmup, skew_arrival, skew_engine, skew_seed_edges,
     };
     use std::time::{Duration, Instant};
     use tcs_core::{BatchMode, ExpiryMode, JoinMode};
     use tcs_graph::window::SlidingWindow;
-    use tcs_multi::DispatchMode;
+    use tcs_multi::{DispatchMode, ShareMode};
 
     let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
     let run = |fanout: usize, mode: JoinMode| -> f64 {
@@ -678,6 +678,43 @@ pub fn join_probe(scale: &Scale) {
         n as f64 / start.elapsed().as_secs_f64()
     };
 
+    // The duplicate-template workload: whole window ticks against
+    // `n_copies` registrations of ONE fraud template. Shared founds a
+    // single engine and fans matches out to every subscriber; Private
+    // (the pre-sharing ablation) runs `n_copies` engines, so every tick
+    // pays `n_copies` full inserts.
+    let run_share = |n_copies: usize, share: ShareMode| -> f64 {
+        let mut eng = share_engine(n_copies, share);
+        let mut ts = 0u64;
+        while ts < share_warmup() {
+            ts += 1;
+            eng.advance(share_edge(ts));
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        'outer: loop {
+            for _ in 0..64 {
+                ts += 1;
+                eng.advance(share_edge(ts));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 1_500_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+    // Store footprint after a fixed (untimed) drive — the 10k-copy gate
+    // compares the shared registry's total store bytes against a single
+    // registration's.
+    let share_store = |n_copies: usize, share: ShareMode| -> usize {
+        let mut eng = share_engine(n_copies, share);
+        for ts in 1..=share_warmup() + 64 {
+            eng.advance(share_edge(ts));
+        }
+        share_store_bytes(&eng)
+    };
+
     let mut t = Table::new(
         "join_probe: per-edge insert throughput, hub fan-out (probe vs scan)",
         &["fanout", "probe-edges/s", "scan-edges/s", "speedup"],
@@ -780,6 +817,30 @@ pub fn join_probe(scale: &Scale) {
     }
     tb.emit("join_probe_batch");
 
+    let mut tsh = Table::new(
+        "join_probe/share: one shared template engine vs one engine per duplicate registration",
+        &["copies", "shared-edges/s", "private-edges/s", "speedup", "store-ratio"],
+    );
+    let single_store = share_store(1, ShareMode::Shared).max(1);
+    let mut share_rows = Vec::new();
+    for &copies in &[64usize, 10_000] {
+        // Best of two runs per mode, like the other gated ratios.
+        let best = |share| run_share(copies, share).max(run_share(copies, share));
+        let shared = best(ShareMode::Shared);
+        let private = best(ShareMode::Private);
+        let shared_store = share_store(copies, ShareMode::Shared);
+        let ratio = shared_store as f64 / single_store as f64;
+        tsh.row(vec![
+            copies.to_string(),
+            fmt_throughput(shared),
+            fmt_throughput(private),
+            format!("{:.1}x", shared / private),
+            format!("{ratio:.2}x"),
+        ]);
+        share_rows.push((copies, shared, private, shared_store, ratio));
+    }
+    tsh.emit("join_probe_share");
+
     // Machine-readable trajectory (no serde in this workspace's offline
     // build — the JSON is assembled by hand; schema documented in
     // `crate::hub`'s module docs).
@@ -838,6 +899,21 @@ pub fn join_probe(scale: &Scale) {
             per_edge,
             batched / per_edge,
             if idx + 1 < batch_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"share_rows\": [\n");
+    for (idx, (copies, shared, private, shared_store, ratio)) in share_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"copies\": {}, \"shared\": {:.0}, \"private\": {:.0}, \"speedup\": {:.2}, \
+             \"shared_store_bytes\": {}, \"single_store_bytes\": {}, \"store_ratio\": {:.3}}}{}\n",
+            copies,
+            shared,
+            private,
+            shared / private,
+            shared_store,
+            single_store,
+            ratio,
+            if idx + 1 < share_rows.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

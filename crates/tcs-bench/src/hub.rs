@@ -54,7 +54,10 @@
 //!   "skew_rows":   [{"fanout", "early_exit", "keyed", "speedup"}, ...],
 //!   "expiry_rows": [{"fanout", "front_drain", "eager", "speedup"}, ...],
 //!   "multi_rows":  [{"queries", "dispatch", "broadcast", "speedup"}, ...],
-//!   "batch_rows":  [{"batch", "batched", "per_edge", "speedup"}, ...]
+//!   "batch_rows":  [{"batch", "batched", "per_edge", "speedup"}, ...],
+//!   "share_rows":  [{"copies", "shared", "private", "speedup",
+//!                    "shared_store_bytes", "single_store_bytes",
+//!                    "store_ratio"}, ...]
 //! }
 //! ```
 //!
@@ -70,13 +73,19 @@
 //!   (gate: ≥ 3× at 64 registered queries);
 //! * `batch_rows` — sorted batch ingestion vs per-edge ingestion on the
 //!   batch workload, batches of `batch` arrivals each (gate: ≥ 2.5× at
-//!   batch size 1024).
+//!   batch size 1024);
+//! * `share_rows` — template sharing ([`tcs_multi::ShareMode::Shared`],
+//!   one engine + subscriber fan-out) vs one-engine-per-registration
+//!   ([`tcs_multi::ShareMode::Private`]) on the duplicate-template
+//!   workload, measured over whole window ticks (gates at 10k copies:
+//!   throughput ≥ 5×, and shared store bytes ≤ 2× a single
+//!   registration's).
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
 use tcs_core::{BatchMode, ExpiryMode, JoinMode, MsTreeStore, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel};
-use tcs_multi::{DispatchMode, MultiQueryEngine};
+use tcs_multi::{DispatchMode, MultiQueryEngine, ShareMode};
 
 /// The 2-path query `a→b ≺ b→c` (one TC-subquery of length 2).
 pub fn hub_query() -> QueryGraph {
@@ -289,6 +298,47 @@ pub fn multi_edge(n_queries: usize, ts: u64) -> StreamEdge {
         let t = (i % n_queries as u64) as u16;
         StreamEdge::new(ts, 1_000_000 + i as u32, 3 * t + 1, 2_000_000 + i as u32, 3 * t + 2, 0, ts)
     }
+}
+
+/// The duplicate-template workload: `n_copies` registrations of ONE
+/// fraud template — tenant 0's [`multi_query`] — the fleet shape
+/// cross-tenant sharing exists for. Under [`ShareMode::Shared`] the
+/// registry founds a single engine and fans completed matches out to
+/// every subscriber; under [`ShareMode::Private`] (the pre-sharing
+/// ablation) each registration runs its own engine, so every tick pays
+/// `n_copies` full inserts and `n_copies` stores.
+pub fn share_engine(n_copies: usize, share: ShareMode) -> MultiQueryEngine<MsTreeStore> {
+    let mut multi: MultiQueryEngine<MsTreeStore> =
+        MultiQueryEngine::with_mode(share_window(), DispatchMode::Signature);
+    multi.set_share_mode(share);
+    for _ in 0..n_copies {
+        multi.register(QueryPlan::build(multi_query(0), PlanOptions::timing()));
+    }
+    multi
+}
+
+/// Window duration holding ~one live 2-edge chain — the workload is a
+/// single template, so [`multi_window`] at one query.
+pub fn share_window() -> u64 {
+    multi_window(1)
+}
+
+/// Ticks needed to fill the window before measuring (the warm-up).
+pub fn share_warmup() -> u64 {
+    multi_warmup(1)
+}
+
+/// The edge arriving at tick `ts`: tenant 0's chain edge (odd ticks
+/// open, even ticks close — one completed match per closing edge,
+/// fanned out to all `n_copies` subscribers under sharing).
+pub fn share_edge(ts: u64) -> StreamEdge {
+    multi_edge(1, ts)
+}
+
+/// Total partial-match store bytes across the registry — the quantity
+/// the 10k-copy store gate compares against a single registration's.
+pub fn share_store_bytes(multi: &MultiQueryEngine<MsTreeStore>) -> usize {
+    multi.stats().queries.iter().map(|q| q.store_bytes).sum()
 }
 
 /// The 3-path query `a→b ≺ b→c ≺ c→d` of the batch-ingestion workload

@@ -286,6 +286,35 @@ pub struct TimingEngine<S: MatchStore> {
     probe_cache: ProbeCache,
     /// Columnar scratch for `propagate` (reused across arrivals).
     arena: RowArena,
+    /// The subscriber seam: `None` (default) until a window-sharing
+    /// front-end arms it — single-subscriber engines pay nothing. See
+    /// [`TimingEngine::arm_emission_floors`].
+    seam: Option<EmissionSeam>,
+}
+
+/// Emission-floor bookkeeping for engines shared by several subscribers
+/// with different registration epochs (multi-query template sharing).
+///
+/// While armed, the engine numbers its processed arrivals `1, 2, …` and
+/// tags every emitted match with a *floor*: the smallest arrival number
+/// among the match's constituent edges, `0` for any edge stored before
+/// arming. A subscriber that registered at epoch `E` (the arrival
+/// counter at registration) owns exactly the matches with `floor > E` —
+/// every constituent edge arrived after it subscribed, which is
+/// precisely the set a private engine registered at that moment would
+/// have found. Fresh-start semantics are thus enforced at the emission
+/// point; the shared store is never filtered or copied.
+#[derive(Default)]
+struct EmissionSeam {
+    /// Arrival counter: increments once per processed arrival.
+    seq: u64,
+    /// Arrival number of each live stored edge (entries are dropped on
+    /// expiry, so the map tracks the window, not the stream).
+    edge_seqs: HashMap<EdgeId, u64>,
+    /// Floors of the records returned by the last
+    /// [`TimingEngine::insert_at`] / [`TimingEngine::insert_batch_at`]
+    /// call, index-parallel to its return value.
+    floors: Vec<u64>,
 }
 
 impl<S: MatchStore> TimingEngine<S> {
@@ -311,7 +340,41 @@ impl<S: MatchStore> TimingEngine<S> {
             batch_fuel: None,
             probe_cache: ProbeCache::default(),
             arena: RowArena::default(),
+            seam: None,
         }
+    }
+
+    /// Arms the subscriber seam (idempotent): from now on every arrival
+    /// is numbered and every emitted match carries an emission floor
+    /// readable through [`TimingEngine::last_emission_floors`]. Meant
+    /// for window-sharing front-ends that fan one engine's matches out
+    /// to subscribers with different registration epochs; the floors
+    /// are maintained on the [`TimingEngine::insert_at`] /
+    /// [`TimingEngine::insert_batch_at`] paths (the standalone
+    /// `insert` family is not part of the seam contract). Edges stored
+    /// before arming have no arrival number and give their matches
+    /// floor `0` — correctly invisible to any subscriber registered at
+    /// or after the arming epoch.
+    pub fn arm_emission_floors(&mut self) {
+        if self.seam.is_none() {
+            self.seam = Some(EmissionSeam::default());
+        }
+    }
+
+    /// The current registration epoch: the number of arrivals processed
+    /// since the seam was armed (`0` while disarmed). A subscriber
+    /// registering now records this value and owns exactly the future
+    /// matches whose floor exceeds it.
+    pub fn emission_epoch(&self) -> u64 {
+        self.seam.as_ref().map_or(0, |s| s.seq)
+    }
+
+    /// Emission floors of the records returned by the last
+    /// [`TimingEngine::insert_at`] / [`TimingEngine::insert_batch_at`]
+    /// call, index-parallel to its return value; empty while the seam
+    /// is disarmed.
+    pub fn last_emission_floors(&self) -> &[u64] {
+        self.seam.as_ref().map_or(&[], |s| s.floors.as_slice())
     }
 
     /// Selects batch-at-a-time (default) or edge-at-a-time batch
@@ -598,6 +661,9 @@ impl<S: MatchStore> TimingEngine<S> {
     /// [`TimingEngine::expire`] (private map) or a shared snapshot that
     /// several engines read through [`LiveEdgeView`].
     pub fn expire_partials(&mut self, e: &StreamEdge) {
+        if let Some(seam) = &mut self.seam {
+            seam.edge_seqs.remove(&e.id);
+        }
         let positions = self.plan.positions(e.signature());
         if !positions.is_empty() {
             let n = self.store.expire_edge(e.id, e.ts.0, &positions);
@@ -823,6 +889,20 @@ impl<S: MatchStore> TimingEngine<S> {
     /// nondecreasing — so the check is a pure guard against owner bugs.
     pub fn insert_at<L: LiveEdgeView>(
         &mut self,
+        sigma: StreamEdge,
+        live: &L,
+    ) -> Result<Vec<MatchRecord>, IngestError> {
+        if let Some(seam) = &mut self.seam {
+            seam.floors.clear();
+        }
+        self.insert_at_unfloored(sigma, live)
+    }
+
+    /// [`TimingEngine::insert_at`] without resetting the emission-floor
+    /// buffer — the batch path calls this per edge so the floors of the
+    /// whole batch stay index-parallel to its accumulated records.
+    fn insert_at_unfloored<L: LiveEdgeView>(
+        &mut self,
         mut sigma: StreamEdge,
         live: &L,
     ) -> Result<Vec<MatchRecord>, IngestError> {
@@ -846,11 +926,14 @@ impl<S: MatchStore> TimingEngine<S> {
         live: &L,
     ) -> Result<Vec<MatchRecord>, IngestError> {
         self.refuel_batch();
+        if let Some(seam) = &mut self.seam {
+            seam.floors.clear();
+        }
         let result = match self.batch_mode {
             BatchMode::PerEdge => {
                 let mut out = Vec::new();
                 for &e in batch {
-                    out.extend(self.insert_at(e, live)?);
+                    out.extend(self.insert_at_unfloored(e, live)?);
                 }
                 Ok(out)
             }
@@ -905,6 +988,14 @@ impl<S: MatchStore> TimingEngine<S> {
         candidates: &[usize],
     ) -> Vec<MatchRecord> {
         self.stats.edges_processed += 1;
+        if let Some(seam) = &mut self.seam {
+            seam.seq += 1;
+            if !candidates.is_empty() {
+                // Expiry drops the entry again, so the map tracks only
+                // window-live edges the plan can react to.
+                seam.edge_seqs.insert(sigma.id, seam.seq);
+            }
+        }
         if candidates.is_empty() {
             self.stats.edges_discarded += 1;
             return Vec::new();
@@ -959,6 +1050,20 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         if !stored_any {
             self.stats.edges_discarded += 1;
+        }
+        if let Some(seam) = &mut self.seam {
+            // Floor of a match: the oldest constituent edge's arrival
+            // number (0 for edges stored before arming) — the epoch cut
+            // deciding which subscribers own the match.
+            for rec in &out {
+                let floor = rec
+                    .edges()
+                    .iter()
+                    .map(|id| seam.edge_seqs.get(id).copied().unwrap_or(0))
+                    .min()
+                    .unwrap_or(0);
+                seam.floors.push(floor);
+            }
         }
         self.stats.matches_emitted += out.len() as u64;
         out
@@ -2110,5 +2215,69 @@ mod tests {
         eng.settle_maintenance();
         eng.set_batch_fuel(None);
         assert_eq!(eng.deferred_maintenance(), 0);
+    }
+
+    #[test]
+    fn emission_floors_partition_matches_by_epoch() {
+        let q = path2_query(&[(0, 1)]);
+        let mut eng: TimingEngine<MsTreeStore> = mk(q);
+        let mut live: HashMap<EdgeId, StreamEdge> = HashMap::new();
+        // Disarmed engines expose no floors and pay no bookkeeping.
+        let e1 = StreamEdge::new(1, 10, 0, 11, 1, 0, 1);
+        live.insert(e1.id, e1);
+        assert!(eng.insert_at(e1, &live).unwrap().is_empty());
+        assert!(eng.last_emission_floors().is_empty());
+        assert_eq!(eng.emission_epoch(), 0);
+
+        // Arm at the moment a second subscriber joins the warm engine.
+        eng.arm_emission_floors();
+        eng.arm_emission_floors(); // idempotent
+        let joiner_epoch = eng.emission_epoch();
+
+        // Closing the pre-arm prefix emits a match flooring to 0: the
+        // founder (unfiltered) owns it, the joiner must not — one of its
+        // edges predates the subscription.
+        let e2 = StreamEdge::new(2, 11, 1, 12, 2, 0, 2);
+        live.insert(e2.id, e2);
+        assert_eq!(eng.insert_at(e2, &live).unwrap().len(), 1);
+        assert_eq!(eng.last_emission_floors(), &[0]);
+        assert!(eng.last_emission_floors()[0] <= joiner_epoch);
+
+        // A chain fully after the joiner's epoch floors above it.
+        let e3 = StreamEdge::new(3, 20, 0, 21, 1, 0, 3);
+        live.insert(e3.id, e3);
+        assert!(eng.insert_at(e3, &live).unwrap().is_empty());
+        let late_epoch = eng.emission_epoch();
+        let e4 = StreamEdge::new(4, 21, 1, 22, 2, 0, 4);
+        live.insert(e4.id, e4);
+        assert_eq!(eng.insert_at(e4, &live).unwrap().len(), 1);
+        let floors = eng.last_emission_floors();
+        assert!(floors[0] > joiner_epoch, "post-subscription match is the joiner's");
+        assert!(floors[0] <= late_epoch, "but not a later subscriber's: its prefix predates it");
+    }
+
+    #[test]
+    fn emission_floors_stay_parallel_to_batch_records() {
+        for mode in [BatchMode::Sorted, BatchMode::PerEdge] {
+            let q = path2_query(&[(0, 1)]);
+            let mut eng: TimingEngine<MsTreeStore> = mk(q);
+            eng.set_batch_mode(mode);
+            eng.arm_emission_floors();
+            let batch = [
+                StreamEdge::new(1, 10, 0, 11, 1, 0, 1),
+                StreamEdge::new(2, 11, 1, 12, 2, 0, 2),
+                StreamEdge::new(3, 20, 0, 21, 1, 0, 3),
+                StreamEdge::new(4, 21, 1, 22, 2, 0, 4),
+            ];
+            let mut live: HashMap<EdgeId, StreamEdge> = HashMap::new();
+            for e in batch {
+                live.insert(e.id, e);
+            }
+            let ms = eng.insert_batch_at(&batch, &live).unwrap();
+            assert_eq!(ms.len(), 2);
+            // One floor per record, in emission order: each match floors
+            // at its opening edge's arrival number (1-based).
+            assert_eq!(eng.last_emission_floors(), &[1, 3], "mode {mode:?}");
+        }
     }
 }

@@ -40,5 +40,5 @@ pub use engine::{BatchMode, EngineStats, JoinMode, TimingEngine};
 pub use independent::IndependentStore;
 pub use ingest::{IngestError, IngestGate, IngestStats, OrderPolicy};
 pub use mstree::MsTreeStore;
-pub use plan::{PlanOptions, QueryPlan};
+pub use plan::{PlanFingerprint, PlanOptions, QueryPlan};
 pub use store::{ExpiryMode, MatchStore};

@@ -21,6 +21,7 @@ use crate::decompose::{decompose_from, tc_subqueries, Decomposition, TcSubquery}
 use crate::joinorder::{is_prefix_connected, order_by_joint_number, order_randomly};
 use crate::store::JoinKey;
 use std::collections::HashMap;
+use std::fmt;
 use tcs_graph::{ELabel, QueryGraph, StreamEdge, VLabel, VertexId};
 
 /// Plan-construction options (defaults reproduce the paper's "Timing").
@@ -338,6 +339,332 @@ impl QueryPlan {
     pub fn sub_lens(&self) -> Vec<usize> {
         self.subs.iter().map(|s| s.len()).collect()
     }
+
+    /// Canonical structural identity of this plan's query — see
+    /// [`PlanFingerprint`]. Plans compiled from structurally identical
+    /// queries fingerprint equal regardless of [`PlanOptions`]
+    /// (decomposition and join order never change *what* is matched, only
+    /// how, so they are deliberately outside the identity).
+    pub fn fingerprint(&self) -> PlanFingerprint {
+        PlanFingerprint::of(&self.query)
+    }
+}
+
+/// Canonical identity of a continuous query: byte-equal for queries that
+/// are identical up to vertex renumbering and edge reordering (with the
+/// timing order carried along), and distinct otherwise.
+///
+/// The encoding is *faithful* — it serializes the full canonicalized
+/// query (labels, structure, timing closure), so equal bytes imply
+/// isomorphic queries unconditionally. The canonical form is found by
+/// colour refinement plus an individualize-and-refine search whose leaf
+/// count is capped; hitting the cap on a pathologically symmetric query
+/// can at worst make two isomorphic queries fingerprint *unequal*
+/// (missed sharing), never make distinct queries collide.
+///
+/// The timing order enters through its transitive closure, so orders
+/// that close to the same relation (e.g. `{0≺1, 1≺2}` vs
+/// `{0≺1, 1≺2, 0≺2}`) are identified.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PlanFingerprint {
+    bytes: Vec<u8>,
+}
+
+impl fmt::Debug for PlanFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PlanFingerprint({:016x})", self.digest())
+    }
+}
+
+/// Leaf budget of the individualize-and-refine search. Queries are tiny
+/// (≤ 64 edges), so real workloads stay far below this; the cap only
+/// bounds adversarially symmetric inputs (see [`PlanFingerprint`] for
+/// why an exhausted budget is safe).
+const FINGERPRINT_MAX_LEAVES: usize = 2_000;
+
+/// Budget on duplicate-edge-triple permutations tried when minimizing
+/// the timing encoding (parallel edges with identical signatures).
+const FINGERPRINT_MAX_TIE_PERMS: usize = 720;
+
+impl PlanFingerprint {
+    /// Fingerprints a query (dropping the edge permutation).
+    pub fn of(q: &QueryGraph) -> PlanFingerprint {
+        PlanFingerprint::canonicalize(q).0
+    }
+
+    /// Fingerprints a query and returns the edge permutation into the
+    /// canonical form: `perm[e]` is the canonical index of query edge
+    /// `e`. Two queries with equal fingerprints can be aligned by
+    /// composing one permutation with the other's inverse.
+    pub fn canonicalize(q: &QueryGraph) -> (PlanFingerprint, Vec<usize>) {
+        // Initial colouring: dense ids of the vertex labels, assigned in
+        // ascending label order so the partition is input-order free.
+        let mut labels: Vec<u16> = q.vertex_labels.iter().map(|l| l.0).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        let mut colors: Vec<u32> = q
+            .vertex_labels
+            .iter()
+            .map(|l| {
+                labels
+                    .binary_search(&l.0)
+                    .unwrap_or_else(|_| unreachable!("label came from this list"))
+                    as u32
+            })
+            .collect();
+        wl_refine(q, &mut colors);
+        let mut search = FingerprintSearch { q, best: None, leaves: 0 };
+        search.run(colors);
+        let (bytes, perm) =
+            search.best.unwrap_or_else(|| unreachable!("≥1 leaf: cells only ever split"));
+        debug_assert_eq!(perm.len(), q.n_edges());
+        (PlanFingerprint { bytes }, perm)
+    }
+
+    /// A short display form (FNV-1a over the canonical bytes). Unlike
+    /// the fingerprint itself the digest can collide; use it for logs
+    /// and stats, not identity.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// One round-to-fixpoint Weisfeiler–Leman colour refinement: a vertex's
+/// new colour is its old colour plus the multiset of (direction, edge
+/// label, neighbour colour) over its incident edges. Colours are
+/// re-densified by sorted key each round, so equal partitions get equal
+/// numberings whatever order the input listed vertices in.
+fn wl_refine(q: &QueryGraph, colors: &mut [u32]) {
+    /// A vertex's refinement key: its colour plus the sorted multiset of
+    /// (direction, edge label, neighbour colour) over incident edges.
+    type WlKey = (u32, Vec<(u8, u16, u32)>);
+    let n = colors.len();
+    loop {
+        let mut keys: Vec<WlKey> = (0..n)
+            .map(|v| {
+                let mut inc = Vec::new();
+                for e in &q.edges {
+                    if e.src == v && e.dst == v {
+                        inc.push((2u8, e.label.0, colors[v]));
+                    } else if e.src == v {
+                        inc.push((0u8, e.label.0, colors[e.dst]));
+                    } else if e.dst == v {
+                        inc.push((1u8, e.label.0, colors[e.src]));
+                    }
+                }
+                inc.sort_unstable();
+                (colors[v], inc)
+            })
+            .collect();
+        let mut sorted: Vec<WlKey> = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let before = colors.iter().collect::<std::collections::BTreeSet<_>>().len();
+        if sorted.len() == before {
+            return; // stable partition — refining further changes nothing
+        }
+        for (v, key) in keys.drain(..).enumerate() {
+            colors[v] = sorted
+                .binary_search(&key)
+                .unwrap_or_else(|_| unreachable!("key came from this list"))
+                as u32;
+        }
+    }
+}
+
+/// Individualize-and-refine over the stable partition: branch on each
+/// vertex of the first non-singleton cell, refine, recurse; at discrete
+/// leaves serialize the query under the induced vertex order and keep
+/// the lexicographically smallest encoding.
+struct FingerprintSearch<'a> {
+    q: &'a QueryGraph,
+    best: Option<(Vec<u8>, Vec<usize>)>,
+    leaves: usize,
+}
+
+impl FingerprintSearch<'_> {
+    fn run(&mut self, colors: Vec<u32>) {
+        if self.leaves >= FINGERPRINT_MAX_LEAVES {
+            return;
+        }
+        let n = colors.len();
+        // Colours are not necessarily dense here (a refinement that was
+        // already stable returns them doubled), so find the smallest
+        // *value* that names a non-singleton cell.
+        let mut sorted_colors = colors.clone();
+        sorted_colors.sort_unstable();
+        let duplicated = sorted_colors.windows(2).find(|w| w[0] == w[1]).map(|w| w[0]);
+        let target = match duplicated {
+            None => {
+                // Discrete colouring — one canonical candidate.
+                self.leaves += 1;
+                let cand = encode_under(self.q, &colors);
+                if self.best.as_ref().is_none_or(|b| cand.0 < b.0) {
+                    self.best = Some(cand);
+                }
+                return;
+            }
+            Some(c) => c,
+        };
+        for v in 0..n {
+            if colors[v] != target {
+                continue;
+            }
+            // Individualize `v` just below its cell: double every colour
+            // (cells keep even values) and park `v` on the odd value in
+            // between. Colours stay ≤ 2n + 2, so no overflow.
+            let mut next: Vec<u32> = colors.iter().map(|&c| c * 2 + 2).collect();
+            next[v] = target * 2 + 1;
+            wl_refine(self.q, &mut next);
+            self.run(next);
+        }
+    }
+}
+
+/// Serializes `q` under the vertex order induced by a discrete
+/// colouring; returns (canonical bytes, edge permutation). Parallel
+/// edges with identical canonical triples are tie-broken by trying
+/// their permutations against the timing encoding (capped; the
+/// fallback keeps input order, which can only miss sharing).
+fn encode_under(q: &QueryGraph, colors: &[u32]) -> (Vec<u8>, Vec<usize>) {
+    let n = q.n_vertices();
+    let m = q.n_edges();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| colors[v]);
+    let mut pi = vec![0usize; n];
+    for (pos, &v) in order.iter().enumerate() {
+        pi[v] = pos;
+    }
+    // Canonical edge triples, ties among identical triples by original
+    // index for now (revisited below).
+    let mut es: Vec<(usize, usize, u16, usize)> =
+        q.edges.iter().enumerate().map(|(i, e)| (pi[e.src], pi[e.dst], e.label.0, i)).collect();
+    es.sort_unstable();
+    // `orig[j]` = original index of canonical edge `j`.
+    let mut orig: Vec<usize> = es.iter().map(|&(_, _, _, i)| i).collect();
+    // Duplicate-triple groups: ranges of canonical positions whose
+    // (src, dst, label) coincide. The timing order may distinguish
+    // members, so the assignment within a group is searched.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0;
+    for j in 1..=m {
+        if j == m || (es[j].0, es[j].1, es[j].2) != (es[start].0, es[start].1, es[start].2) {
+            if j - start > 1 {
+                groups.push((start, j));
+            }
+            start = j;
+        }
+    }
+    let combos: usize = groups
+        .iter()
+        .map(|&(s, e)| (1..=(e - s)).product::<usize>())
+        .try_fold(1usize, |a, f: usize| a.checked_mul(f))
+        .unwrap_or(usize::MAX);
+    if !groups.is_empty() && combos <= FINGERPRINT_MAX_TIE_PERMS {
+        let mut best_timing: Option<(Vec<u8>, Vec<usize>)> = None;
+        permute_groups(&groups, &mut orig, 0, &mut |orig: &[usize]| {
+            let cand = timing_bytes(q, orig);
+            if best_timing.as_ref().is_none_or(|b| cand < b.0) {
+                best_timing = Some((cand, orig.to_vec()));
+            }
+        });
+        if let Some((_, o)) = best_timing {
+            orig = o;
+        }
+    }
+    let mut perm = vec![0usize; m];
+    for (j, &e) in orig.iter().enumerate() {
+        perm[e] = j;
+    }
+    // Faithful serialization: sizes, labels, structure, timing closure.
+    let mut bytes = Vec::with_capacity(8 + 2 * n + 10 * m);
+    push_u32(&mut bytes, n as u32);
+    push_u32(&mut bytes, m as u32);
+    for &v in &order {
+        push_u16(&mut bytes, q.vertex_labels[v].0);
+    }
+    for &(s, d, l, _) in &es {
+        push_u32(&mut bytes, s as u32);
+        push_u32(&mut bytes, d as u32);
+        push_u16(&mut bytes, l);
+    }
+    bytes.extend_from_slice(&timing_bytes(q, &orig));
+    (bytes, perm)
+}
+
+/// Timing-closure encoding under the canonical edge order `orig`
+/// (`orig[j]` = original index of canonical edge `j`): per canonical
+/// edge, the sorted canonical indices of its closure predecessors.
+fn timing_bytes(q: &QueryGraph, orig: &[usize]) -> Vec<u8> {
+    let m = orig.len();
+    let mut perm = vec![0usize; m];
+    for (j, &e) in orig.iter().enumerate() {
+        perm[e] = j;
+    }
+    let mut bytes = Vec::with_capacity(m * 4);
+    for &e in orig {
+        let mut preds: Vec<u32> = Vec::new();
+        let mut mask = q.order.before_mask(e);
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            preds.push(perm[i] as u32);
+        }
+        preds.sort_unstable();
+        push_u32(&mut bytes, preds.len() as u32);
+        for p in preds {
+            push_u32(&mut bytes, p);
+        }
+    }
+    bytes
+}
+
+/// Visits every within-group permutation of `orig` (groups are disjoint
+/// canonical-position ranges), invoking `f` on each arrangement.
+fn permute_groups(
+    groups: &[(usize, usize)],
+    orig: &mut Vec<usize>,
+    g: usize,
+    f: &mut impl FnMut(&[usize]),
+) {
+    match groups.get(g) {
+        None => f(orig),
+        Some(&(s, e)) => {
+            // Recursive lexicographic permutations of orig[s..e].
+            fn perm_range(
+                groups: &[(usize, usize)],
+                orig: &mut Vec<usize>,
+                s: usize,
+                e: usize,
+                i: usize,
+                g: usize,
+                f: &mut impl FnMut(&[usize]),
+            ) {
+                if i + 1 >= e - s {
+                    permute_groups(groups, orig, g + 1, f);
+                    return;
+                }
+                for j in i..(e - s) {
+                    orig.swap(s + i, s + j);
+                    perm_range(groups, orig, s, e, i + 1, g, f);
+                    orig.swap(s + i, s + j);
+                }
+            }
+            perm_range(groups, orig, s, e, 0, g, f);
+        }
+    }
+}
+
+fn push_u32(bytes: &mut Vec<u8>, v: u32) {
+    bytes.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u16(bytes: &mut Vec<u8>, v: u16) {
+    bytes.extend_from_slice(&v.to_le_bytes());
 }
 
 /// First (level, is-dst) position binding query vertex `v` within the
@@ -563,5 +890,160 @@ mod tests {
         let q = QueryGraph::running_example();
         let plan = QueryPlan::build(q, PlanOptions::timing());
         assert_eq!(plan.sub_lens().iter().sum::<usize>(), 6);
+    }
+
+    use tcs_graph::QueryEdge;
+
+    /// The running example with vertices renumbered by `pi` and edges
+    /// listed in `edge_order`, timing pairs remapped to match.
+    fn relabelled_running_example(pi: &[usize], edge_order: &[usize]) -> QueryGraph {
+        let q = QueryGraph::running_example();
+        let mut labels = vec![VLabel(0); q.n_vertices()];
+        for (v, &p) in pi.iter().enumerate() {
+            labels[p] = q.vertex_labels[v];
+        }
+        let mut inv = vec![0usize; edge_order.len()];
+        for (new, &old) in edge_order.iter().enumerate() {
+            inv[old] = new;
+        }
+        let edges: Vec<QueryEdge> = edge_order
+            .iter()
+            .map(|&e| {
+                let qe = q.edges[e];
+                QueryEdge { src: pi[qe.src], dst: pi[qe.dst], label: qe.label }
+            })
+            .collect();
+        let pairs: Vec<(usize, usize)> =
+            q.order.pairs().iter().map(|&(i, j)| (inv[i], inv[j])).collect();
+        QueryGraph::new(labels, edges, &pairs).unwrap()
+    }
+
+    #[test]
+    fn fingerprint_invariant_under_renumbering_and_reordering() {
+        let q = QueryGraph::running_example();
+        let base = PlanFingerprint::of(&q);
+        let relabelled = relabelled_running_example(&[3, 5, 0, 2, 4, 1], &[4, 2, 0, 5, 3, 1]);
+        assert_ne!(q.edges, relabelled.edges, "the rewrite actually changed the listing");
+        assert_eq!(base, PlanFingerprint::of(&relabelled));
+        // Identity rewrite too.
+        let same = relabelled_running_example(&[0, 1, 2, 3, 4, 5], &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(base, PlanFingerprint::of(&same));
+    }
+
+    #[test]
+    fn fingerprint_edge_perm_aligns_isomorphic_queries() {
+        let q = QueryGraph::running_example();
+        let r = relabelled_running_example(&[3, 5, 0, 2, 4, 1], &[4, 2, 0, 5, 3, 1]);
+        let (fq, pq) = PlanFingerprint::canonicalize(&q);
+        let (fr, pr) = PlanFingerprint::canonicalize(&r);
+        assert_eq!(fq, fr);
+        // perm maps each query's edges onto one shared canonical listing:
+        // corresponding edges carry equal signatures and timing closures.
+        let mut canon_q = [usize::MAX; 6];
+        let mut canon_r = [usize::MAX; 6];
+        for e in 0..6 {
+            canon_q[pq[e]] = e;
+            canon_r[pr[e]] = e;
+        }
+        for j in 0..6 {
+            assert_eq!(q.signature(canon_q[j]), r.signature(canon_r[j]));
+            // Closure predecessors agree through the permutations.
+            let mut preds_q: Vec<usize> =
+                (0..6).filter(|&i| q.order.lt(i, canon_q[j])).map(|i| pq[i]).collect();
+            let mut preds_r: Vec<usize> =
+                (0..6).filter(|&i| r.order.lt(i, canon_r[j])).map(|i| pr[i]).collect();
+            preds_q.sort_unstable();
+            preds_r.sort_unstable();
+            assert_eq!(preds_q, preds_r);
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_structure_labels_and_timing() {
+        let q = QueryGraph::running_example();
+        let base = PlanFingerprint::of(&q);
+        // Different vertex label.
+        let mut labels: Vec<VLabel> = q.vertex_labels.clone();
+        labels[2] = VLabel(99);
+        let lab = QueryGraph::new(labels, q.edges.clone(), q.order.pairs()).unwrap();
+        assert_ne!(base, PlanFingerprint::of(&lab));
+        // Extra timing constraint (not closure-implied).
+        let mut pairs = q.order.pairs().to_vec();
+        pairs.push((0, 1));
+        let tim = QueryGraph::new(q.vertex_labels.clone(), q.edges.clone(), &pairs).unwrap();
+        assert_ne!(base, PlanFingerprint::of(&tim));
+        // Different structure (redirect an edge endpoint).
+        let mut edges = q.edges.clone();
+        edges[1] = QueryEdge { src: 1, dst: 3, label: edges[1].label };
+        let st = QueryGraph::new(q.vertex_labels.clone(), edges, q.order.pairs()).unwrap();
+        assert_ne!(base, PlanFingerprint::of(&st));
+    }
+
+    #[test]
+    fn fingerprint_identifies_equal_timing_closures() {
+        // {0≺1, 1≺2} and its closure {0≺1, 1≺2, 0≺2} are the same order.
+        let labels = vec![VLabel(0), VLabel(1), VLabel(2), VLabel(3)];
+        let edges = vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            QueryEdge { src: 2, dst: 3, label: ELabel::NONE },
+        ];
+        let a = QueryGraph::new(labels.clone(), edges.clone(), &[(0, 1), (1, 2)]).unwrap();
+        let b = QueryGraph::new(labels, edges, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(PlanFingerprint::of(&a), PlanFingerprint::of(&b));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_parallel_edges_by_timing() {
+        // Two parallel a→b edges where only the timing order tells them
+        // apart; listing them in either order must fingerprint equal,
+        // while dropping the constraint must not.
+        let labels = vec![VLabel(0), VLabel(1)];
+        let para = |pairs: &[(usize, usize)]| {
+            QueryGraph::new(
+                labels.clone(),
+                vec![
+                    QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                    QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                ],
+                pairs,
+            )
+            .unwrap()
+        };
+        let fwd = para(&[(0, 1)]);
+        let rev = para(&[(1, 0)]);
+        let free = para(&[]);
+        assert_eq!(PlanFingerprint::of(&fwd), PlanFingerprint::of(&rev));
+        assert_ne!(PlanFingerprint::of(&fwd), PlanFingerprint::of(&free));
+    }
+
+    #[test]
+    fn fingerprint_ignores_plan_options() {
+        let q = QueryGraph::running_example();
+        let a = QueryPlan::build(q.clone(), PlanOptions::timing()).fingerprint();
+        let b = QueryPlan::build(q, PlanOptions::random_both(7)).fingerprint();
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn fingerprint_survives_symmetric_queries() {
+        // A 4-cycle of identical labels has a large automorphism group —
+        // the search must still terminate and stay invariant under
+        // rotation of the edge listing.
+        let labels = vec![VLabel(0); 4];
+        let cyc = |rot: usize| {
+            let edges: Vec<QueryEdge> = (0..4)
+                .map(|i| {
+                    let j = (i + rot) % 4;
+                    QueryEdge { src: j, dst: (j + 1) % 4, label: ELabel::NONE }
+                })
+                .collect();
+            QueryGraph::new(labels.clone(), edges, &[]).unwrap()
+        };
+        let f0 = PlanFingerprint::of(&cyc(0));
+        for rot in 1..4 {
+            assert_eq!(f0, PlanFingerprint::of(&cyc(rot)));
+        }
     }
 }

@@ -7,10 +7,15 @@
 //! * **Query file**: a `v` line per vertex (`v <index> <label>`), an `e` line
 //!   per edge (`e <src> <dst> <label>`), and a `t` line per timing pair
 //!   (`t <before> <after>`), with `#` comments.
+//! * **Edge-stream line** (s-graffito style, the format public streaming
+//!   graph datasets ship in): `src dst label ts`, where `src`, `dst` and
+//!   `label` may be integers or arbitrary strings (interned to dense
+//!   ids) — see [`edge_stream_from_str`].
 
 use crate::edge::StreamEdge;
 use crate::query::{QueryEdge, QueryError, QueryGraph};
 use crate::{ELabel, VLabel};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::num::ParseIntError;
 
@@ -80,6 +85,73 @@ pub fn stream_from_str(text: &str) -> Result<Vec<StreamEdge>, ParseError> {
             p(fields[4])? as u16,
             p(fields[5])? as u16,
             p(fields[6])?,
+        ));
+    }
+    Ok(out)
+}
+
+/// An edge stream parsed from the s-graffito-style text format, with the
+/// interning tables that map the file's names back from the dense ids.
+#[derive(Debug, Default)]
+pub struct TextStream {
+    /// The parsed edges, in file order (real datasets are not always
+    /// timestamp-sorted — sort before feeding a strict-order gate).
+    pub edges: Vec<StreamEdge>,
+    /// Interned vertex names: index = the `VertexId` assigned to it.
+    pub vertices: Vec<String>,
+    /// Interned edge-label names: index = the `ELabel` assigned to it.
+    pub edge_labels: Vec<String>,
+}
+
+/// Parses an s-graffito-style edge stream: one `src dst label ts` line
+/// per edge, `#` comments and blank lines skipped. `src`, `dst` and
+/// `label` may be integers or arbitrary strings — either way they are
+/// interned, in order of first appearance, to dense `VertexId`s /
+/// `ELabel`s (so `7` and `"alice"` can mix freely); `ts` must parse as
+/// `u64`. Edge ids are assigned sequentially from 1. Public datasets
+/// carry no vertex labels, so each vertex gets
+/// `VLabel(vertex_id % n_vertex_labels)` — a deterministic partition
+/// queries can target (pass 1 for unlabeled matching).
+pub fn edge_stream_from_str(text: &str, n_vertex_labels: u16) -> Result<TextStream, ParseError> {
+    assert!(n_vertex_labels >= 1, "need at least one vertex label class");
+    fn intern<'a>(
+        name: &'a str,
+        ids: &mut HashMap<&'a str, usize>,
+        names: &mut Vec<String>,
+    ) -> usize {
+        if let Some(&id) = ids.get(name) {
+            return id;
+        }
+        let id = names.len();
+        names.push(name.to_string());
+        ids.insert(name, id);
+        id
+    }
+    let mut out = TextStream::default();
+    let mut vertex_ids: HashMap<&str, usize> = HashMap::new();
+    let mut label_ids: HashMap<&str, usize> = HashMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseError::Arity { line: ln + 1, expected: 4, got: fields.len() });
+        }
+        let src = intern(fields[0], &mut vertex_ids, &mut out.vertices) as u32;
+        let dst = intern(fields[1], &mut vertex_ids, &mut out.vertices) as u32;
+        let label = intern(fields[2], &mut label_ids, &mut out.edge_labels) as u16;
+        let ts: u64 =
+            fields[3].parse().map_err(|source| ParseError::Int { line: ln + 1, source })?;
+        out.edges.push(StreamEdge::new(
+            out.edges.len() as u64 + 1,
+            src,
+            (src % u32::from(n_vertex_labels)) as u16,
+            dst,
+            (dst % u32::from(n_vertex_labels)) as u16,
+            label,
+            ts,
         ));
     }
     Ok(out)
@@ -188,6 +260,31 @@ mod tests {
     fn unknown_tag_rejected() {
         let err = query_from_str("x 1 2").unwrap_err();
         assert!(matches!(err, ParseError::UnknownTag { .. }));
+    }
+
+    #[test]
+    fn edge_stream_interns_mixed_ids() {
+        let text = "# s-graffito style\nalice bob follows 10\n7 alice follows 11\nbob 7 pays 12\n";
+        let s = edge_stream_from_str(text, 2).unwrap();
+        assert_eq!(s.vertices, vec!["alice", "bob", "7"]);
+        assert_eq!(s.edge_labels, vec!["follows", "pays"]);
+        assert_eq!(s.edges.len(), 3);
+        // alice=0, bob=1, 7=2; labels derived as id % 2.
+        let e = s.edges[1];
+        assert_eq!((e.id.0, e.src.0, e.dst.0), (2, 2, 0));
+        assert_eq!((e.src_label.0, e.dst_label.0), (0, 0));
+        assert_eq!((e.label.0, e.ts.0), (0, 11));
+        let e = s.edges[2];
+        assert_eq!((e.src.0, e.src_label.0, e.dst.0, e.dst_label.0), (1, 1, 2, 0));
+        assert_eq!(e.label.0, 1);
+    }
+
+    #[test]
+    fn edge_stream_arity_and_int_errors() {
+        let err = edge_stream_from_str("a b c\n", 1).unwrap_err();
+        assert!(matches!(err, ParseError::Arity { line: 1, expected: 4, got: 3 }));
+        let err = edge_stream_from_str("a b c soon\n", 1).unwrap_err();
+        assert!(matches!(err, ParseError::Int { line: 1, .. }));
     }
 
     #[test]

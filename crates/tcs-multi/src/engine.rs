@@ -1,9 +1,13 @@
-//! The shared-snapshot query registry with signature-routed dispatch.
+//! The shared-snapshot query registry with signature-routed dispatch and
+//! cross-tenant template sharing.
 //!
 //! One [`MultiQueryEngine`] owns one [`SlidingWindow`] and one
-//! [`Snapshot`]; every registered query runs a [`TimingEngine`] against
-//! that snapshot through the `insert_at`/`expire_partials` split (see the
-//! crate docs for the dispatch-index lifecycle and registration
+//! [`Snapshot`]; registered queries are grouped by canonical plan
+//! fingerprint into *shared templates* — one [`TimingEngine`] per
+//! distinct template, fanned out to every subscriber — and each template
+//! runs against the shared snapshot through the
+//! `insert_at`/`expire_partials` split (see the crate docs for the
+//! sharing model, the dispatch-index lifecycle and registration
 //! semantics, and `tcs_core::engine` for the split itself).
 
 use crate::fault::{payload_str, FaultPolicy, QueryFault, ShardHealth};
@@ -14,28 +18,36 @@ use tcs_core::fail_point;
 use tcs_core::failpoints::sites;
 use tcs_core::store::MatchStore;
 use tcs_core::{
-    BatchMode, IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan,
-    TimingEngine,
+    BatchMode, IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, PlanFingerprint,
+    QueryPlan, TimingEngine,
 };
-use tcs_graph::{ELabel, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
+use tcs_graph::{ELabel, EdgeId, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
 
 /// Identifier of a registered query, unique for the lifetime of the
 /// engine (ids of unregistered queries are never reused).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct QueryId(pub u64);
 
+/// Identifier of a shared template (one per distinct canonical plan),
+/// unique for the engine's lifetime — like query ids, never reused, so a
+/// template re-registered after a quarantine starts from a fresh id and
+/// can never inherit stale dispatch entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct TemplateId(u64);
+
 /// How arriving/expiring edges reach the registered queries.
 ///
 /// [`DispatchMode::Signature`] (the default) routes each edge through the
 /// leaf-signature dispatch index and maintains the shared snapshot —
-/// per-edge work is O(queries that can react).
+/// per-edge work is O(templates that can react).
 /// [`DispatchMode::Broadcast`] is the ablation baseline the speedup gate
 /// measures against: every edge is delivered to every registered engine
 /// through the standalone `insert`/`expire` path, so each engine keeps
 /// its own private window copy — exactly N independent [`TimingEngine`]s
 /// sharing nothing, the only deployment shape available before this
-/// subsystem. Both modes emit identical per-query match streams and
-/// stats (test-enforced).
+/// subsystem. Template sharing requires the shared snapshot, so
+/// Broadcast mode always runs one engine per query. Both modes emit
+/// identical per-query match streams and stats (test-enforced).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DispatchMode {
     /// Signature-routed dispatch over the shared snapshot (fast path).
@@ -44,6 +56,24 @@ pub enum DispatchMode {
     /// Broadcast to all engines, private windows (N-independent-engines
     /// ablation baseline).
     Broadcast,
+}
+
+/// Whether registrations of fingerprint-identical plans share one
+/// engine.
+///
+/// [`ShareMode::Shared`] (the default) keys the registry by canonical
+/// [`PlanFingerprint`]: N registrations of one template cost ~one query
+/// (one engine, one store), with per-subscriber fan-out at the emission
+/// point. [`ShareMode::Private`] is the one-engine-per-query ablation —
+/// the pre-sharing deployment shape the `share_rows` gate measures
+/// against. The mode is fixed before the first registration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShareMode {
+    /// One engine per distinct canonical plan, subscriber fan-out.
+    #[default]
+    Shared,
+    /// One engine per registration (ablation baseline).
+    Private,
 }
 
 /// Per-query counters and space share reported by
@@ -56,13 +86,39 @@ pub struct QueryStats {
     /// same stream (from this query's registration on) would report:
     /// arrivals the dispatch index filtered out are counted as processed
     /// and discarded, because that is what the engine itself would have
-    /// done with them.
+    /// done with them. Under sharing the counters are the shared
+    /// engine's deltas since this subscriber registered, with
+    /// `matches_emitted` replaced by the subscriber's own emission count
+    /// (the epoch filter can withhold matches a warm engine completes).
     pub stats: EngineStats,
-    /// Bytes attributable to this query alone: its partial-match store
-    /// in [`DispatchMode::Signature`] (the shared snapshot is reported
-    /// once, in [`MultiStats::snapshot_bytes`]), its store *plus* its
-    /// private window copy in [`DispatchMode::Broadcast`] — the N×
-    /// duplication dispatch mode eliminates.
+    /// Arrivals actually delivered to this query's (possibly shared)
+    /// engine while this subscriber was registered.
+    pub routed: u64,
+    /// Matches delivered to *this* subscriber after epoch filtering.
+    pub emitted: u64,
+    /// Bytes attributable to this query alone: its template's
+    /// partial-match store in [`DispatchMode::Signature`], reported once
+    /// per template on the template's earliest live subscriber and 0 on
+    /// the others (the shared snapshot is reported once, in
+    /// [`MultiStats::snapshot_bytes`]); its store *plus* its private
+    /// window copy in [`DispatchMode::Broadcast`] — the N× duplication
+    /// dispatch mode eliminates.
+    pub store_bytes: usize,
+}
+
+/// Per-template counters reported by [`MultiQueryEngine::stats`] — one
+/// entry per shared engine, the unit the sharing gates measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TemplateStats {
+    /// Digest of the template's canonical fingerprint (0 when sharing is
+    /// inactive and the template is a private singleton).
+    pub digest: u64,
+    /// Live subscribers fanned out from this template's engine.
+    pub subscribers: usize,
+    /// The shared engine's raw (un-normalized) counters.
+    pub stats: EngineStats,
+    /// The template's store bytes — paid once regardless of subscriber
+    /// count.
     pub store_bytes: usize,
 }
 
@@ -72,6 +128,8 @@ pub struct QueryStats {
 pub struct MultiStats {
     /// One entry per registered query, in registration (id) order.
     pub queries: Vec<QueryStats>,
+    /// One entry per shared template, in template-creation order.
+    pub templates: Vec<TemplateStats>,
     /// Bytes of the shared snapshot — the whole point of the shared
     /// window is that this appears once here instead of once per query
     /// (0 in [`DispatchMode::Broadcast`], where each engine pays for its
@@ -95,7 +153,7 @@ pub struct MultiStats {
 
 impl MultiStats {
     /// Total bytes: the shared snapshot once plus every query's own
-    /// store.
+    /// store (under sharing each template's store appears exactly once).
     pub fn space_bytes(&self) -> usize {
         self.snapshot_bytes + self.queries.iter().map(|q| q.store_bytes).sum::<usize>()
     }
@@ -115,36 +173,78 @@ impl MultiStats {
     }
 }
 
-/// One registered query: its engine plus the routing counters the stats
-/// normalization needs.
-struct Registered<S: MatchStore> {
+/// One shared template: the engine every fingerprint-identical
+/// registration fans out from.
+struct SharedTemplate<S: MatchStore> {
     engine: TimingEngine<S>,
-    /// Arrivals actually delivered to the engine.
-    routed: u64,
-    /// Value of `edges_seen` when the query registered.
+    /// The canonical fingerprint this template is keyed under (`None`
+    /// when sharing is inactive — Private/Broadcast templates skip the
+    /// canonicalization cost entirely, keeping the ablation honest).
+    fp: Option<PlanFingerprint>,
+    /// canonical edge index → this engine's (the founder plan's) edge
+    /// index; `None` alongside `fp: None`.
+    inv_perm: Option<Vec<usize>>,
+    /// Live subscribers in registration order (ascending id).
+    subs: Vec<QueryId>,
+}
+
+/// One registered query's view of its template.
+struct Subscriber {
+    template: TemplateId,
+    /// Emission epoch: `None` for a founder (saw the engine from birth,
+    /// unfiltered); `Some(e)` for a late joiner to a warm engine, which
+    /// sees exactly the matches whose emission floor exceeds `e` — i.e.
+    /// matches made entirely of post-registration edges (fresh-start
+    /// semantics, enforced at the emission point).
+    epoch: Option<u64>,
+    /// Value of `edges_seen` when the subscriber registered.
     seen_base: u64,
+    /// The shared engine's counters at registration — per-subscriber
+    /// stats are deltas from here.
+    stats_base: EngineStats,
+    /// Arrivals delivered to the template while this subscriber was
+    /// registered.
+    routed: u64,
+    /// Matches delivered to this subscriber after epoch filtering.
+    emitted: u64,
+    /// subscriber edge index → founder edge index, for rewriting emitted
+    /// records into this subscriber's own edge order; `None` = identity.
+    remap: Option<Vec<usize>>,
+    /// The subscriber's own plan, kept only when it differs from the
+    /// founder's (non-identity remap) so re-homing can re-register it
+    /// verbatim; `None` = the template engine's plan is this plan.
+    plan: Option<QueryPlan>,
 }
 
 /// A dynamic registry of standing queries over one shared window.
 ///
-/// See the crate docs for the dispatch-index lifecycle, registration
-/// semantics, and the equivalence guarantee against independent engines.
+/// See the crate docs for the sharing model, the dispatch-index
+/// lifecycle, registration semantics, and the equivalence guarantee
+/// against independent engines.
 pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
     window: SlidingWindow,
     /// The shared live window `G_t`, one copy for all queries.
     snapshot: Snapshot,
-    queries: BTreeMap<QueryId, Registered<S>>,
-    /// signature → registered queries with a query edge of that
-    /// signature, each bucket in id order.
-    dispatch: HashMap<(VLabel, VLabel, ELabel), Vec<QueryId>>,
+    /// One engine per distinct canonical plan (per registration under
+    /// [`ShareMode::Private`] or [`DispatchMode::Broadcast`]).
+    templates: BTreeMap<TemplateId, SharedTemplate<S>>,
+    /// Every registered query, in id order.
+    subscribers: BTreeMap<QueryId, Subscriber>,
+    /// canonical fingerprint → its live template (sharing active only).
+    by_fp: HashMap<PlanFingerprint, TemplateId>,
+    /// signature → templates with a query edge of that signature, each
+    /// bucket in template-creation order.
+    dispatch: HashMap<(VLabel, VLabel, ELabel), Vec<TemplateId>>,
     mode: DispatchMode,
+    share: ShareMode,
     edges_seen: u64,
     next_id: u64,
     id_stride: u64,
+    next_template: u64,
     /// The typed ingestion boundary: every arrival passes the gate before
     /// it can touch the window, the snapshot, or any engine.
     gate: IngestGate,
-    /// What a panic inside one query's per-arrival work becomes.
+    /// What a panic inside one template's per-arrival work becomes.
     fault_policy: FaultPolicy,
     /// Quarantined queries, in fault order.
     faults: Vec<QueryFault>,
@@ -153,9 +253,64 @@ pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
     batch_mode: BatchMode,
 }
 
+/// Component-wise delta of two monotone counter snapshots.
+fn stats_since(now: &EngineStats, base: &EngineStats) -> EngineStats {
+    EngineStats {
+        edges_processed: now.edges_processed.saturating_sub(base.edges_processed),
+        edges_discarded: now.edges_discarded.saturating_sub(base.edges_discarded),
+        matches_emitted: now.matches_emitted.saturating_sub(base.matches_emitted),
+        partials_inserted: now.partials_inserted.saturating_sub(base.partials_inserted),
+        partials_deleted: now.partials_deleted.saturating_sub(base.partials_deleted),
+        join_ops: now.join_ops.saturating_sub(base.join_ops),
+    }
+}
+
+/// Rewrites a founder-order match record into a subscriber's own edge
+/// order (`remap[s]` = founder edge index of subscriber edge `s`);
+/// `None` = identical orders, clone as-is.
+fn remap_record(m: &MatchRecord, remap: Option<&[usize]>) -> MatchRecord {
+    match remap {
+        None => m.clone(),
+        Some(r) => MatchRecord::from(r.iter().map(|&f| m.edge(f)).collect::<Vec<EdgeId>>()),
+    }
+}
+
+/// Delivers one engine emission burst to a template's subscribers:
+/// per-subscriber epoch filtering against the emission floors, record
+/// rewriting into each subscriber's edge order, and counter upkeep.
+fn fan_out(
+    subscribers: &mut BTreeMap<QueryId, Subscriber>,
+    subs: &[QueryId],
+    ms: &[MatchRecord],
+    floors: &[u64],
+    routed_inc: u64,
+    out: &mut Vec<(QueryId, MatchRecord)>,
+) {
+    for q in subs {
+        let Some(sub) = subscribers.get_mut(q) else {
+            debug_assert!(false, "template lists a registered subscriber");
+            continue;
+        };
+        sub.routed += routed_inc;
+        for (mi, m) in ms.iter().enumerate() {
+            if let Some(ep) = sub.epoch {
+                // Floor = min arrival number over the match's edges; 0
+                // for any edge that predates floor arming. A late
+                // subscriber sees the match iff every constituent edge
+                // arrived after its epoch.
+                if floors.get(mi).copied().unwrap_or(0) <= ep {
+                    continue;
+                }
+            }
+            sub.emitted += 1;
+            out.push((*q, remap_record(m, sub.remap.as_deref())));
+        }
+    }
+}
+
 impl<S: MatchStore> MultiQueryEngine<S> {
     /// An empty registry over a window of the given duration, in
-    /// [`DispatchMode::Signature`].
+    /// [`DispatchMode::Signature`] and [`ShareMode::Shared`].
     pub fn new(window: u64) -> Self {
         Self::with_mode(window, DispatchMode::Signature)
     }
@@ -176,17 +331,46 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         MultiQueryEngine {
             window: SlidingWindow::new(window),
             snapshot: Snapshot::new(),
-            queries: BTreeMap::new(),
+            templates: BTreeMap::new(),
+            subscribers: BTreeMap::new(),
+            by_fp: HashMap::new(),
             dispatch: HashMap::new(),
             mode,
+            share: ShareMode::default(),
             edges_seen: 0,
             next_id: first,
             id_stride: stride,
+            next_template: 0,
             gate: IngestGate::new(window, OrderPolicy::default()),
             fault_policy: FaultPolicy::default(),
             faults: Vec::new(),
             batch_mode: BatchMode::default(),
         }
+    }
+
+    /// The active sharing mode.
+    pub fn share_mode(&self) -> ShareMode {
+        self.share
+    }
+
+    /// Sets the sharing mode — [`ShareMode::Private`] is the
+    /// one-engine-per-query ablation of the `share_rows` gate. Must be
+    /// called before the first registration: the two modes key the
+    /// registry differently, so switching with live queries would strand
+    /// half the index.
+    pub fn set_share_mode(&mut self, share: ShareMode) {
+        assert!(
+            self.subscribers.is_empty(),
+            "share mode is fixed at first registration; set it on an empty registry"
+        );
+        self.share = share;
+    }
+
+    /// Whether registrations are being deduplicated by fingerprint:
+    /// requires [`ShareMode::Shared`] *and* the shared snapshot
+    /// ([`DispatchMode::Signature`]).
+    fn sharing_active(&self) -> bool {
+        self.share == ShareMode::Shared && self.mode == DispatchMode::Signature
     }
 
     /// How routed sub-batches are applied inside each query's engine.
@@ -199,8 +383,8 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// registered engine and to future registrations.
     pub fn set_batch_mode(&mut self, mode: BatchMode) {
         self.batch_mode = mode;
-        for reg in self.queries.values_mut() {
-            reg.engine.set_batch_mode(mode);
+        for t in self.templates.values_mut() {
+            t.engine.set_batch_mode(mode);
         }
     }
 
@@ -233,7 +417,9 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         self.fault_policy = policy;
     }
 
-    /// Every query quarantined so far, in fault order.
+    /// Every query quarantined so far, in fault order. A panic inside a
+    /// shared template quarantines *all* of its subscribers — one
+    /// [`QueryFault`] each, same payload and edge sequence.
     pub fn faults(&self) -> &[QueryFault] {
         &self.faults
     }
@@ -243,14 +429,21 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         self.mode
     }
 
-    /// Number of registered queries.
+    /// Number of registered queries (subscribers).
     pub fn n_queries(&self) -> usize {
-        self.queries.len()
+        self.subscribers.len()
+    }
+
+    /// Number of live shared templates (engines actually running) —
+    /// under sharing this is the number of *distinct* canonical plans,
+    /// the denominator of the cost-per-registration gate.
+    pub fn n_templates(&self) -> usize {
+        self.templates.len()
     }
 
     /// Ids of the registered queries, in registration (id) order.
     pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
-        self.queries.keys().copied()
+        self.subscribers.keys().copied()
     }
 
     /// The distinct signatures the registry currently reacts to (the
@@ -268,10 +461,12 @@ impl<S: MatchStore> MultiQueryEngine<S> {
 
     /// Registers a compiled plan as a standing query, effective from the
     /// next arrival; returns its id. Edges already inside the window are
-    /// not replayed (crate docs, "Registration semantics"). Ids are never
-    /// reused — in particular not those of quarantined queries, so a
-    /// registration after a fault can never inherit stale dispatch
-    /// entries (regression-tested).
+    /// not replayed (crate docs, "Registration semantics") — under
+    /// sharing a late subscriber to a warm template is epoch-filtered at
+    /// the emission point so it behaves exactly like a fresh private
+    /// engine. Ids are never reused — in particular not those of
+    /// quarantined queries, so a registration after a fault can never
+    /// inherit stale dispatch entries (regression-tested).
     pub fn register(&mut self, plan: QueryPlan) -> QueryId {
         let id = QueryId(self.next_id);
         self.next_id = match self.next_id.checked_add(self.id_stride) {
@@ -288,16 +483,101 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// collide with ids the stride will produce (callers pass ids the
     /// stride already produced).
     pub(crate) fn register_as(&mut self, id: QueryId, plan: QueryPlan) {
-        debug_assert!(!self.queries.contains_key(&id), "query id {id:?} already registered");
+        debug_assert!(!self.subscribers.contains_key(&id), "query id {id:?} already registered");
+        if self.sharing_active() {
+            let (fp, perm) = PlanFingerprint::canonicalize(&plan.query);
+            if let Some(&tid) = self.by_fp.get(&fp) {
+                let Some(t) = self.templates.get_mut(&tid) else {
+                    unreachable!("fingerprint index targets a live template");
+                };
+                // A late joiner: arm the emission seam (idempotent) and
+                // record the epoch so only post-registration matches
+                // reach this subscriber.
+                t.engine.arm_emission_floors();
+                let epoch = Some(t.engine.emission_epoch());
+                let remap: Vec<usize> = match &t.inv_perm {
+                    Some(inv) => perm.iter().map(|&c| inv[c]).collect(),
+                    None => perm.clone(),
+                };
+                let identity = remap.iter().enumerate().all(|(s, &f)| s == f);
+                t.subs.push(id);
+                self.subscribers.insert(
+                    id,
+                    Subscriber {
+                        template: tid,
+                        epoch,
+                        seen_base: self.edges_seen,
+                        stats_base: t.engine.stats(),
+                        routed: 0,
+                        emitted: 0,
+                        remap: if identity { None } else { Some(remap) },
+                        plan: if identity { None } else { Some(plan) },
+                    },
+                );
+                return;
+            }
+            let tid = self.fresh_template(plan, Some((fp, perm)));
+            self.insert_founder(id, tid);
+            return;
+        }
+        let tid = self.fresh_template(plan, None);
+        self.insert_founder(id, tid);
+    }
+
+    /// Records a founder subscriber: saw its engine from birth, so no
+    /// epoch filter and zero stats base.
+    fn insert_founder(&mut self, id: QueryId, tid: TemplateId) {
+        if let Some(t) = self.templates.get_mut(&tid) {
+            t.subs.push(id);
+        }
+        self.subscribers.insert(
+            id,
+            Subscriber {
+                template: tid,
+                epoch: None,
+                seen_base: self.edges_seen,
+                stats_base: EngineStats::default(),
+                routed: 0,
+                emitted: 0,
+                remap: None,
+                plan: None,
+            },
+        );
+    }
+
+    /// Builds a new template around this plan's engine and indexes it:
+    /// dispatch entries per leaf signature, fingerprint entry when
+    /// sharing is active.
+    fn fresh_template(
+        &mut self,
+        plan: QueryPlan,
+        canon: Option<(PlanFingerprint, Vec<usize>)>,
+    ) -> TemplateId {
+        let tid = TemplateId(self.next_template);
+        self.next_template = match self.next_template.checked_add(1) {
+            Some(n) => n,
+            None => panic!("template ids exhausted"),
+        };
         for sig in plan.signatures() {
             let bucket = self.dispatch.entry(sig).or_default();
-            debug_assert!(!bucket.contains(&id));
-            bucket.push(id);
+            debug_assert!(!bucket.contains(&tid));
+            bucket.push(tid);
         }
+        let (fp, inv_perm) = match canon {
+            Some((fp, perm)) => {
+                let mut inv = vec![0usize; perm.len()];
+                for (e, &c) in perm.iter().enumerate() {
+                    inv[c] = e;
+                }
+                self.by_fp.insert(fp.clone(), tid);
+                (Some(fp), Some(inv))
+            }
+            None => (None, None),
+        };
         let mut engine = TimingEngine::new(plan);
         engine.set_batch_mode(self.batch_mode);
-        let reg = Registered { engine, routed: 0, seen_base: self.edges_seen };
-        self.queries.insert(id, reg);
+        self.templates.insert(tid, SharedTemplate { engine, fp, inv_perm, subs: Vec::new() });
+        tid
     }
 
     /// The next id [`MultiQueryEngine::register`] would hand out — a
@@ -308,9 +588,23 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     }
 
     /// The registered queries as `(id, plan)` pairs in id order — what a
-    /// supervisor re-homes after this registry's worker died.
+    /// supervisor re-homes after this registry's worker died. Each
+    /// subscriber reports its *own* plan (edge order and all), not the
+    /// founder's, so re-registration reproduces its exact match records.
     pub(crate) fn registrations(&self) -> Vec<(QueryId, QueryPlan)> {
-        self.queries.iter().map(|(&id, reg)| (id, reg.engine.plan().clone())).collect()
+        self.subscribers
+            .iter()
+            .map(|(&id, sub)| {
+                let plan = match &sub.plan {
+                    Some(p) => p.clone(),
+                    None => match self.templates.get(&sub.template) {
+                        Some(t) => t.engine.plan().clone(),
+                        None => unreachable!("subscriber references a live template"),
+                    },
+                };
+                (id, plan)
+            })
+            .collect()
     }
 
     /// Carries a predecessor's fault log into this registry (shard
@@ -321,19 +615,37 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         self.faults = faults;
     }
 
-    /// Drops a standing query and its dispatch entries; its partial
-    /// matches disappear immediately. Returns false if the id is unknown
-    /// (already unregistered).
+    /// Drops a standing query; the last subscriber of a template takes
+    /// the template, its engine, its dispatch entries and its partial
+    /// matches with it (refcounted teardown). Returns false if the id is
+    /// unknown (already unregistered).
     pub fn unregister(&mut self, id: QueryId) -> bool {
-        let Some(reg) = self.queries.remove(&id) else {
+        let Some(sub) = self.subscribers.remove(&id) else {
             return false;
         };
-        for sig in reg.engine.plan().signatures() {
+        let tid = sub.template;
+        let Some(t) = self.templates.get_mut(&tid) else {
+            debug_assert!(false, "subscriber references a live template");
+            return true;
+        };
+        t.subs.retain(|&q| q != id);
+        if !t.subs.is_empty() {
+            return true;
+        }
+        let Some(t) = self.templates.remove(&tid) else {
+            unreachable!("template present above");
+        };
+        if let Some(fp) = &t.fp {
+            if self.by_fp.get(fp) == Some(&tid) {
+                self.by_fp.remove(fp);
+            }
+        }
+        for sig in t.engine.plan().signatures() {
             let std::collections::hash_map::Entry::Occupied(mut bucket) = self.dispatch.entry(sig)
             else {
                 unreachable!("registered signature has a dispatch bucket");
             };
-            bucket.get_mut().retain(|&q| q != id);
+            bucket.get_mut().retain(|&q| q != tid);
             if bucket.get().is_empty() {
                 bucket.remove();
             }
@@ -342,9 +654,10 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     }
 
     /// Slides the shared window to the arrival and routes the resulting
-    /// expiries + insertion to the queries that can react. Returns the
+    /// expiries + insertion to the templates that can react. Returns the
     /// newly completed matches as `(query, match)` pairs, grouped by
-    /// query in id order, each query's matches in its own emission order.
+    /// template in creation order, each template's subscribers in
+    /// registration order, each subscriber's matches in emission order.
     ///
     /// Panics on invalid input ([`IngestError`]) — stream owners that must
     /// survive a misbehaving source use [`MultiQueryEngine::try_advance`]
@@ -360,8 +673,9 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// an invalid arrival becomes a typed [`IngestError`] with every
     /// window, snapshot and engine untouched; out-of-order arrivals follow
     /// the gate's [`OrderPolicy`]. Under [`FaultPolicy::Quarantine`] a
-    /// panic inside one query's work quarantines that query (recorded in
-    /// [`MultiQueryEngine::faults`]) and the remaining queries still
+    /// panic inside one template's work quarantines that template — every
+    /// subscriber gets one [`QueryFault`] (recorded in
+    /// [`MultiQueryEngine::faults`]) — and the remaining templates still
     /// process the arrival.
     pub fn try_advance(
         &mut self,
@@ -371,30 +685,33 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             return Ok(Vec::new()); // dropped per OrderPolicy::DropSilently
         };
         let ev = self.window.advance(e);
-        // Queries that panicked while handling THIS arrival: skipped for
-        // the rest of the event, unregistered after it.
-        let mut faulted: Vec<(QueryId, String)> = Vec::new();
+        // Templates that panicked while handling THIS arrival: skipped
+        // for the rest of the event, torn down after it.
+        let mut faulted: Vec<(TemplateId, String)> = Vec::new();
         let out = match self.mode {
             DispatchMode::Signature => {
                 for x in &ev.expired {
                     if let Some(targets) = self.dispatch.get(&x.signature()) {
-                        for qid in targets {
-                            if faulted.iter().any(|(f, _)| f == qid) {
+                        for tid in targets {
+                            if faulted.iter().any(|(f, _)| f == tid) {
                                 continue;
                             }
-                            let Some(reg) = self.queries.get_mut(qid) else {
-                                debug_assert!(false, "dispatch targets a registered query");
+                            let Some(t) = self.templates.get_mut(tid) else {
+                                debug_assert!(false, "dispatch targets a live template");
                                 continue;
                             };
+                            let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                             let mut work = || {
-                                fail_point!(sites::PRE_EXPIRY, qid.0);
-                                reg.engine.expire_partials(x);
+                                for q in subs {
+                                    fail_point!(sites::PRE_EXPIRY, q.0);
+                                }
+                                engine.expire_partials(x);
                             };
                             match self.fault_policy {
                                 FaultPolicy::Propagate => work(),
                                 FaultPolicy::Quarantine => {
                                     if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
-                                        faulted.push((*qid, payload_str(&*p)));
+                                        faulted.push((*tid, payload_str(&*p)));
                                     }
                                 }
                             }
@@ -406,43 +723,46 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                 self.snapshot.insert(e);
                 let mut out = Vec::new();
                 if let Some(targets) = self.dispatch.get(&e.signature()) {
-                    for qid in targets {
-                        if faulted.iter().any(|(f, _)| f == qid) {
+                    for tid in targets {
+                        if faulted.iter().any(|(f, _)| f == tid) {
                             continue;
                         }
-                        let Some(reg) = self.queries.get_mut(qid) else {
-                            debug_assert!(false, "dispatch targets a registered query");
+                        let Some(t) = self.templates.get_mut(tid) else {
+                            debug_assert!(false, "dispatch targets a live template");
                             continue;
                         };
-                        reg.routed += 1;
+                        let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                         let snapshot = &self.snapshot;
                         let mut work = || {
-                            fail_point!(sites::PRE_PROBE, qid.0);
-                            let ms = match reg.engine.insert_at(e, snapshot) {
+                            for q in subs {
+                                fail_point!(sites::PRE_PROBE, q.0);
+                            }
+                            let ms = match engine.insert_at(e, snapshot) {
                                 Ok(ms) => ms,
                                 // The gate sanitized the stream, so an
                                 // engine-level rejection is a bug in THIS
-                                // query's plumbing: under Quarantine it
-                                // condemns only the query.
+                                // template's plumbing: under Quarantine it
+                                // condemns only the template.
                                 Err(err) => panic!("sanitized stream rejected: {err}"),
                             };
-                            fail_point!(sites::POST_RECORD, qid.0);
+                            for q in subs {
+                                fail_point!(sites::POST_RECORD, q.0);
+                            }
                             ms
                         };
-                        match self.fault_policy {
-                            FaultPolicy::Propagate => {
-                                for m in work() {
-                                    out.push((*qid, m));
-                                }
-                            }
+                        let ms = match self.fault_policy {
+                            FaultPolicy::Propagate => Some(work()),
                             FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
-                                Ok(ms) => {
-                                    for m in ms {
-                                        out.push((*qid, m));
-                                    }
+                                Ok(ms) => Some(ms),
+                                Err(p) => {
+                                    faulted.push((*tid, payload_str(&*p)));
+                                    None
                                 }
-                                Err(p) => faulted.push((*qid, payload_str(&*p))),
                             },
+                        };
+                        if let Some(ms) = ms {
+                            let floors = engine.last_emission_floors();
+                            fan_out(&mut self.subscribers, subs, &ms, floors, 1, &mut out);
                         }
                     }
                 }
@@ -451,43 +771,67 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             DispatchMode::Broadcast => {
                 self.edges_seen += 1;
                 let mut out = Vec::new();
-                for (qid, reg) in self.queries.iter_mut() {
-                    reg.routed += 1;
+                for (tid, t) in self.templates.iter_mut() {
+                    let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                     let mut work = || {
-                        fail_point!(sites::PRE_EXPIRY, qid.0);
-                        for x in &ev.expired {
-                            reg.engine.expire(x);
+                        for q in subs {
+                            fail_point!(sites::PRE_EXPIRY, q.0);
                         }
-                        fail_point!(sites::PRE_PROBE, qid.0);
-                        let ms = reg.engine.insert(e);
-                        fail_point!(sites::POST_RECORD, qid.0);
+                        for x in &ev.expired {
+                            engine.expire(x);
+                        }
+                        for q in subs {
+                            fail_point!(sites::PRE_PROBE, q.0);
+                        }
+                        let ms = engine.insert(e);
+                        for q in subs {
+                            fail_point!(sites::POST_RECORD, q.0);
+                        }
                         ms
                     };
-                    match self.fault_policy {
-                        FaultPolicy::Propagate => {
-                            for m in work() {
-                                out.push((*qid, m));
-                            }
-                        }
+                    let ms = match self.fault_policy {
+                        FaultPolicy::Propagate => Some(work()),
                         FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
-                            Ok(ms) => {
-                                for m in ms {
-                                    out.push((*qid, m));
-                                }
+                            Ok(ms) => Some(ms),
+                            Err(p) => {
+                                faulted.push((*tid, payload_str(&*p)));
+                                None
                             }
-                            Err(p) => faulted.push((*qid, payload_str(&*p))),
                         },
+                    };
+                    if let Some(ms) = ms {
+                        fan_out(&mut self.subscribers, subs, &ms, &[], 1, &mut out);
                     }
                 }
                 out
             }
         };
-        for (qid, payload) in faulted {
-            let removed = self.unregister(qid);
-            debug_assert!(removed, "faulted query was registered");
-            self.faults.push(QueryFault { qid, payload, edge_seq: self.edges_seen });
-        }
+        self.quarantine(faulted);
         Ok(out)
+    }
+
+    /// Tears down every faulted template: all its subscribers are
+    /// unregistered and each gets one [`QueryFault`] (same payload, same
+    /// edge sequence) — the whole-template blast radius of sharing.
+    fn quarantine(&mut self, faulted: Vec<(TemplateId, String)>) {
+        for (tid, payload) in faulted {
+            let subs: Vec<QueryId> = match self.templates.get(&tid) {
+                Some(t) => t.subs.clone(),
+                None => {
+                    debug_assert!(false, "faulted template was registered");
+                    continue;
+                }
+            };
+            for qid in subs {
+                let removed = self.unregister(qid);
+                debug_assert!(removed, "faulted subscriber was registered");
+                self.faults.push(QueryFault {
+                    qid,
+                    payload: payload.clone(),
+                    edge_seq: self.edges_seen,
+                });
+            }
+        }
     }
 
     /// Batch form of [`MultiQueryEngine::advance`]: one gate pass, one
@@ -505,17 +849,17 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// rejection, whose error is returned after the admitted prefix is
     /// processed), the shared window advances once, and arrivals are
     /// dispatched as *runs* — maximal consecutive same-signature spans
-    /// with no intervening expiry — so each reacting query receives a
+    /// with no intervening expiry — so each reacting template receives a
     /// contiguous sub-batch through
     /// [`TimingEngine::insert_batch_at`] instead of one call per edge.
     ///
     /// Each query's own match stream is byte-identical to the per-edge
     /// fold; the *interleaving* across queries differs (grouped per run ×
-    /// query instead of per edge × query). Quarantine semantics carry
-    /// over: a panic anywhere in a query's sub-batch work condemns that
-    /// query alone — it is skipped for the rest of the batch and
-    /// unregistered at the end, and every other query still processes the
-    /// full batch.
+    /// template × subscriber instead of per edge × query). Quarantine
+    /// semantics carry over: a panic anywhere in a template's sub-batch
+    /// work condemns that template alone — it is skipped for the rest of
+    /// the batch and torn down at the end (one fault per subscriber), and
+    /// every other template still processes the full batch.
     pub fn try_advance_batch(
         &mut self,
         batch: &[StreamEdge],
@@ -533,30 +877,33 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             }
         }
         let ev = self.window.advance_batch(&admitted);
-        let mut faulted: Vec<(QueryId, String)> = Vec::new();
+        let mut faulted: Vec<(TemplateId, String)> = Vec::new();
         let mut out: Vec<(QueryId, MatchRecord)> = Vec::new();
         for step in &ev.steps {
             match self.mode {
                 DispatchMode::Signature => {
                     for x in &step.expired {
                         if let Some(targets) = self.dispatch.get(&x.signature()) {
-                            for qid in targets {
-                                if faulted.iter().any(|(f, _)| f == qid) {
+                            for tid in targets {
+                                if faulted.iter().any(|(f, _)| f == tid) {
                                     continue;
                                 }
-                                let Some(reg) = self.queries.get_mut(qid) else {
-                                    debug_assert!(false, "dispatch targets a registered query");
+                                let Some(t) = self.templates.get_mut(tid) else {
+                                    debug_assert!(false, "dispatch targets a live template");
                                     continue;
                                 };
+                                let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                                 let mut work = || {
-                                    fail_point!(sites::PRE_EXPIRY, qid.0);
-                                    reg.engine.expire_partials(x);
+                                    for q in subs {
+                                        fail_point!(sites::PRE_EXPIRY, q.0);
+                                    }
+                                    engine.expire_partials(x);
                                 };
                                 match self.fault_policy {
                                     FaultPolicy::Propagate => work(),
                                     FaultPolicy::Quarantine => {
                                         if let Err(p) = catch_unwind(AssertUnwindSafe(work)) {
-                                            faulted.push((*qid, payload_str(&*p)));
+                                            faulted.push((*tid, payload_str(&*p)));
                                         }
                                     }
                                 }
@@ -584,123 +931,167 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                         let Some(targets) = self.dispatch.get(&sig) else {
                             continue;
                         };
-                        for qid in targets {
-                            if faulted.iter().any(|(f, _)| f == qid) {
+                        for tid in targets {
+                            if faulted.iter().any(|(f, _)| f == tid) {
                                 continue;
                             }
-                            let Some(reg) = self.queries.get_mut(qid) else {
-                                debug_assert!(false, "dispatch targets a registered query");
+                            let Some(t) = self.templates.get_mut(tid) else {
+                                debug_assert!(false, "dispatch targets a live template");
                                 continue;
                             };
-                            reg.routed += run.len() as u64;
+                            let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                             let snapshot = &self.snapshot;
                             let mut work = || {
-                                fail_point!(sites::PRE_PROBE, qid.0);
-                                let ms = match reg.engine.insert_batch_at(run, snapshot) {
+                                for q in subs {
+                                    fail_point!(sites::PRE_PROBE, q.0);
+                                }
+                                let ms = match engine.insert_batch_at(run, snapshot) {
                                     Ok(ms) => ms,
                                     // The gate sanitized the stream: an
                                     // engine-level rejection is a bug in
-                                    // THIS query's plumbing.
+                                    // THIS template's plumbing.
                                     Err(err) => panic!("sanitized stream rejected: {err}"),
                                 };
-                                fail_point!(sites::POST_RECORD, qid.0);
+                                for q in subs {
+                                    fail_point!(sites::POST_RECORD, q.0);
+                                }
                                 ms
                             };
-                            match self.fault_policy {
-                                FaultPolicy::Propagate => {
-                                    for m in work() {
-                                        out.push((*qid, m));
-                                    }
-                                }
+                            let ms = match self.fault_policy {
+                                FaultPolicy::Propagate => Some(work()),
                                 FaultPolicy::Quarantine => {
                                     match catch_unwind(AssertUnwindSafe(work)) {
-                                        Ok(ms) => {
-                                            for m in ms {
-                                                out.push((*qid, m));
-                                            }
+                                        Ok(ms) => Some(ms),
+                                        Err(p) => {
+                                            faulted.push((*tid, payload_str(&*p)));
+                                            None
                                         }
-                                        Err(p) => faulted.push((*qid, payload_str(&*p))),
                                     }
                                 }
+                            };
+                            if let Some(ms) = ms {
+                                let floors = engine.last_emission_floors();
+                                fan_out(
+                                    &mut self.subscribers,
+                                    subs,
+                                    &ms,
+                                    floors,
+                                    run.len() as u64,
+                                    &mut out,
+                                );
                             }
                         }
                     }
                 }
                 DispatchMode::Broadcast => {
                     self.edges_seen += step.arrivals.len() as u64;
-                    for (qid, reg) in self.queries.iter_mut() {
-                        if faulted.iter().any(|(f, _)| f == qid) {
+                    for (tid, t) in self.templates.iter_mut() {
+                        if faulted.iter().any(|(f, _)| f == tid) {
                             continue;
                         }
-                        reg.routed += step.arrivals.len() as u64;
+                        let SharedTemplate { ref mut engine, ref subs, .. } = *t;
                         let mut work = || {
-                            fail_point!(sites::PRE_EXPIRY, qid.0);
-                            for x in &step.expired {
-                                reg.engine.expire(x);
+                            for q in subs {
+                                fail_point!(sites::PRE_EXPIRY, q.0);
                             }
-                            fail_point!(sites::PRE_PROBE, qid.0);
-                            let ms = match reg.engine.insert_batch(&step.arrivals) {
+                            for x in &step.expired {
+                                engine.expire(x);
+                            }
+                            for q in subs {
+                                fail_point!(sites::PRE_PROBE, q.0);
+                            }
+                            let ms = match engine.insert_batch(&step.arrivals) {
                                 Ok(ms) => ms,
                                 Err(err) => panic!("sanitized stream rejected: {err}"),
                             };
-                            fail_point!(sites::POST_RECORD, qid.0);
+                            for q in subs {
+                                fail_point!(sites::POST_RECORD, q.0);
+                            }
                             ms
                         };
-                        match self.fault_policy {
-                            FaultPolicy::Propagate => {
-                                for m in work() {
-                                    out.push((*qid, m));
-                                }
-                            }
+                        let ms = match self.fault_policy {
+                            FaultPolicy::Propagate => Some(work()),
                             FaultPolicy::Quarantine => match catch_unwind(AssertUnwindSafe(work)) {
-                                Ok(ms) => {
-                                    for m in ms {
-                                        out.push((*qid, m));
-                                    }
+                                Ok(ms) => Some(ms),
+                                Err(p) => {
+                                    faulted.push((*tid, payload_str(&*p)));
+                                    None
                                 }
-                                Err(p) => faulted.push((*qid, payload_str(&*p))),
                             },
+                        };
+                        if let Some(ms) = ms {
+                            fan_out(
+                                &mut self.subscribers,
+                                subs,
+                                &ms,
+                                &[],
+                                step.arrivals.len() as u64,
+                                &mut out,
+                            );
                         }
                     }
                 }
             }
         }
-        for (qid, payload) in faulted {
-            let removed = self.unregister(qid);
-            debug_assert!(removed, "faulted query was registered");
-            self.faults.push(QueryFault { qid, payload, edge_seq: self.edges_seen });
-        }
+        self.quarantine(faulted);
         match failure {
             Some(err) => Err(err),
             None => Ok(out),
         }
     }
 
-    /// Per-query counters (normalized — see [`QueryStats::stats`]) plus
-    /// the shared-snapshot bytes, counted once.
+    /// Per-query counters (normalized — see [`QueryStats::stats`]) and
+    /// per-template counters, plus the shared-snapshot bytes, counted
+    /// once. Template store bytes appear once each, attributed to the
+    /// template's earliest live subscriber.
     pub fn stats(&self) -> MultiStats {
         let queries = self
-            .queries
+            .subscribers
             .iter()
-            .map(|(&id, reg)| {
-                let mut stats = reg.engine.stats();
+            .map(|(&id, sub)| {
+                let Some(t) = self.templates.get(&sub.template) else {
+                    unreachable!("subscriber references a live template");
+                };
+                let mut stats = stats_since(&t.engine.stats(), &sub.stats_base);
+                // The engine-wide emission count includes matches the
+                // epoch filter withheld from this subscriber; its own
+                // count is authoritative.
+                stats.matches_emitted = sub.emitted;
                 // Arrivals since registration the dispatch index filtered
                 // out: an independent engine would have processed and
                 // discarded them (no candidate query edge, by
                 // construction of the index).
-                let since = self.edges_seen - reg.seen_base;
-                let unrouted = since - reg.routed;
+                let since = self.edges_seen - sub.seen_base;
+                let unrouted = since - sub.routed;
                 stats.edges_processed += unrouted;
                 stats.edges_discarded += unrouted;
-                let store_bytes = match self.mode {
-                    DispatchMode::Signature => reg.engine.store_space_bytes(),
-                    DispatchMode::Broadcast => reg.engine.space_bytes(),
+                let store_bytes = if t.subs.first() == Some(&id) {
+                    match self.mode {
+                        DispatchMode::Signature => t.engine.store_space_bytes(),
+                        DispatchMode::Broadcast => t.engine.space_bytes(),
+                    }
+                } else {
+                    0
                 };
-                QueryStats { id, stats, store_bytes }
+                QueryStats { id, stats, routed: sub.routed, emitted: sub.emitted, store_bytes }
+            })
+            .collect();
+        let templates = self
+            .templates
+            .values()
+            .map(|t| TemplateStats {
+                digest: t.fp.as_ref().map_or(0, PlanFingerprint::digest),
+                subscribers: t.subs.len(),
+                stats: t.engine.stats(),
+                store_bytes: match self.mode {
+                    DispatchMode::Signature => t.engine.store_space_bytes(),
+                    DispatchMode::Broadcast => t.engine.space_bytes(),
+                },
             })
             .collect();
         MultiStats {
             queries,
+            templates,
             snapshot_bytes: match self.mode {
                 DispatchMode::Signature => self.snapshot.space_bytes(),
                 DispatchMode::Broadcast => 0,
@@ -714,21 +1105,33 @@ impl<S: MatchStore> MultiQueryEngine<S> {
 
     /// Normalized counters of one query, if registered.
     pub fn stats_of(&self, id: QueryId) -> Option<EngineStats> {
-        let reg = self.queries.get(&id)?;
-        let mut stats = reg.engine.stats();
-        let unrouted = (self.edges_seen - reg.seen_base) - reg.routed;
+        let sub = self.subscribers.get(&id)?;
+        let t = self.templates.get(&sub.template)?;
+        let mut stats = stats_since(&t.engine.stats(), &sub.stats_base);
+        stats.matches_emitted = sub.emitted;
+        let unrouted = (self.edges_seen - sub.seen_base) - sub.routed;
         stats.edges_processed += unrouted;
         stats.edges_discarded += unrouted;
         Some(stats)
     }
 
-    /// Live complete matches of one query, if registered.
-    pub fn live_match_count(&self, id: QueryId) -> Option<usize> {
-        self.queries.get(&id).map(|r| r.engine.live_match_count())
+    /// Raw routing counters of one query, if registered: `(arrivals
+    /// routed to its template since it registered, matches emitted to it
+    /// after epoch filtering)`.
+    pub fn counters_of(&self, id: QueryId) -> Option<(u64, u64)> {
+        self.subscribers.get(&id).map(|s| (s.routed, s.emitted))
     }
 
-    /// Total bytes: shared snapshot once plus every query's store (see
-    /// [`MultiStats::space_bytes`]).
+    /// Live complete matches of one query's template engine, if
+    /// registered (template-wide under sharing: a late subscriber's
+    /// epoch filter applies to emission, not to the store).
+    pub fn live_match_count(&self, id: QueryId) -> Option<usize> {
+        let sub = self.subscribers.get(&id)?;
+        self.templates.get(&sub.template).map(|t| t.engine.live_match_count())
+    }
+
+    /// Total bytes: shared snapshot once plus every template's store
+    /// once (see [`MultiStats::space_bytes`]).
     pub fn space_bytes(&self) -> usize {
         self.stats().space_bytes()
     }
@@ -739,14 +1142,15 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     }
 
     /// Runs the full [`tcs_core::store::StoreAudit`] sweep over every
-    /// registered query's store (plus each engine's
-    /// `live_partials == store_rows` cross-check), prefixing each
-    /// violation's detail with the owning query id.
+    /// template's store (plus each engine's `live_partials == store_rows`
+    /// cross-check), prefixing each violation's detail with the owning
+    /// template's subscriber ids.
     pub fn audit(&self) -> Vec<tcs_core::store::AuditViolation> {
         let mut out = Vec::new();
-        for (id, reg) in &self.queries {
-            for mut v in reg.engine.audit() {
-                v.detail = format!("query {}: {}", id.0, v.detail);
+        for t in self.templates.values() {
+            let owners = t.subs.iter().map(|q| q.0.to_string()).collect::<Vec<_>>().join(",");
+            for mut v in t.engine.audit() {
+                v.detail = format!("query {owners}: {}", v.detail);
                 out.push(v);
             }
         }
@@ -804,6 +1208,7 @@ mod tests {
         let q0 = multi.register(plan(0));
         let q1 = multi.register(plan(1));
         assert_eq!(multi.n_queries(), 2);
+        assert_eq!(multi.n_templates(), 2);
         assert!(multi.advance(open_edge(1, 0, 1)).is_empty());
         let out = multi.advance(close_edge(2, 0, 2));
         assert_eq!(out.len(), 1);
@@ -831,6 +1236,7 @@ mod tests {
         assert!(!multi.unregister(q0), "double unregister reports unknown");
         assert!(!multi.wants(open_edge(9, 0, 9).signature()));
         assert_eq!(multi.n_queries(), 0);
+        assert_eq!(multi.n_templates(), 0);
         // The stream keeps flowing; nobody reacts.
         assert!(multi.advance(close_edge(3, 0, 3)).is_empty());
         assert_eq!(multi.stats().space_bytes(), multi.stats().snapshot_bytes);
@@ -987,5 +1393,190 @@ mod tests {
         }
         let (sa, sb) = (srt.stats(), per.stats());
         assert_eq!(sa.queries[0].stats, sb.queries[0].stats);
+    }
+
+    /// Two registrations of a fingerprint-identical plan share one
+    /// template and one store; both receive every post-registration
+    /// match; the refcounted teardown keeps the engine alive until the
+    /// last subscriber leaves.
+    #[test]
+    fn identical_plans_share_one_template() {
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = multi.register(plan(0));
+        let q1 = multi.register(plan(0));
+        assert_eq!(multi.n_queries(), 2);
+        assert_eq!(multi.n_templates(), 1, "identical plans share one engine");
+        multi.advance(open_edge(1, 0, 1));
+        let out = multi.advance(close_edge(2, 0, 2));
+        let want = MatchRecord::from(vec![EdgeId(1), EdgeId(2)]);
+        assert_eq!(out, vec![(q0, want.clone()), (q1, want.clone())]);
+        // Store bytes appear once across the pair.
+        let st = multi.stats();
+        assert_eq!(st.templates.len(), 1);
+        assert_eq!(st.templates[0].subscribers, 2);
+        let paid: Vec<usize> =
+            st.queries.iter().map(|q| q.store_bytes).filter(|&b| b > 0).collect();
+        assert_eq!(paid.len(), 1, "template store billed exactly once");
+        // Unregistering one subscriber keeps the template running (the
+        // earlier opener e1 is still in-window, so the close pairs with
+        // both openers).
+        assert!(multi.unregister(q0));
+        assert_eq!(multi.n_templates(), 1);
+        multi.advance(open_edge(3, 0, 3));
+        let out = multi.advance(close_edge(4, 0, 4));
+        assert_eq!(
+            out,
+            vec![
+                (q1, MatchRecord::from(vec![EdgeId(1), EdgeId(4)])),
+                (q1, MatchRecord::from(vec![EdgeId(3), EdgeId(4)])),
+            ]
+        );
+        // The last unregister tears the template down.
+        assert!(multi.unregister(q1));
+        assert_eq!(multi.n_templates(), 0);
+        assert!(!multi.wants(open_edge(9, 0, 9).signature()));
+    }
+
+    /// A late subscriber to a warm shared template sees only matches
+    /// completed from edges that arrived after its registration — the
+    /// same fresh-start semantics as a private engine — while the
+    /// founder keeps seeing everything.
+    #[test]
+    fn late_subscriber_to_warm_template_starts_fresh() {
+        let mut shared: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = shared.register(plan(0));
+        // Warm the engine: one full match plus a dangling opener.
+        shared.advance(open_edge(1, 0, 1));
+        shared.advance(close_edge(2, 0, 2));
+        shared.advance(open_edge(3, 0, 3));
+        let q1 = shared.register(plan(0));
+        assert_eq!(shared.n_templates(), 1);
+        // The close completes matches whose openers (e1, e3) predate q1:
+        // only the founder sees them (a private engine for q1 would hold
+        // no opener).
+        let out = shared.advance(close_edge(4, 0, 4));
+        assert_eq!(
+            out,
+            vec![
+                (q0, MatchRecord::from(vec![EdgeId(1), EdgeId(4)])),
+                (q0, MatchRecord::from(vec![EdgeId(3), EdgeId(4)])),
+            ]
+        );
+        // A fully post-registration episode reaches both; the warm
+        // openers keep pairing for the founder alone.
+        shared.advance(open_edge(5, 0, 5));
+        let out = shared.advance(close_edge(6, 0, 6));
+        let q1_out: Vec<&MatchRecord> =
+            out.iter().filter(|(q, _)| *q == q1).map(|(_, m)| m).collect();
+        assert_eq!(q1_out, vec![&MatchRecord::from(vec![EdgeId(5), EdgeId(6)])]);
+        assert_eq!(out.iter().filter(|(q, _)| *q == q0).count(), 3);
+        // Normalized stats: q1 saw 3 arrivals, emitted 1.
+        let s1 = shared.stats_of(q1).unwrap();
+        assert_eq!(s1.matches_emitted, 1);
+        assert_eq!(s1.edges_processed, 3);
+        assert_eq!(shared.counters_of(q1), Some((3, 1)));
+    }
+
+    /// `ShareMode::Private` is the true one-engine-per-query ablation:
+    /// same match streams, N× the templates and the store bytes.
+    #[test]
+    fn private_share_mode_runs_one_engine_per_query() {
+        let mut shared: MultiQueryEngine = MultiQueryEngine::new(100);
+        let mut private: MultiQueryEngine = MultiQueryEngine::new(100);
+        private.set_share_mode(ShareMode::Private);
+        assert_eq!(private.share_mode(), ShareMode::Private);
+        for _ in 0..4 {
+            shared.register(plan(0));
+            private.register(plan(0));
+        }
+        assert_eq!(shared.n_templates(), 1);
+        assert_eq!(private.n_templates(), 4);
+        let mut id = 0u64;
+        for round in 0..20u64 {
+            id += 1;
+            let e = if round % 2 == 0 {
+                open_edge(id, 0, round + 1)
+            } else {
+                close_edge(id, 0, round + 1)
+            };
+            let a = shared.advance(e);
+            let b = private.advance(e);
+            assert_eq!(a, b, "round {round}");
+        }
+        let (sa, sb) = (shared.stats(), private.stats());
+        for (qa, qb) in sa.queries.iter().zip(&sb.queries) {
+            assert_eq!(qa.stats, qb.stats);
+        }
+        let shared_store: usize = sa.queries.iter().map(|q| q.store_bytes).sum();
+        let private_store: usize = sb.queries.iter().map(|q| q.store_bytes).sum();
+        assert!(
+            private_store >= 3 * shared_store,
+            "4 private stores ({private_store}B) dwarf 1 shared store ({shared_store}B)"
+        );
+    }
+
+    /// A plan with duplicate leaf signatures (two query edges sharing one
+    /// `(VLabel, VLabel, ELabel)` triple) must receive each arriving edge
+    /// exactly once: the dispatch index is keyed per distinct signature,
+    /// so a duplicated signature cannot produce a second bucket entry and
+    /// a doubled delivery (which would double-count stats and re-emit
+    /// matches).
+    #[test]
+    fn duplicate_leaf_signatures_dispatch_once() {
+        // v0(L0) →ε0 v1(L1) ←ε1 v2(L0), ε0 ≺ ε1: both query edges carry
+        // the signature (L0, L1, NONE).
+        let q = QueryGraph::new(
+            vec![VLabel(0), VLabel(1), VLabel(0)],
+            vec![
+                QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+                QueryEdge { src: 2, dst: 1, label: ELabel::NONE },
+            ],
+            &[(0, 1)],
+        )
+        .unwrap();
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = multi.register(QueryPlan::build(q, PlanOptions::timing()));
+        assert!(multi.advance(StreamEdge::new(1, 10, 0, 20, 1, 0, 1)).is_empty());
+        let out = multi.advance(StreamEdge::new(2, 30, 0, 20, 1, 0, 2));
+        assert_eq!(out, vec![(q0, MatchRecord::from(vec![EdgeId(1), EdgeId(2)]))]);
+        // Each arrival processed exactly once and the match emitted
+        // exactly once — a doubled dispatch entry would show 4 routed
+        // deliveries and a duplicate record.
+        assert_eq!(multi.counters_of(q0), Some((2, 1)));
+        let s = multi.stats_of(q0).unwrap();
+        assert_eq!(s.edges_processed, 2);
+        assert_eq!(s.matches_emitted, 1);
+    }
+
+    /// Subscribers whose plan lists the same edges in a different order
+    /// still share the template, and each receives records in its *own*
+    /// edge order.
+    #[test]
+    fn permuted_plan_shares_template_with_remapped_records() {
+        // plan(0) lists (a→b) then (b→c); the permuted twin lists them
+        // reversed and renumbers its vertices.
+        let permuted = QueryGraph::new(
+            vec![VLabel(2), VLabel(0), VLabel(1)],
+            vec![
+                QueryEdge { src: 2, dst: 0, label: ELabel::NONE },
+                QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+            ],
+            &[(1, 0)],
+        )
+        .unwrap();
+        let mut multi: MultiQueryEngine = MultiQueryEngine::new(100);
+        let q0 = multi.register(plan(0));
+        let q1 = multi.register(QueryPlan::build(permuted, PlanOptions::timing()));
+        assert_eq!(multi.n_templates(), 1, "permuted twin shares the template");
+        multi.advance(open_edge(1, 0, 1));
+        let out = multi.advance(close_edge(2, 0, 2));
+        assert_eq!(
+            out,
+            vec![
+                (q0, MatchRecord::from(vec![EdgeId(1), EdgeId(2)])),
+                // q1's edge 0 is the closing (b→c) edge, edge 1 the opener.
+                (q1, MatchRecord::from(vec![EdgeId(2), EdgeId(1)])),
+            ]
+        );
     }
 }

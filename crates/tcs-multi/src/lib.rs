@@ -60,6 +60,55 @@
 //! after the expiring edge arrived is a no-op on its store — stores
 //! ignore expiries for edges they never absorbed.
 //!
+//! # Sharing model
+//!
+//! A tenant fleet is dominated by *near-identical* standing queries —
+//! the same fraud template registered thousands of times. Under
+//! [`ShareMode::Shared`] (the default when dispatch is signature-routed)
+//! the registry keys engines by **plan identity**, not registration:
+//!
+//! * **Identity** is the canonical
+//!   [`PlanFingerprint`](tcs_core::plan::PlanFingerprint) — WL colour
+//!   refinement plus individualize-and-refine over the query graph with
+//!   its timing order, so two plans share iff they are the *same query
+//!   up to edge/vertex numbering*, not merely textually equal. The
+//!   first registration of a fingerprint founds a **template** (one
+//!   [`TimingEngine`], one store); every later one becomes a
+//!   *subscriber* on the existing template. Store bytes and per-edge
+//!   work are paid once per template, never per subscriber.
+//! * **Late joiners stay exact.** A subscriber joining a warm template
+//!   records the engine's emission *epoch* (arrival count at join);
+//!   every match carries an emission *floor* — the earliest arrival
+//!   ordinal among its constituent edges — and fan-out delivers a match
+//!   to a subscriber only if `floor > epoch`. A late joiner therefore
+//!   sees exactly the matches built entirely from edges that arrived
+//!   after it registered — byte-identical to a fresh independent
+//!   engine, which the equivalence suites enforce under churn.
+//! * **Permuted twins** (same query, different edge numbering) share
+//!   too: registration canonicalizes, and fan-out remaps each match's
+//!   edge list back into the subscriber's own query-edge order.
+//! * **Attribution.** Per-subscriber [`QueryStats`] carry `routed`
+//!   (edges dispatched to the subscriber's template while it was live)
+//!   and `emitted` (matches actually delivered past the epoch filter);
+//!   engine work counters are deltas from the subscriber's join point;
+//!   template store bytes are charged to the founding subscriber and
+//!   reported per template in [`MultiStats::templates`]. Unregistering
+//!   the last subscriber drops the template and its store.
+//! * **Blast radius.** Quarantine is per *template*: a fault while a
+//!   shared template works unregisters every subscriber of that
+//!   template (one [`QueryFault`] each, same payload and position) —
+//!   wider than the private per-query radius, and the chaos tests pin
+//!   both. The plan stays re-registerable; the next registration founds
+//!   a fresh template.
+//! * **Ablation.** [`ShareMode::Private`] (and broadcast dispatch,
+//!   which implies it) keeps one engine per registration — the
+//!   pre-sharing behaviour, kept as a measurable baseline; the
+//!   `share_rows` benchmark gates the 10k-duplicate win against it.
+//!
+//! The sharded front-end homes registrations by fingerprint, so all
+//! subscribers of a template land on the template's shard and the
+//! per-shard loads count *templates*, not registrations.
+//!
 //! # Shard ownership
 //!
 //! [`ShardedMultiEngine`] owns `n_shards` single-threaded
@@ -104,9 +153,11 @@
 //!    per-query `catch_unwind` boundary, unregisters the offender and
 //!    records a [`QueryFault`] (id, stringified payload, stream
 //!    position) in a fault log surfaced through `stats()`. Blast
-//!    radius: the faulting query; its shard, worker thread and channel
-//!    keep serving, and the dispatcher never observes a dead channel
-//!    for this class.
+//!    radius: the faulting query's *template* — under sharing that is
+//!    every subscriber of the shared engine (see the sharing model
+//!    above), under [`ShareMode::Private`] exactly the one query. The
+//!    shard, worker thread and channel keep serving, and the
+//!    dispatcher never observes a dead channel for this class.
 //! 3. **Worker faults and overload** — a panic outside the per-query
 //!    boundary kills a shard worker; the dispatcher skips the dead
 //!    channel for the rest of the batch and the supervisor then rebuilds
@@ -135,7 +186,9 @@ pub mod engine;
 pub mod fault;
 pub mod shard;
 
-pub use engine::{DispatchMode, MultiQueryEngine, MultiStats, QueryId, QueryStats};
+pub use engine::{
+    DispatchMode, MultiQueryEngine, MultiStats, QueryId, QueryStats, ShareMode, TemplateStats,
+};
 pub use fault::{FaultPolicy, OverloadPolicy, QueryFault, ShardHealth};
 pub use shard::ShardedMultiEngine;
 pub use tcs_core::{IngestError, IngestStats, OrderPolicy};

@@ -55,14 +55,16 @@
 //! full-stream semantics (what N independent engines fed every admitted
 //! edge would report).
 
-use crate::engine::{MultiQueryEngine, MultiStats, QueryId};
+use crate::engine::{MultiQueryEngine, MultiStats, QueryId, ShareMode};
 use crate::fault::{payload_str, FaultPolicy, OverloadPolicy, ShardHealth};
 use std::collections::HashMap;
 use tcs_concurrent::chan::{self, TrySendError};
 use tcs_core::fail_point;
 use tcs_core::failpoints::sites;
 use tcs_core::store::MatchStore;
-use tcs_core::{IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, QueryPlan};
+use tcs_core::{
+    IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, PlanFingerprint, QueryPlan,
+};
 use tcs_graph::{ELabel, MatchRecord, StreamEdge, VLabel};
 
 /// Edges per dispatcher→worker chunk. Large enough that workers amortize
@@ -120,8 +122,22 @@ pub struct ShardedMultiEngine<S: MatchStore = MsTreeStore> {
     /// query → its home shard (queries only migrate with their shard on a
     /// supervisor rebuild, never individually).
     home: HashMap<QueryId, usize>,
-    /// Homed queries per shard, for least-loaded placement.
+    /// Engines homed per shard, for least-loaded placement: one unit per
+    /// *template* under [`ShareMode::Shared`] (duplicate registrations
+    /// ride their template's shard for free), one per query under
+    /// [`ShareMode::Private`].
     loads: Vec<usize>,
+    /// canonical fingerprint → the shard its shared template lives on
+    /// ([`ShareMode::Shared`] only): duplicate registrations must land
+    /// on the same shard or they cannot share an engine.
+    template_home: HashMap<PlanFingerprint, usize>,
+    /// canonical fingerprint → live subscriber count (the refcount that
+    /// retires a [`ShardedMultiEngine::template_home`] entry).
+    template_refs: HashMap<PlanFingerprint, usize>,
+    /// query → its canonical fingerprint ([`ShareMode::Shared`] only).
+    fp_of: HashMap<QueryId, PlanFingerprint>,
+    /// Whether fingerprint-identical registrations share one engine.
+    share: ShareMode,
     /// Admitted arrivals fed through [`ShardedMultiEngine::process`] —
     /// the front-end's own count, since per-shard counts only cover
     /// routed substreams (and overlap when shards share a signature).
@@ -168,6 +184,10 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
             route: HashMap::new(),
             home: HashMap::new(),
             loads: vec![0; n_shards],
+            template_home: HashMap::new(),
+            template_refs: HashMap::new(),
+            fp_of: HashMap::new(),
+            share: ShareMode::default(),
             edges_fed: 0,
             window,
             gate: IngestGate::new(window, OrderPolicy::default()),
@@ -189,6 +209,31 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
     /// Number of registered queries across all shards.
     pub fn n_queries(&self) -> usize {
         self.home.len()
+    }
+
+    /// Number of live shared templates (engines actually running) across
+    /// all shards.
+    pub fn n_templates(&self) -> usize {
+        self.shards.iter().map(MultiQueryEngine::n_templates).sum()
+    }
+
+    /// The active sharing mode.
+    pub fn share_mode(&self) -> ShareMode {
+        self.share
+    }
+
+    /// Sets the sharing mode on the front-end and every shard — see
+    /// [`MultiQueryEngine::set_share_mode`]. Must be called before the
+    /// first registration.
+    pub fn set_share_mode(&mut self, share: ShareMode) {
+        assert!(
+            self.home.is_empty(),
+            "share mode is fixed at first registration; set it on an empty front-end"
+        );
+        self.share = share;
+        for sh in &mut self.shards {
+            sh.set_share_mode(share);
+        }
     }
 
     /// The home shard of a registered query.
@@ -238,21 +283,43 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
         self.shards.iter().flat_map(|sh| sh.faults().iter().cloned()).collect()
     }
 
-    /// Homes a compiled plan on the least-loaded shard and registers it
-    /// there; returns its globally unique id.
+    /// The least-loaded shard (engines, not queries — see `loads`).
+    fn least_loaded(&self) -> usize {
+        self.loads.iter().enumerate().min_by_key(|&(_, &n)| n).map(|(i, _)| i).unwrap_or_default()
+        // n_shards >= 1 — the constructor asserts it
+    }
+
+    /// Homes a compiled plan and registers it; returns its globally
+    /// unique id. Under [`ShareMode::Shared`] a plan whose canonical
+    /// fingerprint already has a live template lands on that template's
+    /// shard (duplicates must cohabit to share an engine) and adds no
+    /// load; a new template goes to the least-loaded shard and counts
+    /// one load unit.
     pub fn register(&mut self, plan: QueryPlan) -> QueryId {
-        let shard = self
-            .loads
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &n)| n)
-            .map(|(i, _)| i)
-            .unwrap_or_default(); // n_shards >= 1 — the constructor asserts it
+        let fp = match self.share {
+            ShareMode::Shared => Some(PlanFingerprint::of(&plan.query)),
+            ShareMode::Private => None,
+        };
+        let shard = fp
+            .as_ref()
+            .and_then(|fp| self.template_home.get(fp).copied())
+            .unwrap_or_else(|| self.least_loaded());
         let sigs: Vec<_> = plan.signatures().collect();
         let id = self.shards[shard].register(plan);
         self.home.insert(id, shard);
-        self.loads[shard] += 1;
         self.fed_base.insert(id, self.edges_fed);
+        match fp {
+            Some(fp) => {
+                let refs = self.template_refs.entry(fp.clone()).or_insert(0);
+                *refs += 1;
+                if *refs == 1 {
+                    self.template_home.insert(fp.clone(), shard);
+                    self.loads[shard] += 1;
+                }
+                self.fp_of.insert(id, fp);
+            }
+            None => self.loads[shard] += 1,
+        }
         for sig in sigs {
             let bucket = self.route.entry(sig).or_default();
             if !bucket.contains(&shard) {
@@ -260,6 +327,27 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
             }
         }
         id
+    }
+
+    /// Releases one query's load accounting: under sharing, the last
+    /// subscriber of a template frees its load unit and its homing entry;
+    /// a private query frees its own.
+    fn release_load(&mut self, id: QueryId, shard: usize) {
+        match self.fp_of.remove(&id) {
+            Some(fp) => {
+                let Some(refs) = self.template_refs.get_mut(&fp) else {
+                    debug_assert!(false, "fingerprinted query has a template refcount");
+                    return;
+                };
+                *refs -= 1;
+                if *refs == 0 {
+                    self.template_refs.remove(&fp);
+                    self.template_home.remove(&fp);
+                    self.loads[shard] -= 1;
+                }
+            }
+            None => self.loads[shard] -= 1,
+        }
     }
 
     /// Unregisters a query from its home shard and prunes routing entries
@@ -270,7 +358,7 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
         };
         let removed = self.shards[shard].unregister(id);
         debug_assert!(removed, "home table and shard registry agree");
-        self.loads[shard] -= 1;
+        self.release_load(id, shard);
         self.fed_base.remove(&id);
         self.rebuild_route();
         removed
@@ -429,6 +517,7 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
             old.next_raw_id(),
             stride,
         );
+        fresh.set_share_mode(self.share);
         fresh.set_fault_policy(FaultPolicy::Quarantine);
         fresh.set_order_policy(old.order_policy());
         fresh.adopt_faults(old.faults().to_vec());
@@ -443,15 +532,19 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
     /// its homing/load/normalization tables, then rebuilds the routing
     /// table so no stale signature entry survives.
     fn reconcile_quarantines(&mut self) {
+        let mut quarantined: Vec<(QueryId, usize)> = Vec::new();
         for (i, sh) in self.shards.iter().enumerate() {
             let log = sh.faults();
             for f in &log[self.faults_seen[i].min(log.len())..] {
                 if self.home.remove(&f.qid).is_some() {
-                    self.loads[i] -= 1;
+                    quarantined.push((f.qid, i));
                     self.fed_base.remove(&f.qid);
                 }
             }
             self.faults_seen[i] = log.len();
+        }
+        for (qid, shard) in quarantined {
+            self.release_load(qid, shard);
         }
         self.rebuild_route();
     }
@@ -475,6 +568,7 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
         for sh in &self.shards {
             let st = sh.stats();
             merged.queries.extend(st.queries);
+            merged.templates.extend(st.templates);
             merged.snapshot_bytes += st.snapshot_bytes;
             merged.faults.extend(st.faults);
         }
@@ -626,6 +720,55 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 8);
+    }
+
+    /// Duplicate registrations land on their template's shard (sharing
+    /// needs cohabitation) and cost no placement load, so distinct
+    /// templates still spread evenly.
+    #[test]
+    fn duplicate_registrations_home_on_the_template_shard() {
+        let mut sharded: ShardedMultiEngine = ShardedMultiEngine::new(10, 4);
+        assert_eq!(sharded.share_mode(), ShareMode::Shared);
+        // 12 copies of tenant 0's template plus 3 distinct tenants.
+        let copies: Vec<_> = (0..12).map(|_| sharded.register(plan(0))).collect();
+        let others: Vec<_> = (1..4u16).map(|t| sharded.register(plan(t))).collect();
+        let home0 = sharded.shard_of(copies[0]).unwrap();
+        for &id in &copies {
+            assert_eq!(sharded.shard_of(id), Some(home0), "copies cohabit");
+        }
+        assert_eq!(sharded.n_queries(), 15);
+        assert_eq!(sharded.n_templates(), 4, "one engine per distinct template");
+        // Load accounting is per template: every shard carries exactly
+        // one engine despite the 12-subscriber pile-up.
+        let mut homes: Vec<usize> =
+            others.iter().map(|&id| sharded.shard_of(id).unwrap()).collect();
+        homes.push(home0);
+        homes.sort_unstable();
+        homes.dedup();
+        assert_eq!(homes.len(), 4, "distinct templates spread across all shards");
+        // The last copy leaving frees the template's load unit.
+        for &id in &copies {
+            assert!(sharded.unregister(id));
+        }
+        assert_eq!(sharded.n_templates(), 3);
+        let replacement = sharded.register(plan(0));
+        assert!(sharded.shard_of(replacement).is_some());
+        assert_eq!(sharded.n_templates(), 4);
+    }
+
+    /// `ShareMode::Private` on the front-end keeps one engine per query
+    /// and per-query load accounting.
+    #[test]
+    fn private_front_end_spreads_duplicate_queries() {
+        let mut sharded: ShardedMultiEngine = ShardedMultiEngine::new(10, 4);
+        sharded.set_share_mode(ShareMode::Private);
+        let ids: Vec<_> = (0..8).map(|_| sharded.register(plan(0))).collect();
+        assert_eq!(sharded.n_templates(), 8, "no sharing: one engine each");
+        let mut per_shard = vec![0usize; 4];
+        for &id in &ids {
+            per_shard[sharded.shard_of(id).unwrap()] += 1;
+        }
+        assert_eq!(per_shard, vec![2, 2, 2, 2]);
     }
 
     #[test]

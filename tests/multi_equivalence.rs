@@ -15,7 +15,7 @@ use tcs_core::{MsTreeStore, TimingEngine};
 use tcs_graph::query::QueryEdge;
 use tcs_graph::window::SlidingWindow;
 use tcs_graph::{ELabel, MatchRecord, QueryGraph, StreamEdge, VLabel};
-use tcs_multi::{DispatchMode, MultiQueryEngine, QueryId, ShardedMultiEngine};
+use tcs_multi::{DispatchMode, MultiQueryEngine, QueryId, ShardedMultiEngine, ShareMode};
 
 /// A small connected random query over `n_labels` vertex labels: a random
 /// tree plus optional extra edges and a sparse random timing DAG (the
@@ -101,8 +101,10 @@ fn multi_run(
     stream: &[StreamEdge],
     window: u64,
     mode: DispatchMode,
+    share: ShareMode,
 ) -> (Vec<Vec<MatchRecord>>, MultiQueryEngine<MsTreeStore>, Vec<Option<QueryId>>) {
     let mut multi: MultiQueryEngine<MsTreeStore> = MultiQueryEngine::with_mode(window, mode);
+    multi.set_share_mode(share);
     let mut ids: Vec<Option<QueryId>> = vec![None; episodes.len()];
     let mut out: Vec<Vec<MatchRecord>> = (0..episodes.len()).map(|_| Vec::new()).collect();
     for (i, e) in stream.iter().enumerate() {
@@ -145,15 +147,22 @@ fn check_schedule(seed: u64) {
         }
         episodes.push(Episode { query, start, end });
     }
-    let (sig_out, sig_multi, sig_ids) =
-        multi_run(&episodes, &stream, window, DispatchMode::Signature);
-    let (bc_out, bc_multi, bc_ids) = multi_run(&episodes, &stream, window, DispatchMode::Broadcast);
+    let (shr_out, shr_multi, shr_ids) =
+        multi_run(&episodes, &stream, window, DispatchMode::Signature, ShareMode::Shared);
+    let (prv_out, prv_multi, prv_ids) =
+        multi_run(&episodes, &stream, window, DispatchMode::Signature, ShareMode::Private);
+    let (bc_out, bc_multi, bc_ids) =
+        multi_run(&episodes, &stream, window, DispatchMode::Broadcast, ShareMode::Shared);
     for (ei, ep) in episodes.iter().enumerate() {
         let want = independent_run(ep, &stream, window);
-        assert_eq!(sig_out[ei], want, "seed {seed} episode {ei} (signature dispatch)");
+        assert_eq!(shr_out[ei], want, "seed {seed} episode {ei} (signature, shared)");
+        assert_eq!(prv_out[ei], want, "seed {seed} episode {ei} (signature, private)");
         assert_eq!(bc_out[ei], want, "seed {seed} episode {ei} (broadcast)");
         // Episodes alive at stream end also agree on normalized stats
-        // with their independent reference.
+        // with their independent reference. Under sharing a late joiner
+        // runs on a warm engine, so the internal work counters
+        // (partials, joins) legitimately differ — the emission-visible
+        // ones must not.
         if ep.end == stream.len() {
             let mut reference: TimingEngine<MsTreeStore> =
                 TimingEngine::new(QueryPlan::build(ep.query.clone(), PlanOptions::timing()));
@@ -161,10 +170,21 @@ fn check_schedule(seed: u64) {
             for e in &stream[ep.start..] {
                 reference.advance(&w.advance(*e));
             }
-            let sig_stats = sig_multi.stats_of(sig_ids[ei].unwrap()).unwrap();
+            let prv_stats = prv_multi.stats_of(prv_ids[ei].unwrap()).unwrap();
             let bc_stats = bc_multi.stats_of(bc_ids[ei].unwrap()).unwrap();
-            assert_eq!(sig_stats, reference.stats(), "seed {seed} episode {ei} stats (signature)");
+            assert_eq!(prv_stats, reference.stats(), "seed {seed} episode {ei} stats (private)");
             assert_eq!(bc_stats, reference.stats(), "seed {seed} episode {ei} stats (broadcast)");
+            let shr_stats = shr_multi.stats_of(shr_ids[ei].unwrap()).unwrap();
+            assert_eq!(
+                shr_stats.matches_emitted,
+                reference.stats().matches_emitted,
+                "seed {seed} episode {ei} emissions (shared)"
+            );
+            assert_eq!(
+                shr_stats.edges_processed,
+                reference.stats().edges_processed,
+                "seed {seed} episode {ei} processed (shared)"
+            );
         }
     }
 }

@@ -1,0 +1,308 @@
+#![allow(clippy::unwrap_used, clippy::expect_used)] // test/bench targets panic by design
+//! The sharing layer's contract, test-enforced from two directions:
+//!
+//! 1. **Equivalence** (default build): under random register/unregister
+//!    churn of *duplicated* plans — the workload sharing exists for —
+//!    [`ShareMode::Shared`] emits, per subscriber, byte-identical match
+//!    streams to [`ShareMode::Private`], while running strictly fewer
+//!    engines; the routed/emitted counters account for every fan-out
+//!    decision.
+//! 2. **Blast radius** (`--features failpoints`): a fault injected while
+//!    a shared template works hits *exactly* that template's subscribers
+//!    — all of them, and nobody else. Under `Private` the same fault
+//!    costs only the one faulted twin; its duplicates keep running. The
+//!    wider shared blast radius is the price of sharing, and it is
+//!    test-pinned, not folklore.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tcs_core::plan::{PlanOptions, QueryPlan};
+use tcs_core::MsTreeStore;
+use tcs_graph::query::QueryEdge;
+use tcs_graph::{ELabel, MatchRecord, QueryGraph, StreamEdge, VLabel};
+use tcs_multi::{DispatchMode, MultiQueryEngine, QueryId, ShareMode};
+
+/// Tenant `t`'s two-hop path over its private label alphabet
+/// `{3t, 3t+1, 3t+2}` — tenant edges route only to tenant queries, so
+/// per-tenant match streams (and fault targeting) are deterministic.
+fn tenant_query(t: u16) -> QueryGraph {
+    QueryGraph::new(
+        vec![VLabel(3 * t), VLabel(3 * t + 1), VLabel(3 * t + 2)],
+        vec![
+            QueryEdge { src: 0, dst: 1, label: ELabel::NONE },
+            QueryEdge { src: 1, dst: 2, label: ELabel::NONE },
+        ],
+        &[(0, 1)],
+    )
+    .unwrap()
+}
+
+/// A stream that interleaves every tenant's two-hop occurrences: for
+/// tenant `t`, vertices `10t -> 10t+1 -> 10t+2` with hop 1 before hop 2.
+fn tenant_stream(rng: &mut SmallRng, n_tenants: u16, len: usize) -> Vec<StreamEdge> {
+    let mut ts = 0u64;
+    (0..len)
+        .map(|i| {
+            ts += 1;
+            let t = rng.gen_range(0..n_tenants) as u32;
+            let hop = rng.gen_range(0..2u32);
+            StreamEdge::new(
+                i as u64 + 1,
+                10 * t + hop,
+                (3 * t + hop) as u16,
+                10 * t + hop + 1,
+                (3 * t + hop + 1) as u16,
+                0,
+                ts,
+            )
+        })
+        .collect()
+}
+
+/// One registration episode: tenant `tenant`'s query, live for arrivals
+/// `start..end`.
+struct Episode {
+    tenant: u16,
+    start: usize,
+    end: usize,
+}
+
+/// Drives a registry through the stream under the episode schedule;
+/// returns per-episode match streams plus each live episode's final
+/// (routed, emitted) counters.
+#[allow(clippy::type_complexity)]
+fn run(
+    episodes: &[Episode],
+    stream: &[StreamEdge],
+    window: u64,
+    share: ShareMode,
+) -> (Vec<Vec<MatchRecord>>, Vec<Option<(u64, u64)>>, usize) {
+    let mut multi: MultiQueryEngine<MsTreeStore> =
+        MultiQueryEngine::with_mode(window, DispatchMode::Signature);
+    multi.set_share_mode(share);
+    let mut ids: Vec<Option<QueryId>> = vec![None; episodes.len()];
+    let mut out: Vec<Vec<MatchRecord>> = (0..episodes.len()).map(|_| Vec::new()).collect();
+    let mut peak_templates = 0usize;
+    for (i, e) in stream.iter().enumerate() {
+        for (ei, ep) in episodes.iter().enumerate() {
+            if ep.end == i {
+                assert!(multi.unregister(ids[ei].expect("episode was registered")));
+            }
+        }
+        for (ei, ep) in episodes.iter().enumerate() {
+            if ep.start == i {
+                ids[ei] = Some(
+                    multi
+                        .register(QueryPlan::build(tenant_query(ep.tenant), PlanOptions::timing())),
+                );
+            }
+        }
+        peak_templates = peak_templates.max(multi.n_templates());
+        for (qid, m) in multi.advance(*e) {
+            let ei = ids.iter().position(|&x| x == Some(qid)).expect("emitting query is live");
+            out[ei].push(m);
+        }
+    }
+    let counters = episodes
+        .iter()
+        .enumerate()
+        .map(
+            |(ei, ep)| {
+                if ep.end == stream.len() {
+                    multi.counters_of(ids[ei].unwrap())
+                } else {
+                    None
+                }
+            },
+        )
+        .collect();
+    (out, counters, peak_templates)
+}
+
+fn check_duplicated_churn(seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let window = 40u64;
+    let n_tenants = 3u16;
+    let stream = tenant_stream(&mut rng, n_tenants, 160);
+    // Each tenant's query registered with random multiplicity (1..=4)
+    // and random lifetimes — heavy duplication by construction.
+    let mut episodes = Vec::new();
+    for t in 0..n_tenants {
+        for _ in 0..rng.gen_range(1..=4usize) {
+            let start = rng.gen_range(0..stream.len() / 2);
+            let end = if rng.gen_bool(0.4) {
+                rng.gen_range(start + 1..=stream.len())
+            } else {
+                stream.len()
+            };
+            episodes.push(Episode { tenant: t, start, end });
+        }
+    }
+    let (shr, shr_counters, shr_peak) = run(&episodes, &stream, window, ShareMode::Shared);
+    let (prv, prv_counters, prv_peak) = run(&episodes, &stream, window, ShareMode::Private);
+    for ei in 0..episodes.len() {
+        assert_eq!(shr[ei], prv[ei], "seed {seed} episode {ei}: shared vs private streams");
+        // Counters reconcile exactly: `emitted` is the subscriber's match
+        // count, and `routed` is its dispatched-edge count — every tenant
+        // edge in the live range matches exactly one of the two-hop
+        // query's signatures, so both registries must report the same
+        // figure (sharing must not double- or under-dispatch).
+        if let (Some((s_routed, s_emitted)), Some((p_routed, p_emitted))) =
+            (shr_counters[ei], prv_counters[ei])
+        {
+            assert_eq!(s_emitted, shr[ei].len() as u64, "seed {seed} episode {ei} emitted");
+            assert_eq!(s_emitted, p_emitted, "seed {seed} episode {ei} emitted vs private");
+            let ep = &episodes[ei];
+            let tenant_edges =
+                stream[ep.start..ep.end].iter().filter(|e| e.src_label.0 / 3 == ep.tenant).count()
+                    as u64;
+            assert_eq!(s_routed, tenant_edges, "seed {seed} episode {ei} routed (shared)");
+            assert_eq!(p_routed, tenant_edges, "seed {seed} episode {ei} routed (private)");
+        }
+    }
+    // Sharing never runs more engines than Private, and duplication is
+    // real: peak templates are bounded by the distinct-plan count.
+    assert!(shr_peak <= prv_peak, "seed {seed}: shared peak {shr_peak} > private {prv_peak}");
+    assert!(
+        shr_peak <= n_tenants as usize,
+        "seed {seed}: {shr_peak} shared templates for {n_tenants} distinct plans"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Duplicated plans under random churn: Shared and Private emit
+    /// identical per-subscriber streams, counters reconcile, and the
+    /// shared registry never holds more templates than distinct plans.
+    #[test]
+    fn shared_equals_private_under_duplicated_churn(seed in any::<u64>()) {
+        check_duplicated_churn(seed);
+    }
+}
+
+/// Fault-injection half: compiled only with `--features failpoints`
+/// (CI's chaos step runs it). Serializes on a local mutex — the
+/// failpoint registry is process-global.
+#[cfg(feature = "failpoints")]
+mod blast_radius {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use tcs_core::failpoints::{self, sites, Action};
+    use tcs_multi::FaultPolicy;
+
+    fn chaos_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn quiet() {
+        static ONCE: OnceLock<()> = OnceLock::new();
+        ONCE.get_or_init(failpoints::install_quiet_hook);
+    }
+
+    /// Three tenants; tenant 0's query registered three times. A panic
+    /// armed on one tenant-0 subscriber while its shared template works.
+    fn build(share: ShareMode) -> (MultiQueryEngine<MsTreeStore>, Vec<QueryId>) {
+        let mut multi: MultiQueryEngine<MsTreeStore> =
+            MultiQueryEngine::with_mode(60, DispatchMode::Signature);
+        multi.set_share_mode(share);
+        multi.set_fault_policy(FaultPolicy::Quarantine);
+        let mut ids = Vec::new();
+        for t in [0u16, 0, 0, 1, 2] {
+            ids.push(multi.register(QueryPlan::build(tenant_query(t), PlanOptions::timing())));
+        }
+        (multi, ids)
+    }
+
+    fn drive(
+        multi: &mut MultiQueryEngine<MsTreeStore>,
+        per_q: &mut [Vec<MatchRecord>],
+        ids: &[QueryId],
+    ) {
+        let mut rng = SmallRng::seed_from_u64(0xb1a57);
+        for e in tenant_stream(&mut rng, 3, 120) {
+            for (qid, m) in multi.advance(e) {
+                per_q[ids.iter().position(|&x| x == qid).unwrap()].push(m);
+            }
+        }
+    }
+
+    /// Shared: the fault takes down the whole template — all three
+    /// tenant-0 subscribers — and exactly them. Tenants 1 and 2 keep
+    /// their full streams.
+    #[test]
+    fn shared_fault_quarantines_every_template_subscriber() {
+        let _g = chaos_lock();
+        quiet();
+        failpoints::reset();
+        let (mut multi, ids) = build(ShareMode::Shared);
+        assert_eq!(multi.n_templates(), 3);
+        failpoints::arm(
+            sites::PRE_PROBE,
+            Some(ids[1].0),
+            Action::Panic("failpoint: shared".into()),
+        );
+        let mut per_q: Vec<Vec<MatchRecord>> = vec![Vec::new(); ids.len()];
+        drive(&mut multi, &mut per_q, &ids);
+        failpoints::reset();
+        let mut faulted: Vec<QueryId> = multi.faults().iter().map(|f| f.qid).collect();
+        faulted.sort_unstable();
+        assert_eq!(faulted, vec![ids[0], ids[1], ids[2]], "whole template, nothing else");
+        assert_eq!(multi.n_templates(), 2, "faulted template is gone, survivors kept");
+        assert!(per_q[0].is_empty() && per_q[1].is_empty() && per_q[2].is_empty());
+        // Survivors saw every one of their matches: byte-identical to a
+        // clean private run of the same schedule.
+        let (mut oracle, oids) = build(ShareMode::Private);
+        let mut want: Vec<Vec<MatchRecord>> = vec![Vec::new(); oids.len()];
+        drive(&mut oracle, &mut want, &oids);
+        assert!(oracle.faults().is_empty());
+        assert_eq!(per_q[3], want[3], "tenant 1 unaffected");
+        assert_eq!(per_q[4], want[4], "tenant 2 unaffected");
+        assert!(!want[3].is_empty() && !want[4].is_empty(), "oracle streams are non-trivial");
+    }
+
+    /// Private: the same fault costs exactly one twin; the other two
+    /// copies of the identical plan keep emitting.
+    #[test]
+    fn private_fault_quarantines_only_the_faulted_twin() {
+        let _g = chaos_lock();
+        quiet();
+        failpoints::reset();
+        let (mut multi, ids) = build(ShareMode::Private);
+        assert_eq!(multi.n_templates(), 5, "private: one engine per registration");
+        failpoints::arm(sites::PRE_PROBE, Some(ids[1].0), Action::Panic("failpoint: twin".into()));
+        let mut per_q: Vec<Vec<MatchRecord>> = vec![Vec::new(); ids.len()];
+        drive(&mut multi, &mut per_q, &ids);
+        failpoints::reset();
+        let faulted: Vec<QueryId> = multi.faults().iter().map(|f| f.qid).collect();
+        assert_eq!(faulted, vec![ids[1]], "exactly the armed twin");
+        assert!(per_q[1].is_empty());
+        assert_eq!(per_q[0], per_q[2], "surviving twins agree");
+        assert!(!per_q[0].is_empty(), "surviving twins kept emitting");
+    }
+
+    /// A template quarantined by a fault is re-registerable fresh: the
+    /// next registration of the same plan founds a new engine and emits
+    /// from its own start, with no residue from the dead template.
+    #[test]
+    fn quarantined_template_rebuilds_fresh_on_reregistration() {
+        let _g = chaos_lock();
+        quiet();
+        failpoints::reset();
+        let (mut multi, ids) = build(ShareMode::Shared);
+        failpoints::arm(sites::PRE_PROBE, Some(ids[0].0), Action::Panic("failpoint: dead".into()));
+        let mut per_q: Vec<Vec<MatchRecord>> = vec![Vec::new(); ids.len()];
+        drive(&mut multi, &mut per_q, &ids);
+        failpoints::reset();
+        assert_eq!(multi.faults().len(), 3);
+        let revived = multi.register(QueryPlan::build(tenant_query(0), PlanOptions::timing()));
+        assert!(ids.iter().all(|&id| id != revived), "ids are never reused");
+        assert_eq!(multi.n_templates(), 3, "fresh founder for the dead plan");
+        assert_eq!(multi.counters_of(revived), Some((0, 0)));
+    }
+}
