@@ -16,6 +16,7 @@
 //!   pruning    extra ablation: discardable-edge pruning
 //!   costmodel  extra ablation: Theorem 7 joins/edge validation
 //!   join       extra ablation: keyed-probe vs scan joins (BENCH_join.json)
+//!   telemetry  latency deep-dive: per-edge + per-query detection quantiles
 //!   all        everything above
 //! ```
 
@@ -87,6 +88,7 @@ fn main() {
         "pruning" => experiments::ablation_pruning(&scale),
         "costmodel" => experiments::ablation_cost_model(&scale),
         "join" => experiments::join_probe(&scale),
+        "telemetry" => experiments::telemetry(&scale),
         "all" => {
             experiments::table1();
             experiments::fig15_17(&scale);
@@ -100,6 +102,7 @@ fn main() {
             experiments::ablation_pruning(&scale);
             experiments::ablation_cost_model(&scale);
             experiments::join_probe(&scale);
+            experiments::telemetry(&scale);
         }
         other => {
             eprintln!("unknown experiment {other:?}");

@@ -704,6 +704,33 @@ pub fn join_probe(scale: &Scale) {
         }
         n as f64 / start.elapsed().as_secs_f64()
     };
+    // Telemetry-overhead ablation: the keyed-probe hub workload with a
+    // default-sampling recorder armed vs the no-op (`None`) seam. The CI
+    // gate holds `overhead = noop / recorded` (throughput ratio, ≥ 1 when
+    // recording costs anything) within 1.05× at fan-out 512.
+    let run_tel = |fanout: usize, recorded: bool| -> f64 {
+        let mut eng = hub_engine(fanout, JoinMode::Probe);
+        if recorded {
+            eng.set_recorder(std::sync::Arc::new(tcs_telemetry::Recorder::new()));
+        }
+        let start = Instant::now();
+        let mut n = 0u64;
+        let mut id = fanout as u64;
+        'outer: loop {
+            for _ in 0..256 {
+                id += 1;
+                eng.insert(hub_arrival(fanout, id));
+                n += 1;
+            }
+            // Shorter cap than the other closures: this ratio is sampled
+            // 24× (6 interleaved rounds × 2 sides × 2 fan-outs).
+            if start.elapsed() >= budget || n >= 500_000 {
+                break 'outer;
+            }
+        }
+        n as f64 / start.elapsed().as_secs_f64()
+    };
+
     // Store footprint after a fixed (untimed) drive — the 10k-copy gate
     // compares the shared registry's total store bytes against a single
     // registration's.
@@ -841,6 +868,46 @@ pub fn join_probe(scale: &Scale) {
     }
     tsh.emit("join_probe_share");
 
+    let mut tt = Table::new(
+        "join_probe/telemetry: recorder armed (1-in-16 sampling) vs no-op seam, keyed-probe hub",
+        &["fanout", "recorded-edges/s", "noop-edges/s", "overhead"],
+    );
+    let mut telemetry_rows = Vec::new();
+    for &fanout in &[64usize, 512] {
+        // The overhead gate compares two near-identical throughputs, so
+        // slow machine-speed drift (frequency scaling, a co-tenant runner
+        // warming up) is the dominant error term — far bigger than the
+        // recorder's real cost. Run the two sides back-to-back within
+        // each round (alternating which goes first) and gate on the
+        // minimum of the per-round ratios: drift is ~equal inside a pair
+        // so each ratio isolates the recorder's cost, and min-of-rounds
+        // discards pairs a throttle landed in the middle of. A real
+        // regression still shows — it inflates every round's ratio.
+        let mut recorded = f64::MIN;
+        let mut noop = f64::MIN;
+        let mut overhead = f64::MAX;
+        for round in 0..6 {
+            let (r, n) = if round % 2 == 0 {
+                let r = run_tel(fanout, true);
+                (r, run_tel(fanout, false))
+            } else {
+                let n = run_tel(fanout, false);
+                (run_tel(fanout, true), n)
+            };
+            recorded = recorded.max(r);
+            noop = noop.max(n);
+            overhead = overhead.min(n / r);
+        }
+        tt.row(vec![
+            fanout.to_string(),
+            fmt_throughput(recorded),
+            fmt_throughput(noop),
+            format!("{overhead:.3}x"),
+        ]);
+        telemetry_rows.push((fanout, recorded, noop, overhead));
+    }
+    tt.emit("join_probe_telemetry");
+
     // Machine-readable trajectory (no serde in this workspace's offline
     // build — the JSON is assembled by hand; schema documented in
     // `crate::hub`'s module docs).
@@ -916,8 +983,144 @@ pub fn join_probe(scale: &Scale) {
             if idx + 1 < share_rows.len() { "," } else { "" }
         ));
     }
+    json.push_str("  ],\n  \"telemetry_rows\": [\n");
+    for (idx, (fanout, recorded, noop, overhead)) in telemetry_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fanout\": {}, \"recorded\": {:.0}, \"noop\": {:.0}, \"overhead\": {:.3}}}{}\n",
+            fanout,
+            recorded,
+            noop,
+            overhead,
+            if idx + 1 < telemetry_rows.len() { "," } else { "" }
+        ));
+    }
     json.push_str("  ]\n}\n");
     if let Err(e) = std::fs::write("BENCH_join.json", json) {
         eprintln!("warning: could not write BENCH_join.json: {e}");
     }
+}
+
+/// The telemetry deep-dive behind `repro telemetry`: drives the hub
+/// keyed-probe workload on a standalone [`tcs_core::TimingEngine`] and
+/// the multi-tenant workload on a [`tcs_multi::MultiQueryEngine`], each
+/// with an *exact* (sample-every-1) [`tcs_telemetry::Recorder`] armed,
+/// and prints per-edge processing and detection latency quantiles next
+/// to the throughput the other experiments report. The recorder-on vs
+/// no-op *overhead* ablation lives in [`join_probe`]'s
+/// `telemetry_rows`; this experiment is about the latency numbers
+/// themselves.
+pub fn telemetry(scale: &Scale) {
+    use crate::hub::{hub_arrival, hub_engine, multi_edge, multi_engine, multi_warmup};
+    use crate::report::fmt_latency_ns;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use tcs_core::JoinMode;
+    use tcs_multi::DispatchMode;
+    use tcs_telemetry::Recorder;
+
+    let budget = Duration::from_secs_f64(scale.run_budget_secs.min(2.0));
+
+    // Standalone engine: per-edge processing latency plus detection
+    // latency under scope 0 (a bare TimingEngine has no QueryId).
+    let mut th = Table::new(
+        "telemetry/hub: exact-sampling latency quantiles, keyed-probe hub workload",
+        &[
+            "fanout",
+            "edges/s",
+            "edge-p50",
+            "edge-p99",
+            "edge-p999",
+            "det-p50",
+            "det-p99",
+            "det-p999",
+        ],
+    );
+    for &fanout in &[64usize, 512] {
+        let rec = Arc::new(Recorder::with_sampling(1));
+        let mut eng = hub_engine(fanout, JoinMode::Probe);
+        eng.set_recorder(Arc::clone(&rec));
+        let start = Instant::now();
+        let mut n = 0u64;
+        let mut id = fanout as u64;
+        'outer: loop {
+            for _ in 0..256 {
+                id += 1;
+                eng.insert(hub_arrival(fanout, id));
+                n += 1;
+            }
+            if start.elapsed() >= budget || n >= 400_000 {
+                break 'outer;
+            }
+        }
+        let eps = n as f64 / start.elapsed().as_secs_f64();
+        let snap = rec.snapshot();
+        let det = snap
+            .detection_by_query
+            .iter()
+            .find(|&&(k, _)| k == 0)
+            .map(|(_, h)| h.clone())
+            .unwrap_or_default();
+        th.row(vec![
+            fanout.to_string(),
+            fmt_throughput(eps),
+            fmt_latency_ns(snap.edge.p50()),
+            fmt_latency_ns(snap.edge.p99()),
+            fmt_latency_ns(snap.edge.p999()),
+            fmt_latency_ns(det.p50()),
+            fmt_latency_ns(det.p99()),
+            fmt_latency_ns(det.p999()),
+        ]);
+    }
+    th.emit("telemetry_hub");
+
+    // Multi-tenant registry: per-query detection latency under signature
+    // dispatch — the per-query breakdown the acceptance gate asks for.
+    let n_queries = 8usize;
+    let rec = Arc::new(Recorder::with_sampling(1));
+    let mut eng = multi_engine(n_queries, DispatchMode::Signature);
+    eng.set_recorder(Arc::clone(&rec));
+    let mut ts = 0u64;
+    while ts < multi_warmup(n_queries) {
+        ts += 1;
+        eng.advance(multi_edge(n_queries, ts));
+    }
+    let start = Instant::now();
+    let mut n = 0u64;
+    'outer: loop {
+        for _ in 0..64 {
+            ts += 1;
+            eng.advance(multi_edge(n_queries, ts));
+            n += 1;
+        }
+        if start.elapsed() >= budget || n >= 200_000 {
+            break 'outer;
+        }
+    }
+    let eps = n as f64 / start.elapsed().as_secs_f64();
+    let snap = rec.snapshot();
+    let mut tq = Table::new(
+        &format!(
+            "telemetry/multi: per-query detection latency, {n_queries} tenants, \
+             signature dispatch ({} edges/s)",
+            fmt_throughput(eps)
+        ),
+        &["query", "matches", "det-p50", "det-p99", "det-p999", "det-max"],
+    );
+    for (qid, h) in &snap.detection_by_query {
+        tq.row(vec![
+            qid.to_string(),
+            h.count.to_string(),
+            fmt_latency_ns(h.p50()),
+            fmt_latency_ns(h.p99()),
+            fmt_latency_ns(h.p999()),
+            fmt_latency_ns(h.max),
+        ]);
+    }
+    tq.emit("telemetry_multi");
+    println!(
+        "telemetry/multi: {} top hot key(s), {} degree bucket(s), {} event(s) logged",
+        snap.hot_keys.len(),
+        snap.degree_buckets.len(),
+        snap.events.len()
+    );
 }

@@ -57,7 +57,8 @@
 //!   "batch_rows":  [{"batch", "batched", "per_edge", "speedup"}, ...],
 //!   "share_rows":  [{"copies", "shared", "private", "speedup",
 //!                    "shared_store_bytes", "single_store_bytes",
-//!                    "store_ratio"}, ...]
+//!                    "store_ratio"}, ...],
+//!   "telemetry_rows": [{"fanout", "recorded", "noop", "overhead"}, ...]
 //! }
 //! ```
 //!
@@ -79,7 +80,13 @@
 //!   ([`tcs_multi::ShareMode::Private`]) on the duplicate-template
 //!   workload, measured over whole window ticks (gates at 10k copies:
 //!   throughput ≥ 5×, and shared store bytes ≤ 2× a single
-//!   registration's).
+//!   registration's);
+//! * `telemetry_rows` — the keyed-probe workload with a default-sampling
+//!   [`tcs_telemetry::Recorder`] armed (`recorded`) vs the no-op `None`
+//!   seam (`noop`, both best-of-rounds throughput); `overhead` is the
+//!   recorder's throughput cost, measured as the *minimum* over
+//!   interleaved back-to-back rounds of the per-round `noop / recorded`
+//!   ratio so machine-speed drift cancels (gate: ≤ 1.05× at 512).
 
 use tcs_core::plan::{PlanOptions, QueryPlan};
 use tcs_core::{BatchMode, ExpiryMode, JoinMode, MsTreeStore, TimingEngine};

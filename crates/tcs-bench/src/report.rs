@@ -90,6 +90,22 @@ pub fn fmt_space_kb(bytes: f64) -> String {
     format!("{:.1}", bytes / 1024.0)
 }
 
+/// Nanoseconds → a human latency: `ns` below 1 µs, then `µs`/`ms`/`s`
+/// with two significant decimals — the unit the telemetry histograms
+/// record in (`tcs_telemetry`).
+pub fn fmt_latency_ns(ns: u64) -> String {
+    let v = ns as f64;
+    if v >= 1e9 {
+        format!("{:.2}s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}us", v / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
 mod tests {
@@ -111,5 +127,9 @@ mod tests {
         assert_eq!(fmt_throughput(25_300.0), "25.3K");
         assert_eq!(fmt_throughput(900.0), "900");
         assert_eq!(fmt_space_kb(2048.0), "2.0");
+        assert_eq!(fmt_latency_ns(900), "900ns");
+        assert_eq!(fmt_latency_ns(12_340), "12.34us");
+        assert_eq!(fmt_latency_ns(7_500_000), "7.50ms");
+        assert_eq!(fmt_latency_ns(2_000_000_000), "2.00s");
     }
 }

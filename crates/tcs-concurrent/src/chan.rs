@@ -139,6 +139,17 @@ impl<T> Sender<T> {
         self.0.not_empty.notify_one();
         Ok(evicted)
     }
+
+    /// Values currently queued — a load gauge, racy by nature: the
+    /// depth can change the instant the lock drops.
+    pub fn len(&self) -> usize {
+        self.0.state.lock().buf.len()
+    }
+
+    /// Whether the queue is currently empty (see [`Sender::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl<T> Clone for Sender<T> {

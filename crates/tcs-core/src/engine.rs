@@ -58,10 +58,13 @@ use crate::plan::QueryPlan;
 use crate::store::{AuditViolation, ExpiryMode, Handle, JoinKey, MatchStore, StoreLayout, ROOT};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
 use tcs_graph::window::{BatchEvent, WindowEvent};
 use tcs_graph::{
     ELabel, EdgeId, LiveEdgeView, MatchRecord, StreamEdge, Timestamp, VLabel, VertexId,
 };
+use tcs_telemetry::{EventKind, LatencyHistogram, Recorder};
 
 /// One per-batch candidate-cache entry: a distinct arrival signature and
 /// the plan's candidate query-edge positions for it (see
@@ -290,6 +293,10 @@ pub struct TimingEngine<S: MatchStore> {
     /// front-end arms it — single-subscriber engines pay nothing. See
     /// [`TimingEngine::arm_emission_floors`].
     seam: Option<EmissionSeam>,
+    /// The telemetry seam: `None` (default) until a harness arms a
+    /// recorder — see [`TimingEngine::set_recorder`]. Recording never
+    /// touches [`EngineStats`] or the match stream.
+    tel: Option<TelemetrySeam>,
 }
 
 /// Emission-floor bookkeeping for engines shared by several subscribers
@@ -304,6 +311,18 @@ pub struct TimingEngine<S: MatchStore> {
 /// precisely the set a private engine registered at that moment would
 /// have found. Fresh-start semantics are thus enforced at the emission
 /// point; the shared store is never filtered or copied.
+/// The armed telemetry sink plus engine-local sampling state: a cached
+/// detection-latency histogram handle (scope 0 — a bare engine has no
+/// query id, so it records under the reserved standalone scope) and the
+/// tick counter deciding which arrivals get a wall-clock stamp (the
+/// `tcs_telemetry::recorder` sampling contract — only sampled arrivals
+/// pay for `Instant::now`).
+struct TelemetrySeam {
+    rec: Arc<Recorder>,
+    det: Arc<LatencyHistogram>,
+    tick: u32,
+}
+
 #[derive(Default)]
 struct EmissionSeam {
     /// Arrival counter: increments once per processed arrival.
@@ -341,7 +360,26 @@ impl<S: MatchStore> TimingEngine<S> {
             probe_cache: ProbeCache::default(),
             arena: RowArena::default(),
             seam: None,
+            tel: None,
         }
+    }
+
+    /// Arms the telemetry seam: from now on per-edge processing latency,
+    /// detection latency (scope 0 — a standalone engine has no query
+    /// id), endpoint hot-key traffic and maintenance-debt events flow
+    /// into `rec` under its sampling contract. Telemetry never perturbs
+    /// [`EngineStats`] or the match stream (the telemetry-equivalence
+    /// suite pins this byte-for-byte). Engines embedded in the
+    /// multi-query stack are instrumented by their front-end instead —
+    /// arming both layers would double-count.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        let det = rec.detection_hist(0);
+        self.tel = Some(TelemetrySeam { rec, det, tick: 0 });
+    }
+
+    /// Disarms the telemetry seam; the recorder keeps what it has.
+    pub fn clear_recorder(&mut self) {
+        self.tel = None;
     }
 
     /// Arms the subscriber seam (idempotent): from now on every arrival
@@ -396,8 +434,10 @@ impl<S: MatchStore> TimingEngine<S> {
     /// `None` (the default) disarms metering, settling any outstanding
     /// debt first. Reads never observe deferral either way.
     pub fn set_batch_fuel(&mut self, per_batch: Option<u64>) {
+        let debt = self.debt_watch();
         self.batch_fuel = per_batch;
         self.store.set_maintenance_fuel(per_batch.map(|_| 0));
+        self.note_debt_settled(debt);
     }
 
     /// Deferred compaction entries currently declared by the store.
@@ -407,7 +447,29 @@ impl<S: MatchStore> TimingEngine<S> {
 
     /// Pays all outstanding maintenance debt immediately, fuel-free.
     pub fn settle_maintenance(&mut self) {
+        let debt = self.debt_watch();
         self.store.settle_maintenance();
+        self.note_debt_settled(debt);
+    }
+
+    /// Telemetry: the deferred-maintenance balance, read only while a
+    /// recorder is armed (free otherwise).
+    fn debt_watch(&self) -> usize {
+        if self.tel.is_some() {
+            self.store.deferred_maintenance()
+        } else {
+            0
+        }
+    }
+
+    /// Telemetry: emits one [`EventKind::DebtSettled`] when an operation
+    /// paid a positive deferred-maintenance balance down to zero.
+    fn note_debt_settled(&self, before: usize) {
+        if before > 0 && self.store.deferred_maintenance() == 0 {
+            if let Some(tel) = &self.tel {
+                tel.rec.event(EventKind::DebtSettled { entries: before as u64 });
+            }
+        }
     }
 
     /// Grants the per-batch fuel allowance (no-op when disarmed).
@@ -620,6 +682,7 @@ impl<S: MatchStore> TimingEngine<S> {
     /// [`TimingEngine::insert`] — the window owner already sanitized the
     /// stream, so a rejection here is an owner bug, not an input error.
     pub fn advance_batch(&mut self, ev: &BatchEvent) -> Vec<MatchRecord> {
+        let debt = self.debt_watch();
         self.refuel_batch();
         let mut out = Vec::new();
         for step in &ev.steps {
@@ -641,6 +704,7 @@ impl<S: MatchStore> TimingEngine<S> {
         }
         #[cfg(feature = "debug-audit")]
         self.debug_audit("end-of-batch");
+        self.note_debt_settled(debt);
         out
     }
 
@@ -766,6 +830,7 @@ impl<S: MatchStore> TimingEngine<S> {
     /// [`BatchMode::PerEdge`] each edge runs the full per-edge path. Both
     /// modes produce byte-identical streams, stats and store contents.
     pub fn insert_batch(&mut self, batch: &[StreamEdge]) -> Result<Vec<MatchRecord>, IngestError> {
+        let debt = self.debt_watch();
         self.refuel_batch();
         let result = match self.batch_mode {
             BatchMode::PerEdge => {
@@ -783,6 +848,7 @@ impl<S: MatchStore> TimingEngine<S> {
         if result.is_ok() {
             self.debug_audit("end-of-batch");
         }
+        self.note_debt_settled(debt);
         result
     }
 
@@ -925,6 +991,7 @@ impl<S: MatchStore> TimingEngine<S> {
         batch: &[StreamEdge],
         live: &L,
     ) -> Result<Vec<MatchRecord>, IngestError> {
+        let debt = self.debt_watch();
         self.refuel_batch();
         if let Some(seam) = &mut self.seam {
             seam.floors.clear();
@@ -976,6 +1043,7 @@ impl<S: MatchStore> TimingEngine<S> {
         if result.is_ok() {
             self.debug_audit("end-of-batch");
         }
+        self.note_debt_settled(debt);
         result
     }
 
@@ -987,6 +1055,21 @@ impl<S: MatchStore> TimingEngine<S> {
         live: &L,
         candidates: &[usize],
     ) -> Vec<MatchRecord> {
+        // Telemetry: stamp only sampled arrivals — `Instant::now` is the
+        // one per-edge cost worth rationing (sampling contract in the
+        // `tcs_telemetry::recorder` docs).
+        let tel_t0 = match &mut self.tel {
+            Some(t) => {
+                t.tick += 1;
+                if t.tick >= t.rec.sample_every() {
+                    t.tick = 0;
+                    Some(Instant::now())
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
         self.stats.edges_processed += 1;
         if let Some(seam) = &mut self.seam {
             seam.seq += 1;
@@ -1066,6 +1149,17 @@ impl<S: MatchStore> TimingEngine<S> {
             }
         }
         self.stats.matches_emitted += out.len() as u64;
+        if let (Some(t0), Some(tel)) = (tel_t0, &self.tel) {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            tel.rec.record_edge_ns(ns, 1);
+            // Detection latency = emission minus completing-edge arrival;
+            // on this serial path both bound the same elapsed interval.
+            tel.det.record_n(ns, out.len() as u64);
+            tel.rec.record_key(u64::from(sigma.src.0));
+            if sigma.dst != sigma.src {
+                tel.rec.record_key(u64::from(sigma.dst.0));
+            }
+        }
         out
     }
 

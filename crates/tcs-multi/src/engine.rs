@@ -13,6 +13,8 @@
 use crate::fault::{payload_str, FaultPolicy, QueryFault, ShardHealth};
 use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
 use tcs_core::engine::EngineStats;
 use tcs_core::fail_point;
 use tcs_core::failpoints::sites;
@@ -22,6 +24,7 @@ use tcs_core::{
     QueryPlan, TimingEngine,
 };
 use tcs_graph::{ELabel, EdgeId, MatchRecord, SlidingWindow, Snapshot, StreamEdge, VLabel};
+use tcs_telemetry::{EventKind, Recorder};
 
 /// Identifier of a registered query, unique for the lifetime of the
 /// engine (ids of unregistered queries are never reused).
@@ -216,6 +219,29 @@ struct Subscriber {
     plan: Option<QueryPlan>,
 }
 
+/// The armed telemetry sink plus front-end sampling state (see
+/// [`MultiQueryEngine::set_recorder`]). The front-end instruments its
+/// own advance path — the wrapped [`TimingEngine`]s stay un-armed, so
+/// nothing is ever double-counted across layers.
+struct MultiTel {
+    rec: Arc<Recorder>,
+    /// Sampling tick: one per advance unit (edge or batch).
+    tick: u32,
+    /// Whether this registry counts endpoint hot-key traffic itself —
+    /// the sharded front-end counts keys once at routing time and arms
+    /// its shards with this off.
+    hot_keys: bool,
+}
+
+/// Saturating nanoseconds since `t0`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Quarantine payloads ride in the bounded event ring: keep a readable
+/// prefix, not an arbitrary panic dump.
+const EVENT_PAYLOAD_CAP: usize = 120;
+
 /// A dynamic registry of standing queries over one shared window.
 ///
 /// See the crate docs for the sharing model, the dispatch-index
@@ -251,6 +277,10 @@ pub struct MultiQueryEngine<S: MatchStore = MsTreeStore> {
     /// How [`MultiQueryEngine::advance_batch`] applies routed sub-batches
     /// inside each engine (propagated to engines at registration).
     batch_mode: BatchMode,
+    /// The telemetry seam: `None` (default) until a harness arms a
+    /// recorder — see [`MultiQueryEngine::set_recorder`]. Recording
+    /// never touches [`MultiStats`] or any per-query counters.
+    tel: Option<MultiTel>,
 }
 
 /// Component-wise delta of two monotone counter snapshots.
@@ -345,6 +375,104 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             fault_policy: FaultPolicy::default(),
             faults: Vec::new(),
             batch_mode: BatchMode::default(),
+            tel: None,
+        }
+    }
+
+    /// Arms the telemetry seam: per-arrival processing latency,
+    /// per-query and per-template detection latency, endpoint hot-key
+    /// traffic and lifecycle events (register/unregister/quarantine)
+    /// flow into `rec` from now on, under its sampling contract.
+    /// Telemetry never perturbs [`MultiStats`], any [`EngineStats`], or
+    /// the match stream (the telemetry-equivalence suite pins this
+    /// byte-for-byte). The wrapped per-template engines stay un-armed —
+    /// this layer instruments its own dispatch path, so nothing is
+    /// double-counted.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        self.set_recorder_scoped(rec, true);
+    }
+
+    /// [`MultiQueryEngine::set_recorder`] with hot-key counting
+    /// controlled by the caller — the sharded front-end counts keys once
+    /// at routing time and arms its shards with `hot_keys: false`.
+    pub(crate) fn set_recorder_scoped(&mut self, rec: Arc<Recorder>, hot_keys: bool) {
+        self.tel = Some(MultiTel { rec, tick: 0, hot_keys });
+    }
+
+    /// Disarms the telemetry seam; the recorder keeps what it has.
+    pub fn clear_recorder(&mut self) {
+        self.tel = None;
+    }
+
+    /// Telemetry: one sampling tick per advance unit; `Some(stamp)` on
+    /// the units that pay for a wall-clock read.
+    fn tel_stamp(&mut self) -> Option<Instant> {
+        let t = self.tel.as_mut()?;
+        t.tick += 1;
+        if t.tick >= t.rec.sample_every() {
+            t.tick = 0;
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Telemetry: counts endpoint traffic for a sampled unit (skipped
+    /// when the sharded front-end already counted these edges at routing
+    /// time).
+    fn tel_record_keys(&self, edges: &[StreamEdge]) {
+        let Some(tel) = &self.tel else { return };
+        if !tel.hot_keys {
+            return;
+        }
+        for e in edges {
+            tel.rec.record_key(u64::from(e.src.0));
+            if e.dst != e.src {
+                tel.rec.record_key(u64::from(e.dst.0));
+            }
+        }
+    }
+
+    /// Telemetry: closes a sampled unit. `proc` feeds per-edge
+    /// processing latency (`n` edges at the unit's average); `arr` is
+    /// the unit's *arrival* instant — the detection-latency origin,
+    /// which the sharded front-end stamps at enqueue time so queue wait
+    /// counts — feeding every emitted match's per-query and per-template
+    /// histograms.
+    fn tel_finish(
+        &self,
+        proc: Option<Instant>,
+        arr: Option<Instant>,
+        n: u64,
+        out: &[(QueryId, MatchRecord)],
+    ) {
+        let Some(tel) = &self.tel else { return };
+        if let Some(t0) = proc {
+            if let Some(per_edge) = elapsed_ns(t0).checked_div(n) {
+                tel.rec.record_edge_ns(per_edge, n);
+            }
+        }
+        let Some(a0) = arr else { return };
+        if out.is_empty() {
+            return;
+        }
+        let ns = elapsed_ns(a0);
+        for (qid, _) in out {
+            tel.rec.record_detection(qid.0, ns, 1);
+            let digest = self
+                .subscribers
+                .get(qid)
+                .and_then(|s| self.templates.get(&s.template))
+                .and_then(|t| t.fp.as_ref())
+                .map_or(0, PlanFingerprint::digest);
+            tel.rec.record_detection_template(digest, ns, 1);
+        }
+    }
+
+    /// Telemetry: appends one lifecycle event (no-op while disarmed).
+    fn tel_event(&self, kind: EventKind) {
+        if let Some(tel) = &self.tel {
+            tel.rec.event(kind);
         }
     }
 
@@ -484,6 +612,7 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// stride already produced).
     pub(crate) fn register_as(&mut self, id: QueryId, plan: QueryPlan) {
         debug_assert!(!self.subscribers.contains_key(&id), "query id {id:?} already registered");
+        self.tel_event(EventKind::Register { qid: id.0 });
         if self.sharing_active() {
             let (fp, perm) = PlanFingerprint::canonicalize(&plan.query);
             if let Some(&tid) = self.by_fp.get(&fp) {
@@ -620,6 +749,17 @@ impl<S: MatchStore> MultiQueryEngine<S> {
     /// matches with it (refcounted teardown). Returns false if the id is
     /// unknown (already unregistered).
     pub fn unregister(&mut self, id: QueryId) -> bool {
+        let removed = self.unregister_inner(id);
+        if removed {
+            self.tel_event(EventKind::Unregister { qid: id.0 });
+        }
+        removed
+    }
+
+    /// [`MultiQueryEngine::unregister`] without the lifecycle event —
+    /// the quarantine path tears subscribers down through here so each
+    /// faulted query logs exactly one event (the quarantine itself).
+    fn unregister_inner(&mut self, id: QueryId) -> bool {
         let Some(sub) = self.subscribers.remove(&id) else {
             return false;
         };
@@ -684,6 +824,10 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         let Some(e) = self.gate.admit(e)? else {
             return Ok(Vec::new()); // dropped per OrderPolicy::DropSilently
         };
+        let tel_t0 = self.tel_stamp();
+        if tel_t0.is_some() {
+            self.tel_record_keys(std::slice::from_ref(&e));
+        }
         let ev = self.window.advance(e);
         // Templates that panicked while handling THIS arrival: skipped
         // for the rest of the event, torn down after it.
@@ -807,6 +951,7 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             }
         };
         self.quarantine(faulted);
+        self.tel_finish(tel_t0, tel_t0, 1, &out);
         Ok(out)
     }
 
@@ -823,8 +968,13 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                 }
             };
             for qid in subs {
-                let removed = self.unregister(qid);
+                let removed = self.unregister_inner(qid);
                 debug_assert!(removed, "faulted subscriber was registered");
+                self.tel_event(EventKind::Quarantine {
+                    qid: qid.0,
+                    edge_seq: self.edges_seen,
+                    payload: payload.chars().take(EVENT_PAYLOAD_CAP).collect(),
+                });
                 self.faults.push(QueryFault {
                     qid,
                     payload: payload.clone(),
@@ -864,6 +1014,28 @@ impl<S: MatchStore> MultiQueryEngine<S> {
         &mut self,
         batch: &[StreamEdge],
     ) -> Result<Vec<(QueryId, MatchRecord)>, IngestError> {
+        self.try_advance_batch_stamped(batch, None)
+    }
+
+    /// [`MultiQueryEngine::try_advance_batch`] with an externally
+    /// stamped arrival instant: the sharded front-end stamps each chunk
+    /// when it enters the worker queue, so detection latency includes
+    /// queue wait, not just engine work. `None` falls back to the
+    /// sampled internal stamp (semantics are otherwise identical).
+    pub fn try_advance_batch_stamped(
+        &mut self,
+        batch: &[StreamEdge],
+        arrived: Option<Instant>,
+    ) -> Result<Vec<(QueryId, MatchRecord)>, IngestError> {
+        // One sampling tick per batch; an external arrival stamp means
+        // the caller already paid for the clock read, so detection is
+        // recorded for the whole chunk while per-edge processing
+        // latency stays on the sampled cadence.
+        let tel_t0 = self.tel_stamp();
+        let tel_arr = match arrived {
+            Some(a) if self.tel.is_some() => Some(a),
+            _ => tel_t0,
+        };
         let mut admitted: Vec<StreamEdge> = Vec::with_capacity(batch.len());
         let mut failure: Option<IngestError> = None;
         for &e in batch {
@@ -875,6 +1047,9 @@ impl<S: MatchStore> MultiQueryEngine<S> {
                     break;
                 }
             }
+        }
+        if tel_t0.is_some() {
+            self.tel_record_keys(&admitted);
         }
         let ev = self.window.advance_batch(&admitted);
         let mut faulted: Vec<(TemplateId, String)> = Vec::new();
@@ -1034,6 +1209,7 @@ impl<S: MatchStore> MultiQueryEngine<S> {
             }
         }
         self.quarantine(faulted);
+        self.tel_finish(tel_t0, tel_arr, admitted.len() as u64, &out);
         match failure {
             Some(err) => Err(err),
             None => Ok(out),

@@ -174,6 +174,58 @@
 //! compiles in the `tcs-core` fault-injection sites the chaos tests use
 //! to drive all three classes deterministically.
 //!
+//! # Observability
+//!
+//! Every layer of the stack reports into one optional
+//! [`Recorder`](tcs_telemetry::Recorder) seam
+//! ([`MultiQueryEngine::set_recorder`] /
+//! [`ShardedMultiEngine::set_recorder`]; bare engines have
+//! `TimingEngine::set_recorder`). The seam is `Option<Arc<Recorder>>`,
+//! default `None`: un-armed it costs one branch per instrumented site,
+//! and armed it **never** perturbs behavior — match streams and the
+//! oracle-comparable `EngineStats`/[`MultiStats`] counters stay
+//! byte-identical with the recorder on vs off
+//! (`tests/telemetry_equivalence.rs` enforces it; the CI gate holds the
+//! armed hub workload within 1.05× of the no-op seam). What a recorder
+//! collects:
+//!
+//! * **Per-edge processing latency** (`tcs_edge_latency_ns`) — wall
+//!   time one arrival spends in the matching core, recorded on every
+//!   `sample_every`-th edge (default 1 in 16; `with_sampling(1)` is
+//!   exact) into a mergeable log-scale histogram with O(1) record and
+//!   ≤ ~3% quantile error (`p50`/`p99`/`p999`).
+//! * **Detection latency** (`tcs_detection_latency_ns`) — emission time minus
+//!   the *completing edge's* arrival time, per query (`QueryId`; a bare
+//!   engine records under scope 0) and per template (canonical
+//!   [`PlanFingerprint`](tcs_core::plan::PlanFingerprint) digest).
+//!   Under the sharded front-end, chunks are stamped at enqueue, so
+//!   queue wait inside a worker's channel counts toward detection —
+//!   that is the latency a tenant actually experiences. At most 1024
+//!   scopes get private histograms; the rest collapse into one overflow
+//!   scope.
+//! * **Skew and shard load** — per-shard gauges (chunks routed, queue
+//!   depth high-water mark, shed edges, worker restarts) refreshed
+//!   every `process` call, plus hot-key counters over arrival endpoints
+//!   (top-16 keys and log2-degree buckets: mass in high buckets *is*
+//!   hub skew). Hot keys ride the sampled cadence; gauges and events
+//!   are always exact. The registry records keys once at the routing
+//!   front-end, and inner engines of a registry are never separately
+//!   armed, so nothing double-counts.
+//! * **Structured events** — a bounded ring of sequence-numbered
+//!   lifecycle events: `Register`/`Unregister` (registration churn),
+//!   `Quarantine` (query fault: id, stream position, truncated
+//!   payload), `Shed` (overload: shard, edge count, which end),
+//!   `WorkerRestart` (shard rebuild), `DebtSettled` (deferred
+//!   maintenance drained). A quarantined query logs exactly one
+//!   `Quarantine` event, not an `Unregister`.
+//!
+//! `Recorder::snapshot()` exports everything as a
+//! [`TelemetrySnapshot`](tcs_telemetry::TelemetrySnapshot);
+//! `Recorder::dump(dir)` writes `metrics.prom` (Prometheus text) and
+//! `metrics.json` (exact JSON round-trip) — `repro telemetry` prints
+//! the quantile tables, and `examples/cyber_attack.rs --metrics-dir`
+//! dumps them periodically for scraping.
+//!
 //! [`TimingEngine`]: tcs_core::TimingEngine
 //! [`QueryPlan::signatures`]: tcs_core::QueryPlan::signatures
 

@@ -58,6 +58,8 @@
 use crate::engine::{MultiQueryEngine, MultiStats, QueryId, ShareMode};
 use crate::fault::{payload_str, FaultPolicy, OverloadPolicy, ShardHealth};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 use tcs_concurrent::chan::{self, TrySendError};
 use tcs_core::fail_point;
 use tcs_core::failpoints::sites;
@@ -66,6 +68,7 @@ use tcs_core::{
     IngestError, IngestGate, IngestStats, MsTreeStore, OrderPolicy, PlanFingerprint, QueryPlan,
 };
 use tcs_graph::{ELabel, MatchRecord, StreamEdge, VLabel};
+use tcs_telemetry::{EventKind, Recorder, ShardLoad};
 
 /// Edges per dispatcher→worker chunk. Large enough that workers amortize
 /// channel synchronization and run the batched
@@ -75,20 +78,38 @@ use tcs_graph::{ELabel, MatchRecord, StreamEdge, VLabel};
 /// back-pressure and shedding on short streams.
 pub const CHUNK: usize = 16;
 
+/// One dispatcher→worker unit: a routed sub-batch plus — telemetry only
+/// — its enqueue instant, so a shard can charge queue wait to detection
+/// latency ([`MultiQueryEngine::try_advance_batch_stamped`]).
+struct Chunk {
+    at: Option<Instant>,
+    edges: Vec<StreamEdge>,
+}
+
 /// Sends one pending chunk to a worker under the configured overload
 /// policy. A disconnected channel (dead worker) retires the sender; loss
 /// counters are incremented by the shed chunk's length, keeping
-/// [`ShardHealth`] counters in edges.
+/// [`ShardHealth`] counters in edges. While a recorder is armed the
+/// chunk is stamped at enqueue, the queue-depth high-water mark is
+/// tracked, and every shed chunk logs one structured event.
 fn flush_chunk(
     s: usize,
-    txs: &mut [Option<chan::Sender<Vec<StreamEdge>>>],
-    chunk: Vec<StreamEdge>,
+    txs: &mut [Option<chan::Sender<Chunk>>],
+    edges: Vec<StreamEdge>,
     overload: OverloadPolicy,
     health: &mut [ShardHealth],
+    rec: Option<&Recorder>,
+    hwm: &mut [u64],
 ) {
     let Some(tx) = txs[s].as_ref() else {
         return;
     };
+    if rec.is_some() {
+        // Depth including this enqueue — a load gauge, racy by nature
+        // (the worker drains concurrently).
+        hwm[s] = hwm[s].max(tx.len() as u64 + 1);
+    }
+    let chunk = Chunk { at: rec.map(|_| Instant::now()), edges };
     match overload {
         OverloadPolicy::Backpressure => {
             if tx.send(chunk).is_err() {
@@ -97,12 +118,30 @@ fn flush_chunk(
         }
         OverloadPolicy::ShedNewest => match tx.try_send(chunk) {
             Ok(()) => {}
-            Err(TrySendError::Full(c)) => health[s].shed_newest += c.len() as u64,
+            Err(TrySendError::Full(c)) => {
+                health[s].shed_newest += c.edges.len() as u64;
+                if let Some(rec) = rec {
+                    rec.event(EventKind::Shed {
+                        shard: s as u64,
+                        edges: c.edges.len() as u64,
+                        newest: true,
+                    });
+                }
+            }
             Err(TrySendError::Disconnected(_)) => txs[s] = None,
         },
         OverloadPolicy::ShedOldest => match tx.send_evict(chunk) {
             Ok(None) => {}
-            Ok(Some(c)) => health[s].shed_oldest += c.len() as u64,
+            Ok(Some(c)) => {
+                health[s].shed_oldest += c.edges.len() as u64;
+                if let Some(rec) = rec {
+                    rec.event(EventKind::Shed {
+                        shard: s as u64,
+                        edges: c.edges.len() as u64,
+                        newest: false,
+                    });
+                }
+            }
             Err(_) => txs[s] = None,
         },
     }
@@ -158,6 +197,17 @@ pub struct ShardedMultiEngine<S: MatchStore = MsTreeStore> {
     /// Value of `edges_fed` when each live query registered — the base
     /// for [`ShardedMultiEngine::stats_normalized`].
     fed_base: HashMap<QueryId, u64>,
+    /// The telemetry seam: `None` (default) until
+    /// [`ShardedMultiEngine::set_recorder`] arms it.
+    tel: Option<Arc<Recorder>>,
+    /// Telemetry sampling tick for front-end hot-key recording.
+    tel_tick: u32,
+    /// Edges routed to each shard since construction (telemetry gauge;
+    /// shed chunks still count — they were routed).
+    routed: Vec<u64>,
+    /// Per-shard dispatcher→worker queue-depth high-water mark, in
+    /// chunks (telemetry gauge, tracked only while a recorder is armed).
+    queue_hwm: Vec<u64>,
 }
 
 impl<S: MatchStore> ShardedMultiEngine<S> {
@@ -198,6 +248,34 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
                 .collect(),
             faults_seen: vec![0; n_shards],
             fed_base: HashMap::new(),
+            tel: None,
+            tel_tick: 0,
+            routed: vec![0; n_shards],
+            queue_hwm: vec![0; n_shards],
+        }
+    }
+
+    /// Arms telemetry across the front-end and every shard. The
+    /// front-end records endpoint hot-key traffic once at routing time,
+    /// per-shard load gauges (routed edges, queue-depth high-water mark,
+    /// shed, restarts) after each batch, and shed / worker-restart
+    /// events; shards record advance latency, detection latency (chunks
+    /// are stamped at enqueue, so queue wait counts) and lifecycle
+    /// events, with shard-level hot-key counting off — an edge fanned to
+    /// several shards would otherwise be counted once per shard.
+    /// Telemetry never perturbs [`MultiStats`] or the match stream.
+    pub fn set_recorder(&mut self, rec: Arc<Recorder>) {
+        for sh in &mut self.shards {
+            sh.set_recorder_scoped(Arc::clone(&rec), false);
+        }
+        self.tel = Some(rec);
+    }
+
+    /// Disarms telemetry everywhere; the recorder keeps what it has.
+    pub fn clear_recorder(&mut self) {
+        self.tel = None;
+        for sh in &mut self.shards {
+            sh.clear_recorder();
         }
     }
 
@@ -423,6 +501,22 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
         }
         self.gate = staged;
         self.edges_fed += sanitized.len() as u64;
+        if let Some(rec) = &self.tel {
+            // Hot keys are counted HERE, once per sanitized edge (on the
+            // latency sampling cadence) — shards run with hot-key
+            // recording off so multi-shard fan-out cannot double-count.
+            let every = rec.sample_every();
+            for e in &sanitized {
+                self.tel_tick += 1;
+                if self.tel_tick >= every {
+                    self.tel_tick = 0;
+                    rec.record_key(u64::from(e.src.0));
+                    if e.dst != e.src {
+                        rec.record_key(u64::from(e.dst.0));
+                    }
+                }
+            }
+        }
 
         let n = self.shards.len();
         let mut outs: Vec<Vec<(QueryId, MatchRecord)>> = Vec::with_capacity(n);
@@ -432,11 +526,14 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
             let overload = self.overload;
             let cap = self.channel_cap;
             let health = &mut self.health;
+            let rec = self.tel.as_deref();
+            let routed = &mut self.routed;
+            let hwm = &mut self.queue_hwm;
             std::thread::scope(|scope| {
                 let mut txs = Vec::with_capacity(n);
                 let mut handles = Vec::with_capacity(n);
                 for (i, sh) in self.shards.iter_mut().enumerate() {
-                    let (tx, rx) = chan::bounded::<Vec<StreamEdge>>(cap);
+                    let (tx, rx) = chan::bounded::<Chunk>(cap);
                     txs.push(Some(tx));
                     handles.push(scope.spawn(move || {
                         let mut out = Vec::new();
@@ -446,7 +543,12 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
                             // not one query.
                             fail_point!(sites::WORKER_LOOP, i as u64);
                             match rx.recv() {
-                                Ok(chunk) => out.extend(sh.advance_batch(&chunk)),
+                                Ok(chunk) => {
+                                    match sh.try_advance_batch_stamped(&chunk.edges, chunk.at) {
+                                        Ok(ms) => out.extend(ms),
+                                        Err(err) => panic!("sanitized stream rejected: {err}"),
+                                    }
+                                }
                                 Err(_) => break,
                             }
                         }
@@ -470,16 +572,17 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
                         if txs[s].is_none() {
                             continue;
                         }
+                        routed[s] += 1;
                         pending[s].push(e);
                         if pending[s].len() >= CHUNK {
                             let chunk = std::mem::take(&mut pending[s]);
-                            flush_chunk(s, &mut txs, chunk, overload, health);
+                            flush_chunk(s, &mut txs, chunk, overload, health, rec, hwm);
                         }
                     }
                 }
                 for (s, chunk) in pending.into_iter().enumerate() {
                     if !chunk.is_empty() {
-                        flush_chunk(s, &mut txs, chunk, overload, health);
+                        flush_chunk(s, &mut txs, chunk, overload, health, rec, hwm);
                     }
                 }
                 // Dropping the senders disconnects the channels; workers
@@ -500,7 +603,23 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
             self.rebuild_shard(i, &payload);
         }
         self.reconcile_quarantines();
+        self.publish_shard_loads();
         Ok(outs.into_iter().flatten().collect())
+    }
+
+    /// Telemetry: publishes the per-shard load gauges after a batch
+    /// (no-op while disarmed).
+    fn publish_shard_loads(&self) {
+        let Some(rec) = &self.tel else { return };
+        for (i, h) in self.health.iter().enumerate() {
+            rec.set_shard_load(ShardLoad {
+                shard: i as u64,
+                edges_routed: self.routed[i],
+                queue_depth_hwm: self.queue_hwm[i],
+                shed: h.shed_oldest + h.shed_newest,
+                restarts: h.restarts,
+            });
+        }
     }
 
     /// Replaces a dead shard with a fresh engine continuing the same id
@@ -521,6 +640,12 @@ impl<S: MatchStore> ShardedMultiEngine<S> {
         fresh.set_fault_policy(FaultPolicy::Quarantine);
         fresh.set_order_policy(old.order_policy());
         fresh.adopt_faults(old.faults().to_vec());
+        if let Some(rec) = &self.tel {
+            // Re-arm before re-homing so the restart and each re-homed
+            // query's registration land in the event log.
+            rec.event(EventKind::WorkerRestart { shard: i as u64 });
+            fresh.set_recorder_scoped(Arc::clone(rec), false);
+        }
         for (qid, plan) in old.registrations() {
             fresh.register_as(qid, plan);
         }

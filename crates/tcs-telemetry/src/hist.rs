@@ -1,0 +1,307 @@
+//! Mergeable log-scale latency histograms (HDR-style fixed buckets).
+//!
+//! A [`LatencyHistogram`] records `u64` values — nanoseconds by
+//! convention — into log-linear buckets: 32 sub-buckets per power of
+//! two, so any recorded value is reconstructed to within `1/32` (≈3%)
+//! relative error. Recording is O(1), lock-free (`&self`, relaxed
+//! atomics), and the bucket layout is fixed at construction, so two
+//! histograms of the same shape merge by bucket-wise addition — shard
+//! histograms roll up into fleet histograms without rebinning.
+//!
+//! Quantile queries happen on an immutable [`HistogramSnapshot`]: the
+//! estimate is the *upper bound* of the bucket holding the rank, so
+//! `quantile(q)` never under-reports (`true ≤ est ≤ true · 33/32 + 1`,
+//! property-tested against a sorted-vector oracle).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power of two (32 → ≤ 1/32 relative error).
+const SUB: usize = 1 << SUB_BITS;
+/// Largest exponent tracked: the full `u64` range, so nothing ever
+/// clamps and the 1/32 error bound holds for every recordable value.
+const MAX_EXP: u32 = 63;
+/// Total bucket count: `SUB` unit buckets for values `< SUB`, then `SUB`
+/// buckets per octave for exponents `SUB_BITS ..= MAX_EXP` (~15 KB of
+/// `u64` counters per histogram).
+const N_BUCKETS: usize = SUB * (MAX_EXP - SUB_BITS + 2) as usize;
+
+/// The bucket index holding `v`. Monotone in `v`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let m = 63 - v.leading_zeros(); // SUB_BITS <= m <= 63
+    let sub = ((v >> (m - SUB_BITS)) as usize) - SUB; // 0..SUB
+    SUB * (m - SUB_BITS + 1) as usize + sub
+}
+
+/// The largest value mapping into bucket `idx` (inverse of
+/// [`bucket_index`]; the top octaves saturate at `u64::MAX`).
+#[inline]
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    let q = (idx / SUB) as u32; // 1-based octave
+    let r = (idx % SUB) as u128;
+    // u128: the very top bucket's exclusive bound is 2^64.
+    let upper = ((SUB as u128 + r + 1) << (q - 1)) - 1;
+    upper.min(u64::MAX as u128) as u64
+}
+
+/// A fixed-shape log-linear histogram; see the module docs for the
+/// bucket scheme and error bound.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~15 KB of buckets).
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `v` (nanoseconds by convention). O(1),
+    /// relaxed atomics — safe to call from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` observations of the same value `v` — the bulk form
+    /// the fan-out paths use (one emission instant, `n` matches).
+    #[inline]
+    pub fn record_n(&self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(n, Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Relaxed);
+        self.sum.fetch_add(v.saturating_mul(n), Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` — exact: recording two
+    /// streams into one histogram and merging two per-stream histograms
+    /// produce identical buckets.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter().zip(&other.buckets) {
+            let n = o.load(Ordering::Relaxed);
+            if n > 0 {
+                b.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// An immutable copy for quantile queries and export. Sparse: only
+    /// non-empty buckets are kept.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((idx as u32, n));
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable, sparse copy of a [`LatencyHistogram`]: `(bucket index,
+/// count)` pairs in index order plus the running count/sum/max.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+    /// Largest recorded value, exact.
+    pub max: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
+    /// holding that rank — never under-reports, over-reports by at most
+    /// `1/32` of the true value (see module docs). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // The exact max beats the top bucket's open upper bound.
+                return bucket_upper(idx as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Arithmetic mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bucket_index_is_monotone_and_upper_bound_inverts() {
+        let mut probes: Vec<u64> = (0..200)
+            .chain((5..64).flat_map(|m| {
+                let base = 1u64 << m;
+                [base - 1, base, base + 1, base + base / 2]
+            }))
+            .chain([u64::MAX - 1, u64::MAX])
+            .collect();
+        probes.sort_unstable();
+        let mut last = 0usize;
+        for &v in &probes {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "monotone at {v}");
+            last = idx;
+            assert!(bucket_upper(idx) >= v, "upper({idx}) covers {v}");
+            if idx > 0 {
+                assert!(bucket_upper(idx - 1) < v, "previous bucket excludes {v}");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    /// The documented error contract against a sorted-vector oracle:
+    /// `true ≤ est ≤ true + true/32 + 1` at every probed quantile.
+    #[test]
+    fn quantiles_bound_the_sorted_oracle() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for case in 0..40 {
+            let n: usize = 1 + rng.gen_range(0..2000usize);
+            let h = LatencyHistogram::new();
+            let mut vals: Vec<u64> = (0..n)
+                .map(|_| {
+                    // Mix magnitudes: sub-linear region, mid, and huge.
+                    match rng.gen_range(0..3u32) {
+                        0 => rng.gen_range(0..64),
+                        1 => rng.gen_range(0..1_000_000),
+                        _ => {
+                            let shift = rng.gen_range(0..40u32);
+                            rng.gen_range(0..u64::MAX >> shift)
+                        }
+                    }
+                })
+                .collect();
+            for &v in &vals {
+                h.record(v);
+            }
+            vals.sort_unstable();
+            let s = h.snapshot();
+            assert_eq!(s.count, n as u64);
+            assert_eq!(s.max, *vals.last().unwrap());
+            for &q in &[0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let truth = vals[rank - 1];
+                let est = s.quantile(q);
+                assert!(est >= truth, "case {case} q={q}: {est} < {truth}");
+                assert!(
+                    est <= truth.saturating_add(truth / 32).saturating_add(1),
+                    "case {case} q={q}: {est} > {truth} + 1/32"
+                );
+            }
+        }
+    }
+
+    /// Merging per-stream histograms equals recording the concatenated
+    /// stream — bucket-exact, not just quantile-close.
+    #[test]
+    fn merge_equals_single_stream_recording() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let (a, b, all) =
+                (LatencyHistogram::new(), LatencyHistogram::new(), LatencyHistogram::new());
+            for _ in 0..rng.gen_range(0..500) {
+                let v = rng.gen_range(0..10_000_000u64);
+                a.record(v);
+                all.record(v);
+            }
+            for _ in 0..rng.gen_range(0..500) {
+                let v = rng.gen_range(0..10_000_000u64);
+                b.record(v);
+                all.record(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.snapshot(), all.snapshot());
+        }
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let (a, b) = (LatencyHistogram::new(), LatencyHistogram::new());
+        a.record_n(1234, 7);
+        for _ in 0..7 {
+            b.record(1234);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!((s.count, s.p50(), s.p999(), s.mean()), (0, 0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

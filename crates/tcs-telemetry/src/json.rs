@@ -1,0 +1,355 @@
+//! A minimal JSON reader for snapshot round-trips.
+//!
+//! The workspace's offline build has no real `serde` (see
+//! `vendor/README.md`), so the exporter writes JSON by hand and this
+//! module reads it back. Numbers are kept as their **literal text**
+//! ([`Value::Num`]) and parsed on demand: going through `f64` would
+//! corrupt `u64` fingerprint digests above 2^53.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal source text.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order (keys are not deduplicated).
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, or an error.
+    pub fn as_arr(&self) -> Result<&[Value], ParseError> {
+        match self {
+            Value::Arr(items) => Ok(items),
+            other => Err(ParseError::shape("array", other)),
+        }
+    }
+
+    /// The string payload, or an error.
+    pub fn as_str(&self) -> Result<&str, ParseError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(ParseError::shape("string", other)),
+        }
+    }
+
+    /// The number as `u64`, exact (no float round-trip).
+    pub fn as_u64(&self) -> Result<u64, ParseError> {
+        match self {
+            Value::Num(text) => {
+                text.parse().map_err(|_| ParseError(format!("not a u64: {text:?}")))
+            }
+            other => Err(ParseError::shape("number", other)),
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Result<f64, ParseError> {
+        match self {
+            Value::Num(text) => {
+                text.parse().map_err(|_| ParseError(format!("not a number: {text:?}")))
+            }
+            other => Err(ParseError::shape("number", other)),
+        }
+    }
+
+    /// The boolean, or an error.
+    pub fn as_bool(&self) -> Result<bool, ParseError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(ParseError::shape("bool", other)),
+        }
+    }
+
+    /// Required object member, or an error naming the key.
+    pub fn req(&self, key: &str) -> Result<&Value, ParseError> {
+        self.get(key).ok_or_else(|| ParseError(format!("missing key {key:?}")))
+    }
+}
+
+/// Why a document failed to parse (or to match the expected shape).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl ParseError {
+    fn shape(wanted: &str, got: &Value) -> ParseError {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        };
+        ParseError(format!("expected {wanted}, got {kind}"))
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ParseError(format!("trailing bytes at {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError(format!("expected {:?} at {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(ParseError(format!("bad literal at {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(ParseError(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(ParseError(format!("bad number at {start}")));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError("non-utf8 number".into()))?;
+        // Validate once so `Num` always holds something parseable.
+        text.parse::<f64>().map_err(|_| ParseError(format!("bad number {text:?}")))?;
+        Ok(Value::Num(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseError("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| ParseError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| ParseError("bad \\u escape".into()))?;
+                            // BMP only — the exporter never emits
+                            // surrogate pairs (payloads are escaped
+                            // per-char below 0x20 and as-is above).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| ParseError("bad \\u scalar".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(ParseError(format!("bad escape at {}", self.pos))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|e| ParseError(format!("non-utf8 string: {e}")))?;
+                    let ch = s.chars().next().unwrap_or('\u{fffd}');
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(ParseError(format!("expected , or ] at {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            members.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(members));
+                }
+                _ => return Err(ParseError(format!("expected , or }} at {}", self.pos))),
+            }
+        }
+    }
+}
+
+/// Escapes `s` into a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shapes_the_exporter_emits() {
+        let v = parse(r#"{"a": [1, 2.5, -3], "b": {"c": "x\ny", "d": true}, "e": null}"#).unwrap();
+        assert_eq!(v.req("a").unwrap().as_arr().unwrap()[0].as_u64().unwrap(), 1);
+        assert_eq!(v.req("a").unwrap().as_arr().unwrap()[1].as_f64().unwrap(), 2.5);
+        assert_eq!(v.req("b").unwrap().req("c").unwrap().as_str().unwrap(), "x\ny");
+        assert!(v.req("b").unwrap().req("d").unwrap().as_bool().unwrap());
+        assert_eq!(v.req("e").unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn u64_digests_above_2_pow_53_survive() {
+        let big = u64::MAX - 1;
+        let v = parse(&format!("{{\"d\": {big}}}")).unwrap();
+        assert_eq!(v.req("d").unwrap().as_u64().unwrap(), big);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        for s in ["plain", "with \"quotes\"", "tabs\tand\nnewlines", "unicode λ∀", "\u{1}ctl"] {
+            let v = parse(&escape(s)).unwrap();
+            assert_eq!(v.as_str().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "12 34", "nul"] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+}

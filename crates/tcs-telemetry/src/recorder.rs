@@ -1,0 +1,289 @@
+//! The [`Recorder`] — the one sink the serving stack reports into.
+//!
+//! Engines hold an `Option<Arc<Recorder>>` seam defaulting to `None`:
+//! with no recorder armed the instrumented paths are a single branch on
+//! a `None` and compile to effectively zero cost, and recording *never*
+//! touches the oracle-comparable `EngineStats`/`MultiStats` counters
+//! (the equivalence suites enforce byte-identical matches + stats with
+//! the recorder on vs off).
+//!
+//! # Sampling contract
+//!
+//! Wall-clock stamps are the only per-edge cost that could perturb a
+//! hot loop, so latency recording is *sampled*: an engine stamps
+//! `Instant::now()` on every [`Recorder::sample_every`]-th edge (default
+//! 16) and the histograms see that subsample. Hot-key traffic rides the
+//! same sampled cadence (it shares the per-edge instrumentation point);
+//! shard-load gauges and events are always exact.
+//! [`Recorder::with_sampling`]`(1)` records every edge — the
+//! equivalence tests and the `repro telemetry` experiment run there.
+//! The CI overhead gate holds the default-sampling recorder within
+//! 1.05× of the no-op sink on the hub workload.
+//!
+//! # Scopes
+//!
+//! Detection latency is tracked per *query* (`QueryId` as `u64`; a bare
+//! `TimingEngine` records under scope 0) and per *template* (canonical
+//! plan-fingerprint digest). At most [`MAX_TRACKED_SCOPES`] distinct
+//! keys get their own histogram per map; later keys collapse into one
+//! overflow histogram under [`OVERFLOW_SCOPE`] so a 10k-subscriber
+//! fleet cannot allocate 10k histograms.
+
+use crate::event::{EventKind, EventLog};
+use crate::hist::LatencyHistogram;
+use crate::snapshot::{ShardLoad, TelemetrySnapshot};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Distinct per-query / per-template histograms before collapsing into
+/// the [`OVERFLOW_SCOPE`] histogram.
+pub const MAX_TRACKED_SCOPES: usize = 1024;
+/// The scope key aggregating everything beyond [`MAX_TRACKED_SCOPES`].
+pub const OVERFLOW_SCOPE: u64 = u64::MAX;
+/// Distinct join keys counted exactly before further keys only feed the
+/// degree buckets and the overflow counter.
+const HOT_KEY_CAP: usize = 65_536;
+/// Top hot keys kept in a snapshot.
+const TOP_KEYS: usize = 16;
+/// Degree buckets (log2 of a key's running count: 0..64).
+const DEGREE_BUCKETS: usize = 64;
+
+#[derive(Debug, Default)]
+struct HotKeys {
+    counts: HashMap<u64, u64>,
+    /// `degree[b]` counts recordings whose key already had `2^b ..
+    /// 2^(b+1)` prior hits — the rtcd-style "how much traffic lands on
+    /// already-hot keys" skew signal.
+    degree: Vec<u64>,
+    overflow: u64,
+}
+
+#[derive(Debug, Default)]
+struct ScopeMap {
+    by_key: HashMap<u64, Arc<LatencyHistogram>>,
+}
+
+impl ScopeMap {
+    fn get(&mut self, key: u64) -> Arc<LatencyHistogram> {
+        if !self.by_key.contains_key(&key) && self.by_key.len() >= MAX_TRACKED_SCOPES {
+            return Arc::clone(
+                self.by_key
+                    .entry(OVERFLOW_SCOPE)
+                    .or_insert_with(|| Arc::new(LatencyHistogram::new())),
+            );
+        }
+        Arc::clone(self.by_key.entry(key).or_insert_with(|| Arc::new(LatencyHistogram::new())))
+    }
+}
+
+/// The telemetry sink; see module docs. All methods take `&self` and
+/// are thread-safe: one `Arc<Recorder>` serves a whole sharded stack.
+#[derive(Debug)]
+pub struct Recorder {
+    sample_every: u32,
+    edge: LatencyHistogram,
+    det_query: Mutex<ScopeMap>,
+    det_template: Mutex<ScopeMap>,
+    hot: Mutex<HotKeys>,
+    shards: Mutex<Vec<ShardLoad>>,
+    events: EventLog,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default 1-in-16 latency sampling.
+    pub fn new() -> Recorder {
+        Recorder::with_sampling(16)
+    }
+
+    /// A recorder stamping every `sample_every`-th edge (0 clamps to 1
+    /// = record everything).
+    pub fn with_sampling(sample_every: u32) -> Recorder {
+        Recorder {
+            sample_every: sample_every.max(1),
+            edge: LatencyHistogram::new(),
+            det_query: Mutex::new(ScopeMap::default()),
+            det_template: Mutex::new(ScopeMap::default()),
+            hot: Mutex::new(HotKeys {
+                counts: HashMap::new(),
+                degree: vec![0; DEGREE_BUCKETS],
+                overflow: 0,
+            }),
+            shards: Mutex::new(Vec::new()),
+            events: EventLog::default(),
+        }
+    }
+
+    /// The sampling period engines should honor (≥ 1).
+    #[inline]
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every
+    }
+
+    /// Records `n` edges processed at `ns` nanoseconds each.
+    #[inline]
+    pub fn record_edge_ns(&self, ns: u64, n: u64) {
+        self.edge.record_n(ns, n);
+    }
+
+    /// The detection-latency histogram for query `qid` — a cacheable
+    /// handle: engines fetch it once at arm time and record lock-free.
+    pub fn detection_hist(&self, qid: u64) -> Arc<LatencyHistogram> {
+        self.det_query.lock().get(qid)
+    }
+
+    /// Records `n` matches for query `qid` detected `ns` nanoseconds
+    /// after their completing edge arrived.
+    pub fn record_detection(&self, qid: u64, ns: u64, n: u64) {
+        if n > 0 {
+            self.det_query.lock().get(qid).record_n(ns, n);
+        }
+    }
+
+    /// Records `n` matches for the template with canonical-fingerprint
+    /// `digest`, detected `ns` nanoseconds after the completing edge.
+    pub fn record_detection_template(&self, digest: u64, ns: u64, n: u64) {
+        if n > 0 {
+            self.det_template.lock().get(digest).record_n(ns, n);
+        }
+    }
+
+    /// Counts traffic on join key `key` (an endpoint vertex id): bumps
+    /// the key's count and the degree bucket of its *prior* heat, so
+    /// skew shows up as mass in high buckets.
+    pub fn record_key(&self, key: u64) {
+        let mut hot = self.hot.lock();
+        if hot.counts.len() >= HOT_KEY_CAP && !hot.counts.contains_key(&key) {
+            hot.overflow += 1;
+            return;
+        }
+        let count = hot.counts.entry(key).or_insert(0);
+        let prior = *count;
+        *count += 1;
+        let bucket = (64 - prior.leading_zeros()).saturating_sub(1) as usize;
+        hot.degree[bucket.min(DEGREE_BUCKETS - 1)] += 1;
+    }
+
+    /// Appends a structured event; returns its sequence number.
+    pub fn event(&self, kind: EventKind) -> u64 {
+        self.events.push(kind)
+    }
+
+    /// Publishes one shard's load gauges (last write wins per shard).
+    pub fn set_shard_load(&self, load: ShardLoad) {
+        let mut shards = self.shards.lock();
+        if let Some(slot) = shards.iter_mut().find(|s| s.shard == load.shard) {
+            *slot = load;
+        } else {
+            shards.push(load);
+            shards.sort_by_key(|s| s.shard);
+        }
+    }
+
+    /// A consistent-enough copy of everything for export: histograms,
+    /// gauges, hot keys and the event ring.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut detection_by_query: Vec<_> =
+            self.det_query.lock().by_key.iter().map(|(&k, h)| (k, h.snapshot())).collect();
+        detection_by_query.sort_by_key(|&(k, _)| k);
+        let mut detection_by_template: Vec<_> =
+            self.det_template.lock().by_key.iter().map(|(&k, h)| (k, h.snapshot())).collect();
+        detection_by_template.sort_by_key(|&(k, _)| k);
+        let (degree_buckets, hot_keys, hot_overflow) = {
+            let hot = self.hot.lock();
+            let degree: Vec<(u32, u64)> = hot
+                .degree
+                .iter()
+                .enumerate()
+                .filter(|&(_, &n)| n > 0)
+                .map(|(b, &n)| (b as u32, n))
+                .collect();
+            let mut top: Vec<(u64, u64)> = hot.counts.iter().map(|(&k, &n)| (k, n)).collect();
+            top.sort_by_key(|&(k, n)| (std::cmp::Reverse(n), k));
+            top.truncate(TOP_KEYS);
+            (degree, top, hot.overflow)
+        };
+        let (events, events_dropped) = self.events.snapshot();
+        TelemetrySnapshot {
+            sample_every: self.sample_every,
+            edge: self.edge.snapshot(),
+            detection_by_query,
+            detection_by_template,
+            degree_buckets,
+            hot_keys,
+            hot_overflow,
+            shards: self.shards.lock().clone(),
+            events,
+            events_dropped,
+        }
+    }
+
+    /// Writes `metrics.prom` (Prometheus text format) and
+    /// `metrics.json` under `dir`, creating it if needed — the
+    /// s-graffito-style metrics directory dashboards scrape.
+    pub fn dump(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let snap = self.snapshot();
+        std::fs::write(dir.join("metrics.prom"), snap.to_prometheus())?;
+        std::fs::write(dir.join("metrics.json"), snap.to_json())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests panic by design
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_collapse_into_overflow_beyond_the_cap() {
+        let rec = Recorder::with_sampling(1);
+        for qid in 0..(MAX_TRACKED_SCOPES as u64 + 100) {
+            rec.record_detection(qid, 1000, 1);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.detection_by_query.len(), MAX_TRACKED_SCOPES + 1);
+        let (key, overflow) = snap.detection_by_query.last().unwrap();
+        assert_eq!(*key, OVERFLOW_SCOPE);
+        assert_eq!(overflow.count, 100);
+    }
+
+    #[test]
+    fn hot_keys_skew_shows_in_degree_buckets() {
+        let rec = Recorder::new();
+        // One hub key hit 64 times, 32 cold keys hit once each.
+        for _ in 0..64 {
+            rec.record_key(7);
+        }
+        for k in 100..132 {
+            rec.record_key(k);
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.hot_keys[0], (7, 64));
+        assert_eq!(snap.hot_overflow, 0);
+        // Bucket 0 holds hits on keys with < 2 prior hits: key 7's
+        // first two plus the 32 cold ones.
+        let degree: std::collections::HashMap<u32, u64> =
+            snap.degree_buckets.iter().copied().collect();
+        assert_eq!(degree[&0], 34);
+        // 32 of key 7's hits landed while it already had >= 32 prior.
+        assert_eq!(degree[&5], 32);
+    }
+
+    #[test]
+    fn shard_load_is_last_write_wins() {
+        let rec = Recorder::new();
+        rec.set_shard_load(ShardLoad { shard: 1, edges_routed: 5, ..ShardLoad::default() });
+        rec.set_shard_load(ShardLoad { shard: 0, edges_routed: 1, ..ShardLoad::default() });
+        rec.set_shard_load(ShardLoad { shard: 1, edges_routed: 9, ..ShardLoad::default() });
+        let shards = rec.snapshot().shards;
+        assert_eq!(shards.len(), 2);
+        assert_eq!((shards[0].shard, shards[0].edges_routed), (0, 1));
+        assert_eq!((shards[1].shard, shards[1].edges_routed), (1, 9));
+    }
+}

@@ -16,6 +16,10 @@
 //!   s-graffito-style text edge stream (`src dst label ts` per line,
 //!   string or integer ids) and monitor a timing-ordered two-hop pattern
 //!   over its two most frequent edge labels.
+//! * `--metrics-dir <path>` — arm an exact-sampling telemetry recorder
+//!   and dump `metrics.prom` + `metrics.json` under the directory every
+//!   10k edges and at exit, then print the per-edge and detection
+//!   latency quantiles the dump contains.
 
 use std::collections::HashMap;
 
@@ -29,10 +33,11 @@ use timingsubg::graph::{StreamEdge, VLabel};
 struct Args {
     slide: u64,
     stream: Option<String>,
+    metrics_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { slide: 30, stream: None };
+    let mut args = Args { slide: 30, stream: None, metrics_dir: None };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -43,8 +48,15 @@ fn parse_args() -> Args {
             "--stream" => {
                 args.stream = Some(it.next().expect("--stream takes a path"));
             }
+            "--metrics-dir" => {
+                args.metrics_dir =
+                    Some(it.next().expect("--metrics-dir takes a directory path").into());
+            }
             other => {
-                panic!("unknown argument {other:?} (expected --slide <secs> / --stream <path>)")
+                panic!(
+                    "unknown argument {other:?} \
+                     (expected --slide <secs> / --stream <path> / --metrics-dir <path>)"
+                )
             }
         }
     }
@@ -125,11 +137,25 @@ fn main() {
     let mut window = SlidingWindow::new(args.slide);
     println!("window: slide = {} time units", args.slide);
 
+    // Every edge is stamped (sampling 1): a one-shot forensic run wants
+    // exact quantiles, not the serving-path subsample.
+    let recorder = args.metrics_dir.as_ref().map(|dir| {
+        let rec = std::sync::Arc::new(timingsubg::telemetry::Recorder::with_sampling(1));
+        engine.set_recorder(std::sync::Arc::clone(&rec));
+        println!("telemetry: dumping metrics.prom + metrics.json under {}", dir.display());
+        (rec, dir.clone())
+    });
+
     let mut detections = Vec::new();
-    for &edge in &stream {
+    for (i, &edge) in stream.iter().enumerate() {
         let ev = window.advance(edge);
         for m in engine.advance(&ev) {
             detections.push((edge.ts.0, m));
+        }
+        if let Some((rec, dir)) = &recorder {
+            if (i + 1) % 10_000 == 0 {
+                rec.dump(dir).expect("periodic metrics dump");
+            }
         }
     }
 
@@ -169,4 +195,27 @@ fn main() {
         stats.edges_processed,
         100.0 * stats.edges_discarded as f64 / stats.edges_processed as f64
     );
+
+    if let Some((rec, dir)) = &recorder {
+        rec.dump(dir).expect("final metrics dump");
+        let snap = rec.snapshot();
+        let fmt = |ns: u64| format!("{:.1}us", ns as f64 / 1e3);
+        println!(
+            "latency: per-edge p50={} p99={} p999={} over {} edges",
+            fmt(snap.edge.p50()),
+            fmt(snap.edge.p99()),
+            fmt(snap.edge.p999()),
+            snap.edge.count
+        );
+        for (qid, h) in &snap.detection_by_query {
+            println!(
+                "latency: detection (query {qid}) p50={} p99={} p999={} over {} matches",
+                fmt(h.p50()),
+                fmt(h.p99()),
+                fmt(h.p999()),
+                h.count
+            );
+        }
+        println!("metrics written to {}", dir.display());
+    }
 }

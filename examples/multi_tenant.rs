@@ -168,6 +168,11 @@ fn main() {
     let n_banks = 8u16;
     let mut rng = SmallRng::seed_from_u64(2026);
     let mut hub: ShardedMultiEngine = ShardedMultiEngine::new(1_000, 4);
+    // Exact-sampling recorder over the whole sharded stack: detection
+    // latency per template, shard-load gauges and the hot-key skew view
+    // all come out of this one sink at the end of the run.
+    let recorder = std::sync::Arc::new(timingsubg::telemetry::Recorder::with_sampling(1));
+    hub.set_recorder(std::sync::Arc::clone(&recorder));
 
     // Every bank registers its two standing patterns.
     let mut owners: Vec<(QueryId, u16, &'static str)> = Vec::new();
@@ -236,6 +241,36 @@ fn main() {
         "dispatch filtered {:.1}% of per-query edge deliveries as non-reactive",
         100.0 * total.edges_discarded as f64 / total.edges_processed.max(1) as f64
     );
+
+    // --- Telemetry: per-template latency and shard/skew summary --------
+    let snap = recorder.snapshot();
+    let fmt = |ns: u64| format!("{:.1}us", ns as f64 / 1e3);
+    println!("\ntelemetry (exact sampling, queue wait included):");
+    for (digest, h) in &snap.detection_by_template {
+        println!(
+            "  template {digest:016x}: detection p50={} p99={} p999={} over {} matches",
+            fmt(h.p50()),
+            fmt(h.p99()),
+            fmt(h.p999()),
+            h.count
+        );
+    }
+    for s in &snap.shards {
+        println!(
+            "  shard {}: {} chunks routed, queue hwm {}, {} shed, {} restarts",
+            s.shard, s.edges_routed, s.queue_depth_hwm, s.shed, s.restarts
+        );
+    }
+    // Degree buckets: bucket b counts deliveries to keys with 2^b..2^(b+1)
+    // prior hits — mass in high buckets IS the hub skew.
+    if let Some(&(hottest, hits)) = snap.hot_keys.first() {
+        let high_bucket = snap.degree_buckets.iter().map(|&(b, _)| b).max().unwrap_or(0);
+        println!(
+            "  skew: hottest vertex {hottest} saw {hits} deliveries; \
+             busiest degree bucket 2^{high_bucket}+ ({} events logged)",
+            snap.events.len()
+        );
+    }
 
     // --- Template sharing at fleet scale -------------------------------
     // A platform-wide template is not 17 queries, it is thousands of

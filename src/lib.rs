@@ -18,6 +18,11 @@
 //! * [`multi`] — the multi-query subsystem: a shared-snapshot query
 //!   registry with signature-routed dispatch and a sharded concurrent
 //!   front-end, for many standing queries over one stream.
+//! * [`telemetry`] — the observability layer: mergeable latency
+//!   histograms (per-edge + detection), skew/shard-load gauges, a
+//!   structured event log, and Prometheus/JSON exporters. Engines
+//!   accept a `Recorder` through an opt-in seam that never perturbs
+//!   their oracle-comparable counters.
 //!
 //! ## Verification
 //!
@@ -78,3 +83,4 @@ pub use tcs_core as core;
 pub use tcs_graph as graph;
 pub use tcs_multi as multi;
 pub use tcs_subiso as subiso;
+pub use tcs_telemetry as telemetry;
